@@ -1,0 +1,690 @@
+//! Global-memory access enumeration, index classification, and the
+//! memory-coalescing checker (paper §3.2).
+//!
+//! The checker follows the paper literally: for each array access it
+//! computes the addresses issued by the 16 consecutive threads of a half
+//! warp. Accesses are coalesced when, for every reachable loop-iteration
+//! value, the 16 addresses form one contiguous, aligned 64-byte segment
+//! (16 elements): the *base address* is a multiple of 16 words and the
+//! *offsets* of threads 1‥15 are 1‥15 words.
+
+use crate::affine::{Affine, Sym};
+use crate::layout::{ArrayLayout, Bindings};
+use gpgpu_ast::{visit, Builtin, Expr, Kernel, LValue, Stmt};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Threads per half warp — the coalescing granularity of G80/GT200.
+pub const HALF_WARP: i64 = 16;
+
+/// Maximum loop-value combinations the checker enumerates before giving up.
+const MAX_COMBOS: usize = 4096;
+
+/// The paper's four-way classification of one array index (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexClass {
+    /// A compile-time constant, e.g. the `5` in `a[idy][i+5]`.
+    Constant(i64),
+    /// Built from predefined ids (`idx`, `idy`, `tidx`, `tidy`, …) only.
+    Predefined,
+    /// Involves an enclosing loop's iterator.
+    Loop(String),
+    /// Anything else — indirect accesses, non-affine arithmetic.
+    Unresolved,
+}
+
+/// Where a global load lands (§3.3's G2S / G2R distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessTarget {
+    /// Global → register: consumed directly by computation.
+    Register,
+    /// Global → shared memory: the value is stored to a `__shared__` array.
+    Shared,
+}
+
+/// Why an access failed the coalescing check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonCoalescedReason {
+    /// Threads of the half warp do not touch 16 consecutive words
+    /// (wrong `tidx` stride — includes broadcasts, column walks).
+    BadOffsets,
+    /// Offsets are right but some reachable base address is not a multiple
+    /// of 16 words (e.g. `b[idx+i]` at `i = 1`).
+    MisalignedBase,
+}
+
+/// Result of the coalescing check for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceVerdict {
+    /// All half-warp accesses form aligned 16-word segments.
+    Coalesced,
+    /// Provably not coalesced.
+    NotCoalesced(NonCoalescedReason),
+    /// The address is not affine (unresolved index); the compiler skips it.
+    Unresolved,
+}
+
+impl CoalesceVerdict {
+    /// Convenience predicate.
+    pub fn is_coalesced(self) -> bool {
+        self == CoalesceVerdict::Coalesced
+    }
+}
+
+impl fmt::Display for CoalesceVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoalesceVerdict::Coalesced => f.write_str("coalesced"),
+            CoalesceVerdict::NotCoalesced(NonCoalescedReason::BadOffsets) => {
+                f.write_str("not coalesced (offsets)")
+            }
+            CoalesceVerdict::NotCoalesced(NonCoalescedReason::MisalignedBase) => {
+                f.write_str("not coalesced (base alignment)")
+            }
+            CoalesceVerdict::Unresolved => f.write_str("unresolved"),
+        }
+    }
+}
+
+/// Metadata about one loop enclosing an access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopMeta {
+    /// Iterator name.
+    pub var: String,
+    /// Start value, when concrete under the bindings.
+    pub start: Option<i64>,
+    /// Affine increment, when the loop is `+= k`.
+    pub step: Option<i64>,
+    /// Candidate iteration values the checker substitutes: the first 16 for
+    /// affine loops (the pattern repeats mod 16), or the full enumeration
+    /// for geometric loops with concrete bounds.
+    pub values: Option<Vec<i64>>,
+}
+
+/// One global-memory access with everything the optimizer needs to know.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalAccess {
+    /// Array name.
+    pub array: String,
+    /// Original per-dimension index expressions.
+    pub indices: Vec<Expr>,
+    /// Per-dimension classification.
+    pub classes: Vec<IndexClass>,
+    /// Linearized element offset, when affine.
+    pub linear: Option<Affine>,
+    /// True for stores.
+    pub is_write: bool,
+    /// Destination of a load (G2R / G2S); stores are `Register`.
+    pub target: AccessTarget,
+    /// Enclosing loops, outermost first.
+    pub loops: Vec<LoopMeta>,
+    /// Coalescing verdict.
+    pub verdict: CoalesceVerdict,
+}
+
+impl GlobalAccess {
+    /// The linear form with `idx`/`idy` expanded over a 16×1 half-warp
+    /// block; the shape the transforms reason about.
+    pub fn expanded(&self) -> Option<Affine> {
+        self.linear.as_ref().map(|l| l.expand_ids(HALF_WARP, 1))
+    }
+}
+
+/// Classifies one index expression per the paper's four categories.
+///
+/// `loop_vars` are the iterators of enclosing loops; `resolve_var` binds
+/// size parameters to constants.
+pub fn classify_index(
+    e: &Expr,
+    loop_vars: &[String],
+    resolve_var: &dyn Fn(&str) -> Option<i64>,
+) -> IndexClass {
+    let Some(aff) = Affine::from_expr(e, resolve_var) else {
+        return IndexClass::Unresolved;
+    };
+    if let Some(c) = aff.as_constant() {
+        return IndexClass::Constant(c);
+    }
+    // Any symbolic var that is not a known loop iterator is unresolved.
+    for (sym, _) in aff.iter() {
+        if let Sym::Var(name) = sym {
+            if !loop_vars.iter().any(|v| v == name) {
+                return IndexClass::Unresolved;
+            }
+        }
+    }
+    for lv in loop_vars.iter().rev() {
+        if aff.depends_on(&Sym::var(lv.clone())) {
+            return IndexClass::Loop(lv.clone());
+        }
+    }
+    IndexClass::Predefined
+}
+
+/// Runs the half-warp coalescing check on a linearized element offset.
+///
+/// `elem_lanes` is the number of 4-byte words per element (1 for `float`,
+/// 2 for `float2`): vector elements widen the segment proportionally and
+/// remain coalesced when consecutive threads touch consecutive elements.
+pub fn check_coalescing(linear: &Affine, loops: &[LoopMeta]) -> CoalesceVerdict {
+    let expanded = linear.expand_ids(HALF_WARP, 1);
+    // Offsets: consecutive threads must touch consecutive elements.
+    let tidx_coeff = expanded.coeff_builtin(Builtin::TidX);
+    if tidx_coeff != 1 {
+        return CoalesceVerdict::NotCoalesced(NonCoalescedReason::BadOffsets);
+    }
+    // Base: drop the tidx term, then require every reachable value to be a
+    // multiple of 16 elements.
+    let base = expanded.subst(&Sym::Builtin(Builtin::TidX), &Affine::constant(0));
+    // Substitute loop values combinatorially; every remaining symbol (block
+    // ids, tidy, unbound vars) must have a coefficient divisible by 16.
+    let mut combos: Vec<Affine> = vec![base];
+    for l in loops {
+        let var = Sym::var(l.var.clone());
+        if !combos.iter().any(|b| b.depends_on(&var)) {
+            continue;
+        }
+        let Some(values) = &l.values else {
+            // The base depends on a loop we cannot enumerate.
+            return CoalesceVerdict::Unresolved;
+        };
+        let mut next = Vec::with_capacity(combos.len() * values.len());
+        for b in &combos {
+            for &v in values {
+                next.push(b.subst(&var, &Affine::constant(v)));
+                if next.len() > MAX_COMBOS {
+                    return CoalesceVerdict::Unresolved;
+                }
+            }
+        }
+        combos = next;
+    }
+    for b in &combos {
+        if b.constant_part().rem_euclid(HALF_WARP) != 0 {
+            return CoalesceVerdict::NotCoalesced(NonCoalescedReason::MisalignedBase);
+        }
+        for (sym, coeff) in b.iter() {
+            if matches!(sym, Sym::Var(_)) {
+                // An unenumerated symbolic var whose coefficient is not a
+                // multiple of 16 could misalign the base.
+                if coeff.rem_euclid(HALF_WARP) != 0 {
+                    return CoalesceVerdict::NotCoalesced(NonCoalescedReason::MisalignedBase);
+                }
+            } else if coeff.rem_euclid(HALF_WARP) != 0 {
+                return CoalesceVerdict::NotCoalesced(NonCoalescedReason::MisalignedBase);
+            }
+        }
+    }
+    CoalesceVerdict::Coalesced
+}
+
+/// Enumerates and checks every global-memory access in `kernel`.
+///
+/// `layouts` must contain a resolved (and, if the compiler pads, padded)
+/// layout for every array parameter the kernel touches; accesses to arrays
+/// missing from `layouts` are reported with [`CoalesceVerdict::Unresolved`].
+pub fn collect_accesses(
+    kernel: &Kernel,
+    layouts: &HashMap<String, ArrayLayout>,
+    bindings: &Bindings,
+) -> Vec<GlobalAccess> {
+    let shared: HashSet<String> = kernel
+        .shared_decls()
+        .iter()
+        .map(|(n, _, _)| n.to_string())
+        .collect();
+    let global: HashSet<String> = kernel.array_params().map(|p| p.name.clone()).collect();
+    let pragma_sizes = kernel.pragma_sizes();
+    let resolve = move |name: &str| -> Option<i64> {
+        bindings
+            .get(name)
+            .or_else(|| pragma_sizes.get(name))
+            .copied()
+    };
+
+    let mut out = Vec::new();
+    let mut loop_stack: Vec<LoopMeta> = Vec::new();
+    walk(
+        &kernel.body,
+        &mut loop_stack,
+        &global,
+        &shared,
+        layouts,
+        &resolve,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    body: &[Stmt],
+    loop_stack: &mut Vec<LoopMeta>,
+    global: &HashSet<String>,
+    shared: &HashSet<String>,
+    layouts: &HashMap<String, ArrayLayout>,
+    resolve: &dyn Fn(&str) -> Option<i64>,
+    out: &mut Vec<GlobalAccess>,
+) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { lhs, rhs } => {
+                let target = match lhs {
+                    LValue::Index { array, .. } if shared.contains(array) => AccessTarget::Shared,
+                    _ => AccessTarget::Register,
+                };
+                // Reads on the RHS and in the LHS index expressions.
+                let mut record_read = |e: &Expr| {
+                    if let Expr::Index { array, indices } = e {
+                        if global.contains(array) {
+                            out.push(make_access(
+                                array, indices, false, target, loop_stack, layouts, resolve,
+                            ));
+                        }
+                    }
+                };
+                rhs.walk(&mut record_read);
+                if let LValue::Index { array, indices } = lhs {
+                    for ix in indices {
+                        ix.walk(&mut record_read);
+                    }
+                    if global.contains(array) {
+                        out.push(make_access(
+                            array,
+                            indices,
+                            true,
+                            AccessTarget::Register,
+                            loop_stack,
+                            layouts,
+                            resolve,
+                        ));
+                    }
+                }
+            }
+            Stmt::DeclScalar { init: Some(e), .. } => {
+                e.walk(&mut |e| {
+                    if let Expr::Index { array, indices } = e {
+                        if global.contains(array) {
+                            out.push(make_access(
+                                array,
+                                indices,
+                                false,
+                                AccessTarget::Register,
+                                loop_stack,
+                                layouts,
+                                resolve,
+                            ));
+                        }
+                    }
+                });
+            }
+            Stmt::For(l) => {
+                loop_stack.push(loop_meta(l, resolve));
+                walk(&l.body, loop_stack, global, shared, layouts, resolve, out);
+                loop_stack.pop();
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                cond.walk(&mut |e| {
+                    if let Expr::Index { array, indices } = e {
+                        if global.contains(array) {
+                            out.push(make_access(
+                                array,
+                                indices,
+                                false,
+                                AccessTarget::Register,
+                                loop_stack,
+                                layouts,
+                                resolve,
+                            ));
+                        }
+                    }
+                });
+                walk(then_body, loop_stack, global, shared, layouts, resolve, out);
+                walk(else_body, loop_stack, global, shared, layouts, resolve, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn loop_meta(l: &gpgpu_ast::ForLoop, resolve: &dyn Fn(&str) -> Option<i64>) -> LoopMeta {
+    let start = Affine::from_expr(&l.init, resolve).and_then(|a| a.as_constant());
+    let step = l.affine_step();
+    let values = match (start, step) {
+        (Some(s), Some(k)) => Some((0..HALF_WARP).map(|i| s + i * k).collect()),
+        _ => {
+            // Geometric loops: enumerate fully when bounds are concrete.
+            let bound_known = Affine::from_expr(&l.bound, resolve)
+                .and_then(|a| a.as_constant())
+                .is_some();
+            if bound_known && start.is_some() {
+                let concrete = gpgpu_ast::ForLoop {
+                    init: gpgpu_ast::Expr::Int(start.unwrap()),
+                    bound: gpgpu_ast::Expr::Int(
+                        Affine::from_expr(&l.bound, resolve)
+                            .unwrap()
+                            .as_constant()
+                            .unwrap(),
+                    ),
+                    ..l.clone()
+                };
+                concrete.enumerate_values(64)
+            } else {
+                None
+            }
+        }
+    };
+    LoopMeta {
+        var: l.var.clone(),
+        start,
+        step,
+        values,
+    }
+}
+
+fn make_access(
+    array: &str,
+    indices: &[Expr],
+    is_write: bool,
+    target: AccessTarget,
+    loop_stack: &[LoopMeta],
+    layouts: &HashMap<String, ArrayLayout>,
+    resolve: &dyn Fn(&str) -> Option<i64>,
+) -> GlobalAccess {
+    let loop_vars: Vec<String> = loop_stack.iter().map(|l| l.var.clone()).collect();
+    let classes: Vec<IndexClass> = indices
+        .iter()
+        .map(|e| classify_index(e, &loop_vars, resolve))
+        .collect();
+    // Keep loop vars symbolic; bind everything else that has a value.
+    let resolve_keeping_loops = |name: &str| -> Option<i64> {
+        if loop_vars.iter().any(|v| v == name) {
+            None
+        } else {
+            resolve(name)
+        }
+    };
+    let affine: Option<Vec<Affine>> = indices
+        .iter()
+        .map(|e| Affine::from_expr(e, &resolve_keeping_loops))
+        .collect();
+    let linear = affine
+        .as_ref()
+        .and_then(|forms| layouts.get(array).and_then(|lay| lay.linearize(forms)));
+    let verdict = match &linear {
+        Some(l) => check_coalescing(l, loop_stack),
+        None => CoalesceVerdict::Unresolved,
+    };
+    GlobalAccess {
+        array: array.to_string(),
+        indices: indices.to_vec(),
+        classes,
+        linear,
+        is_write,
+        target,
+        loops: loop_stack.to_vec(),
+        verdict,
+    }
+}
+
+/// Reads from `body` that target global arrays — convenience wrapper used by
+/// transforms that need the raw expression list.
+pub fn global_reads<'a>(body: &'a [Stmt], global: &HashSet<String>) -> Vec<(&'a str, &'a [Expr])> {
+    visit::collect_reads(body, &|name| global.contains(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::resolve_layouts;
+    use gpgpu_ast::parse_kernel;
+
+    fn analyzed(src: &str, binds: &[(&str, i64)]) -> Vec<GlobalAccess> {
+        let k = parse_kernel(src).unwrap();
+        let bindings: Bindings = binds.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        let layouts = resolve_layouts(&k, &bindings).unwrap();
+        collect_accesses(&k, &layouts, &bindings)
+    }
+
+    const MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idy][i] * b[i][idx];
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    #[test]
+    fn mm_verdicts_match_paper() {
+        // Paper §3.2: a[idy][i] is NOT coalesced (same address for the whole
+        // half warp); b[i][idx] IS coalesced when rows are 16-word aligned;
+        // the store c[idy][idx] is coalesced.
+        let accesses = analyzed(MM, &[("n", 1024), ("w", 1024)]);
+        let by_array: HashMap<&str, &GlobalAccess> = accesses
+            .iter()
+            .map(|a| (a.array.as_str(), a))
+            .collect();
+        assert_eq!(
+            by_array["a"].verdict,
+            CoalesceVerdict::NotCoalesced(NonCoalescedReason::BadOffsets)
+        );
+        assert_eq!(by_array["b"].verdict, CoalesceVerdict::Coalesced);
+        assert_eq!(by_array["c"].verdict, CoalesceVerdict::Coalesced);
+        assert!(by_array["c"].is_write);
+    }
+
+    #[test]
+    fn unaligned_rows_break_coalescing() {
+        // 100-wide rows: b[i][idx] bases are i*100, not multiples of 16.
+        let accesses = analyzed(
+            "__global__ void f(float b[w][n], float c[n], int n, int w) {
+                float s = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { s += b[i][idx]; }
+                c[idx] = s;
+            }",
+            &[("n", 100), ("w", 64)],
+        );
+        let b = accesses.iter().find(|a| a.array == "b").unwrap();
+        assert_eq!(
+            b.verdict,
+            CoalesceVerdict::NotCoalesced(NonCoalescedReason::MisalignedBase)
+        );
+    }
+
+    #[test]
+    fn padding_restores_coalescing() {
+        let k = parse_kernel(
+            "__global__ void f(float b[w][n], float c[n], int n, int w) {
+                float s = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { s += b[i][idx]; }
+                c[idx] = s;
+            }",
+        )
+        .unwrap();
+        let bindings: Bindings = [("n".to_string(), 100i64), ("w".to_string(), 64)].into();
+        let mut layouts = resolve_layouts(&k, &bindings).unwrap();
+        for l in layouts.values_mut() {
+            *l = l.clone().padded_to(16);
+        }
+        let accesses = collect_accesses(&k, &layouts, &bindings);
+        let b = accesses.iter().find(|a| a.array == "b").unwrap();
+        assert_eq!(b.verdict, CoalesceVerdict::Coalesced);
+    }
+
+    #[test]
+    fn sliding_window_misaligns_base() {
+        // Paper §3.2: b[idx+i] fails the base condition (e.g. b[1] at i=1).
+        let accesses = analyzed(
+            "__global__ void f(float b[m], float c[n], int n, int m) {
+                float s = 0.0f;
+                for (int i = 0; i < 16; i = i + 1) { s += b[idx + i]; }
+                c[idx] = s;
+            }",
+            &[("n", 1024), ("m", 2048)],
+        );
+        let b = accesses.iter().find(|a| a.array == "b").unwrap();
+        assert_eq!(
+            b.verdict,
+            CoalesceVerdict::NotCoalesced(NonCoalescedReason::MisalignedBase)
+        );
+    }
+
+    #[test]
+    fn mv_row_walk_not_coalesced() {
+        // Paper: a[idx][i] walks a row per thread — offsets are w, not 1.
+        let accesses = analyzed(
+            "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+                float s = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { s += a[idx][i] * b[i]; }
+                c[idx] = s;
+            }",
+            &[("n", 1024), ("w", 1024)],
+        );
+        let a = accesses.iter().find(|x| x.array == "a").unwrap();
+        assert_eq!(
+            a.verdict,
+            CoalesceVerdict::NotCoalesced(NonCoalescedReason::BadOffsets)
+        );
+        // b[i]: same element for all threads — broadcast, not coalesced.
+        let b = accesses.iter().find(|x| x.array == "b").unwrap();
+        assert_eq!(
+            b.verdict,
+            CoalesceVerdict::NotCoalesced(NonCoalescedReason::BadOffsets)
+        );
+    }
+
+    #[test]
+    fn vectorized_access_is_coalesced() {
+        // After vectorization A[idx] on float2 stays stride-1 in elements.
+        let accesses = analyzed(
+            "__global__ void f(float2 a[n], float c[n], int n) {
+                float2 v = a[idx];
+                c[idx] = v.x + v.y;
+            }",
+            &[("n", 1024)],
+        );
+        let a = accesses.iter().find(|x| x.array == "a").unwrap();
+        assert_eq!(a.verdict, CoalesceVerdict::Coalesced);
+    }
+
+    #[test]
+    fn strided_pair_not_coalesced() {
+        // a[2*idx] has tidx coefficient 2.
+        let accesses = analyzed(
+            "__global__ void f(float a[m], float c[n], int n, int m) {
+                c[idx] = a[2 * idx];
+            }",
+            &[("n", 1024), ("m", 2048)],
+        );
+        let a = accesses.iter().find(|x| x.array == "a").unwrap();
+        assert_eq!(
+            a.verdict,
+            CoalesceVerdict::NotCoalesced(NonCoalescedReason::BadOffsets)
+        );
+    }
+
+    #[test]
+    fn index_classification_follows_paper() {
+        let resolve = |name: &str| (name == "w").then_some(64i64);
+        let loops = vec!["i".to_string()];
+        let parse = |s: &str| {
+            gpgpu_ast::Parser::new(s).unwrap().expr().unwrap()
+        };
+        assert_eq!(
+            classify_index(&parse("5"), &loops, &resolve),
+            IndexClass::Constant(5)
+        );
+        assert_eq!(
+            classify_index(&parse("idy"), &loops, &resolve),
+            IndexClass::Predefined
+        );
+        assert_eq!(
+            classify_index(&parse("i + 5"), &loops, &resolve),
+            IndexClass::Loop("i".into())
+        );
+        assert_eq!(
+            classify_index(&parse("x"), &loops, &resolve),
+            IndexClass::Unresolved
+        );
+        assert_eq!(
+            classify_index(&parse("a[i]"), &loops, &resolve),
+            IndexClass::Unresolved
+        );
+        // Bound size parameters act as constants.
+        assert_eq!(
+            classify_index(&parse("w"), &loops, &resolve),
+            IndexClass::Constant(64)
+        );
+    }
+
+    #[test]
+    fn g2s_target_detected() {
+        let accesses = analyzed(
+            "__global__ void f(float a[n][w], float c[n], int n, int w) {
+                __shared__ float s0[16];
+                s0[tidx] = a[idy][tidx];
+                __syncthreads();
+                c[idx] = s0[0];
+            }",
+            &[("n", 1024), ("w", 1024)],
+        );
+        let a = accesses.iter().find(|x| x.array == "a").unwrap();
+        assert_eq!(a.target, AccessTarget::Shared);
+    }
+
+    #[test]
+    fn reads_in_conditions_and_decls_are_collected() {
+        let accesses = analyzed(
+            "__global__ void f(float a[n], float c[n], int n) {
+                float t = a[idx];
+                if (a[idx] > 0.0f) { c[idx] = t; }
+            }",
+            &[("n", 1024)],
+        );
+        let reads: Vec<_> = accesses.iter().filter(|x| x.array == "a").collect();
+        assert_eq!(reads.len(), 2);
+        assert!(reads.iter().all(|r| r.verdict.is_coalesced()));
+    }
+
+    #[test]
+    fn indirect_access_unresolved() {
+        let accesses = analyzed(
+            "__global__ void f(float a[n], float b[n], float c[n], int n) {
+                c[idx] = a[(int)b[idx]];
+            }",
+            &[("n", 1024)],
+        );
+        let a = accesses.iter().find(|x| x.array == "a").unwrap();
+        assert_eq!(a.verdict, CoalesceVerdict::Unresolved);
+        assert_eq!(a.classes, vec![IndexClass::Unresolved]);
+    }
+
+    #[test]
+    fn geometric_loop_values_enumerated() {
+        let accesses = analyzed(
+            "__global__ void rd(float a[n], int n) {
+                for (int s = 8; s > 0; s = s >> 1) {
+                    if (idx < s) { a[idx] += a[idx + s]; }
+                    __gsync();
+                }
+            }",
+            &[("n", 1024)],
+        );
+        // a[idx + s]: bases are s ∈ {8,4,2,1}, none multiples of 16.
+        let shifted = accesses
+            .iter()
+            .find(|x| {
+                x.array == "a" && x.linear.as_ref().is_some_and(|l| l.constant_part() == 0)
+                    && !x.is_write
+                    && x.loops[0].values.as_deref() == Some(&[8, 4, 2, 1])
+            })
+            .unwrap();
+        assert_eq!(shifted.loops[0].values.as_deref(), Some(&[8, 4, 2, 1][..]));
+    }
+}

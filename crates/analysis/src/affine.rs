@@ -1,0 +1,433 @@
+//! Affine (linear) forms over thread coordinates and loop variables.
+//!
+//! Every analyzable array index is an integer-linear combination of the
+//! predefined builtins (`idx`, `tidx`, `bidx`, …), enclosing-loop variables,
+//! and a constant. Indices that cannot be put in this shape are *unresolved*
+//! (paper §3.2, index type 4) and are skipped by the optimizer.
+
+use gpgpu_ast::{BinOp, Builtin, Expr, UnOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbol an affine form may range over.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sym {
+    /// A predefined thread-coordinate builtin.
+    Builtin(Builtin),
+    /// A loop variable (or other symbolic integer kept abstract).
+    Var(String),
+}
+
+impl Sym {
+    /// Shorthand for a loop-variable symbol.
+    pub fn var(name: impl Into<String>) -> Sym {
+        Sym::Var(name.into())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Builtin(b) => f.write_str(b.shorthand()),
+            Sym::Var(v) => f.write_str(v),
+        }
+    }
+}
+
+/// An affine form `Σ coeffᵢ·symᵢ + constant` with integer coefficients.
+///
+/// Zero-coefficient terms are never stored, so equality is structural.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    terms: BTreeMap<Sym, i64>,
+    constant: i64,
+}
+
+impl Affine {
+    /// The constant form `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The form `1·sym`.
+    pub fn sym(sym: Sym) -> Affine {
+        let mut terms = BTreeMap::new();
+        terms.insert(sym, 1);
+        Affine { terms, constant: 0 }
+    }
+
+    /// The form `1·builtin`.
+    pub fn builtin(b: Builtin) -> Affine {
+        Affine::sym(Sym::Builtin(b))
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of `sym` (zero if absent).
+    pub fn coeff(&self, sym: &Sym) -> i64 {
+        self.terms.get(sym).copied().unwrap_or(0)
+    }
+
+    /// The coefficient of a builtin symbol.
+    pub fn coeff_builtin(&self, b: Builtin) -> i64 {
+        self.coeff(&Sym::Builtin(b))
+    }
+
+    /// Iterates over the non-zero `(symbol, coefficient)` terms.
+    pub fn iter(&self) -> impl Iterator<Item = (&Sym, i64)> {
+        self.terms.iter().map(|(s, c)| (s, *c))
+    }
+
+    /// True when the form is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, if the form is constant.
+    pub fn as_constant(&self) -> Option<i64> {
+        self.is_constant().then_some(self.constant)
+    }
+
+    /// True if the form mentions `sym`.
+    pub fn depends_on(&self, sym: &Sym) -> bool {
+        self.terms.contains_key(sym)
+    }
+
+    /// True if the form mentions the builtin.
+    pub fn depends_on_builtin(&self, b: Builtin) -> bool {
+        self.depends_on(&Sym::Builtin(b))
+    }
+
+    /// True if the form mentions any loop variable (non-builtin symbol).
+    pub fn depends_on_any_var(&self) -> bool {
+        self.terms.keys().any(|s| matches!(s, Sym::Var(_)))
+    }
+
+    /// Sum of two forms.
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (s, c) in &other.terms {
+            add_term(&mut out.terms, s.clone(), *c);
+        }
+        out
+    }
+
+    /// Difference of two forms.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    /// The form multiplied by an integer.
+    pub fn scale(&self, k: i64) -> Affine {
+        if k == 0 {
+            return Affine::constant(0);
+        }
+        Affine {
+            terms: self.terms.iter().map(|(s, c)| (s.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Product of two forms, defined when at least one side is constant.
+    pub fn mul(&self, other: &Affine) -> Option<Affine> {
+        if let Some(k) = other.as_constant() {
+            return Some(self.scale(k));
+        }
+        if let Some(k) = self.as_constant() {
+            return Some(other.scale(k));
+        }
+        None
+    }
+
+    /// Exact division by a positive constant, defined when every coefficient
+    /// and the constant are divisible.
+    pub fn div_exact(&self, k: i64) -> Option<Affine> {
+        if k == 0 {
+            return None;
+        }
+        if self.constant % k != 0 || self.terms.values().any(|c| c % k != 0) {
+            return None;
+        }
+        Some(Affine {
+            terms: self.terms.iter().map(|(s, c)| (s.clone(), c / k)).collect(),
+            constant: self.constant / k,
+        })
+    }
+
+    /// Substitutes `sym := replacement` and renormalizes.
+    pub fn subst(&self, sym: &Sym, replacement: &Affine) -> Affine {
+        let mut out = Affine::constant(self.constant);
+        for (s, c) in &self.terms {
+            if s == sym {
+                out = out.add(&replacement.scale(*c));
+            } else {
+                add_term(&mut out.terms, s.clone(), *c);
+            }
+        }
+        out
+    }
+
+    /// Evaluates the form with `lookup` supplying every symbol's value.
+    ///
+    /// Returns `None` if some symbol is unbound.
+    pub fn eval(&self, lookup: &dyn Fn(&Sym) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (s, c) in &self.terms {
+            acc += c * lookup(s)?;
+        }
+        Some(acc)
+    }
+
+    /// Expands the absolute ids: `idx := bidx·bdimx + tidx`,
+    /// `idy := bidy·bdimy + tidy`.
+    ///
+    /// After expansion the form ranges only over block ids, intra-block ids,
+    /// and loop variables — the shape the coalescing and partition analyses
+    /// work with.
+    pub fn expand_ids(&self, bdimx: i64, bdimy: i64) -> Affine {
+        let idx_repl = Affine::builtin(Builtin::BidX)
+            .scale(bdimx)
+            .add(&Affine::builtin(Builtin::TidX));
+        let idy_repl = Affine::builtin(Builtin::BidY)
+            .scale(bdimy)
+            .add(&Affine::builtin(Builtin::TidY));
+        self.subst(&Sym::Builtin(Builtin::IdX), &idx_repl)
+            .subst(&Sym::Builtin(Builtin::IdY), &idy_repl)
+    }
+
+    /// Converts an expression to affine form.
+    ///
+    /// `resolve_var` maps scalar names to either a concrete value
+    /// (`Some(v)`, e.g. a bound size parameter) or `None` to keep the name
+    /// symbolic (e.g. a loop variable). Expressions outside the affine
+    /// fragment — division with remainder, products of symbols, array loads,
+    /// calls — yield `None`.
+    pub fn from_expr(e: &Expr, resolve_var: &dyn Fn(&str) -> Option<i64>) -> Option<Affine> {
+        match e {
+            Expr::Int(v) => Some(Affine::constant(*v)),
+            Expr::Float(_) => None,
+            Expr::Var(name) => Some(match resolve_var(name) {
+                Some(v) => Affine::constant(v),
+                None => Affine::sym(Sym::var(name.clone())),
+            }),
+            Expr::Builtin(b) => Some(Affine::builtin(*b)),
+            Expr::Unary(UnOp::Neg, inner) => {
+                Some(Affine::from_expr(inner, resolve_var)?.scale(-1))
+            }
+            Expr::Unary(UnOp::Not, _) => None,
+            Expr::Binary(op, l, r) => {
+                let l = Affine::from_expr(l, resolve_var);
+                let r = Affine::from_expr(r, resolve_var);
+                match op {
+                    BinOp::Add => Some(l?.add(&r?)),
+                    BinOp::Sub => Some(l?.sub(&r?)),
+                    BinOp::Mul => l?.mul(&r?),
+                    BinOp::Div => {
+                        let k = r?.as_constant()?;
+                        l?.div_exact(k)
+                    }
+                    BinOp::Shl => {
+                        let k = r?.as_constant()?;
+                        (0..=62).contains(&k).then(|| l.unwrap().scale(1 << k))
+                    }
+                    BinOp::Shr => {
+                        let k = r?.as_constant()?;
+                        if !(0..=62).contains(&k) {
+                            return None;
+                        }
+                        l?.div_exact(1 << k)
+                    }
+                    BinOp::Rem => {
+                        // Only constant % constant folds.
+                        let lk = l?.as_constant()?;
+                        let rk = r?.as_constant()?;
+                        (rk != 0).then(|| Affine::constant(lk % rk))
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Cast(_, inner) => Affine::from_expr(inner, resolve_var),
+            Expr::Index { .. } | Expr::Field(_, _) | Expr::Call(_, _) | Expr::Select(_, _, _) => {
+                None
+            }
+        }
+    }
+}
+
+fn add_term(terms: &mut BTreeMap<Sym, i64>, sym: Sym, coeff: i64) {
+    use std::collections::btree_map::Entry;
+    if coeff == 0 {
+        return;
+    }
+    match terms.entry(sym) {
+        Entry::Vacant(v) => {
+            v.insert(coeff);
+        }
+        Entry::Occupied(mut o) => {
+            let next = *o.get() + coeff;
+            if next == 0 {
+                o.remove();
+            } else {
+                o.insert(next);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (s, c) in &self.terms {
+            if first {
+                if *c == 1 {
+                    write!(f, "{s}")?;
+                } else if *c == -1 {
+                    write!(f, "-{s}")?;
+                } else {
+                    write!(f, "{c}*{s}")?;
+                }
+                first = false;
+            } else if *c >= 0 {
+                if *c == 1 {
+                    write!(f, " + {s}")?;
+                } else {
+                    write!(f, " + {c}*{s}")?;
+                }
+            } else if *c == -1 {
+                write!(f, " - {s}")?;
+            } else {
+                write!(f, " - {}*{s}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::parser::Parser;
+
+    fn affine_of(src: &str) -> Option<Affine> {
+        let e = Parser::new(src).unwrap().expr().unwrap();
+        Affine::from_expr(&e, &|name| match name {
+            "w" => Some(64),
+            "n" => Some(128),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn converts_linear_expression() {
+        let a = affine_of("2 * idx + i + 5").unwrap();
+        assert_eq!(a.coeff_builtin(Builtin::IdX), 2);
+        assert_eq!(a.coeff(&Sym::var("i")), 1);
+        assert_eq!(a.constant_part(), 5);
+    }
+
+    #[test]
+    fn binds_size_parameters() {
+        let a = affine_of("idy * w + i").unwrap();
+        assert_eq!(a.coeff_builtin(Builtin::IdY), 64);
+        assert_eq!(a.coeff(&Sym::var("i")), 1);
+    }
+
+    #[test]
+    fn rejects_products_of_symbols() {
+        assert_eq!(affine_of("idx * i"), None);
+        assert_eq!(affine_of("idx * idy"), None);
+    }
+
+    #[test]
+    fn rejects_array_loads_and_calls() {
+        assert_eq!(affine_of("a[idx]"), None);
+        assert_eq!(affine_of("min(idx, 4)"), None);
+    }
+
+    #[test]
+    fn shift_left_scales() {
+        let a = affine_of("idx << 2").unwrap();
+        assert_eq!(a.coeff_builtin(Builtin::IdX), 4);
+    }
+
+    #[test]
+    fn exact_division_only() {
+        let a = affine_of("(4 * idx) / 2").unwrap();
+        assert_eq!(a.coeff_builtin(Builtin::IdX), 2);
+        assert_eq!(affine_of("idx / 2"), None);
+        assert_eq!(affine_of("(4 * idx + 1) / 2"), None);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let a = affine_of("idx - idx").unwrap();
+        assert!(a.is_constant());
+        assert_eq!(a.as_constant(), Some(0));
+    }
+
+    #[test]
+    fn expand_ids_rewrites_absolute_coordinates() {
+        let a = affine_of("idx + 64 * idy").unwrap().expand_ids(16, 4);
+        assert_eq!(a.coeff_builtin(Builtin::BidX), 16);
+        assert_eq!(a.coeff_builtin(Builtin::TidX), 1);
+        assert_eq!(a.coeff_builtin(Builtin::BidY), 256);
+        assert_eq!(a.coeff_builtin(Builtin::TidY), 64);
+        assert!(!a.depends_on_builtin(Builtin::IdX));
+    }
+
+    #[test]
+    fn eval_with_bindings() {
+        let a = affine_of("2 * idx + i + 5").unwrap();
+        let v = a.eval(&|s| match s {
+            Sym::Builtin(Builtin::IdX) => Some(10),
+            Sym::Var(v) if v == "i" => Some(3),
+            _ => None,
+        });
+        assert_eq!(v, Some(28));
+        assert_eq!(a.eval(&|_| None), None);
+    }
+
+    #[test]
+    fn subst_renormalizes() {
+        let a = affine_of("idx + i").unwrap();
+        let b = a.subst(&Sym::var("i"), &Affine::builtin(Builtin::IdX).scale(-1));
+        assert_eq!(b.as_constant(), Some(0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = affine_of("2 * idx - i - 5").unwrap();
+        assert_eq!(a.to_string(), "2*idx - i - 5");
+        assert_eq!(Affine::constant(0).to_string(), "0");
+        assert_eq!(affine_of("-idx").unwrap().to_string(), "-idx");
+    }
+
+    #[test]
+    fn mul_requires_constant_side() {
+        let idx = Affine::builtin(Builtin::IdX);
+        let c = Affine::constant(3);
+        assert_eq!(idx.mul(&c), Some(idx.scale(3)));
+        assert_eq!(c.mul(&idx), Some(idx.scale(3)));
+        assert_eq!(idx.mul(&idx), None);
+    }
+
+    #[test]
+    fn rem_folds_constants_only() {
+        assert_eq!(affine_of("7 % 3").unwrap().as_constant(), Some(1));
+        assert_eq!(affine_of("idx % 3"), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Static shared-memory bank-conflict analysis (paper §2b, §3.3).
+//!
+//! Shared memory is divided into banks (16 on G80/GT200); a half-warp
+//! access serializes when multiple lanes hit *different words in the same
+//! bank*. The compiler pads staging tiles (e.g. `[16][17]`) exactly when
+//! the unpadded layout would conflict; this module predicts the conflict
+//! degree from the affine access form so that decision — and the
+//! simulator's dynamic conflict counting — can be validated statically.
+
+use crate::affine::{Affine, Sym};
+use gpgpu_ast::Builtin;
+
+/// Number of 32-bit shared-memory banks on G80/GT200.
+pub const DEFAULT_BANKS: i64 = 16;
+
+/// Predicts the conflict degree of a half-warp shared-memory access.
+///
+/// `dims` are the shared array's extents (innermost last, padding
+/// included); `indices` the per-dimension affine index forms over the
+/// thread builtins (other symbols are evaluated at a representative 0).
+/// The result is the maximum number of *distinct words* mapped to one
+/// bank — 1 means conflict-free, 16 a fully serialized access.
+///
+/// Returns `None` when the index count does not match the rank.
+pub fn conflict_degree(dims: &[i64], indices: &[Affine], banks: i64) -> Option<i64> {
+    if dims.len() != indices.len() || dims.is_empty() {
+        return None;
+    }
+    // Row-major linearization.
+    let mut strides = vec![1i64; dims.len()];
+    for d in (0..dims.len() - 1).rev() {
+        strides[d] = strides[d + 1] * dims[d + 1];
+    }
+    let word_for_lane = |t: i64| -> i64 {
+        let lookup = |s: &Sym| -> Option<i64> {
+            match s {
+                Sym::Builtin(Builtin::TidX) => Some(t),
+                // A half warp shares one tidy row and one loop iteration;
+                // zero is representative because only the lane-varying part
+                // determines intra-half-warp conflicts.
+                _ => Some(0),
+            }
+        };
+        indices
+            .iter()
+            .zip(&strides)
+            .map(|(ix, stride)| ix.eval(&lookup).unwrap_or(0) * stride)
+            .sum()
+    };
+    let mut per_bank: Vec<Vec<i64>> = vec![Vec::new(); banks as usize];
+    for t in 0..16 {
+        let w = word_for_lane(t);
+        let bank = w.rem_euclid(banks) as usize;
+        if !per_bank[bank].contains(&w) {
+            per_bank[bank].push(w);
+        }
+    }
+    Some(
+        per_bank
+            .iter()
+            .map(|ws| ws.len() as i64)
+            .max()
+            .unwrap_or(1)
+            .max(1),
+    )
+}
+
+/// The padding (in elements) to add to a tile's innermost dimension so the
+/// given access becomes conflict-free: the smallest `p` in `0..=banks/2`
+/// that brings [`conflict_degree`] to 1.
+///
+/// Returns `None` when no small padding fixes the access.
+pub fn padding_for(dims: &[i64], indices: &[Affine], banks: i64) -> Option<i64> {
+    for pad in 0..=banks / 2 {
+        let mut padded = dims.to_vec();
+        *padded.last_mut()? += pad;
+        if conflict_degree(&padded, indices, banks)? == 1 {
+            return Some(pad);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tidx() -> Affine {
+        Affine::builtin(Builtin::TidX)
+    }
+
+    #[test]
+    fn row_access_is_conflict_free() {
+        // shared[k][tidx]: lanes hit consecutive banks.
+        let d = conflict_degree(&[16, 16], &[Affine::constant(3), tidx()], DEFAULT_BANKS);
+        assert_eq!(d, Some(1));
+    }
+
+    #[test]
+    fn column_access_conflicts_without_padding() {
+        // shared[tidx][k] on a [16][16] tile: stride 16 → every lane bank 0.
+        let d = conflict_degree(&[16, 16], &[tidx(), Affine::constant(0)], DEFAULT_BANKS);
+        assert_eq!(d, Some(16));
+    }
+
+    #[test]
+    fn padded_tile_fixes_column_access() {
+        // The compiler's [16][17] padding: stride 17 is coprime with 16.
+        let d = conflict_degree(&[16, 17], &[tidx(), Affine::constant(0)], DEFAULT_BANKS);
+        assert_eq!(d, Some(1));
+        assert_eq!(
+            padding_for(&[16, 16], &[tidx(), Affine::constant(0)], DEFAULT_BANKS),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        // All lanes read the same word: hardware broadcasts.
+        let d = conflict_degree(
+            &[16],
+            &[Affine::constant(5)],
+            DEFAULT_BANKS,
+        );
+        assert_eq!(d, Some(1));
+    }
+
+    #[test]
+    fn stride_two_gives_two_way_conflicts() {
+        // shared[2·tidx]: lanes 0 and 8 share bank 0 with distinct words.
+        let d = conflict_degree(&[32], &[tidx().scale(2)], DEFAULT_BANKS);
+        assert_eq!(d, Some(2));
+        // Padding cannot fix a strided one-dimensional walk.
+        assert_eq!(padding_for(&[32], &[tidx().scale(2)], DEFAULT_BANKS), None);
+    }
+
+    #[test]
+    fn already_free_needs_no_padding() {
+        assert_eq!(
+            padding_for(&[16, 16], &[Affine::constant(0), tidx()], DEFAULT_BANKS),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        assert_eq!(conflict_degree(&[16, 16], &[tidx()], DEFAULT_BANKS), None);
+    }
+}

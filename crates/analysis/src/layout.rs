@@ -1,0 +1,303 @@
+//! Resolved array layouts and index linearization.
+
+use crate::affine::Affine;
+use gpgpu_ast::{Kernel, ScalarType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Concrete size bindings for a kernel's symbolic dimensions, e.g.
+/// `{"n": 2048, "w": 2048}`.
+pub type Bindings = HashMap<String, i64>;
+
+/// Error resolving array layouts against bindings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A dimension of `array` references a size with no binding.
+    UnboundDim {
+        /// The array whose extent is unresolved.
+        array: String,
+        /// The unbound symbol.
+        symbol: String,
+    },
+    /// An array was declared with a non-positive extent.
+    NonPositiveDim {
+        /// The offending array.
+        array: String,
+        /// The resolved extent.
+        value: i64,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::UnboundDim { array, symbol } => {
+                write!(f, "array `{array}` has unbound dimension `{symbol}`")
+            }
+            LayoutError::NonPositiveDim { array, value } => {
+                write!(f, "array `{array}` has non-positive extent {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A global array with fully resolved extents, in row-major order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayLayout {
+    /// Array name.
+    pub name: String,
+    /// Element type.
+    pub elem: ScalarType,
+    /// Logical extents, outermost first.
+    pub dims: Vec<i64>,
+    /// Allocated extent of the innermost dimension (≥ `dims.last()`); the
+    /// compiler pads rows to a multiple of 16 words to enable coalescing
+    /// (paper §3.3: "padding to input data arrays").
+    pub row_pitch: i64,
+}
+
+impl ArrayLayout {
+    /// Creates an unpadded layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty.
+    pub fn new(name: impl Into<String>, elem: ScalarType, dims: Vec<i64>) -> ArrayLayout {
+        assert!(!dims.is_empty(), "arrays have at least one dimension");
+        let row_pitch = *dims.last().unwrap();
+        ArrayLayout {
+            name: name.into(),
+            elem,
+            dims,
+            row_pitch,
+        }
+    }
+
+    /// Returns the layout with the innermost dimension padded up to a
+    /// multiple of `multiple` elements.
+    pub fn padded_to(mut self, multiple: i64) -> ArrayLayout {
+        let last = *self.dims.last().unwrap();
+        self.row_pitch = (last + multiple - 1) / multiple * multiple;
+        self
+    }
+
+    /// True if the row pitch differs from the logical row length.
+    pub fn is_padded(&self) -> bool {
+        self.row_pitch != *self.dims.last().unwrap()
+    }
+
+    /// Number of *allocated* elements (including padding).
+    pub fn alloc_elems(&self) -> i64 {
+        self.dims[..self.dims.len() - 1].iter().product::<i64>() * self.row_pitch
+    }
+
+    /// Number of *logical* elements.
+    pub fn logical_elems(&self) -> i64 {
+        self.dims.iter().product()
+    }
+
+    /// Element stride of dimension `d` (row-major, padding included).
+    pub fn stride(&self, d: usize) -> i64 {
+        let mut s = self.row_pitch;
+        if d == self.dims.len() - 1 {
+            return 1;
+        }
+        for extent in self.dims[d + 1..self.dims.len() - 1].iter() {
+            s *= extent;
+        }
+        s
+    }
+
+    /// Linearizes per-dimension affine indices into one element-offset form.
+    ///
+    /// Returns `None` if the number of indices does not match the number of
+    /// dimensions.
+    pub fn linearize(&self, indices: &[Affine]) -> Option<Affine> {
+        if indices.len() != self.dims.len() {
+            return None;
+        }
+        let mut addr = Affine::constant(0);
+        for (d, ix) in indices.iter().enumerate() {
+            addr = addr.add(&ix.scale(self.stride(d)));
+        }
+        Some(addr)
+    }
+
+    /// Linearizes concrete per-dimension indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices.len() != dims.len()`.
+    pub fn linearize_concrete(&self, indices: &[i64]) -> i64 {
+        assert_eq!(indices.len(), self.dims.len());
+        indices
+            .iter()
+            .enumerate()
+            .map(|(d, ix)| ix * self.stride(d))
+            .sum()
+    }
+}
+
+/// Resolves the layouts of every array parameter of `kernel` against
+/// `bindings` (plus the kernel's own `size` pragmas).
+///
+/// # Errors
+///
+/// Returns [`LayoutError`] when a dimension is unbound or non-positive.
+pub fn resolve_layouts(
+    kernel: &Kernel,
+    bindings: &Bindings,
+) -> Result<HashMap<String, ArrayLayout>, LayoutError> {
+    let mut out = HashMap::new();
+    for p in kernel.array_params() {
+        let dims =
+            kernel
+                .resolve_dims(&p.name, bindings)
+                .ok_or_else(|| LayoutError::UnboundDim {
+                    array: p.name.clone(),
+                    symbol: p
+                        .dims
+                        .iter()
+                        .find_map(|d| match d {
+                            gpgpu_ast::Dim::Sym(s)
+                                if !bindings.contains_key(s)
+                                    && !kernel.pragma_sizes().contains_key(s) =>
+                            {
+                                Some(s.clone())
+                            }
+                            _ => None,
+                        })
+                        .unwrap_or_default(),
+                })?;
+        if let Some(&bad) = dims.iter().find(|&&v| v <= 0) {
+            return Err(LayoutError::NonPositiveDim {
+                array: p.name.clone(),
+                value: bad,
+            });
+        }
+        out.insert(p.name.clone(), ArrayLayout::new(&p.name, p.ty, dims));
+    }
+    Ok(out)
+}
+
+/// Like [`resolve_layouts`], but pads every row to a multiple of 16 words —
+/// the alignment the compiler establishes before coalescing analysis (paper
+/// §3.3: "padding to input data arrays to ensure that the row size of each
+/// array is a multiple of 16 words").
+///
+/// # Errors
+///
+/// Same as [`resolve_layouts`].
+pub fn resolve_layouts_padded(
+    kernel: &Kernel,
+    bindings: &Bindings,
+) -> Result<HashMap<String, ArrayLayout>, LayoutError> {
+    let mut layouts = resolve_layouts(kernel, bindings)?;
+    for layout in layouts.values_mut() {
+        *layout = layout.clone().padded_to(16);
+    }
+    Ok(layouts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Sym;
+    use gpgpu_ast::parse_kernel;
+
+    fn layout_2d() -> ArrayLayout {
+        ArrayLayout::new("a", ScalarType::Float, vec![128, 100])
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let a = ArrayLayout::new("a", ScalarType::Float, vec![4, 5, 6]);
+        assert_eq!(a.stride(2), 1);
+        assert_eq!(a.stride(1), 6);
+        assert_eq!(a.stride(0), 30);
+        assert_eq!(a.linearize_concrete(&[1, 2, 3]), 30 + 12 + 3);
+    }
+
+    #[test]
+    fn padding_changes_pitch_and_strides() {
+        let a = layout_2d().padded_to(16);
+        assert!(a.is_padded());
+        assert_eq!(a.row_pitch, 112);
+        assert_eq!(a.stride(0), 112);
+        assert_eq!(a.alloc_elems(), 128 * 112);
+        assert_eq!(a.logical_elems(), 128 * 100);
+    }
+
+    #[test]
+    fn padding_noop_when_aligned() {
+        let a = ArrayLayout::new("a", ScalarType::Float, vec![128, 128]).padded_to(16);
+        assert!(!a.is_padded());
+        assert_eq!(a.row_pitch, 128);
+    }
+
+    #[test]
+    fn linearize_affine_indices() {
+        let a = layout_2d().padded_to(16);
+        let idx = Affine::builtin(gpgpu_ast::Builtin::IdX);
+        let i = Affine::sym(Sym::var("i"));
+        let addr = a.linearize(&[idx.clone(), i.clone()]).unwrap();
+        assert_eq!(addr.coeff_builtin(gpgpu_ast::Builtin::IdX), 112);
+        assert_eq!(addr.coeff(&Sym::var("i")), 1);
+        assert!(a.linearize(&[idx]).is_none());
+    }
+
+    #[test]
+    fn resolve_layouts_from_kernel() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n][w], float b[w], int n, int w) { b[idx] = a[idy][idx]; }",
+        )
+        .unwrap();
+        let mut bindings = Bindings::new();
+        bindings.insert("n".into(), 64);
+        bindings.insert("w".into(), 32);
+        let layouts = resolve_layouts(&k, &bindings).unwrap();
+        assert_eq!(layouts["a"].dims, vec![64, 32]);
+        assert_eq!(layouts["b"].dims, vec![32]);
+    }
+
+    #[test]
+    fn resolve_layouts_reports_unbound() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n][w], int n, int w) { a[idy][idx] = 0.0f; }",
+        )
+        .unwrap();
+        let mut bindings = Bindings::new();
+        bindings.insert("n".into(), 64);
+        let err = resolve_layouts(&k, &bindings).unwrap_err();
+        assert_eq!(
+            err,
+            LayoutError::UnboundDim {
+                array: "a".into(),
+                symbol: "w".into()
+            }
+        );
+    }
+
+    #[test]
+    fn resolve_layouts_rejects_nonpositive() {
+        let k = parse_kernel("__global__ void f(float a[n], int n) { a[idx] = 0.0f; }").unwrap();
+        let mut bindings = Bindings::new();
+        bindings.insert("n".into(), 0);
+        assert!(matches!(
+            resolve_layouts(&k, &bindings),
+            Err(LayoutError::NonPositiveDim { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_layouts_uses_pragma_sizes() {
+        let k = parse_kernel(
+            "#pragma gpgpu size n=256\n__global__ void f(float a[n], int n) { a[idx] = 0.0f; }",
+        )
+        .unwrap();
+        let layouts = resolve_layouts(&k, &Bindings::new()).unwrap();
+        assert_eq!(layouts["a"].dims, vec![256]);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # gpgpu-analysis
+//!
+//! Static analyses underlying the GPGPU optimizing compiler:
+//!
+//! * [`affine`] — linear forms over thread coordinates and loop variables,
+//!   the currency in which all address reasoning is done.
+//! * [`layout`] — resolved array layouts and index linearization.
+//! * [`access`] — enumeration and classification of global-memory accesses
+//!   (constant / predefined / loop / unresolved indices, §3.2 of the paper)
+//!   and the memory-coalescing checker.
+//! * [`sharing`] — inter-thread-block data-sharing detection and the
+//!   G2S/G2R classification that drives merge selection (§3.4–3.5).
+//! * [`partition`] — partition-camping detection (§3.7).
+//! * [`resources`] — per-thread register and per-block shared-memory
+//!   estimates used to balance parallelism against reuse (§4).
+//!
+//! The analyses are purely symbolic: they never execute the kernel. The
+//! compiler binds concrete input sizes before querying them, mirroring the
+//! paper's per-input-size compilation model.
+
+pub mod access;
+pub mod affine;
+pub mod banks;
+pub mod layout;
+pub mod partition;
+pub mod resources;
+pub mod sharing;
+
+pub use access::{
+    check_coalescing, classify_index, collect_accesses, AccessTarget, CoalesceVerdict,
+    GlobalAccess, IndexClass, LoopMeta, NonCoalescedReason, HALF_WARP,
+};
+pub use affine::{Affine, Sym};
+pub use banks::{conflict_degree, padding_for, DEFAULT_BANKS};
+pub use layout::{
+    resolve_layouts, resolve_layouts_padded, ArrayLayout, Bindings, LayoutError,
+};
+pub use partition::{detect_partition_camping, PartitionGeometry, PartitionReport};
+pub use resources::{estimate_resources, ResourceEstimate};
+pub use sharing::{analyze_sharing, MergeKind, SharingDirection, SharingReport};

@@ -1,0 +1,214 @@
+//! Partition-camping detection (paper §3.7).
+//!
+//! Off-chip memory is split into partitions of fixed width. Memory traffic
+//! should spread across all partitions; when concurrently active thread
+//! blocks hit the same partition, requests queue up — *partition camping*.
+//! Since neighboring blocks along X are likely active simultaneously, the
+//! paper's rule checks accesses whose address involves `bidx`: camping is
+//! detected when the address stride between blocks `bidx` and `bidx+1` is a
+//! multiple of (partition width × number of partitions).
+
+use crate::access::GlobalAccess;
+use crate::layout::ArrayLayout;
+use gpgpu_ast::Builtin;
+use std::collections::HashMap;
+
+/// The partition organization of a GPU's off-chip memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionGeometry {
+    /// Number of partitions (6 on GTX 8800, 8 on GTX 280).
+    pub count: u32,
+    /// Partition width in bytes (256 on both).
+    pub width_bytes: u32,
+}
+
+impl PartitionGeometry {
+    /// GTX 8800 geometry.
+    pub fn gtx8800() -> PartitionGeometry {
+        PartitionGeometry {
+            count: 6,
+            width_bytes: 256,
+        }
+    }
+
+    /// GTX 280 geometry.
+    pub fn gtx280() -> PartitionGeometry {
+        PartitionGeometry {
+            count: 8,
+            width_bytes: 256,
+        }
+    }
+
+    /// The camping period in bytes: strides that are a multiple of this map
+    /// every block to the same partition.
+    pub fn period_bytes(&self) -> i64 {
+        self.count as i64 * self.width_bytes as i64
+    }
+
+    /// The partition holding a byte address.
+    pub fn partition_of(&self, byte_addr: i64) -> u32 {
+        ((byte_addr / self.width_bytes as i64).rem_euclid(self.count as i64)) as u32
+    }
+}
+
+/// One access that causes partition conflicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampingAccess {
+    /// Array touched.
+    pub array: String,
+    /// Byte stride between neighboring blocks along X.
+    pub stride_bytes: i64,
+    /// True for stores (transpose's write side is the classic offender).
+    pub is_write: bool,
+}
+
+/// Result of camping detection over a kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionReport {
+    /// Accesses whose inter-block stride camps on one partition.
+    pub offenders: Vec<CampingAccess>,
+}
+
+impl PartitionReport {
+    /// True when any access camps.
+    pub fn has_camping(&self) -> bool {
+        !self.offenders.is_empty()
+    }
+}
+
+/// Detects partition camping for a kernel's accesses under the given block
+/// dimensions and partition geometry.
+///
+/// `block_x`/`block_y` are the thread-block dimensions of the (optimized)
+/// kernel, used to expand `idx`/`idy` into block coordinates.
+pub fn detect_partition_camping(
+    accesses: &[GlobalAccess],
+    layouts: &HashMap<String, ArrayLayout>,
+    block_x: i64,
+    block_y: i64,
+    geometry: PartitionGeometry,
+) -> PartitionReport {
+    let mut report = PartitionReport::default();
+    for acc in accesses {
+        let Some(linear) = &acc.linear else { continue };
+        let Some(layout) = layouts.get(&acc.array) else {
+            continue;
+        };
+        let expanded = linear.expand_ids(block_x, block_y);
+        let stride_elems = expanded.coeff_builtin(Builtin::BidX);
+        if stride_elems == 0 {
+            // Accesses not involving bidx either hit the same line in the
+            // same partition or are spread over time (paper §3.7).
+            continue;
+        }
+        let stride_bytes = stride_elems * layout.elem.size_bytes() as i64;
+        if stride_bytes % geometry.period_bytes() == 0 {
+            let camping = CampingAccess {
+                array: acc.array.clone(),
+                stride_bytes,
+                is_write: acc.is_write,
+            };
+            if !report.offenders.contains(&camping) {
+                report.offenders.push(camping);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::collect_accesses;
+    use crate::layout::{resolve_layouts, Bindings};
+    use gpgpu_ast::parse_kernel;
+
+    fn camping(
+        src: &str,
+        binds: &[(&str, i64)],
+        bx: i64,
+        by: i64,
+        geo: PartitionGeometry,
+    ) -> PartitionReport {
+        let k = parse_kernel(src).unwrap();
+        let bindings: Bindings = binds.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        let layouts = resolve_layouts(&k, &bindings).unwrap();
+        let accesses = collect_accesses(&k, &layouts, &bindings);
+        detect_partition_camping(&accesses, &layouts, bx, by, geo)
+    }
+
+    // mv-style row walk: block b reads rows starting at b*block_x*w floats.
+    const MV: &str = "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+        float s = 0.0f;
+        for (int i = 0; i < w; i = i + 1) { s += a[idx][i] * b[i]; }
+        c[idx] = s;
+    }";
+
+    #[test]
+    fn mv_4k_camps_on_gtx280() {
+        // Stride = 16 threads × 4096 floats × 4 B = 256 KiB; 256 KiB % 2048 == 0.
+        let r = camping(MV, &[("n", 4096), ("w", 4096)], 16, 1, PartitionGeometry::gtx280());
+        assert!(r.has_camping());
+        assert_eq!(r.offenders[0].array, "a");
+        assert_eq!(r.offenders[0].stride_bytes, 16 * 4096 * 4);
+    }
+
+    #[test]
+    fn mv_4k_does_not_camp_on_gtx8800() {
+        // 262144 % (6*256) != 0 — six partitions break the power-of-two
+        // resonance, matching the paper's GTX 8800 observation.
+        let r = camping(MV, &[("n", 4096), ("w", 4096)], 16, 1, PartitionGeometry::gtx8800());
+        assert!(!r.has_camping());
+    }
+
+    #[test]
+    fn paper_example_3k_transpose_on_gtx8800() {
+        // §6.2: transposing 3k×3k on GTX 8800 exhibits camping (3072×4 B
+        // row = 12 KiB; 12288 % 1536 == 0), while 4k×4k does not (16384 %
+        // 1536 != 0). On GTX 280 it is the 4k case that camps.
+        let tp = "__global__ void tp(float a[n][n], float c[n][n], int n) {
+            c[idx][idy] = a[idy][idx];
+        }";
+        let g88 = PartitionGeometry::gtx8800();
+        let g280 = PartitionGeometry::gtx280();
+        // Writes c[idx][idy]: stride between X-neighbors = block_x × n floats.
+        let r = camping(tp, &[("n", 3072)], 16, 16, g88);
+        assert!(r.has_camping());
+        let r = camping(tp, &[("n", 4096)], 16, 16, g88);
+        assert!(!r.has_camping());
+        let r = camping(tp, &[("n", 4096)], 16, 16, g280);
+        assert!(r.has_camping());
+    }
+
+    #[test]
+    fn row_major_contiguous_access_never_camps() {
+        let copy = "__global__ void cp(float a[n][n], float c[n][n], int n) {
+            c[idy][idx] = a[idy][idx];
+        }";
+        // Neighboring X blocks differ by 16 floats = 64 B — spread across
+        // partitions.
+        let r = camping(copy, &[("n", 4096)], 16, 1, PartitionGeometry::gtx280());
+        assert!(!r.has_camping());
+    }
+
+    #[test]
+    fn partition_of_wraps() {
+        let g = PartitionGeometry::gtx280();
+        assert_eq!(g.partition_of(0), 0);
+        assert_eq!(g.partition_of(256), 1);
+        assert_eq!(g.partition_of(2048), 0);
+        assert_eq!(g.partition_of(2048 + 512), 2);
+        assert_eq!(g.period_bytes(), 2048);
+    }
+
+    #[test]
+    fn offenders_deduplicated() {
+        // The same access pattern twice reports once.
+        let src = "__global__ void f(float a[n][w], float c[n], int n, int w) {
+            c[idx] = a[idx][0] + a[idx][1];
+        }";
+        let r = camping(src, &[("n", 4096), ("w", 512)], 1, 1, PartitionGeometry::gtx280());
+        // stride = 512 floats × 4 = 2048 B — camps; both accesses identical stride.
+        assert_eq!(r.offenders.len(), 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! Per-thread register and per-block shared-memory estimates (paper §4).
+//!
+//! The merge passes trade on-chip resources for reuse, so the compiler must
+//! predict whether a transformed kernel still fits the hardware and how many
+//! blocks can be co-resident on an SM. nvcc's allocator is out of reach, so
+//! we use a structural estimate with a coarse liveness model:
+//!
+//! * scalars that are **live across a loop** (accumulators, prefetch
+//!   temporaries — declared outside a loop and used inside one) each hold a
+//!   register for the whole kernel;
+//! * straight-line **transient** scalars are reused by a real allocator, so
+//!   their contribution is capped;
+//! * global-access **address registers** count fully for sites inside loops
+//!   (alive every iteration) and are capped for one-shot sites.
+//!
+//! The estimate only needs to be *monotone* in the real usage — merge
+//! degrees scale it the same way they scale actual pressure — which is what
+//! the occupancy search requires.
+
+use gpgpu_ast::{Expr, Kernel, Stmt};
+use std::collections::HashSet;
+
+/// Estimated on-chip resource usage of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceEstimate {
+    /// Registers per thread (32-bit words).
+    pub registers_per_thread: u32,
+    /// Shared memory per thread block, in bytes.
+    pub shared_bytes_per_block: u64,
+    /// Number of distinct global-memory load sites.
+    pub global_load_sites: u32,
+    /// Rough per-thread floating-point operation count (compute weight).
+    pub flops_per_thread_iter: u32,
+}
+
+/// Fixed register overhead: kernel arguments, id computation, loop control.
+const BASE_REGISTERS: u32 = 10;
+/// Address + staging registers per distinct global access site.
+const REGISTERS_PER_ACCESS: u32 = 2;
+/// Straight-line temporaries are register-reused; cap their contribution.
+const TRANSIENT_CAP: u32 = 12;
+/// One-shot (outside-loop) address sites are also reused; cap in registers.
+const ONESHOT_SITE_CAP: u32 = 8;
+
+/// Estimates the resource usage of `kernel`.
+pub fn estimate_resources(kernel: &Kernel) -> ResourceEstimate {
+    let globals: HashSet<&str> = kernel.array_params().map(|p| p.name.as_str()).collect();
+
+    // Persistent scalars: declared at the top level and used inside a loop.
+    let mut persistent: u32 = 0;
+    let mut transient: u32 = 0;
+    for (pos, stmt) in kernel.body.iter().enumerate() {
+        if let Stmt::DeclScalar { name, ty, .. } = stmt {
+            let used_in_loop = kernel.body[pos + 1..].iter().any(|s| stmt_loop_uses(s, name));
+            if used_in_loop {
+                persistent += ty.lanes();
+            } else {
+                transient += ty.lanes();
+            }
+        }
+    }
+    // Declarations inside loops/branches are transient by construction.
+    fn count_nested(body: &[Stmt], transient: &mut u32) {
+        for s in body {
+            if let Stmt::DeclScalar { ty, .. } = s {
+                *transient += ty.lanes();
+            }
+            for child in s.children() {
+                count_nested(child, transient);
+            }
+        }
+    }
+    for s in &kernel.body {
+        for child in s.children() {
+            count_nested(child, &mut transient);
+        }
+    }
+
+    // Global-access sites, split by whether they sit inside a loop.
+    let mut loop_sites: HashSet<String> = HashSet::new();
+    let mut oneshot_sites: HashSet<String> = HashSet::new();
+    let mut flops: u32 = 0;
+    collect_sites(
+        &kernel.body,
+        false,
+        &globals,
+        &mut loop_sites,
+        &mut oneshot_sites,
+        &mut flops,
+    );
+    let site_regs = REGISTERS_PER_ACCESS * loop_sites.len() as u32
+        + (REGISTERS_PER_ACCESS * oneshot_sites.len() as u32).min(ONESHOT_SITE_CAP);
+
+    ResourceEstimate {
+        registers_per_thread: BASE_REGISTERS
+            + persistent
+            + transient.min(TRANSIENT_CAP)
+            + site_regs,
+        shared_bytes_per_block: kernel.shared_bytes(),
+        global_load_sites: (loop_sites.len() + oneshot_sites.len()) as u32,
+        flops_per_thread_iter: flops,
+    }
+}
+
+/// True when `stmt` is (or contains) a loop that mentions `name`.
+fn stmt_loop_uses(stmt: &Stmt, name: &str) -> bool {
+    match stmt {
+        Stmt::For(l) => body_uses(&l.body, name) || l.body.iter().any(|s| stmt_loop_uses(s, name)),
+        _ => stmt.children().into_iter().flatten().any(|s| stmt_loop_uses(s, name)),
+    }
+}
+
+fn body_uses(body: &[Stmt], name: &str) -> bool {
+    let mut used = false;
+    gpgpu_ast::visit::walk_exprs(body, &mut |e| {
+        if matches!(e, Expr::Var(n) if n == name) {
+            used = true;
+        }
+    });
+    if used {
+        return true;
+    }
+    // Assignments to the scalar also keep it live.
+    let mut assigned = false;
+    gpgpu_ast::visit::walk_stmts(body, &mut |s| {
+        if let Stmt::Assign { lhs, .. } = s {
+            match lhs {
+                gpgpu_ast::LValue::Var(v) | gpgpu_ast::LValue::Field(v, _) if v == name => {
+                    assigned = true
+                }
+                _ => {}
+            }
+        }
+    });
+    assigned
+}
+
+fn record_expr(
+    e: &Expr,
+    in_loop: bool,
+    globals: &HashSet<&str>,
+    loop_sites: &mut HashSet<String>,
+    oneshot_sites: &mut HashSet<String>,
+    flops: &mut u32,
+) {
+    e.walk(&mut |e| match e {
+        Expr::Index { array, indices } if globals.contains(array.as_str()) => {
+            let key = format!("{array}:{indices:?}");
+            if in_loop {
+                loop_sites.insert(key);
+            } else {
+                oneshot_sites.insert(key);
+            }
+        }
+        Expr::Binary(op, _, _) if !op.is_predicate() => *flops += 1,
+        Expr::Call(_, _) => *flops += 4,
+        _ => {}
+    });
+}
+
+fn collect_sites(
+    body: &[Stmt],
+    in_loop: bool,
+    globals: &HashSet<&str>,
+    loop_sites: &mut HashSet<String>,
+    oneshot_sites: &mut HashSet<String>,
+    flops: &mut u32,
+) {
+    macro_rules! record {
+        ($e:expr, $in_loop:expr) => {
+            record_expr($e, $in_loop, globals, loop_sites, oneshot_sites, flops)
+        };
+    }
+    for stmt in body {
+        match stmt {
+            Stmt::DeclScalar { init: Some(e), .. } => record!(e, in_loop),
+            Stmt::Assign { lhs, rhs } => {
+                if let gpgpu_ast::LValue::Index { indices, .. } = lhs {
+                    for ix in indices {
+                        record!(ix, in_loop);
+                    }
+                }
+                record!(rhs, in_loop);
+            }
+            Stmt::For(l) => {
+                record!(&l.init, in_loop);
+                record!(&l.bound, in_loop);
+                collect_sites(&l.body, true, globals, loop_sites, oneshot_sites, flops);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                record!(cond, in_loop);
+                collect_sites(then_body, in_loop, globals, loop_sites, oneshot_sites, flops);
+                collect_sites(else_body, in_loop, globals, loop_sites, oneshot_sites, flops);
+            }
+            Stmt::CallStmt(_, args) => {
+                for a in args {
+                    record!(a, in_loop);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::parse_kernel;
+
+    const MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idy][i] * b[i][idx];
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    #[test]
+    fn naive_mm_estimate() {
+        let k = parse_kernel(MM).unwrap();
+        let r = estimate_resources(&k);
+        // base 10 + 1 persistent accumulator + 2 in-loop load sites × 2.
+        assert_eq!(r.registers_per_thread, 10 + 1 + 4);
+        assert_eq!(r.shared_bytes_per_block, 0);
+        assert_eq!(r.global_load_sites, 2);
+        assert!(r.flops_per_thread_iter >= 2); // mul + add
+    }
+
+    #[test]
+    fn merged_kernel_uses_more_registers() {
+        // Two accumulators and replicated loads → strictly larger estimate.
+        let merged = parse_kernel(
+            r#"__global__ void mm2(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+                float sum_0 = 0.0f;
+                float sum_1 = 0.0f;
+                for (int i = 0; i < w; i = i + 1) {
+                    float r0 = b[i][idx];
+                    sum_0 += a[idy * 2][i] * r0;
+                    sum_1 += a[idy * 2 + 1][i] * r0;
+                }
+                c[idy * 2][idx] = sum_0;
+                c[idy * 2 + 1][idx] = sum_1;
+            }"#,
+        )
+        .unwrap();
+        let naive = parse_kernel(MM).unwrap();
+        assert!(
+            estimate_resources(&merged).registers_per_thread
+                > estimate_resources(&naive).registers_per_thread
+        );
+    }
+
+    #[test]
+    fn straight_line_temporaries_are_capped() {
+        // A long chain of one-shot temps (FFT-style) must not explode the
+        // estimate: a real allocator reuses those registers.
+        let mut body = String::new();
+        for i in 0..40 {
+            body.push_str(&format!("float t{i} = a[idx] + {i}.0f;\n"));
+        }
+        body.push_str("c[idx] = t39;\n");
+        let k = parse_kernel(&format!(
+            "__global__ void f(float a[n], float c[n], int n) {{\n{body}}}"
+        ))
+        .unwrap();
+        let r = estimate_resources(&k);
+        assert!(
+            r.registers_per_thread <= 10 + TRANSIENT_CAP + ONESHOT_SITE_CAP,
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn loop_carried_scalars_count_fully() {
+        // 8 accumulators live across the loop: all held simultaneously.
+        let mut decls = String::new();
+        let mut uses = String::new();
+        for i in 0..8 {
+            decls.push_str(&format!("float s{i} = 0.0f;\n"));
+            uses.push_str(&format!("s{i} += a[idy][i2];\n"));
+        }
+        let k = parse_kernel(&format!(
+            "__global__ void f(float a[n][w], float c[n], int n, int w) {{\n{decls}for (int i2 = 0; i2 < w; i2 = i2 + 1) {{\n{uses}}}\nc[idx] = s0;\n}}"
+        ))
+        .unwrap();
+        let r = estimate_resources(&k);
+        assert!(r.registers_per_thread >= 10 + 8, "{r:?}");
+    }
+
+    #[test]
+    fn shared_memory_counted() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) {
+                __shared__ float s0[16];
+                __shared__ float s1[16][17];
+                s0[tidx] = a[idx];
+                __syncthreads();
+                a[idx] = s0[tidx] + s1[tidx][0];
+            }",
+        )
+        .unwrap();
+        assert_eq!(
+            estimate_resources(&k).shared_bytes_per_block,
+            (16 + 16 * 17) * 4
+        );
+    }
+
+    #[test]
+    fn vector_scalars_count_lanes() {
+        let k = parse_kernel(
+            "__global__ void f(float2 a[n], float c[m][n], int n, int m) {
+                float2 v = a[idx];
+                for (int i = 0; i < m; i = i + 1) { c[i][idx] = v.x + v.y; }
+            }",
+        )
+        .unwrap();
+        // v is live across the loop: 2 lanes persistent.
+        let r = estimate_resources(&k);
+        assert!(r.registers_per_thread >= 10 + 2, "{r:?}");
+    }
+
+    #[test]
+    fn duplicate_access_sites_deduplicate() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) {
+                c[idx] = a[idx] + a[idx];
+            }",
+        )
+        .unwrap();
+        assert_eq!(estimate_resources(&k).global_load_sites, 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Inter-thread-block data-sharing detection (paper §3.4) and the merge
+//! recommendation that drives §3.5.
+//!
+//! The compiler has already associated a linearized address form with every
+//! global access, so sharing detection reduces to asking whether the address
+//! ranges touched by *neighboring* thread blocks overlap. An access whose
+//! expanded address does not depend on `bidx` is read identically by every
+//! block along X (full overlap); likewise for `bidy` along Y.
+
+use crate::access::{AccessTarget, GlobalAccess};
+use crate::affine::Affine;
+use gpgpu_ast::Builtin;
+use std::fmt;
+
+/// A grid direction along which thread blocks can be merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingDirection {
+    /// Neighboring blocks along X (`bidx`, `bidx+1`).
+    X,
+    /// Neighboring blocks along Y.
+    Y,
+}
+
+impl fmt::Display for SharingDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SharingDirection::X => f.write_str("X"),
+            SharingDirection::Y => f.write_str("Y"),
+        }
+    }
+}
+
+/// Which merge the compiler should apply in a direction (§3.5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergeKind {
+    /// Merge whole thread blocks — data is reused through shared memory
+    /// (chosen when the sharing comes from a G2S access). Also the fallback
+    /// to grow undersized blocks.
+    ThreadBlock,
+    /// Merge threads from neighboring blocks — data is reused through
+    /// registers (chosen when the sharing comes from a G2R access).
+    Thread,
+}
+
+/// Sharing facts for one access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessSharing {
+    /// Array read by the access.
+    pub array: String,
+    /// Load destination (register or shared memory).
+    pub target: AccessTarget,
+    /// True when neighboring blocks along X read the same data.
+    pub shares_x: bool,
+    /// True when neighboring blocks along Y read the same data.
+    pub shares_y: bool,
+}
+
+/// The result of sharing analysis over a whole kernel.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SharingReport {
+    /// Per-read sharing facts (writes are excluded).
+    pub accesses: Vec<AccessSharing>,
+    /// Recommended merge along X, if any sharing exists there.
+    pub merge_x: Option<MergeKind>,
+    /// Recommended merge along Y, if any sharing exists there.
+    pub merge_y: Option<MergeKind>,
+}
+
+impl SharingReport {
+    /// True if any direction shows inter-block sharing.
+    pub fn any_sharing(&self) -> bool {
+        self.merge_x.is_some() || self.merge_y.is_some()
+    }
+}
+
+/// Whether neighboring blocks overlap for this (expanded) address form in
+/// the given direction.
+///
+/// Full independence from the direction's block id means complete overlap.
+/// A dependence with a stride smaller than the per-block footprint would be
+/// partial overlap; the kernels in the paper's suite only exhibit the
+/// all-or-nothing case, and we follow the paper in checking neighbors only.
+fn shares_along(expanded: &Affine, dir: SharingDirection) -> bool {
+    let bid = match dir {
+        SharingDirection::X => Builtin::BidX,
+        SharingDirection::Y => Builtin::BidY,
+    };
+    expanded.coeff_builtin(bid) == 0
+}
+
+/// Analyzes data sharing between neighboring thread blocks.
+///
+/// `block_x`/`block_y` are the current thread-block dimensions used to
+/// expand `idx`/`idy` (after the coalescing phase each block is one half
+/// warp: 16×1).
+pub fn analyze_sharing(accesses: &[GlobalAccess], block_x: i64, block_y: i64) -> SharingReport {
+    let mut report = SharingReport::default();
+    for acc in accesses {
+        if acc.is_write {
+            continue;
+        }
+        let Some(linear) = &acc.linear else { continue };
+        let expanded = linear.expand_ids(block_x, block_y);
+        // An access to a loop-invariant broadcast (constant address) shares
+        // everywhere but carries no meaningful footprint; it still counts —
+        // the paper's b[i] in mv is exactly this shape.
+        let shares_x = shares_along(&expanded, SharingDirection::X);
+        let shares_y = shares_along(&expanded, SharingDirection::Y);
+        if !(shares_x || shares_y) {
+            continue;
+        }
+        report.accesses.push(AccessSharing {
+            array: acc.array.clone(),
+            target: acc.target,
+            shares_x,
+            shares_y,
+        });
+    }
+    report.merge_x = recommend(report.accesses.iter().filter(|a| a.shares_x));
+    report.merge_y = recommend(report.accesses.iter().filter(|a| a.shares_y));
+    report
+}
+
+/// §3.5.3 selection rule: G2S sharing → thread-block merge (shared-memory
+/// reuse); otherwise G2R sharing → thread merge (register reuse).
+fn recommend<'a>(mut sharing: impl Iterator<Item = &'a AccessSharing>) -> Option<MergeKind> {
+    let mut any = false;
+    let mut any_shared = false;
+    for a in sharing.by_ref() {
+        any = true;
+        if a.target == AccessTarget::Shared {
+            any_shared = true;
+        }
+    }
+    if !any {
+        None
+    } else if any_shared {
+        Some(MergeKind::ThreadBlock)
+    } else {
+        Some(MergeKind::Thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::collect_accesses;
+    use crate::layout::{resolve_layouts, Bindings};
+    use gpgpu_ast::parse_kernel;
+
+    fn report(src: &str, binds: &[(&str, i64)], bx: i64, by: i64) -> SharingReport {
+        let k = parse_kernel(src).unwrap();
+        let bindings: Bindings = binds.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        let layouts = resolve_layouts(&k, &bindings).unwrap();
+        let accesses = collect_accesses(&k, &layouts, &bindings);
+        analyze_sharing(&accesses, bx, by)
+    }
+
+    // The coalesced mm kernel of paper Figure 3a.
+    const MM_COALESCED: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 16) {
+                __shared__ float shared0[16];
+                shared0[tidx] = a[idy][i + tidx];
+                __syncthreads();
+                for (int k = 0; k < 16; k = k + 1) {
+                    sum += shared0[k] * b[i + k][idx];
+                }
+                __syncthreads();
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    #[test]
+    fn mm_sharing_matches_paper_case_study() {
+        // §5: array a (G2S) shares along X → thread-block merge;
+        // array b (G2R) shares along Y → thread merge.
+        let r = report(MM_COALESCED, &[("n", 1024), ("w", 1024)], 16, 1);
+        let a = r.accesses.iter().find(|s| s.array == "a").unwrap();
+        assert!(a.shares_x && !a.shares_y);
+        assert_eq!(a.target, AccessTarget::Shared);
+        let b = r.accesses.iter().find(|s| s.array == "b").unwrap();
+        assert!(b.shares_y && !b.shares_x);
+        assert_eq!(b.target, AccessTarget::Register);
+        assert_eq!(r.merge_x, Some(MergeKind::ThreadBlock));
+        assert_eq!(r.merge_y, Some(MergeKind::Thread));
+    }
+
+    #[test]
+    fn naive_mm_also_shows_sharing() {
+        let r = report(
+            r#"__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { sum += a[idy][i] * b[i][idx]; }
+                c[idy][idx] = sum;
+            }"#,
+            &[("n", 1024), ("w", 1024)],
+            16,
+            1,
+        );
+        assert!(r.any_sharing());
+        // Both naive loads are G2R, so both directions recommend thread merge.
+        assert_eq!(r.merge_x, Some(MergeKind::Thread));
+        assert_eq!(r.merge_y, Some(MergeKind::Thread));
+    }
+
+    #[test]
+    fn writes_do_not_contribute_sharing() {
+        let r = report(
+            "__global__ void f(float c[n][n], int n) { c[idy][idx] = 1.0f; }",
+            &[("n", 256)],
+            16,
+            1,
+        );
+        assert!(!r.any_sharing());
+        assert!(r.accesses.is_empty());
+    }
+
+    #[test]
+    fn fully_partitioned_access_shares_nothing() {
+        // Each block reads its own disjoint rows and columns.
+        let r = report(
+            "__global__ void f(float a[n][n], float c[n][n], int n) {
+                c[idy][idx] = a[idy][idx];
+            }",
+            &[("n", 256)],
+            16,
+            1,
+        );
+        assert!(!r.any_sharing());
+    }
+
+    #[test]
+    fn g2s_beats_g2r_in_recommendation() {
+        // Two X-sharing loads, one staged to shared memory: block merge wins.
+        let r = report(
+            "__global__ void f(float a[n], float b[n], float c[m][n], int n, int m) {
+                __shared__ float s0[16];
+                s0[tidx] = a[tidx];
+                __syncthreads();
+                c[idy][idx] = s0[0] + b[idy];
+            }",
+            &[("n", 256), ("m", 256)],
+            16,
+            1,
+        );
+        assert_eq!(r.merge_x, Some(MergeKind::ThreadBlock));
+    }
+
+    #[test]
+    fn broadcast_vector_counts_as_sharing() {
+        // mv's b[i]: independent of both bidx and bidy.
+        let r = report(
+            "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+                float s = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { s += a[idx][i] * b[i]; }
+                c[idx] = s;
+            }",
+            &[("n", 1024), ("w", 1024)],
+            16,
+            1,
+        );
+        let b = r.accesses.iter().find(|s| s.array == "b").unwrap();
+        assert!(b.shares_x && b.shares_y);
+    }
+}

@@ -1,0 +1,270 @@
+//! A small DSL for constructing kernels programmatically.
+//!
+//! Used by the transformation passes (which synthesize new statements) and
+//! by tests/benchmarks that build kernels without going through the parser.
+//!
+//! ```
+//! use gpgpu_ast::builder::*;
+//! use gpgpu_ast::{print_kernel, PrintOptions, ScalarType};
+//!
+//! let kernel = kernel("scale")
+//!     .array_param("a", ScalarType::Float, &["n"])
+//!     .scalar_param("n", ScalarType::Int)
+//!     .body(vec![assign(
+//!         idx1("a", idx()),
+//!         idx1("a", idx()).to_expr().mul(flt(2.0)),
+//!     )])
+//!     .build();
+//! let src = print_kernel(&kernel, PrintOptions::default());
+//! assert!(src.contains("a[idx] = a[idx] * 2.0f;"));
+//! ```
+
+use crate::expr::{BinOp, Builtin, Expr, LValue};
+use crate::kernel::{Kernel, Param, Pragma};
+use crate::stmt::{ForLoop, LoopUpdate, Stmt};
+use crate::types::{Dim, ScalarType};
+
+/// Starts building a kernel with the given name.
+pub fn kernel(name: impl Into<String>) -> KernelBuilder {
+    KernelBuilder {
+        name: name.into(),
+        params: Vec::new(),
+        body: Vec::new(),
+        pragmas: Vec::new(),
+    }
+}
+
+/// Incremental kernel constructor; see [`kernel`].
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<Param>,
+    body: Vec<Stmt>,
+    pragmas: Vec<Pragma>,
+}
+
+impl KernelBuilder {
+    /// Adds an array parameter with symbolic or constant extents.
+    pub fn array_param(
+        mut self,
+        name: impl Into<String>,
+        ty: ScalarType,
+        dims: &[&str],
+    ) -> Self {
+        let dims = dims
+            .iter()
+            .map(|d| match d.parse::<i64>() {
+                Ok(v) => Dim::Const(v),
+                Err(_) => Dim::Sym((*d).to_string()),
+            })
+            .collect();
+        self.params.push(Param::array(name, ty, dims));
+        self
+    }
+
+    /// Adds a scalar parameter.
+    pub fn scalar_param(mut self, name: impl Into<String>, ty: ScalarType) -> Self {
+        self.params.push(Param::scalar(name, ty));
+        self
+    }
+
+    /// Sets the kernel body.
+    pub fn body(mut self, body: Vec<Stmt>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Declares the kernel's outputs (an `output` pragma).
+    pub fn outputs(mut self, names: &[&str]) -> Self {
+        self.pragmas
+            .push(Pragma::Output(names.iter().map(|s| s.to_string()).collect()));
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Kernel {
+        Kernel {
+            name: self.name,
+            params: self.params,
+            body: self.body,
+            pragmas: self.pragmas,
+        }
+    }
+}
+
+/// `idx` builtin.
+pub fn idx() -> Expr {
+    Expr::Builtin(Builtin::IdX)
+}
+
+/// `idy` builtin.
+pub fn idy() -> Expr {
+    Expr::Builtin(Builtin::IdY)
+}
+
+/// `tidx` builtin.
+pub fn tidx() -> Expr {
+    Expr::Builtin(Builtin::TidX)
+}
+
+/// `tidy` builtin.
+pub fn tidy() -> Expr {
+    Expr::Builtin(Builtin::TidY)
+}
+
+/// `bidx` builtin.
+pub fn bidx() -> Expr {
+    Expr::Builtin(Builtin::BidX)
+}
+
+/// `bidy` builtin.
+pub fn bidy() -> Expr {
+    Expr::Builtin(Builtin::BidY)
+}
+
+/// Integer literal.
+pub fn int(v: i64) -> Expr {
+    Expr::Int(v)
+}
+
+/// Float literal.
+pub fn flt(v: f64) -> Expr {
+    Expr::Float(v)
+}
+
+/// Variable reference.
+pub fn var(name: impl Into<String>) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// 1-D array lvalue `array[i]`.
+pub fn idx1(array: impl Into<String>, i: Expr) -> LValue {
+    LValue::index(array, vec![i])
+}
+
+/// 2-D array lvalue `array[i][j]`.
+pub fn idx2(array: impl Into<String>, i: Expr, j: Expr) -> LValue {
+    LValue::index(array, vec![i, j])
+}
+
+/// 1-D array read `array[i]`.
+pub fn load1(array: impl Into<String>, i: Expr) -> Expr {
+    Expr::index(array, vec![i])
+}
+
+/// 2-D array read `array[i][j]`.
+pub fn load2(array: impl Into<String>, i: Expr, j: Expr) -> Expr {
+    Expr::index(array, vec![i, j])
+}
+
+/// Assignment statement.
+pub fn assign(lhs: LValue, rhs: Expr) -> Stmt {
+    Stmt::Assign { lhs, rhs }
+}
+
+/// Compound `lhs += rhs` (desugared).
+pub fn add_assign(lhs: LValue, rhs: Expr) -> Stmt {
+    let sum = Expr::Binary(BinOp::Add, Box::new(lhs.to_expr()), Box::new(rhs));
+    Stmt::Assign { lhs, rhs: sum }
+}
+
+/// Canonical counting loop `for (int var = start; var < bound; var += step)`.
+pub fn for_up(
+    var: impl Into<String>,
+    start: Expr,
+    bound: Expr,
+    step: i64,
+    body: Vec<Stmt>,
+) -> Stmt {
+    Stmt::For(ForLoop {
+        var: var.into(),
+        init: start,
+        cmp: BinOp::Lt,
+        bound,
+        update: LoopUpdate::AddAssign(step),
+        body,
+    })
+}
+
+/// `if (cond) { then_body }`.
+pub fn if_then(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
+    Stmt::If {
+        cond,
+        then_body,
+        else_body: Vec::new(),
+    }
+}
+
+/// `__syncthreads();`
+pub fn sync() -> Stmt {
+    Stmt::SyncThreads
+}
+
+/// `__shared__ ty name[dims…];`
+pub fn shared(name: impl Into<String>, ty: ScalarType, dims: &[i64]) -> Stmt {
+    Stmt::DeclShared {
+        name: name.into(),
+        ty,
+        dims: dims.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+    use crate::printer::{print_kernel, PrintOptions};
+
+    #[test]
+    fn builder_constructs_parsable_kernel() {
+        let k = kernel("mv")
+            .array_param("a", ScalarType::Float, &["n", "w"])
+            .array_param("b", ScalarType::Float, &["w"])
+            .array_param("c", ScalarType::Float, &["n"])
+            .scalar_param("n", ScalarType::Int)
+            .scalar_param("w", ScalarType::Int)
+            .outputs(&["c"])
+            .body(vec![
+                Stmt::decl_float("sum", flt(0.0)),
+                for_up(
+                    "i",
+                    int(0),
+                    var("w"),
+                    1,
+                    vec![add_assign(
+                        LValue::Var("sum".into()),
+                        load2("a", idx(), var("i")).mul(load1("b", var("i"))),
+                    )],
+                ),
+                assign(idx1("c", idx()), var("sum")),
+            ])
+            .build();
+        let printed = print_kernel(&k, PrintOptions::default());
+        let reparsed = parse_kernel(&printed).unwrap();
+        assert_eq!(k, reparsed);
+        assert_eq!(k.output_arrays(), vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn numeric_dims_parse_as_constants() {
+        let k = kernel("f")
+            .array_param("a", ScalarType::Float, &["16", "n"])
+            .scalar_param("n", ScalarType::Int)
+            .build();
+        assert_eq!(
+            k.params[0].dims,
+            vec![Dim::Const(16), Dim::Sym("n".into())]
+        );
+    }
+
+    #[test]
+    fn helpers_produce_expected_shapes() {
+        assert_eq!(if_then(tidx().lt(int(16)), vec![sync()]).children().len(), 2);
+        let s = shared("s0", ScalarType::Float, &[16, 17]);
+        assert!(matches!(s, Stmt::DeclShared { ref dims, .. } if dims == &vec![16, 17]));
+        assert_eq!(bidx(), Expr::Builtin(Builtin::BidX));
+        assert_eq!(bidy(), Expr::Builtin(Builtin::BidY));
+        assert_eq!(tidy(), Expr::Builtin(Builtin::TidY));
+        assert_eq!(idy(), Expr::Builtin(Builtin::IdY));
+    }
+}

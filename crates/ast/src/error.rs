@@ -1,0 +1,81 @@
+//! Error and source-location types shared by the lexer and parser.
+
+use std::fmt;
+
+/// A half-open region of the source text, tracked as 1-based line/column
+/// coordinates of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while lexing or parsing MiniCUDA source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where in the source the problem was detected.
+    pub span: Span,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at `span` with the given message.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        ParseError {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_displays_line_and_column() {
+        assert_eq!(Span::new(3, 14).to_string(), "3:14");
+    }
+
+    #[test]
+    fn parse_error_display_includes_span_and_message() {
+        let err = ParseError::new(Span::new(1, 2), "unexpected token");
+        assert_eq!(err.to_string(), "parse error at 1:2: unexpected token");
+    }
+
+    #[test]
+    fn parse_error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ParseError>();
+    }
+
+    #[test]
+    fn span_default_is_origin() {
+        let s = Span::default();
+        assert_eq!((s.line, s.col), (0, 0));
+    }
+}

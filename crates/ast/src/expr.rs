@@ -1,0 +1,586 @@
+//! Expression trees, lvalues, operators, and the predefined GPU builtins.
+
+use crate::types::ScalarType;
+use std::fmt;
+
+/// The predefined thread-coordinate values of the CUDA execution model.
+///
+/// The paper's shorthand is used throughout: `idx`/`idy` are the *absolute*
+/// thread coordinates (`blockIdx * blockDim + threadIdx`), `tidx`/`tidy` the
+/// coordinates *within* a block, and `bidx`/`bidy` the block coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Builtin {
+    /// Absolute thread id along X: `blockIdx.x * blockDim.x + threadIdx.x`.
+    IdX,
+    /// Absolute thread id along Y.
+    IdY,
+    /// Thread id within the block along X (`threadIdx.x`).
+    TidX,
+    /// Thread id within the block along Y (`threadIdx.y`).
+    TidY,
+    /// Block id along X (`blockIdx.x`).
+    BidX,
+    /// Block id along Y (`blockIdx.y`).
+    BidY,
+    /// Block extent along X (`blockDim.x`).
+    BlockDimX,
+    /// Block extent along Y (`blockDim.y`).
+    BlockDimY,
+    /// Grid extent along X (`gridDim.x`).
+    GridDimX,
+    /// Grid extent along Y (`gridDim.y`).
+    GridDimY,
+}
+
+impl Builtin {
+    /// The paper's shorthand spelling, accepted by the parser.
+    pub fn shorthand(self) -> &'static str {
+        match self {
+            Builtin::IdX => "idx",
+            Builtin::IdY => "idy",
+            Builtin::TidX => "tidx",
+            Builtin::TidY => "tidy",
+            Builtin::BidX => "bidx",
+            Builtin::BidY => "bidy",
+            Builtin::BlockDimX => "blockDimX",
+            Builtin::BlockDimY => "blockDimY",
+            Builtin::GridDimX => "gridDimX",
+            Builtin::GridDimY => "gridDimY",
+        }
+    }
+
+    /// The full CUDA spelling used when emitting source.
+    pub fn cuda_name(self) -> &'static str {
+        match self {
+            Builtin::IdX => "idx",
+            Builtin::IdY => "idy",
+            Builtin::TidX => "threadIdx.x",
+            Builtin::TidY => "threadIdx.y",
+            Builtin::BidX => "blockIdx.x",
+            Builtin::BidY => "blockIdx.y",
+            Builtin::BlockDimX => "blockDim.x",
+            Builtin::BlockDimY => "blockDim.y",
+            Builtin::GridDimX => "gridDim.x",
+            Builtin::GridDimY => "gridDim.y",
+        }
+    }
+
+    /// Parses the paper shorthand.
+    pub fn from_shorthand(s: &str) -> Option<Builtin> {
+        Some(match s {
+            "idx" => Builtin::IdX,
+            "idy" => Builtin::IdY,
+            "tidx" => Builtin::TidX,
+            "tidy" => Builtin::TidY,
+            "bidx" => Builtin::BidX,
+            "bidy" => Builtin::BidY,
+            "blockDimX" => Builtin::BlockDimX,
+            "blockDimY" => Builtin::BlockDimY,
+            "gridDimX" => Builtin::GridDimX,
+            "gridDimY" => Builtin::GridDimY,
+            _ => return None,
+        })
+    }
+
+    /// All builtins, for exhaustive property tests.
+    pub const ALL: [Builtin; 10] = [
+        Builtin::IdX,
+        Builtin::IdY,
+        Builtin::TidX,
+        Builtin::TidY,
+        Builtin::BidX,
+        Builtin::BidY,
+        Builtin::BlockDimX,
+        Builtin::BlockDimY,
+        Builtin::GridDimX,
+        Builtin::GridDimY,
+    ];
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.shorthand())
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division on `int` operands)
+    Div,
+    /// Integer remainder (used by block remapping, e.g. `(bidx+bidy)%gridDim.x`).
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// Left shift (reduction kernels use `s << 1` style strides).
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+}
+
+impl BinOp {
+    /// C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+
+    /// True if the result is a boolean (comparison or logical operator).
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// A vector-component selector, e.g. the `.x` of `f2.x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// Lane 0.
+    X,
+    /// Lane 1.
+    Y,
+    /// Lane 2.
+    Z,
+    /// Lane 3.
+    W,
+}
+
+impl Field {
+    /// Lane index of the component within its vector (x=0 … w=3).
+    pub fn lane(self) -> usize {
+        match self {
+            Field::X => 0,
+            Field::Y => 1,
+            Field::Z => 2,
+            Field::W => 3,
+        }
+    }
+
+    /// Source spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Field::X => "x",
+            Field::Y => "y",
+            Field::Z => "z",
+            Field::W => "w",
+        }
+    }
+
+    /// Parses a component name.
+    pub fn from_name(s: &str) -> Option<Field> {
+        Some(match s {
+            "x" => Field::X,
+            "y" => Field::Y,
+            "z" => Field::Z,
+            "w" => Field::W,
+            _ => return None,
+        })
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Reference to a named scalar (parameter, local, or loop variable).
+    Var(String),
+    /// A predefined thread-coordinate value.
+    Builtin(Builtin),
+    /// Multi-dimensional array element `array[i0][i1]…`.
+    Index {
+        /// Array name (a kernel parameter or `__shared__` array).
+        array: String,
+        /// One index expression per dimension.
+        indices: Vec<Expr>,
+    },
+    /// Vector-component access, e.g. `f2.x`.
+    Field(Box<Expr>, Field),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Intrinsic call such as `sqrtf(x)`, `fmaxf(a,b)`, `min(a,b)`.
+    Call(String, Vec<Expr>),
+    /// Ternary conditional `c ? t : e`.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Explicit cast, e.g. `(float)n`.
+    Cast(ScalarType, Box<Expr>),
+}
+
+impl Expr {
+    /// Integer literal shorthand.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// Variable reference shorthand.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Array access shorthand.
+    pub fn index(array: impl Into<String>, indices: Vec<Expr>) -> Expr {
+        Expr::Index {
+            array: array.into(),
+            indices,
+        }
+    }
+
+    /// Builds `self + rhs`, folding integer constants and dropping zero.
+    pub fn add(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Int(a), Expr::Int(b)) => Expr::Int(a + b),
+            (Expr::Int(0), e) | (e, Expr::Int(0)) => e,
+            (a, b) => Expr::Binary(BinOp::Add, Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Builds `self - rhs`, folding integer constants and dropping zero.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Int(a), Expr::Int(b)) => Expr::Int(a - b),
+            (e, Expr::Int(0)) => e,
+            (a, b) => Expr::Binary(BinOp::Sub, Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Builds `self * rhs`, folding integer constants and collapsing 0/1.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Int(a), Expr::Int(b)) => Expr::Int(a * b),
+            (Expr::Int(1), e) | (e, Expr::Int(1)) => e,
+            (Expr::Int(0), _) | (_, Expr::Int(0)) => Expr::Int(0),
+            (a, b) => Expr::Binary(BinOp::Mul, Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Builds `self / rhs` (no folding beyond identity).
+    pub fn div(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (e, Expr::Int(1)) => e,
+            (Expr::Int(a), Expr::Int(b)) if b != 0 && a % b == 0 => Expr::Int(a / b),
+            (a, b) => Expr::Binary(BinOp::Div, Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Builds `self % rhs`.
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Rem, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds the comparison `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// Returns the constant integer value if this is an `Int` literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True if the expression mentions the given builtin anywhere.
+    pub fn uses_builtin(&self, b: Builtin) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Builtin(x) if *x == b) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if the expression mentions the variable `name` anywhere.
+    pub fn uses_var(&self, name: &str) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Var(n) if n == name) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if the expression reads any element of array `name`.
+    pub fn uses_array(&self, name: &str) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Index { array, .. } if array == name) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Calls `f` on this expression and every sub-expression, pre-order.
+    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Var(_) | Expr::Builtin(_) => {}
+            Expr::Index { indices, .. } => {
+                for ix in indices {
+                    ix.walk(f);
+                }
+            }
+            Expr::Field(e, _) | Expr::Unary(_, e) | Expr::Cast(_, e) => e.walk(f),
+            Expr::Binary(_, l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Select(c, t, e) => {
+                c.walk(f);
+                t.walk(f);
+                e.walk(f);
+            }
+        }
+    }
+
+    /// Rewrites the expression bottom-up with `f`.
+    pub fn map(self, f: &dyn Fn(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::Index { array, indices } => Expr::Index {
+                array,
+                indices: indices.into_iter().map(|e| e.map(f)).collect(),
+            },
+            Expr::Field(e, fld) => Expr::Field(Box::new(e.map(f)), fld),
+            Expr::Unary(op, e) => Expr::Unary(op, Box::new(e.map(f))),
+            Expr::Cast(t, e) => Expr::Cast(t, Box::new(e.map(f))),
+            Expr::Binary(op, l, r) => Expr::Binary(op, Box::new(l.map(f)), Box::new(r.map(f))),
+            Expr::Call(name, args) => {
+                Expr::Call(name, args.into_iter().map(|e| e.map(f)).collect())
+            }
+            Expr::Select(c, t, e) => Expr::Select(
+                Box::new(c.map(f)),
+                Box::new(t.map(f)),
+                Box::new(e.map(f)),
+            ),
+            leaf => leaf,
+        };
+        f(rebuilt)
+    }
+
+    /// Substitutes every occurrence of builtin `b` with `replacement`.
+    pub fn subst_builtin(self, b: Builtin, replacement: &Expr) -> Expr {
+        self.map(&|e| match e {
+            Expr::Builtin(x) if x == b => replacement.clone(),
+            other => other,
+        })
+    }
+
+    /// Substitutes every occurrence of variable `name` with `replacement`.
+    pub fn subst_var(self, name: &str, replacement: &Expr) -> Expr {
+        self.map(&|e| match e {
+            Expr::Var(ref n) if n == name => replacement.clone(),
+            other => other,
+        })
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::Int(v)
+    }
+}
+
+impl From<Builtin> for Expr {
+    fn from(b: Builtin) -> Self {
+        Expr::Builtin(b)
+    }
+}
+
+/// The destination of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A named scalar.
+    Var(String),
+    /// An array element.
+    Index {
+        /// Array name.
+        array: String,
+        /// One index per dimension.
+        indices: Vec<Expr>,
+    },
+    /// A vector component of a named scalar, e.g. `f2.x`.
+    Field(String, Field),
+}
+
+impl LValue {
+    /// Array-element shorthand.
+    pub fn index(array: impl Into<String>, indices: Vec<Expr>) -> LValue {
+        LValue::Index {
+            array: array.into(),
+            indices,
+        }
+    }
+
+    /// The expression that reads this lvalue.
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            LValue::Var(n) => Expr::Var(n.clone()),
+            LValue::Index { array, indices } => Expr::Index {
+                array: array.clone(),
+                indices: indices.clone(),
+            },
+            LValue::Field(n, f) => Expr::Field(Box::new(Expr::Var(n.clone())), *f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_shorthand_round_trip() {
+        for b in Builtin::ALL {
+            assert_eq!(Builtin::from_shorthand(b.shorthand()), Some(b));
+        }
+    }
+
+    #[test]
+    fn smart_add_folds_constants_and_zero() {
+        assert_eq!(Expr::int(2).add(Expr::int(3)), Expr::Int(5));
+        assert_eq!(Expr::var("i").add(Expr::int(0)), Expr::var("i"));
+        assert_eq!(Expr::int(0).add(Expr::var("i")), Expr::var("i"));
+    }
+
+    #[test]
+    fn smart_mul_collapses_identities() {
+        assert_eq!(Expr::var("i").mul(Expr::int(1)), Expr::var("i"));
+        assert_eq!(Expr::var("i").mul(Expr::int(0)), Expr::Int(0));
+        assert_eq!(Expr::int(4).mul(Expr::int(8)), Expr::Int(32));
+    }
+
+    #[test]
+    fn smart_div_folds_exact_division() {
+        assert_eq!(Expr::int(32).div(Expr::int(8)), Expr::Int(4));
+        assert_eq!(Expr::var("n").div(Expr::int(1)), Expr::var("n"));
+    }
+
+    #[test]
+    fn uses_builtin_finds_nested_occurrences() {
+        let e = Expr::index(
+            "a",
+            vec![Expr::Builtin(Builtin::IdY), Expr::var("i").add(5.into())],
+        );
+        assert!(e.uses_builtin(Builtin::IdY));
+        assert!(!e.uses_builtin(Builtin::IdX));
+        assert!(e.uses_var("i"));
+        assert!(!e.uses_var("j"));
+    }
+
+    #[test]
+    fn subst_builtin_replaces_all() {
+        let e = Expr::Builtin(Builtin::IdX).add(Expr::Builtin(Builtin::IdX));
+        let replaced = e.subst_builtin(Builtin::IdX, &Expr::var("t"));
+        assert!(!replaced.uses_builtin(Builtin::IdX));
+        assert!(replaced.uses_var("t"));
+    }
+
+    #[test]
+    fn subst_var_only_hits_named_variable() {
+        let e = Expr::var("i").add(Expr::var("j"));
+        let replaced = e.subst_var("i", &Expr::int(7));
+        assert_eq!(replaced, Expr::int(7).add(Expr::var("j")));
+    }
+
+    #[test]
+    fn lvalue_to_expr_round_trip() {
+        let lv = LValue::index("c", vec![Expr::Builtin(Builtin::IdY).into()]);
+        assert_eq!(
+            lv.to_expr(),
+            Expr::index("c", vec![Expr::Builtin(Builtin::IdY)])
+        );
+        let f = LValue::Field("v".into(), Field::Y);
+        assert_eq!(
+            f.to_expr(),
+            Expr::Field(Box::new(Expr::var("v")), Field::Y)
+        );
+    }
+
+    #[test]
+    fn field_lanes() {
+        assert_eq!(Field::X.lane(), 0);
+        assert_eq!(Field::W.lane(), 3);
+        assert_eq!(Field::from_name("z"), Some(Field::Z));
+        assert_eq!(Field::from_name("q"), None);
+    }
+
+    #[test]
+    fn predicate_classification() {
+        assert!(BinOp::Lt.is_predicate());
+        assert!(BinOp::And.is_predicate());
+        assert!(!BinOp::Add.is_predicate());
+        assert!(!BinOp::Shl.is_predicate());
+    }
+
+    #[test]
+    fn uses_array_detects_reads() {
+        let e = Expr::var("x").add(Expr::index("b", vec![Expr::var("i")]));
+        assert!(e.uses_array("b"));
+        assert!(!e.uses_array("a"));
+    }
+}

@@ -1,0 +1,406 @@
+//! Kernel functions, parameters, and `#pragma` metadata.
+
+use crate::stmt::Stmt;
+use crate::types::{Dim, ScalarType};
+use std::collections::HashMap;
+
+/// How a parameter is used by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// A scalar value (sizes, counts); always `int` in practice.
+    Scalar,
+    /// A global-memory array.
+    Array,
+}
+
+/// One kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Element (or scalar) type.
+    pub ty: ScalarType,
+    /// Array extents, outermost first; empty for scalars.
+    pub dims: Vec<Dim>,
+}
+
+impl Param {
+    /// Creates a scalar parameter.
+    pub fn scalar(name: impl Into<String>, ty: ScalarType) -> Param {
+        Param {
+            name: name.into(),
+            ty,
+            dims: Vec::new(),
+        }
+    }
+
+    /// Creates an array parameter with the given extents.
+    pub fn array(name: impl Into<String>, ty: ScalarType, dims: Vec<Dim>) -> Param {
+        Param {
+            name: name.into(),
+            ty,
+            dims,
+        }
+    }
+
+    /// Whether the parameter is a global-memory array.
+    pub fn kind(&self) -> ParamKind {
+        if self.dims.is_empty() {
+            ParamKind::Scalar
+        } else {
+            ParamKind::Array
+        }
+    }
+}
+
+/// Optional compiler hints conveyed via `#pragma gpgpu …` (paper §3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pragma {
+    /// `#pragma gpgpu output <names…>` — the kernel's true outputs; writes to
+    /// other arrays are temporaries that may be replaced by shared memory.
+    Output(Vec<String>),
+    /// `#pragma gpgpu size <name>=<value>` — binds a symbolic dimension.
+    Size(String, i64),
+    /// `#pragma gpgpu domain <x> [<y>]` — the launch domain in work items,
+    /// for kernels whose thread count is not readable off the output
+    /// indexing (e.g. FFT butterfly stages cover two outputs per thread).
+    Domain(i64, i64),
+    /// Any other pragma text, preserved verbatim.
+    Other(String),
+}
+
+impl Pragma {
+    /// Parses the text following `#pragma`.
+    ///
+    /// Unrecognized directives become [`Pragma::Other`] so that foreign
+    /// pragmas survive a parse/print round trip.
+    pub fn parse(text: &str) -> Pragma {
+        let Some(rest) = text.strip_prefix("gpgpu") else {
+            return Pragma::Other(text.to_string());
+        };
+        let rest = rest.trim();
+        if let Some(outs) = rest.strip_prefix("output") {
+            let names = outs
+                .split_whitespace()
+                .map(|s| s.trim_matches(',').to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            return Pragma::Output(names);
+        }
+        if let Some(sz) = rest.strip_prefix("size") {
+            if let Some((name, val)) = sz.trim().split_once('=') {
+                if let Ok(v) = val.trim().parse::<i64>() {
+                    return Pragma::Size(name.trim().to_string(), v);
+                }
+            }
+        }
+        if let Some(dom) = rest.strip_prefix("domain") {
+            let parts: Vec<&str> = dom.split_whitespace().collect();
+            let x = parts.first().and_then(|s| s.parse::<i64>().ok());
+            let y = parts.get(1).and_then(|s| s.parse::<i64>().ok());
+            if let Some(x) = x {
+                return Pragma::Domain(x, y.unwrap_or(1));
+            }
+        }
+        Pragma::Other(text.to_string())
+    }
+}
+
+/// A MiniCUDA kernel function: the unit the compiler consumes and produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Function name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Pragmas attached immediately before the kernel.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl Kernel {
+    /// Creates a kernel with no pragmas.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, body: Vec<Stmt>) -> Kernel {
+        Kernel {
+            name: name.into(),
+            params,
+            body,
+            pragmas: Vec::new(),
+        }
+    }
+
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// The array parameters, in declaration order.
+    pub fn array_params(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(|p| p.kind() == ParamKind::Array)
+    }
+
+    /// The declared output arrays: those named in an `output` pragma, or —
+    /// absent such a pragma — every array the kernel writes to.
+    pub fn output_arrays(&self) -> Vec<String> {
+        for p in &self.pragmas {
+            if let Pragma::Output(names) = p {
+                return names.clone();
+            }
+        }
+        let mut outs = Vec::new();
+        visit_writes(&self.body, &mut |arr: &str| {
+            if self.param(arr).is_some() && !outs.iter().any(|o| o == arr) {
+                outs.push(arr.to_string());
+            }
+        });
+        outs
+    }
+
+    /// Size bindings contributed by `size` pragmas.
+    pub fn pragma_sizes(&self) -> HashMap<String, i64> {
+        self.pragmas
+            .iter()
+            .filter_map(|p| match p {
+                Pragma::Size(n, v) => Some((n.clone(), *v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Resolves one array's extents against `bindings` (falling back to the
+    /// kernel's `size` pragmas). Returns `None` if any extent is unbound.
+    pub fn resolve_dims(&self, array: &str, bindings: &HashMap<String, i64>) -> Option<Vec<i64>> {
+        let param = self.param(array)?;
+        let pragma_sizes = self.pragma_sizes();
+        param
+            .dims
+            .iter()
+            .map(|d| {
+                d.resolve(&|name| {
+                    bindings
+                        .get(name)
+                        .or_else(|| pragma_sizes.get(name))
+                        .copied()
+                })
+            })
+            .collect()
+    }
+
+    /// All `__shared__` declarations in the kernel (recursively).
+    pub fn shared_decls(&self) -> Vec<(&str, ScalarType, &[i64])> {
+        fn walk<'a>(body: &'a [Stmt], out: &mut Vec<(&'a str, ScalarType, &'a [i64])>) {
+            for s in body {
+                if let Stmt::DeclShared { name, ty, dims } = s {
+                    out.push((name, *ty, dims));
+                }
+                for child in s.children() {
+                    walk(child, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+
+    /// Total shared-memory bytes declared by the kernel.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_decls()
+            .iter()
+            .map(|(_, ty, dims)| {
+                dims.iter().product::<i64>() as u64 * ty.size_bytes() as u64
+            })
+            .sum()
+    }
+
+    /// True if the kernel contains a grid-wide `__gsync()` barrier.
+    pub fn uses_global_sync(&self) -> bool {
+        fn walk(body: &[Stmt]) -> bool {
+            body.iter().any(|s| {
+                matches!(s, Stmt::GlobalSync) || s.children().into_iter().any(walk)
+            })
+        }
+        walk(&self.body)
+    }
+}
+
+/// Calls `f` with the name of every array written anywhere in `body`.
+pub fn visit_writes(body: &[Stmt], f: &mut dyn FnMut(&str)) {
+    for s in body {
+        if let Stmt::Assign {
+            lhs: crate::expr::LValue::Index { array, .. },
+            ..
+        } = s
+        {
+            f(array);
+        }
+        for child in s.children() {
+            visit_writes(child, f);
+        }
+    }
+}
+
+/// The launch configuration produced alongside an optimized kernel:
+/// the thread-grid and thread-block dimensions for kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaunchConfig {
+    /// Grid extent in blocks along X.
+    pub grid_x: u32,
+    /// Grid extent in blocks along Y.
+    pub grid_y: u32,
+    /// Block extent in threads along X.
+    pub block_x: u32,
+    /// Block extent in threads along Y.
+    pub block_y: u32,
+}
+
+impl LaunchConfig {
+    /// A 1-D launch: `grid_x` blocks of `block_x` threads.
+    pub fn one_d(grid_x: u32, block_x: u32) -> LaunchConfig {
+        LaunchConfig {
+            grid_x,
+            grid_y: 1,
+            block_x,
+            block_y: 1,
+        }
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block_x * self.block_y
+    }
+
+    /// Total thread count in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.threads_per_block() as u64 * self.grid_x as u64 * self.grid_y as u64
+    }
+
+    /// Total number of blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.grid_x as u64 * self.grid_y as u64
+    }
+}
+
+impl std::fmt::Display for LaunchConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "<<<dim3({}, {}), dim3({}, {})>>>",
+            self.grid_x, self.grid_y, self.block_x, self.block_y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Builtin, Expr, LValue};
+
+    fn mm_like() -> Kernel {
+        Kernel::new(
+            "mm",
+            vec![
+                Param::array("a", ScalarType::Float, vec!["n".into(), "w".into()]),
+                Param::array("b", ScalarType::Float, vec!["w".into(), "n".into()]),
+                Param::array("c", ScalarType::Float, vec!["n".into(), "n".into()]),
+                Param::scalar("n", ScalarType::Int),
+                Param::scalar("w", ScalarType::Int),
+            ],
+            vec![Stmt::assign(
+                LValue::index(
+                    "c",
+                    vec![Expr::Builtin(Builtin::IdY), Expr::Builtin(Builtin::IdX)],
+                ),
+                Expr::Float(0.0),
+            )],
+        )
+    }
+
+    #[test]
+    fn param_kinds() {
+        let k = mm_like();
+        assert_eq!(k.param("a").unwrap().kind(), ParamKind::Array);
+        assert_eq!(k.param("n").unwrap().kind(), ParamKind::Scalar);
+        assert_eq!(k.array_params().count(), 3);
+    }
+
+    #[test]
+    fn output_arrays_default_to_written_arrays() {
+        let k = mm_like();
+        assert_eq!(k.output_arrays(), vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn output_pragma_overrides_inference() {
+        let mut k = mm_like();
+        k.pragmas.push(Pragma::Output(vec!["c".into(), "d".into()]));
+        assert_eq!(k.output_arrays(), vec!["c".to_string(), "d".to_string()]);
+    }
+
+    #[test]
+    fn pragma_parsing() {
+        assert_eq!(
+            Pragma::parse("gpgpu output c d"),
+            Pragma::Output(vec!["c".into(), "d".into()])
+        );
+        assert_eq!(
+            Pragma::parse("gpgpu size w=2048"),
+            Pragma::Size("w".into(), 2048)
+        );
+        assert_eq!(Pragma::parse("unroll 4"), Pragma::Other("unroll 4".into()));
+        assert_eq!(
+            Pragma::parse("gpgpu size w"),
+            Pragma::Other("gpgpu size w".into())
+        );
+    }
+
+    #[test]
+    fn resolve_dims_uses_bindings_then_pragmas() {
+        let mut k = mm_like();
+        k.pragmas.push(Pragma::Size("w".into(), 128));
+        let mut bindings = HashMap::new();
+        bindings.insert("n".to_string(), 64i64);
+        assert_eq!(k.resolve_dims("a", &bindings), Some(vec![64, 128]));
+        bindings.insert("w".to_string(), 256);
+        assert_eq!(k.resolve_dims("a", &bindings), Some(vec![64, 256]));
+        assert_eq!(k.resolve_dims("nope", &bindings), None);
+    }
+
+    #[test]
+    fn shared_bytes_accounts_padding() {
+        let mut k = mm_like();
+        k.body.insert(
+            0,
+            Stmt::DeclShared {
+                name: "s".into(),
+                ty: ScalarType::Float,
+                dims: vec![16, 17],
+            },
+        );
+        assert_eq!(k.shared_bytes(), 16 * 17 * 4);
+        assert_eq!(k.shared_decls().len(), 1);
+    }
+
+    #[test]
+    fn launch_config_arithmetic() {
+        let lc = LaunchConfig {
+            grid_x: 128,
+            grid_y: 4,
+            block_x: 16,
+            block_y: 16,
+        };
+        assert_eq!(lc.threads_per_block(), 256);
+        assert_eq!(lc.total_blocks(), 512);
+        assert_eq!(lc.total_threads(), 512 * 256);
+        assert_eq!(lc.to_string(), "<<<dim3(128, 4), dim3(16, 16)>>>");
+    }
+
+    #[test]
+    fn global_sync_detection() {
+        let mut k = mm_like();
+        assert!(!k.uses_global_sync());
+        k.body.push(Stmt::GlobalSync);
+        assert!(k.uses_global_sync());
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # gpgpu-ast
+//!
+//! Abstract syntax, parser and printer for **MiniCUDA**, the kernel language
+//! consumed by the GPGPU optimizing compiler.
+//!
+//! MiniCUDA is the subset of CUDA C that the PLDI 2010 compiler operates on:
+//! straight-line scalar code, canonical `for` loops, `if` statements,
+//! multi-dimensional array accesses with affine indices, `__shared__`
+//! arrays, `__syncthreads()`, a grid-wide `__gsync()` used by naive
+//! reduction kernels, and the predefined thread-coordinate builtins
+//! `idx`, `idy`, `tidx`, `tidy`, `bidx`, `bidy`.
+//!
+//! A *naive kernel* — the compiler input — computes a single output element
+//! at position `(idx, idy)` and is oblivious to the memory hierarchy:
+//!
+//! ```
+//! use gpgpu_ast::parse_kernel;
+//!
+//! # fn main() -> Result<(), gpgpu_ast::ParseError> {
+//! let kernel = parse_kernel(
+//!     r#"
+//!     __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+//!         float sum = 0.0f;
+//!         for (int i = 0; i < w; i = i + 1) {
+//!             sum = sum + a[idy][i] * b[i][idx];
+//!         }
+//!         c[idy][idx] = sum;
+//!     }
+//!     "#,
+//! )?;
+//! assert_eq!(kernel.name, "mm");
+//! assert_eq!(kernel.params.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The crate also provides [`builder`] — a small DSL for constructing kernels
+//! programmatically — and [`printer`] which emits compilable CUDA-style
+//! source from any kernel, preserving the "understandable output"
+//! property the paper emphasizes.
+
+pub mod builder;
+pub mod error;
+pub mod expr;
+pub mod kernel;
+pub mod parser;
+pub mod printer;
+pub mod stmt;
+pub mod token;
+pub mod types;
+pub mod visit;
+
+pub use error::{ParseError, Span};
+pub use expr::{BinOp, Builtin, Expr, Field, LValue, UnOp};
+pub use kernel::{Kernel, LaunchConfig, Param, ParamKind, Pragma};
+pub use parser::{parse_kernel, parse_program, Parser};
+pub use printer::{print_kernel, print_stmt, PrintOptions};
+pub use stmt::{ForLoop, LoopUpdate, Stmt};
+pub use token::{Lexer, Token, TokenKind};
+pub use types::{Dim, ScalarType};

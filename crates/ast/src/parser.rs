@@ -1,0 +1,879 @@
+//! Recursive-descent parser for MiniCUDA.
+//!
+//! The grammar is a small C subset with CUDA kernel syntax:
+//!
+//! ```text
+//! program  := (pragma* kernel)*
+//! kernel   := "__global__" "void" ident "(" params ")" block
+//! param    := type ident dims? | type "*" ident
+//! stmt     := decl | shared | assign | for | if | sync | gsync | call ";"
+//! ```
+//!
+//! Expression parsing is precedence-climbing with C precedence for the
+//! supported operators.
+
+use crate::error::{ParseError, Span};
+use crate::expr::{BinOp, Builtin, Expr, Field, LValue, UnOp};
+use crate::kernel::{Kernel, Param, Pragma};
+use crate::stmt::{ForLoop, LoopUpdate, Stmt};
+use crate::token::{Lexer, Token, TokenKind};
+use crate::types::{Dim, ScalarType};
+
+/// Parses a full translation unit containing one or more kernels.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error with its source location.
+pub fn parse_program(src: &str) -> Result<Vec<Kernel>, ParseError> {
+    Parser::new(src)?.program()
+}
+
+/// Parses a single kernel function.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the source does not contain exactly one
+/// well-formed kernel.
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let kernels = parse_program(src)?;
+    match kernels.len() {
+        1 => Ok(kernels.into_iter().next().unwrap()),
+        n => Err(ParseError::new(
+            Span::default(),
+            format!("expected exactly one kernel, found {n}"),
+        )),
+    }
+}
+
+/// The MiniCUDA parser. Most users want [`parse_kernel`]/[`parse_program`].
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lexes `src` and prepares a parser over the token stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexer errors.
+    pub fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            tokens: Lexer::new(src).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        self.tokens
+            .get(self.pos + n)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.peek_span(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(ParseError::new(
+                self.peek_span(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.peek_span(),
+                format!("expected `{kw}`, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn peek_scalar_type(&self) -> Option<ScalarType> {
+        match self.peek() {
+            TokenKind::Ident(s) => scalar_type_from_name(s),
+            _ => None,
+        }
+    }
+
+    /// Parses the whole program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error encountered.
+    pub fn program(&mut self) -> Result<Vec<Kernel>, ParseError> {
+        let mut kernels = Vec::new();
+        loop {
+            let mut pragmas = Vec::new();
+            while let TokenKind::Pragma(text) = self.peek() {
+                pragmas.push(Pragma::parse(text));
+                self.bump();
+            }
+            if self.peek() == &TokenKind::Eof {
+                if !pragmas.is_empty() {
+                    return Err(ParseError::new(
+                        self.peek_span(),
+                        "pragma not followed by a kernel",
+                    ));
+                }
+                return Ok(kernels);
+            }
+            let mut kernel = self.kernel()?;
+            kernel.pragmas = pragmas;
+            kernels.push(kernel);
+        }
+    }
+
+    fn kernel(&mut self) -> Result<Kernel, ParseError> {
+        self.expect_keyword("__global__")?;
+        self.expect_keyword("void")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Kernel::new(name, params, body))
+    }
+
+    fn param(&mut self) -> Result<Param, ParseError> {
+        self.eat_keyword("const");
+        let span = self.peek_span();
+        let ty_name = self.expect_ident()?;
+        let ty = scalar_type_from_name(&ty_name)
+            .ok_or_else(|| ParseError::new(span, format!("unknown type `{ty_name}`")))?;
+        let pointer = self.eat(&TokenKind::Star);
+        let name = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            let dim = match self.bump() {
+                TokenKind::Int(v) => Dim::Const(v),
+                TokenKind::Ident(s) => Dim::Sym(s),
+                other => {
+                    return Err(ParseError::new(
+                        span,
+                        format!("expected array dimension, found {other}"),
+                    ))
+                }
+            };
+            dims.push(dim);
+            self.expect(TokenKind::RBracket)?;
+        }
+        if pointer && dims.is_empty() {
+            // `float* a` — a 1-D array whose extent is the convention `<name>_len`.
+            dims.push(Dim::Sym(format!("{name}_len")));
+        }
+        Ok(Param { name, ty, dims })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.peek() == &TokenKind::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_keyword("__shared__") {
+            let span = self.peek_span();
+            let ty_name = self.expect_ident()?;
+            let ty = scalar_type_from_name(&ty_name)
+                .ok_or_else(|| ParseError::new(span, format!("unknown type `{ty_name}`")))?;
+            let name = self.expect_ident()?;
+            let mut dims = Vec::new();
+            while self.eat(&TokenKind::LBracket) {
+                match self.bump() {
+                    TokenKind::Int(v) => dims.push(v),
+                    other => {
+                        return Err(ParseError::new(
+                            span,
+                            format!("shared array extents must be constant, found {other}"),
+                        ))
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+            }
+            self.expect(TokenKind::Semi)?;
+            return Ok(Stmt::DeclShared { name, ty, dims });
+        }
+        if self.eat_keyword("__syncthreads") {
+            self.expect(TokenKind::LParen)?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(Stmt::SyncThreads);
+        }
+        if self.eat_keyword("__gsync") {
+            self.expect(TokenKind::LParen)?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semi)?;
+            return Ok(Stmt::GlobalSync);
+        }
+        if self.eat_keyword("for") {
+            return self.for_stmt();
+        }
+        if self.eat_keyword("if") {
+            self.expect(TokenKind::LParen)?;
+            let cond = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            let then_body = self.block_or_single()?;
+            let else_body = if self.eat_keyword("else") {
+                self.block_or_single()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
+        if let Some(ty) = self.peek_scalar_type() {
+            // Scalar declaration: `float sum = 0.0f;` or `int k;`
+            self.bump();
+            let name = self.expect_ident()?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(TokenKind::Semi)?;
+            return Ok(Stmt::DeclScalar { name, ty, init });
+        }
+        // Either a bare intrinsic call or an assignment.
+        if matches!(self.peek(), TokenKind::Ident(_))
+            && self.peek_at(1) == &TokenKind::LParen
+        {
+            let name = self.expect_ident()?;
+            self.expect(TokenKind::LParen)?;
+            let mut args = Vec::new();
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if self.eat(&TokenKind::RParen) {
+                        break;
+                    }
+                    self.expect(TokenKind::Comma)?;
+                }
+            }
+            self.expect(TokenKind::Semi)?;
+            return Ok(Stmt::CallStmt(name, args));
+        }
+        let stmt = self.assign_stmt()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(stmt)
+    }
+
+    /// Parses `lhs (=|+=|-=|*=|/=) rhs` (no trailing `;`).
+    fn assign_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let lhs = self.lvalue()?;
+        let span = self.peek_span();
+        let op = self.bump();
+        let rhs = self.expr()?;
+        let rhs = match op {
+            TokenKind::Assign => rhs,
+            TokenKind::PlusAssign => Expr::Binary(BinOp::Add, Box::new(lhs.to_expr()), Box::new(rhs)),
+            TokenKind::MinusAssign => {
+                Expr::Binary(BinOp::Sub, Box::new(lhs.to_expr()), Box::new(rhs))
+            }
+            TokenKind::StarAssign => Expr::Binary(BinOp::Mul, Box::new(lhs.to_expr()), Box::new(rhs)),
+            TokenKind::SlashAssign => {
+                Expr::Binary(BinOp::Div, Box::new(lhs.to_expr()), Box::new(rhs))
+            }
+            other => {
+                return Err(ParseError::new(
+                    span,
+                    format!("expected assignment operator, found {other}"),
+                ))
+            }
+        };
+        Ok(Stmt::Assign { lhs, rhs })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, ParseError> {
+        let name = self.expect_ident()?;
+        if Builtin::from_shorthand(&name).is_some() {
+            return Err(ParseError::new(
+                self.peek_span(),
+                format!("cannot assign to builtin `{name}`"),
+            ));
+        }
+        if self.peek() == &TokenKind::LBracket {
+            let mut indices = Vec::new();
+            while self.eat(&TokenKind::LBracket) {
+                indices.push(self.expr()?);
+                self.expect(TokenKind::RBracket)?;
+            }
+            return Ok(LValue::Index {
+                array: name,
+                indices,
+            });
+        }
+        if self.eat(&TokenKind::Dot) {
+            let span = self.peek_span();
+            let fname = self.expect_ident()?;
+            let field = Field::from_name(&fname)
+                .ok_or_else(|| ParseError::new(span, format!("unknown component `{fname}`")))?;
+            return Ok(LValue::Field(name, field));
+        }
+        Ok(LValue::Var(name))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        // Init: `int i = e` or `i = e`.
+        let declared = self.eat_keyword("int");
+        let var = self.expect_ident()?;
+        self.expect(TokenKind::Assign)?;
+        let init = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        let _ = declared;
+        // Condition: `var <cmp> bound`.
+        let cond_span = self.peek_span();
+        let cond_var = self.expect_ident()?;
+        if cond_var != var {
+            return Err(ParseError::new(
+                cond_span,
+                format!("loop condition must test `{var}`, found `{cond_var}`"),
+            ));
+        }
+        let cmp = match self.bump() {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::Ne => BinOp::Ne,
+            other => {
+                return Err(ParseError::new(
+                    cond_span,
+                    format!("expected comparison in loop condition, found {other}"),
+                ))
+            }
+        };
+        let bound = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        let update = self.loop_update(&var)?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.block_or_single()?;
+        Ok(Stmt::For(ForLoop {
+            var,
+            init,
+            cmp,
+            bound,
+            update,
+            body,
+        }))
+    }
+
+    fn loop_update(&mut self, var: &str) -> Result<LoopUpdate, ParseError> {
+        let span = self.peek_span();
+        let upd_var = self.expect_ident()?;
+        if upd_var != var {
+            return Err(ParseError::new(
+                span,
+                format!("loop update must modify `{var}`, found `{upd_var}`"),
+            ));
+        }
+        let op = self.bump();
+        match op {
+            TokenKind::PlusPlus => return Ok(LoopUpdate::AddAssign(1)),
+            TokenKind::MinusMinus => return Ok(LoopUpdate::AddAssign(-1)),
+            _ => {}
+        }
+        let step_const = |p: &mut Parser| -> Result<i64, ParseError> {
+            let s = p.peek_span();
+            match p.bump() {
+                TokenKind::Int(v) => Ok(v),
+                other => Err(ParseError::new(
+                    s,
+                    format!("loop step must be an integer constant, found {other}"),
+                )),
+            }
+        };
+        match op {
+            TokenKind::PlusAssign => Ok(LoopUpdate::AddAssign(step_const(self)?)),
+            TokenKind::MinusAssign => Ok(LoopUpdate::AddAssign(-step_const(self)?)),
+            TokenKind::StarAssign => Ok(LoopUpdate::MulAssign(step_const(self)?)),
+            TokenKind::SlashAssign => Ok(LoopUpdate::DivAssign(step_const(self)?)),
+            TokenKind::Assign => {
+                // `i = i <op> k` or `i = (i <op> k)`.
+                let parens = self.eat(&TokenKind::LParen);
+                let span2 = self.peek_span();
+                let base = self.expect_ident()?;
+                if base != var {
+                    return Err(ParseError::new(
+                        span2,
+                        format!("loop update must be `{var} = {var} <op> k`"),
+                    ));
+                }
+                let inner_op = self.bump();
+                let k = step_const(self)?;
+                if parens {
+                    self.expect(TokenKind::RParen)?;
+                }
+                match inner_op {
+                    TokenKind::Plus => Ok(LoopUpdate::AddAssign(k)),
+                    TokenKind::Minus => Ok(LoopUpdate::AddAssign(-k)),
+                    TokenKind::Star => Ok(LoopUpdate::MulAssign(k)),
+                    TokenKind::Slash => Ok(LoopUpdate::DivAssign(k)),
+                    TokenKind::Shl => Ok(LoopUpdate::ShlAssign(k as u32)),
+                    TokenKind::Shr => Ok(LoopUpdate::ShrAssign(k as u32)),
+                    other => Err(ParseError::new(
+                        span2,
+                        format!("unsupported loop update operator {other}"),
+                    )),
+                }
+            }
+            other => Err(ParseError::new(
+                span,
+                format!("unsupported loop update {other}"),
+            )),
+        }
+    }
+
+    /// Parses an expression (public for tests and tooling).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input.
+    pub fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let t = self.expr()?;
+            self.expect(TokenKind::Colon)?;
+            let e = self.expr()?;
+            return Ok(Expr::Select(Box::new(cond), Box::new(t), Box::new(e)));
+        }
+        Ok(cond)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some((op, prec)) = binop_of(self.peek()) else {
+                return Ok(lhs);
+            };
+            if prec < min_prec {
+                return Ok(lhs);
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(match e {
+                    Expr::Int(v) => Expr::Int(-v),
+                    Expr::Float(v) => Expr::Float(-v),
+                    other => Expr::Unary(UnOp::Neg, Box::new(other)),
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LBracket => {
+                    let Expr::Var(name) = e else {
+                        return Err(ParseError::new(
+                            self.peek_span(),
+                            "only named arrays can be indexed",
+                        ));
+                    };
+                    let mut indices = Vec::new();
+                    while self.eat(&TokenKind::LBracket) {
+                        indices.push(self.expr()?);
+                        self.expect(TokenKind::RBracket)?;
+                    }
+                    e = Expr::Index {
+                        array: name,
+                        indices,
+                    };
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    let span = self.peek_span();
+                    let fname = self.expect_ident()?;
+                    let field = Field::from_name(&fname).ok_or_else(|| {
+                        ParseError::new(span, format!("unknown component `{fname}`"))
+                    })?;
+                    e = Expr::Field(Box::new(e), field);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek_span();
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Float(v) => Ok(Expr::Float(v)),
+            TokenKind::LParen => {
+                // Cast `(float)expr` or parenthesized expression.
+                if let TokenKind::Ident(name) = self.peek() {
+                    if let Some(ty) = scalar_type_from_name(name) {
+                        if self.peek_at(1) == &TokenKind::RParen {
+                            self.bump();
+                            self.bump();
+                            let e = self.unary()?;
+                            return Ok(Expr::Cast(ty, Box::new(e)));
+                        }
+                    }
+                }
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if let Some(b) = Builtin::from_shorthand(&name) {
+                    return Ok(Expr::Builtin(b));
+                }
+                if self.peek() == &TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(TokenKind::Comma)?;
+                        }
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(ParseError::new(
+                span,
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+fn binop_of(tok: &TokenKind) -> Option<(BinOp, u8)> {
+    Some(match tok {
+        TokenKind::OrOr => (BinOp::Or, 1),
+        TokenKind::AndAnd => (BinOp::And, 2),
+        TokenKind::EqEq => (BinOp::Eq, 3),
+        TokenKind::Ne => (BinOp::Ne, 3),
+        TokenKind::Lt => (BinOp::Lt, 4),
+        TokenKind::Le => (BinOp::Le, 4),
+        TokenKind::Gt => (BinOp::Gt, 4),
+        TokenKind::Ge => (BinOp::Ge, 4),
+        TokenKind::Shl => (BinOp::Shl, 5),
+        TokenKind::Shr => (BinOp::Shr, 5),
+        TokenKind::Plus => (BinOp::Add, 6),
+        TokenKind::Minus => (BinOp::Sub, 6),
+        TokenKind::Star => (BinOp::Mul, 7),
+        TokenKind::Slash => (BinOp::Div, 7),
+        TokenKind::Percent => (BinOp::Rem, 7),
+        _ => return None,
+    })
+}
+
+fn scalar_type_from_name(name: &str) -> Option<ScalarType> {
+    Some(match name {
+        "int" => ScalarType::Int,
+        "float" => ScalarType::Float,
+        "float2" => ScalarType::Float2,
+        "float4" => ScalarType::Float4,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idy][i] * b[i][idx];
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    #[test]
+    fn parses_matrix_multiply() {
+        let k = parse_kernel(MM).unwrap();
+        assert_eq!(k.name, "mm");
+        assert_eq!(k.params.len(), 5);
+        assert_eq!(k.body.len(), 3);
+        let Stmt::For(l) = &k.body[1] else {
+            panic!("expected loop")
+        };
+        assert_eq!(l.var, "i");
+        assert_eq!(l.affine_step(), Some(1));
+    }
+
+    #[test]
+    fn compound_assign_desugars() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) { a[idx] += 1.0f; }",
+        )
+        .unwrap();
+        let Stmt::Assign { rhs, .. } = &k.body[0] else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn pointer_param_becomes_symbolic_array() {
+        let k = parse_kernel("__global__ void f(float* a) { a[idx] = 0.0f; }").unwrap();
+        assert_eq!(k.params[0].dims, vec![Dim::Sym("a_len".into())]);
+    }
+
+    #[test]
+    fn parses_pragmas_before_kernel() {
+        let k = parse_kernel(
+            "#pragma gpgpu output c\n#pragma gpgpu size n=1024\n__global__ void f(float c[n], int n) { c[idx] = 0.0f; }",
+        )
+        .unwrap();
+        assert_eq!(k.pragmas.len(), 2);
+        assert_eq!(k.output_arrays(), vec!["c".to_string()]);
+        assert_eq!(k.pragma_sizes()["n"], 1024);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) { a[idx] = 1.0f + 2.0f * 3.0f; }",
+        )
+        .unwrap();
+        let Stmt::Assign { rhs, .. } = &k.body[0] else {
+            panic!()
+        };
+        let Expr::Binary(BinOp::Add, _, r) = rhs else {
+            panic!("expected + at top")
+        };
+        assert!(matches!(**r, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_builtins() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n][n], int n) { a[idy][idx] = (float)(tidx + tidy + bidx * bidy); }",
+        )
+        .unwrap();
+        let Stmt::Assign { rhs, .. } = &k.body[0] else {
+            panic!()
+        };
+        assert!(rhs.uses_builtin(Builtin::TidX));
+        assert!(rhs.uses_builtin(Builtin::BidY));
+        assert!(matches!(rhs, Expr::Cast(ScalarType::Float, _)));
+    }
+
+    #[test]
+    fn parses_if_else_and_sync() {
+        let k = parse_kernel(
+            r#"__global__ void f(float a[n], int n) {
+                if (tidx < 16) { a[idx] = 0.0f; } else { a[idx] = 1.0f; }
+                __syncthreads();
+                __gsync();
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(k.body[0], Stmt::If { .. }));
+        assert!(matches!(k.body[1], Stmt::SyncThreads));
+        assert!(matches!(k.body[2], Stmt::GlobalSync));
+    }
+
+    #[test]
+    fn parses_single_statement_bodies() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) { if (idx < n) a[idx] = 0.0f; }",
+        )
+        .unwrap();
+        let Stmt::If { then_body, else_body, .. } = &k.body[0] else {
+            panic!()
+        };
+        assert_eq!(then_body.len(), 1);
+        assert!(else_body.is_empty());
+    }
+
+    #[test]
+    fn parses_halving_loop() {
+        let k = parse_kernel(
+            r#"__global__ void rd(float a[n], int n) {
+                for (int s = 1024; s > 0; s = s >> 1) {
+                    if (idx < s) a[idx] += a[idx + s];
+                    __gsync();
+                }
+            }"#,
+        )
+        .unwrap();
+        let Stmt::For(l) = &k.body[0] else { panic!() };
+        assert_eq!(l.update, LoopUpdate::ShrAssign(1));
+        assert_eq!(l.cmp, BinOp::Gt);
+    }
+
+    #[test]
+    fn parses_increment_forms() {
+        for upd in ["i++", "i += 2", "i = i + 2", "i = (i + 2)", "i = i * 2"] {
+            let src = format!(
+                "__global__ void f(float a[n], int n) {{ for (int i = 0; i < n; {upd}) a[i] = 0.0f; }}"
+            );
+            assert!(parse_kernel(&src).is_ok(), "failed on {upd}");
+        }
+    }
+
+    #[test]
+    fn parses_vector_fields() {
+        let k = parse_kernel(
+            "__global__ void f(float2 a[n], float c[n], int n) { float2 v = a[idx]; c[idx] = v.x + v.y; }",
+        )
+        .unwrap();
+        let Stmt::Assign { rhs, .. } = &k.body[1] else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn parses_ternary_and_intrinsics() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) { a[idx] = idx < n ? fmaxf(a[idx], 0.0f) : sqrtf(a[idx]); }",
+        )
+        .unwrap();
+        let Stmt::Assign { rhs, .. } = &k.body[0] else {
+            panic!()
+        };
+        assert!(matches!(rhs, Expr::Select(_, _, _)));
+    }
+
+    #[test]
+    fn rejects_assignment_to_builtin() {
+        let err = parse_kernel("__global__ void f(float a[n], int n) { idx = 3; }").unwrap_err();
+        assert!(err.message.contains("builtin"));
+    }
+
+    #[test]
+    fn rejects_mismatched_loop_var() {
+        let err = parse_kernel(
+            "__global__ void f(float a[n], int n) { for (int i = 0; j < n; i++) a[i] = 0.0f; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("loop condition"));
+    }
+
+    #[test]
+    fn error_spans_point_at_problem() {
+        let err = parse_kernel("__global__ void f(float a[n], int n) { a[idx] 3; }").unwrap_err();
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn parses_multiple_kernels() {
+        let src = format!("{MM}\n{}", MM.replace("mm", "mm2"));
+        let prog = parse_program(&src).unwrap();
+        assert_eq!(prog.len(), 2);
+        assert_eq!(prog[1].name, "mm2");
+    }
+
+    #[test]
+    fn parse_kernel_rejects_zero_or_many() {
+        assert!(parse_kernel("").is_err());
+        let src = format!("{MM}\n{}", MM.replace("mm", "mm2"));
+        assert!(parse_kernel(&src).is_err());
+    }
+
+    #[test]
+    fn call_statement_parses() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) { atomicAdd(a[0], 1.0f); }",
+        )
+        .unwrap();
+        assert!(matches!(&k.body[0], Stmt::CallStmt(name, args) if name == "atomicAdd" && args.len() == 2));
+    }
+}

@@ -1,0 +1,441 @@
+//! Pretty-printer: emits readable CUDA-style source from kernel ASTs.
+//!
+//! Understandability of the optimized output is one of the paper's selling
+//! points, so the printer produces indented, brace-delimited code with the
+//! paper's shorthand (`idx`, `tidx`, …) by default, or fully expanded CUDA
+//! names (`threadIdx.x`, …) plus an id preamble when
+//! [`PrintOptions::cuda_names`] is set.
+
+use crate::expr::{BinOp, Builtin, Expr, LValue, UnOp};
+use crate::kernel::{Kernel, ParamKind, Pragma};
+use crate::stmt::{LoopUpdate, Stmt};
+use std::fmt::Write;
+
+/// Controls how kernels are rendered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrintOptions {
+    /// Emit `threadIdx.x`-style names and an `int idx = …` preamble instead
+    /// of the shorthand builtins. Off by default (shorthand round-trips
+    /// through the parser).
+    pub cuda_names: bool,
+}
+
+impl PrintOptions {
+    /// Options for nvcc-compilable output.
+    pub fn cuda() -> PrintOptions {
+        PrintOptions { cuda_names: true }
+    }
+}
+
+/// Renders a kernel to source text.
+pub fn print_kernel(kernel: &Kernel, opts: PrintOptions) -> String {
+    let mut out = String::new();
+    for pragma in &kernel.pragmas {
+        match pragma {
+            Pragma::Output(names) => {
+                let _ = writeln!(out, "#pragma gpgpu output {}", names.join(" "));
+            }
+            Pragma::Size(name, v) => {
+                let _ = writeln!(out, "#pragma gpgpu size {name}={v}");
+            }
+            Pragma::Domain(x, y) => {
+                let _ = writeln!(out, "#pragma gpgpu domain {x} {y}");
+            }
+            Pragma::Other(text) => {
+                let _ = writeln!(out, "#pragma {text}");
+            }
+        }
+    }
+    let _ = write!(out, "__global__ void {}(", kernel.name);
+    for (i, p) in kernel.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match p.kind() {
+            ParamKind::Scalar => {
+                let _ = write!(out, "{} {}", p.ty, p.name);
+            }
+            ParamKind::Array => {
+                let _ = write!(out, "{} {}", p.ty, p.name);
+                for d in &p.dims {
+                    let _ = write!(out, "[{d}]");
+                }
+            }
+        }
+    }
+    out.push_str(") {\n");
+    if opts.cuda_names {
+        let uses = |b: Builtin| kernel_uses_builtin(kernel, b);
+        if uses(Builtin::IdX) {
+            out.push_str("    int idx = blockIdx.x * blockDim.x + threadIdx.x;\n");
+        }
+        if uses(Builtin::IdY) {
+            out.push_str("    int idy = blockIdx.y * blockDim.y + threadIdx.y;\n");
+        }
+    }
+    print_body(&mut out, &kernel.body, 1, opts);
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one statement (at top-level indentation), mainly for tests.
+pub fn print_stmt(stmt: &Stmt, opts: PrintOptions) -> String {
+    let mut out = String::new();
+    print_one(&mut out, stmt, 0, opts);
+    out
+}
+
+fn kernel_uses_builtin(kernel: &Kernel, b: Builtin) -> bool {
+    fn stmt_uses(s: &Stmt, b: Builtin) -> bool {
+        let mut found = false;
+        s.visit_exprs(&mut |e| {
+            if e.uses_builtin(b) {
+                found = true;
+            }
+        });
+        found || s.children().into_iter().flatten().any(|c| stmt_uses(c, b))
+    }
+    kernel.body.iter().any(|s| stmt_uses(s, b))
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_body(out: &mut String, body: &[Stmt], level: usize, opts: PrintOptions) {
+    for stmt in body {
+        print_one(out, stmt, level, opts);
+    }
+}
+
+fn print_one(out: &mut String, stmt: &Stmt, level: usize, opts: PrintOptions) {
+    indent(out, level);
+    match stmt {
+        Stmt::DeclScalar { name, ty, init } => {
+            let _ = write!(out, "{ty} {name}");
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr_str(e, opts));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::DeclShared { name, ty, dims } => {
+            let _ = write!(out, "__shared__ {ty} {name}");
+            for d in dims {
+                let _ = write!(out, "[{d}]");
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { lhs, rhs } => {
+            let _ = writeln!(out, "{} = {};", lvalue_str(lhs, opts), expr_str(rhs, opts));
+        }
+        Stmt::For(l) => {
+            let update = match l.update {
+                LoopUpdate::AddAssign(k) if k >= 0 => format!("{0} = {0} + {k}", l.var),
+                LoopUpdate::AddAssign(k) => format!("{0} = {0} - {1}", l.var, -k),
+                LoopUpdate::MulAssign(k) => format!("{0} = {0} * {k}", l.var),
+                LoopUpdate::DivAssign(k) => format!("{0} = {0} / {k}", l.var),
+                LoopUpdate::ShlAssign(k) => format!("{0} = {0} << {k}", l.var),
+                LoopUpdate::ShrAssign(k) => format!("{0} = {0} >> {k}", l.var),
+            };
+            let _ = writeln!(
+                out,
+                "for (int {} = {}; {} {} {}; {}) {{",
+                l.var,
+                expr_str(&l.init, opts),
+                l.var,
+                l.cmp.symbol(),
+                expr_str(&l.bound, opts),
+                update
+            );
+            print_body(out, &l.body, level + 1, opts);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", expr_str(cond, opts));
+            print_body(out, then_body, level + 1, opts);
+            indent(out, level);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                print_body(out, else_body, level + 1, opts);
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::SyncThreads => out.push_str("__syncthreads();\n"),
+        Stmt::GlobalSync => out.push_str("__gsync();\n"),
+        Stmt::CallStmt(name, args) => {
+            let rendered: Vec<String> = args.iter().map(|a| expr_str(a, opts)).collect();
+            let _ = writeln!(out, "{name}({});", rendered.join(", "));
+        }
+    }
+}
+
+/// Renders a float literal so the lexer reads back the same value.
+fn float_literal(v: f64) -> String {
+    let mut s = format!("{v:?}");
+    if let Some(epos) = s.find('e') {
+        if !s[..epos].contains('.') {
+            s.insert_str(epos, ".0");
+        }
+    } else if !s.contains('.') {
+        s.push_str(".0");
+    }
+    s.push('f');
+    s
+}
+
+fn lvalue_str(lv: &LValue, opts: PrintOptions) -> String {
+    match lv {
+        LValue::Var(n) => n.clone(),
+        LValue::Index { array, indices } => {
+            let mut s = array.clone();
+            for ix in indices {
+                s.push('[');
+                s.push_str(&expr_str(ix, opts));
+                s.push(']');
+            }
+            s
+        }
+        LValue::Field(n, f) => format!("{n}.{}", f.name()),
+    }
+}
+
+/// Renders an expression with minimal but sufficient parentheses.
+pub fn expr_str(e: &Expr, opts: PrintOptions) -> String {
+    render(e, 0, opts)
+}
+
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+        BinOp::Shl | BinOp::Shr => 5,
+        BinOp::Add | BinOp::Sub => 6,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 7,
+    }
+}
+
+fn render(e: &Expr, parent_prec: u8, opts: PrintOptions) -> String {
+    match e {
+        Expr::Int(v) => {
+            if *v < 0 && parent_prec > 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Float(v) => {
+            let lit = float_literal(*v);
+            if *v < 0.0 && parent_prec > 0 {
+                format!("({lit})")
+            } else {
+                lit
+            }
+        }
+        Expr::Var(n) => n.clone(),
+        Expr::Builtin(b) => {
+            if opts.cuda_names {
+                b.cuda_name().to_string()
+            } else {
+                b.shorthand().to_string()
+            }
+        }
+        Expr::Index { array, indices } => {
+            let mut s = array.clone();
+            for ix in indices {
+                s.push('[');
+                s.push_str(&render(ix, 0, opts));
+                s.push(']');
+            }
+            s
+        }
+        Expr::Field(base, f) => format!("{}.{}", render(base, 9, opts), f.name()),
+        Expr::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            let body = format!("{sym}{}", render(inner, 8, opts));
+            if parent_prec >= 8 {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let prec = precedence(*op);
+            let body = format!(
+                "{} {} {}",
+                render(l, prec, opts),
+                op.symbol(),
+                render(r, prec + 1, opts)
+            );
+            if prec < parent_prec {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Call(name, args) => {
+            let rendered: Vec<String> = args.iter().map(|a| render(a, 0, opts)).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+        Expr::Select(c, t, f) => {
+            let body = format!(
+                "{} ? {} : {}",
+                render(c, 1, opts),
+                render(t, 0, opts),
+                render(f, 0, opts)
+            );
+            if parent_prec > 0 {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        Expr::Cast(ty, inner) => {
+            let body = format!("({ty}){}", render(inner, 8, opts));
+            if parent_prec >= 8 {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+
+    const MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idy][i] * b[i][idx];
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    #[test]
+    fn print_then_parse_is_identity_on_mm() {
+        let k = parse_kernel(MM).unwrap();
+        let printed = print_kernel(&k, PrintOptions::default());
+        let reparsed = parse_kernel(&printed).unwrap();
+        assert_eq!(k, reparsed);
+    }
+
+    #[test]
+    fn cuda_mode_emits_id_preamble() {
+        let k = parse_kernel(MM).unwrap();
+        let printed = print_kernel(&k, PrintOptions::cuda());
+        assert!(printed.contains("int idx = blockIdx.x * blockDim.x + threadIdx.x;"));
+        assert!(printed.contains("int idy = blockIdx.y * blockDim.y + threadIdx.y;"));
+    }
+
+    #[test]
+    fn cuda_mode_spells_out_tid() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) { a[idx] = (float)tidx; }",
+        )
+        .unwrap();
+        let printed = print_kernel(&k, PrintOptions::cuda());
+        assert!(printed.contains("threadIdx.x"));
+        assert!(!printed.contains("int idy"));
+    }
+
+    #[test]
+    fn parentheses_preserve_precedence() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) { a[idx] = (1.0f + 2.0f) * 3.0f; }",
+        )
+        .unwrap();
+        let printed = print_kernel(&k, PrintOptions::default());
+        assert!(printed.contains("(1.0f + 2.0f) * 3.0f"));
+        let reparsed = parse_kernel(&printed).unwrap();
+        assert_eq!(k, reparsed);
+    }
+
+    #[test]
+    fn float_literal_forms() {
+        assert_eq!(float_literal(0.0), "0.0f");
+        assert_eq!(float_literal(1.5), "1.5f");
+        assert_eq!(float_literal(1e300), "1.0e300f");
+    }
+
+    #[test]
+    fn prints_shared_decl_and_syncs() {
+        let k = parse_kernel(
+            r#"__global__ void f(float a[n], int n) {
+                __shared__ float s[16][17];
+                s[tidx][0] = a[idx];
+                __syncthreads();
+                __gsync();
+            }"#,
+        )
+        .unwrap();
+        let printed = print_kernel(&k, PrintOptions::default());
+        assert!(printed.contains("__shared__ float s[16][17];"));
+        assert!(printed.contains("__syncthreads();"));
+        assert_eq!(parse_kernel(&printed).unwrap(), k);
+    }
+
+    #[test]
+    fn prints_pragmas() {
+        let k = parse_kernel(
+            "#pragma gpgpu output c\n__global__ void f(float c[n], int n) { c[idx] = 0.0f; }",
+        )
+        .unwrap();
+        let printed = print_kernel(&k, PrintOptions::default());
+        assert!(printed.starts_with("#pragma gpgpu output c\n"));
+        assert_eq!(parse_kernel(&printed).unwrap(), k);
+    }
+
+    #[test]
+    fn round_trips_all_loop_updates() {
+        for upd in ["i = i + 2", "i = i - 2", "i = i * 2", "i = i / 2", "i = i << 1", "i = i >> 1"] {
+            let src = format!(
+                "__global__ void f(float a[n], int n) {{ for (int i = 8; i > 0; {upd}) {{ a[i] = 0.0f; }} }}"
+            );
+            let k = parse_kernel(&src).unwrap();
+            let printed = print_kernel(&k, PrintOptions::default());
+            assert_eq!(parse_kernel(&printed).unwrap(), k, "failed on {upd}");
+        }
+    }
+
+    #[test]
+    fn round_trips_ternary_select_and_negation() {
+        let src = "__global__ void f(float a[n], int n) { a[idx] = idx < n ? -a[idx] : a[idx] * -2.0f; }";
+        let k = parse_kernel(src).unwrap();
+        let printed = print_kernel(&k, PrintOptions::default());
+        assert_eq!(parse_kernel(&printed).unwrap(), k);
+    }
+
+    #[test]
+    fn nested_binary_right_assoc_parenthesized() {
+        // a - (b - c) must not print as a - b - c.
+        let e = Expr::Binary(
+            BinOp::Sub,
+            Box::new(Expr::var("a")),
+            Box::new(Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::var("b")),
+                Box::new(Expr::var("c")),
+            )),
+        );
+        assert_eq!(expr_str(&e, PrintOptions::default()), "a - (b - c)");
+    }
+}

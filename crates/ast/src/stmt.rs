@@ -1,0 +1,345 @@
+//! Statements and the canonical loop form used by the optimizer.
+
+use crate::expr::{Expr, LValue};
+use crate::types::ScalarType;
+
+/// How a loop variable advances each iteration.
+///
+/// Coalescing analysis (§3.2 of the paper) needs the loop's start value and
+/// increment; the common case is [`LoopUpdate::AddAssign`]. Reduction-style
+/// loops halve or double their variable, which remains analyzable whenever
+/// the bounds are compile-time constants because the iteration values can be
+/// enumerated outright.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopUpdate {
+    /// `i = i + k` (or `i += k`); `k` may be negative.
+    AddAssign(i64),
+    /// `i = i * k`.
+    MulAssign(i64),
+    /// `i = i / k` (integer division).
+    DivAssign(i64),
+    /// `i = i << k`.
+    ShlAssign(u32),
+    /// `i = i >> k`.
+    ShrAssign(u32),
+}
+
+impl LoopUpdate {
+    /// Applies the update to a concrete value.
+    pub fn apply(&self, v: i64) -> i64 {
+        match self {
+            LoopUpdate::AddAssign(k) => v + k,
+            LoopUpdate::MulAssign(k) => v * k,
+            LoopUpdate::DivAssign(k) => v / k,
+            LoopUpdate::ShlAssign(k) => v << k,
+            LoopUpdate::ShrAssign(k) => v >> k,
+        }
+    }
+
+    /// The constant additive increment, when the update is affine.
+    pub fn as_affine_step(&self) -> Option<i64> {
+        match self {
+            LoopUpdate::AddAssign(k) => Some(*k),
+            _ => None,
+        }
+    }
+}
+
+/// A canonical `for` loop: `for (var = init; var <cmp> bound; update)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForLoop {
+    /// Loop variable name (always a fresh `int`).
+    pub var: String,
+    /// Initial value.
+    pub init: Expr,
+    /// Comparison operator of the exit test (`<`, `<=`, `>`, `>=`, `!=`).
+    pub cmp: crate::expr::BinOp,
+    /// Loop bound (right-hand side of the exit test).
+    pub bound: Expr,
+    /// Per-iteration update.
+    pub update: LoopUpdate,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+impl ForLoop {
+    /// The affine step `Incr` when the loop is `for (v = S; v < B; v += Incr)`.
+    pub fn affine_step(&self) -> Option<i64> {
+        self.update.as_affine_step()
+    }
+
+    /// Enumerates the concrete iteration values when `init` and `bound` are
+    /// integer literals, up to `limit` values.
+    ///
+    /// Returns `None` when the loop is not concretely enumerable or exceeds
+    /// the limit.
+    pub fn enumerate_values(&self, limit: usize) -> Option<Vec<i64>> {
+        use crate::expr::BinOp;
+        let init = self.init.as_int()?;
+        let bound = self.bound.as_int()?;
+        let cont = |v: i64| match self.cmp {
+            BinOp::Lt => v < bound,
+            BinOp::Le => v <= bound,
+            BinOp::Gt => v > bound,
+            BinOp::Ge => v >= bound,
+            BinOp::Ne => v != bound,
+            _ => false,
+        };
+        let mut vals = Vec::new();
+        let mut v = init;
+        while cont(v) {
+            if vals.len() >= limit {
+                return None;
+            }
+            vals.push(v);
+            let next = self.update.apply(v);
+            if next == v {
+                return None; // non-progressing loop
+            }
+            v = next;
+        }
+        Some(vals)
+    }
+}
+
+/// A MiniCUDA statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declaration of a thread-private scalar, e.g. `float sum = 0.0f;`.
+    DeclScalar {
+        /// Variable name.
+        name: String,
+        /// Element type.
+        ty: ScalarType,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Declaration of a `__shared__` array with constant extents.
+    DeclShared {
+        /// Array name.
+        name: String,
+        /// Element type.
+        ty: ScalarType,
+        /// Extents, innermost last; padding (e.g. `[16][17]`) is explicit.
+        dims: Vec<i64>,
+    },
+    /// Assignment `lhs = rhs` (compound forms are desugared by the parser).
+    Assign {
+        /// Destination.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+    },
+    /// Canonical counted loop.
+    For(ForLoop),
+    /// Conditional with optional else branch.
+    If {
+        /// Branch predicate.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_body: Vec<Stmt>,
+    },
+    /// Intra-block barrier `__syncthreads();`.
+    SyncThreads,
+    /// Grid-wide barrier `__gsync();` available to naive kernels (§3 of the
+    /// paper allows a global sync in the input for reductions).
+    GlobalSync,
+    /// Statement-level intrinsic call with no result, e.g. `atomicAdd`.
+    CallStmt(String, Vec<Expr>),
+}
+
+impl Stmt {
+    /// Shorthand for `lhs = rhs`.
+    pub fn assign(lhs: LValue, rhs: Expr) -> Stmt {
+        Stmt::Assign { lhs, rhs }
+    }
+
+    /// Shorthand for declaring `float name = init;`.
+    pub fn decl_float(name: impl Into<String>, init: Expr) -> Stmt {
+        Stmt::DeclScalar {
+            name: name.into(),
+            ty: ScalarType::Float,
+            init: Some(init),
+        }
+    }
+
+    /// Shorthand for declaring `int name = init;`.
+    pub fn decl_int(name: impl Into<String>, init: Expr) -> Stmt {
+        Stmt::DeclScalar {
+            name: name.into(),
+            ty: ScalarType::Int,
+            init: Some(init),
+        }
+    }
+
+    /// Calls `f` on every expression contained in this statement (not
+    /// recursing into nested statements).
+    pub fn visit_exprs(&self, f: &mut dyn FnMut(&Expr)) {
+        match self {
+            Stmt::DeclScalar { init, .. } => {
+                if let Some(e) = init {
+                    f(e);
+                }
+            }
+            Stmt::DeclShared { .. } | Stmt::SyncThreads | Stmt::GlobalSync => {}
+            Stmt::Assign { lhs, rhs } => {
+                if let LValue::Index { indices, .. } = lhs {
+                    for ix in indices {
+                        f(ix);
+                    }
+                }
+                f(rhs);
+            }
+            Stmt::For(l) => {
+                f(&l.init);
+                f(&l.bound);
+            }
+            Stmt::If { cond, .. } => f(cond),
+            Stmt::CallStmt(_, args) => {
+                for a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    /// Child statement lists (loop/if bodies), for generic tree walks.
+    pub fn children(&self) -> Vec<&[Stmt]> {
+        match self {
+            Stmt::For(l) => vec![&l.body],
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => vec![then_body.as_slice(), else_body.as_slice()],
+            _ => vec![],
+        }
+    }
+
+    /// Mutable child statement lists.
+    pub fn children_mut(&mut self) -> Vec<&mut Vec<Stmt>> {
+        match self {
+            Stmt::For(l) => vec![&mut l.body],
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => vec![then_body, else_body],
+            _ => vec![],
+        }
+    }
+}
+
+/// Counts statements in a body, recursively (used for LoC-style metrics and
+/// transformation sanity checks).
+pub fn count_stmts(body: &[Stmt]) -> usize {
+    body.iter()
+        .map(|s| 1 + s.children().into_iter().map(count_stmts).sum::<usize>())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn counting_loop(init: i64, bound: i64, step: i64) -> ForLoop {
+        ForLoop {
+            var: "i".into(),
+            init: Expr::int(init),
+            cmp: BinOp::Lt,
+            bound: Expr::int(bound),
+            update: LoopUpdate::AddAssign(step),
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn enumerate_simple_counting_loop() {
+        let l = counting_loop(0, 8, 2);
+        assert_eq!(l.enumerate_values(100), Some(vec![0, 2, 4, 6]));
+    }
+
+    #[test]
+    fn enumerate_halving_loop() {
+        let l = ForLoop {
+            var: "s".into(),
+            init: Expr::int(16),
+            cmp: BinOp::Gt,
+            bound: Expr::int(0),
+            update: LoopUpdate::ShrAssign(1),
+            body: vec![],
+        };
+        assert_eq!(l.enumerate_values(100), Some(vec![16, 8, 4, 2, 1]));
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let l = counting_loop(0, 1_000_000, 1);
+        assert_eq!(l.enumerate_values(10), None);
+    }
+
+    #[test]
+    fn enumerate_rejects_symbolic_bounds() {
+        let mut l = counting_loop(0, 8, 1);
+        l.bound = Expr::var("w");
+        assert_eq!(l.enumerate_values(100), None);
+    }
+
+    #[test]
+    fn enumerate_rejects_non_progressing_loop() {
+        let l = ForLoop {
+            var: "i".into(),
+            init: Expr::int(1),
+            cmp: BinOp::Gt,
+            bound: Expr::int(0),
+            update: LoopUpdate::MulAssign(1),
+            body: vec![],
+        };
+        assert_eq!(l.enumerate_values(100), None);
+    }
+
+    #[test]
+    fn affine_step_only_for_add() {
+        assert_eq!(LoopUpdate::AddAssign(16).as_affine_step(), Some(16));
+        assert_eq!(LoopUpdate::ShrAssign(1).as_affine_step(), None);
+    }
+
+    #[test]
+    fn loop_update_apply() {
+        assert_eq!(LoopUpdate::AddAssign(-2).apply(10), 8);
+        assert_eq!(LoopUpdate::MulAssign(3).apply(4), 12);
+        assert_eq!(LoopUpdate::DivAssign(2).apply(9), 4);
+        assert_eq!(LoopUpdate::ShlAssign(2).apply(3), 12);
+        assert_eq!(LoopUpdate::ShrAssign(2).apply(12), 3);
+    }
+
+    #[test]
+    fn count_stmts_recurses() {
+        let body = vec![
+            Stmt::decl_float("sum", Expr::Float(0.0)),
+            Stmt::For(ForLoop {
+                var: "i".into(),
+                init: Expr::int(0),
+                cmp: BinOp::Lt,
+                bound: Expr::var("w"),
+                update: LoopUpdate::AddAssign(1),
+                body: vec![Stmt::SyncThreads, Stmt::GlobalSync],
+            }),
+        ];
+        assert_eq!(count_stmts(&body), 4);
+    }
+
+    #[test]
+    fn visit_exprs_covers_assign_indices() {
+        let s = Stmt::assign(
+            LValue::index("c", vec![Expr::var("i")]),
+            Expr::var("x"),
+        );
+        let mut seen = 0;
+        s.visit_exprs(&mut |_| seen += 1);
+        assert_eq!(seen, 2);
+    }
+}

@@ -1,0 +1,595 @@
+//! Lexer for MiniCUDA source text.
+
+use crate::error::{ParseError, Span};
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal (an optional `f` suffix is consumed).
+    Float(f64),
+    /// `#pragma` line: the raw text after `#pragma`, trimmed.
+    Pragma(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Pragma(p) => write!(f, "#pragma {p}"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Percent => f.write_str("`%`"),
+            TokenKind::Assign => f.write_str("`=`"),
+            TokenKind::PlusAssign => f.write_str("`+=`"),
+            TokenKind::MinusAssign => f.write_str("`-=`"),
+            TokenKind::StarAssign => f.write_str("`*=`"),
+            TokenKind::SlashAssign => f.write_str("`/=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Le => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::EqEq => f.write_str("`==`"),
+            TokenKind::Ne => f.write_str("`!=`"),
+            TokenKind::AndAnd => f.write_str("`&&`"),
+            TokenKind::OrOr => f.write_str("`||`"),
+            TokenKind::Not => f.write_str("`!`"),
+            TokenKind::Amp => f.write_str("`&`"),
+            TokenKind::Shl => f.write_str("`<<`"),
+            TokenKind::Shr => f.write_str("`>>`"),
+            TokenKind::PlusPlus => f.write_str("`++`"),
+            TokenKind::MinusMinus => f.write_str("`--`"),
+            TokenKind::Question => f.write_str("`?`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token together with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// A hand-written lexer over MiniCUDA source.
+///
+/// Comments (`//` and `/* */`) are skipped; `#pragma` lines are returned as
+/// a single [`TokenKind::Pragma`] token so the parser can attach them to the
+/// following kernel.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Lexes the entire input into a token vector ending with [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed numeric literals, unterminated
+    /// block comments, or characters outside the MiniCUDA alphabet.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia()?;
+        let span = self.span();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span,
+            });
+        };
+        let kind = match c {
+            b'#' => {
+                // A `#pragma ...` directive: capture the rest of the line.
+                let mut line = String::new();
+                while let Some(ch) = self.peek() {
+                    if ch == b'\n' {
+                        break;
+                    }
+                    line.push(self.bump().unwrap() as char);
+                }
+                let rest = line
+                    .strip_prefix("#pragma")
+                    .ok_or_else(|| ParseError::new(span, format!("unknown directive `{line}`")))?;
+                TokenKind::Pragma(rest.trim().to_string())
+            }
+            b'0'..=b'9' => return self.lex_number(span),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut ident = String::new();
+                while let Some(ch) = self.peek() {
+                    if ch.is_ascii_alphanumeric() || ch == b'_' {
+                        ident.push(self.bump().unwrap() as char);
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(ident)
+            }
+            _ => {
+                self.bump();
+                match c {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b',' => TokenKind::Comma,
+                    b';' => TokenKind::Semi,
+                    b'.' => TokenKind::Dot,
+                    b'?' => TokenKind::Question,
+                    b':' => TokenKind::Colon,
+                    b'%' => TokenKind::Percent,
+                    b'+' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::PlusAssign
+                        }
+                        Some(b'+') => {
+                            self.bump();
+                            TokenKind::PlusPlus
+                        }
+                        _ => TokenKind::Plus,
+                    },
+                    b'-' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::MinusAssign
+                        }
+                        Some(b'-') => {
+                            self.bump();
+                            TokenKind::MinusMinus
+                        }
+                        _ => TokenKind::Minus,
+                    },
+                    b'*' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::StarAssign
+                        } else {
+                            TokenKind::Star
+                        }
+                    }
+                    b'/' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::SlashAssign
+                        } else {
+                            TokenKind::Slash
+                        }
+                    }
+                    b'<' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::Le
+                        }
+                        Some(b'<') => {
+                            self.bump();
+                            TokenKind::Shl
+                        }
+                        _ => TokenKind::Lt,
+                    },
+                    b'>' => match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::Ge
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            TokenKind::Shr
+                        }
+                        _ => TokenKind::Gt,
+                    },
+                    b'=' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::EqEq
+                        } else {
+                            TokenKind::Assign
+                        }
+                    }
+                    b'!' => {
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            TokenKind::Ne
+                        } else {
+                            TokenKind::Not
+                        }
+                    }
+                    b'&' => {
+                        if self.peek() == Some(b'&') {
+                            self.bump();
+                            TokenKind::AndAnd
+                        } else {
+                            TokenKind::Amp
+                        }
+                    }
+                    b'|' => {
+                        if self.peek() == Some(b'|') {
+                            self.bump();
+                            TokenKind::OrOr
+                        } else {
+                            return Err(ParseError::new(span, "single `|` is not supported"));
+                        }
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            span,
+                            format!("unexpected character `{}`", other as char),
+                        ))
+                    }
+                }
+            }
+        };
+        Ok(Token { kind, span })
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<Token, ParseError> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => text.push(self.bump().unwrap() as char),
+                b'.' if self.peek2().is_some_and(|d| d.is_ascii_digit()) => {
+                    is_float = true;
+                    text.push(self.bump().unwrap() as char);
+                }
+                b'e' | b'E'
+                    if is_float
+                        && self
+                            .peek2()
+                            .is_some_and(|d| d.is_ascii_digit() || d == b'-' || d == b'+') =>
+                {
+                    text.push(self.bump().unwrap() as char);
+                    text.push(self.bump().unwrap() as char);
+                }
+                _ => break,
+            }
+        }
+        // Trailing `.` as in `1.` followed by `0f`.
+        if self.peek() == Some(b'.') && !is_float {
+            is_float = true;
+            text.push(self.bump().unwrap() as char);
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                text.push(self.bump().unwrap() as char);
+            }
+        }
+        if self.peek() == Some(b'f') || self.peek() == Some(b'F') {
+            is_float = true;
+            self.bump();
+        }
+        let kind = if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| ParseError::new(span, format!("invalid float literal `{text}`")))?;
+            TokenKind::Float(v)
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| ParseError::new(span, format!("invalid integer literal `{text}`")))?;
+            TokenKind::Int(v)
+        };
+        Ok(Token { kind, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_ints() {
+        assert_eq!(
+            kinds("sum += a[idx];"),
+            vec![
+                TokenKind::Ident("sum".into()),
+                TokenKind::PlusAssign,
+                TokenKind::Ident("a".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("idx".into()),
+                TokenKind::RBracket,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_float_literals() {
+        assert_eq!(
+            kinds("0.0f 1.5 2.0F 3."),
+            vec![
+                TokenKind::Float(0.0),
+                TokenKind::Float(1.5),
+                TokenKind::Float(2.0),
+                TokenKind::Float(3.0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn float_with_exponent() {
+        assert_eq!(
+            kinds("1.5e3 2.0e-2"),
+            vec![TokenKind::Float(1500.0), TokenKind::Float(0.02), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn int_with_f_suffix_is_float() {
+        assert_eq!(kinds("5f"), vec![TokenKind::Float(5.0), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(
+            kinds("a // comment\n/* block\n comment */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = Lexer::new("/* oops").tokenize().unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn lexes_comparison_and_shift_operators() {
+        assert_eq!(
+            kinds("< <= << > >= >> == != && ||"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Shl,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Shr,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_pragma_line() {
+        assert_eq!(
+            kinds("#pragma gpgpu output c\nx"),
+            vec![
+                TokenKind::Pragma("gpgpu output c".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = Lexer::new("a @ b").tokenize().unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.span, Span::new(1, 3));
+    }
+
+    #[test]
+    fn lexes_increment_and_ternary() {
+        assert_eq!(
+            kinds("i++ j-- c ? x : y"),
+            vec![
+                TokenKind::Ident("i".into()),
+                TokenKind::PlusPlus,
+                TokenKind::Ident("j".into()),
+                TokenKind::MinusMinus,
+                TokenKind::Ident("c".into()),
+                TokenKind::Question,
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Scalar types and array-dimension expressions.
+
+use std::fmt;
+
+/// The scalar element types supported by MiniCUDA.
+///
+/// The paper's kernels operate on `float` data; `float2`/`float4` arise from
+/// the vectorization pass (§3.1) and `int` is used for sizes and iterators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// 32-bit signed integer.
+    Int,
+    /// 32-bit IEEE float.
+    Float,
+    /// Vector of two floats (8 bytes); CUDA's `float2`.
+    Float2,
+    /// Vector of four floats (16 bytes); CUDA's `float4`.
+    Float4,
+}
+
+impl ScalarType {
+    /// Size of one element in bytes.
+    ///
+    /// Coalescing analysis works in these units: a `float` segment is
+    /// 64 bytes (16 × 4), a `float2` segment is 128 bytes.
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            ScalarType::Int | ScalarType::Float => 4,
+            ScalarType::Float2 => 8,
+            ScalarType::Float4 => 16,
+        }
+    }
+
+    /// Number of float lanes in the type (1 for scalars).
+    pub fn lanes(self) -> u32 {
+        match self {
+            ScalarType::Int | ScalarType::Float => 1,
+            ScalarType::Float2 => 2,
+            ScalarType::Float4 => 4,
+        }
+    }
+
+    /// The CUDA source spelling of the type.
+    pub fn cuda_name(self) -> &'static str {
+        match self {
+            ScalarType::Int => "int",
+            ScalarType::Float => "float",
+            ScalarType::Float2 => "float2",
+            ScalarType::Float4 => "float4",
+        }
+    }
+
+    /// True for the vector types produced by the vectorization pass.
+    pub fn is_vector(self) -> bool {
+        self.lanes() > 1
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cuda_name())
+    }
+}
+
+/// One dimension of an array parameter: either a literal size or the name of
+/// an integer kernel parameter bound at compile time.
+///
+/// The compiler is invoked with concrete sizes (the paper performs per-input
+/// empirical search), so symbolic dims resolve to integers during analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// A compile-time constant extent.
+    Const(i64),
+    /// An extent named by an integer parameter, e.g. `w` in `float a[n][w]`.
+    Sym(String),
+}
+
+impl Dim {
+    /// Resolves the dimension against a set of `name -> value` bindings.
+    ///
+    /// Returns `None` for a symbolic dimension with no binding.
+    pub fn resolve(&self, lookup: &dyn Fn(&str) -> Option<i64>) -> Option<i64> {
+        match self {
+            Dim::Const(v) => Some(*v),
+            Dim::Sym(name) => lookup(name),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Const(v) => write!(f, "{v}"),
+            Dim::Sym(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Dim {
+    fn from(v: i64) -> Self {
+        Dim::Const(v)
+    }
+}
+
+impl From<&str> for Dim {
+    fn from(s: &str) -> Self {
+        Dim::Sym(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes_match_cuda() {
+        assert_eq!(ScalarType::Float.size_bytes(), 4);
+        assert_eq!(ScalarType::Float2.size_bytes(), 8);
+        assert_eq!(ScalarType::Float4.size_bytes(), 16);
+        assert_eq!(ScalarType::Int.size_bytes(), 4);
+    }
+
+    #[test]
+    fn vector_lanes() {
+        assert_eq!(ScalarType::Float.lanes(), 1);
+        assert_eq!(ScalarType::Float2.lanes(), 2);
+        assert_eq!(ScalarType::Float4.lanes(), 4);
+        assert!(ScalarType::Float2.is_vector());
+        assert!(!ScalarType::Float.is_vector());
+    }
+
+    #[test]
+    fn dim_resolution() {
+        let lookup = |name: &str| if name == "w" { Some(2048) } else { None };
+        assert_eq!(Dim::Const(16).resolve(&lookup), Some(16));
+        assert_eq!(Dim::Sym("w".into()).resolve(&lookup), Some(2048));
+        assert_eq!(Dim::Sym("h".into()).resolve(&lookup), None);
+    }
+
+    #[test]
+    fn dim_display() {
+        assert_eq!(Dim::Const(64).to_string(), "64");
+        assert_eq!(Dim::from("n").to_string(), "n");
+    }
+
+    #[test]
+    fn scalar_display_uses_cuda_names() {
+        assert_eq!(ScalarType::Float2.to_string(), "float2");
+    }
+}

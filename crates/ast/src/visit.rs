@@ -1,0 +1,247 @@
+//! Generic traversal helpers over statement trees.
+
+use crate::expr::{Expr, LValue};
+use crate::stmt::Stmt;
+
+/// Calls `f` on every statement in `body`, pre-order, recursing into loop
+/// and branch bodies.
+pub fn walk_stmts<'a>(body: &'a [Stmt], f: &mut dyn FnMut(&'a Stmt)) {
+    for s in body {
+        f(s);
+        for child in s.children() {
+            walk_stmts(child, f);
+        }
+    }
+}
+
+/// Calls `f` on every expression in `body` (including nested statements and
+/// index expressions of assignment targets), pre-order within each statement.
+pub fn walk_exprs<'a>(body: &'a [Stmt], f: &mut dyn FnMut(&'a Expr)) {
+    fn expr_rec<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+        f(e);
+        match e {
+            Expr::Index { indices, .. } => {
+                for ix in indices {
+                    expr_rec(ix, f);
+                }
+            }
+            Expr::Field(inner, _) | Expr::Unary(_, inner) | Expr::Cast(_, inner) => {
+                expr_rec(inner, f)
+            }
+            Expr::Binary(_, l, r) => {
+                expr_rec(l, f);
+                expr_rec(r, f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    expr_rec(a, f);
+                }
+            }
+            Expr::Select(c, t, e2) => {
+                expr_rec(c, f);
+                expr_rec(t, f);
+                expr_rec(e2, f);
+            }
+            Expr::Int(_) | Expr::Float(_) | Expr::Var(_) | Expr::Builtin(_) => {}
+        }
+    }
+    for s in body {
+        match s {
+            Stmt::DeclScalar { init, .. } => {
+                if let Some(e) = init {
+                    expr_rec(e, f);
+                }
+            }
+            Stmt::DeclShared { .. } | Stmt::SyncThreads | Stmt::GlobalSync => {}
+            Stmt::Assign { lhs, rhs } => {
+                if let LValue::Index { indices, .. } = lhs {
+                    for ix in indices {
+                        expr_rec(ix, f);
+                    }
+                }
+                expr_rec(rhs, f);
+            }
+            Stmt::For(l) => {
+                expr_rec(&l.init, f);
+                expr_rec(&l.bound, f);
+                walk_exprs(&l.body, f);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr_rec(cond, f);
+                walk_exprs(then_body, f);
+                walk_exprs(else_body, f);
+            }
+            Stmt::CallStmt(_, args) => {
+                for a in args {
+                    expr_rec(a, f);
+                }
+            }
+        }
+    }
+}
+
+/// Rewrites every expression in `body` bottom-up with `f`, recursing into
+/// nested statements. Assignment-target index expressions are rewritten too.
+pub fn map_exprs(body: Vec<Stmt>, f: &dyn Fn(Expr) -> Expr) -> Vec<Stmt> {
+    body.into_iter()
+        .map(|s| match s {
+            Stmt::DeclScalar { name, ty, init } => Stmt::DeclScalar {
+                name,
+                ty,
+                init: init.map(|e| e.map(f)),
+            },
+            Stmt::Assign { lhs, rhs } => {
+                let lhs = match lhs {
+                    LValue::Index { array, indices } => LValue::Index {
+                        array,
+                        indices: indices.into_iter().map(|e| e.map(f)).collect(),
+                    },
+                    other => other,
+                };
+                Stmt::Assign {
+                    lhs,
+                    rhs: rhs.map(f),
+                }
+            }
+            Stmt::For(mut l) => {
+                l.init = l.init.map(f);
+                l.bound = l.bound.map(f);
+                l.body = map_exprs(l.body, f);
+                Stmt::For(l)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
+                cond: cond.map(f),
+                then_body: map_exprs(then_body, f),
+                else_body: map_exprs(else_body, f),
+            },
+            Stmt::CallStmt(name, args) => {
+                Stmt::CallStmt(name, args.into_iter().map(|e| e.map(f)).collect())
+            }
+            other @ (Stmt::DeclShared { .. } | Stmt::SyncThreads | Stmt::GlobalSync) => other,
+        })
+        .collect()
+}
+
+/// Collects every global-array read (`array`, `indices`) in `body` whose
+/// array name satisfies `is_global`. Reads inside assignment *targets* (the
+/// index expressions) are included; the target element itself is a write and
+/// is not.
+pub fn collect_reads<'a>(
+    body: &'a [Stmt],
+    is_global: &dyn Fn(&str) -> bool,
+) -> Vec<(&'a str, &'a [Expr])> {
+    let mut reads = Vec::new();
+    walk_exprs(body, &mut |e| {
+        if let Expr::Index { array, indices } = e {
+            if is_global(array) {
+                reads.push((array.as_str(), indices.as_slice()));
+            }
+        }
+    });
+    reads
+}
+
+/// Collects every global-array write target in `body`.
+pub fn collect_writes<'a>(
+    body: &'a [Stmt],
+    is_global: &dyn Fn(&str) -> bool,
+) -> Vec<(&'a str, &'a [Expr])> {
+    let mut writes = Vec::new();
+    walk_stmts(body, &mut |s| {
+        if let Stmt::Assign {
+            lhs: LValue::Index { array, indices },
+            ..
+        } = s
+        {
+            if is_global(array) {
+                writes.push((array.as_str(), indices.as_slice()));
+            }
+        }
+    });
+    writes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+
+    fn mm() -> crate::kernel::Kernel {
+        parse_kernel(
+            r#"
+            __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) {
+                    sum += a[idy][i] * b[i][idx];
+                }
+                c[idy][idx] = sum;
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn walk_stmts_visits_nested() {
+        let k = mm();
+        let mut n = 0;
+        walk_stmts(&k.body, &mut |_| n += 1);
+        assert_eq!(n, 4); // decl, for, inner assign, final assign
+    }
+
+    #[test]
+    fn collect_reads_finds_global_loads() {
+        let k = mm();
+        let is_global = |name: &str| k.param(name).is_some();
+        let reads = collect_reads(&k.body, &is_global);
+        let arrays: Vec<&str> = reads.iter().map(|(a, _)| *a).collect();
+        assert_eq!(arrays, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn collect_writes_finds_store() {
+        let k = mm();
+        let is_global = |name: &str| k.param(name).is_some();
+        let writes = collect_writes(&k.body, &is_global);
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].0, "c");
+    }
+
+    #[test]
+    fn map_exprs_rewrites_nested_loop_bodies() {
+        let k = mm();
+        let body = map_exprs(k.body, &|e| match e {
+            Expr::Var(name) if name == "sum" => Expr::Var("acc".into()),
+            other => other,
+        });
+        let mut saw_acc = false;
+        walk_exprs(&body, &mut |e| {
+            if matches!(e, Expr::Var(n) if n == "acc") {
+                saw_acc = true;
+            }
+            assert!(!matches!(e, Expr::Var(n) if n == "sum"));
+        });
+        assert!(saw_acc);
+    }
+
+    #[test]
+    fn walk_exprs_covers_lhs_indices() {
+        let k = mm();
+        let mut saw_idy = 0;
+        walk_exprs(&k.body, &mut |e| {
+            if matches!(e, Expr::Builtin(crate::expr::Builtin::IdY)) {
+                saw_idy += 1;
+            }
+        });
+        // a[idy][i] read + c[idy][idx] store target
+        assert_eq!(saw_idy, 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Robustness: the lexer and parser must never panic, whatever the input.
+//! Errors are fine; crashes are not.
+
+use gpgpu_ast::{parse_kernel, parse_program, Lexer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup (valid UTF-8) never panics the lexer.
+    #[test]
+    fn lexer_never_panics(src in "\\PC{0,256}") {
+        let _ = Lexer::new(&src).tokenize();
+    }
+
+    /// Arbitrary token-ish soup never panics the parser.
+    #[test]
+    fn parser_never_panics(src in "[a-z0-9_ \\[\\]{}()<>=+*/;,.%#\\n-]{0,256}") {
+        let _ = parse_program(&src);
+        let _ = parse_kernel(&src);
+    }
+
+    /// Mutations of a valid kernel never panic (they may fail to parse).
+    #[test]
+    fn mutated_kernels_never_panic(cut in 0usize..200, insert in "[{}\\[\\]();=]{0,4}") {
+        let base = "__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {\
+            float sum = 0.0f;\
+            for (int i = 0; i < w; i = i + 1) { sum += a[idy][i] * b[i][idx]; }\
+            c[idy][idx] = sum;\
+        }";
+        let pos = cut.min(base.len());
+        // Split only at char boundaries (the base is ASCII).
+        let mutated = format!("{}{}{}", &base[..pos], insert, &base[pos..]);
+        let _ = parse_kernel(&mutated);
+    }
+}

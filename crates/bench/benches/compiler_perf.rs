@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the compiler itself: parsing, the
+//! coalescing analysis, and a full compile with design-space exploration.
+//! (The paper's compiler runs offline; these numbers document that the
+//! reproduction compiles kernels in milliseconds-to-seconds.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_core::{compile, CompileOptions};
+use gpgpu_kernels::naive;
+use gpgpu_sim::MachineDesc;
+use gpgpu_transform::{coalesce, PipelineState};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_mm", |b| {
+        b.iter(|| gpgpu_ast::parse_kernel(black_box(naive::MM.source)).unwrap())
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let kernel = naive::MM.kernel();
+    let bindings = (naive::MM.bind)(2048);
+    c.bench_function("collect_accesses_mm", |b| {
+        b.iter(|| {
+            let layouts =
+                gpgpu_analysis::resolve_layouts_padded(black_box(&kernel), &bindings).unwrap();
+            gpgpu_analysis::collect_accesses(&kernel, &layouts, &bindings)
+        })
+    });
+}
+
+fn bench_coalesce_pass(c: &mut Criterion) {
+    let kernel = naive::MM.kernel();
+    let bindings = (naive::MM.bind)(2048);
+    c.bench_function("coalesce_pass_mm", |b| {
+        b.iter(|| {
+            let mut st = PipelineState::new(kernel.clone(), bindings.clone());
+            coalesce::coalesce(&mut st);
+            st
+        })
+    });
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let kernel = naive::MM.kernel();
+    let opts = CompileOptions {
+        bindings: (naive::MM.bind)(512),
+        ..CompileOptions::new(MachineDesc::gtx280())
+    };
+    let mut group = c.benchmark_group("full_compile");
+    group.sample_size(10);
+    group.bench_function("compile_mm_512_with_exploration", |b| {
+        b.iter(|| compile(black_box(&kernel), &opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_analysis,
+    bench_coalesce_pass,
+    bench_full_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 11: kernel speedups of the compiler-optimized kernels over the
+//! naive ones, on both evaluation GPUs.
+//!
+//! The paper reports geometric-mean speedups of 15.1× (GTX 8800) and 7.9×
+//! (GTX 280) with a maximum around 128×; the GTX 280 gains less because its
+//! naive baseline is stronger. Those two shapes — double-digit geo-mean,
+//! smaller gains on the newer part — are the reproduction targets.
+
+use gpgpu_bench::harness::{banner, geomean};
+use gpgpu_core::{compile, naive_compiled, CompileOptions};
+use gpgpu_kernels::table1;
+use gpgpu_sim::MachineDesc;
+
+fn main() {
+    banner("Figure 11", "speedup of optimized kernels over naive kernels");
+    for machine in [MachineDesc::gtx8800(), MachineDesc::gtx280()] {
+        println!("\n--- {} ---", machine.name);
+        println!(
+            "{:<14} {:>12} {:>12} {:>9}",
+            "kernel", "naive ms", "optimized ms", "speedup"
+        );
+        let mut speedups = Vec::new();
+        for b in table1() {
+            let kernel = b.kernel();
+            let opts = CompileOptions {
+                bindings: b.default_bindings(),
+                ..CompileOptions::new(machine.clone())
+            };
+            let baseline = match naive_compiled(&kernel, &opts) {
+                Ok(c) => c,
+                Err(e) => {
+                    println!("{:<14} naive failed: {e}", b.name);
+                    continue;
+                }
+            };
+            let optimized = match compile(&kernel, &opts) {
+                Ok(c) => c,
+                Err(e) => {
+                    println!("{:<14} compile failed: {e}", b.name);
+                    continue;
+                }
+            };
+            let speedup = baseline.total_time_ms() / optimized.total_time_ms();
+            speedups.push(speedup);
+            println!(
+                "{:<14} {:>12.3} {:>12.3} {:>8.1}x",
+                b.name,
+                baseline.total_time_ms(),
+                optimized.total_time_ms(),
+                speedup
+            );
+        }
+        println!(
+            "{:<14} {:>38.1}x   (paper: {})",
+            "geo-mean",
+            geomean(&speedups),
+            if machine.name == "GTX8800" { "15.1x" } else { "7.9x" }
+        );
+    }
+}

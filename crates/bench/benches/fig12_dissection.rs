@@ -1,0 +1,57 @@
+//! Figure 12: dissection of the optimization process — the geometric-mean
+//! speedup over the naive kernels after each cumulative compilation stage
+//! (vectorization, coalescing, thread/thread-block merge, prefetching,
+//! partition-camping elimination), on both GPUs.
+//!
+//! Reproduction targets: vectorization is a no-op on the (scalar) suite,
+//! the merge step dominates, prefetching adds little (registers are already
+//! spent on merging), and camping elimination matters more on the GTX 280.
+
+use gpgpu_bench::harness::{banner, geomean};
+use gpgpu_core::{compile, CompileOptions, StageSet};
+use gpgpu_kernels::table1;
+use gpgpu_sim::MachineDesc;
+
+fn main() {
+    banner(
+        "Figure 12",
+        "geo-mean speedup after each cumulative optimization stage",
+    );
+    for machine in [MachineDesc::gtx8800(), MachineDesc::gtx280()] {
+        println!("\n--- {} ---", machine.name);
+        // Per-kernel naive times first.
+        let mut naive_ms: Vec<(&str, f64)> = Vec::new();
+        for b in table1() {
+            let opts = CompileOptions {
+                bindings: b.default_bindings(),
+                stages: StageSet::none(),
+                ..CompileOptions::new(machine.clone())
+            };
+            match compile(&b.kernel(), &opts) {
+                Ok(c) => naive_ms.push((b.name, c.total_time_ms())),
+                Err(e) => println!("  {}: naive failed ({e})", b.name),
+            }
+        }
+        println!("{:<26} {:>18}", "stage", "geo-mean speedup");
+        for (stage_name, stages) in StageSet::dissection() {
+            let mut speedups = Vec::new();
+            for b in table1() {
+                let Some(&(_, base)) = naive_ms.iter().find(|(n, _)| *n == b.name) else {
+                    continue;
+                };
+                let opts = CompileOptions {
+                    bindings: b.default_bindings(),
+                    stages,
+                    ..CompileOptions::new(machine.clone())
+                };
+                if let Ok(c) = compile(&b.kernel(), &opts) {
+                    speedups.push(base / c.total_time_ms());
+                }
+            }
+            println!("{:<26} {:>17.2}x", stage_name, geomean(&speedups));
+        }
+    }
+    println!("\npaper: the thread/thread-block merge stage contributes the most;");
+    println!("GTX 280 gains less overall (stronger naive baseline); prefetching");
+    println!("is mostly register-starved; camping matters more on GTX 280.");
+}

@@ -1,0 +1,105 @@
+//! Shared helpers for the figure harnesses.
+
+use gpgpu_analysis::Bindings;
+use gpgpu_core::{estimate_launch, CompileOptions, KernelLaunch};
+use gpgpu_sim::MachineDesc;
+
+/// Aggregate estimate for a multi-launch program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramEstimate {
+    /// Total time across the launches, in milliseconds.
+    pub time_ms: f64,
+    /// Traced floating-point operations.
+    pub flops: f64,
+    /// Application-useful bytes moved.
+    pub useful_bytes: f64,
+}
+
+impl ProgramEstimate {
+    /// GFLOPS over the whole program.
+    pub fn gflops(&self) -> f64 {
+        self.flops / (self.time_ms * 1e-3) / 1e9
+    }
+
+    /// Effective bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.useful_bytes / (self.time_ms * 1e-3) / 1e9
+    }
+}
+
+/// Estimates a hand-written program (e.g. a CUBLAS comparator) by summing
+/// its per-launch estimates.
+///
+/// # Panics
+///
+/// Panics if any launch fails the timing model — comparators are expected
+/// to fit their machines.
+pub fn estimate_program(
+    launches: &[KernelLaunch],
+    bindings: &Bindings,
+    machine: &MachineDesc,
+) -> ProgramEstimate {
+    let opts = CompileOptions {
+        bindings: bindings.clone(),
+        ..CompileOptions::new(machine.clone())
+    };
+    let mut total = ProgramEstimate {
+        time_ms: 0.0,
+        flops: 0.0,
+        useful_bytes: 0.0,
+    };
+    for l in launches {
+        let est = estimate_launch(&l.kernel, &l.launch, bindings, &opts)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "estimate of `{}` {} failed: {e}",
+                    l.kernel.name, l.launch
+                )
+            });
+        total.time_ms += est.time_ms;
+        total.flops += est.stats.flops as f64;
+        total.useful_bytes += est.stats.useful_bytes as f64;
+    }
+    total
+}
+
+/// Geometric mean.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Prints the standard figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!();
+    println!("======================================================================");
+    println!("{figure}: {caption}");
+    println!("(simulated on the gpgpu-sim timing model — compare shapes, not");
+    println!(" absolute numbers, against the paper)");
+    println!("======================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 16.0]) - 8.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn program_estimate_rates() {
+        let est = ProgramEstimate {
+            time_ms: 2.0,
+            flops: 4e9,
+            useful_bytes: 2e9,
+        };
+        assert!((est.gflops() - 2000.0).abs() < 1e-6);
+        assert!((est.bandwidth_gbps() - 1000.0).abs() < 1e-6);
+    }
+}

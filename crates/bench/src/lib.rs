@@ -1,0 +1,26 @@
+//! # gpgpu-bench
+//!
+//! Figure- and table-regeneration harnesses for the paper's evaluation.
+//! Each `benches/` target is a plain binary (`harness = false`) that prints
+//! the rows/series of one paper figure, computed on the simulator:
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — the benchmark suite and naive-kernel LoC |
+//! | `fig10_design_space` | Figure 10 — mm merge-degree design space |
+//! | `fig11_speedups` | Figure 11 — optimized/naive speedups, both GPUs |
+//! | `fig12_dissection` | Figure 12 — per-stage dissection (geo-mean) |
+//! | `fig13_vs_cublas` | Figure 13 — compiled kernels vs CUBLAS 2.2 |
+//! | `fig14_vectorization` | Figure 14 — complex reduction ± vectorization |
+//! | `fig15_transpose` | Figure 15 — transpose bandwidth vs SDK versions |
+//! | `fig16_mv_camping` | Figure 16 — mv ± partition-camping elimination |
+//! | `fft_study` | §7 — the FFT algorithm-exploration case study |
+//! | `bandwidth` | §2 — float/float2/float4 streaming bandwidth |
+//! | `compiler_perf` | Criterion micro-benchmarks of the compiler itself |
+//!
+//! Run all of them with `cargo bench --workspace`; absolute numbers come
+//! from the timing model (see `gpgpu-sim`), so the *shapes* — who wins and
+//! by roughly what factor — are the reproduction targets, not the paper's
+//! raw GFLOPS.
+
+pub mod harness;

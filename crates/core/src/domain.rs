@@ -1,0 +1,211 @@
+//! Output-domain inference.
+//!
+//! A naive kernel computes one output element at position `(idx, idy)`
+//! (paper §1), so the launch grid is determined by how the output array is
+//! indexed: the dimension indexed with `idx` gives the X extent, the one
+//! indexed with `idy` the Y extent.
+
+use gpgpu_analysis::Bindings;
+use gpgpu_ast::{visit, Builtin, Expr, Kernel, LValue, Stmt};
+use std::fmt;
+
+/// The thread domain a naive kernel covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Domain {
+    /// Extent along X (threads with distinct `idx`).
+    pub x: i64,
+    /// Extent along Y (1 for 1-D kernels).
+    pub y: i64,
+}
+
+impl Domain {
+    /// True for kernels whose work spreads over two grid dimensions.
+    pub fn is_2d(&self) -> bool {
+        self.y > 1
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.x, self.y)
+    }
+}
+
+/// Infers the output domain of a naive kernel.
+///
+/// Every write to a declared output array is inspected; the extents of the
+/// dimensions indexed with `idx`/`idy` must agree across writes.
+///
+/// Returns `None` when no output write uses the thread ids (not a
+/// data-parallel kernel) or when extents conflict.
+pub fn infer_domain(kernel: &Kernel, bindings: &Bindings) -> Option<Domain> {
+    // An explicit domain pragma wins.
+    for p in &kernel.pragmas {
+        if let gpgpu_ast::Pragma::Domain(x, y) = p {
+            return Some(Domain { x: *x, y: *y });
+        }
+    }
+    let outputs = kernel.output_arrays();
+    let mut x: Option<i64> = None;
+    let mut y: Option<i64> = None;
+    let mut conflict = false;
+
+    let mut visit_store = |array: &str, indices: &[Expr]| {
+        if !outputs.iter().any(|o| o == array) {
+            return;
+        }
+        let Some(dims) = kernel.resolve_dims(array, bindings) else {
+            return;
+        };
+        for (d, ix) in indices.iter().enumerate() {
+            let extent = dims.get(d).copied().unwrap_or(1);
+            if ix.uses_builtin(Builtin::IdX) {
+                match x {
+                    None => x = Some(extent),
+                    Some(prev) if prev != extent => conflict = true,
+                    _ => {}
+                }
+            }
+            if ix.uses_builtin(Builtin::IdY) {
+                match y {
+                    None => y = Some(extent),
+                    Some(prev) if prev != extent => conflict = true,
+                    _ => {}
+                }
+            }
+        }
+    };
+
+    visit::walk_stmts(&kernel.body, &mut |s| {
+        if let Stmt::Assign {
+            lhs: LValue::Index { array, indices },
+            ..
+        } = s
+        {
+            visit_store(array, indices);
+        }
+    });
+
+    if conflict {
+        return None;
+    }
+    // Reductions write out[0] guarded by `idx == 0`; their domain is the
+    // extent of the tree array — the array written at `idx` (outputs only
+    // receive the final scalar).
+    if x.is_none() && kernel.uses_global_sync() {
+        let mut tree_extent: Option<i64> = None;
+        visit::walk_stmts(&kernel.body, &mut |s| {
+            if let Stmt::Assign {
+                lhs: LValue::Index { array, indices },
+                ..
+            } = s
+            {
+                if tree_extent.is_none()
+                    && indices.len() == 1
+                    && indices[0].uses_builtin(Builtin::IdX)
+                {
+                    if let Some(dims) = kernel.resolve_dims(array, bindings) {
+                        tree_extent = Some(dims[0]);
+                    }
+                }
+            }
+        });
+        return tree_extent.map(|x| Domain { x, y: 1 });
+    }
+    Some(Domain {
+        x: x?,
+        y: y.unwrap_or(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::parse_kernel;
+
+    fn binds(pairs: &[(&str, i64)]) -> Bindings {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn mm_domain_is_output_matrix() {
+        let k = parse_kernel(
+            "__global__ void mm(float a[n][w], float b[w][m], float c[n][m], int n, int m, int w) {
+                float s = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { s += a[idy][i] * b[i][idx]; }
+                c[idy][idx] = s;
+            }",
+        )
+        .unwrap();
+        let d = infer_domain(&k, &binds(&[("n", 512), ("m", 256), ("w", 128)])).unwrap();
+        assert_eq!(d, Domain { x: 256, y: 512 });
+        assert!(d.is_2d());
+    }
+
+    #[test]
+    fn transpose_domain_follows_idx_dimension() {
+        let k = parse_kernel(
+            "__global__ void tp(float a[n][m], float c[m][n], int n, int m) {
+                c[idx][idy] = a[idy][idx];
+            }",
+        )
+        .unwrap();
+        // c is [m][n]: idx indexes dim 0 (extent m), idy dim 1 (extent n).
+        let d = infer_domain(&k, &binds(&[("n", 512), ("m", 256)])).unwrap();
+        assert_eq!(d, Domain { x: 256, y: 512 });
+    }
+
+    #[test]
+    fn vector_kernel_is_1d() {
+        let k = parse_kernel(
+            "__global__ void vv(float a[n], float b[n], float c[n], int n) {
+                c[idx] = a[idx] * b[idx];
+            }",
+        )
+        .unwrap();
+        let d = infer_domain(&k, &binds(&[("n", 4096)])).unwrap();
+        assert_eq!(d, Domain { x: 4096, y: 1 });
+        assert!(!d.is_2d());
+    }
+
+    #[test]
+    fn reduction_domain_spans_input() {
+        let k = parse_kernel(
+            "#pragma gpgpu output c
+            __global__ void rd(float a[len], float c[1], int len) {
+                for (int s = 512; s > 0; s = s >> 1) {
+                    if (idx < s) { a[idx] = a[idx] + a[idx + s]; }
+                    __gsync();
+                }
+                if (idx == 0) { c[0] = a[0]; }
+            }",
+        )
+        .unwrap();
+        let d = infer_domain(&k, &binds(&[("len", 1024)])).unwrap();
+        assert_eq!(d, Domain { x: 1024, y: 1 });
+    }
+
+    #[test]
+    fn conflicting_extents_rejected() {
+        let k = parse_kernel(
+            "__global__ void f(float c[n], float d[m], int n, int m) {
+                c[idx] = 0.0f;
+                d[idx] = 0.0f;
+            }",
+        )
+        .unwrap();
+        assert!(infer_domain(&k, &binds(&[("n", 128), ("m", 256)])).is_none());
+    }
+
+    #[test]
+    fn affine_output_index_counts() {
+        let k = parse_kernel(
+            "#pragma gpgpu output c
+            __global__ void f(float c[m], int m) { c[2 * idx] = 0.0f; }",
+        )
+        .unwrap();
+        // Domain reported from the indexed dimension's extent.
+        let d = infer_domain(&k, &binds(&[("m", 512)])).unwrap();
+        assert_eq!(d.x, 512);
+    }
+}

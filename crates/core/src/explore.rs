@@ -1,0 +1,315 @@
+//! Design-space exploration (paper §4).
+//!
+//! Merging thread blocks and threads is the compiler's way of choosing tile
+//! sizes and unroll factors; the best degrees depend non-linearly on the
+//! hardware and the input size, so the compiler generates multiple versions
+//! and searches empirically. The paper test-runs each version on the GPU;
+//! here each version is scored by the simulator's trace-driven timing model
+//! (the analytical-model alternative the paper discusses).
+
+use crate::domain::Domain;
+use crate::pipeline::{CompileError, CompileOptions};
+use gpgpu_ast::LaunchConfig;
+use gpgpu_sim::{PerfEstimate, PerfError, PerfOptions};
+use gpgpu_transform::{camping, merge, prefetch, PipelineState};
+
+/// The explored merge degrees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreOptions {
+    /// Thread-block merge factors along X (the paper targets 128/256/512
+    /// threads per block, i.e. merging 8/16/32 half-warp blocks).
+    pub block_merge_x: Vec<i64>,
+    /// Thread merge degrees along Y.
+    pub thread_merge_y: Vec<i64>,
+    /// Thread merge degrees along X, explored for 1-D kernels (a 2-D
+    /// kernel prefers the Y direction, which preserves coalescing for
+    /// free).
+    pub thread_merge_x: Vec<i64>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            block_merge_x: vec![8, 16, 32],
+            thread_merge_y: vec![4, 8, 16, 32],
+            thread_merge_x: vec![2, 4],
+        }
+    }
+}
+
+/// One evaluated point of the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Thread blocks merged along X (1 = none).
+    pub block_merge_x: i64,
+    /// Threads merged along Y (1 = none).
+    pub thread_merge_y: i64,
+    /// Threads merged along X (1 = none; explored for 1-D kernels).
+    pub thread_merge_x: i64,
+    /// Elements per thread for reduction kernels (None otherwise).
+    pub reduction_elems: Option<i64>,
+    /// Estimated time in milliseconds.
+    pub time_ms: f64,
+}
+
+/// The result of exploration: the winning kernel state and its launch.
+#[derive(Debug, Clone)]
+pub struct Explored {
+    /// The winning pipeline state.
+    pub state: PipelineState,
+    /// Its launch configuration.
+    pub launch: LaunchConfig,
+    /// Its performance estimate.
+    pub estimate: PerfEstimate,
+    /// The winning configuration.
+    pub chosen: Candidate,
+    /// Every evaluated point (for Figure 10-style sweeps).
+    pub evaluated: Vec<Candidate>,
+}
+
+/// Builds the launch configuration implied by a pipeline state and domain.
+///
+/// Returns `None` when the domain does not tile evenly.
+pub fn launch_for(state: &PipelineState, domain: &Domain) -> Option<LaunchConfig> {
+    let span_x = state.block_x * state.thread_merge_x;
+    let span_y = state.block_y * state.thread_merge_y;
+    if span_x <= 0 || span_y <= 0 || domain.x % span_x != 0 || domain.y % span_y != 0 {
+        return None;
+    }
+    let grid_x = domain.x / span_x;
+    let grid_y = domain.y / span_y;
+    if grid_x < 1 || grid_y < 1 {
+        return None;
+    }
+    Some(LaunchConfig {
+        grid_x: grid_x as u32,
+        grid_y: grid_y as u32,
+        block_x: state.block_x as u32,
+        block_y: state.block_y as u32,
+    })
+}
+
+/// Applies the post-merge passes (prefetch, partition-camping elimination)
+/// according to the enabled stages.
+pub fn finish_candidate(state: &mut PipelineState, domain: &Domain, opts: &CompileOptions) {
+    // Camping elimination must precede prefetching: prefetch derives its
+    // next-iteration fetch from the (possibly rotated) staging expression,
+    // keeping the advance inside the rotation's modulo.
+    if opts.stages.partition {
+        if let Some(cfg) = launch_for(state, domain) {
+            let grid_2d = cfg.grid_y > 1;
+            // Diagonal remapping is a permutation only on square grids.
+            if !grid_2d || cfg.grid_x == cfg.grid_y {
+                camping::eliminate(state, opts.machine.partitions, grid_2d);
+            }
+        }
+    }
+    if opts.stages.prefetch {
+        prefetch::prefetch(state, opts.machine.max_regs_per_thread);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_transform::PipelineState;
+
+    fn state(bx: i64, by: i64, tmx: i64, tmy: i64) -> PipelineState {
+        let k = gpgpu_ast::parse_kernel(
+            "__global__ void f(float c[n][m], int n, int m) { c[idy][idx] = 0.0f; }",
+        )
+        .unwrap();
+        let mut st = PipelineState::new(k, gpgpu_analysis::Bindings::new());
+        st.block_x = bx;
+        st.block_y = by;
+        st.thread_merge_x = tmx;
+        st.thread_merge_y = tmy;
+        st
+    }
+
+    #[test]
+    fn launch_for_tiles_domain() {
+        let st = state(128, 1, 1, 4);
+        let cfg = launch_for(&st, &Domain { x: 1024, y: 512 }).unwrap();
+        assert_eq!((cfg.grid_x, cfg.grid_y), (8, 128));
+        assert_eq!((cfg.block_x, cfg.block_y), (128, 1));
+    }
+
+    #[test]
+    fn launch_for_rejects_uneven_tiling() {
+        let st = state(128, 1, 1, 1);
+        assert!(launch_for(&st, &Domain { x: 100, y: 1 }).is_none());
+        let st = state(16, 16, 1, 1);
+        assert!(launch_for(&st, &Domain { x: 64, y: 40 }).is_none());
+    }
+
+    #[test]
+    fn default_explore_space_matches_paper() {
+        let e = ExploreOptions::default();
+        // §4: 128/256/512-thread blocks = merging 8/16/32 half-warp blocks.
+        assert_eq!(e.block_merge_x, vec![8, 16, 32]);
+        assert_eq!(e.thread_merge_y, vec![4, 8, 16, 32]);
+    }
+}
+
+/// Explores merge degrees starting from a coalesced kernel state and
+/// returns the best-performing version.
+///
+/// # Errors
+///
+/// Returns [`CompileError::NoValidConfiguration`] when no candidate fits
+/// the machine and tiles the domain.
+pub fn explore(
+    coalesced: &PipelineState,
+    domain: &Domain,
+    opts: &CompileOptions,
+) -> Result<Explored, CompileError> {
+    let mut x_factors = vec![1i64];
+    let mut y_factors = vec![1i64];
+    let mut tx_factors = vec![1i64];
+    if opts.stages.merge {
+        // The 16×16 exchange kernel already has a full block; others grow
+        // toward 128–512 threads.
+        if coalesced.block_y == 1 {
+            x_factors.extend(opts.explore.block_merge_x.iter().copied());
+        }
+        if domain.is_2d() {
+            y_factors.extend(opts.explore.thread_merge_y.iter().copied());
+        } else {
+            tx_factors.extend(opts.explore.thread_merge_x.iter().copied());
+        }
+    }
+
+    let mut combos: Vec<(i64, i64, i64)> = Vec::new();
+    for &bx in &x_factors {
+        for &ty in &y_factors {
+            for &tx in &tx_factors {
+                combos.push((bx, ty, tx));
+            }
+        }
+    }
+
+    // The paper test-runs its candidate kernels independently; we evaluate
+    // them on worker threads the same way.
+    let results: Vec<Result<EvaluatedCandidate, String>> = {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(combos.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<EvaluatedCandidate, String>>> = Vec::new();
+        slots.resize_with(combos.len(), || None);
+        let results = std::sync::Mutex::new(slots);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= combos.len() {
+                        return;
+                    }
+                    let (bx, ty, tx) = combos[i];
+                    let outcome = evaluate_candidate(coalesced, domain, opts, bx, ty, tx);
+                    results.lock().expect("no poisoned workers")[i] = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("scope joined all workers")
+            .into_iter()
+            .map(|r| r.expect("every slot evaluated"))
+            .collect()
+    };
+
+    let mut best: Option<Explored> = None;
+    let mut evaluated = Vec::new();
+    let mut last_error: Option<String> = None;
+    for outcome in results {
+        match outcome {
+            Ok(ev) => {
+                evaluated.push(ev.candidate.clone());
+                let better = best
+                    .as_ref()
+                    .map(|b| ev.estimate.time_ms < b.estimate.time_ms)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(Explored {
+                        state: ev.state,
+                        launch: ev.launch,
+                        estimate: ev.estimate,
+                        chosen: ev.candidate,
+                        evaluated: Vec::new(),
+                    });
+                }
+            }
+            Err(msg) => last_error = Some(msg),
+        }
+    }
+    match best {
+        Some(mut b) => {
+            b.evaluated = evaluated;
+            Ok(b)
+        }
+        None => Err(CompileError::NoValidConfiguration(
+            last_error.unwrap_or_else(|| "no candidates".into()),
+        )),
+    }
+}
+
+/// One successfully evaluated design-space point.
+struct EvaluatedCandidate {
+    state: PipelineState,
+    launch: LaunchConfig,
+    estimate: PerfEstimate,
+    candidate: Candidate,
+}
+
+fn evaluate_candidate(
+    coalesced: &PipelineState,
+    domain: &Domain,
+    opts: &CompileOptions,
+    bx: i64,
+    ty: i64,
+    tx: i64,
+) -> Result<EvaluatedCandidate, String> {
+    let mut st = coalesced.clone();
+    if bx > 1 {
+        merge::thread_block_merge_x(&mut st, bx).map_err(|e| e.to_string())?;
+    }
+    if ty > 1 {
+        merge::thread_merge_y(&mut st, ty).map_err(|e| e.to_string())?;
+    }
+    if tx > 1 {
+        merge::thread_merge_x(&mut st, tx).map_err(|e| e.to_string())?;
+    }
+    finish_candidate(&mut st, domain, opts);
+    let cfg = launch_for(&st, domain)
+        .ok_or_else(|| format!("domain {domain} does not tile {bx}x{ty}x{tx}"))?;
+    let estimate = gpgpu_sim::estimate(
+        &st.kernel,
+        &cfg,
+        &st.bindings,
+        &opts.machine,
+        &PerfOptions {
+            sample_blocks: opts.sample_blocks,
+            ..PerfOptions::default()
+        },
+    )
+    .map_err(|e| match e {
+        PerfError::DoesNotFit(msg) => msg,
+        other => other.to_string(),
+    })?;
+    let candidate = Candidate {
+        block_merge_x: bx,
+        thread_merge_y: ty,
+        thread_merge_x: tx,
+        reduction_elems: None,
+        time_ms: estimate.time_ms,
+    };
+    Ok(EvaluatedCandidate {
+        state: st,
+        launch: cfg,
+        estimate,
+        candidate,
+    })
+}

@@ -1,0 +1,591 @@
+//! The compiler pipeline (paper Figure 1) and its products.
+
+use crate::domain::{infer_domain, Domain};
+use crate::explore::{explore, launch_for, Candidate, ExploreOptions};
+use gpgpu_analysis::{ArrayLayout, Bindings};
+use gpgpu_ast::{print_kernel, Kernel, LaunchConfig, PrintOptions, ScalarType};
+use gpgpu_sim::{MachineDesc, PerfEstimate, PerfOptions};
+use gpgpu_transform::{coalesce, reduction, vectorize, PipelineState};
+use std::fmt;
+
+/// Which optimization stages run — the Figure 12 dissection toggles these
+/// cumulatively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSet {
+    /// §3.1 vectorization.
+    pub vectorize: bool,
+    /// §3.3 coalescing conversion.
+    pub coalesce: bool,
+    /// §3.5 thread/thread-block merge (and reduction restructuring).
+    pub merge: bool,
+    /// §3.6 data prefetching.
+    pub prefetch: bool,
+    /// §3.7 partition-camping elimination.
+    pub partition: bool,
+}
+
+impl StageSet {
+    /// Every stage enabled (the normal compiler).
+    pub fn all() -> StageSet {
+        StageSet {
+            vectorize: true,
+            coalesce: true,
+            merge: true,
+            prefetch: true,
+            partition: true,
+        }
+    }
+
+    /// No stages: the naive kernel as-is.
+    pub fn none() -> StageSet {
+        StageSet {
+            vectorize: false,
+            coalesce: false,
+            merge: false,
+            prefetch: false,
+            partition: false,
+        }
+    }
+
+    /// The cumulative prefixes used by the Figure 12 dissection, in order:
+    /// naive, +vectorize, +coalesce, +merge, +prefetch, +partition.
+    pub fn dissection() -> [(&'static str, StageSet); 6] {
+        let mut sets = [
+            ("naive", StageSet::none()),
+            ("+vectorization", StageSet::none()),
+            ("+coalescing", StageSet::none()),
+            ("+thread/block merge", StageSet::none()),
+            ("+prefetching", StageSet::none()),
+            ("+partition elimination", StageSet::none()),
+        ];
+        sets[1].1.vectorize = true;
+        sets[2].1 = StageSet {
+            vectorize: true,
+            coalesce: true,
+            ..StageSet::none()
+        };
+        sets[3].1 = StageSet {
+            vectorize: true,
+            coalesce: true,
+            merge: true,
+            ..StageSet::none()
+        };
+        sets[4].1 = StageSet {
+            prefetch: true,
+            ..sets[3].1
+        };
+        sets[5].1 = StageSet::all();
+        sets
+    }
+}
+
+/// Compiler invocation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Target hardware.
+    pub machine: MachineDesc,
+    /// Concrete input sizes (the paper compiles per input size).
+    pub bindings: Bindings,
+    /// Enabled stages.
+    pub stages: StageSet,
+    /// Merge degrees to explore.
+    pub explore: ExploreOptions,
+    /// Blocks sampled by the timing model's trace.
+    pub sample_blocks: usize,
+}
+
+impl CompileOptions {
+    /// Options targeting `machine` with every stage enabled.
+    pub fn new(machine: MachineDesc) -> CompileOptions {
+        CompileOptions {
+            machine,
+            bindings: Bindings::new(),
+            stages: StageSet::all(),
+            explore: ExploreOptions::default(),
+            sample_blocks: gpgpu_sim::timing::DEFAULT_SAMPLE_BLOCKS,
+        }
+    }
+
+    /// Binds a size parameter.
+    pub fn bind(mut self, name: &str, value: i64) -> CompileOptions {
+        self.bindings.insert(name.to_string(), value);
+        self
+    }
+
+    /// Replaces the stage set.
+    pub fn with_stages(mut self, stages: StageSet) -> CompileOptions {
+        self.stages = stages;
+        self
+    }
+}
+
+/// One kernel launch of a compiled program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelLaunch {
+    /// The kernel to run.
+    pub kernel: Kernel,
+    /// Its grid/block dimensions.
+    pub launch: LaunchConfig,
+    /// Buffers the runtime must allocate (zero-initialized) beyond the
+    /// naive kernel's parameters — e.g. the reduction partials.
+    pub extra_buffers: Vec<ArrayLayout>,
+}
+
+/// The compiler's output: optimized kernel(s), launch configuration(s),
+/// the predicted performance, and the human-readable source.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// The launch sequence (one kernel, except for restructured reductions).
+    pub launches: Vec<KernelLaunch>,
+    /// Performance estimate of the first launch (see [`Self::total_time_ms`]
+    /// for the sequence).
+    pub estimate: PerfEstimate,
+    /// Per-launch estimates.
+    pub per_launch: Vec<PerfEstimate>,
+    /// Pass log (what the compiler did and why).
+    pub log: Vec<String>,
+    /// The optimized source, printed with the paper's shorthand ids.
+    pub source: String,
+    /// The design-space point that won.
+    pub chosen: Candidate,
+    /// All evaluated design-space points.
+    pub evaluated: Vec<Candidate>,
+}
+
+impl CompiledKernel {
+    /// Total estimated time of the launch sequence, in milliseconds.
+    pub fn total_time_ms(&self) -> f64 {
+        self.per_launch.iter().map(|e| e.time_ms).sum()
+    }
+
+    /// Aggregate GFLOPS over the sequence.
+    pub fn gflops(&self) -> f64 {
+        let flops: u64 = self.per_launch.iter().map(|e| e.stats.flops).sum();
+        flops as f64 / (self.total_time_ms() * 1e-3) / 1e9
+    }
+
+    /// Aggregate effective bandwidth over the sequence, in GB/s.
+    pub fn effective_bandwidth_gbps(&self) -> f64 {
+        let bytes: u64 = self.per_launch.iter().map(|e| e.stats.useful_bytes).sum();
+        bytes as f64 / (self.total_time_ms() * 1e-3) / 1e9
+    }
+}
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The kernel's output domain could not be inferred.
+    NoDomain,
+    /// Every explored configuration was invalid.
+    NoValidConfiguration(String),
+    /// The timing model failed on a candidate.
+    Perf(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoDomain => f.write_str("cannot infer the kernel's output domain"),
+            CompileError::NoValidConfiguration(s) => {
+                write!(f, "no valid configuration: {s}")
+            }
+            CompileError::Perf(s) => write!(f, "timing model failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a naive kernel into its optimized form.
+///
+/// # Errors
+///
+/// See [`CompileError`]. A failure generally means the kernel falls outside
+/// the supported naive shape (paper §7 discusses the compiler's limits).
+pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, CompileError> {
+    let domain = infer_domain(naive, &opts.bindings).ok_or(CompileError::NoDomain)?;
+    let mut state = PipelineState::new(naive.clone(), opts.bindings.clone());
+    if opts.stages.vectorize {
+        vectorize::vectorize(&mut state);
+        // On AMD/ATI parts the compiler additionally widens element-wise
+        // kernels aggressively (paper §3.1): float4 first, then float2.
+        if opts.machine.prefers_wide_vectors() {
+            if vectorize::vectorize_amd(&mut state, 4).width == 0 {
+                vectorize::vectorize_amd(&mut state, 2);
+            }
+        }
+    }
+
+    if state.kernel.uses_global_sync() {
+        return compile_reduction(state, domain, opts);
+    }
+    if !opts.stages.coalesce {
+        return naive_state_compiled(state, domain, opts);
+    }
+    coalesce::coalesce(&mut state);
+
+    let explored = explore(&state, &domain, opts)?;
+    let estimate = explored.estimate;
+    let source = print_kernel(&explored.state.kernel, PrintOptions::default());
+    Ok(CompiledKernel {
+        launches: vec![KernelLaunch {
+            kernel: explored.state.kernel.clone(),
+            launch: explored.launch,
+            extra_buffers: Vec::new(),
+        }],
+        per_launch: vec![estimate.clone()],
+        estimate,
+        log: explored.state.log.clone(),
+        source,
+        chosen: explored.chosen,
+        evaluated: explored.evaluated,
+    })
+}
+
+/// Wraps the naive kernel (no optimization) with a reasonable launch — the
+/// baseline of every speedup figure.
+pub fn naive_compiled(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, CompileError> {
+    let domain = infer_domain(naive, &opts.bindings).ok_or(CompileError::NoDomain)?;
+    let state = PipelineState::new(naive.clone(), opts.bindings.clone());
+    naive_state_compiled(state, domain, opts)
+}
+
+fn naive_state_compiled(
+    state: PipelineState,
+    domain: Domain,
+    opts: &CompileOptions,
+) -> Result<CompiledKernel, CompileError> {
+    let mut st = state;
+    // Pick the widest power-of-two block that tiles the domain.
+    let pick = |extent: i64, choices: &[i64]| {
+        choices
+            .iter()
+            .copied()
+            .find(|&b| extent % b == 0)
+            .unwrap_or(1)
+    };
+    if domain.is_2d() {
+        st.block_x = pick(domain.x, &[16, 8, 4, 2, 1]);
+        st.block_y = pick(domain.y, &[16, 8, 4, 2, 1]);
+    } else {
+        st.block_x = pick(domain.x, &[256, 128, 64, 32, 16, 8, 4, 2, 1]);
+        st.block_y = 1;
+    }
+    let cfg = launch_for(&st, &domain).ok_or_else(|| {
+        CompileError::NoValidConfiguration(format!("domain {domain} does not tile"))
+    })?;
+    let estimate = estimate_launch(&st.kernel, &cfg, &st.bindings, opts)
+        .map_err(CompileError::Perf)?;
+    let source = print_kernel(&st.kernel, PrintOptions::default());
+    Ok(CompiledKernel {
+        launches: vec![KernelLaunch {
+            kernel: st.kernel.clone(),
+            launch: cfg,
+            extra_buffers: Vec::new(),
+        }],
+        per_launch: vec![estimate.clone()],
+        estimate,
+        log: st.log.clone(),
+        source,
+        chosen: Candidate {
+            block_merge_x: 1,
+            thread_merge_y: 1,
+            thread_merge_x: 1,
+            reduction_elems: None,
+            time_ms: 0.0,
+        },
+        evaluated: Vec::new(),
+    })
+}
+
+fn compile_reduction(
+    state: PipelineState,
+    domain: Domain,
+    opts: &CompileOptions,
+) -> Result<CompiledKernel, CompileError> {
+    if !opts.stages.merge {
+        return naive_state_compiled(state, domain, opts);
+    }
+    let mut best: Option<(CompiledKernel, f64)> = None;
+    let mut evaluated = Vec::new();
+    let mut candidates: Vec<Option<i64>> = vec![None];
+    candidates.extend(opts.explore.thread_merge_y.iter().map(|&e| Some(e)));
+    for elems in candidates {
+        let Some(rw) = reduction::rewrite_reduction(&state, elems) else {
+            continue;
+        };
+        let e1 = match estimate_launch(&rw.stage1, &rw.stage1_launch, &state.bindings, opts) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        let e2 = match estimate_launch(&rw.stage2, &rw.stage2_launch, &state.bindings, opts) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        let time = e1.time_ms + e2.time_ms;
+        let cand = Candidate {
+            block_merge_x: 1,
+            thread_merge_y: 1,
+            thread_merge_x: 1,
+            reduction_elems: Some(rw.elems_per_thread),
+            time_ms: time,
+        };
+        evaluated.push(cand.clone());
+        let better = best.as_ref().map(|(_, t)| time < *t).unwrap_or(true);
+        if better {
+            let partial_layout =
+                ArrayLayout::new(&rw.partials, ScalarType::Float, vec![reduction::PARTIALS]);
+            let source = format!(
+                "{}\n{}",
+                print_kernel(&rw.stage1, PrintOptions::default()),
+                print_kernel(&rw.stage2, PrintOptions::default())
+            );
+            let mut log = state.log.clone();
+            log.push(format!(
+                "reduction: restructured into two launches, {} elements/thread",
+                rw.elems_per_thread
+            ));
+            let compiled = CompiledKernel {
+                launches: vec![
+                    KernelLaunch {
+                        kernel: rw.stage1.clone(),
+                        launch: rw.stage1_launch,
+                        extra_buffers: vec![partial_layout.clone()],
+                    },
+                    KernelLaunch {
+                        kernel: rw.stage2.clone(),
+                        launch: rw.stage2_launch,
+                        extra_buffers: vec![partial_layout],
+                    },
+                ],
+                estimate: e1.clone(),
+                per_launch: vec![e1, e2],
+                log,
+                source,
+                chosen: cand,
+                evaluated: Vec::new(),
+            };
+            best = Some((compiled, time));
+        }
+    }
+    match best {
+        Some((mut compiled, _)) => {
+            compiled.evaluated = evaluated;
+            Ok(compiled)
+        }
+        None => Err(CompileError::NoValidConfiguration(
+            "reduction pattern did not match or no degree fit".into(),
+        )),
+    }
+}
+
+/// Threads above which a `__gsync()` kernel's trace is run at a reduced
+/// size and scaled (mega-block execution is O(total threads)).
+const MEGA_TRACE_LIMIT: i64 = 1 << 16;
+
+/// Estimates a launch, transparently shrinking grid-wide (`__gsync`)
+/// kernels to a traceable size and scaling the extensive counters back up.
+pub fn estimate_launch(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    bindings: &Bindings,
+    opts: &CompileOptions,
+) -> Result<PerfEstimate, String> {
+    let perf_opts = PerfOptions {
+        sample_blocks: opts.sample_blocks,
+        ..PerfOptions::default()
+    };
+    let total_threads = cfg.total_threads() as i64;
+    if kernel.uses_global_sync() && total_threads > MEGA_TRACE_LIMIT {
+        let factor = total_threads / MEGA_TRACE_LIMIT;
+        // Shrink every large binding by the same factor (reduction arrays
+        // are all sized proportionally to the input length). Symbolic dims
+        // not divisible by the factor make the shrink unsound — bail out.
+        let mut small = Bindings::new();
+        for (k, &v) in bindings {
+            if v >= MEGA_TRACE_LIMIT {
+                if v % factor != 0 {
+                    return Err(format!("cannot shrink binding {k}={v} by {factor}"));
+                }
+                small.insert(k.clone(), v / factor);
+            } else {
+                small.insert(k.clone(), v);
+            }
+        }
+        let small_cfg = LaunchConfig::one_d(
+            (cfg.grid_x as i64 / factor).max(1) as u32,
+            cfg.block_x,
+        );
+        let est = gpgpu_sim::estimate(kernel, &small_cfg, &small, &opts.machine, &perf_opts)
+            .map_err(|e| e.to_string())?;
+        let mut scaled = est.stats.scaled(factor as f64);
+        // Barrier crossings (tree depth) grow with log2 of the shrink.
+        scaled.gsync_crossings += factor.ilog2() as u64;
+        return Ok(gpgpu_sim::timing::finish(
+            kernel,
+            cfg,
+            &opts.machine,
+            est.blocks_per_sm,
+            scaled,
+        ));
+    }
+    gpgpu_sim::estimate(kernel, cfg, bindings, &opts.machine, &perf_opts)
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::parse_kernel;
+
+    const MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idy][i] * b[i][idx];
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    fn mm_opts(n: i64) -> CompileOptions {
+        CompileOptions::new(MachineDesc::gtx280())
+            .bind("n", n)
+            .bind("w", n)
+    }
+
+    #[test]
+    fn mm_compiles_and_beats_naive() {
+        let k = parse_kernel(MM).unwrap();
+        let opts = mm_opts(512);
+        let optimized = compile(&k, &opts).unwrap();
+        let naive = naive_compiled(&k, &opts).unwrap();
+        assert!(
+            optimized.total_time_ms() < naive.total_time_ms() / 2.0,
+            "optimized {} vs naive {}",
+            optimized.total_time_ms(),
+            naive.total_time_ms()
+        );
+        // The winner merged blocks along X and threads along Y (paper §5).
+        assert!(optimized.chosen.block_merge_x >= 8, "{:?}", optimized.chosen);
+        assert!(optimized.chosen.thread_merge_y >= 4, "{:?}", optimized.chosen);
+        assert!(optimized.source.contains("__shared__"));
+        assert!(!optimized.evaluated.is_empty());
+    }
+
+    #[test]
+    fn dissection_stage_sets_are_cumulative() {
+        let d = StageSet::dissection();
+        assert_eq!(d[0].1, StageSet::none());
+        assert!(d[1].1.vectorize && !d[1].1.coalesce);
+        assert!(d[2].1.coalesce && !d[2].1.merge);
+        assert!(d[3].1.merge && !d[3].1.prefetch);
+        assert!(d[4].1.prefetch && !d[4].1.partition);
+        assert_eq!(d[5].1, StageSet::all());
+    }
+
+    #[test]
+    fn staged_compilation_is_monotone_for_mm() {
+        let k = parse_kernel(MM).unwrap();
+        let base = mm_opts(256);
+        let mut last = f64::INFINITY;
+        for (name, stages) in StageSet::dissection() {
+            let opts = base.clone().with_stages(stages);
+            let compiled = compile(&k, &opts).unwrap();
+            let t = compiled.total_time_ms();
+            assert!(
+                t <= last * 1.05,
+                "stage {name} regressed: {t} ms after {last} ms"
+            );
+            last = last.min(t);
+        }
+    }
+
+    #[test]
+    fn reduction_compiles_to_two_launches() {
+        let k = parse_kernel(
+            "#pragma gpgpu output c
+            __global__ void rd(float a[len], float c[1], int len) {
+                for (int s = len / 2; s > 0; s = s >> 1) {
+                    if (idx < s) { a[idx] = a[idx] + a[idx + s]; }
+                    __gsync();
+                }
+                if (idx == 0) { c[0] = a[0]; }
+            }",
+        )
+        .unwrap();
+        let opts = CompileOptions::new(MachineDesc::gtx280()).bind("len", 1 << 22);
+        let compiled = compile(&k, &opts).unwrap();
+        assert_eq!(compiled.launches.len(), 2);
+        assert!(compiled.chosen.reduction_elems.is_some());
+        assert_eq!(compiled.launches[0].extra_buffers.len(), 1);
+        // And it beats the naive gsync tree.
+        let naive = naive_compiled(&k, &opts).unwrap();
+        assert!(compiled.total_time_ms() < naive.total_time_ms());
+    }
+
+    #[test]
+    fn transpose_compiles_with_camping_fix() {
+        let k = parse_kernel(
+            "__global__ void tp(float a[n][n], float c[n][n], int n) {
+                c[idx][idy] = a[idy][idx];
+            }",
+        )
+        .unwrap();
+        let opts = CompileOptions::new(MachineDesc::gtx280()).bind("n", 1024);
+        let compiled = compile(&k, &opts).unwrap();
+        assert!(compiled.source.contains("diag_bx"), "{}", compiled.source);
+        assert_eq!(compiled.launches[0].launch.block_x, 16);
+        assert_eq!(compiled.launches[0].launch.block_y, 16);
+    }
+
+    #[test]
+    fn amd_targets_widen_elementwise_kernels() {
+        let vv = parse_kernel(
+            "__global__ void vv(float a[n], float b[n], float c[n], int n) {
+                c[idx] = a[idx] * b[idx];
+            }",
+        )
+        .unwrap();
+        let amd = CompileOptions::new(MachineDesc::hd5870()).bind("n", 1 << 20);
+        let compiled = compile(&vv, &amd).unwrap();
+        assert!(compiled.source.contains("float4"), "{}", compiled.source);
+        // NVIDIA targets leave the scalar kernel alone (§3.1's rule).
+        let nv = CompileOptions::new(MachineDesc::gtx280()).bind("n", 1 << 20);
+        let compiled = compile(&vv, &nv).unwrap();
+        assert!(!compiled.source.contains("float4"), "{}", compiled.source);
+    }
+
+    #[test]
+    fn mega_kernels_estimate_via_shrunk_traces() {
+        // A 64M-element reduction cannot be traced directly; the estimate
+        // shrinks the bindings, scales the counters, and adjusts barrier
+        // crossings logarithmically.
+        let k = parse_kernel(
+            "#pragma gpgpu output c
+            __global__ void rd(float a[len], float c[1], int len) {
+                for (int s = len / 2; s > 0; s = s >> 1) {
+                    if (idx < s) { a[idx] = a[idx] + a[idx + s]; }
+                    __gsync();
+                }
+                if (idx == 0) { c[0] = a[0]; }
+            }",
+        )
+        .unwrap();
+        let opts = CompileOptions::new(MachineDesc::gtx280()).bind("len", 1 << 26);
+        let cfg = LaunchConfig::one_d((1 << 26) / 256, 256);
+        let est = estimate_launch(&k, &cfg, &opts.bindings, &opts).unwrap();
+        // Traffic is linear in n: roughly 2·4B per element for the first
+        // tree level and geometrically less after.
+        assert!(est.stats.useful_bytes > (1u64 << 26) * 4, "{est:?}");
+        assert_eq!(est.stats.gsync_crossings, 26);
+        assert!(est.time_ms > 0.5, "{}", est.time_ms);
+    }
+
+    #[test]
+    fn unknown_sizes_fail_cleanly() {
+        let k = parse_kernel(MM).unwrap();
+        let opts = CompileOptions::new(MachineDesc::gtx280());
+        assert!(compile(&k, &opts).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Functional equivalence checking: the optimized program must compute
+//! exactly what the naive kernel computes.
+//!
+//! Both versions run on the functional simulator against identical
+//! pseudo-random inputs; the declared outputs are compared element-wise
+//! with a small floating-point tolerance (transformations reassociate
+//! sums). Every compiler transformation in this repository is validated
+//! through this door.
+
+use crate::pipeline::{naive_compiled, CompileOptions, CompiledKernel};
+use gpgpu_analysis::resolve_layouts_padded;
+use gpgpu_ast::Kernel;
+use gpgpu_sim::{launch, Device, ExecOptions};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Relative tolerance for output comparison.
+const RTOL: f32 = 1e-3;
+/// Absolute tolerance for output comparison.
+const ATOL: f32 = 1e-4;
+
+/// A failed equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// Reference or candidate setup failed.
+    Setup(String),
+    /// Execution of either version failed.
+    Exec(String),
+    /// Outputs differ beyond tolerance.
+    Mismatch {
+        /// Output array.
+        array: String,
+        /// Flat logical index of the first differing element.
+        index: usize,
+        /// Naive (reference) value.
+        reference: f32,
+        /// Optimized value.
+        optimized: f32,
+    },
+    /// The optimized program never wrote a declared output.
+    MissingOutput(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Setup(s) => write!(f, "setup: {s}"),
+            VerifyError::Exec(s) => write!(f, "execution: {s}"),
+            VerifyError::Mismatch {
+                array,
+                index,
+                reference,
+                optimized,
+            } => write!(
+                f,
+                "mismatch in `{array}`[{index}]: naive {reference} vs optimized {optimized}"
+            ),
+            VerifyError::MissingOutput(a) => write!(f, "output `{a}` was never allocated"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Deterministic input data: a per-array LCG stream in [-1, 1).
+fn fill(name: &str, len: usize) -> Vec<f32> {
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ name.bytes().map(u64::from).sum::<u64>();
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+/// Runs the naive kernel and the compiled program on identical inputs and
+/// compares the declared outputs.
+///
+/// Use small `bindings` — the functional simulator executes every thread.
+///
+/// # Errors
+///
+/// Returns the first divergence found, or a setup/execution failure.
+pub fn verify_equivalence(
+    naive: &Kernel,
+    compiled: &CompiledKernel,
+    opts: &CompileOptions,
+) -> Result<(), VerifyError> {
+    verify_equivalence_with(naive, compiled, opts, &HashMap::new())
+}
+
+/// Like [`verify_equivalence`], but with caller-supplied input streams for
+/// selected arrays (numerically sensitive inputs — e.g. a triangular
+/// solve's well-conditioned matrix — override the default pseudo-random
+/// data).
+///
+/// # Errors
+///
+/// Same as [`verify_equivalence`].
+pub fn verify_equivalence_with(
+    naive: &Kernel,
+    compiled: &CompiledKernel,
+    opts: &CompileOptions,
+    overrides: &HashMap<String, Vec<f32>>,
+) -> Result<(), VerifyError> {
+    let outputs = naive.output_arrays();
+
+    // Input streams shared by both runs, keyed by array name.
+    let naive_layouts = resolve_layouts_padded(naive, &opts.bindings)
+        .map_err(|e| VerifyError::Setup(e.to_string()))?;
+    let mut streams: HashMap<String, Vec<f32>> = HashMap::new();
+    for p in naive.array_params() {
+        let layout = &naive_layouts[&p.name];
+        let lanes = layout.elem.lanes() as i64;
+        let want_len = (layout.logical_elems() * lanes) as usize;
+        let stream = match overrides.get(&p.name) {
+            Some(data) => {
+                if data.len() != want_len {
+                    return Err(VerifyError::Setup(format!(
+                        "override for `{}` has {} values, expected {want_len}",
+                        p.name,
+                        data.len()
+                    )));
+                }
+                data.clone()
+            }
+            None => fill(&p.name, want_len),
+        };
+        streams.insert(p.name.clone(), stream);
+    }
+
+    // Reference run.
+    let reference = naive_compiled(naive, opts).map_err(|e| VerifyError::Setup(e.to_string()))?;
+    let mut ref_dev = Device::new(opts.machine.clone());
+    for p in naive.array_params() {
+        ref_dev.alloc(naive_layouts[&p.name].clone());
+        ref_dev
+            .buffer_mut(&p.name)
+            .expect("just allocated")
+            .upload(&streams[&p.name]);
+    }
+    for l in &reference.launches {
+        launch(
+            &l.kernel,
+            &l.launch,
+            &opts.bindings,
+            &mut ref_dev,
+            &ExecOptions::default(),
+        )
+        .map_err(|e| VerifyError::Exec(format!("naive: {e}")))?;
+    }
+
+    // Candidate run: allocate the union of arrays across the launches.
+    let mut cand_dev = Device::new(opts.machine.clone());
+    for l in &compiled.launches {
+        let layouts = resolve_layouts_padded(&l.kernel, &opts.bindings)
+            .map_err(|e| VerifyError::Setup(e.to_string()))?;
+        for p in l.kernel.array_params() {
+            if cand_dev.buffer(&p.name).is_ok() {
+                continue;
+            }
+            cand_dev.alloc(layouts[&p.name].clone());
+            if let Some(stream) = streams.get(&p.name) {
+                cand_dev
+                    .buffer_mut(&p.name)
+                    .expect("just allocated")
+                    .upload(stream);
+            }
+        }
+        for extra in &l.extra_buffers {
+            if cand_dev.buffer(&extra.name).is_err() {
+                cand_dev.alloc(extra.clone());
+            }
+        }
+    }
+    for l in &compiled.launches {
+        launch(
+            &l.kernel,
+            &l.launch,
+            &opts.bindings,
+            &mut cand_dev,
+            &ExecOptions::default(),
+        )
+        .map_err(|e| VerifyError::Exec(format!("optimized `{}`: {e}", l.kernel.name)))?;
+    }
+
+    // Compare the declared outputs.
+    for out in &outputs {
+        let want = ref_dev
+            .buffer(out)
+            .map_err(|e| VerifyError::Setup(e.to_string()))?
+            .download();
+        let got = cand_dev
+            .buffer(out)
+            .map_err(|_| VerifyError::MissingOutput(out.clone()))?
+            .download();
+        if want.len() != got.len() {
+            return Err(VerifyError::Setup(format!(
+                "output `{out}` length differs: {} vs {}",
+                want.len(),
+                got.len()
+            )));
+        }
+        for (i, (&w, &g)) in want.iter().zip(&got).enumerate() {
+            let tol = ATOL + RTOL * w.abs().max(g.abs());
+            if (w - g).abs() > tol {
+                return Err(VerifyError::Mismatch {
+                    array: out.clone(),
+                    index: i,
+                    reference: w,
+                    optimized: g,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compile;
+    use gpgpu_ast::parse_kernel;
+    use gpgpu_sim::MachineDesc;
+
+    #[test]
+    fn optimized_mm_matches_naive() {
+        let k = parse_kernel(
+            "__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { sum += a[idy][i] * b[i][idx]; }
+                c[idy][idx] = sum;
+            }",
+        )
+        .unwrap();
+        let opts = CompileOptions::new(MachineDesc::gtx280())
+            .bind("n", 128)
+            .bind("w", 128);
+        let compiled = compile(&k, &opts).unwrap();
+        verify_equivalence(&k, &compiled, &opts).unwrap();
+    }
+
+    #[test]
+    fn broken_program_is_caught() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) { c[idx] = a[idx] * 2.0f; }",
+        )
+        .unwrap();
+        let opts = CompileOptions::new(MachineDesc::gtx280()).bind("n", 64);
+        let mut compiled = compile(&k, &opts).unwrap();
+        // Corrupt the optimized kernel: scale by 3 instead of 2.
+        let wrong = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) { c[idx] = a[idx] * 3.0f; }",
+        )
+        .unwrap();
+        compiled.launches[0].kernel = wrong;
+        let err = verify_equivalence(&k, &compiled, &opts).unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn reduction_two_stage_matches_gsync_tree() {
+        let k = parse_kernel(
+            "#pragma gpgpu output c
+            __global__ void rd(float a[len], float c[1], int len) {
+                for (int s = len / 2; s > 0; s = s >> 1) {
+                    if (idx < s) { a[idx] = a[idx] + a[idx + s]; }
+                    __gsync();
+                }
+                if (idx == 0) { c[0] = a[0]; }
+            }",
+        )
+        .unwrap();
+        let opts = CompileOptions::new(MachineDesc::gtx280()).bind("len", 1 << 16);
+        let compiled = compile(&k, &opts).unwrap();
+        assert_eq!(compiled.launches.len(), 2);
+        verify_equivalence(&k, &compiled, &opts).unwrap();
+    }
+
+    #[test]
+    fn deterministic_fill_is_stable() {
+        assert_eq!(fill("a", 8), fill("a", 8));
+        assert_ne!(fill("a", 8), fill("b", 8));
+        assert!(fill("a", 1024).iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+}

@@ -1,0 +1,477 @@
+//! The 1-D FFT case study of paper §7.
+//!
+//! Four variants of a Stockham (autosorting, out-of-place) complex FFT:
+//!
+//! * [`radix2_program`] — the *naive 2-point* kernel: one butterfly per
+//!   thread, log₂ n launches (the paper's 50-line naive kernel);
+//! * [`merged2_program`] — what the compiler's thread merge produces:
+//!   each thread performs an 8-point FFT *built from generic 2-point
+//!   butterflies* (every internal twiddle is a full complex multiply),
+//!   log₈ n launches;
+//! * [`radix8_program`] — the hand-written *naive 8-point* kernel: the same
+//!   structure with the trivial twiddles (±1, ±i, √2/2(1∓i)) simplified;
+//! * the *optimized 8-point* of the paper is [`radix8_program`] further
+//!   compiled (block-merged) by the driver — the harness does that.
+//!
+//! Data is stored as split re/im arrays; stages ping-pong between an `x`
+//! and a `y` buffer pair. Twiddle tables are per-stage constants the
+//! harness uploads (see [`Workspace`]).
+
+use gpgpu_analysis::ArrayLayout;
+use gpgpu_ast::{parse_kernel, LaunchConfig, ScalarType};
+use gpgpu_core::KernelLaunch;
+use std::f64::consts::PI;
+
+/// A complex value (host side).
+pub type C = (f64, f64);
+
+fn cmul(a: C, b: C) -> C {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+fn cadd(a: C, b: C) -> C {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn csub(a: C, b: C) -> C {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// `exp(-2πi t/d)`.
+fn w(t: i64, d: i64) -> C {
+    let ang = -2.0 * PI * t as f64 / d as f64;
+    (ang.cos(), ang.sin())
+}
+
+/// Direct O(n²) DFT — the testing oracle.
+pub fn dft(x: &[C]) -> Vec<C> {
+    let n = x.len() as i64;
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0, 0.0);
+            for (t, &v) in x.iter().enumerate() {
+                acc = cadd(acc, cmul(v, w(k * t as i64, n)));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// 8-point DFT via the three-level 2-point butterfly network (DIT with
+/// bit-reversed inputs). Public for the kernel generators' tests.
+pub fn dft8(y: [C; 8]) -> [C; 8] {
+    const REV: [usize; 8] = [0, 4, 2, 6, 1, 5, 3, 7];
+    let mut v: [C; 8] = [(0.0, 0.0); 8];
+    for k in 0..8 {
+        v[k] = y[REV[k]];
+    }
+    // Level 1: distance 1, twiddle 1.
+    for p in (0..8).step_by(2) {
+        let (a, b) = (v[p], v[p + 1]);
+        v[p] = cadd(a, b);
+        v[p + 1] = csub(a, b);
+    }
+    // Level 2: distance 2, twiddles W4^{0,1}.
+    for g in (0..8).step_by(4) {
+        for o in 0..2 {
+            let tw = w(o as i64, 4);
+            let t = cmul(tw, v[g + o + 2]);
+            let a = v[g + o];
+            v[g + o] = cadd(a, t);
+            v[g + o + 2] = csub(a, t);
+        }
+    }
+    // Level 3: distance 4, twiddles W8^{0..3}.
+    for o in 0..4 {
+        let tw = w(o as i64, 8);
+        let t = cmul(tw, v[o + 4]);
+        let a = v[o];
+        v[o] = cadd(a, t);
+        v[o + 4] = csub(a, t);
+    }
+    v
+}
+
+/// Host Stockham radix-2 FFT (reference for the kernel pipelines).
+pub fn fft_host(x: &[C]) -> Vec<C> {
+    let n = x.len();
+    assert!(n.is_power_of_two());
+    let mut a = x.to_vec();
+    let mut b = vec![(0.0, 0.0); n];
+    let m = n / 2;
+    let mut l = 1usize;
+    while l < n {
+        for i in 0..m {
+            let j = i % l;
+            let tw = w(j as i64, 2 * l as i64);
+            let u = a[i];
+            let v = cmul(tw, a[i + m]);
+            b[2 * i - j] = cadd(u, v);
+            b[2 * i - j + l] = csub(u, v);
+        }
+        std::mem::swap(&mut a, &mut b);
+        l *= 2;
+    }
+    a
+}
+
+/// Host Stockham radix-8 FFT (n must be a power of 8).
+pub fn fft8_host(x: &[C]) -> Vec<C> {
+    let n = x.len();
+    let mut a = x.to_vec();
+    let mut b = vec![(0.0, 0.0); n];
+    let m = n / 8;
+    let mut l = 1usize;
+    while l < n {
+        for i in 0..m {
+            let j = i % l;
+            let mut y = [(0.0, 0.0); 8];
+            for (k, slot) in y.iter_mut().enumerate() {
+                *slot = cmul(w((j * k) as i64, 8 * l as i64), a[i + k * m]);
+            }
+            let z = dft8(y);
+            for (k, zv) in z.iter().enumerate() {
+                b[8 * i - 7 * j + k * l] = *zv;
+            }
+        }
+        std::mem::swap(&mut a, &mut b);
+        l *= 8;
+    }
+    a
+}
+
+/// Buffers an FFT pipeline needs: the ping-pong data arrays plus the
+/// per-stage twiddle tables with their contents.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Zero-initialized data arrays (the harness uploads the input into
+    /// `x_re`/`x_im`).
+    pub data: Vec<ArrayLayout>,
+    /// Constant tables: layout plus contents.
+    pub tables: Vec<(ArrayLayout, Vec<f32>)>,
+    /// Which buffer pair holds the result (`"x"` or `"y"`).
+    pub result_in: &'static str,
+}
+
+fn data_layouts(n: i64) -> Vec<ArrayLayout> {
+    ["x_re", "x_im", "y_re", "y_im"]
+        .iter()
+        .map(|name| ArrayLayout::new(*name, ScalarType::Float, vec![n]))
+        .collect()
+}
+
+/// Builds the naive 2-point program: log₂ n single-butterfly launches.
+pub fn radix2_program(n: i64) -> (Vec<KernelLaunch>, Workspace) {
+    assert!(n >= 2 && (n & (n - 1)) == 0, "n must be a power of two");
+    let m = n / 2;
+    let mut launches = Vec::new();
+    let mut tables = Vec::new();
+    let mut l = 1i64;
+    let mut stage = 0usize;
+    while l < n {
+        let (src, dst) = if stage % 2 == 0 { ("x", "y") } else { ("y", "x") };
+        let wr = format!("w{stage}_re");
+        let wi = format!("w{stage}_im");
+        // Full-length tables (indexed by thread id) avoid a second modulo.
+        let mut tr = Vec::with_capacity(m as usize);
+        let mut ti = Vec::with_capacity(m as usize);
+        for i in 0..m {
+            let tw = w(i % l, 2 * l);
+            tr.push(tw.0 as f32);
+            ti.push(tw.1 as f32);
+        }
+        tables.push((ArrayLayout::new(&wr, ScalarType::Float, vec![m]), tr));
+        tables.push((ArrayLayout::new(&wi, ScalarType::Float, vec![m]), ti));
+
+        let src_code = format!(
+            r#"
+#pragma gpgpu domain {m}
+__global__ void fft2_s{stage}(float {src}_re[{n}], float {src}_im[{n}], float {dst}_re[{n}], float {dst}_im[{n}], float {wr}[{m}], float {wi}[{m}]) {{
+    int j = idx % {l};
+    float ar = {src}_re[idx];
+    float ai = {src}_im[idx];
+    float vr = {wr}[idx] * {src}_re[idx + {m}] - {wi}[idx] * {src}_im[idx + {m}];
+    float vi = {wr}[idx] * {src}_im[idx + {m}] + {wi}[idx] * {src}_re[idx + {m}];
+    {dst}_re[2 * idx - j] = ar + vr;
+    {dst}_im[2 * idx - j] = ai + vi;
+    {dst}_re[2 * idx - j + {l}] = ar - vr;
+    {dst}_im[2 * idx - j + {l}] = ai - vi;
+}}
+"#
+        );
+        let kernel = parse_kernel(&src_code).expect("generated radix-2 stage parses");
+        let block = m.clamp(1, 128);
+        launches.push(KernelLaunch {
+            kernel,
+            launch: LaunchConfig::one_d((m / block) as u32, block as u32),
+            extra_buffers: Vec::new(),
+        });
+        l *= 2;
+        stage += 1;
+    }
+    let result_in = if stage % 2 == 0 { "x" } else { "y" };
+    (
+        launches,
+        Workspace {
+            data: data_layouts(n),
+            tables,
+            result_in,
+        },
+    )
+}
+
+/// Emits the complex multiply `dst = tw · (sr, si)` as source lines,
+/// simplifying trivial twiddles when `simplify` is set.
+fn emit_cmul(dst: &str, tw: C, sr: &str, si: &str, simplify: bool, out: &mut String) {
+    let near = |a: f64, b: f64| (a - b).abs() < 1e-12;
+    if simplify && near(tw.0, 1.0) && near(tw.1, 0.0) {
+        out.push_str(&format!("    float {dst}_r = {sr};\n    float {dst}_i = {si};\n"));
+        return;
+    }
+    if simplify && near(tw.0, 0.0) && near(tw.1, -1.0) {
+        // multiply by -i: (r, i) → (i, -r)
+        out.push_str(&format!(
+            "    float {dst}_r = {si};\n    float {dst}_i = 0.0f - {sr};\n"
+        ));
+        return;
+    }
+    let (re, im) = (tw.0 as f32, tw.1 as f32);
+    out.push_str(&format!(
+        "    float {dst}_r = {re:?}f * {sr} - {im:?}f * {si};\n    float {dst}_i = {re:?}f * {si} + {im:?}f * {sr};\n"
+    ));
+}
+
+/// Builds an 8-point-per-thread program. With `simplify` false this is the
+/// *compiler-merged* variant (every internal twiddle is a generic 2-point
+/// complex multiply); with `simplify` true it is the hand-written *naive
+/// 8-point* kernel.
+pub fn radix8_like_program(n: i64, simplify: bool) -> (Vec<KernelLaunch>, Workspace) {
+    assert!(n >= 8 && {
+        // power of 8
+        let mut v = n;
+        while v % 8 == 0 {
+            v /= 8;
+        }
+        v == 1
+    });
+    let m = n / 8;
+    let mut launches = Vec::new();
+    let mut tables = Vec::new();
+    let mut l = 1i64;
+    let mut stage = 0usize;
+    const REV: [usize; 8] = [0, 4, 2, 6, 1, 5, 3, 7];
+    while l < n {
+        let (src, dst) = if stage % 2 == 0 { ("x", "y") } else { ("y", "x") };
+        // Stage twiddles w(j·k, 8l) for k = 1..8, flattened [7][m].
+        let twr = format!("t{stage}_re");
+        let twi = format!("t{stage}_im");
+        let mut tr = Vec::with_capacity(7 * m as usize);
+        let mut ti = Vec::with_capacity(7 * m as usize);
+        for k in 1..8i64 {
+            for i in 0..m {
+                let tw = w((i % l) * k, 8 * l);
+                tr.push(tw.0 as f32);
+                ti.push(tw.1 as f32);
+            }
+        }
+        tables.push((
+            ArrayLayout::new(&twr, ScalarType::Float, vec![7, m]),
+            tr,
+        ));
+        tables.push((
+            ArrayLayout::new(&twi, ScalarType::Float, vec![7, m]),
+            ti,
+        ));
+
+        let mut body = String::new();
+        body.push_str(&format!("    int j = idx % {l};\n"));
+        // Load + stage twiddle.
+        body.push_str(&format!(
+            "    float y0_r = {src}_re[idx];\n    float y0_i = {src}_im[idx];\n"
+        ));
+        for k in 1..8 {
+            let km = k - 1;
+            body.push_str(&format!(
+                "    float y{k}_r = {twr}[{km}][idx] * {src}_re[idx + {off}] - {twi}[{km}][idx] * {src}_im[idx + {off}];\n",
+                off = k as i64 * m
+            ));
+            body.push_str(&format!(
+                "    float y{k}_i = {twr}[{km}][idx] * {src}_im[idx + {off}] + {twi}[{km}][idx] * {src}_re[idx + {off}];\n",
+                off = k as i64 * m
+            ));
+        }
+        // Bit-reversed working set.
+        for k in 0..8 {
+            body.push_str(&format!(
+                "    float v{k}_r = y{}_r;\n    float v{k}_i = y{}_i;\n",
+                REV[k], REV[k]
+            ));
+        }
+        // Level 1.
+        for p in (0..8).step_by(2) {
+            body.push_str(&format!(
+                "    float a{p}_r = v{p}_r + v{q}_r;\n    float a{p}_i = v{p}_i + v{q}_i;\n    float a{q}_r = v{p}_r - v{q}_r;\n    float a{q}_i = v{p}_i - v{q}_i;\n",
+                q = p + 1
+            ));
+        }
+        // Level 2.
+        for g in (0..8).step_by(4) {
+            for o in 0..2 {
+                let tw = w(o as i64, 4);
+                let p = g + o;
+                let q = g + o + 2;
+                emit_cmul(
+                    &format!("t{q}"),
+                    tw,
+                    &format!("a{q}_r"),
+                    &format!("a{q}_i"),
+                    simplify,
+                    &mut body,
+                );
+                body.push_str(&format!(
+                    "    float b{p}_r = a{p}_r + t{q}_r;\n    float b{p}_i = a{p}_i + t{q}_i;\n    float b{q}_r = a{p}_r - t{q}_r;\n    float b{q}_i = a{p}_i - t{q}_i;\n"
+                ));
+            }
+        }
+        // Level 3.
+        for o in 0..4 {
+            let tw = w(o as i64, 8);
+            let p = o;
+            let q = o + 4;
+            emit_cmul(
+                &format!("u{q}"),
+                tw,
+                &format!("b{q}_r"),
+                &format!("b{q}_i"),
+                simplify,
+                &mut body,
+            );
+            body.push_str(&format!(
+                "    float z{p}_r = b{p}_r + u{q}_r;\n    float z{p}_i = b{p}_i + u{q}_i;\n    float z{q}_r = b{p}_r - u{q}_r;\n    float z{q}_i = b{p}_i - u{q}_i;\n"
+            ));
+        }
+        // Scatter.
+        for k in 0..8i64 {
+            body.push_str(&format!(
+                "    {dst}_re[8 * idx - 7 * j + {off}] = z{k}_r;\n    {dst}_im[8 * idx - 7 * j + {off}] = z{k}_i;\n",
+                off = k * l
+            ));
+        }
+        let src_code = format!(
+            "#pragma gpgpu domain {m}\n__global__ void fft8_s{stage}(float {src}_re[{n}], float {src}_im[{n}], float {dst}_re[{n}], float {dst}_im[{n}], float {twr}[7][{m}], float {twi}[7][{m}]) {{\n{body}}}\n"
+        );
+        let kernel = parse_kernel(&src_code).expect("generated radix-8 stage parses");
+        let block = m.clamp(1, 128);
+        launches.push(KernelLaunch {
+            kernel,
+            launch: LaunchConfig::one_d((m / block) as u32, block as u32),
+            extra_buffers: Vec::new(),
+        });
+        l *= 8;
+        stage += 1;
+    }
+    let result_in = if stage % 2 == 0 { "x" } else { "y" };
+    (
+        launches,
+        Workspace {
+            data: data_layouts(n),
+            tables,
+            result_in,
+        },
+    )
+}
+
+/// The compiler-merged variant (generic 2-point math inside, §7's 41-GFLOPS
+/// point).
+pub fn merged2_program(n: i64) -> (Vec<KernelLaunch>, Workspace) {
+    radix8_like_program(n, false)
+}
+
+/// The hand-written naive 8-point variant (§7's 44-GFLOPS point).
+pub fn radix8_program(n: i64) -> (Vec<KernelLaunch>, Workspace) {
+    radix8_like_program(n, true)
+}
+
+/// FFT flops by the 5·n·log₂n convention used in GPU FFT papers.
+pub fn fft_flops(n: i64) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[C], b: &[C], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.0 - y.0).abs() < tol && (x.1 - y.1).abs() < tol,
+                "at {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn impulse_and_random(n: usize) -> Vec<C> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37 + 11) % 97) as f64 / 97.0 - 0.5;
+                let y = ((i * 61 + 29) % 89) as f64 / 89.0 - 0.5;
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dft8_matches_direct() {
+        let x = impulse_and_random(8);
+        let want = dft(&x);
+        let got = dft8([x[0], x[1], x[2], x[3], x[4], x[5], x[6], x[7]]);
+        close(&got, &want, 1e-9);
+    }
+
+    #[test]
+    fn stockham_radix2_matches_dft() {
+        for n in [2usize, 4, 16, 64, 256] {
+            let x = impulse_and_random(n);
+            close(&fft_host(&x), &dft(&x), 1e-6 * n as f64);
+        }
+    }
+
+    #[test]
+    fn stockham_radix8_matches_dft() {
+        for n in [8usize, 64, 512] {
+            let x = impulse_and_random(n);
+            close(&fft8_host(&x), &dft(&x), 1e-6 * n as f64);
+        }
+    }
+
+    #[test]
+    fn programs_build_for_paper_size() {
+        let (l2, ws2) = radix2_program(1 << 8);
+        assert_eq!(l2.len(), 8);
+        assert_eq!(ws2.result_in, "x");
+        let (l8, ws8) = radix8_program(1 << 9); // 8^3
+        assert_eq!(l8.len(), 3);
+        assert_eq!(ws8.result_in, "y");
+        let (lm, _) = merged2_program(1 << 9);
+        assert_eq!(lm.len(), 3);
+    }
+
+    #[test]
+    fn merged_variant_has_more_multiplies_than_simplified() {
+        // Count multiply tokens in the generated sources.
+        let muls = |launches: &[KernelLaunch]| -> usize {
+            launches
+                .iter()
+                .map(|l| {
+                    gpgpu_ast::print_kernel(&l.kernel, gpgpu_ast::PrintOptions::default())
+                        .matches('*')
+                        .count()
+                })
+                .sum()
+        };
+        let (merged, _) = merged2_program(512);
+        let (simplified, _) = radix8_program(512);
+        assert!(muls(&merged) > muls(&simplified));
+    }
+}

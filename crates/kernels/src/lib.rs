@@ -1,0 +1,156 @@
+#![warn(missing_docs)]
+
+//! # gpgpu-kernels
+//!
+//! The benchmark suite of the paper's evaluation (Table 1): naive MiniCUDA
+//! kernels for the ten scientific/media-processing algorithms, the
+//! complex-number reduction of Figure 14, the FFT variants of §7, and the
+//! hand-tuned comparators standing in for CUBLAS 2.2 and the CUDA SDK
+//! transpose.
+//!
+//! Each [`Benchmark`] bundles the naive source with its size bindings and
+//! the flop/byte formulas the figures report:
+//!
+//! ```
+//! use gpgpu_kernels::{table1, Benchmark};
+//!
+//! let suite = table1();
+//! assert_eq!(suite.len(), 10);
+//! let mm = gpgpu_kernels::by_name("mm").unwrap();
+//! let kernel = mm.kernel();
+//! assert_eq!(kernel.name, "mm");
+//! ```
+
+pub mod fft;
+pub mod naive;
+pub mod reference;
+pub mod tuned;
+
+use gpgpu_analysis::Bindings;
+use gpgpu_ast::{parse_kernel, Kernel};
+
+/// One benchmark of the evaluation suite.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short name as used in the paper's figures.
+    pub name: &'static str,
+    /// What the algorithm computes.
+    pub description: &'static str,
+    /// The naive kernel source (the compiler input).
+    pub source: &'static str,
+    /// Lines of code of the naive kernel, as reported in Table 1.
+    pub loc: u32,
+    /// Default problem-size selector (matrix edge / vector length).
+    pub default_size: i64,
+    /// The sizes the paper sweeps.
+    pub sizes: &'static [i64],
+    /// Whether a CUBLAS comparator exists (Figure 13's six algorithms).
+    pub in_cublas: bool,
+    /// Builds the size bindings for a problem-size selector.
+    pub bind: fn(i64) -> Bindings,
+    /// Floating-point operations for a problem size.
+    pub flops: fn(i64) -> f64,
+    /// Application-level bytes moved (for effective-bandwidth figures).
+    pub bytes: fn(i64) -> f64,
+}
+
+impl Benchmark {
+    /// Parses the naive kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source is invalid — a bug caught by tests.
+    pub fn kernel(&self) -> Kernel {
+        parse_kernel(self.source).expect("embedded benchmark source parses")
+    }
+
+    /// The bindings for this benchmark's default size.
+    pub fn default_bindings(&self) -> Bindings {
+        (self.bind)(self.default_size)
+    }
+}
+
+/// The ten algorithms of Table 1, in the paper's order.
+pub fn table1() -> Vec<&'static Benchmark> {
+    vec![
+        &naive::TMV,
+        &naive::MM,
+        &naive::MV,
+        &naive::VV,
+        &naive::RD,
+        &naive::STRSM,
+        &naive::CONV,
+        &naive::TP,
+        &naive::DEMOSAIC,
+        &naive::IMREGIONMAX,
+    ]
+}
+
+/// Looks a benchmark up by its figure name (including `rdc`, the
+/// complex-number reduction of Figure 14).
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    table1()
+        .into_iter()
+        .chain(std::iter::once(&naive::RDC))
+        .find(|b| b.name == name)
+}
+
+/// Helper used by the `bind` functions.
+pub(crate) fn bindings(pairs: &[(&str, i64)]) -> Bindings {
+    pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_parse() {
+        for b in table1() {
+            let k = b.kernel();
+            assert_eq!(k.name, b.name, "benchmark name mismatch");
+        }
+        naive::RDC.kernel();
+    }
+
+    #[test]
+    fn loc_counts_are_declared() {
+        // Table 1 credibility: naive kernels are tiny.
+        for b in table1() {
+            assert!(b.loc >= 1 && b.loc <= 30, "{}: {}", b.name, b.loc);
+            let body_lines = b.source.lines().filter(|l| !l.trim().is_empty()).count();
+            assert!(body_lines <= 40, "{} too long: {body_lines}", b.name);
+        }
+    }
+
+    #[test]
+    fn six_benchmarks_have_cublas_comparators() {
+        let n = table1().iter().filter(|b| b.in_cublas).count();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn default_bindings_resolve_all_dims() {
+        for b in table1() {
+            let k = b.kernel();
+            let bindings = b.default_bindings();
+            for p in k.array_params() {
+                assert!(
+                    k.resolve_dims(&p.name, &bindings).is_some(),
+                    "{}: array {} unresolved",
+                    b.name,
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_finds_everything() {
+        for b in table1() {
+            assert!(by_name(b.name).is_some());
+        }
+        assert!(by_name("rdc").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

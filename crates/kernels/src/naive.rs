@@ -1,0 +1,323 @@
+//! The naive kernels of Table 1 — the compiler's inputs.
+//!
+//! Each kernel computes a single output element at `(idx, idy)` with no
+//! device-specific optimization, exactly the programming model the paper
+//! asks of application developers. Reductions use the `__gsync()` grid
+//! barrier the input language provides.
+
+use crate::{bindings, Benchmark};
+
+/// Transposed-matrix–vector multiplication `c = Aᵀ·b` (`a` stored `[w][n]`).
+pub static TMV: Benchmark = Benchmark {
+    name: "tmv",
+    description: "transpose matrix vector multiplication",
+    source: r#"
+__global__ void tmv(float a[w][n], float b[w], float c[n], int n, int w) {
+    float sum = 0.0f;
+    for (int i = 0; i < w; i = i + 1) {
+        sum += a[i][idx] * b[i];
+    }
+    c[idx] = sum;
+}
+"#,
+    loc: 11,
+    default_size: 2048,
+    sizes: &[1024, 2048, 4096],
+    in_cublas: true,
+    bind: |n| bindings(&[("n", n), ("w", n)]),
+    flops: |n| 2.0 * n as f64 * n as f64,
+    bytes: |n| 4.0 * (n as f64 * n as f64 + 2.0 * n as f64),
+};
+
+/// Matrix multiplication `c = a·b`.
+pub static MM: Benchmark = Benchmark {
+    name: "mm",
+    description: "matrix multiplication",
+    source: r#"
+__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+    float sum = 0.0f;
+    for (int i = 0; i < w; i = i + 1) {
+        sum += a[idy][i] * b[i][idx];
+    }
+    c[idy][idx] = sum;
+}
+"#,
+    loc: 10,
+    default_size: 2048,
+    sizes: &[1024, 2048, 4096],
+    in_cublas: true,
+    bind: |n| bindings(&[("n", n), ("w", n)]),
+    flops: |n| 2.0 * (n as f64).powi(3),
+    bytes: |n| 4.0 * 3.0 * n as f64 * n as f64,
+};
+
+/// Matrix–vector multiplication `c = a·b`.
+pub static MV: Benchmark = Benchmark {
+    name: "mv",
+    description: "matrix-vector multiplication",
+    source: r#"
+__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+    float sum = 0.0f;
+    for (int i = 0; i < w; i = i + 1) {
+        sum += a[idx][i] * b[i];
+    }
+    c[idx] = sum;
+}
+"#,
+    loc: 11,
+    default_size: 2048,
+    sizes: &[1024, 2048, 4096],
+    in_cublas: true,
+    bind: |n| bindings(&[("n", n), ("w", n)]),
+    flops: |n| 2.0 * n as f64 * n as f64,
+    bytes: |n| 4.0 * (n as f64 * n as f64 + 2.0 * n as f64),
+};
+
+/// Element-wise vector–vector multiplication.
+pub static VV: Benchmark = Benchmark {
+    name: "vv",
+    description: "vector-vector multiplication",
+    source: r#"
+__global__ void vv(float a[n], float b[n], float c[n], int n) {
+    c[idx] = a[idx] * b[idx];
+}
+"#,
+    loc: 3,
+    default_size: 2048 * 2048,
+    sizes: &[1024 * 1024, 2048 * 2048, 4096 * 4096],
+    in_cublas: true,
+    bind: |n| bindings(&[("n", n)]),
+    flops: |n| n as f64,
+    bytes: |n| 4.0 * 3.0 * n as f64,
+};
+
+/// Sum reduction over `len` floats, written with the `__gsync()` tree.
+pub static RD: Benchmark = Benchmark {
+    name: "rd",
+    description: "reduction (sum)",
+    source: r#"
+#pragma gpgpu output c
+__global__ void rd(float a[len], float c[1], int len) {
+    for (int s = len / 2; s > 0; s = s >> 1) {
+        if (idx < s) {
+            a[idx] = a[idx] + a[idx + s];
+        }
+        __gsync();
+    }
+    if (idx == 0) {
+        c[0] = a[0];
+    }
+}
+"#,
+    loc: 9,
+    default_size: 4 * 1024 * 1024,
+    sizes: &[1024 * 1024, 4 * 1024 * 1024, 16 * 1024 * 1024],
+    in_cublas: true,
+    bind: |n| bindings(&[("len", n)]),
+    flops: |n| n as f64,
+    bytes: |n| 4.0 * n as f64,
+};
+
+/// Complex-number reduction (CublasScasum shape): `Σ |re| + |im|`, with the
+/// real parts stored next to the imaginary parts (Figure 14's workload).
+pub static RDC: Benchmark = Benchmark {
+    name: "rdc",
+    description: "reduction over complex numbers",
+    source: r#"
+#pragma gpgpu output c
+__global__ void rdc(float a[len2], float t[len], float c[1], int len, int len2) {
+    t[idx] = fabsf(a[2 * idx]) + fabsf(a[2 * idx + 1]);
+    __gsync();
+    for (int s = len / 2; s > 0; s = s >> 1) {
+        if (idx < s) {
+            t[idx] = t[idx] + t[idx + s];
+        }
+        __gsync();
+    }
+    if (idx == 0) {
+        c[0] = t[0];
+    }
+}
+"#,
+    loc: 12,
+    default_size: 4 * 1024 * 1024,
+    sizes: &[1024 * 1024, 4 * 1024 * 1024, 16 * 1024 * 1024],
+    in_cublas: true,
+    bind: |n| bindings(&[("len", n), ("len2", 2 * n)]),
+    flops: |n| 3.0 * n as f64,
+    bytes: |n| 8.0 * n as f64,
+};
+
+/// Triangular solve with multiple right-hand sides: `l·x = b2` with `l`
+/// lower-triangular; each thread forward-substitutes one column.
+pub static STRSM: Benchmark = Benchmark {
+    name: "strsm",
+    description: "matrix equation solver (triangular, multiple RHS)",
+    source: r#"
+#pragma gpgpu output x
+__global__ void strsm(float l[n][n], float b2[n][n], float x[n][n], int n) {
+    for (int r = 0; r < n; r = r + 1) {
+        float s = b2[r][idx];
+        for (int k = 0; k < n; k = k + 1) {
+            if (k < r) {
+                s = s - l[r][k] * x[k][idx];
+            }
+        }
+        x[r][idx] = s / l[r][r];
+    }
+}
+"#,
+    loc: 18,
+    default_size: 1024,
+    sizes: &[1024, 2048, 4096],
+    in_cublas: true,
+    bind: |n| bindings(&[("n", n)]),
+    flops: |n| (n as f64).powi(3),
+    bytes: |n| 4.0 * 3.0 * n as f64 * n as f64,
+};
+
+/// 2-D convolution of a 4k×4k image with a 32×32 kernel; the input carries
+/// a 32-pixel apron so the naive kernel needs no boundary tests.
+pub static CONV: Benchmark = Benchmark {
+    name: "conv",
+    description: "2-D convolution (32x32 kernel)",
+    source: r#"
+__global__ void conv(float img[h2][w2], float g[kh][kw], float c[h][w], int h, int w, int h2, int w2, int kh, int kw) {
+    float s = 0.0f;
+    for (int ky = 0; ky < kh; ky = ky + 1) {
+        for (int kx = 0; kx < kw; kx = kx + 1) {
+            s += img[idy + ky][idx + kx] * g[ky][kx];
+        }
+    }
+    c[idy][idx] = s;
+}
+"#,
+    loc: 12,
+    default_size: 4096,
+    sizes: &[1024, 2048, 4096],
+    in_cublas: false,
+    bind: |n| {
+        bindings(&[
+            ("h", n),
+            ("w", n),
+            ("h2", n + 32),
+            ("w2", n + 32),
+            ("kh", 32),
+            ("kw", 32),
+        ])
+    },
+    flops: |n| 2.0 * n as f64 * n as f64 * 32.0 * 32.0,
+    bytes: |n| 4.0 * 2.0 * n as f64 * n as f64,
+};
+
+/// Matrix transpose.
+pub static TP: Benchmark = Benchmark {
+    name: "tp",
+    description: "matrix transpose",
+    source: r#"
+__global__ void tp(float a[n][n], float c[n][n], int n) {
+    c[idx][idy] = a[idy][idx];
+}
+"#,
+    loc: 11,
+    default_size: 4096,
+    sizes: &[1024, 2048, 3072, 4096, 8192],
+    in_cublas: false,
+    bind: |n| bindings(&[("n", n)]),
+    flops: |_| 0.0,
+    bytes: |n| 4.0 * 2.0 * n as f64 * n as f64,
+};
+
+/// Bayer demosaicing (green-channel bilinear reconstruction): pixels on the
+/// green sites copy the sample, others average their four neighbours. The
+/// raw input carries a 2-pixel apron.
+pub static DEMOSAIC: Benchmark = Benchmark {
+    name: "demosaic",
+    description: "image reconstruction (demosaicing)",
+    source: r#"
+__global__ void demosaic(float raw[h2][w2], float g[h][w], int h, int w, int h2, int w2) {
+    float v = raw[idy + 1][idx + 1];
+    float up = raw[idy][idx + 1];
+    float down = raw[idy + 2][idx + 1];
+    float left = raw[idy + 1][idx];
+    float right = raw[idy + 1][idx + 2];
+    float interp = (up + down + left + right) * 0.25f;
+    g[idy][idx] = (idx + idy) % 2 == 0 ? v : interp;
+}
+"#,
+    loc: 27,
+    default_size: 2048,
+    sizes: &[1024, 2048, 4096],
+    in_cublas: false,
+    bind: |n| bindings(&[("h", n), ("w", n), ("h2", n + 2), ("w2", n + 2)]),
+    flops: |n| 4.0 * n as f64 * n as f64,
+    bytes: |n| 4.0 * 2.0 * n as f64 * n as f64,
+};
+
+/// Regional maxima: a pixel is 1 when it strictly dominates its 8
+/// neighbours. The input carries a 2-pixel apron.
+pub static IMREGIONMAX: Benchmark = Benchmark {
+    name: "imregionmax",
+    description: "find the regional maxima (3x3 neighbourhood)",
+    source: r#"
+__global__ void imregionmax(float img[h2][w2], float out[h][w], int h, int w, int h2, int w2) {
+    float v = img[idy + 1][idx + 1];
+    float m = img[idy][idx];
+    m = fmaxf(m, img[idy][idx + 1]);
+    m = fmaxf(m, img[idy][idx + 2]);
+    m = fmaxf(m, img[idy + 1][idx]);
+    m = fmaxf(m, img[idy + 1][idx + 2]);
+    m = fmaxf(m, img[idy + 2][idx]);
+    m = fmaxf(m, img[idy + 2][idx + 1]);
+    m = fmaxf(m, img[idy + 2][idx + 2]);
+    out[idy][idx] = v > m ? 1.0f : 0.0f;
+}
+"#,
+    loc: 26,
+    default_size: 2048,
+    sizes: &[1024, 2048, 4096],
+    in_cublas: false,
+    bind: |n| bindings(&[("h", n), ("w", n), ("h2", n + 2), ("w2", n + 2)]),
+    flops: |n| 9.0 * n as f64 * n as f64,
+    bytes: |n| 4.0 * 2.0 * n as f64 * n as f64,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_core::{infer_domain, Domain};
+
+    #[test]
+    fn domains_match_output_shapes() {
+        let cases: &[(&Benchmark, i64, Domain)] = &[
+            (&TMV, 256, Domain { x: 256, y: 1 }),
+            (&MM, 256, Domain { x: 256, y: 256 }),
+            (&MV, 256, Domain { x: 256, y: 1 }),
+            (&VV, 4096, Domain { x: 4096, y: 1 }),
+            (&RD, 4096, Domain { x: 4096, y: 1 }),
+            (&STRSM, 256, Domain { x: 256, y: 1 }),
+            (&CONV, 256, Domain { x: 256, y: 256 }),
+            (&TP, 256, Domain { x: 256, y: 256 }),
+            (&DEMOSAIC, 256, Domain { x: 256, y: 256 }),
+            (&IMREGIONMAX, 256, Domain { x: 256, y: 256 }),
+        ];
+        for (b, size, want) in cases {
+            let d = infer_domain(&b.kernel(), &(b.bind)(*size)).unwrap();
+            assert_eq!(d, *want, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn rd_kernels_use_global_sync() {
+        assert!(RD.kernel().uses_global_sync());
+        assert!(RDC.kernel().uses_global_sync());
+        assert!(!MM.kernel().uses_global_sync());
+    }
+
+    #[test]
+    fn conv_apron_sizes_consistent() {
+        let b = (CONV.bind)(1024);
+        assert_eq!(b["h2"], b["h"] + 32);
+        assert_eq!(b["w2"], b["w"] + 32);
+    }
+}

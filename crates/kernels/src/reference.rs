@@ -1,0 +1,256 @@
+//! Host (CPU) reference implementations — the ground truth the simulator
+//! results are checked against in the integration tests.
+//!
+//! All matrices are row-major `f32` slices.
+
+/// `c = a·b` for `a: n×w`, `b: w×n` (square output `n×n`).
+pub fn mm(a: &[f32], b: &[f32], n: usize, w: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; n * n];
+    for y in 0..n {
+        for x in 0..n {
+            let mut s = 0.0f32;
+            for i in 0..w {
+                s += a[y * w + i] * b[i * n + x];
+            }
+            c[y * n + x] = s;
+        }
+    }
+    c
+}
+
+/// `c = a·b` for `a: n×w`, `b: w`.
+pub fn mv(a: &[f32], b: &[f32], n: usize, w: usize) -> Vec<f32> {
+    (0..n)
+        .map(|r| (0..w).map(|i| a[r * w + i] * b[i]).sum())
+        .collect()
+}
+
+/// `c = aᵀ·b` for `a: w×n`, `b: w`.
+pub fn tmv(a: &[f32], b: &[f32], n: usize, w: usize) -> Vec<f32> {
+    (0..n)
+        .map(|cix| (0..w).map(|i| a[i * n + cix] * b[i]).sum())
+        .collect()
+}
+
+/// Element-wise product.
+pub fn vv(a: &[f32], b: &[f32]) -> Vec<f32> {
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// Sum of all elements (pairwise, mirroring the gsync tree's association).
+pub fn rd(a: &[f32]) -> f32 {
+    let mut v = a.to_vec();
+    let mut s = v.len() / 2;
+    while s > 0 {
+        for i in 0..s {
+            v[i] += v[i + s];
+        }
+        s /= 2;
+    }
+    v[0]
+}
+
+/// `Σ |re| + |im|` over interleaved complex data.
+pub fn rdc(a: &[f32]) -> f32 {
+    let t: Vec<f32> = a.chunks(2).map(|c| c[0].abs() + c[1].abs()).collect();
+    rd(&t)
+}
+
+/// Forward substitution `l·x = b` with `l: n×n` lower-triangular and
+/// `b: n×n` (column-per-RHS).
+pub fn strsm(l: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut x = vec![0.0f32; n * n];
+    for col in 0..n {
+        for r in 0..n {
+            let mut s = b[r * n + col];
+            for k in 0..r {
+                s -= l[r * n + k] * x[k * n + col];
+            }
+            x[r * n + col] = s / l[r * n + r];
+        }
+    }
+    x
+}
+
+/// Valid 2-D convolution of `img: (h+kh)×(w+kw)` with `g: kh×kw`,
+/// producing `h×w`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv(img: &[f32], g: &[f32], h: usize, w: usize, kh: usize, kw: usize) -> Vec<f32> {
+    let w2 = w + kw;
+    let mut out = vec![0.0f32; h * w];
+    for y in 0..h {
+        for x in 0..w {
+            let mut s = 0.0f32;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    s += img[(y + ky) * w2 + (x + kx)] * g[ky * kw + kx];
+                }
+            }
+            out[y * w + x] = s;
+        }
+    }
+    out
+}
+
+/// Matrix transpose `c = aᵀ` for square `n×n`.
+pub fn tp(a: &[f32], n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; n * n];
+    for y in 0..n {
+        for x in 0..n {
+            c[x * n + y] = a[y * n + x];
+        }
+    }
+    c
+}
+
+/// Green-channel bilinear demosaic; `raw: (h+2)×(w+2)` with a 1-pixel
+/// apron on each side.
+pub fn demosaic(raw: &[f32], h: usize, w: usize) -> Vec<f32> {
+    let w2 = w + 2;
+    let mut g = vec![0.0f32; h * w];
+    for y in 0..h {
+        for x in 0..w {
+            let v = raw[(y + 1) * w2 + (x + 1)];
+            let interp = 0.25
+                * (raw[y * w2 + (x + 1)]
+                    + raw[(y + 2) * w2 + (x + 1)]
+                    + raw[(y + 1) * w2 + x]
+                    + raw[(y + 1) * w2 + (x + 2)]);
+            g[y * w + x] = if (x + y) % 2 == 0 { v } else { interp };
+        }
+    }
+    g
+}
+
+/// 3×3 regional maxima; `img: (h+2)×(w+2)` with a 1-pixel apron.
+pub fn imregionmax(img: &[f32], h: usize, w: usize) -> Vec<f32> {
+    let w2 = w + 2;
+    let mut out = vec![0.0f32; h * w];
+    for y in 0..h {
+        for x in 0..w {
+            let v = img[(y + 1) * w2 + (x + 1)];
+            let mut m = f32::NEG_INFINITY;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    if dy == 1 && dx == 1 {
+                        continue;
+                    }
+                    m = m.max(img[(y + dy) * w2 + (x + dx)]);
+                }
+            }
+            out[y * w + x] = if v > m { 1.0 } else { 0.0 };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_identity() {
+        let n = 4;
+        let mut id = vec![0.0f32; n * n];
+        for i in 0..n {
+            id[i * n + i] = 1.0;
+        }
+        let a: Vec<f32> = (0..n * n).map(|v| v as f32).collect();
+        assert_eq!(mm(&a, &id, n, n), a);
+    }
+
+    #[test]
+    fn mv_and_tmv_agree_on_symmetric_input() {
+        let n = 4;
+        let mut a = vec![0.0f32; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                a[y * n + x] = ((x + 1) * (y + 1)) as f32;
+            }
+        }
+        let b: Vec<f32> = (0..n).map(|v| v as f32).collect();
+        assert_eq!(mv(&a, &b, n, n), tmv(&a, &b, n, n));
+    }
+
+    #[test]
+    fn rd_sums() {
+        let a: Vec<f32> = (0..1024).map(|v| v as f32).collect();
+        assert_eq!(rd(&a), (0..1024).sum::<i32>() as f32);
+    }
+
+    #[test]
+    fn rdc_sums_magnitudes() {
+        let a = vec![1.0f32, -2.0, -3.0, 4.0];
+        assert_eq!(rdc(&a), 10.0);
+    }
+
+    #[test]
+    fn strsm_solves() {
+        let n = 4;
+        // l = lower triangular with 2 on the diagonal, 1 below.
+        let mut l = vec![0.0f32; n * n];
+        for r in 0..n {
+            for k in 0..=r {
+                l[r * n + k] = if k == r { 2.0 } else { 1.0 };
+            }
+        }
+        let x_true: Vec<f32> = (0..n * n).map(|v| (v % 5) as f32).collect();
+        // b = l · x_true
+        let mut b = vec![0.0f32; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                for k in 0..n {
+                    b[r * n + c] += l[r * n + k] * x_true[k * n + c];
+                }
+            }
+        }
+        let x = strsm(&l, &b, n);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tp_involution() {
+        let n = 8;
+        let a: Vec<f32> = (0..n * n).map(|v| v as f32).collect();
+        assert_eq!(tp(&tp(&a, n), n), a);
+    }
+
+    #[test]
+    fn conv_with_delta_kernel_is_shift() {
+        let (h, w, kh, kw) = (4, 4, 2, 2);
+        let img: Vec<f32> = (0..(h + kh) * (w + kw)).map(|v| v as f32).collect();
+        let mut g = vec![0.0f32; kh * kw];
+        g[0] = 1.0; // delta at (0,0)
+        let out = conv(&img, &g, h, w, kh, kw);
+        for y in 0..h {
+            for x in 0..w {
+                assert_eq!(out[y * w + x], img[y * (w + kw) + x]);
+            }
+        }
+    }
+
+    #[test]
+    fn imregionmax_flags_peak() {
+        let (h, w) = (3, 3);
+        let mut img = vec![0.0f32; (h + 2) * (w + 2)];
+        img[2 * (w + 2) + 2] = 5.0; // centre pixel of output (1,1)
+        let out = imregionmax(&img, h, w);
+        assert_eq!(out[w + 1], 1.0);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn demosaic_parity() {
+        let (h, w) = (2, 2);
+        let raw: Vec<f32> = (0..(h + 2) * (w + 2)).map(|v| v as f32).collect();
+        let g = demosaic(&raw, h, w);
+        // (0,0): even parity → copy raw[1][1] = 5 (w2 = 4).
+        assert_eq!(g[0], raw[5]);
+        // (1,0): odd parity → average of the 4 neighbours of raw[2][1].
+        let w2 = w + 2;
+        let want = 0.25 * (raw[w2 + 1] + raw[3 * w2 + 1] + raw[2 * w2] + raw[2 * w2 + 2]);
+        assert_eq!(g[w], want);
+    }
+}

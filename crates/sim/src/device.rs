@@ -1,0 +1,324 @@
+//! Simulated device memory: global buffers with padded layouts.
+
+use crate::machine::MachineDesc;
+use crate::value::Val;
+use gpgpu_analysis::ArrayLayout;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised by device-memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An access used an array name with no allocated buffer.
+    UnknownBuffer(String),
+    /// An access fell outside the array's logical extents.
+    OutOfBounds {
+        /// Array accessed.
+        array: String,
+        /// Offending per-dimension indices.
+        indices: Vec<i64>,
+    },
+    /// Wrong number of indices for the array's rank.
+    RankMismatch {
+        /// Array accessed.
+        array: String,
+        /// Indices supplied.
+        got: usize,
+        /// Rank expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::UnknownBuffer(a) => write!(f, "unknown buffer `{a}`"),
+            DeviceError::OutOfBounds { array, indices } => {
+                write!(f, "out-of-bounds access {array}{indices:?}")
+            }
+            DeviceError::RankMismatch {
+                array,
+                got,
+                expected,
+            } => write!(f, "{array}: {got} indices for rank-{expected} array"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// One global-memory allocation.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    /// Resolved (padded) layout.
+    pub layout: ArrayLayout,
+    /// Backing storage, one `f32` per 32-bit lane; empty in phantom mode.
+    pub data: Vec<f32>,
+    /// Byte address of the first element in the simulated address space.
+    pub base_addr: i64,
+    phantom: bool,
+}
+
+impl Buffer {
+    /// Bytes the buffer occupies (padding included).
+    pub fn size_bytes(&self) -> i64 {
+        self.layout.alloc_elems() * self.layout.elem.size_bytes() as i64
+    }
+
+    /// Element offset (in elements, padding-aware) of a multi-dim index,
+    /// bounds-checked against the logical extents.
+    pub fn elem_offset(&self, indices: &[i64]) -> Result<i64, DeviceError> {
+        if indices.len() != self.layout.dims.len() {
+            return Err(DeviceError::RankMismatch {
+                array: self.layout.name.clone(),
+                got: indices.len(),
+                expected: self.layout.dims.len(),
+            });
+        }
+        for (d, (&ix, &extent)) in indices.iter().zip(&self.layout.dims).enumerate() {
+            // The innermost dimension may use the padded pitch (the compiler
+            // pads allocations); higher dims are strict.
+            let limit = if d == indices.len() - 1 {
+                self.layout.row_pitch
+            } else {
+                extent
+            };
+            if ix < 0 || ix >= limit {
+                return Err(DeviceError::OutOfBounds {
+                    array: self.layout.name.clone(),
+                    indices: indices.to_vec(),
+                });
+            }
+        }
+        Ok(self.layout.linearize_concrete(indices))
+    }
+
+    /// Byte address of an element offset.
+    pub fn byte_addr(&self, elem_offset: i64) -> i64 {
+        self.base_addr + elem_offset * self.layout.elem.size_bytes() as i64
+    }
+
+    /// Reads the element at `indices`.
+    pub fn read(&self, indices: &[i64]) -> Result<Val, DeviceError> {
+        let off = self.elem_offset(indices)?;
+        if self.phantom {
+            return Ok(Val::zero(self.layout.elem));
+        }
+        let lanes = self.layout.elem.lanes() as usize;
+        let base = off as usize * lanes;
+        Ok(match lanes {
+            1 => Val::F(self.data[base]),
+            2 => Val::F2([self.data[base], self.data[base + 1]]),
+            _ => Val::F4([
+                self.data[base],
+                self.data[base + 1],
+                self.data[base + 2],
+                self.data[base + 3],
+            ]),
+        })
+    }
+
+    /// Writes the element at `indices`.
+    pub fn write(&mut self, indices: &[i64], v: Val) -> Result<(), DeviceError> {
+        let off = self.elem_offset(indices)?;
+        if self.phantom {
+            return Ok(());
+        }
+        let lanes = self.layout.elem.lanes() as usize;
+        let base = off as usize * lanes;
+        for lane in 0..lanes {
+            self.data[base + lane] = v.component(lane).unwrap_or(0.0);
+        }
+        Ok(())
+    }
+
+    /// Uploads a logical row-major `f32` stream (no padding) into the
+    /// buffer, respecting row padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not hold exactly the logical lane count, or on a
+    /// phantom buffer.
+    pub fn upload(&mut self, src: &[f32]) {
+        assert!(!self.phantom, "cannot upload to a phantom buffer");
+        let lanes = self.layout.elem.lanes() as i64;
+        assert_eq!(src.len() as i64, self.layout.logical_elems() * lanes);
+        let row_len = (*self.layout.dims.last().unwrap() * lanes) as usize;
+        let pitch = (self.layout.row_pitch * lanes) as usize;
+        let rows = (self.layout.logical_elems() / self.layout.dims.last().unwrap()) as usize;
+        for r in 0..rows {
+            self.data[r * pitch..r * pitch + row_len]
+                .copy_from_slice(&src[r * row_len..(r + 1) * row_len]);
+        }
+    }
+
+    /// Downloads the logical contents as a row-major `f32` stream.
+    pub fn download(&self) -> Vec<f32> {
+        let lanes = self.layout.elem.lanes() as i64;
+        let row_len = (*self.layout.dims.last().unwrap() * lanes) as usize;
+        let pitch = (self.layout.row_pitch * lanes) as usize;
+        let rows = (self.layout.logical_elems() / self.layout.dims.last().unwrap()) as usize;
+        let mut out = Vec::with_capacity(rows * row_len);
+        for r in 0..rows {
+            out.extend_from_slice(&self.data[r * pitch..r * pitch + row_len]);
+        }
+        out
+    }
+}
+
+/// The simulated device: a machine description plus named global buffers.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Hardware description (drives the timing model and validation).
+    pub machine: MachineDesc,
+    buffers: HashMap<String, Buffer>,
+    next_base: i64,
+}
+
+impl Device {
+    /// Creates a device for the given machine.
+    pub fn new(machine: MachineDesc) -> Device {
+        Device {
+            machine,
+            buffers: HashMap::new(),
+            next_base: 0,
+        }
+    }
+
+    /// Allocates a zero-initialized buffer.
+    pub fn alloc(&mut self, layout: ArrayLayout) -> &mut Buffer {
+        self.alloc_inner(layout, false)
+    }
+
+    /// Allocates an address-only buffer: reads return zero, writes vanish.
+    /// Used by the timing model to trace huge launches without the memory.
+    pub fn alloc_phantom(&mut self, layout: ArrayLayout) -> &mut Buffer {
+        self.alloc_inner(layout, true)
+    }
+
+    fn alloc_inner(&mut self, layout: ArrayLayout, phantom: bool) -> &mut Buffer {
+        let name = layout.name.clone();
+        let lanes = layout.elem.lanes() as i64;
+        let data = if phantom {
+            Vec::new()
+        } else {
+            vec![0.0; (layout.alloc_elems() * lanes) as usize]
+        };
+        let buffer = Buffer {
+            base_addr: self.next_base,
+            phantom,
+            data,
+            layout,
+        };
+        // Allocations are 256-byte aligned, like the CUDA allocator.
+        self.next_base += (buffer.size_bytes() + 255) / 256 * 256;
+        self.buffers.insert(name.clone(), buffer);
+        self.buffers.get_mut(&name).expect("just inserted")
+    }
+
+    /// The buffer named `name`.
+    pub fn buffer(&self, name: &str) -> Result<&Buffer, DeviceError> {
+        self.buffers
+            .get(name)
+            .ok_or_else(|| DeviceError::UnknownBuffer(name.to_string()))
+    }
+
+    /// Mutable access to the buffer named `name`.
+    pub fn buffer_mut(&mut self, name: &str) -> Result<&mut Buffer, DeviceError> {
+        self.buffers
+            .get_mut(name)
+            .ok_or_else(|| DeviceError::UnknownBuffer(name.to_string()))
+    }
+
+    /// Names of all allocated buffers.
+    pub fn buffer_names(&self) -> Vec<String> {
+        self.buffers.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::ScalarType;
+
+    fn layout_2d() -> ArrayLayout {
+        ArrayLayout::new("a", ScalarType::Float, vec![4, 5]).padded_to(16)
+    }
+
+    #[test]
+    fn upload_download_round_trip_with_padding() {
+        let mut dev = Device::new(MachineDesc::gtx280());
+        dev.alloc(layout_2d());
+        let src: Vec<f32> = (0..20).map(|v| v as f32).collect();
+        dev.buffer_mut("a").unwrap().upload(&src);
+        assert_eq!(dev.buffer("a").unwrap().download(), src);
+        // Padded pitch really is 16.
+        assert_eq!(dev.buffer("a").unwrap().layout.row_pitch, 16);
+        assert_eq!(dev.buffer("a").unwrap().data.len(), 4 * 16);
+    }
+
+    #[test]
+    fn read_write_elements() {
+        let mut dev = Device::new(MachineDesc::gtx280());
+        dev.alloc(layout_2d());
+        let b = dev.buffer_mut("a").unwrap();
+        b.write(&[2, 3], Val::F(7.5)).unwrap();
+        assert_eq!(b.read(&[2, 3]).unwrap(), Val::F(7.5));
+        assert_eq!(b.read(&[2, 4]).unwrap(), Val::F(0.0));
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mut dev = Device::new(MachineDesc::gtx280());
+        dev.alloc(layout_2d());
+        let b = dev.buffer("a").unwrap();
+        // Row index strict; column may extend into the padding.
+        assert!(b.read(&[4, 0]).is_err());
+        assert!(b.read(&[0, 15]).is_ok());
+        assert!(b.read(&[0, 16]).is_err());
+        assert!(b.read(&[0, -1]).is_err());
+        assert!(matches!(
+            b.read(&[0]),
+            Err(DeviceError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn float2_buffers_store_two_lanes() {
+        let mut dev = Device::new(MachineDesc::gtx280());
+        dev.alloc(ArrayLayout::new("v", ScalarType::Float2, vec![8]));
+        let b = dev.buffer_mut("v").unwrap();
+        b.upload(&(0..16).map(|v| v as f32).collect::<Vec<_>>());
+        assert_eq!(b.read(&[3]).unwrap(), Val::F2([6.0, 7.0]));
+        b.write(&[0], Val::F2([9.0, 10.0])).unwrap();
+        assert_eq!(b.download()[0..2], [9.0, 10.0]);
+    }
+
+    #[test]
+    fn base_addresses_are_disjoint_and_aligned() {
+        let mut dev = Device::new(MachineDesc::gtx280());
+        dev.alloc(ArrayLayout::new("a", ScalarType::Float, vec![100]));
+        dev.alloc(ArrayLayout::new("b", ScalarType::Float, vec![100]));
+        let a = dev.buffer("a").unwrap();
+        let b = dev.buffer("b").unwrap();
+        assert_eq!(a.base_addr % 256, 0);
+        assert_eq!(b.base_addr % 256, 0);
+        assert!(b.base_addr >= a.base_addr + a.size_bytes());
+    }
+
+    #[test]
+    fn phantom_buffers_trace_without_memory() {
+        let mut dev = Device::new(MachineDesc::gtx280());
+        dev.alloc_phantom(ArrayLayout::new(
+            "huge",
+            ScalarType::Float,
+            vec![1 << 20, 1 << 10],
+        ));
+        let b = dev.buffer_mut("huge").unwrap();
+        assert!(b.data.is_empty());
+        assert_eq!(b.read(&[5, 5]).unwrap(), Val::F(0.0));
+        b.write(&[5, 5], Val::F(1.0)).unwrap();
+        assert_eq!(b.read(&[5, 5]).unwrap(), Val::F(0.0));
+        assert!(b.read(&[1 << 20, 0]).is_err());
+    }
+}

@@ -1,0 +1,1577 @@
+//! Functional SIMT interpreter.
+//!
+//! Kernels are executed block by block in *lock-step vector* style: each
+//! statement is evaluated once, over a vector of lanes (one per thread in
+//! the block), with divergence expressed as boolean masks. `__syncthreads()`
+//! is then a validity check rather than an operation — if it is reached with
+//! a divergent mask the kernel is broken, which the interpreter reports.
+//!
+//! Kernels using the grid-wide `__gsync()` barrier of naive reduction
+//! kernels run in *mega-block* mode: the whole grid is one lane vector.
+//!
+//! Besides computing results (used to verify that optimized kernels are
+//! semantics-preserving), the interpreter traces memory behaviour: global
+//! transactions at 32-byte-line granularity, the partition each line lands
+//! in, shared-memory bank conflicts, and issued warp instructions. The
+//! timing model consumes these traces.
+
+use crate::device::{Buffer, Device, DeviceError};
+use crate::value::Val;
+use gpgpu_analysis::Bindings;
+use gpgpu_ast::{
+    BinOp, Builtin, Expr, Field, Kernel, LValue, LaunchConfig, Stmt, UnOp,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-block statement-execution cap (runaway-loop guard).
+const STEP_LIMIT: u64 = 500_000_000;
+
+/// Execution options.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Execute only the first `n` blocks (row-major over the grid) — the
+    /// timing model samples a handful of consecutive blocks and
+    /// extrapolates. `None` executes the whole grid.
+    pub sample_blocks: Option<usize>,
+    /// Cap top-level loops at this many iterations, recording the
+    /// truncation factor in [`ExecStats::loop_truncation`]. Only uniform
+    /// counted loops (`+= k` with lane-invariant bounds) are truncated;
+    /// correctness runs must leave this `None`.
+    pub max_outer_iters: Option<u64>,
+    /// Spread the sampled blocks over this many *concurrently resident*
+    /// blocks (SMs × blocks/SM) instead of taking consecutive ones — the
+    /// partition behaviour of the concurrent population is what matters.
+    /// `None` samples consecutive blocks.
+    pub sample_spread: Option<u64>,
+}
+
+/// Counters collected during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecStats {
+    /// Blocks actually executed.
+    pub blocks_executed: u64,
+    /// Blocks in the launch.
+    pub total_blocks: u64,
+    /// Warp-instruction issues (lock-step statements × active warps).
+    pub warp_insts: u64,
+    /// Floating-point operations executed (active lanes).
+    pub flops: u64,
+    /// Global-memory transactions (distinct 32-byte lines per half-warp
+    /// access).
+    pub global_transactions: u64,
+    /// Bytes moved by those transactions.
+    pub global_bytes: u64,
+    /// Bytes the lanes actually consumed (coalescing efficiency =
+    /// useful / moved).
+    pub useful_bytes: u64,
+    /// Half-warp global requests issued.
+    pub gmem_requests: u64,
+    /// Transactions per memory partition (whole-run aggregate).
+    pub partition_hits: Vec<u64>,
+    /// Lockstep partition timeline: entry `t` histograms the partitions hit
+    /// by the `t`-th half-warp request of every sampled block. Blocks run
+    /// the same code, so requests with equal in-block issue index are
+    /// concurrent on real hardware — camping shows up as single-partition
+    /// spikes here even though the aggregate histogram looks even.
+    pub partition_timeline: Vec<Vec<u32>>,
+    /// Half-warp shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Extra cycles serialized by shared-memory bank conflicts.
+    pub shared_conflict_cycles: u64,
+    /// Factor by which top-level loops were truncated (1.0 = full run);
+    /// extensive counters must be multiplied by this to extrapolate.
+    pub loop_truncation: f64,
+    /// Dynamic `__gsync()` crossings: on real hardware each one is a kernel
+    /// relaunch, so the timing model charges launch overhead per crossing.
+    pub gsync_crossings: u64,
+}
+
+impl Default for ExecStats {
+    fn default() -> Self {
+        ExecStats {
+            blocks_executed: 0,
+            total_blocks: 0,
+            warp_insts: 0,
+            flops: 0,
+            global_transactions: 0,
+            global_bytes: 0,
+            useful_bytes: 0,
+            gmem_requests: 0,
+            partition_hits: Vec::new(),
+            partition_timeline: Vec::new(),
+            shared_accesses: 0,
+            shared_conflict_cycles: 0,
+            loop_truncation: 1.0,
+            gsync_crossings: 0,
+        }
+    }
+}
+
+impl ExecStats {
+    /// Coalescing efficiency in (0, 1]: useful bytes over moved bytes.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.global_bytes == 0 {
+            1.0
+        } else {
+            self.useful_bytes as f64 / self.global_bytes as f64
+        }
+    }
+
+    /// Ratio of the hottest partition's *concurrent* load to the average
+    /// (1.0 = even), computed over windows of the lockstep timeline and
+    /// weighted by traffic.
+    ///
+    /// The memory system keeps a reorder window of outstanding requests, so
+    /// short-period partition rotations (a streaming copy) even out, while
+    /// genuine camping — long runs pinned to one partition, as in row walks
+    /// whose stride resonates with the partition period — stays visible.
+    /// Values approach the partition count under full camping.
+    pub fn partition_imbalance(&self) -> f64 {
+        /// Requests the memory system can overlap and reorder.
+        const WINDOW: usize = 64;
+        let nparts = self
+            .partition_timeline
+            .first()
+            .map(|h| h.len())
+            .unwrap_or(0);
+        if nparts == 0 {
+            return 1.0;
+        }
+        let mut sum_max = 0.0f64;
+        let mut sum_avg = 0.0f64;
+        for chunk in self.partition_timeline.chunks(WINDOW) {
+            let mut hist = vec![0u64; nparts];
+            for step in chunk {
+                for (p, &v) in step.iter().enumerate() {
+                    hist[p] += v as u64;
+                }
+            }
+            let total: u64 = hist.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            sum_max += *hist.iter().max().unwrap() as f64;
+            sum_avg += total as f64 / nparts as f64;
+        }
+        if sum_avg == 0.0 {
+            1.0
+        } else {
+            sum_max / sum_avg
+        }
+    }
+
+    /// Scales the extensive counters by `factor` (extrapolating a sampled
+    /// trace to the full launch).
+    pub fn scaled(&self, factor: f64) -> ExecStats {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        ExecStats {
+            blocks_executed: self.blocks_executed,
+            total_blocks: self.total_blocks,
+            warp_insts: s(self.warp_insts),
+            flops: s(self.flops),
+            global_transactions: s(self.global_transactions),
+            global_bytes: s(self.global_bytes),
+            useful_bytes: s(self.useful_bytes),
+            gmem_requests: s(self.gmem_requests),
+            partition_hits: self.partition_hits.iter().map(|&v| s(v)).collect(),
+            // Intensive measure: scaling the launch does not change the
+            // concurrent distribution.
+            partition_timeline: self.partition_timeline.clone(),
+            shared_accesses: s(self.shared_accesses),
+            shared_conflict_cycles: s(self.shared_conflict_cycles),
+            loop_truncation: self.loop_truncation,
+            // Crossings grow with log(problem size), not linearly; the
+            // caller adjusts them when extrapolating a shrunk trace.
+            gsync_crossings: self.gsync_crossings,
+        }
+    }
+}
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A device-memory fault.
+    Device(DeviceError),
+    /// A scalar parameter had no binding.
+    UnboundScalar(String),
+    /// A variable was read before being declared.
+    UndefinedVar(String),
+    /// `__syncthreads()` reached with a divergent mask.
+    DivergentSync,
+    /// `__gsync()` outside mega-block mode, or shared memory inside it.
+    BarrierMisuse(String),
+    /// Expression or statement outside the supported fragment.
+    Unsupported(String),
+    /// The step limit was exceeded (runaway loop).
+    IterationLimit,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Device(e) => write!(f, "{e}"),
+            ExecError::UnboundScalar(s) => write!(f, "unbound scalar parameter `{s}`"),
+            ExecError::UndefinedVar(s) => write!(f, "undefined variable `{s}`"),
+            ExecError::DivergentSync => f.write_str("__syncthreads() under divergent mask"),
+            ExecError::BarrierMisuse(s) => write!(f, "barrier misuse: {s}"),
+            ExecError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
+            ExecError::IterationLimit => f.write_str("statement step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<DeviceError> for ExecError {
+    fn from(e: DeviceError) -> Self {
+        ExecError::Device(e)
+    }
+}
+
+/// Executes a kernel launch on the device.
+///
+/// Scalar parameters are bound from `bindings`; array parameters must have
+/// matching allocations in `device`.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] on memory faults, divergence violations, or
+/// unsupported constructs — all of which indicate a compiler bug when they
+/// occur on generated code.
+pub fn launch(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    bindings: &Bindings,
+    device: &mut Device,
+    opts: &ExecOptions,
+) -> Result<ExecStats, ExecError> {
+    let mut scalars: HashMap<String, i64> = HashMap::new();
+    let pragma_sizes = kernel.pragma_sizes();
+    for p in &kernel.params {
+        if p.kind() == gpgpu_ast::ParamKind::Scalar {
+            let v = bindings
+                .get(&p.name)
+                .or_else(|| pragma_sizes.get(&p.name))
+                .copied()
+                .ok_or_else(|| ExecError::UnboundScalar(p.name.clone()))?;
+            scalars.insert(p.name.clone(), v);
+        }
+    }
+    let mut stats = ExecStats {
+        partition_hits: vec![0; device.machine.partitions.count as usize],
+        ..ExecStats::default()
+    };
+
+    if kernel.uses_global_sync() {
+        if cfg.grid_y != 1 || cfg.block_y != 1 {
+            return Err(ExecError::BarrierMisuse(
+                "__gsync() kernels must use a 1-D launch".into(),
+            ));
+        }
+        let nt = (cfg.grid_x * cfg.block_x) as usize;
+        let mut ctx = BlockCtx {
+            device,
+            scalars: &scalars,
+            stats: &mut stats,
+            env: HashMap::new(),
+            shared: HashMap::new(),
+            nt,
+            block: (0, 0),
+            cfg: *cfg,
+            mega: true,
+            steps: 0,
+            request_ix: 0,
+            depth: 0,
+            max_outer_iters: None,
+        };
+        let mask = vec![true; nt];
+        ctx.exec_body(&kernel.body, &mask)?;
+        stats.blocks_executed = cfg.total_blocks();
+        stats.total_blocks = cfg.total_blocks();
+        return Ok(stats);
+    }
+
+    let total = cfg.total_blocks();
+    let limit = opts.sample_blocks.map(|n| n as u64).unwrap_or(total);
+    let nt = cfg.threads_per_block() as usize;
+    // When sampling, stride the chosen blocks across the concurrently
+    // resident population so partition statistics reflect what actually
+    // runs together on the machine.
+    let stride = match (opts.sample_blocks, opts.sample_spread) {
+        (Some(k), Some(spread)) if k > 0 => {
+            // Odd strides cannot alias with the (even) partition counts,
+            // which would make block-id-dependent fixes look useless.
+            ((spread.min(total) / k as u64).max(1)) | 1
+        }
+        _ => 1,
+    };
+    let mut executed = 0u64;
+    let mut linear = 0u64;
+    while executed < limit && linear < total {
+        let bx = (linear % cfg.grid_x as u64) as u32;
+        let by = (linear / cfg.grid_x as u64) as u32;
+        let mut ctx = BlockCtx {
+            device,
+            scalars: &scalars,
+            stats: &mut stats,
+            env: HashMap::new(),
+            shared: HashMap::new(),
+            nt,
+            block: (bx, by),
+            cfg: *cfg,
+            mega: false,
+            steps: 0,
+            request_ix: 0,
+            depth: 0,
+            max_outer_iters: opts.max_outer_iters,
+        };
+        let mask = vec![true; nt];
+        ctx.exec_body(&kernel.body, &mask)?;
+        executed += 1;
+        linear += stride;
+    }
+    stats.blocks_executed = executed;
+    stats.total_blocks = total;
+    Ok(stats)
+}
+
+/// A block-private shared-memory array.
+#[derive(Debug, Clone)]
+struct SharedBuf {
+    dims: Vec<i64>,
+    data: Vec<f32>,
+}
+
+impl SharedBuf {
+    fn offset(&self, indices: &[i64]) -> Result<usize, ExecError> {
+        if indices.len() != self.dims.len() {
+            return Err(ExecError::Unsupported(format!(
+                "shared array rank mismatch: {} vs {}",
+                indices.len(),
+                self.dims.len()
+            )));
+        }
+        let mut off: i64 = 0;
+        for (&ix, &extent) in indices.iter().zip(&self.dims) {
+            if ix < 0 || ix >= extent {
+                return Err(ExecError::Unsupported(format!(
+                    "shared access out of bounds: {indices:?} in {:?}",
+                    self.dims
+                )));
+            }
+            off = off * extent + ix;
+        }
+        Ok(off as usize)
+    }
+}
+
+/// Length cap for the lockstep partition timeline (long loops wrap; the
+/// access pattern is periodic so aliasing is harmless).
+const TIMELINE_CAP: usize = 16384;
+
+struct BlockCtx<'a> {
+    device: &'a mut Device,
+    scalars: &'a HashMap<String, i64>,
+    stats: &'a mut ExecStats,
+    env: HashMap<String, Vec<Val>>,
+    shared: HashMap<String, SharedBuf>,
+    nt: usize,
+    block: (u32, u32),
+    cfg: LaunchConfig,
+    mega: bool,
+    steps: u64,
+    request_ix: usize,
+    depth: u32,
+    max_outer_iters: Option<u64>,
+}
+
+impl BlockCtx<'_> {
+    fn step(&mut self) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > STEP_LIMIT {
+            return Err(ExecError::IterationLimit);
+        }
+        Ok(())
+    }
+
+    fn warps(&self, mask: &[bool]) -> u64 {
+        mask.chunks(32).filter(|c| c.iter().any(|&b| b)).count() as u64
+    }
+
+    fn builtin(&self, b: Builtin, lane: usize) -> i64 {
+        let bx = self.cfg.block_x as i64;
+        let by = self.cfg.block_y as i64;
+        if self.mega {
+            // 1-D mega-block: lane IS the absolute thread id.
+            let lane = lane as i64;
+            return match b {
+                Builtin::IdX => lane,
+                Builtin::TidX => lane % bx,
+                Builtin::BidX => lane / bx,
+                Builtin::IdY | Builtin::TidY | Builtin::BidY => 0,
+                Builtin::BlockDimX => bx,
+                Builtin::BlockDimY => 1,
+                Builtin::GridDimX => self.cfg.grid_x as i64,
+                Builtin::GridDimY => 1,
+            };
+        }
+        let tidx = lane as i64 % bx;
+        let tidy = lane as i64 / bx;
+        let (bidx, bidy) = (self.block.0 as i64, self.block.1 as i64);
+        match b {
+            Builtin::IdX => bidx * bx + tidx,
+            Builtin::IdY => bidy * by + tidy,
+            Builtin::TidX => tidx,
+            Builtin::TidY => tidy,
+            Builtin::BidX => bidx,
+            Builtin::BidY => bidy,
+            Builtin::BlockDimX => bx,
+            Builtin::BlockDimY => by,
+            Builtin::GridDimX => self.cfg.grid_x as i64,
+            Builtin::GridDimY => self.cfg.grid_y as i64,
+        }
+    }
+
+    /// Decides whether a loop may be truncated for a timing trace:
+    /// returns `(cap, full_trip_count, init, step)` for uniform counted
+    /// top-level loops whose trip count exceeds the cap.
+    fn truncation_cap(
+        &mut self,
+        l: &gpgpu_ast::ForLoop,
+        init: &[Val],
+        mask: &[bool],
+    ) -> Option<(u64, u64, i64, i64)> {
+        let cap = self.max_outer_iters?;
+        if self.depth != 0 || self.mega {
+            return None;
+        }
+        let gpgpu_ast::LoopUpdate::AddAssign(step) = l.update else {
+            return None;
+        };
+        if step <= 0 || l.cmp != BinOp::Lt {
+            return None;
+        }
+        // Uniform init across lanes.
+        let i0 = init.first()?.as_i()?;
+        if !init.iter().all(|v| v.as_i() == Some(i0)) {
+            return None;
+        }
+        let bound = self.eval(&l.bound, mask).ok()?;
+        let b0 = bound.first()?.as_i()?;
+        if !bound.iter().all(|v| v.as_i() == Some(b0)) {
+            return None;
+        }
+        let trips = ((b0 - i0).max(0) as u64).div_ceil(step as u64);
+        (trips > cap).then_some((cap, trips, i0, step))
+    }
+
+    fn exec_body(&mut self, body: &[Stmt], mask: &[bool]) -> Result<(), ExecError> {
+        for stmt in body {
+            self.exec_stmt(stmt, mask)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, mask: &[bool]) -> Result<(), ExecError> {
+        self.step()?;
+        match stmt {
+            Stmt::DeclScalar { name, ty, init } => {
+                let vals = match init {
+                    Some(e) => self.eval(e, mask)?,
+                    None => vec![Val::zero(*ty); self.nt],
+                };
+                self.env.insert(name.clone(), vals);
+            }
+            Stmt::DeclShared { name, ty, dims } => {
+                if self.mega {
+                    return Err(ExecError::BarrierMisuse(
+                        "shared memory in a __gsync() kernel".into(),
+                    ));
+                }
+                if *ty != gpgpu_ast::ScalarType::Float {
+                    return Err(ExecError::Unsupported(
+                        "only float shared arrays are supported".into(),
+                    ));
+                }
+                let len: i64 = dims.iter().product();
+                self.shared.insert(
+                    name.clone(),
+                    SharedBuf {
+                        dims: dims.clone(),
+                        data: vec![0.0; len as usize],
+                    },
+                );
+            }
+            Stmt::Assign { lhs, rhs } => {
+                let vals = self.eval(rhs, mask)?;
+                self.assign(lhs, &vals, mask)?;
+            }
+            Stmt::For(l) => {
+                let init = self.eval(&l.init, mask)?;
+                // Truncation: uniform counted top-level loops may be capped
+                // for timing traces; the factor scales the counters later.
+                let cap = self.truncation_cap(l, &init, mask);
+                self.env.insert(l.var.clone(), init);
+                let cond_expr = Expr::Binary(
+                    l.cmp,
+                    Box::new(Expr::Var(l.var.clone())),
+                    Box::new(l.bound.clone()),
+                );
+                self.depth += 1;
+                let result = if let Some((limit, trips, init0, step)) = cap {
+                    // Truncated trace: execute `limit` iterations *strided
+                    // across the full trip count*, so non-stationary bodies
+                    // (triangular guards, rotated walks) are sampled
+                    // representatively rather than from the first
+                    // iterations only.
+                    let mut r = Ok(());
+                    'sampled: for j in 0..limit {
+                        let trip = j * trips / limit;
+                        let value = Val::I(init0 + trip as i64 * step);
+                        let vals = self
+                            .env
+                            .get_mut(&l.var)
+                            .expect("loop variable was just inserted");
+                        for v in vals.iter_mut() {
+                            *v = value;
+                        }
+                        if let Err(e) = self.step() {
+                            r = Err(e);
+                            break 'sampled;
+                        }
+                        if let Err(e) = self.exec_body(&l.body, mask) {
+                            r = Err(e);
+                            break 'sampled;
+                        }
+                        self.stats.warp_insts += 2 * self.warps(mask);
+                    }
+                    if r.is_ok() {
+                        let factor = trips as f64 / limit as f64;
+                        if factor > self.stats.loop_truncation {
+                            self.stats.loop_truncation = factor;
+                        }
+                    }
+                    r
+                } else {
+                    let mut r = Ok(());
+                    loop {
+                        if let Err(e) = self.step() {
+                            r = Err(e);
+                            break;
+                        }
+                        let cond = match self.eval(&cond_expr, mask) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                r = Err(e);
+                                break;
+                            }
+                        };
+                        let active: Vec<bool> = mask
+                            .iter()
+                            .zip(&cond)
+                            .map(|(&m, c)| m && c.is_true())
+                            .collect();
+                        if !active.iter().any(|&b| b) {
+                            break;
+                        }
+                        if let Err(e) = self.exec_body(&l.body, &active) {
+                            r = Err(e);
+                            break;
+                        }
+                        let vals = self
+                            .env
+                            .get_mut(&l.var)
+                            .expect("loop variable was just inserted");
+                        for (lane, v) in vals.iter_mut().enumerate() {
+                            if active[lane] {
+                                let cur = match v.as_i() {
+                                    Some(c) => c,
+                                    None => {
+                                        return Err(ExecError::Unsupported(
+                                            "non-integer loop variable".into(),
+                                        ))
+                                    }
+                                };
+                                *v = Val::I(l.update.apply(cur));
+                            }
+                        }
+                        // Loop-control overhead: one compare + one update.
+                        self.stats.warp_insts += 2 * self.warps(&active);
+                    }
+                    r
+                };
+                self.depth -= 1;
+                result?;
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval(cond, mask)?;
+                let then_mask: Vec<bool> = mask
+                    .iter()
+                    .zip(&c)
+                    .map(|(&m, v)| m && v.is_true())
+                    .collect();
+                if then_mask.iter().any(|&b| b) {
+                    self.exec_body(then_body, &then_mask)?;
+                }
+                if !else_body.is_empty() {
+                    let else_mask: Vec<bool> = mask
+                        .iter()
+                        .zip(&c)
+                        .map(|(&m, v)| m && !v.is_true())
+                        .collect();
+                    if else_mask.iter().any(|&b| b) {
+                        self.exec_body(else_body, &else_mask)?;
+                    }
+                }
+            }
+            Stmt::SyncThreads => {
+                if self.mega {
+                    return Err(ExecError::BarrierMisuse(
+                        "__syncthreads() in a __gsync() kernel".into(),
+                    ));
+                }
+                if !mask.iter().all(|&b| b) {
+                    return Err(ExecError::DivergentSync);
+                }
+            }
+            Stmt::GlobalSync => {
+                if !self.mega {
+                    return Err(ExecError::BarrierMisuse(
+                        "__gsync() requires mega-block execution".into(),
+                    ));
+                }
+                // Lock-step execution makes the barrier a no-op; it must
+                // still be mask-uniform.
+                if !mask.iter().all(|&b| b) {
+                    return Err(ExecError::DivergentSync);
+                }
+                self.stats.gsync_crossings += 1;
+            }
+            Stmt::CallStmt(name, _) => {
+                return Err(ExecError::Unsupported(format!(
+                    "statement-level call `{name}`"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn assign(&mut self, lhs: &LValue, vals: &[Val], mask: &[bool]) -> Result<(), ExecError> {
+        match lhs {
+            LValue::Var(name) => {
+                if !self.env.contains_key(name) {
+                    return Err(ExecError::UndefinedVar(name.clone()));
+                }
+                let slot = self.env.get_mut(name).unwrap();
+                for lane in 0..self.nt {
+                    if mask[lane] {
+                        slot[lane] = vals[lane];
+                    }
+                }
+            }
+            LValue::Field(name, field) => {
+                if !self.env.contains_key(name) {
+                    return Err(ExecError::UndefinedVar(name.clone()));
+                }
+                let lane_ix = field.lane();
+                let slot = self.env.get_mut(name).unwrap();
+                for lane in 0..self.nt {
+                    if mask[lane] {
+                        let x = vals[lane].as_f().ok_or_else(|| {
+                            ExecError::Unsupported("non-scalar component write".into())
+                        })?;
+                        if !slot[lane].set_component(lane_ix, x) {
+                            return Err(ExecError::Unsupported(
+                                "component write to scalar".into(),
+                            ));
+                        }
+                    }
+                }
+            }
+            LValue::Index { array, indices } => {
+                let idx_vals = self.eval_indices(indices, mask)?;
+                if self.shared.contains_key(array) {
+                    self.trace_shared(array, &idx_vals, mask)?;
+                    let buf = self.shared.get_mut(array).unwrap();
+                    for lane in 0..self.nt {
+                        if mask[lane] {
+                            let off = buf.offset(&idx_vals[lane])?;
+                            buf.data[off] = vals[lane].as_f().ok_or_else(|| {
+                                ExecError::Unsupported("vector store to shared".into())
+                            })?;
+                        }
+                    }
+                } else {
+                    self.trace_global(array, &idx_vals, mask)?;
+                    let buf = self.device.buffer_mut(array)?;
+                    for lane in 0..self.nt {
+                        if mask[lane] {
+                            buf.write(&idx_vals[lane], vals[lane])?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates index expressions to concrete per-lane coordinates.
+    fn eval_indices(
+        &mut self,
+        indices: &[Expr],
+        mask: &[bool],
+    ) -> Result<Vec<Vec<i64>>, ExecError> {
+        let mut per_dim: Vec<Vec<Val>> = Vec::with_capacity(indices.len());
+        for ix in indices {
+            per_dim.push(self.eval(ix, mask)?);
+        }
+        let mut out = vec![Vec::with_capacity(indices.len()); self.nt];
+        for lane in 0..self.nt {
+            for dim in &per_dim {
+                out[lane].push(dim[lane].as_i().unwrap_or(0));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Records global-memory traffic for one vector access.
+    fn trace_global(
+        &mut self,
+        array: &str,
+        idx_vals: &[Vec<i64>],
+        mask: &[bool],
+    ) -> Result<(), ExecError> {
+        let buffer: &Buffer = self.device.buffer(array)?;
+        let elem_bytes = buffer.layout.elem.size_bytes() as i64;
+        let geometry = self.device.machine.partitions;
+        let strict = self.device.machine.strict_coalescing;
+        let nparts = geometry.count as usize;
+        let mut lines: Vec<i64> = Vec::with_capacity(32);
+        let mut addrs: Vec<i64> = Vec::with_capacity(16);
+        for chunk_start in (0..self.nt).step_by(16) {
+            lines.clear();
+            addrs.clear();
+            let mut lane_lines = 0u64;
+            let mut active_lanes = 0u64;
+            for lane in chunk_start..(chunk_start + 16).min(self.nt) {
+                if !mask[lane] {
+                    continue;
+                }
+                active_lanes += 1;
+                let off = buffer.elem_offset(&idx_vals[lane])?;
+                let addr = buffer.byte_addr(off);
+                // Useful bytes are deduplicated: a broadcast serves all
+                // lanes from one element.
+                if !addrs.contains(&addr) {
+                    addrs.push(addr);
+                    self.stats.useful_bytes += elem_bytes as u64;
+                }
+                let mut line = addr / 32;
+                let last = (addr + elem_bytes - 1) / 32;
+                lane_lines += (last - line + 1) as u64;
+                while line <= last {
+                    if !lines.contains(&line) {
+                        lines.push(line);
+                    }
+                    line += 1;
+                }
+            }
+            if addrs.is_empty() {
+                continue;
+            }
+            // G80 strict rule (paper §2): unless the half warp forms one
+            // aligned sequential segment, every thread issues its own
+            // (32-byte-minimum) transaction — no line-level grouping.
+            let perfect = {
+                let mut sorted = addrs.clone();
+                sorted.sort_unstable();
+                // No duplicate addresses (broadcasts are not coalesced on
+                // G80), aligned base, sequential element spacing.
+                sorted.len() as u64 == active_lanes
+                    && sorted[0] % (16 * elem_bytes) == 0
+                    && sorted
+                        .windows(2)
+                        .all(|w| w[1] - w[0] == elem_bytes)
+            };
+            let (transactions, bytes) = if strict && !perfect {
+                let n = lane_lines.max(active_lanes);
+                (n, n * 32)
+            } else {
+                (lines.len() as u64, lines.len() as u64 * 32)
+            };
+            self.stats.gmem_requests += 1;
+            self.stats.global_transactions += transactions;
+            self.stats.global_bytes += bytes;
+            let ts = self.request_ix % TIMELINE_CAP;
+            self.request_ix += 1;
+            if self.stats.partition_timeline.len() <= ts {
+                self.stats
+                    .partition_timeline
+                    .resize(ts + 1, vec![0; nparts]);
+            }
+            for &line in &lines {
+                let p = geometry.partition_of(line * 32) as usize;
+                self.stats.partition_hits[p] += 1;
+                self.stats.partition_timeline[ts][p] += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Records shared-memory traffic and bank conflicts.
+    fn trace_shared(
+        &mut self,
+        array: &str,
+        idx_vals: &[Vec<i64>],
+        mask: &[bool],
+    ) -> Result<(), ExecError> {
+        let banks = self.device.machine.shared_banks as i64;
+        let buf = &self.shared[array];
+        for chunk_start in (0..self.nt).step_by(16) {
+            let mut words: Vec<i64> = Vec::with_capacity(16);
+            for lane in chunk_start..(chunk_start + 16).min(self.nt) {
+                if !mask[lane] {
+                    continue;
+                }
+                words.push(buf.offset(&idx_vals[lane])? as i64);
+            }
+            if words.is_empty() {
+                continue;
+            }
+            self.stats.shared_accesses += 1;
+            // Conflict degree: max distinct words mapping to one bank
+            // (same-word broadcast is free).
+            let mut degree = 1i64;
+            for b in 0..banks {
+                let mut distinct: Vec<i64> = Vec::new();
+                for &w in &words {
+                    if w % banks == b && !distinct.contains(&w) {
+                        distinct.push(w);
+                    }
+                }
+                degree = degree.max(distinct.len() as i64);
+            }
+            self.stats.shared_conflict_cycles += (degree - 1) as u64;
+        }
+        Ok(())
+    }
+
+    fn eval(&mut self, e: &Expr, mask: &[bool]) -> Result<Vec<Val>, ExecError> {
+        match e {
+            Expr::Int(v) => Ok(vec![Val::I(*v); self.nt]),
+            Expr::Float(v) => Ok(vec![Val::F(*v as f32); self.nt]),
+            Expr::Builtin(b) => Ok((0..self.nt).map(|l| Val::I(self.builtin(*b, l))).collect()),
+            Expr::Var(name) => {
+                if let Some(vals) = self.env.get(name) {
+                    return Ok(vals.clone());
+                }
+                if let Some(&v) = self.scalars.get(name) {
+                    return Ok(vec![Val::I(v); self.nt]);
+                }
+                Err(ExecError::UndefinedVar(name.clone()))
+            }
+            Expr::Index { array, indices } => {
+                let idx_vals = self.eval_indices(indices, mask)?;
+                if self.shared.contains_key(array) {
+                    self.trace_shared(array, &idx_vals, mask)?;
+                    let buf = &self.shared[array];
+                    let mut out = vec![Val::F(0.0); self.nt];
+                    for lane in 0..self.nt {
+                        if mask[lane] {
+                            out[lane] = Val::F(buf.data[buf.offset(&idx_vals[lane])?]);
+                        }
+                    }
+                    Ok(out)
+                } else {
+                    self.trace_global(array, &idx_vals, mask)?;
+                    let buf = self.device.buffer(array)?;
+                    let mut out = vec![Val::F(0.0); self.nt];
+                    for lane in 0..self.nt {
+                        if mask[lane] {
+                            out[lane] = buf.read(&idx_vals[lane])?;
+                        }
+                    }
+                    Ok(out)
+                }
+            }
+            Expr::Field(base, field) => {
+                let vals = self.eval(base, mask)?;
+                let mut out = vec![Val::F(0.0); self.nt];
+                for lane in 0..self.nt {
+                    if mask[lane] {
+                        out[lane] = Val::F(vals[lane].component(field.lane()).ok_or_else(
+                            || ExecError::Unsupported(format!(".{} on scalar", field_name(field))),
+                        )?);
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Unary(op, inner) => {
+                let vals = self.eval(inner, mask)?;
+                self.stats.warp_insts += self.warps(mask);
+                vals.into_iter()
+                    .map(|v| match op {
+                        UnOp::Neg => match v {
+                            Val::I(x) => Ok(Val::I(-x)),
+                            Val::F(x) => Ok(Val::F(-x)),
+                            _ => Err(ExecError::Unsupported("negate vector".into())),
+                        },
+                        UnOp::Not => Ok(Val::I(i64::from(!v.is_true()))),
+                    })
+                    .collect()
+            }
+            Expr::Binary(op, l, r) => {
+                let lv = self.eval(l, mask)?;
+                let rv = self.eval(r, mask)?;
+                self.stats.warp_insts += self.warps(mask);
+                let mut out = Vec::with_capacity(self.nt);
+                let mut flops = 0u64;
+                for (lane, (a, b)) in lv.into_iter().zip(rv).enumerate() {
+                    let v = binop(*op, a, b)?;
+                    if mask[lane]
+                        && !op.is_predicate()
+                        && (matches!(a_ty(a), 1) || matches!(a_ty(b), 1))
+                    {
+                        flops += 1;
+                    }
+                    out.push(v);
+                }
+                self.stats.flops += flops;
+                Ok(out)
+            }
+            Expr::Call(name, args) => {
+                let mut arg_vals = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vals.push(self.eval(a, mask)?);
+                }
+                self.stats.warp_insts += self.warps(mask);
+                self.stats.flops += mask.iter().filter(|&&b| b).count() as u64;
+                let mut out = Vec::with_capacity(self.nt);
+                for lane in 0..self.nt {
+                    let args: Vec<Val> = arg_vals.iter().map(|v| v[lane]).collect();
+                    out.push(intrinsic(name, &args)?);
+                }
+                Ok(out)
+            }
+            Expr::Select(c, t, f) => {
+                // Branches evaluate under refined masks so an inactive
+                // lane's side never touches memory.
+                let cv = self.eval(c, mask)?;
+                let t_mask: Vec<bool> = mask
+                    .iter()
+                    .zip(&cv)
+                    .map(|(&m, v)| m && v.is_true())
+                    .collect();
+                let f_mask: Vec<bool> = mask
+                    .iter()
+                    .zip(&cv)
+                    .map(|(&m, v)| m && !v.is_true())
+                    .collect();
+                let tv = self.eval(t, &t_mask)?;
+                let fv = self.eval(f, &f_mask)?;
+                self.stats.warp_insts += self.warps(mask);
+                Ok((0..self.nt)
+                    .map(|l| if cv[l].is_true() { tv[l] } else { fv[l] })
+                    .collect())
+            }
+            Expr::Cast(ty, inner) => {
+                let vals = self.eval(inner, mask)?;
+                vals.into_iter()
+                    .map(|v| match ty {
+                        gpgpu_ast::ScalarType::Int => {
+                            v.as_i().map(Val::I).ok_or_else(|| {
+                                ExecError::Unsupported("cast vector to int".into())
+                            })
+                        }
+                        gpgpu_ast::ScalarType::Float => {
+                            v.as_f().map(Val::F).ok_or_else(|| {
+                                ExecError::Unsupported("cast vector to float".into())
+                            })
+                        }
+                        _ => Err(ExecError::Unsupported("cast to vector type".into())),
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+fn field_name(f: &Field) -> &'static str {
+    f.name()
+}
+
+/// 1 for float operands, 0 otherwise (flop accounting).
+fn a_ty(v: Val) -> u8 {
+    match v {
+        Val::F(_) => 1,
+        _ => 0,
+    }
+}
+
+fn binop(op: BinOp, a: Val, b: Val) -> Result<Val, ExecError> {
+    use BinOp::*;
+    // Integer × integer stays integral; anything touching a float promotes.
+    if let (Val::I(x), Val::I(y)) = (a, b) {
+        let v = match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(ExecError::Unsupported("integer division by zero".into()));
+                }
+                x / y
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(ExecError::Unsupported("integer modulo by zero".into()));
+                }
+                x.rem_euclid(y)
+            }
+            Shl => x << (y & 63),
+            Shr => x >> (y & 63),
+            Lt => i64::from(x < y),
+            Le => i64::from(x <= y),
+            Gt => i64::from(x > y),
+            Ge => i64::from(x >= y),
+            Eq => i64::from(x == y),
+            Ne => i64::from(x != y),
+            And => i64::from(x != 0 && y != 0),
+            Or => i64::from(x != 0 || y != 0),
+        };
+        return Ok(Val::I(v));
+    }
+    let (x, y) = match (a.as_f(), b.as_f()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            return Err(ExecError::Unsupported(
+                "arithmetic on vector values".into(),
+            ))
+        }
+    };
+    let v = match op {
+        Add => Val::F(x + y),
+        Sub => Val::F(x - y),
+        Mul => Val::F(x * y),
+        Div => Val::F(x / y),
+        Rem => Val::F(x % y),
+        Shl | Shr => return Err(ExecError::Unsupported("shift on floats".into())),
+        Lt => Val::I(i64::from(x < y)),
+        Le => Val::I(i64::from(x <= y)),
+        Gt => Val::I(i64::from(x > y)),
+        Ge => Val::I(i64::from(x >= y)),
+        Eq => Val::I(i64::from(x == y)),
+        Ne => Val::I(i64::from(x != y)),
+        And => Val::I(i64::from(x != 0.0 && y != 0.0)),
+        Or => Val::I(i64::from(x != 0.0 || y != 0.0)),
+    };
+    Ok(v)
+}
+
+fn intrinsic(name: &str, args: &[Val]) -> Result<Val, ExecError> {
+    let f = |i: usize| -> Result<f32, ExecError> {
+        args.get(i)
+            .and_then(|v| v.as_f())
+            .ok_or_else(|| ExecError::Unsupported(format!("bad argument {i} to {name}")))
+    };
+    Ok(match (name, args.len()) {
+        ("sqrtf" | "sqrt", 1) => Val::F(f(0)?.sqrt()),
+        ("fabsf" | "fabs" | "absf", 1) => Val::F(f(0)?.abs()),
+        ("expf", 1) => Val::F(f(0)?.exp()),
+        ("logf", 1) => Val::F(f(0)?.ln()),
+        ("sinf", 1) => Val::F(f(0)?.sin()),
+        ("cosf", 1) => Val::F(f(0)?.cos()),
+        ("floorf", 1) => Val::F(f(0)?.floor()),
+        ("fmaxf" | "maxf", 2) => Val::F(f(0)?.max(f(1)?)),
+        ("fminf" | "minf", 2) => Val::F(f(0)?.min(f(1)?)),
+        ("min", 2) => match (args[0], args[1]) {
+            (Val::I(a), Val::I(b)) => Val::I(a.min(b)),
+            _ => Val::F(f(0)?.min(f(1)?)),
+        },
+        ("max", 2) => match (args[0], args[1]) {
+            (Val::I(a), Val::I(b)) => Val::I(a.max(b)),
+            _ => Val::F(f(0)?.max(f(1)?)),
+        },
+        _ => {
+            return Err(ExecError::Unsupported(format!(
+                "intrinsic `{name}` with {} argument(s)",
+                args.len()
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineDesc;
+    use gpgpu_analysis::{resolve_layouts_padded, Bindings};
+    use gpgpu_ast::parse_kernel;
+
+    /// Builds a device with padded buffers for every kernel array.
+    fn device_for(kernel: &Kernel, bindings: &Bindings, machine: MachineDesc) -> Device {
+        let layouts = resolve_layouts_padded(kernel, bindings).unwrap();
+        let mut dev = Device::new(machine);
+        for p in kernel.array_params() {
+            dev.alloc(layouts[&p.name].clone());
+        }
+        dev
+    }
+
+    fn binds(pairs: &[(&str, i64)]) -> Bindings {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn scale_kernel_executes() {
+        let k = parse_kernel(
+            "__global__ void scale(float a[n], float c[n], int n) { c[idx] = a[idx] * 2.0f; }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 64)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let src: Vec<f32> = (0..64).map(|v| v as f32).collect();
+        dev.buffer_mut("a").unwrap().upload(&src);
+        let cfg = LaunchConfig::one_d(4, 16);
+        let stats = launch(&k, &cfg, &b, &mut dev, &ExecOptions::default()).unwrap();
+        let out = dev.buffer("c").unwrap().download();
+        assert_eq!(out[10], 20.0);
+        assert_eq!(out[63], 126.0);
+        assert_eq!(stats.blocks_executed, 4);
+        // Coalesced loads: 64 lanes × 4 B useful; lines = 64B/segment.
+        assert_eq!(stats.coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn naive_mm_computes_reference_product() {
+        let k = parse_kernel(
+            r#"__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { sum += a[idy][i] * b[i][idx]; }
+                c[idy][idx] = sum;
+            }"#,
+        )
+        .unwrap();
+        let n = 8i64;
+        let bind = binds(&[("n", n), ("w", n)]);
+        let mut dev = device_for(&k, &bind, MachineDesc::gtx280());
+        let av: Vec<f32> = (0..n * n).map(|v| (v % 7) as f32).collect();
+        let bv: Vec<f32> = (0..n * n).map(|v| (v % 5) as f32 - 2.0).collect();
+        dev.buffer_mut("a").unwrap().upload(&av);
+        dev.buffer_mut("b").unwrap().upload(&bv);
+        let cfg = LaunchConfig {
+            grid_x: 2,
+            grid_y: 8,
+            block_x: 4,
+            block_y: 1,
+        };
+        launch(&k, &cfg, &bind, &mut dev, &ExecOptions::default()).unwrap();
+        let c = dev.buffer("c").unwrap().download();
+        for y in 0..n {
+            for x in 0..n {
+                let mut expect = 0.0f32;
+                for i in 0..n {
+                    expect += av[(y * n + i) as usize] * bv[(i * n + x) as usize];
+                }
+                assert_eq!(c[(y * n + x) as usize], expect, "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_sync_detected() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) {
+                if (tidx < 8) { __syncthreads(); }
+                a[idx] = 0.0f;
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 32)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let err = launch(
+            &k,
+            &LaunchConfig::one_d(2, 16),
+            &b,
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::DivergentSync);
+    }
+
+    #[test]
+    fn out_of_bounds_reported_with_indices() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) { a[idx + 1] = 0.0f; }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 16)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let err = launch(
+            &k,
+            &LaunchConfig::one_d(1, 16),
+            &b,
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Device(DeviceError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn gsync_reduction_runs_in_mega_mode() {
+        let k = parse_kernel(
+            r#"#pragma gpgpu output c
+            __global__ void rd(float a[len], float c[1], int len) {
+                for (int s = 128; s > 0; s = s >> 1) {
+                    if (idx < s) { a[idx] = a[idx] + a[idx + s]; }
+                    __gsync();
+                }
+                if (idx == 0) { c[0] = a[0]; }
+            }"#,
+        )
+        .unwrap();
+        let b = binds(&[("len", 256)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let src: Vec<f32> = (0..256).map(|v| v as f32).collect();
+        dev.buffer_mut("a").unwrap().upload(&src);
+        launch(
+            &k,
+            &LaunchConfig::one_d(16, 16),
+            &b,
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let c = dev.buffer("c").unwrap().download();
+        assert_eq!(c[0], (0..256).sum::<i32>() as f32);
+    }
+
+    #[test]
+    fn shared_memory_staging_works() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) {
+                __shared__ float s0[16];
+                s0[tidx] = a[idx];
+                __syncthreads();
+                c[idx] = s0[15 - tidx];
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 16)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        dev.buffer_mut("a")
+            .unwrap()
+            .upload(&(0..16).map(|v| v as f32).collect::<Vec<_>>());
+        launch(
+            &k,
+            &LaunchConfig::one_d(1, 16),
+            &b,
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let c = dev.buffer("c").unwrap().download();
+        assert_eq!(c[0], 15.0);
+        assert_eq!(c[15], 0.0);
+    }
+
+    #[test]
+    fn coalescing_efficiency_distinguishes_access_patterns() {
+        // Column walk: each lane touches its own 32-byte line.
+        let col = parse_kernel(
+            "__global__ void f(float a[n][n], float c[n][n], int n) {
+                c[idy][idx] = a[idx][idy];
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 64)]);
+        let mut dev = device_for(&col, &b, MachineDesc::gtx280());
+        let cfg = LaunchConfig {
+            grid_x: 4,
+            grid_y: 64,
+            block_x: 16,
+            block_y: 1,
+        };
+        let stats = launch(&col, &cfg, &b, &mut dev, &ExecOptions::default()).unwrap();
+        // Reads waste 7/8 of each line; writes are perfect. Efficiency ~2/9… below 1.
+        assert!(stats.coalescing_efficiency() < 0.5, "{stats:?}");
+
+        let row = parse_kernel(
+            "__global__ void f(float a[n][n], float c[n][n], int n) {
+                c[idy][idx] = a[idy][idx];
+            }",
+        )
+        .unwrap();
+        let mut dev = device_for(&row, &b, MachineDesc::gtx280());
+        let stats = launch(&row, &cfg, &b, &mut dev, &ExecOptions::default()).unwrap();
+        assert_eq!(stats.coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn bank_conflicts_counted_and_padding_fixes_them() {
+        // Stride-16 shared walk: every lane hits bank 0.
+        let conflicted = parse_kernel(
+            "__global__ void f(float c[n], int n) {
+                __shared__ float s0[16][16];
+                s0[tidx][0] = 1.0f;
+                __syncthreads();
+                c[idx] = s0[tidx][0];
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 16)]);
+        let mut dev = device_for(&conflicted, &b, MachineDesc::gtx280());
+        let stats = launch(
+            &conflicted,
+            &LaunchConfig::one_d(1, 16),
+            &b,
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert!(stats.shared_conflict_cycles >= 30, "{stats:?}");
+
+        let padded = parse_kernel(
+            "__global__ void f(float c[n], int n) {
+                __shared__ float s0[16][17];
+                s0[tidx][0] = 1.0f;
+                __syncthreads();
+                c[idx] = s0[tidx][0];
+            }",
+        )
+        .unwrap();
+        let mut dev = device_for(&padded, &b, MachineDesc::gtx280());
+        let stats = launch(
+            &padded,
+            &LaunchConfig::one_d(1, 16),
+            &b,
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.shared_conflict_cycles, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn partition_histogram_shows_camping() {
+        // mv-style row walk at 4k: every block start lands in partition 0.
+        let k = parse_kernel(
+            "__global__ void mv(float a[n][w], float c[n], int n, int w) {
+                float s = 0.0f;
+                for (int i = 0; i < 64; i = i + 1) { s += a[idx][i]; }
+                c[idx] = s;
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 64), ("w", 4096)]);
+        let layouts = resolve_layouts_padded(&k, &b).unwrap();
+        let mut dev = Device::new(MachineDesc::gtx280());
+        for p in k.array_params() {
+            dev.alloc_phantom(layouts[&p.name].clone());
+        }
+        let cfg = LaunchConfig::one_d(4, 16);
+        let stats = launch(&k, &cfg, &b, &mut dev, &ExecOptions::default()).unwrap();
+        assert!(stats.partition_imbalance() > 2.0, "{stats:?}");
+    }
+
+    #[test]
+    fn sampling_executes_subset_of_blocks() {
+        let k = parse_kernel(
+            "__global__ void f(float c[n], int n) { c[idx] = 1.0f; }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 256)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let cfg = LaunchConfig::one_d(16, 16);
+        let stats = launch(
+            &k,
+            &cfg,
+            &b,
+            &mut dev,
+            &ExecOptions {
+                sample_blocks: Some(4),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.blocks_executed, 4);
+        assert_eq!(stats.total_blocks, 16);
+        let scaled = stats.scaled(4.0);
+        assert_eq!(scaled.gmem_requests, stats.gmem_requests * 4);
+    }
+
+    #[test]
+    fn float2_kernel_reads_pairs() {
+        let k = parse_kernel(
+            "__global__ void f(float2 a[n], float c[n], int n) {
+                float2 v = a[idx];
+                c[idx] = v.x + v.y;
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 16)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        dev.buffer_mut("a")
+            .unwrap()
+            .upload(&(0..32).map(|v| v as f32).collect::<Vec<_>>());
+        launch(
+            &k,
+            &LaunchConfig::one_d(1, 16),
+            &b,
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let c = dev.buffer("c").unwrap().download();
+        assert_eq!(c[0], 1.0);
+        assert_eq!(c[15], 30.0 + 31.0);
+    }
+
+    #[test]
+    fn strict_coalescing_punishes_non_segment_accesses() {
+        // A broadcast read: relaxed (GT200) moves one 32-byte line per half
+        // warp; strict (G80) serializes one transaction per thread.
+        let k = parse_kernel(
+            "__global__ void f(float a[n][w], float c[n], int n, int w) {
+                c[idx] = a[idy][0];
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 64), ("w", 64)]);
+        let run = |machine: MachineDesc| {
+            let mut dev = device_for(&k, &b, machine);
+            launch(
+                &k,
+                &LaunchConfig::one_d(4, 16),
+                &b,
+                &mut dev,
+                &ExecOptions::default(),
+            )
+            .unwrap()
+        };
+        let relaxed = run(MachineDesc::gtx280());
+        let strict = run(MachineDesc::gtx8800());
+        // Stores identical; the broadcast load differs: 1 line vs 16.
+        assert!(
+            strict.global_transactions > relaxed.global_transactions * 4,
+            "strict {} vs relaxed {}",
+            strict.global_transactions,
+            relaxed.global_transactions
+        );
+        // Perfectly coalesced kernels are unaffected by strictness.
+        let k2 = parse_kernel(
+            "__global__ void g(float a[n], float c[n], int n) { c[idx] = a[idx]; }",
+        )
+        .unwrap();
+        let b2 = binds(&[("n", 64)]);
+        let run2 = |machine: MachineDesc| {
+            let mut dev = device_for(&k2, &b2, machine);
+            launch(
+                &k2,
+                &LaunchConfig::one_d(4, 16),
+                &b2,
+                &mut dev,
+                &ExecOptions::default(),
+            )
+            .unwrap()
+        };
+        assert_eq!(
+            run2(MachineDesc::gtx8800()).global_transactions,
+            run2(MachineDesc::gtx280()).global_transactions
+        );
+    }
+
+    #[test]
+    fn gsync_crossings_counted() {
+        let k = parse_kernel(
+            "#pragma gpgpu output c
+            __global__ void rd(float a[len], float c[1], int len) {
+                for (int s = len / 2; s > 0; s = s >> 1) {
+                    if (idx < s) { a[idx] = a[idx] + a[idx + s]; }
+                    __gsync();
+                }
+                if (idx == 0) { c[0] = a[0]; }
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("len", 256)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let stats = launch(
+            &k,
+            &LaunchConfig::one_d(16, 16),
+            &b,
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.gsync_crossings, 8); // log2(256)
+    }
+
+    #[test]
+    fn truncated_loops_sample_strided_iterations() {
+        // A triangular guard: first-iterations-only sampling would see
+        // almost no guarded work; strided sampling sees ~half.
+        let k = parse_kernel(
+            "__global__ void f(float a[n][n], float c[n], int n) {
+                float s = 0.0f;
+                for (int r = 0; r < n; r = r + 1) {
+                    if (r < 512) { s += a[r][idx]; }
+                }
+                c[idx] = s;
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 1024)]);
+        let layouts = resolve_layouts_padded(&k, &b).unwrap();
+        let mut dev = Device::new(MachineDesc::gtx280());
+        for p in k.array_params() {
+            dev.alloc_phantom(layouts[&p.name].clone());
+        }
+        let stats = launch(
+            &k,
+            &LaunchConfig::one_d(4, 16),
+            &b,
+            &mut dev,
+            &ExecOptions {
+                sample_blocks: Some(2),
+                max_outer_iters: Some(16),
+                sample_spread: None,
+            },
+        )
+        .unwrap();
+        assert!((stats.loop_truncation - 64.0).abs() < 1e-9);
+        // ~half the sampled iterations take the guarded branch: the a-loads
+        // scale to roughly half of the c-store-normalized full count.
+        let scaled = stats.scaled(stats.loop_truncation);
+        let full_guarded_requests = 2 * 512; // 2 sampled blocks x 512 rows
+        let ratio = scaled.gmem_requests as f64 / full_guarded_requests as f64;
+        assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn unbound_scalar_is_an_error() {
+        let k = parse_kernel("__global__ void f(float a[n], int n) { a[idx] = 0.0f; }").unwrap();
+        let mut dev = Device::new(MachineDesc::gtx280());
+        dev.alloc(gpgpu_analysis::ArrayLayout::new(
+            "a",
+            gpgpu_ast::ScalarType::Float,
+            vec![16],
+        ));
+        let err = launch(
+            &k,
+            &LaunchConfig::one_d(1, 16),
+            &Bindings::new(),
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::UnboundScalar("n".into()));
+    }
+}

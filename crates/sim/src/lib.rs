@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # gpgpu-sim
+//!
+//! A GPU simulator standing in for the NVIDIA GTX 8800 / GTX 280 testbed of
+//! the PLDI 2010 GPGPU-compiler paper. It has two faces:
+//!
+//! * a **functional SIMT interpreter** ([`exec`]) that runs MiniCUDA
+//!   kernels lock-step with divergence masks against real buffers — used to
+//!   check that every compiler transformation preserves semantics, and to
+//!   validate barrier placement and memory safety;
+//! * an **analytic timing model** ([`timing`]) driven by phantom-memory
+//!   traces from the same interpreter — used by the compiler's empirical
+//!   search (paper §4) and by the benchmark harnesses that regenerate the
+//!   paper's figures.
+//!
+//! [`machine`] holds the hardware descriptors and [`device`] the simulated
+//! global memory.
+
+pub mod device;
+pub mod exec;
+pub mod machine;
+pub mod timing;
+pub mod value;
+
+pub use device::{Buffer, Device, DeviceError};
+pub use exec::{launch, ExecError, ExecOptions, ExecStats};
+pub use machine::{MachineDesc, PartitionGeometry};
+pub use timing::{estimate, PerfEstimate, PerfError, PerfOptions};
+pub use value::Val;

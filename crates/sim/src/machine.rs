@@ -1,0 +1,238 @@
+//! GPU machine descriptors.
+//!
+//! The compiler tunes for concrete hardware (paper §4.2): register-file and
+//! shared-memory sizes bound the merge degrees, the partition organization
+//! drives camping elimination, and bandwidth/latency parameters feed the
+//! timing model. Descriptors for the paper's two evaluation GPUs (NVIDIA
+//! GTX 8800 and GTX 280) and the AMD/ATI HD 5870 referenced in §2 are
+//! provided.
+
+pub use gpgpu_analysis::PartitionGeometry;
+
+/// A GPU hardware description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineDesc {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Streaming processors (scalar ALUs) per SM.
+    pub sp_per_sm: u32,
+    /// Shader clock in GHz.
+    pub clock_ghz: f64,
+    /// Register file per SM, in 32-bit registers.
+    pub regs_per_sm: u32,
+    /// Shared memory per SM, in bytes.
+    pub shared_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Warp width.
+    pub warp_size: u32,
+    /// Off-chip memory partition organization.
+    pub partitions: PartitionGeometry,
+    /// Peak off-chip bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Average global-memory latency in shader cycles.
+    pub mem_latency_cycles: f64,
+    /// Sustained-bandwidth efficiency for 4-, 8- and 16-byte elements
+    /// (§2's float/float2/float4 measurements, normalized to peak).
+    pub width_efficiency: [f64; 3],
+    /// Shared-memory banks.
+    pub shared_banks: u32,
+    /// Registers the compiler may spend per thread before spilling.
+    pub max_regs_per_thread: u32,
+    /// G80-style strict coalescing: a half-warp access that is not a
+    /// perfectly aligned sequential segment issues one transaction *per
+    /// thread* (paper §2). GT200 relaxed this to line-level grouping.
+    pub strict_coalescing: bool,
+}
+
+impl MachineDesc {
+    /// NVIDIA GeForce GTX 8800 (G80): 16 SMs, 32 KB registers/SM, 6
+    /// partitions.
+    pub fn gtx8800() -> MachineDesc {
+        MachineDesc {
+            name: "GTX8800",
+            sm_count: 16,
+            sp_per_sm: 8,
+            clock_ghz: 1.35,
+            regs_per_sm: 8 * 1024,
+            shared_per_sm: 16 * 1024,
+            max_threads_per_sm: 768,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            warp_size: 32,
+            partitions: PartitionGeometry::gtx8800(),
+            mem_bandwidth_gbps: 86.4,
+            mem_latency_cycles: 500.0,
+            // float ≈ 0.80 of peak, float2 ≈ 0.82, float4 ≈ 0.64.
+            width_efficiency: [0.80, 0.82, 0.64],
+            shared_banks: 16,
+            max_regs_per_thread: 40,
+            strict_coalescing: true,
+        }
+    }
+
+    /// NVIDIA GeForce GTX 280 (GT200): 30 SMs, 64 KB registers/SM, 8
+    /// partitions.
+    pub fn gtx280() -> MachineDesc {
+        MachineDesc {
+            name: "GTX280",
+            sm_count: 30,
+            sp_per_sm: 8,
+            clock_ghz: 1.296,
+            regs_per_sm: 16 * 1024,
+            shared_per_sm: 16 * 1024,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            warp_size: 32,
+            partitions: PartitionGeometry::gtx280(),
+            mem_bandwidth_gbps: 141.7,
+            // §2: 98 / 101 / 79 GB/s sustained for float/float2/float4.
+            width_efficiency: [98.0 / 141.7, 101.0 / 141.7, 79.0 / 141.7],
+            mem_latency_cycles: 550.0,
+            shared_banks: 16,
+            max_regs_per_thread: 64,
+            strict_coalescing: false,
+        }
+    }
+
+    /// AMD/ATI Radeon HD 5870 — only its §2 bandwidth behaviour matters
+    /// here (vectorization pays off much more than on NVIDIA parts).
+    pub fn hd5870() -> MachineDesc {
+        MachineDesc {
+            name: "HD5870",
+            sm_count: 20,
+            sp_per_sm: 16,
+            clock_ghz: 0.85,
+            // Evergreen SIMDs carry a 256 KB register file.
+            regs_per_sm: 64 * 1024,
+            shared_per_sm: 32 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 256,
+            warp_size: 64,
+            partitions: PartitionGeometry {
+                count: 8,
+                width_bytes: 256,
+            },
+            mem_bandwidth_gbps: 153.6,
+            // §2: 71 / 98 / 101 GB/s for float/float2/float4.
+            width_efficiency: [71.0 / 153.6, 98.0 / 153.6, 101.0 / 153.6],
+            mem_latency_cycles: 500.0,
+            shared_banks: 32,
+            max_regs_per_thread: 64,
+            strict_coalescing: false,
+        }
+    }
+
+    /// True when the part gains substantially from wide vector accesses
+    /// (paper §3.1: the compiler vectorizes aggressively only for AMD/ATI,
+    /// where float4 streams beat float by ~40%).
+    pub fn prefers_wide_vectors(&self) -> bool {
+        self.width_efficiency[2] > self.width_efficiency[0] * 1.1
+    }
+
+    /// Sustained bandwidth in bytes/cycle for an element width (4/8/16 B).
+    pub fn bytes_per_cycle(&self, elem_bytes: u32) -> f64 {
+        let eff = match elem_bytes {
+            4 => self.width_efficiency[0],
+            8 => self.width_efficiency[1],
+            _ => self.width_efficiency[2],
+        };
+        self.mem_bandwidth_gbps * eff / self.clock_ghz
+    }
+
+    /// Peak single-precision GFLOPS (MAD counted as two flops).
+    pub fn peak_gflops(&self) -> f64 {
+        self.sm_count as f64 * self.sp_per_sm as f64 * self.clock_ghz * 2.0
+    }
+
+    /// How many blocks of the given footprint fit on one SM.
+    pub fn blocks_per_sm(&self, threads_per_block: u32, regs_per_thread: u32, shared_bytes: u64) -> u32 {
+        if threads_per_block == 0 || threads_per_block > self.max_threads_per_block {
+            return 0;
+        }
+        let by_threads = self.max_threads_per_sm / threads_per_block;
+        let by_regs = if regs_per_thread == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.regs_per_sm / (regs_per_thread * threads_per_block).max(1)
+        };
+        let by_shared = if shared_bytes == 0 {
+            self.max_blocks_per_sm
+        } else {
+            (self.shared_per_sm as u64 / shared_bytes) as u32
+        };
+        by_threads
+            .min(by_regs)
+            .min(by_shared)
+            .min(self.max_blocks_per_sm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_match_paper_figures() {
+        let g80 = MachineDesc::gtx8800();
+        assert_eq!(g80.sm_count, 16);
+        assert_eq!(g80.partitions.count, 6);
+        let gt200 = MachineDesc::gtx280();
+        assert_eq!(gt200.sm_count, 30);
+        assert_eq!(gt200.partitions.count, 8);
+        assert_eq!(gt200.regs_per_sm, 2 * g80.regs_per_sm);
+    }
+
+    #[test]
+    fn gtx280_width_efficiencies_match_section2() {
+        let m = MachineDesc::gtx280();
+        let f1 = m.mem_bandwidth_gbps * m.width_efficiency[0];
+        let f2 = m.mem_bandwidth_gbps * m.width_efficiency[1];
+        let f4 = m.mem_bandwidth_gbps * m.width_efficiency[2];
+        assert!((f1 - 98.0).abs() < 0.5);
+        assert!((f2 - 101.0).abs() < 0.5);
+        assert!((f4 - 79.0).abs() < 0.5);
+        // NVIDIA: float2 barely better than float; float4 worse.
+        assert!(f2 > f1 && f4 < f1);
+    }
+
+    #[test]
+    fn hd5870_prefers_wider_vectors() {
+        let m = MachineDesc::hd5870();
+        let bw: Vec<f64> = [4u32, 8, 16]
+            .iter()
+            .map(|&w| m.bytes_per_cycle(w))
+            .collect();
+        assert!(bw[1] > bw[0]);
+        assert!(bw[2] > bw[1]);
+    }
+
+    #[test]
+    fn occupancy_limited_by_each_resource() {
+        let m = MachineDesc::gtx280();
+        // Thread-limited: 256-thread blocks, tiny footprint.
+        assert_eq!(m.blocks_per_sm(256, 10, 1024), 4);
+        // Register-limited: 64 regs/thread × 256 threads = 16384 regs → 1.
+        assert_eq!(m.blocks_per_sm(256, 64, 1024), 1);
+        // Shared-limited: 9 KB/block → 1 block.
+        assert_eq!(m.blocks_per_sm(128, 10, 9 * 1024), 1);
+        // Block-count cap.
+        assert_eq!(m.blocks_per_sm(32, 4, 0), 8);
+        // Oversized block.
+        assert_eq!(m.blocks_per_sm(1024, 10, 0), 0);
+    }
+
+    #[test]
+    fn peak_gflops_sanity() {
+        // GTX 280 ≈ 622 GFLOPS MAD.
+        assert!((MachineDesc::gtx280().peak_gflops() - 622.0).abs() < 2.0);
+    }
+}

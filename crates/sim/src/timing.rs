@@ -1,0 +1,458 @@
+//! Analytic timing model, in the spirit of the Hong–Kim model the paper
+//! cites for design-space exploration.
+//!
+//! The model is **trace-driven**: a handful of consecutive thread blocks are
+//! executed by the functional interpreter against *phantom* buffers (address
+//! computation only), yielding exact per-block transaction, instruction,
+//! bank-conflict and partition statistics. Those are extrapolated to the
+//! full launch and combined with an occupancy computation into three
+//! bounds — compute throughput, memory bandwidth (degraded by partition
+//! imbalance and element-width efficiency), and latency exposure (how much
+//! of the round-trip latency the resident warps cannot hide). The kernel
+//! time is the maximum of the three plus a fixed launch overhead.
+//!
+//! Absolute numbers are simulated, not measured; what the model preserves
+//! is the *shape* of the paper's results: who wins, by what factor, and
+//! where the crossovers fall.
+
+use crate::device::Device;
+use crate::exec::{launch, ExecError, ExecOptions, ExecStats};
+use crate::machine::MachineDesc;
+use gpgpu_analysis::{estimate_resources, resolve_layouts_padded, Bindings, LayoutError};
+use gpgpu_ast::{Kernel, LaunchConfig};
+use std::fmt;
+
+/// Blocks the trace executes by default.
+pub const DEFAULT_SAMPLE_BLOCKS: usize = 6;
+
+/// Fixed kernel-launch overhead in microseconds.
+const LAUNCH_OVERHEAD_US: f64 = 5.0;
+
+/// Extra cycles per bank-conflict serialization step.
+const CONFLICT_CYCLES: f64 = 2.0;
+
+/// Cycles for one warp instruction on an 8-SP SM (32 lanes / 8 SPs).
+const CYCLES_PER_WARP_INST: f64 = 4.0;
+
+/// Default cap on traced top-level loop iterations.
+pub const DEFAULT_MAX_OUTER_ITERS: u64 = 24;
+
+/// Options for [`estimate`].
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// How many consecutive blocks the trace executes.
+    pub sample_blocks: usize,
+    /// Cap on traced top-level loop iterations (trip counts beyond the cap
+    /// are extrapolated linearly).
+    pub max_outer_iters: Option<u64>,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            sample_blocks: DEFAULT_SAMPLE_BLOCKS,
+            max_outer_iters: Some(DEFAULT_MAX_OUTER_ITERS),
+        }
+    }
+}
+
+/// Errors raised by the timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerfError {
+    /// The kernel does not fit the machine at this launch configuration.
+    DoesNotFit(String),
+    /// Layout resolution failed.
+    Layout(LayoutError),
+    /// The trace execution failed (a compiler bug surfaced).
+    Exec(ExecError),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::DoesNotFit(s) => write!(f, "configuration does not fit: {s}"),
+            PerfError::Layout(e) => write!(f, "{e}"),
+            PerfError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+impl From<LayoutError> for PerfError {
+    fn from(e: LayoutError) -> Self {
+        PerfError::Layout(e)
+    }
+}
+
+impl From<ExecError> for PerfError {
+    fn from(e: ExecError) -> Self {
+        PerfError::Exec(e)
+    }
+}
+
+/// The timing model's verdict for one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEstimate {
+    /// Estimated execution time in milliseconds.
+    pub time_ms: f64,
+    /// Achieved GFLOPS (flops traced / time).
+    pub gflops: f64,
+    /// Effective bandwidth in GB/s (useful bytes / time).
+    pub effective_bandwidth_gbps: f64,
+    /// Thread blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM.
+    pub active_warps: u32,
+    /// Compute-bound component (cycles).
+    pub compute_cycles: f64,
+    /// Bandwidth-bound component (cycles).
+    pub memory_cycles: f64,
+    /// Latency-exposure component (cycles).
+    pub latency_cycles: f64,
+    /// Partition imbalance factor applied to the memory component.
+    pub partition_imbalance: f64,
+    /// Fraction of moved bytes the kernel actually used.
+    pub coalescing_efficiency: f64,
+    /// Scaled whole-launch trace statistics.
+    pub stats: ExecStats,
+}
+
+impl PerfEstimate {
+    /// The bounding component's name, for reports.
+    pub fn bound_by(&self) -> &'static str {
+        let m = self
+            .compute_cycles
+            .max(self.memory_cycles)
+            .max(self.latency_cycles);
+        if m == self.memory_cycles {
+            "memory bandwidth"
+        } else if m == self.compute_cycles {
+            "compute"
+        } else {
+            "memory latency"
+        }
+    }
+}
+
+/// Estimates the execution time of one kernel launch on `machine`.
+///
+/// # Errors
+///
+/// Returns [`PerfError::DoesNotFit`] when the per-block footprint exceeds
+/// the machine (the design-space explorer uses this to prune), or
+/// propagates trace failures.
+pub fn estimate(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    bindings: &Bindings,
+    machine: &MachineDesc,
+    opts: &PerfOptions,
+) -> Result<PerfEstimate, PerfError> {
+    let resources = estimate_resources(kernel);
+    if resources.registers_per_thread > machine.max_regs_per_thread {
+        return Err(PerfError::DoesNotFit(format!(
+            "{} registers per thread exceeds {}",
+            resources.registers_per_thread, machine.max_regs_per_thread
+        )));
+    }
+    if resources.shared_bytes_per_block > machine.shared_per_sm as u64 {
+        return Err(PerfError::DoesNotFit(format!(
+            "{} shared bytes per block exceeds {}",
+            resources.shared_bytes_per_block, machine.shared_per_sm
+        )));
+    }
+    let tpb = cfg.threads_per_block();
+    let blocks_per_sm = machine.blocks_per_sm(
+        tpb,
+        resources.registers_per_thread,
+        resources.shared_bytes_per_block,
+    );
+    if blocks_per_sm == 0 {
+        return Err(PerfError::DoesNotFit(format!(
+            "no block of {tpb} threads fits an SM"
+        )));
+    }
+
+    // Phantom trace over a sample of consecutive blocks.
+    let layouts = resolve_layouts_padded(kernel, bindings)?;
+    let mut device = Device::new(machine.clone());
+    for p in kernel.array_params() {
+        device.alloc_phantom(layouts[&p.name].clone());
+    }
+    let stats = launch(
+        kernel,
+        cfg,
+        bindings,
+        &mut device,
+        &ExecOptions {
+            sample_blocks: Some(opts.sample_blocks),
+            max_outer_iters: opts.max_outer_iters,
+            sample_spread: Some(machine.sm_count as u64 * blocks_per_sm as u64),
+        },
+    )?;
+    let block_factor = if stats.blocks_executed == 0 {
+        1.0
+    } else {
+        stats.total_blocks as f64 / stats.blocks_executed as f64
+    };
+    let factor = block_factor * stats.loop_truncation;
+    let stats = stats.scaled(factor);
+
+    Ok(finish(kernel, cfg, machine, blocks_per_sm, stats))
+}
+
+/// Combines trace statistics and occupancy into the final estimate. Public
+/// so that callers who traced at a reduced problem size can scale the stats
+/// themselves (`ExecStats::scaled`) and still get a consistent estimate.
+pub fn finish(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    machine: &MachineDesc,
+    blocks_per_sm: u32,
+    stats: ExecStats,
+) -> PerfEstimate {
+    let warps_per_block = (cfg.threads_per_block() + machine.warp_size - 1) / machine.warp_size;
+    let active_warps = (blocks_per_sm * warps_per_block).max(1);
+    // A launch with fewer blocks than SMs leaves the rest idle.
+    let busy_sms = (machine.sm_count as u64).min(cfg.total_blocks()).max(1) as f64;
+
+    // Compute bound: all warp instructions, spread over the busy SMs, plus
+    // bank-conflict serialization.
+    let compute_cycles = (stats.warp_insts as f64 * CYCLES_PER_WARP_INST
+        + stats.shared_conflict_cycles as f64 * CONFLICT_CYCLES)
+        / busy_sms;
+
+    // Bandwidth bound: moved bytes over sustained bandwidth, degraded by
+    // partition imbalance (camping queues requests on one partition).
+    let widest = kernel
+        .array_params()
+        .map(|p| p.ty.size_bytes())
+        .max()
+        .unwrap_or(4);
+    let imbalance = stats.partition_imbalance();
+    let memory_cycles =
+        stats.global_bytes as f64 / machine.bytes_per_cycle(widest) * imbalance;
+
+    // Latency bound: each half-warp request keeps its warp waiting; the
+    // resident warps hide each other's latency.
+    let requests_per_sm = stats.gmem_requests as f64 / busy_sms;
+    let latency_cycles =
+        requests_per_sm * machine.mem_latency_cycles / f64::from(active_warps.min(32));
+
+    let cycles = compute_cycles
+        .max(memory_cycles)
+        .max(latency_cycles)
+        .max(1.0);
+    // Each grid-wide barrier is a kernel relaunch on real hardware.
+    let launches = 1.0 + stats.gsync_crossings as f64;
+    let time_ms = cycles / (machine.clock_ghz * 1e9) * 1e3 + launches * LAUNCH_OVERHEAD_US / 1e3;
+    let gflops = stats.flops as f64 / (time_ms * 1e-3) / 1e9;
+    let effective_bandwidth_gbps = stats.useful_bytes as f64 / (time_ms * 1e-3) / 1e9;
+
+    PerfEstimate {
+        time_ms,
+        gflops,
+        effective_bandwidth_gbps,
+        blocks_per_sm,
+        active_warps,
+        compute_cycles,
+        memory_cycles,
+        latency_cycles,
+        partition_imbalance: imbalance,
+        coalescing_efficiency: stats.coalescing_efficiency(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::parse_kernel;
+
+    fn binds(pairs: &[(&str, i64)]) -> Bindings {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    const NAIVE_MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) { sum += a[idy][i] * b[i][idx]; }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    #[test]
+    fn naive_mm_is_memory_bound_and_wasteful() {
+        let k = parse_kernel(NAIVE_MM).unwrap();
+        let b = binds(&[("n", 512), ("w", 512)]);
+        let cfg = LaunchConfig {
+            grid_x: 32,
+            grid_y: 512,
+            block_x: 16,
+            block_y: 1,
+        };
+        let est = estimate(&k, &cfg, &b, &MachineDesc::gtx280(), &PerfOptions::default()).unwrap();
+        // The a[idy][i] broadcast wastes 7/8 of each 32-byte line.
+        assert!(est.coalescing_efficiency < 0.8, "{est:?}");
+        assert!(est.gflops > 0.0);
+        assert!(est.time_ms > 0.0);
+    }
+
+    #[test]
+    fn coalesced_mm_beats_naive() {
+        let naive = parse_kernel(NAIVE_MM).unwrap();
+        let coalesced = parse_kernel(
+            r#"__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 16) {
+                    __shared__ float shared0[16];
+                    shared0[tidx] = a[idy][i + tidx];
+                    __syncthreads();
+                    for (int k = 0; k < 16; k = k + 1) {
+                        sum += shared0[k] * b[i + k][idx];
+                    }
+                    __syncthreads();
+                }
+                c[idy][idx] = sum;
+            }"#,
+        )
+        .unwrap();
+        let b = binds(&[("n", 512), ("w", 512)]);
+        let cfg = LaunchConfig {
+            grid_x: 32,
+            grid_y: 512,
+            block_x: 16,
+            block_y: 1,
+        };
+        let m = MachineDesc::gtx280();
+        let t_naive = estimate(&naive, &cfg, &b, &m, &PerfOptions::default()).unwrap();
+        let t_coal = estimate(&coalesced, &cfg, &b, &m, &PerfOptions::default()).unwrap();
+        assert!(
+            t_coal.time_ms < t_naive.time_ms,
+            "coalesced {:?} vs naive {:?}",
+            t_coal.time_ms,
+            t_naive.time_ms
+        );
+        assert!(t_coal.coalescing_efficiency > t_naive.coalescing_efficiency);
+    }
+
+    #[test]
+    fn oversized_blocks_rejected() {
+        let k = parse_kernel(NAIVE_MM).unwrap();
+        let b = binds(&[("n", 512), ("w", 512)]);
+        let cfg = LaunchConfig {
+            grid_x: 1,
+            grid_y: 1,
+            block_x: 1024,
+            block_y: 1,
+        };
+        assert!(matches!(
+            estimate(&k, &cfg, &b, &MachineDesc::gtx280(), &PerfOptions::default()),
+            Err(PerfError::DoesNotFit(_))
+        ));
+    }
+
+    #[test]
+    fn shared_overflow_rejected() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) {
+                __shared__ float s0[5000];
+                s0[tidx] = a[idx];
+                __syncthreads();
+                a[idx] = s0[tidx];
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 1024)]);
+        let cfg = LaunchConfig::one_d(64, 16);
+        assert!(matches!(
+            estimate(&k, &cfg, &b, &MachineDesc::gtx280(), &PerfOptions::default()),
+            Err(PerfError::DoesNotFit(_))
+        ));
+    }
+
+    #[test]
+    fn partition_camping_slows_the_kernel() {
+        // Row-walk mv at 4096 camps on GTX 280 (power-of-two resonance)
+        // but not at 4096+64 rows... compare imbalance factors directly.
+        let k = parse_kernel(
+            "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+                float s = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { s += a[idx][i] * b[i]; }
+                c[idx] = s;
+            }",
+        )
+        .unwrap();
+        let m = MachineDesc::gtx280();
+        let cfg = LaunchConfig::one_d(64, 16);
+        let camped = estimate(
+            &k,
+            &cfg,
+            &binds(&[("n", 1024), ("w", 4096)]),
+            &m,
+            &PerfOptions::default(),
+        )
+        .unwrap();
+        let spread = estimate(
+            &k,
+            &cfg,
+            &binds(&[("n", 1024), ("w", 4096 + 64)]),
+            &m,
+            &PerfOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            camped.partition_imbalance > spread.partition_imbalance,
+            "camped {} vs spread {}",
+            camped.partition_imbalance,
+            spread.partition_imbalance
+        );
+    }
+
+    #[test]
+    fn more_parallelism_hides_latency() {
+        let k = parse_kernel(
+            "__global__ void cp(float a[n][n], float c[n][n], int n) {
+                c[idy][idx] = a[idy][idx];
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 1024)]);
+        let m = MachineDesc::gtx280();
+        let small = LaunchConfig {
+            grid_x: 64,
+            grid_y: 1024,
+            block_x: 16,
+            block_y: 1,
+        };
+        let big = LaunchConfig {
+            grid_x: 8,
+            grid_y: 1024,
+            block_x: 128,
+            block_y: 1,
+        };
+        let t16 = estimate(&k, &small, &b, &m, &PerfOptions::default()).unwrap();
+        let t128 = estimate(&k, &big, &b, &m, &PerfOptions::default()).unwrap();
+        assert!(t128.active_warps > t16.active_warps);
+        assert!(t128.latency_cycles < t16.latency_cycles);
+    }
+
+    #[test]
+    fn bound_by_reports_dominant_component() {
+        let est = PerfEstimate {
+            time_ms: 1.0,
+            gflops: 1.0,
+            effective_bandwidth_gbps: 1.0,
+            blocks_per_sm: 1,
+            active_warps: 8,
+            compute_cycles: 10.0,
+            memory_cycles: 100.0,
+            latency_cycles: 50.0,
+            partition_imbalance: 1.0,
+            coalescing_efficiency: 1.0,
+            stats: ExecStats::default(),
+        };
+        assert_eq!(est.bound_by(), "memory bandwidth");
+    }
+}

@@ -1,0 +1,138 @@
+//! Runtime values of the functional simulator.
+
+use gpgpu_ast::ScalarType;
+use std::fmt;
+
+/// A scalar runtime value: one lane's view of a variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// 32-bit signed integer (booleans are 0/1).
+    I(i64),
+    /// 32-bit float.
+    F(f32),
+    /// CUDA `float2`.
+    F2([f32; 2]),
+    /// CUDA `float4`.
+    F4([f32; 4]),
+}
+
+impl Val {
+    /// Zero of the given type.
+    pub fn zero(ty: ScalarType) -> Val {
+        match ty {
+            ScalarType::Int => Val::I(0),
+            ScalarType::Float => Val::F(0.0),
+            ScalarType::Float2 => Val::F2([0.0; 2]),
+            ScalarType::Float4 => Val::F4([0.0; 4]),
+        }
+    }
+
+    /// Integer view (floats truncate).
+    pub fn as_i(self) -> Option<i64> {
+        match self {
+            Val::I(v) => Some(v),
+            Val::F(v) => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Float view (ints convert).
+    pub fn as_f(self) -> Option<f32> {
+        match self {
+            Val::I(v) => Some(v as f32),
+            Val::F(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for predicates.
+    pub fn is_true(self) -> bool {
+        match self {
+            Val::I(v) => v != 0,
+            Val::F(v) => v != 0.0,
+            _ => false,
+        }
+    }
+
+    /// Number of 32-bit lanes.
+    pub fn lanes(self) -> usize {
+        match self {
+            Val::I(_) | Val::F(_) => 1,
+            Val::F2(_) => 2,
+            Val::F4(_) => 4,
+        }
+    }
+
+    /// Reads component `lane` of a vector value (or the scalar itself).
+    pub fn component(self, lane: usize) -> Option<f32> {
+        match self {
+            Val::F(v) if lane == 0 => Some(v),
+            Val::I(v) if lane == 0 => Some(v as f32),
+            Val::F2(v) => v.get(lane).copied(),
+            Val::F4(v) => v.get(lane).copied(),
+            _ => None,
+        }
+    }
+
+    /// Writes component `lane` of a vector value.
+    pub fn set_component(&mut self, lane: usize, x: f32) -> bool {
+        match self {
+            Val::F(v) if lane == 0 => {
+                *v = x;
+                true
+            }
+            Val::F2(v) if lane < 2 => {
+                v[lane] = x;
+                true
+            }
+            Val::F4(v) if lane < 4 => {
+                v[lane] = x;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::I(v) => write!(f, "{v}"),
+            Val::F(v) => write!(f, "{v}"),
+            Val::F2(v) => write!(f, "({}, {})", v[0], v[1]),
+            Val::F4(v) => write!(f, "({}, {}, {}, {})", v[0], v[1], v[2], v[3]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Val::I(3).as_f(), Some(3.0));
+        assert_eq!(Val::F(2.7).as_i(), Some(2));
+        assert_eq!(Val::F2([1.0, 2.0]).as_i(), None);
+        assert!(Val::I(1).is_true());
+        assert!(!Val::F(0.0).is_true());
+    }
+
+    #[test]
+    fn components() {
+        let mut v = Val::F2([1.0, 2.0]);
+        assert_eq!(v.component(1), Some(2.0));
+        assert!(v.set_component(0, 5.0));
+        assert_eq!(v, Val::F2([5.0, 2.0]));
+        assert!(!v.set_component(2, 0.0));
+        assert_eq!(Val::F(7.0).component(0), Some(7.0));
+        assert_eq!(Val::F(7.0).component(1), None);
+    }
+
+    #[test]
+    fn zeros_and_lanes() {
+        assert_eq!(Val::zero(ScalarType::Float2).lanes(), 2);
+        assert_eq!(Val::zero(ScalarType::Int), Val::I(0));
+        assert_eq!(Val::zero(ScalarType::Float4).lanes(), 4);
+    }
+}

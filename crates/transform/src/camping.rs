@@ -1,0 +1,364 @@
+//! Partition-camping elimination (paper §3.7, Fig. 9).
+//!
+//! Detection reuses the access patterns gathered for the merge analysis:
+//! an access camps when the address stride between neighboring blocks along
+//! X is a multiple of (partition width × number of partitions). Two fixes:
+//!
+//! * **1-D grids** (e.g. mv): an address offset of `partition_width · bidx`
+//!   is added to the camping array's column index, modulo the row length —
+//!   each block starts its row walk in a different partition (Fig. 9b).
+//! * **2-D grids** (e.g. tp): the diagonal block reordering of Ruetsch &
+//!   Micikevicius: `newbidy = bidx; newbidx = (bidx + bidy) % gridDim.x`.
+
+use crate::PipelineState;
+use gpgpu_analysis::{
+    collect_accesses, resolve_layouts_padded, Affine, PartitionGeometry,
+};
+use gpgpu_ast::{visit, Builtin, Expr, ScalarType, Stmt};
+use std::collections::HashSet;
+
+/// What the camping pass did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CampingReport {
+    /// Arrays fixed with the address-offset rotation.
+    pub offset_arrays: Vec<String>,
+    /// True if diagonal block remapping was applied.
+    pub diagonal: bool,
+    /// Camping arrays that could not be fixed.
+    pub unfixed: Vec<String>,
+}
+
+impl CampingReport {
+    /// True if any fix was applied.
+    pub fn applied(&self) -> bool {
+        self.diagonal || !self.offset_arrays.is_empty()
+    }
+}
+
+/// Detects camping arrays for the current kernel under `geometry`.
+///
+/// Both the kernel's direct (affine) accesses and the *original* access
+/// patterns recorded in staging metadata are checked — staged accesses may
+/// have become non-affine (lane arithmetic) while their global footprint is
+/// unchanged.
+pub fn detect(state: &PipelineState, geometry: PartitionGeometry) -> Vec<String> {
+    let Ok(layouts) = resolve_layouts_padded(&state.kernel, &state.bindings) else {
+        return Vec::new();
+    };
+    let mut camping: Vec<String> = Vec::new();
+    let period = geometry.period_bytes();
+    let pragma_sizes = state.kernel.pragma_sizes();
+    let resolve = |name: &str| {
+        state
+            .bindings
+            .get(name)
+            .copied()
+            .or_else(|| pragma_sizes.get(name).copied())
+    };
+
+    let mut check = |array: &str, linear: &Affine| {
+        let Some(layout) = layouts.get(array) else {
+            return;
+        };
+        let expanded = linear.expand_ids(state.block_x, state.block_y);
+        let stride = expanded.coeff_builtin(Builtin::BidX) * layout.elem.size_bytes() as i64;
+        if stride != 0 && stride % period == 0 && !camping.iter().any(|a| a == array) {
+            camping.push(array.to_string());
+        }
+    };
+
+    // Original patterns behind the stagings.
+    for info in &state.stagings {
+        let forms: Option<Vec<Affine>> = info
+            .orig_indices
+            .iter()
+            .map(|ix| Affine::from_expr(ix, &resolve))
+            .collect();
+        if let Some(forms) = forms {
+            if let Some(linear) = layouts.get(&info.source).and_then(|l| l.linearize(&forms)) {
+                check(&info.source, &linear);
+            }
+        }
+    }
+    // Direct accesses still present in the kernel.
+    for acc in collect_accesses(&state.kernel, &layouts, &state.bindings) {
+        if let Some(linear) = &acc.linear {
+            check(&acc.array, linear);
+        }
+    }
+    camping
+}
+
+/// Detects and eliminates partition camping.
+///
+/// `grid_2d` tells the pass whether the launch grid is two-dimensional
+/// (diagonal remapping needs a 2-D — and square — grid; the driver only
+/// passes `true` for square grids).
+pub fn eliminate(
+    state: &mut PipelineState,
+    geometry: PartitionGeometry,
+    grid_2d: bool,
+) -> CampingReport {
+    let mut report = CampingReport::default();
+    let camping = detect(state, geometry);
+    if camping.is_empty() {
+        return report;
+    }
+
+    if grid_2d {
+        apply_diagonal(state);
+        report.diagonal = true;
+        state.note("camping: applied diagonal block remapping");
+        return report;
+    }
+
+    let Ok(layouts) = resolve_layouts_padded(&state.kernel, &state.bindings) else {
+        report.unfixed = camping;
+        return report;
+    };
+    let offset_words = geometry.width_bytes as i64 / ScalarType::Float.size_bytes() as i64;
+    let mut rotated_loops: HashSet<String> = HashSet::new();
+    for array in camping {
+        let Some(layout) = layouts.get(&array) else {
+            report.unfixed.push(array);
+            continue;
+        };
+        if layout.dims.len() < 2 {
+            report.unfixed.push(array);
+            continue;
+        }
+        let row_len = *layout.dims.last().unwrap();
+        if row_len % offset_words != 0 {
+            report.unfixed.push(array);
+            continue;
+        }
+        // The walk over the camping array's rows is keyed on some loop;
+        // rotate that loop's iteration order. All arrays indexed by the
+        // same loop rotate together, which is what keeps co-indexed
+        // operands (e.g. mv's matrix tile and vector segment) in step.
+        let Some(loop_var) = loop_walking(&state.kernel.body, &array) else {
+            report.unfixed.push(array);
+            continue;
+        };
+        if rotated_loops.insert(loop_var.clone()) {
+            rotate_loop(state, &loop_var, offset_words, row_len);
+            state.note(format!(
+                "camping: rotated loop `{loop_var}` by {offset_words}*bidx (mod {row_len}) for {array}"
+            ));
+        }
+        report.offset_arrays.push(array);
+    }
+    report
+}
+
+/// Finds the loop whose variable walks the last dimension of `array`.
+fn loop_walking(body: &[Stmt], array: &str) -> Option<String> {
+    for stmt in body {
+        if let Stmt::For(l) = stmt {
+            let mut found = false;
+            visit::walk_exprs(&l.body, &mut |e| {
+                if let Expr::Index { array: a, indices } = e {
+                    if a == array && indices.last().is_some_and(|ix| ix.uses_var(&l.var)) {
+                        found = true;
+                    }
+                }
+            });
+            if found {
+                return Some(l.var.clone());
+            }
+            if let Some(v) = loop_walking(&l.body, array) {
+                return Some(v);
+            }
+        } else {
+            for child in stmt.children() {
+                if let Some(v) = loop_walking(child, array) {
+                    return Some(v);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Substitutes `var -> (var + off*bidx) % W` throughout the body of the
+/// loop declaring `var` (paper Fig. 9b: each block starts its row walk in a
+/// different partition and wraps; the loop still visits every column
+/// exactly once, so any co-indexed access stays consistent).
+fn rotate_loop(state: &mut PipelineState, var: &str, offset_words: i64, row_len: i64) {
+    fn rec(body: &mut Vec<Stmt>, var: &str, off: i64, w: i64) -> bool {
+        for stmt in body.iter_mut() {
+            if let Stmt::For(l) = stmt {
+                if l.var == var {
+                    let rotated = Expr::var(var)
+                        .add(Expr::Int(off).mul(Expr::Builtin(Builtin::BidX)))
+                        .rem(Expr::Int(w));
+                    l.body = visit::map_exprs(std::mem::take(&mut l.body), &|e| match e {
+                        Expr::Var(ref n) if n == var => rotated.clone(),
+                        other => other,
+                    });
+                    return true;
+                }
+                if rec(&mut l.body, var, off, w) {
+                    return true;
+                }
+            } else {
+                for child in stmt.children_mut() {
+                    if rec(child, var, off, w) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+    let mut body = std::mem::take(&mut state.kernel.body);
+    rec(&mut body, var, offset_words, row_len);
+    state.kernel.body = body;
+}
+
+
+
+/// Applies the diagonal block remapping by introducing remapped block ids
+/// and rewriting every id builtin in terms of them.
+fn apply_diagonal(state: &mut PipelineState) {
+    let dbx = crate::util::fresh_name(&state.kernel, "diag_bx");
+    let dby = crate::util::fresh_name(&state.kernel, "diag_by");
+    let body = std::mem::take(&mut state.kernel.body);
+    let body = visit::map_exprs(body, &|e| match e {
+        Expr::Builtin(Builtin::BidX) => Expr::var(&dbx),
+        Expr::Builtin(Builtin::BidY) => Expr::var(&dby),
+        Expr::Builtin(Builtin::IdX) => Expr::var(&dbx)
+            .mul(Expr::Builtin(Builtin::BlockDimX))
+            .add(Expr::Builtin(Builtin::TidX)),
+        Expr::Builtin(Builtin::IdY) => Expr::var(&dby)
+            .mul(Expr::Builtin(Builtin::BlockDimY))
+            .add(Expr::Builtin(Builtin::TidY)),
+        other => other,
+    });
+    let mut new_body = vec![
+        Stmt::decl_int(
+            &dbx,
+            Expr::Builtin(Builtin::BidX)
+                .add(Expr::Builtin(Builtin::BidY))
+                .rem(Expr::Builtin(Builtin::GridDimX)),
+        ),
+        Stmt::decl_int(&dby, Expr::Builtin(Builtin::BidX)),
+    ];
+    new_body.extend(body);
+    state.kernel.body = new_body;
+}
+
+/// The set of arrays a kernel reads or writes — used by the driver to pick
+/// which grids qualify as 2-D for the diagonal remap.
+pub fn touched_arrays(state: &PipelineState) -> HashSet<String> {
+    let globals = crate::util::global_arrays(&state.kernel);
+    let mut touched = HashSet::new();
+    visit::walk_exprs(&state.kernel.body, &mut |e| {
+        if let Expr::Index { array, .. } = e {
+            if globals.contains(array) {
+                touched.insert(array.clone());
+            }
+        }
+    });
+    touched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::coalesce;
+    use gpgpu_analysis::Bindings;
+    use gpgpu_ast::{parse_kernel, print_kernel, PrintOptions};
+
+    const MV: &str = r#"
+        __global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idx][i] * b[i];
+            }
+            c[idx] = sum;
+        }
+    "#;
+
+    fn pipeline(src: &str, binds: &[(&str, i64)]) -> PipelineState {
+        let k = parse_kernel(src).unwrap();
+        let bindings: Bindings = binds.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        let mut st = PipelineState::new(k, bindings);
+        coalesce(&mut st);
+        st
+    }
+
+    #[test]
+    fn mv_4k_detected_and_offset_applied() {
+        let mut st = pipeline(MV, &[("n", 4096), ("w", 4096)]);
+        let detected = detect(&st, PartitionGeometry::gtx280());
+        assert_eq!(detected, vec!["a".to_string()]);
+        let rep = eliminate(&mut st, PartitionGeometry::gtx280(), false);
+        assert_eq!(rep.offset_arrays, vec!["a".to_string()]);
+        assert!(!rep.diagonal);
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("+ 64 * bidx) % 4096"), "{printed}");
+    }
+
+    #[test]
+    fn mv_4k_not_detected_on_gtx8800() {
+        let st = pipeline(MV, &[("n", 4096), ("w", 4096)]);
+        // 262144 % 1536 != 0: six partitions break the resonance.
+        assert!(detect(&st, PartitionGeometry::gtx8800()).is_empty());
+    }
+
+    #[test]
+    fn tp_gets_diagonal_remap() {
+        let mut st = pipeline(
+            "__global__ void tp(float a[n][n], float c[n][n], int n) {
+                c[idx][idy] = a[idy][idx];
+            }",
+            &[("n", 4096)],
+        );
+        let detected = detect(&st, PartitionGeometry::gtx280());
+        assert!(!detected.is_empty(), "{detected:?}");
+        let rep = eliminate(&mut st, PartitionGeometry::gtx280(), true);
+        assert!(rep.diagonal);
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("int diag_bx0 = (bidx + bidy) % gridDimX;"), "{printed}");
+        assert!(printed.contains("int diag_by0 = bidx;"), "{printed}");
+        assert!(!printed.contains(" idy"), "all idy uses rewritten: {printed}");
+    }
+
+    #[test]
+    fn no_camping_no_change() {
+        let mut st = pipeline(
+            "__global__ void cp(float a[n][n], float c[n][n], int n) {
+                c[idy][idx] = a[idy][idx];
+            }",
+            &[("n", 4096)],
+        );
+        let before = st.kernel.clone();
+        let rep = eliminate(&mut st, PartitionGeometry::gtx280(), true);
+        assert!(!rep.applied());
+        assert_eq!(st.kernel, before);
+    }
+
+    #[test]
+    fn one_dim_array_reported_unfixed() {
+        // Strided 1-D access that camps but cannot be rotated.
+        let mut st = pipeline(
+            "__global__ void f(float a[m], float c[n], int n, int m) {
+                c[idx] = a[idx * 512];
+            }",
+            &[("n", 4096), ("m", 4096 * 512)],
+        );
+        let rep = eliminate(&mut st, PartitionGeometry::gtx280(), false);
+        assert_eq!(rep.unfixed, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn detect_uses_staging_metadata_after_merge() {
+        // After X-merge the tile staging uses lane arithmetic (non-affine),
+        // but detection still fires via the recorded original pattern.
+        let mut st = pipeline(MV, &[("n", 4096), ("w", 4096)]);
+        crate::merge::thread_block_merge_x(&mut st, 8).unwrap();
+        let detected = detect(&st, PartitionGeometry::gtx280());
+        assert!(detected.contains(&"a".to_string()), "{detected:?}");
+    }
+}

@@ -1,0 +1,785 @@
+//! Conversion of non-coalesced global accesses into coalesced ones through
+//! shared-memory staging (paper §3.3).
+//!
+//! After this pass each thread block is one half warp (16 threads along X —
+//! or a 16×16 tile for the transpose-style exchange), and every converted
+//! load happens via a coalesced `__shared__` staging copy. See
+//! [`crate::staging`] for the staging patterns; this pass decides which
+//! pattern applies to which access and restructures loops (the 16× unroll
+//! of Fig. 3) accordingly.
+//!
+//! Accesses whose staged data would have no reuse (§3.4's rule — e.g. the
+//! broadcast `A[idy][0]`) are left untouched, as are unresolved indices.
+
+use crate::staging::{StagingInfo, StagingPattern, HALF_WARP};
+use crate::PipelineState;
+use gpgpu_analysis::{
+    collect_accesses, resolve_layouts_padded, Affine, CoalesceVerdict, GlobalAccess, Sym,
+};
+use gpgpu_ast::{
+    builder, visit, Builtin, Expr, ForLoop, Kernel, LValue, LoopUpdate, ScalarType, Stmt,
+};
+use std::collections::HashMap;
+
+/// What the coalescing pass did to each candidate access.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoalesceReport {
+    /// Accesses converted: `(array, pattern description)`.
+    pub converted: Vec<(String, String)>,
+    /// Accesses left alone: `(array, reason)`.
+    pub skipped: Vec<(String, String)>,
+    /// True when the transpose-style idx/idy exchange was applied.
+    pub exchanged: bool,
+}
+
+/// Runs the pass; rewrites `state.kernel` and sets the half-warp block.
+pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
+    let mut report = CoalesceReport::default();
+
+    // Transpose-style stores get the dedicated exchange transformation.
+    if try_exchange(state, &mut report) {
+        return report;
+    }
+
+    state.block_x = HALF_WARP;
+    state.block_y = 1;
+
+    let layouts = match resolve_layouts_padded(&state.kernel, &state.bindings) {
+        Ok(l) => l,
+        Err(e) => {
+            state.note(format!("coalesce: cannot resolve layouts ({e}); skipped"));
+            return report;
+        }
+    };
+    let accesses = collect_accesses(&state.kernel, &layouts, &state.bindings);
+
+    // Plan staging for each convertible non-coalesced read.
+    let mut loop_plans: HashMap<String, Vec<StagingInfo>> = HashMap::new();
+    let mut straightline_plans: Vec<StagingInfo> = Vec::new();
+    let mut counter = 0usize;
+    for acc in &accesses {
+        if acc.is_write || acc.verdict.is_coalesced() {
+            continue;
+        }
+        if acc.verdict == CoalesceVerdict::Unresolved {
+            report
+                .skipped
+                .push((acc.array.clone(), "unresolved index".into()));
+            continue;
+        }
+        let Some((pattern, loop_var)) = classify_pattern(acc) else {
+            report
+                .skipped
+                .push((acc.array.clone(), "no data reuse in staged segment".into()));
+            continue;
+        };
+        let resolve = bindings_resolver(state);
+        // Windows are stored normalized (constant offset stripped from the
+        // last index) so neighbourhood accesses share one staging.
+        let plan_indices = if pattern == StagingPattern::Window {
+            normalize_window(&acc.indices)
+        } else {
+            acc.indices.clone()
+        };
+        let already = match &loop_var {
+            Some(lv) => loop_plans.get(lv).is_some_and(|plans| {
+                plans
+                    .iter()
+                    .any(|p| p.source == acc.array && p.orig_indices == acc.indices)
+            }),
+            // Strided pairs (A[2·idx], A[2·idx+1]) share one staging window:
+            // compare bases with the parity stripped.
+            None => straightline_plans.iter().any(|p| {
+                p.source == acc.array
+                    && match (&p.pattern, &pattern) {
+                        (
+                            StagingPattern::MultiSegment { factor: f1 },
+                            StagingPattern::MultiSegment { factor: f2 },
+                        ) if f1 == f2 => {
+                            window_base(&p.orig_indices[0], *f1, &resolve)
+                                == window_base(&acc.indices[0], *f1, &resolve)
+                        }
+                        (StagingPattern::Window, StagingPattern::Window) => {
+                            p.orig_indices == plan_indices
+                        }
+                        _ => p.orig_indices == acc.indices,
+                    }
+            }),
+        };
+        if already {
+            continue;
+        }
+        let info = StagingInfo {
+            shared: format!("shared{counter}"),
+            source: acc.array.clone(),
+            pattern: pattern.clone(),
+            loop_var: loop_var.clone(),
+            orig_indices: plan_indices,
+        };
+        counter += 1;
+        report
+            .converted
+            .push((acc.array.clone(), pattern_name(&pattern).into()));
+        match loop_var {
+            Some(lv) => loop_plans.entry(lv).or_default().push(info),
+            None => straightline_plans.push(info),
+        }
+    }
+
+    let mut placed: Vec<StagingInfo> = Vec::new();
+    if !loop_plans.is_empty() {
+        let resolve = bindings_resolver(state);
+        let body = std::mem::take(&mut state.kernel.body);
+        let mut failed = Vec::new();
+        state.kernel.body = rewrite(body, &loop_plans, &resolve, &mut failed);
+        for (lv, plans) in &loop_plans {
+            if failed.contains(lv) {
+                for p in plans {
+                    report.converted.retain(|(a, _)| a != &p.source);
+                    report.skipped.push((
+                        p.source.clone(),
+                        "loop trip count not divisible by 16".into(),
+                    ));
+                }
+            } else {
+                placed.extend(plans.iter().cloned());
+            }
+        }
+    }
+    let resolve = bindings_resolver(state);
+    for info in straightline_plans {
+        apply_straightline(&mut state.kernel, &info, &resolve);
+        placed.push(info);
+    }
+    state.stagings.extend(placed);
+
+    if !report.converted.is_empty() {
+        state.note(format!(
+            "coalesce: converted {} access(es), block set to 16x1",
+            report.converted.len()
+        ));
+    }
+    report
+}
+
+fn bindings_resolver(state: &PipelineState) -> impl Fn(&str) -> Option<i64> + 'static {
+    let pragma_sizes = state.kernel.pragma_sizes();
+    let bindings = state.bindings.clone();
+    move |name: &str| {
+        bindings
+            .get(name)
+            .copied()
+            .or_else(|| pragma_sizes.get(name).copied())
+    }
+}
+
+fn pattern_name(p: &StagingPattern) -> &'static str {
+    match p {
+        StagingPattern::Segment => "segment",
+        StagingPattern::Tile => "tile",
+        StagingPattern::MultiSegment { .. } => "multi-segment",
+        StagingPattern::Window => "window",
+    }
+}
+
+/// Decides which staging pattern fixes a non-coalesced read, and which loop
+/// (if any) the staging is keyed on. `None` means the access is skipped
+/// (no reuse, per §3.4).
+fn classify_pattern(acc: &GlobalAccess) -> Option<(StagingPattern, Option<String>)> {
+    let linear = acc.linear.as_ref()?;
+    let expanded = linear.expand_ids(HALF_WARP, 1);
+    let tidx_coeff = expanded.coeff_builtin(Builtin::TidX);
+
+    // Find the innermost enclosing loop with unit coefficient and unit step:
+    // the axis along which consecutive iterations touch consecutive words.
+    let key_loop = acc
+        .loops
+        .iter()
+        .rev()
+        .find(|l| expanded.coeff(&Sym::var(l.var.clone())) == 1 && l.step == Some(1));
+
+    if let Some(l) = key_loop {
+        let last_uses_idx = acc
+            .indices
+            .last()
+            .is_some_and(|ix| ix.uses_builtin(Builtin::IdX));
+        let higher_uses_idx = acc.indices[..acc.indices.len().saturating_sub(1)]
+            .iter()
+            .any(|ix| ix.uses_builtin(Builtin::IdX));
+        let pattern = match tidx_coeff {
+            // Broadcast walk (a[idy][i], b[i]): one segment serves the warp.
+            0 if !higher_uses_idx => StagingPattern::Segment,
+            // Sliding window (img[row][idx+i]): halo segment.
+            1 if last_uses_idx && !higher_uses_idx => StagingPattern::Segment,
+            // Thread id steering a higher-order dimension (a[idx][i]).
+            _ if higher_uses_idx && !last_uses_idx => StagingPattern::Tile,
+            _ => return None,
+        };
+        return Some((pattern, Some(l.var.clone())));
+    }
+
+    // No usable loop: strided predefined access A[f·idx + c].
+    let loop_free = acc
+        .loops
+        .iter()
+        .all(|l| expanded.coeff(&Sym::var(l.var.clone())) == 0);
+    if loop_free && (tidx_coeff == 2 || tidx_coeff == 4) {
+        let c = expanded.constant_part();
+        if (0..tidx_coeff).contains(&c) {
+            return Some((StagingPattern::MultiSegment { factor: tidx_coeff }, None));
+        }
+    }
+    // Straight-line sliding window A[rows…][idx + c] — image stencils.
+    if loop_free && tidx_coeff == 1 {
+        let n = acc.indices.len();
+        let higher_uses_idx = acc.indices[..n.saturating_sub(1)]
+            .iter()
+            .any(|ix| ix.uses_builtin(Builtin::IdX));
+        if !higher_uses_idx {
+            if let Some(last) = acc.indices.last() {
+                if let Some(form) = Affine::from_expr(last, &|_| None) {
+                    let c = form.constant_part();
+                    if (0..HALF_WARP).contains(&c)
+                        && form.coeff_builtin(Builtin::IdX) == 1
+                    {
+                        return Some((StagingPattern::Window, None));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn rewrite(
+    body: Vec<Stmt>,
+    plans: &HashMap<String, Vec<StagingInfo>>,
+    resolve: &dyn Fn(&str) -> Option<i64>,
+    failed: &mut Vec<String>,
+) -> Vec<Stmt> {
+    body.into_iter()
+        .map(|stmt| match stmt {
+            Stmt::For(l) if plans.contains_key(&l.var) => {
+                match unroll_and_stage(&l, &plans[&l.var], resolve) {
+                    Some(new_loop) => new_loop,
+                    None => {
+                        failed.push(l.var.clone());
+                        let mut l = l;
+                        l.body = rewrite(l.body, plans, resolve, failed);
+                        Stmt::For(l)
+                    }
+                }
+            }
+            Stmt::For(mut l) => {
+                l.body = rewrite(l.body, plans, resolve, failed);
+                Stmt::For(l)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
+                cond,
+                then_body: rewrite(then_body, plans, resolve, failed),
+                else_body: rewrite(else_body, plans, resolve, failed),
+            },
+            other => other,
+        })
+        .collect()
+}
+
+/// The core Fig. 3 transformation: unrolls loop `l` 16×, stages each
+/// planned access into shared memory, and rewrites uses.
+fn unroll_and_stage(
+    l: &ForLoop,
+    plans: &[StagingInfo],
+    resolve: &dyn Fn(&str) -> Option<i64>,
+) -> Option<Stmt> {
+    // Trip count must be a multiple of 16 with unit step.
+    if l.update != LoopUpdate::AddAssign(1) || l.cmp != gpgpu_ast::BinOp::Lt {
+        return None;
+    }
+    let start = Affine::from_expr(&l.init, resolve)?.as_constant()?;
+    let bound = Affine::from_expr(&l.bound, resolve)?.as_constant()?;
+    if (bound - start).rem_euclid(HALF_WARP) != 0 || start.rem_euclid(HALF_WARP) != 0 {
+        return None;
+    }
+
+    let i = l.var.clone();
+    let mut out_body: Vec<Stmt> = Vec::new();
+    for plan in plans {
+        out_body.extend(plan.emit(HALF_WARP, 1));
+    }
+    out_body.push(Stmt::SyncThreads);
+
+    // Inner unrolled loop with the uses rewritten.
+    let k = format!("{i}_k");
+    let k_expr = Expr::var(&k);
+    let inner_body = visit::map_exprs(l.body.clone(), &|e| {
+        if let Expr::Index { array, indices } = &e {
+            for plan in plans {
+                if &plan.source == array && &plan.orig_indices == indices {
+                    return plan.use_site(Some(&k_expr), 1, 0);
+                }
+            }
+        }
+        e
+    });
+    // Remaining occurrences of the loop var advance by k.
+    let inner_body = visit::map_exprs(inner_body, &|e| match e {
+        Expr::Var(ref name) if name == &i => Expr::var(&i).add(Expr::var(&k)),
+        other => other,
+    });
+    out_body.push(builder::for_up(
+        &k,
+        Expr::Int(0),
+        Expr::Int(HALF_WARP),
+        1,
+        inner_body,
+    ));
+    out_body.push(Stmt::SyncThreads);
+
+    Some(Stmt::For(ForLoop {
+        var: i,
+        init: l.init.clone(),
+        cmp: l.cmp,
+        bound: l.bound.clone(),
+        update: LoopUpdate::AddAssign(HALF_WARP),
+        body: out_body,
+    }))
+}
+
+/// Applies a straight-line plan (MultiSegment or Window): inserts staging
+/// right before the first statement that uses the access, and rewrites
+/// *every* access falling inside the staged window.
+fn apply_straightline(
+    kernel: &mut Kernel,
+    info: &StagingInfo,
+    resolve: &dyn Fn(&str) -> Option<i64>,
+) {
+    if info.pattern == StagingPattern::Window {
+        apply_window(kernel, info);
+        return;
+    }
+    let StagingPattern::MultiSegment { factor } = info.pattern else {
+        return;
+    };
+    let base = window_base(&info.orig_indices[0], factor, resolve);
+    let mut staging = info.emit(HALF_WARP, 1);
+    staging.push(Stmt::SyncThreads);
+
+    let in_window = |e: &Expr| -> Option<i64> {
+        let Expr::Index { array, indices } = e else {
+            return None;
+        };
+        if array != &info.source || indices.len() != 1 {
+            return None;
+        }
+        let form = Affine::from_expr(&indices[0], resolve)?;
+        let parity = form.constant_part().rem_euclid(factor);
+        (Some(form.sub(&Affine::constant(parity))) == base).then_some(parity)
+    };
+
+    // Find the first top-level statement whose expressions use the window.
+    let uses_plan = |s: &Stmt| {
+        let mut found = false;
+        s.visit_exprs(&mut |e| {
+            e.walk(&mut |e| {
+                if in_window(e).is_some() {
+                    found = true;
+                }
+            });
+        });
+        found
+    };
+    let pos = kernel.body.iter().position(uses_plan).unwrap_or(0);
+    // Rewrite uses everywhere: A[f·idx + c] → shared[f·tidx + c].
+    let body = std::mem::take(&mut kernel.body);
+    let mut body = visit::map_exprs(body, &|e| match in_window(&e) {
+        Some(parity) => info.use_site(None, 1, parity),
+        None => e,
+    });
+    for (off, s) in staging.into_iter().enumerate() {
+        body.insert(pos + off, s);
+    }
+    kernel.body = body;
+}
+
+/// Strips the constant offset from a window access's last index.
+fn normalize_window(indices: &[Expr]) -> Vec<Expr> {
+    let mut out = indices.to_vec();
+    if let Some(last) = out.last_mut() {
+        if let Some(form) = Affine::from_expr(last, &|_| None) {
+            let c = form.constant_part();
+            *last = crate::util::affine_to_expr(&form.sub(&Affine::constant(c)));
+        }
+    }
+    out
+}
+
+/// Applies a Window plan: one staging region serves every constant offset
+/// of the neighbourhood (`A[rows…][idx + c]`, 0 ≤ c < 16).
+fn apply_window(kernel: &mut Kernel, info: &StagingInfo) {
+    let mut staging = info.emit(HALF_WARP, 1);
+    staging.push(Stmt::SyncThreads);
+
+    // An access matches when the source, the higher-order indices, and the
+    // normalized last index all agree; the constant offset becomes the
+    // use-site parity.
+    let matches = |e: &Expr| -> Option<i64> {
+        let Expr::Index { array, indices } = e else {
+            return None;
+        };
+        if array != &info.source || indices.len() != info.orig_indices.len() {
+            return None;
+        }
+        let n = indices.len();
+        if indices[..n - 1] != info.orig_indices[..n - 1] {
+            return None;
+        }
+        let form = Affine::from_expr(&indices[n - 1], &|_| None)?;
+        let c = form.constant_part();
+        if !(0..HALF_WARP).contains(&c) {
+            return None;
+        }
+        let base = Affine::from_expr(&info.orig_indices[n - 1], &|_| None)?;
+        (form.sub(&Affine::constant(c)) == base).then_some(c)
+    };
+
+    let uses_plan = |s: &Stmt| {
+        let mut found = false;
+        s.visit_exprs(&mut |e| {
+            e.walk(&mut |e| {
+                if matches(e).is_some() {
+                    found = true;
+                }
+            });
+        });
+        found
+    };
+    let pos = kernel.body.iter().position(uses_plan).unwrap_or(0);
+    let body = std::mem::take(&mut kernel.body);
+    let mut body = visit::map_exprs(body, &|e| match matches(&e) {
+        Some(c) => info.use_site(None, 1, c),
+        None => e,
+    });
+    for (off, s) in staging.into_iter().enumerate() {
+        body.insert(pos + off, s);
+    }
+    kernel.body = body;
+}
+
+/// The staging-window base of a strided access: its affine form with the
+/// parity constant stripped. `None` marks non-affine indices (never staged).
+fn window_base(
+    index: &Expr,
+    factor: i64,
+    resolve: &dyn Fn(&str) -> Option<i64>,
+) -> Option<Affine> {
+    let form = Affine::from_expr(index, resolve)?;
+    let parity = form.constant_part().rem_euclid(factor);
+    Some(form.sub(&Affine::constant(parity)))
+}
+
+/// Detects and applies the transpose-style `idx`/`idy` exchange: a store
+/// `OUT[..idx..][..idy..] = rhs` whose only global read is coalesced.
+/// Produces a 16×16 tiled kernel with a padded shared tile.
+fn try_exchange(state: &mut PipelineState, report: &mut CoalesceReport) -> bool {
+    // The body must be a single store.
+    if state.kernel.body.len() != 1 {
+        return false;
+    }
+    let Stmt::Assign { lhs, rhs } = state.kernel.body[0].clone() else {
+        return false;
+    };
+    let LValue::Index { array, indices } = lhs else {
+        return false;
+    };
+    let (array, indices, rhs) = (array, indices, rhs);
+    // Store shape: OUT[e_row(idx)][e_col(idy)] — idx steering the row makes
+    // the write column-major, the exchange candidate.
+    if indices.len() != 2 {
+        return false;
+    }
+    let row_uses_idx =
+        indices[0].uses_builtin(Builtin::IdX) && !indices[0].uses_builtin(Builtin::IdY);
+    let col_uses_idy =
+        indices[1].uses_builtin(Builtin::IdY) && !indices[1].uses_builtin(Builtin::IdX);
+    if !(row_uses_idx && col_uses_idy) {
+        return false;
+    }
+
+    let tidx = Expr::Builtin(Builtin::TidX);
+    let tidy = Expr::Builtin(Builtin::TidY);
+    let tile = crate::util::fresh_name(&state.kernel, "tile");
+
+    // tile[tidy][tidx] = rhs;   (rhs reads row-major — coalesced)
+    // OUT[row(idx→idx−tidx+tidy)][col(idy→idy−tidy+tidx)] = tile[tidx][tidy];
+    let store_row = indices[0].clone().subst_builtin(
+        Builtin::IdX,
+        &Expr::Builtin(Builtin::IdX)
+            .sub(tidx.clone())
+            .add(tidy.clone()),
+    );
+    let store_col = indices[1].clone().subst_builtin(
+        Builtin::IdY,
+        &Expr::Builtin(Builtin::IdY)
+            .sub(tidy.clone())
+            .add(tidx.clone()),
+    );
+    let new_body = vec![
+        builder::shared(&tile, ScalarType::Float, &[HALF_WARP, HALF_WARP + 1]),
+        builder::assign(
+            LValue::index(&tile, vec![tidy.clone(), tidx.clone()]),
+            rhs.clone(),
+        ),
+        Stmt::SyncThreads,
+        builder::assign(
+            LValue::index(array.clone(), vec![store_row, store_col]),
+            Expr::index(&tile, vec![tidx, tidy]),
+        ),
+    ];
+    state.kernel.body = new_body;
+    state.block_x = HALF_WARP;
+    state.block_y = HALF_WARP;
+    state.stagings.push(StagingInfo {
+        shared: tile,
+        source: array.clone(),
+        pattern: StagingPattern::Tile,
+        loop_var: None,
+        orig_indices: indices.clone(),
+    });
+    report.exchanged = true;
+    report
+        .converted
+        .push((array.clone(), "idx/idy exchange through tile".into()));
+    state.note("coalesce: applied transpose-style idx/idy exchange, block set to 16x16");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_analysis::Bindings;
+    use gpgpu_ast::{parse_kernel, print_kernel, PrintOptions};
+
+    fn run(src: &str, binds: &[(&str, i64)]) -> (PipelineState, CoalesceReport) {
+        let k = parse_kernel(src).unwrap();
+        let bindings: Bindings = binds.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        let mut st = PipelineState::new(k, bindings);
+        let rep = coalesce(&mut st);
+        (st, rep)
+    }
+
+    const MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idy][i] * b[i][idx];
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    #[test]
+    fn mm_produces_figure_3a_shape() {
+        let (st, rep) = run(MM, &[("n", 1024), ("w", 1024)]);
+        assert_eq!(rep.converted, vec![("a".to_string(), "segment".to_string())]);
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("__shared__ float shared0[16];"), "{printed}");
+        assert!(printed.contains("shared0[tidx] = a[idy][i + tidx];"), "{printed}");
+        assert!(printed.contains("for (int i_k = 0; i_k < 16; i_k = i_k + 1)"), "{printed}");
+        assert!(printed.contains("shared0[i_k] * b[i + i_k][idx]"), "{printed}");
+        assert!(printed.contains("__syncthreads();"));
+        assert_eq!((st.block_x, st.block_y), (16, 1));
+        // Outer loop now steps by 16.
+        assert!(printed.contains("i = i + 16"), "{printed}");
+    }
+
+    const MV: &str = r#"
+        __global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idx][i] * b[i];
+            }
+            c[idx] = sum;
+        }
+    "#;
+
+    #[test]
+    fn mv_produces_figure_3b_shape() {
+        let (st, rep) = run(MV, &[("n", 1024), ("w", 1024)]);
+        // Both a (tile) and b (segment) convert.
+        let pats: Vec<&str> = rep.converted.iter().map(|(_, p)| p.as_str()).collect();
+        assert!(pats.contains(&"tile"), "{rep:?}");
+        assert!(pats.contains(&"segment"), "{rep:?}");
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        // Padded tile and the column staging loop.
+        assert!(printed.contains("[16][17];"), "{printed}");
+        assert!(printed.contains("= a[idx - tidx + "), "{printed}");
+        assert!(printed.contains("[i + tidx]"), "{printed}");
+        // Tile use site: shared[tidx][k].
+        assert!(printed.contains("[tidx][i_k]"), "{printed}");
+        assert_eq!(st.stagings.len(), 2);
+    }
+
+    #[test]
+    fn transpose_exchange_applies() {
+        let (st, rep) = run(
+            "__global__ void tp(float a[n][n], float c[n][n], int n) {
+                c[idx][idy] = a[idy][idx];
+            }",
+            &[("n", 1024)],
+        );
+        assert!(rep.exchanged);
+        assert_eq!((st.block_x, st.block_y), (16, 16));
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("__shared__ float tile0[16][17];"), "{printed}");
+        assert!(printed.contains("tile0[tidy][tidx] = a[idy][idx];"), "{printed}");
+        assert!(
+            printed.contains("c[idx - tidx + tidy][idy - tidy + tidx] = tile0[tidx][tidy];"),
+            "{printed}"
+        );
+    }
+
+    #[test]
+    fn already_coalesced_kernel_untouched() {
+        let (st, rep) = run(
+            "__global__ void cp(float a[n][n], float c[n][n], int n) {
+                c[idy][idx] = a[idy][idx];
+            }",
+            &[("n", 1024)],
+        );
+        assert!(rep.converted.is_empty());
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("c[idy][idx] = a[idy][idx];"));
+        assert_eq!((st.block_x, st.block_y), (16, 1));
+    }
+
+    #[test]
+    fn broadcast_skipped_for_no_reuse() {
+        // A[idy][0]: staged segment would be mostly unused (paper §3.4).
+        let (st, rep) = run(
+            "__global__ void f(float a[n][w], float c[n][n], int n, int w) {
+                c[idy][idx] = a[idy][0];
+            }",
+            &[("n", 1024), ("w", 1024)],
+        );
+        assert!(rep.converted.is_empty());
+        assert_eq!(rep.skipped.len(), 1);
+        assert!(rep.skipped[0].1.contains("no data reuse"));
+        assert!(st.stagings.is_empty());
+    }
+
+    #[test]
+    fn multisegment_for_unvectorized_complex() {
+        let (st, rep) = run(
+            "__global__ void rdc(float a[m], float c[n], int n, int m) {
+                c[idx] = a[2 * idx] + a[2 * idx + 1];
+            }",
+            &[("n", 512), ("m", 1024)],
+        );
+        assert_eq!(rep.converted.len(), 1);
+        assert_eq!(rep.converted[0].1, "multi-segment");
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("__shared__ float shared0[32];"), "{printed}");
+        assert!(printed.contains("shared0[tidx] = a[2 * (idx - tidx) + tidx];"), "{printed}");
+        assert!(
+            printed.contains("shared0[tidx + 16] = a[2 * (idx - tidx) + tidx + 16];"),
+            "{printed}"
+        );
+        assert!(printed.contains("shared0[2 * tidx]"), "{printed}");
+        assert!(printed.contains("shared0[2 * tidx + 1]"), "{printed}");
+        assert_eq!(st.stagings.len(), 1);
+    }
+
+    #[test]
+    fn halo_window_staged_with_32_words() {
+        let (st, _rep) = run(
+            "__global__ void cv(float img[h][w], float g[m], float c[h][w], int h, int w, int m) {
+                float s = 0.0f;
+                for (int i = 0; i < 32; i = i + 1) {
+                    s += img[idy][idx + i] * g[i];
+                }
+                c[idy][idx] = s;
+            }",
+            &[("h", 1024), ("w", 1024), ("m", 32)],
+        );
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        // img staged with halo (32 words) and used at [tidx + k].
+        assert!(printed.contains("[32];"), "{printed}");
+        assert!(printed.contains("[tidx + i_k]"), "{printed}");
+        // g staged as a plain segment used at [i_k].
+        assert!(printed.contains("= g[i + tidx];"), "{printed}");
+        assert_eq!(st.stagings.len(), 2);
+    }
+
+    #[test]
+    fn odd_trip_count_aborts_unroll() {
+        let (st, rep) = run(
+            "__global__ void f(float a[n][w], float c[n][n], int n, int w) {
+                float s = 0.0f;
+                for (int i = 0; i < 20; i = i + 1) { s += a[idy][i]; }
+                c[idy][idx] = s;
+            }",
+            &[("n", 1024), ("w", 32)],
+        );
+        assert!(rep.converted.is_empty());
+        assert!(rep
+            .skipped
+            .iter()
+            .any(|(_, r)| r.contains("not divisible")));
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("i < 20"), "{printed}");
+        assert!(st.stagings.is_empty());
+    }
+
+    #[test]
+    fn stencil_windows_staged_once_per_row() {
+        // demosaic-style neighbourhood: three rows, offsets 0..3 — one
+        // 32-word window per row, shared by all the row's offsets.
+        let (st, rep) = run(
+            "__global__ void dm(float raw[h2][w2], float g[h][w], int h, int w, int h2, int w2) {
+                float v = raw[idy + 1][idx + 1];
+                float s = raw[idy][idx + 1] + raw[idy + 2][idx + 1] + raw[idy + 1][idx] + raw[idy + 1][idx + 2];
+                g[idy][idx] = v + s * 0.25f;
+            }",
+            &[("h", 1024), ("w", 1024), ("h2", 1026), ("w2", 1026)],
+        );
+        let windows = rep
+            .converted
+            .iter()
+            .filter(|(_, p)| p == "window")
+            .count();
+        assert_eq!(windows, 3, "{rep:?}");
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        // 32-word windows, staged from (idx − tidx) + tidx.
+        assert!(printed.contains("[32];"), "{printed}");
+        assert!(printed.contains("= raw[idy + 1][idx - tidx + tidx];"), "{printed}");
+        // Use sites address the window by lane + constant offset.
+        assert!(printed.contains("[tidx + 1]"), "{printed}");
+        assert!(printed.contains("[tidx + 2]"), "{printed}");
+        assert_eq!(st.stagings.len(), 3);
+    }
+
+    #[test]
+    fn tmv_only_stages_broadcast_vector() {
+        // Transposed-matrix-vector: a[i][idx] is already coalesced; only the
+        // vector walk b[i] needs staging.
+        let (st, rep) = run(
+            "__global__ void tmv(float a[w][n], float b[w], float c[n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) {
+                    sum += a[i][idx] * b[i];
+                }
+                c[idx] = sum;
+            }",
+            &[("n", 1024), ("w", 1024)],
+        );
+        assert_eq!(rep.converted, vec![("b".to_string(), "segment".to_string())]);
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("= b[i + tidx];"), "{printed}");
+        assert!(printed.contains("a[i + i_k][idx]"), "{printed}");
+        assert_eq!(st.stagings.len(), 1);
+    }
+}

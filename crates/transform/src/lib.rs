@@ -1,0 +1,86 @@
+#![warn(missing_docs)]
+
+//! # gpgpu-transform
+//!
+//! The transformation passes of the GPGPU optimizing compiler (paper §3):
+//!
+//! | Pass | Paper | Module |
+//! |------|-------|--------|
+//! | Vectorization of paired accesses | §3.1 | [`vectorize`] |
+//! | Non-coalesced → coalesced conversion | §3.3 | [`coalesce`] |
+//! | Thread-block merge (tiling) | §3.5.1 | [`merge`] |
+//! | Thread merge (unrolling) | §3.5.2 | [`merge`] |
+//! | Data prefetching | §3.6 | [`prefetch`] |
+//! | Partition-camping elimination | §3.7 | [`camping`] |
+//! | Reduction restructuring (`__gsync` trees) | §3 / §6 | [`reduction`] |
+//!
+//! Passes consume and produce a [`PipelineState`]: the kernel plus the
+//! thread-block geometry established so far and metadata about shared-memory
+//! staging introduced by the coalescing pass. The driver crate
+//! (`gpgpu-core`) sequences the passes and explores merge degrees.
+
+pub mod camping;
+pub mod coalesce;
+pub mod merge;
+pub mod prefetch;
+pub mod reduction;
+pub mod staging;
+pub mod util;
+pub mod vectorize;
+
+pub use staging::{StagingInfo, StagingPattern};
+
+use gpgpu_analysis::Bindings;
+use gpgpu_ast::Kernel;
+
+/// The state threaded through the pass pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineState {
+    /// The kernel in its current form.
+    pub kernel: Kernel,
+    /// Concrete size bindings the kernel is being compiled for.
+    pub bindings: Bindings,
+    /// Current thread-block extent along X.
+    pub block_x: i64,
+    /// Current thread-block extent along Y.
+    pub block_y: i64,
+    /// Staging arrays introduced by the coalescing pass.
+    pub stagings: Vec<StagingInfo>,
+    /// Work items folded into each thread along X by thread merge.
+    pub thread_merge_x: i64,
+    /// Work items folded into each thread along Y by thread merge.
+    pub thread_merge_y: i64,
+    /// Human-readable log of what each pass did (the paper touts
+    /// understandable output; the log explains it).
+    pub log: Vec<String>,
+}
+
+impl PipelineState {
+    /// Creates the initial state for a naive kernel: conceptually one
+    /// thread per block (the naive kernel needs no block structure).
+    pub fn new(kernel: Kernel, bindings: Bindings) -> PipelineState {
+        PipelineState {
+            kernel,
+            bindings,
+            block_x: 1,
+            block_y: 1,
+            stagings: Vec::new(),
+            thread_merge_x: 1,
+            thread_merge_y: 1,
+            log: Vec::new(),
+        }
+    }
+
+    /// Records a pass action in the log.
+    pub fn note(&mut self, msg: impl Into<String>) {
+        self.log.push(msg.into());
+    }
+
+    /// Resolves a scalar name against the bindings and `size` pragmas.
+    pub fn resolve(&self, name: &str) -> Option<i64> {
+        self.bindings
+            .get(name)
+            .copied()
+            .or_else(|| self.kernel.pragma_sizes().get(name).copied())
+    }
+}

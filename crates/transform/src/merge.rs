@@ -1,0 +1,671 @@
+//! Thread-block merge and thread merge (paper §3.5).
+//!
+//! Both merges aggregate the fine-grain work items of neighboring thread
+//! blocks:
+//!
+//! * **Thread-block merge** (§3.5.1) combines N neighboring blocks into one
+//!   *without* changing per-thread work: `blockDim` grows, redundant
+//!   global→shared loads are guarded (`if (tidx < 16)`, Fig. 5), and data is
+//!   reused through shared memory — the effect of loop *tiling*.
+//! * **Thread merge** (§3.5.2) combines the workloads of threads from N
+//!   neighboring blocks into one thread: statements are replicated with
+//!   `idy → idy·N + j` (Fig. 7), accumulators split into per-copy registers,
+//!   control flow and block-invariant loads are kept single — the effect of
+//!   loop *unrolling* with register reuse.
+
+use crate::staging::replace_staging_region;
+use crate::PipelineState;
+use gpgpu_ast::{visit, Builtin, Expr, LValue, Stmt};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why a merge could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The merge factor must be ≥ 2.
+    BadFactor(i64),
+    /// A staging pattern is incompatible with the requested merge
+    /// direction (e.g. a halo window under a Y block merge).
+    IncompatibleStaging(String),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::BadFactor(n) => write!(f, "merge factor {n} must be at least 2"),
+            MergeError::IncompatibleStaging(s) => {
+                write!(f, "staging `{s}` is incompatible with this merge direction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges `n` neighboring thread blocks along X into one (Fig. 5).
+///
+/// Staging code is re-emitted for the widened block: X-shared segments gain
+/// the `if (tidx < 16)` redundancy guard, tiles and multi-segments scale
+/// their extents, halo windows widen.
+///
+/// # Errors
+///
+/// Returns [`MergeError::BadFactor`] for factors below 2.
+pub fn thread_block_merge_x(state: &mut PipelineState, n: i64) -> Result<(), MergeError> {
+    if n < 2 {
+        return Err(MergeError::BadFactor(n));
+    }
+    let new_bx = state.block_x * n;
+    let by = state.block_y;
+    for info in &state.stagings {
+        let replacement = info.emit(new_bx, by);
+        replace_staging_region(&mut state.kernel.body, &info.shared, &replacement);
+    }
+    state.block_x = new_bx;
+    state.note(format!(
+        "thread-block merge: {n} blocks along X, block is now {}x{}",
+        state.block_x, state.block_y
+    ));
+    Ok(())
+}
+
+/// Merges `n` neighboring thread blocks along Y into one.
+///
+/// Y-invariant stagings get a `tidy == 0` guard; idy-dependent segments are
+/// re-staged with one row per `tidy`, and their use sites gain the `tidy`
+/// subscript.
+///
+/// # Errors
+///
+/// Returns [`MergeError`] for bad factors or halo/tile/multi-segment
+/// stagings, which require a one-row block.
+pub fn thread_block_merge_y(state: &mut PipelineState, n: i64) -> Result<(), MergeError> {
+    if n < 2 {
+        return Err(MergeError::BadFactor(n));
+    }
+    for info in &state.stagings {
+        if info.needs_one_row() {
+            return Err(MergeError::IncompatibleStaging(info.shared.clone()));
+        }
+    }
+    let new_by = state.block_y * n;
+    let bx = state.block_x;
+    let mut row_indexed: Vec<String> = Vec::new();
+    for info in &state.stagings {
+        let replacement = info.emit(bx, new_by);
+        replace_staging_region(&mut state.kernel.body, &info.shared, &replacement);
+        if info.varies_with_idy() {
+            row_indexed.push(info.shared.clone());
+        }
+    }
+    // Use sites of idy-dependent segments become shared[tidy][k].
+    if !row_indexed.is_empty() {
+        let body = std::mem::take(&mut state.kernel.body);
+        state.kernel.body = visit::map_exprs(body, &|e| match &e {
+            Expr::Index { array, indices }
+                if row_indexed.contains(array) && indices.len() == 1 =>
+            {
+                Expr::Index {
+                    array: array.clone(),
+                    indices: vec![Expr::Builtin(Builtin::TidY), indices[0].clone()],
+                }
+            }
+            _ => e,
+        });
+    }
+    state.block_y = new_by;
+    state.note(format!(
+        "thread-block merge: {n} blocks along Y, block is now {}x{}",
+        state.block_x, state.block_y
+    ));
+    Ok(())
+}
+
+/// Merges the workloads of threads from `n` neighboring blocks along Y into
+/// one thread (Fig. 7).
+///
+/// # Errors
+///
+/// Returns [`MergeError::BadFactor`] for factors below 2.
+pub fn thread_merge_y(state: &mut PipelineState, n: i64) -> Result<(), MergeError> {
+    thread_merge(state, n, Axis::Y)
+}
+
+/// Merges thread workloads along X. The replicas cover the X positions of
+/// the original neighboring blocks (`idx → (idx−tidx)·n + j·blockDim + tidx`),
+/// preserving coalescing within each replica.
+///
+/// # Errors
+///
+/// Returns [`MergeError::BadFactor`] for factors below 2.
+pub fn thread_merge_x(state: &mut PipelineState, n: i64) -> Result<(), MergeError> {
+    thread_merge(state, n, Axis::X)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+fn thread_merge(state: &mut PipelineState, n: i64, axis: Axis) -> Result<(), MergeError> {
+    if n < 2 {
+        return Err(MergeError::BadFactor(n));
+    }
+    let id = match axis {
+        Axis::X => Builtin::IdX,
+        Axis::Y => Builtin::IdY,
+    };
+    let replicated = replicated_symbols(&state.kernel.body, id);
+    let bx = state.block_x;
+
+    // The position expression of replica j.
+    let replica_id = |j: i64| -> Expr {
+        match axis {
+            // idy·n + j
+            Axis::Y => Expr::Builtin(Builtin::IdY).mul(Expr::Int(n)).add(Expr::Int(j)),
+            // (idx − tidx)·n + j·blockDim.x + tidx
+            Axis::X => Expr::Builtin(Builtin::IdX)
+                .sub(Expr::Builtin(Builtin::TidX))
+                .mul(Expr::Int(n))
+                .add(Expr::Int(j * bx))
+                .add(Expr::Builtin(Builtin::TidX)),
+        }
+    };
+
+    let mut counter = 0usize;
+    let body = std::mem::take(&mut state.kernel.body);
+    state.kernel.body = replicate_body(body, n, id, &replicated, &replica_id, &mut counter, state);
+
+    // Rename replicated staging metadata.
+    let mut new_stagings = Vec::new();
+    for info in state.stagings.drain(..) {
+        if replicated.contains(&info.shared) {
+            for j in 0..n {
+                let mut copy = info.clone();
+                copy.shared = format!("{}_{j}", info.shared);
+                copy.orig_indices = copy
+                    .orig_indices
+                    .into_iter()
+                    .map(|ix| ix.subst_builtin(id, &replica_id(j)))
+                    .collect();
+                new_stagings.push(copy);
+            }
+        } else {
+            new_stagings.push(info);
+        }
+    }
+    state.stagings = new_stagings;
+
+    match axis {
+        Axis::X => state.thread_merge_x *= n,
+        Axis::Y => state.thread_merge_y *= n,
+    }
+    state.note(format!(
+        "thread merge: {n} threads along {}, each thread now computes {} element(s)",
+        if axis == Axis::X { "X" } else { "Y" },
+        state.thread_merge_x * state.thread_merge_y
+    ));
+    Ok(())
+}
+
+/// Fixpoint computation of the symbols (scalars and shared arrays) whose
+/// values differ between the merged replicas.
+fn replicated_symbols(body: &[Stmt], id: Builtin) -> HashSet<String> {
+    let mut set: HashSet<String> = HashSet::new();
+    loop {
+        let before = set.len();
+        visit::walk_stmts(body, &mut |s| match s {
+            Stmt::DeclScalar {
+                name,
+                init: Some(e),
+                ..
+            } => {
+                if expr_tainted(e, id, &set) {
+                    set.insert(name.clone());
+                }
+            }
+            Stmt::Assign { lhs, rhs } => {
+                let tainted = expr_tainted(rhs, id, &set)
+                    || match lhs {
+                        LValue::Index { indices, .. } => {
+                            indices.iter().any(|ix| expr_tainted(ix, id, &set))
+                        }
+                        _ => false,
+                    };
+                if tainted {
+                    match lhs {
+                        LValue::Var(v) | LValue::Field(v, _) => {
+                            set.insert(v.clone());
+                        }
+                        LValue::Index { array, .. } => {
+                            // Only *shared* arrays replicate; globals are
+                            // simply indexed per replica.
+                            if is_shared_array(body, array) {
+                                set.insert(array.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        });
+        if set.len() == before {
+            return set;
+        }
+    }
+}
+
+fn is_shared_array(body: &[Stmt], name: &str) -> bool {
+    let mut found = false;
+    visit::walk_stmts(body, &mut |s| {
+        if matches!(s, Stmt::DeclShared { name: n, .. } if n == name) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// True when the expression mentions the merge axis id or a replicated
+/// symbol.
+fn expr_tainted(e: &Expr, id: Builtin, replicated: &HashSet<String>) -> bool {
+    let mut tainted = false;
+    e.walk(&mut |e| match e {
+        Expr::Builtin(b) if *b == id => tainted = true,
+        Expr::Var(v) if replicated.contains(v) => tainted = true,
+        Expr::Index { array, .. } if replicated.contains(array) => tainted = true,
+        _ => {}
+    });
+    tainted
+}
+
+fn stmt_tainted(s: &Stmt, id: Builtin, replicated: &HashSet<String>) -> bool {
+    let mut tainted = false;
+    s.visit_exprs(&mut |e| {
+        if expr_tainted(e, id, replicated) {
+            tainted = true;
+        }
+    });
+    tainted
+        || match s {
+            Stmt::DeclScalar { name, .. } | Stmt::DeclShared { name, .. } => {
+                replicated.contains(name)
+            }
+            Stmt::Assign { lhs, .. } => match lhs {
+                LValue::Var(v) | LValue::Field(v, _) => replicated.contains(v),
+                LValue::Index { array, .. } => replicated.contains(array),
+            },
+            _ => false,
+        }
+}
+
+/// Substitutes the merge id and renames replicated symbols for replica `j`.
+fn subst_replica(
+    e: Expr,
+    id: Builtin,
+    replicated: &HashSet<String>,
+    replica_id: &dyn Fn(i64) -> Expr,
+    j: i64,
+) -> Expr {
+    e.map(&|e| match e {
+        Expr::Builtin(b) if b == id => replica_id(j),
+        Expr::Var(v) if replicated.contains(&v) => Expr::Var(format!("{v}_{j}")),
+        Expr::Index { array, indices } if replicated.contains(&array) => Expr::Index {
+            array: format!("{array}_{j}"),
+            indices,
+        },
+        other => other,
+    })
+}
+
+fn subst_lvalue(
+    lv: LValue,
+    id: Builtin,
+    replicated: &HashSet<String>,
+    replica_id: &dyn Fn(i64) -> Expr,
+    j: i64,
+) -> LValue {
+    match lv {
+        LValue::Var(v) if replicated.contains(&v) => LValue::Var(format!("{v}_{j}")),
+        LValue::Field(v, f) if replicated.contains(&v) => LValue::Field(format!("{v}_{j}"), f),
+        LValue::Index { array, indices } => {
+            let array = if replicated.contains(&array) {
+                format!("{array}_{j}")
+            } else {
+                array
+            };
+            LValue::Index {
+                array,
+                indices: indices
+                    .into_iter()
+                    .map(|ix| subst_replica(ix, id, replicated, replica_id, j))
+                    .collect(),
+            }
+        }
+        other => other,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replicate_body(
+    body: Vec<Stmt>,
+    n: i64,
+    id: Builtin,
+    replicated: &HashSet<String>,
+    replica_id: &dyn Fn(i64) -> Expr,
+    counter: &mut usize,
+    state: &mut PipelineState,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let globals = crate::util::global_arrays(&state.kernel);
+    for stmt in body {
+        match stmt {
+            Stmt::DeclScalar { name, ty, init } if replicated.contains(&name) => {
+                for j in 0..n {
+                    out.push(Stmt::DeclScalar {
+                        name: format!("{name}_{j}"),
+                        ty,
+                        init: init
+                            .clone()
+                            .map(|e| subst_replica(e, id, replicated, replica_id, j)),
+                    });
+                }
+            }
+            Stmt::DeclShared { name, ty, dims } if replicated.contains(&name) => {
+                for j in 0..n {
+                    out.push(Stmt::DeclShared {
+                        name: format!("{name}_{j}"),
+                        ty,
+                        dims: dims.clone(),
+                    });
+                }
+            }
+            ref s @ Stmt::Assign { ref lhs, ref rhs } if stmt_tainted(s, id, replicated) => {
+                // Hoist replica-invariant global loads into a register so
+                // the replicas share it (Fig. 7's `float r0 = b[(i+k)][idx]`).
+                let mut rhs = rhs.clone();
+                let hoisted: std::cell::RefCell<Vec<(String, Expr)>> =
+                    std::cell::RefCell::new(Vec::new());
+                let counter_cell = std::cell::Cell::new(*counter);
+                rhs = rhs.map(&|e| match &e {
+                    Expr::Index { array, .. }
+                        if globals.contains(array) && !expr_tainted(&e, id, replicated) =>
+                    {
+                        let mut hoisted = hoisted.borrow_mut();
+                        if let Some((name, _)) =
+                            hoisted.iter().find(|(_, orig)| orig == &e)
+                        {
+                            return Expr::Var(name.clone());
+                        }
+                        let name = format!("r{}", counter_cell.get());
+                        counter_cell.set(counter_cell.get() + 1);
+                        hoisted.push((name.clone(), e.clone()));
+                        Expr::Var(name)
+                    }
+                    _ => e,
+                });
+                *counter = counter_cell.get();
+                let hoisted = hoisted.into_inner();
+                for (name, orig) in &hoisted {
+                    out.push(Stmt::decl_float(name.clone(), orig.clone()));
+                }
+                for j in 0..n {
+                    out.push(Stmt::Assign {
+                        lhs: subst_lvalue(lhs.clone(), id, replicated, replica_id, j),
+                        rhs: subst_replica(rhs.clone(), id, replicated, replica_id, j),
+                    });
+                }
+            }
+            Stmt::For(mut l) => {
+                // Control flow is kept single (paper rule 3); only the body
+                // replicates.
+                l.body = replicate_body(l.body, n, id, replicated, replica_id, counter, state);
+                out.push(Stmt::For(l));
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if expr_tainted(&cond, id, replicated) {
+                    // A replica-dependent branch replicates wholesale.
+                    for j in 0..n {
+                        out.push(Stmt::If {
+                            cond: subst_replica(
+                                cond.clone(),
+                                id,
+                                replicated,
+                                replica_id,
+                                j,
+                            ),
+                            then_body: clone_subst(&then_body, id, replicated, replica_id, j),
+                            else_body: clone_subst(&else_body, id, replicated, replica_id, j),
+                        });
+                    }
+                } else {
+                    out.push(Stmt::If {
+                        cond,
+                        then_body: replicate_body(
+                            then_body, n, id, replicated, replica_id, counter, state,
+                        ),
+                        else_body: replicate_body(
+                            else_body, n, id, replicated, replica_id, counter, state,
+                        ),
+                    });
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Clones a whole sub-body for replica `j` (used for replica-dependent
+/// branches).
+fn clone_subst(
+    body: &[Stmt],
+    id: Builtin,
+    replicated: &HashSet<String>,
+    replica_id: &dyn Fn(i64) -> Expr,
+    j: i64,
+) -> Vec<Stmt> {
+    body.iter()
+        .map(|s| match s {
+            Stmt::DeclScalar { name, ty, init } => Stmt::DeclScalar {
+                name: if replicated.contains(name) {
+                    format!("{name}_{j}")
+                } else {
+                    name.clone()
+                },
+                ty: *ty,
+                init: init
+                    .clone()
+                    .map(|e| subst_replica(e, id, replicated, replica_id, j)),
+            },
+            Stmt::Assign { lhs, rhs } => Stmt::Assign {
+                lhs: subst_lvalue(lhs.clone(), id, replicated, replica_id, j),
+                rhs: subst_replica(rhs.clone(), id, replicated, replica_id, j),
+            },
+            Stmt::For(l) => {
+                let mut l = l.clone();
+                l.init = subst_replica(l.init, id, replicated, replica_id, j);
+                l.bound = subst_replica(l.bound, id, replicated, replica_id, j);
+                l.body = clone_subst(&l.body, id, replicated, replica_id, j);
+                Stmt::For(l)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
+                cond: subst_replica(cond.clone(), id, replicated, replica_id, j),
+                then_body: clone_subst(then_body, id, replicated, replica_id, j),
+                else_body: clone_subst(else_body, id, replicated, replica_id, j),
+            },
+            other => other.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::coalesce;
+    use gpgpu_analysis::Bindings;
+    use gpgpu_ast::{parse_kernel, print_kernel, PrintOptions};
+
+    const MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idy][i] * b[i][idx];
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    fn coalesced_mm() -> PipelineState {
+        let k = parse_kernel(MM).unwrap();
+        let bindings: Bindings = [("n".to_string(), 1024i64), ("w".to_string(), 1024)].into();
+        let mut st = PipelineState::new(k, bindings);
+        coalesce(&mut st);
+        st
+    }
+
+    #[test]
+    fn block_merge_x_guards_shared_load_like_fig5() {
+        let mut st = coalesced_mm();
+        thread_block_merge_x(&mut st, 8).unwrap();
+        assert_eq!(st.block_x, 128);
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("if (tidx < 16) {"), "{printed}");
+        assert!(printed.contains("shared0[tidx] = a[idy][i + tidx];"), "{printed}");
+        // Use site unchanged.
+        assert!(printed.contains("shared0[i_k]"), "{printed}");
+    }
+
+    #[test]
+    fn thread_merge_y_replicates_like_fig7() {
+        let mut st = coalesced_mm();
+        thread_block_merge_x(&mut st, 8).unwrap();
+        thread_merge_y(&mut st, 4).unwrap();
+        assert_eq!(st.thread_merge_y, 4);
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        // Replicated accumulators and staging arrays.
+        assert!(printed.contains("float sum_0 = 0.0f;"), "{printed}");
+        assert!(printed.contains("float sum_3 = 0.0f;"), "{printed}");
+        assert!(printed.contains("__shared__ float shared0_0[16];"), "{printed}");
+        assert!(printed.contains("__shared__ float shared0_3[16];"), "{printed}");
+        // idy rewritten per replica.
+        assert!(printed.contains("a[idy * 4][i + tidx]"), "{printed}");
+        assert!(printed.contains("a[idy * 4 + 3][i + tidx]"), "{printed}");
+        // The b load is hoisted once into a register shared by replicas.
+        assert!(printed.contains("float r0 = b[i + i_k][idx];"), "{printed}");
+        assert!(printed.contains("sum_0 = sum_0 + shared0_0[i_k] * r0;"), "{printed}");
+        // Stores replicated.
+        assert!(printed.contains("c[idy * 4][idx] = sum_0;"), "{printed}");
+        assert!(printed.contains("c[idy * 4 + 3][idx] = sum_3;"), "{printed}");
+        // Guard kept single.
+        assert_eq!(printed.matches("if (tidx < 16) {").count(), 1, "{printed}");
+        // Control flow kept single.
+        assert_eq!(printed.matches("for (int i_k").count(), 1, "{printed}");
+        assert_eq!(st.stagings.len(), 4);
+    }
+
+    #[test]
+    fn block_merge_y_guards_invariant_segment() {
+        // tmv: b[i] staging is Y-invariant.
+        let k = parse_kernel(
+            "__global__ void tmv(float a[w][n], float b[w], float c[n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { sum += a[i][idx] * b[i]; }
+                c[idx] = sum;
+            }",
+        )
+        .unwrap();
+        let bindings: Bindings = [("n".to_string(), 1024i64), ("w".to_string(), 1024)].into();
+        let mut st = PipelineState::new(k, bindings);
+        coalesce(&mut st);
+        thread_block_merge_y(&mut st, 4).unwrap();
+        assert_eq!((st.block_x, st.block_y), (16, 4));
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("tidy == 0"), "{printed}");
+    }
+
+    #[test]
+    fn block_merge_y_replicates_idy_dependent_segment() {
+        let mut st = coalesced_mm();
+        thread_block_merge_y(&mut st, 4).unwrap();
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("__shared__ float shared0[4][16];"), "{printed}");
+        assert!(printed.contains("shared0[tidy][tidx] = a[idy][i + tidx];"), "{printed}");
+        assert!(printed.contains("shared0[tidy][i_k]"), "{printed}");
+    }
+
+    #[test]
+    fn block_merge_y_refuses_tiles() {
+        let k = parse_kernel(
+            "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { sum += a[idx][i] * b[i]; }
+                c[idx] = sum;
+            }",
+        )
+        .unwrap();
+        let bindings: Bindings = [("n".to_string(), 1024i64), ("w".to_string(), 1024)].into();
+        let mut st = PipelineState::new(k, bindings);
+        coalesce(&mut st);
+        let err = thread_block_merge_y(&mut st, 2).unwrap_err();
+        assert!(matches!(err, MergeError::IncompatibleStaging(_)));
+    }
+
+    #[test]
+    fn thread_merge_x_covers_neighbor_blocks() {
+        let k = parse_kernel(
+            "__global__ void vv(float a[n], float b[n], float c[n], int n) {
+                c[idx] = a[idx] * b[idx];
+            }",
+        )
+        .unwrap();
+        let bindings: Bindings = [("n".to_string(), 4096i64)].into();
+        let mut st = PipelineState::new(k, bindings);
+        coalesce(&mut st);
+        thread_merge_x(&mut st, 2).unwrap();
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        // Replica 0 at (idx−tidx)*2 + tidx, replica 1 offset by blockDim.
+        assert!(printed.contains("(idx - tidx) * 2 + tidx"), "{printed}");
+        assert!(printed.contains("(idx - tidx) * 2 + 16 + tidx"), "{printed}");
+        assert_eq!(st.thread_merge_x, 2);
+    }
+
+    #[test]
+    fn merge_factor_validation() {
+        let mut st = coalesced_mm();
+        assert!(matches!(
+            thread_block_merge_x(&mut st, 1),
+            Err(MergeError::BadFactor(1))
+        ));
+        assert!(matches!(
+            thread_merge_y(&mut st, 0),
+            Err(MergeError::BadFactor(0))
+        ));
+    }
+
+    #[test]
+    fn replica_dependent_branch_replicates_wholesale() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n][m], float c[n][m], int n, int m) {
+                if (a[idy][idx] > 0.0f) { c[idy][idx] = a[idy][idx]; }
+            }",
+        )
+        .unwrap();
+        let bindings: Bindings = [("n".to_string(), 1024i64), ("m".to_string(), 1024)].into();
+        let mut st = PipelineState::new(k, bindings);
+        coalesce(&mut st);
+        thread_merge_y(&mut st, 2).unwrap();
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(printed.contains("a[idy * 2][idx] > 0.0f"), "{printed}");
+        assert!(printed.contains("a[idy * 2 + 1][idx] > 0.0f"), "{printed}");
+        assert_eq!(printed.matches("if (").count(), 2, "{printed}");
+    }
+}

@@ -1,0 +1,356 @@
+//! Data prefetching (paper §3.6, Fig. 8).
+//!
+//! Inside a loop, each global→shared staging load is double-buffered through
+//! a temporary register: the value for iteration `i+step` is fetched while
+//! iteration `i` computes. A bound check prevents the prefetch from reading
+//! past the last iteration.
+//!
+//! The cost is one register per staged load; when registers are already
+//! exhausted by thread merge the compiler skips the pass (the paper found
+//! prefetching mostly register-starved after merging — Fig. 12 shows little
+//! impact).
+
+use crate::PipelineState;
+use gpgpu_ast::{builder, Expr, LValue, LoopUpdate, ScalarType, Stmt};
+
+/// Result of the prefetching pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PrefetchReport {
+    /// Temporary registers introduced (one per prefetched load).
+    pub prefetched: usize,
+    /// True if the pass was skipped due to register pressure.
+    pub skipped_for_registers: bool,
+}
+
+/// Applies prefetching to every loop containing global→shared staging.
+///
+/// `register_budget` is the number of registers per thread the schedule can
+/// still afford; the pass refuses to run if it would exceed it.
+pub fn prefetch(state: &mut PipelineState, register_budget: u32) -> PrefetchReport {
+    let mut report = PrefetchReport::default();
+    let est = gpgpu_analysis::estimate_resources(&state.kernel);
+    let staged_loads = count_staged_loads(state);
+    if staged_loads == 0 {
+        return report;
+    }
+    // Each double-buffered load costs ~3 registers: the temp itself plus
+    // the second (next-iteration) address site.
+    if est.registers_per_thread + 3 * staged_loads as u32 > register_budget {
+        report.skipped_for_registers = true;
+        state.note("prefetch: skipped (register budget exhausted)");
+        return report;
+    }
+
+    let shared_names: Vec<String> = state.stagings.iter().map(|s| s.shared.clone()).collect();
+    let globals = crate::util::global_arrays(&state.kernel);
+    let mut counter = 0usize;
+    let body = std::mem::take(&mut state.kernel.body);
+    state.kernel.body = rewrite_body(body, &shared_names, &globals, &mut counter, &mut report);
+    if report.prefetched > 0 {
+        state.note(format!(
+            "prefetch: double-buffered {} staged load(s)",
+            report.prefetched
+        ));
+    }
+    report
+}
+
+fn count_staged_loads(state: &PipelineState) -> usize {
+    // One temp per staging store statement that loads from global memory
+    // inside a loop.
+    let mut n = 0;
+    let shared_names: Vec<&str> = state.stagings.iter().map(|s| s.shared.as_str()).collect();
+    let globals = crate::util::global_arrays(&state.kernel);
+    gpgpu_ast::visit::walk_stmts(&state.kernel.body, &mut |s| {
+        if let Stmt::Assign {
+            lhs: LValue::Index { array, .. },
+            rhs,
+        } = s
+        {
+            if shared_names.contains(&array.as_str()) && reads_global(rhs, &globals) {
+                n += 1;
+            }
+        }
+    });
+    n
+}
+
+fn reads_global(e: &Expr, globals: &std::collections::HashSet<String>) -> bool {
+    let mut found = false;
+    e.walk(&mut |e| {
+        if let Expr::Index { array, .. } = e {
+            if globals.contains(array) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn rewrite_body(
+    body: Vec<Stmt>,
+    shared_names: &[String],
+    globals: &std::collections::HashSet<String>,
+    counter: &mut usize,
+    report: &mut PrefetchReport,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for stmt in body {
+        match stmt {
+            Stmt::For(l) => {
+                if let Some(stmts) =
+                    prefetch_loop(&l, shared_names, globals, counter, report)
+                {
+                    out.extend(stmts);
+                } else {
+                    let mut l = l;
+                    l.body = rewrite_body(l.body, shared_names, globals, counter, report);
+                    out.push(Stmt::For(l));
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// A staging store found in a loop body, possibly under a lane guard.
+struct StagedStore {
+    /// Position of the guard `if` in the loop body, when the store is
+    /// guarded (e.g. `if (tidx < 16)` after a block merge).
+    guard: Option<usize>,
+    /// The guard's condition; prefetch loads must stay under it.
+    guard_cond: Option<Expr>,
+    /// Position within its containing body.
+    pos: usize,
+    lhs: LValue,
+    rhs: Expr,
+}
+
+/// Rewrites one loop into its prefetched form (Fig. 8b), or returns `None`
+/// if the loop has no direct staging stores or a non-affine step.
+fn prefetch_loop(
+    l: &gpgpu_ast::ForLoop,
+    shared_names: &[String],
+    globals: &std::collections::HashSet<String>,
+    counter: &mut usize,
+    report: &mut PrefetchReport,
+) -> Option<Vec<Stmt>> {
+    let LoopUpdate::AddAssign(step) = l.update else {
+        return None;
+    };
+    if step <= 0 || l.cmp != gpgpu_ast::BinOp::Lt {
+        return None;
+    }
+    // Find staging stores that are direct children (or guarded direct
+    // children) of the loop body. Tile stagings (inner copy loops) are not
+    // prefetched — they would need 16 temps.
+    let mut stores: Vec<StagedStore> = Vec::new();
+    for (pos, stmt) in l.body.iter().enumerate() {
+        match stmt {
+            Stmt::Assign { lhs, rhs } => {
+                if let LValue::Index { array, .. } = lhs {
+                    if shared_names.iter().any(|s| s == array) && reads_global(rhs, globals) {
+                        stores.push(StagedStore {
+                            guard: None,
+                            guard_cond: None,
+                            pos,
+                            lhs: lhs.clone(),
+                            rhs: rhs.clone(),
+                        });
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } if else_body.is_empty() => {
+                for inner in then_body {
+                    if let Stmt::Assign { lhs, rhs } = inner {
+                        if let LValue::Index { array, .. } = lhs {
+                            if shared_names.iter().any(|s| s == array)
+                                && reads_global(rhs, globals)
+                            {
+                                stores.push(StagedStore {
+                                    guard: Some(pos),
+                                    guard_cond: Some(cond.clone()),
+                                    pos,
+                                    lhs: lhs.clone(),
+                                    rhs: rhs.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if stores.is_empty() {
+        return None;
+    }
+
+    // Temps and their initial loads (iteration `init`). A lane guard on the
+    // staging store carries over: unguarded lanes must not touch memory.
+    let mut pre_loop: Vec<Stmt> = Vec::new();
+    let mut temps: Vec<String> = Vec::new();
+    for st in &stores {
+        let tmp = format!("pf{counter}");
+        *counter += 1;
+        let first = st.rhs.clone().subst_var(&l.var, &l.init.clone());
+        let first = match &st.guard_cond {
+            Some(g) => Expr::Select(
+                Box::new(g.clone()),
+                Box::new(first),
+                Box::new(Expr::Float(0.0)),
+            ),
+            None => first,
+        };
+        pre_loop.push(Stmt::DeclScalar {
+            name: tmp.clone(),
+            ty: ScalarType::Float,
+            init: Some(first),
+        });
+        temps.push(tmp);
+    }
+    report.prefetched += stores.len();
+
+    // New loop body: staging stores write the temp; after the syncthreads
+    // that follows the staging region, prefetch the next iteration.
+    let mut new_body = l.body.clone();
+    for (st, tmp) in stores.iter().zip(&temps) {
+        let replace_store = |stmt: &mut Stmt| {
+            if let Stmt::Assign { lhs, rhs } = stmt {
+                if lhs == &st.lhs && rhs == &st.rhs {
+                    *rhs = Expr::var(tmp);
+                }
+            }
+        };
+        match st.guard {
+            None => replace_store(&mut new_body[st.pos]),
+            Some(gpos) => {
+                if let Stmt::If { then_body, .. } = &mut new_body[gpos] {
+                    for inner in then_body {
+                        replace_store(inner);
+                    }
+                }
+            }
+        }
+    }
+    // Insert the next-iteration fetches right after the first __syncthreads.
+    let sync_pos = new_body
+        .iter()
+        .position(|s| matches!(s, Stmt::SyncThreads))
+        .map(|p| p + 1)
+        .unwrap_or(new_body.len());
+    let next_i = Expr::var(&l.var).add(Expr::Int(step));
+    let mut fetches: Vec<Stmt> = Vec::new();
+    for (st, tmp) in stores.iter().zip(&temps) {
+        let next_rhs = st.rhs.clone().subst_var(&l.var, &next_i);
+        let fetch = builder::assign(LValue::Var(tmp.clone()), next_rhs);
+        let mut cond = next_i.clone().lt(l.bound.clone());
+        if let Some(g) = &st.guard_cond {
+            cond = Expr::Binary(
+                gpgpu_ast::BinOp::And,
+                Box::new(cond),
+                Box::new(g.clone()),
+            );
+        }
+        fetches.push(builder::if_then(cond, vec![fetch]));
+    }
+    for (off, f) in fetches.into_iter().enumerate() {
+        new_body.insert(sync_pos + off, f);
+    }
+
+    let mut out = pre_loop;
+    out.push(Stmt::For(gpgpu_ast::ForLoop {
+        body: new_body,
+        ..l.clone()
+    }));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::coalesce;
+    use gpgpu_analysis::Bindings;
+    use gpgpu_ast::{parse_kernel, print_kernel, PrintOptions};
+
+    const MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idy][i] * b[i][idx];
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    fn coalesced_mm() -> PipelineState {
+        let k = parse_kernel(MM).unwrap();
+        let bindings: Bindings = [("n".to_string(), 1024i64), ("w".to_string(), 1024)].into();
+        let mut st = PipelineState::new(k, bindings);
+        coalesce(&mut st);
+        st
+    }
+
+    #[test]
+    fn prefetch_matches_fig8_shape() {
+        let mut st = coalesced_mm();
+        let rep = prefetch(&mut st, 64);
+        assert_eq!(rep.prefetched, 1);
+        assert!(!rep.skipped_for_registers);
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        // Temp initialized with the first iteration's load before the loop.
+        assert!(printed.contains("float pf0 = a[idy][0 + tidx];")
+            || printed.contains("float pf0 = a[idy][tidx];"), "{printed}");
+        // Staging now writes the temp.
+        assert!(printed.contains("shared0[tidx] = pf0;"), "{printed}");
+        // Bound-checked next fetch after the sync.
+        assert!(printed.contains("if (i + 16 < w) {"), "{printed}");
+        assert!(printed.contains("pf0 = a[idy][i + 16 + tidx];"), "{printed}");
+    }
+
+    #[test]
+    fn prefetch_respects_register_budget() {
+        let mut st = coalesced_mm();
+        let rep = prefetch(&mut st, 12);
+        assert!(rep.skipped_for_registers);
+        assert_eq!(rep.prefetched, 0);
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        assert!(!printed.contains("pf0"), "{printed}");
+    }
+
+    #[test]
+    fn prefetch_handles_guarded_stores() {
+        let mut st = coalesced_mm();
+        crate::merge::thread_block_merge_x(&mut st, 8).unwrap();
+        let rep = prefetch(&mut st, 64);
+        assert_eq!(rep.prefetched, 1);
+        let printed = print_kernel(&st.kernel, PrintOptions::default());
+        // The guarded store writes the temp; the fetch keeps both the bound
+        // check and the lane guard, and the initial load is lane-guarded.
+        assert!(printed.contains("shared0[tidx] = pf0;"), "{printed}");
+        assert!(printed.contains("if (i + 16 < w && tidx < 16) {"), "{printed}");
+        assert!(printed.contains("float pf0 = tidx < 16 ? a[idy][0 + tidx] : 0.0f;"), "{printed}");
+    }
+
+    #[test]
+    fn kernel_without_staging_untouched() {
+        let k = parse_kernel(
+            "__global__ void cp(float a[n][n], float c[n][n], int n) {
+                c[idy][idx] = a[idy][idx];
+            }",
+        )
+        .unwrap();
+        let bindings: Bindings = [("n".to_string(), 1024i64)].into();
+        let mut st = PipelineState::new(k, bindings);
+        coalesce(&mut st);
+        let before = st.kernel.clone();
+        let rep = prefetch(&mut st, 64);
+        assert_eq!(rep.prefetched, 0);
+        assert_eq!(st.kernel, before);
+    }
+}

@@ -1,0 +1,595 @@
+//! Shared-memory staging descriptors and code emission.
+//!
+//! The coalescing pass (§3.3) decides *what* to stage; this module knows
+//! *how* to materialize a staging for any thread-block shape, so the merge
+//! passes (§3.5) can re-emit staging code after resizing blocks instead of
+//! patching statements in place.
+
+use gpgpu_ast::{builder, Builtin, Expr, LValue, ScalarType, Stmt};
+
+/// Threads per half warp — the coalescing granularity.
+pub const HALF_WARP: i64 = 16;
+
+/// How one `__shared__` staging array is organized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StagingPattern {
+    /// A 16-word segment per unrolled iteration (`shared[tidx] = A[row][i+tidx]`,
+    /// Fig. 3a); becomes a *halo* window when the source index slides with
+    /// `idx` (then `blockDim.x + 16` words are staged).
+    Segment,
+    /// A padded tile staged column-wise by a 16-iteration loop (Fig. 3b).
+    Tile,
+    /// `f` consecutive segments covering a strided access `A[f·idx+c]`.
+    MultiSegment {
+        /// Stride factor `f` (2 or 4).
+        factor: i64,
+    },
+    /// A straight-line sliding window `A[row][idx + c]` (0 ≤ c < 16, no
+    /// loop): two segments are staged so every constant offset of the
+    /// neighbourhood is served — image stencils like demosaicing and
+    /// regional maxima read this way. `orig_indices` stores the access
+    /// normalized to `c = 0`.
+    Window,
+}
+
+/// One staging array introduced by the coalescing pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagingInfo {
+    /// Name of the `__shared__` array.
+    pub shared: String,
+    /// Global array staged from.
+    pub source: String,
+    /// Data organization.
+    pub pattern: StagingPattern,
+    /// The unrolled loop this staging is keyed on, if any.
+    pub loop_var: Option<String>,
+    /// The original (pre-conversion) index expressions of the access.
+    pub orig_indices: Vec<Expr>,
+}
+
+impl StagingInfo {
+    /// True when the staged access slides with `idx` (needs a halo window).
+    pub fn is_halo(&self) -> bool {
+        self.pattern == StagingPattern::Segment
+            && self
+                .orig_indices
+                .iter()
+                .any(|ix| ix.uses_builtin(Builtin::IdX))
+    }
+
+    /// True for patterns that require a one-row (`block_y == 1`) block.
+    pub fn needs_one_row(&self) -> bool {
+        self.is_halo()
+            || matches!(
+                self.pattern,
+                StagingPattern::Tile | StagingPattern::MultiSegment { .. }
+            )
+    }
+
+    /// True when the staged data differs per `idy` row (a Y-block merge must
+    /// then stage one copy per `tidy`).
+    pub fn varies_with_idy(&self) -> bool {
+        self.orig_indices
+            .iter()
+            .any(|ix| ix.uses_builtin(Builtin::IdY))
+    }
+
+    /// Total shared-memory words the staging occupies for a block shape.
+    pub fn shared_words(&self, block_x: i64, block_y: i64) -> i64 {
+        match &self.pattern {
+            StagingPattern::Segment if self.is_halo() => block_x + HALF_WARP,
+            StagingPattern::Segment if self.varies_with_idy() && block_y > 1 => {
+                block_y * HALF_WARP
+            }
+            StagingPattern::Segment => HALF_WARP,
+            StagingPattern::Tile => block_x * (HALF_WARP + 1),
+            StagingPattern::MultiSegment { factor } => factor * block_x,
+            StagingPattern::Window => block_x + HALF_WARP,
+        }
+    }
+
+    /// Emits the declaration + store statements for a block of
+    /// `block_x × block_y` threads.
+    ///
+    /// The emitted code is valid for any `block_x` that is a multiple of 16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a halo/tile/multi-segment staging is emitted with
+    /// `block_y > 1` (the merge passes refuse those combinations).
+    pub fn emit(&self, block_x: i64, block_y: i64) -> Vec<Stmt> {
+        let tidx = Expr::Builtin(Builtin::TidX);
+        let tidy = Expr::Builtin(Builtin::TidY);
+        let i = self.loop_var.clone();
+        let subst_loop = |ix: &Expr, repl: &Expr| match &i {
+            Some(v) => ix.clone().subst_var(v, repl),
+            None => ix.clone(),
+        };
+        match &self.pattern {
+            StagingPattern::Segment if self.is_halo() => {
+                assert_eq!(block_y, 1, "halo staging requires a 1-row block");
+                let loop_var = i.as_deref().expect("halo staging is loop-keyed");
+                let window = block_x + HALF_WARP;
+                let mut out = vec![builder::shared(
+                    &self.shared,
+                    ScalarType::Float,
+                    &[window],
+                )];
+                // shared[tidx] = A[.. idx→idx−tidx, i→i+tidx ..]
+                let body_expr = |offset: i64| -> Vec<Expr> {
+                    self.orig_indices
+                        .iter()
+                        .map(|ix| {
+                            let ix = ix.clone().subst_builtin(
+                                Builtin::IdX,
+                                &Expr::Builtin(Builtin::IdX).sub(tidx.clone()),
+                            );
+                            ix.subst_var(
+                                loop_var,
+                                &Expr::var(loop_var)
+                                    .add(tidx.clone())
+                                    .add(Expr::Int(offset)),
+                            )
+                        })
+                        .collect()
+                };
+                out.push(builder::assign(
+                    LValue::index(&self.shared, vec![tidx.clone()]),
+                    Expr::index(&self.source, body_expr(0)),
+                ));
+                // Tail: the last 16 words, loaded by the first half warp.
+                let tail = builder::assign(
+                    LValue::index(&self.shared, vec![tidx.clone().add(Expr::Int(block_x))]),
+                    Expr::index(&self.source, body_expr(block_x)),
+                );
+                out.push(builder::if_then(
+                    tidx.clone().lt(Expr::Int(HALF_WARP)),
+                    vec![tail],
+                ));
+                out
+            }
+            StagingPattern::Segment => {
+                let staged: Vec<Expr> = self
+                    .orig_indices
+                    .iter()
+                    .map(|ix| subst_loop(ix, &loop_plus_tidx(&i, &tidx)))
+                    .collect();
+                if self.varies_with_idy() && block_y > 1 {
+                    // One 16-word row per tidy.
+                    let mut out = vec![builder::shared(
+                        &self.shared,
+                        ScalarType::Float,
+                        &[block_y, HALF_WARP],
+                    )];
+                    let store = builder::assign(
+                        LValue::index(&self.shared, vec![tidy.clone(), tidx.clone()]),
+                        Expr::index(&self.source, staged),
+                    );
+                    out.push(guard_lanes(store, block_x, false));
+                    out
+                } else {
+                    let mut out = vec![builder::shared(
+                        &self.shared,
+                        ScalarType::Float,
+                        &[HALF_WARP],
+                    )];
+                    let store = builder::assign(
+                        LValue::index(&self.shared, vec![tidx.clone()]),
+                        Expr::index(&self.source, staged),
+                    );
+                    out.push(guard_lanes(store, block_x, block_y > 1));
+                    out
+                }
+            }
+            StagingPattern::Tile => {
+                assert_eq!(block_y, 1, "tile staging requires a 1-row block");
+                let loop_var = i.as_deref().expect("tile staging is loop-keyed");
+                let l2 = format!("{}_l", self.shared);
+                let mut out = vec![builder::shared(
+                    &self.shared,
+                    ScalarType::Float,
+                    &[block_x, HALF_WARP + 1],
+                )];
+                // lane = tidx within the staging half warp; for merged
+                // blocks each 16-thread group stages its own 16 rows.
+                let (lane, group_base): (Expr, Expr) = if block_x == HALF_WARP {
+                    (tidx.clone(), Expr::Int(0))
+                } else {
+                    (
+                        tidx.clone().rem(Expr::Int(HALF_WARP)),
+                        tidx.clone()
+                            .sub(tidx.clone().rem(Expr::Int(HALF_WARP))),
+                    )
+                };
+                let staged: Vec<Expr> = self
+                    .orig_indices
+                    .iter()
+                    .map(|ix| {
+                        let row = Expr::Builtin(Builtin::IdX)
+                            .sub(lane.clone())
+                            .add(Expr::var(&l2));
+                        let ix = ix.clone().subst_builtin(Builtin::IdX, &row);
+                        subst_loop(&ix, &Expr::var(loop_var).add(lane.clone()))
+                    })
+                    .collect();
+                out.push(builder::for_up(
+                    &l2,
+                    Expr::Int(0),
+                    Expr::Int(HALF_WARP),
+                    1,
+                    vec![builder::assign(
+                        LValue::index(
+                            &self.shared,
+                            vec![group_base.add(Expr::var(&l2)), lane],
+                        ),
+                        Expr::index(&self.source, staged),
+                    )],
+                ));
+                out
+            }
+            StagingPattern::Window => {
+                assert_eq!(block_y, 1, "window staging requires a 1-row block");
+                let window = block_x + HALF_WARP;
+                let mut out = vec![builder::shared(
+                    &self.shared,
+                    ScalarType::Float,
+                    &[window],
+                )];
+                // shared[tidx + off] = A[rows…][(idx − tidx) + tidx + off]
+                let staged = |off: i64| -> Vec<Expr> {
+                    let n = self.orig_indices.len();
+                    self.orig_indices
+                        .iter()
+                        .enumerate()
+                        .map(|(d, ix)| {
+                            if d + 1 == n {
+                                ix.clone()
+                                    .subst_builtin(
+                                        Builtin::IdX,
+                                        &Expr::Builtin(Builtin::IdX).sub(tidx.clone()),
+                                    )
+                                    .add(tidx.clone())
+                                    .add(Expr::Int(off))
+                            } else {
+                                ix.clone()
+                            }
+                        })
+                        .collect()
+                };
+                out.push(builder::assign(
+                    LValue::index(&self.shared, vec![tidx.clone()]),
+                    Expr::index(&self.source, staged(0)),
+                ));
+                let tail = builder::assign(
+                    LValue::index(&self.shared, vec![tidx.clone().add(Expr::Int(block_x))]),
+                    Expr::index(&self.source, staged(block_x)),
+                );
+                out.push(builder::if_then(
+                    tidx.clone().lt(Expr::Int(HALF_WARP)),
+                    vec![tail],
+                ));
+                out
+            }
+            StagingPattern::MultiSegment { factor } => {
+                assert_eq!(block_y, 1, "multi-segment staging requires a 1-row block");
+                let f = *factor;
+                let mut out = vec![builder::shared(
+                    &self.shared,
+                    ScalarType::Float,
+                    &[f * block_x],
+                )];
+                for seg in 0..f {
+                    let offset = tidx.clone().add(Expr::Int(seg * block_x));
+                    let addr = Expr::Int(f)
+                        .mul(Expr::Builtin(Builtin::IdX).sub(tidx.clone()))
+                        .add(tidx.clone())
+                        .add(Expr::Int(seg * block_x));
+                    out.push(builder::assign(
+                        LValue::index(&self.shared, vec![offset]),
+                        Expr::index(&self.source, vec![addr]),
+                    ));
+                }
+                out
+            }
+        }
+    }
+
+    /// The expression that replaces the original access at a use site.
+    ///
+    /// `k` is the unrolled-iteration variable for loop-keyed stagings;
+    /// `block_y` selects the per-`tidy` layout for Y-merged segments;
+    /// `parity` is the constant offset for multi-segment accesses.
+    pub fn use_site(&self, k: Option<&Expr>, block_y: i64, parity: i64) -> Expr {
+        let tidx = Expr::Builtin(Builtin::TidX);
+        let tidy = Expr::Builtin(Builtin::TidY);
+        match &self.pattern {
+            StagingPattern::Segment if self.is_halo() => Expr::index(
+                &self.shared,
+                vec![tidx.add(k.expect("loop-keyed").clone())],
+            ),
+            StagingPattern::Segment if self.varies_with_idy() && block_y > 1 => Expr::index(
+                &self.shared,
+                vec![tidy, k.expect("loop-keyed").clone()],
+            ),
+            StagingPattern::Segment => {
+                Expr::index(&self.shared, vec![k.expect("loop-keyed").clone()])
+            }
+            StagingPattern::Tile => Expr::index(
+                &self.shared,
+                vec![tidx, k.expect("loop-keyed").clone()],
+            ),
+            StagingPattern::MultiSegment { factor } => Expr::index(
+                &self.shared,
+                vec![Expr::Int(*factor).mul(tidx).add(Expr::Int(parity))],
+            ),
+            StagingPattern::Window => {
+                Expr::index(&self.shared, vec![tidx.add(Expr::Int(parity))])
+            }
+        }
+    }
+}
+
+fn loop_plus_tidx(loop_var: &Option<String>, tidx: &Expr) -> Expr {
+    match loop_var {
+        Some(v) => Expr::var(v).add(tidx.clone()),
+        None => tidx.clone(),
+    }
+}
+
+/// Wraps a staging store in the redundancy guard of Fig. 5:
+/// `if (tidx < 16 [&& tidy == 0]) { store }` — emitted only when the block
+/// is wider/taller than the staging needs.
+fn guard_lanes(store: Stmt, block_x: i64, guard_y: bool) -> Stmt {
+    let tidx = Expr::Builtin(Builtin::TidX);
+    let tidy = Expr::Builtin(Builtin::TidY);
+    let mut cond: Option<Expr> = None;
+    if block_x > HALF_WARP {
+        cond = Some(tidx.lt(Expr::Int(HALF_WARP)));
+    }
+    if guard_y {
+        let y0 = Expr::Binary(
+            gpgpu_ast::BinOp::Eq,
+            Box::new(tidy),
+            Box::new(Expr::Int(0)),
+        );
+        cond = Some(match cond {
+            Some(c) => Expr::Binary(gpgpu_ast::BinOp::And, Box::new(c), Box::new(y0)),
+            None => y0,
+        });
+    }
+    match cond {
+        Some(c) => builder::if_then(c, vec![store]),
+        None => store,
+    }
+}
+
+/// Replaces the staging region for `shared` (its declaration plus every
+/// following statement that stores to it) with `replacement`, wherever the
+/// declaration lives in the statement tree. Returns true if found.
+pub fn replace_staging_region(body: &mut Vec<Stmt>, shared: &str, replacement: &[Stmt]) -> bool {
+    // Find the declaration among this body's direct children.
+    if let Some(decl_pos) = body
+        .iter()
+        .position(|s| matches!(s, Stmt::DeclShared { name, .. } if name == shared))
+    {
+        let mut end = decl_pos + 1;
+        while end < body.len() && writes_shared(&body[end], shared) {
+            end += 1;
+        }
+        body.splice(decl_pos..end, replacement.iter().cloned());
+        return true;
+    }
+    for s in body.iter_mut() {
+        for child in s.children_mut() {
+            if replace_staging_region(child, shared, replacement) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn writes_shared(stmt: &Stmt, shared: &str) -> bool {
+    match stmt {
+        Stmt::Assign {
+            lhs: LValue::Index { array, .. },
+            ..
+        } => array == shared,
+        Stmt::For(l) => l.body.iter().any(|s| writes_shared(s, shared)),
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            then_body.iter().any(|s| writes_shared(s, shared))
+                || else_body.iter().any(|s| writes_shared(s, shared))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::{print_stmt, PrintOptions};
+
+    fn segment_info() -> StagingInfo {
+        // a[idy][i] — Fig. 3a's shared0.
+        StagingInfo {
+            shared: "shared0".into(),
+            source: "a".into(),
+            pattern: StagingPattern::Segment,
+            loop_var: Some("i".into()),
+            orig_indices: vec![
+                Expr::Builtin(Builtin::IdY),
+                Expr::var("i"),
+            ],
+        }
+    }
+
+    fn render(stmts: &[Stmt]) -> String {
+        stmts
+            .iter()
+            .map(|s| print_stmt(s, PrintOptions::default()))
+            .collect()
+    }
+
+    #[test]
+    fn segment_emission_matches_fig3a() {
+        let s = render(&segment_info().emit(16, 1));
+        assert!(s.contains("__shared__ float shared0[16];"), "{s}");
+        assert!(s.contains("shared0[tidx] = a[idy][i + tidx];"), "{s}");
+        assert!(!s.contains("if"), "{s}");
+    }
+
+    #[test]
+    fn segment_emission_guarded_after_x_merge() {
+        let s = render(&segment_info().emit(128, 1));
+        assert!(s.contains("if (tidx < 16) {"), "{s}");
+        assert!(s.contains("shared0[tidx] = a[idy][i + tidx];"), "{s}");
+    }
+
+    #[test]
+    fn segment_emission_replicates_rows_after_y_merge() {
+        let s = render(&segment_info().emit(16, 4));
+        assert!(s.contains("__shared__ float shared0[4][16];"), "{s}");
+        assert!(s.contains("shared0[tidy][tidx] = a[idy][i + tidx];"), "{s}");
+        // idy-dependent data: every tidy row stages its own copy, no guard.
+        assert!(!s.contains("tidy == 0"), "{s}");
+    }
+
+    #[test]
+    fn y_invariant_segment_guarded_along_y() {
+        // b[i] — invariant in idy, one copy suffices.
+        let info = StagingInfo {
+            shared: "sb".into(),
+            source: "b".into(),
+            pattern: StagingPattern::Segment,
+            loop_var: Some("i".into()),
+            orig_indices: vec![Expr::var("i")],
+        };
+        let s = render(&info.emit(16, 4));
+        assert!(s.contains("tidy == 0"), "{s}");
+        assert!(s.contains("__shared__ float sb[16];"), "{s}");
+    }
+
+    #[test]
+    fn halo_emission_stages_window() {
+        let info = StagingInfo {
+            shared: "sw".into(),
+            source: "img".into(),
+            pattern: StagingPattern::Segment,
+            loop_var: Some("i".into()),
+            orig_indices: vec![
+                Expr::Builtin(Builtin::IdY),
+                Expr::Builtin(Builtin::IdX).add(Expr::var("i")),
+            ],
+        };
+        let s16 = render(&info.emit(16, 1));
+        assert!(s16.contains("__shared__ float sw[32];"), "{s16}");
+        assert!(s16.contains("if (tidx < 16) {"), "{s16}");
+        let s128 = render(&info.emit(128, 1));
+        assert!(s128.contains("__shared__ float sw[144];"), "{s128}");
+        assert!(s128.contains("tidx + 128"), "{s128}");
+    }
+
+    #[test]
+    fn tile_emission_matches_fig3b_at_16() {
+        let info = StagingInfo {
+            shared: "shared1".into(),
+            source: "a".into(),
+            pattern: StagingPattern::Tile,
+            loop_var: Some("i".into()),
+            orig_indices: vec![Expr::Builtin(Builtin::IdX), Expr::var("i")],
+        };
+        let s = render(&info.emit(16, 1));
+        assert!(s.contains("__shared__ float shared1[16][17];"), "{s}");
+        assert!(s.contains("shared1[shared1_l][tidx] = a[idx - tidx + shared1_l][i + tidx];"), "{s}");
+    }
+
+    #[test]
+    fn tile_emission_groups_after_x_merge() {
+        let info = StagingInfo {
+            shared: "t".into(),
+            source: "a".into(),
+            pattern: StagingPattern::Tile,
+            loop_var: Some("i".into()),
+            orig_indices: vec![Expr::Builtin(Builtin::IdX), Expr::var("i")],
+        };
+        let s = render(&info.emit(128, 1));
+        assert!(s.contains("__shared__ float t[128][17];"), "{s}");
+        assert!(s.contains("tidx % 16"), "{s}");
+        assert_eq!(info.shared_words(128, 1), 128 * 17);
+    }
+
+    #[test]
+    fn multisegment_emission_scales_with_block() {
+        let info = StagingInfo {
+            shared: "ms".into(),
+            source: "a".into(),
+            pattern: StagingPattern::MultiSegment { factor: 2 },
+            loop_var: None,
+            orig_indices: vec![Expr::Int(2).mul(Expr::Builtin(Builtin::IdX))],
+        };
+        let s = render(&info.emit(64, 1));
+        assert!(s.contains("__shared__ float ms[128];"), "{s}");
+        assert!(s.contains("ms[tidx + 64] = a[2 * (idx - tidx) + tidx + 64];"), "{s}");
+    }
+
+    #[test]
+    fn use_sites_per_pattern() {
+        let k = Expr::var("k");
+        let seg = segment_info();
+        assert_eq!(
+            seg.use_site(Some(&k), 1, 0),
+            Expr::index("shared0", vec![Expr::var("k")])
+        );
+        assert_eq!(
+            seg.use_site(Some(&k), 4, 0),
+            Expr::index(
+                "shared0",
+                vec![Expr::Builtin(Builtin::TidY), Expr::var("k")]
+            )
+        );
+        let ms = StagingInfo {
+            shared: "ms".into(),
+            source: "a".into(),
+            pattern: StagingPattern::MultiSegment { factor: 2 },
+            loop_var: None,
+            orig_indices: vec![],
+        };
+        assert_eq!(
+            ms.use_site(None, 1, 1),
+            Expr::index(
+                "ms",
+                vec![Expr::Int(2)
+                    .mul(Expr::Builtin(Builtin::TidX))
+                    .add(Expr::Int(1))]
+            )
+        );
+    }
+
+    #[test]
+    fn replace_staging_region_replaces_decl_and_stores() {
+        let info = segment_info();
+        let mut body = vec![Stmt::For(gpgpu_ast::ForLoop {
+            var: "i".into(),
+            init: Expr::Int(0),
+            cmp: gpgpu_ast::BinOp::Lt,
+            bound: Expr::var("w"),
+            update: gpgpu_ast::LoopUpdate::AddAssign(16),
+            body: {
+                let mut b = info.emit(16, 1);
+                b.push(Stmt::SyncThreads);
+                b
+            },
+        })];
+        let new = info.emit(128, 1);
+        assert!(replace_staging_region(&mut body, "shared0", &new));
+        let s = render(&body);
+        assert!(s.contains("if (tidx < 16) {"), "{s}");
+        // Sync retained after the region.
+        assert!(s.contains("__syncthreads();"), "{s}");
+        assert!(!replace_staging_region(&mut body, "missing", &new));
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared helpers for transformation passes.
+
+use gpgpu_analysis::{Affine, Sym};
+use gpgpu_ast::{Builtin, Expr, Kernel};
+use std::collections::HashSet;
+
+/// Synthesizes a readable expression from an affine form.
+///
+/// Terms are emitted in symbol order, positive coefficients first where
+/// possible, so the output resembles hand-written index arithmetic.
+pub fn affine_to_expr(a: &Affine) -> Expr {
+    let mut acc: Option<Expr> = None;
+    for (sym, coeff) in a.iter() {
+        let base = match sym {
+            Sym::Builtin(b) => Expr::Builtin(*b),
+            Sym::Var(v) => Expr::Var(v.clone()),
+        };
+        let term = if coeff == 1 {
+            base
+        } else if coeff == -1 {
+            Expr::Unary(gpgpu_ast::UnOp::Neg, Box::new(base))
+        } else {
+            Expr::Int(coeff).mul(base)
+        };
+        acc = Some(match acc {
+            None => term,
+            Some(prev) => prev.add(term),
+        });
+    }
+    let c = a.constant_part();
+    match acc {
+        None => Expr::Int(c),
+        Some(e) if c == 0 => e,
+        Some(e) if c > 0 => e.add(Expr::Int(c)),
+        Some(e) => e.sub(Expr::Int(-c)),
+    }
+}
+
+/// The names of the kernel's global array parameters.
+pub fn global_arrays(kernel: &Kernel) -> HashSet<String> {
+    kernel.array_params().map(|p| p.name.clone()).collect()
+}
+
+/// Picks a name of the form `{prefix}{n}` not already used in the kernel.
+pub fn fresh_name(kernel: &Kernel, prefix: &str) -> String {
+    let mut used: HashSet<String> = kernel.params.iter().map(|p| p.name.clone()).collect();
+    gpgpu_ast::visit::walk_stmts(&kernel.body, &mut |s| match s {
+        gpgpu_ast::Stmt::DeclScalar { name, .. } | gpgpu_ast::Stmt::DeclShared { name, .. } => {
+            used.insert(name.clone());
+        }
+        gpgpu_ast::Stmt::For(l) => {
+            used.insert(l.var.clone());
+        }
+        _ => {}
+    });
+    let mut n = 0;
+    loop {
+        let candidate = format!("{prefix}{n}");
+        if !used.contains(&candidate) {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+/// `idx - tidx`: the X coordinate of the first thread in the block.
+pub fn block_base_x() -> Expr {
+    Expr::Builtin(Builtin::IdX).sub(Expr::Builtin(Builtin::TidX))
+}
+
+/// True if the expression mentions `idx` or `tidx`.
+pub fn uses_x_ids(e: &Expr) -> bool {
+    e.uses_builtin(Builtin::IdX) || e.uses_builtin(Builtin::TidX) || e.uses_builtin(Builtin::BidX)
+}
+
+/// True if the expression mentions `idy`, `tidy` or `bidy`.
+pub fn uses_y_ids(e: &Expr) -> bool {
+    e.uses_builtin(Builtin::IdY) || e.uses_builtin(Builtin::TidY) || e.uses_builtin(Builtin::BidY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::{parse_kernel, printer, PrintOptions};
+
+    #[test]
+    fn affine_round_trips_to_expr() {
+        let src = "2 * idx + i + 5";
+        let e = gpgpu_ast::Parser::new(src).unwrap().expr().unwrap();
+        let a = Affine::from_expr(&e, &|_| None).unwrap();
+        let back = affine_to_expr(&a);
+        let a2 = Affine::from_expr(&back, &|_| None).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(
+            printer::expr_str(&back, PrintOptions::default()),
+            "2 * idx + i + 5"
+        );
+    }
+
+    #[test]
+    fn affine_to_expr_handles_negatives_and_constants() {
+        let e = gpgpu_ast::Parser::new("idx - 2 * i - 7").unwrap().expr().unwrap();
+        let a = Affine::from_expr(&e, &|_| None).unwrap();
+        let back = affine_to_expr(&a);
+        let a2 = Affine::from_expr(&back, &|_| None).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(affine_to_expr(&Affine::constant(-3)), Expr::Int(-3));
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let k = parse_kernel(
+            "__global__ void f(float shared0[n], int n) {
+                __shared__ float shared1[16];
+                float shared2 = 0.0f;
+                for (int shared3 = 0; shared3 < n; shared3 = shared3 + 1) {
+                    shared1[tidx] = shared0[shared3] + shared2;
+                }
+            }",
+        )
+        .unwrap();
+        assert_eq!(fresh_name(&k, "shared"), "shared4");
+        assert_eq!(fresh_name(&k, "tmp"), "tmp0");
+    }
+
+    #[test]
+    fn id_usage_predicates() {
+        let e = gpgpu_ast::Parser::new("idx + idy").unwrap().expr().unwrap();
+        assert!(uses_x_ids(&e));
+        assert!(uses_y_ids(&e));
+        let e2 = gpgpu_ast::Parser::new("tidy + 1").unwrap().expr().unwrap();
+        assert!(!uses_x_ids(&e2));
+        assert!(uses_y_ids(&e2));
+    }
+}

@@ -1,0 +1,52 @@
+//! Compile the three image-processing kernels of the suite (convolution,
+//! demosaicing, regional maxima) and report predicted speedups on both of
+//! the paper's GPUs — a miniature of Figure 11 for the media kernels.
+//!
+//! ```text
+//! cargo run --release --example image_pipeline
+//! ```
+
+use gpgpu::core::{compile, naive_compiled, verify_equivalence, CompileOptions};
+use gpgpu::kernels::by_name;
+use gpgpu::sim::MachineDesc;
+
+fn main() {
+    let machines = [MachineDesc::gtx8800(), MachineDesc::gtx280()];
+    println!(
+        "{:<14} {:<10} {:>12} {:>12} {:>9}",
+        "kernel", "GPU", "naive ms", "opt ms", "speedup"
+    );
+    for name in ["conv", "demosaic", "imregionmax"] {
+        let b = by_name(name).expect("benchmark exists");
+        let kernel = b.kernel();
+        for machine in &machines {
+            let opts = CompileOptions {
+                bindings: b.default_bindings(),
+                ..CompileOptions::new(machine.clone())
+            };
+            let baseline = naive_compiled(&kernel, &opts).expect("naive runs");
+            let compiled = compile(&kernel, &opts).expect("compiles");
+            println!(
+                "{:<14} {:<10} {:>12.3} {:>12.3} {:>8.1}x",
+                name,
+                machine.name,
+                baseline.total_time_ms(),
+                compiled.total_time_ms(),
+                baseline.total_time_ms() / compiled.total_time_ms()
+            );
+        }
+    }
+
+    // Spot-check correctness at a small size on one machine.
+    for name in ["conv", "demosaic", "imregionmax"] {
+        let b = by_name(name).unwrap();
+        let size = if name == "conv" { 64 } else { 128 };
+        let opts = CompileOptions {
+            bindings: (b.bind)(size),
+            ..CompileOptions::new(MachineDesc::gtx280())
+        };
+        let compiled = compile(&b.kernel(), &opts).expect("compiles");
+        verify_equivalence(&b.kernel(), &compiled, &opts).expect("equivalent");
+        println!("{name}: equivalence verified at {size}x{size} [ok]");
+    }
+}

@@ -1,0 +1,218 @@
+//! `gpgpuc` — the source-to-source GPGPU optimizing compiler, as a CLI.
+//!
+//! ```text
+//! gpgpuc [OPTIONS] <kernel.cu>       # or `-` for stdin
+//!
+//! OPTIONS
+//!   --machine <gtx8800|gtx280|hd5870>   target GPU          [gtx280]
+//!   --bind <name>=<value>               bind a size symbol  (repeatable)
+//!   --cuda-names                        emit threadIdx.x-style ids
+//!   --no-<stage>                        disable a stage: vectorize,
+//!                                       coalesce, merge, prefetch, partition
+//!   --report                            print the pass log, design-space
+//!                                       sweep and performance prediction
+//!   --verify <size>                     check optimized == naive on the
+//!                                       simulator at a smaller size bound
+//!                                       (binds every symbol to <size>)
+//! ```
+//!
+//! The input is a *naive* MiniCUDA kernel (one output element per thread);
+//! the output is the optimized kernel plus its launch configuration,
+//! exactly as in the paper's workflow.
+
+use gpgpu::ast::{parse_kernel, print_kernel, PrintOptions};
+use gpgpu::core::{compile, verify_equivalence, CompileOptions, StageSet};
+use gpgpu::sim::MachineDesc;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Args {
+    input: String,
+    machine: MachineDesc,
+    bindings: Vec<(String, i64)>,
+    cuda_names: bool,
+    emit_cu: bool,
+    stages: StageSet,
+    report: bool,
+    verify_at: Option<i64>,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("gpgpuc: {msg}");
+    eprintln!(
+        "usage: gpgpuc [--machine gtx8800|gtx280|hd5870] [--bind n=1024]... \
+         [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
+         [--report] [--verify <size>] <kernel.cu | ->"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        machine: MachineDesc::gtx280(),
+        bindings: Vec::new(),
+        cuda_names: false,
+        emit_cu: false,
+        stages: StageSet::all(),
+        report: false,
+        verify_at: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut input: Option<String> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--machine" => {
+                let v = it.next().ok_or("--machine needs a value")?;
+                args.machine = match v.as_str() {
+                    "gtx8800" => MachineDesc::gtx8800(),
+                    "gtx280" => MachineDesc::gtx280(),
+                    "hd5870" => MachineDesc::hd5870(),
+                    other => return Err(format!("unknown machine `{other}`")),
+                };
+            }
+            "--bind" => {
+                let v = it.next().ok_or("--bind needs name=value")?;
+                let (name, value) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--bind `{v}` is not name=value"))?;
+                let value: i64 = value
+                    .parse()
+                    .map_err(|_| format!("--bind value `{value}` is not an integer"))?;
+                args.bindings.push((name.to_string(), value));
+            }
+            "--cuda-names" => args.cuda_names = true,
+            "--emit-cu" => args.emit_cu = true,
+            "--no-vectorize" => args.stages.vectorize = false,
+            "--no-coalesce" => args.stages.coalesce = false,
+            "--no-merge" => args.stages.merge = false,
+            "--no-prefetch" => args.stages.prefetch = false,
+            "--no-partition" => args.stages.partition = false,
+            "--report" => args.report = true,
+            "--verify" => {
+                let v = it.next().ok_or("--verify needs a size")?;
+                args.verify_at =
+                    Some(v.parse().map_err(|_| format!("--verify `{v}` not an integer"))?);
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other if input.is_none() => input = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    args.input = input.ok_or("no input file")?;
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return usage(&e),
+    };
+    let source = if args.input == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            return usage("cannot read stdin");
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&args.input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("gpgpuc: cannot read `{}`: {e}", args.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let naive = match parse_kernel(&source) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("gpgpuc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut opts = CompileOptions::new(args.machine.clone()).with_stages(args.stages);
+    for (name, value) in &args.bindings {
+        opts = opts.bind(name, *value);
+    }
+    let compiled = match compile(&naive, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gpgpuc: compilation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.emit_cu {
+        print!("{}", gpgpu::core::emit_cu(&compiled, &opts.bindings));
+        return ExitCode::SUCCESS;
+    }
+    let popts = if args.cuda_names {
+        PrintOptions::cuda()
+    } else {
+        PrintOptions::default()
+    };
+    for (i, launch) in compiled.launches.iter().enumerate() {
+        if compiled.launches.len() > 1 {
+            println!("// launch {} of {}", i + 1, compiled.launches.len());
+        }
+        println!("// launch configuration: {}", launch.launch);
+        for extra in &launch.extra_buffers {
+            println!(
+                "// requires zero-initialized buffer: {} ({} x {:?})",
+                extra.name, extra.elem, extra.dims
+            );
+        }
+        print!("{}", print_kernel(&launch.kernel, popts));
+        println!();
+    }
+
+    if args.report {
+        eprintln!("== pass log ==");
+        for line in &compiled.log {
+            eprintln!("  - {line}");
+        }
+        eprintln!("== design space ==");
+        for cand in &compiled.evaluated {
+            eprintln!(
+                "  block-merge-x {:>2}, thread-merge-y {:>2}{}: {:.3} ms",
+                cand.block_merge_x,
+                cand.thread_merge_y,
+                cand.reduction_elems
+                    .map(|e| format!(", {e} elems/thread"))
+                    .unwrap_or_default(),
+                cand.time_ms
+            );
+        }
+        eprintln!("== prediction ({}) ==", args.machine.name);
+        eprintln!(
+            "  time {:.3} ms   {:.1} GFLOPS   {:.1} GB/s effective",
+            compiled.total_time_ms(),
+            compiled.gflops(),
+            compiled.effective_bandwidth_gbps()
+        );
+    }
+
+    if let Some(size) = args.verify_at {
+        // Bind every size symbol to the (small) verification size.
+        let mut vopts = CompileOptions::new(args.machine.clone()).with_stages(args.stages);
+        for (name, _) in &args.bindings {
+            vopts = vopts.bind(name, size);
+        }
+        let vcompiled = match compile(&naive, &vopts) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("gpgpuc: verification compile failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match verify_equivalence(&naive, &vcompiled, &vopts) {
+            Ok(()) => eprintln!("verify: optimized output matches the naive kernel at size {size}"),
+            Err(e) => {
+                eprintln!("gpgpuc: VERIFICATION FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # gpgpu
+//!
+//! A Rust reproduction of *“A GPGPU Compiler for Memory Optimization and
+//! Parallelism Management”* (Yang, Xiang, Kong, Zhou — PLDI 2010): a
+//! source-to-source optimizing compiler for naive GPU kernels, together
+//! with the GPU simulator, benchmark suite, and figure-regeneration
+//! harnesses that reproduce the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`ast`] — the MiniCUDA kernel language (parser, AST, printer);
+//! * [`analysis`] — affine address analysis, the coalescing checker,
+//!   sharing and partition-camping detection;
+//! * [`transform`] — the optimization passes (vectorize, coalesce,
+//!   thread/thread-block merge, prefetch, camping elimination, reduction
+//!   restructuring);
+//! * [`sim`] — functional SIMT interpreter + trace-driven timing model for
+//!   GTX 8800 / GTX 280-class machines;
+//! * [`core`] — the compiler driver: pipeline, design-space exploration,
+//!   equivalence verification;
+//! * [`kernels`] — the Table 1 benchmarks, the FFT case study, and the
+//!   CUBLAS/SDK comparators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpgpu::core::{compile, CompileOptions};
+//! use gpgpu::sim::MachineDesc;
+//!
+//! # fn main() -> Result<(), gpgpu::core::CompileError> {
+//! let naive = gpgpu::ast::parse_kernel(
+//!     "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+//!         float sum = 0.0f;
+//!         for (int i = 0; i < w; i = i + 1) { sum += a[idx][i] * b[i]; }
+//!         c[idx] = sum;
+//!     }",
+//! ).expect("parses");
+//! let opts = CompileOptions::new(MachineDesc::gtx280())
+//!     .bind("n", 1024)
+//!     .bind("w", 1024);
+//! let compiled = compile(&naive, &opts)?;
+//! println!("{}", compiled.source);        // readable optimized CUDA
+//! println!("{}", compiled.launches[0].launch); // <<<grid, block>>>
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gpgpu_analysis as analysis;
+pub use gpgpu_ast as ast;
+pub use gpgpu_core as core;
+pub use gpgpu_kernels as kernels;
+pub use gpgpu_sim as sim;
+pub use gpgpu_transform as transform;

@@ -1,0 +1,95 @@
+//! End-to-end tests of the `gpgpuc` command-line compiler.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const MV: &str = "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+    float sum = 0.0f;
+    for (int i = 0; i < w; i = i + 1) { sum += a[idx][i] * b[i]; }
+    c[idx] = sum;
+}";
+
+fn gpgpuc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gpgpuc"))
+}
+
+fn run_with_stdin(mut cmd: Command, stdin: &str) -> (String, String, bool) {
+    let mut child = cmd
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("gpgpuc spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin written");
+    let out = child.wait_with_output().expect("gpgpuc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn compiles_from_stdin_with_report_and_verification() {
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "--machine", "gtx280", "--bind", "n=1024", "--bind", "w=1024", "--report", "--verify",
+        "128", "-",
+    ]);
+    let (stdout, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("// launch configuration: <<<"), "{stdout}");
+    assert!(stdout.contains("__shared__"), "{stdout}");
+    assert!(stderr.contains("== pass log =="), "{stderr}");
+    assert!(stderr.contains("== design space =="), "{stderr}");
+    assert!(
+        stderr.contains("optimized output matches the naive kernel"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn emit_cu_produces_translation_unit() {
+    let mut cmd = gpgpuc();
+    cmd.args(["--bind", "n=1024", "--bind", "w=1024", "--emit-cu", "-"]);
+    let (stdout, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("#include <cuda_runtime.h>"), "{stdout}");
+    assert!(stdout.contains("int main() {"), "{stdout}");
+    assert!(stdout.contains("mv<<<dim3("), "{stdout}");
+}
+
+#[test]
+fn stage_toggles_change_output() {
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "--bind", "n=1024", "--bind", "w=1024", "--no-coalesce", "--no-merge", "-",
+    ]);
+    let (stdout, _, ok) = run_with_stdin(cmd, MV);
+    assert!(ok);
+    // With coalescing disabled the kernel stays naive: no shared memory.
+    assert!(!stdout.contains("__shared__"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_fail_cleanly() {
+    let mut cmd = gpgpuc();
+    cmd.arg("-");
+    let (_, stderr, ok) = run_with_stdin(cmd, "__global__ void broken(");
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn unknown_flags_print_usage() {
+    let mut cmd = gpgpuc();
+    cmd.args(["--frobnicate", "-"]);
+    let (_, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

@@ -1,0 +1,93 @@
+#![allow(dead_code)] // each test binary uses a different subset
+
+//! Shared helpers for the integration tests: running multi-launch programs
+//! on the functional simulator and generating deterministic inputs.
+
+use gpgpu::analysis::{resolve_layouts_padded, Bindings};
+use gpgpu::core::KernelLaunch;
+use gpgpu::sim::{launch, Device, ExecOptions, MachineDesc};
+use std::collections::HashMap;
+
+/// Deterministic pseudo-random stream in [-1, 1).
+pub fn data(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+        .collect()
+}
+
+/// A well-conditioned lower-triangular matrix for strsm: ones-ish diagonal,
+/// small off-diagonal entries.
+pub fn triangular(n: usize) -> Vec<f32> {
+    let noise = data(7, n * n);
+    let mut l = vec![0.0f32; n * n];
+    for r in 0..n {
+        for k in 0..r {
+            l[r * n + k] = noise[r * n + k] * 0.01;
+        }
+        l[r * n + r] = 1.0 + 0.1 * noise[r * n + r].abs();
+    }
+    l
+}
+
+/// Runs a launch sequence with the given named input streams and returns
+/// the requested output buffers.
+pub fn run_program(
+    machine: MachineDesc,
+    launches: &[KernelLaunch],
+    bindings: &Bindings,
+    inputs: &[(&str, &[f32])],
+    outputs: &[&str],
+) -> HashMap<String, Vec<f32>> {
+    let mut dev = Device::new(machine);
+    for l in launches {
+        let layouts = resolve_layouts_padded(&l.kernel, bindings).expect("layouts resolve");
+        for p in l.kernel.array_params() {
+            if dev.buffer(&p.name).is_err() {
+                dev.alloc(layouts[&p.name].clone());
+            }
+        }
+        for extra in &l.extra_buffers {
+            if dev.buffer(&extra.name).is_err() {
+                dev.alloc(extra.clone());
+            }
+        }
+    }
+    for (name, stream) in inputs {
+        dev.buffer_mut(name)
+            .unwrap_or_else(|_| panic!("input buffer `{name}` exists"))
+            .upload(stream);
+    }
+    for l in launches {
+        launch(&l.kernel, &l.launch, bindings, &mut dev, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("launch of `{}` failed: {e}", l.kernel.name));
+    }
+    outputs
+        .iter()
+        .map(|name| {
+            (
+                name.to_string(),
+                dev.buffer(name)
+                    .unwrap_or_else(|_| panic!("output buffer `{name}` exists"))
+                    .download(),
+            )
+        })
+        .collect()
+}
+
+/// Asserts two float slices agree within mixed tolerance.
+pub fn assert_close(got: &[f32], want: &[f32], rtol: f32, label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-4 + rtol * w.abs().max(g.abs());
+        assert!(
+            (g - w).abs() <= tol,
+            "{label}[{i}]: got {g}, want {w} (tol {tol})"
+        );
+    }
+}

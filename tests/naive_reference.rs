@@ -1,0 +1,191 @@
+//! The naive kernels themselves must compute the right answers: each is run
+//! on the functional simulator and compared against the host reference
+//! implementations.
+
+mod common;
+
+use common::{assert_close, data, run_program, triangular};
+use gpgpu::core::{naive_compiled, CompileOptions};
+use gpgpu::kernels::{by_name, reference};
+use gpgpu::sim::MachineDesc;
+
+fn naive_program(name: &str, size: i64) -> (gpgpu::core::CompiledKernel, CompileOptions) {
+    let b = by_name(name).unwrap();
+    let opts = CompileOptions {
+        bindings: (b.bind)(size),
+        ..CompileOptions::new(MachineDesc::gtx280())
+    };
+    let compiled = naive_compiled(&b.kernel(), &opts).expect("naive wraps");
+    (compiled, opts)
+}
+
+#[test]
+fn naive_mm_matches_host() {
+    let n = 64usize;
+    let (prog, opts) = naive_program("mm", n as i64);
+    let a = data(1, n * n);
+    let b = data(2, n * n);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog.launches,
+        &opts.bindings,
+        &[("a", &a), ("b", &b)],
+        &["c"],
+    );
+    assert_close(&out["c"], &reference::mm(&a, &b, n, n), 1e-3, "mm");
+}
+
+#[test]
+fn naive_mv_and_tmv_match_host() {
+    let n = 64usize;
+    let a = data(3, n * n);
+    let b = data(4, n);
+    for (name, want) in [
+        ("mv", reference::mv(&a, &b, n, n)),
+        ("tmv", reference::tmv(&a, &b, n, n)),
+    ] {
+        let (prog, opts) = naive_program(name, n as i64);
+        let out = run_program(
+            MachineDesc::gtx280(),
+            &prog.launches,
+            &opts.bindings,
+            &[("a", &a), ("b", &b)],
+            &["c"],
+        );
+        assert_close(&out["c"], &want, 1e-3, name);
+    }
+}
+
+#[test]
+fn naive_vv_matches_host() {
+    let n = 2048usize;
+    let a = data(5, n);
+    let b = data(6, n);
+    let (prog, opts) = naive_program("vv", n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog.launches,
+        &opts.bindings,
+        &[("a", &a), ("b", &b)],
+        &["c"],
+    );
+    assert_close(&out["c"], &reference::vv(&a, &b), 1e-4, "vv");
+}
+
+#[test]
+fn naive_rd_matches_host() {
+    let n = 1usize << 14;
+    let a = data(7, n);
+    let (prog, opts) = naive_program("rd", n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog.launches,
+        &opts.bindings,
+        &[("a", &a)],
+        &["c"],
+    );
+    assert_close(&out["c"], &[reference::rd(&a)], 1e-3, "rd");
+}
+
+#[test]
+fn naive_rdc_matches_host() {
+    let n = 1usize << 13;
+    let a = data(8, 2 * n);
+    let (prog, opts) = naive_program("rdc", n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog.launches,
+        &opts.bindings,
+        &[("a", &a)],
+        &["c"],
+    );
+    assert_close(&out["c"], &[reference::rdc(&a)], 1e-3, "rdc");
+}
+
+#[test]
+fn naive_strsm_matches_host() {
+    let n = 64usize;
+    let l = triangular(n);
+    let b2 = data(9, n * n);
+    let (prog, opts) = naive_program("strsm", n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog.launches,
+        &opts.bindings,
+        &[("l", &l), ("b2", &b2)],
+        &["x"],
+    );
+    assert_close(&out["x"], &reference::strsm(&l, &b2, n), 1e-3, "strsm");
+}
+
+#[test]
+fn naive_conv_matches_host() {
+    let n = 32usize;
+    let (kh, kw) = (32usize, 32usize);
+    let img = data(10, (n + kh) * (n + kw));
+    let g = data(11, kh * kw);
+    let (prog, opts) = naive_program("conv", n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog.launches,
+        &opts.bindings,
+        &[("img", &img), ("g", &g)],
+        &["c"],
+    );
+    assert_close(
+        &out["c"],
+        &reference::conv(&img, &g, n, n, kh, kw),
+        1e-2,
+        "conv",
+    );
+}
+
+#[test]
+fn naive_tp_matches_host() {
+    let n = 128usize;
+    let a = data(12, n * n);
+    let (prog, opts) = naive_program("tp", n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog.launches,
+        &opts.bindings,
+        &[("a", &a)],
+        &["c"],
+    );
+    assert_close(&out["c"], &reference::tp(&a, n), 0.0, "tp");
+}
+
+#[test]
+fn naive_demosaic_matches_host() {
+    let n = 64usize;
+    let raw = data(13, (n + 2) * (n + 2));
+    let (prog, opts) = naive_program("demosaic", n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog.launches,
+        &opts.bindings,
+        &[("raw", &raw)],
+        &["g"],
+    );
+    assert_close(&out["g"], &reference::demosaic(&raw, n, n), 1e-4, "demosaic");
+}
+
+#[test]
+fn naive_imregionmax_matches_host() {
+    let n = 64usize;
+    let img = data(14, (n + 2) * (n + 2));
+    let (prog, opts) = naive_program("imregionmax", n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog.launches,
+        &opts.bindings,
+        &[("img", &img)],
+        &["out"],
+    );
+    assert_close(
+        &out["out"],
+        &reference::imregionmax(&img, n, n),
+        0.0,
+        "imregionmax",
+    );
+}

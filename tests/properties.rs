@@ -1,0 +1,239 @@
+//! Property-based tests (proptest) over the compiler's core invariants:
+//! printer/parser round-trips, affine-algebra laws, the coalescing checker
+//! against brute-force address enumeration, and the diagonal-remap
+//! permutation property.
+
+mod common;
+
+use gpgpu::analysis::{check_coalescing, Affine, CoalesceVerdict, LoopMeta, Sym};
+use gpgpu::ast::{
+    builder, parse_kernel, print_kernel, Builtin, Expr, PrintOptions, ScalarType,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Expression / kernel round-trips
+// ---------------------------------------------------------------------
+
+/// A strategy for affine-ish integer expressions over a small symbol pool.
+fn arb_int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-64i64..64).prop_map(Expr::Int),
+        Just(Expr::Builtin(Builtin::IdX)),
+        Just(Expr::Builtin(Builtin::IdY)),
+        Just(Expr::Builtin(Builtin::TidX)),
+        Just(Expr::var("i")),
+        Just(Expr::var("n")),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
+                gpgpu::ast::BinOp::Add,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
+                gpgpu::ast::BinOp::Sub,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), (-8i64..8)).prop_map(|(a, k)| Expr::Binary(
+                gpgpu::ast::BinOp::Mul,
+                Box::new(a),
+                Box::new(Expr::Int(k))
+            )),
+            inner,
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing an expression and re-parsing it yields the same tree.
+    #[test]
+    fn expr_print_parse_round_trip(e in arb_int_expr()) {
+        // Embed in a kernel so the parser has context.
+        let kernel = builder::kernel("f")
+            .array_param("a", ScalarType::Float, &["n"])
+            .scalar_param("n", ScalarType::Int)
+            .body(vec![gpgpu::ast::Stmt::For(gpgpu::ast::ForLoop {
+                var: "i".into(),
+                init: Expr::Int(0),
+                cmp: gpgpu::ast::BinOp::Lt,
+                bound: Expr::var("n"),
+                update: gpgpu::ast::LoopUpdate::AddAssign(1),
+                body: vec![builder::assign(
+                    builder::idx1("a", Expr::Int(0)),
+                    Expr::Cast(ScalarType::Float, Box::new(e)),
+                )],
+            })])
+            .build();
+        let printed = print_kernel(&kernel, PrintOptions::default());
+        let reparsed = parse_kernel(&printed).expect("printed kernel parses");
+        prop_assert_eq!(kernel, reparsed);
+    }
+
+    /// Affine conversion is a homomorphism for + and −.
+    #[test]
+    fn affine_addition_homomorphism(a in arb_int_expr(), b in arb_int_expr()) {
+        let resolve = |name: &str| (name == "n").then_some(48i64);
+        let fa = Affine::from_expr(&a, &resolve);
+        let fb = Affine::from_expr(&b, &resolve);
+        if let (Some(fa), Some(fb)) = (fa, fb) {
+            let sum_expr = Expr::Binary(gpgpu::ast::BinOp::Add, Box::new(a), Box::new(b));
+            let fsum = Affine::from_expr(&sum_expr, &resolve).expect("sum of affines is affine");
+            prop_assert_eq!(fsum, fa.add(&fb));
+        }
+    }
+
+    /// Affine evaluation commutes with expression evaluation.
+    #[test]
+    fn affine_eval_matches_expr_eval(
+        e in arb_int_expr(),
+        idx in 0i64..512,
+        idy in 0i64..512,
+        i in 0i64..64,
+    ) {
+        let resolve = |name: &str| (name == "n").then_some(48i64);
+        if let Some(form) = Affine::from_expr(&e, &resolve) {
+            let affine_val = form.eval(&|s| match s {
+                Sym::Builtin(Builtin::IdX) => Some(idx),
+                Sym::Builtin(Builtin::IdY) => Some(idy),
+                Sym::Builtin(Builtin::TidX) => Some(idx % 16),
+                Sym::Var(v) if v == "i" => Some(i),
+                _ => None,
+            }).expect("all symbols bound");
+            let direct = eval_expr(&e, idx, idy, i);
+            prop_assert_eq!(affine_val, direct);
+        }
+    }
+}
+
+/// Direct recursive evaluation of the generated expression fragment.
+fn eval_expr(e: &Expr, idx: i64, idy: i64, i: i64) -> i64 {
+    match e {
+        Expr::Int(v) => *v,
+        Expr::Var(n) if n == "i" => i,
+        Expr::Var(n) if n == "n" => 48,
+        Expr::Builtin(Builtin::IdX) => idx,
+        Expr::Builtin(Builtin::IdY) => idy,
+        Expr::Builtin(Builtin::TidX) => idx % 16,
+        Expr::Binary(op, a, b) => {
+            let (x, y) = (eval_expr(a, idx, idy, i), eval_expr(b, idx, idy, i));
+            match op {
+                gpgpu::ast::BinOp::Add => x + y,
+                gpgpu::ast::BinOp::Sub => x - y,
+                gpgpu::ast::BinOp::Mul => x * y,
+                _ => unreachable!("generator emits +,-,* only"),
+            }
+        }
+        _ => unreachable!("generator emits a closed fragment"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coalescing checker vs brute force
+// ---------------------------------------------------------------------
+
+/// Brute-force ground truth for the half-warp coalescing rule: enumerate
+/// addresses for every (block, iteration) combination and check the 16
+/// lanes fall in one aligned 16-word segment.
+fn brute_force_coalesced(
+    ci: i64, // coefficient of idx
+    cy: i64, // coefficient of idy
+    cl: i64, // coefficient of the loop var
+    c0: i64, // constant
+    loop_vals: &[i64],
+) -> bool {
+    for bidx in 0..4i64 {
+        for idy in 0..4i64 {
+            for &lv in loop_vals {
+                let addr =
+                    |t: i64| ci * (bidx * 16 + t) + cy * idy + cl * lv + c0;
+                let base = addr(0);
+                if base % 16 != 0 {
+                    return false;
+                }
+                for t in 0..16 {
+                    if addr(t) - base != t {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn coalescing_checker_matches_brute_force(
+        ci in prop_oneof![Just(0i64), Just(1), Just(2), Just(16), Just(17)],
+        cy in prop_oneof![Just(0i64), Just(1), Just(16), Just(64)],
+        cl in prop_oneof![Just(0i64), Just(1), Just(4), Just(16)],
+        c0 in prop_oneof![Just(0i64), Just(1), Just(8), Just(16), Just(32)],
+        start in prop_oneof![Just(0i64), Just(1), Just(16)],
+        step in prop_oneof![Just(1i64), Just(2), Just(16)],
+    ) {
+        let mut form = Affine::builtin(Builtin::IdX).scale(ci);
+        form = form.add(&Affine::builtin(Builtin::IdY).scale(cy));
+        form = form.add(&Affine::sym(Sym::var("i")).scale(cl));
+        form = form.add(&Affine::constant(c0));
+        let loop_vals: Vec<i64> = (0..16).map(|k| start + k * step).collect();
+        let loops = vec![LoopMeta {
+            var: "i".into(),
+            start: Some(start),
+            step: Some(step),
+            values: Some(loop_vals.clone()),
+        }];
+        let verdict = check_coalescing(&form, &loops);
+        let truth = brute_force_coalesced(ci, cy, cl, c0, &loop_vals);
+        prop_assert_eq!(
+            verdict == CoalesceVerdict::Coalesced,
+            truth,
+            "form {} → {:?}, brute force {}",
+            form,
+            verdict,
+            truth
+        );
+    }
+
+    /// Diagonal block remapping is a permutation of the square grid.
+    #[test]
+    fn diagonal_remap_is_permutation(g in 1u32..64) {
+        let mut seen = vec![false; (g * g) as usize];
+        for by in 0..g {
+            for bx in 0..g {
+                let nbx = (bx + by) % g;
+                let nby = bx;
+                let slot = (nby * g + nbx) as usize;
+                prop_assert!(!seen[slot], "collision at ({bx},{by})");
+                seen[slot] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|v| v));
+    }
+
+    /// Padded layouts round-trip uploads of any logical content.
+    #[test]
+    fn buffer_upload_download_round_trip(
+        rows in 1i64..8,
+        cols in 1i64..40,
+        seed in any::<u64>(),
+    ) {
+        let layout = gpgpu::analysis::ArrayLayout::new(
+            "a",
+            ScalarType::Float,
+            vec![rows, cols],
+        )
+        .padded_to(16);
+        let mut dev = gpgpu::sim::Device::new(gpgpu::sim::MachineDesc::gtx280());
+        dev.alloc(layout);
+        let data = common::data(seed, (rows * cols) as usize);
+        dev.buffer_mut("a").unwrap().upload(&data);
+        prop_assert_eq!(dev.buffer("a").unwrap().download(), data);
+    }
+}

@@ -1,0 +1,128 @@
+//! The hand-tuned comparators (CUBLAS / SDK stand-ins) must also be
+//! correct — otherwise the figures would compare against broken baselines.
+
+mod common;
+
+use common::{assert_close, data, run_program, triangular};
+use gpgpu::kernels::{reference, tuned};
+use gpgpu::sim::MachineDesc;
+use std::collections::HashMap;
+
+fn binds(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+    pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+}
+
+#[test]
+fn cublas_mm_matches_host() {
+    let n = 256usize; // SGEMM tile needs n ≥ 256 (one 256-thread block row)
+    let a = data(21, n * n);
+    let b = data(22, n * n);
+    let prog = tuned::cublas_mm(n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog,
+        &binds(&[("n", n as i64), ("w", n as i64)]),
+        &[("a", &a), ("b", &b)],
+        &["c"],
+    );
+    assert_close(&out["c"], &reference::mm(&a, &b, n, n), 1e-3, "cublas_mm");
+}
+
+#[test]
+fn cublas_mv_matches_host() {
+    let n = 128usize;
+    let a = data(23, n * n);
+    let b = data(24, n);
+    let prog = tuned::cublas_mv(n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog,
+        &binds(&[("n", n as i64), ("w", n as i64)]),
+        &[("a", &a), ("b", &b)],
+        &["c"],
+    );
+    assert_close(&out["c"], &reference::mv(&a, &b, n, n), 1e-3, "cublas_mv");
+}
+
+#[test]
+fn cublas_tmv_matches_host() {
+    let n = 128usize;
+    let a = data(25, n * n);
+    let b = data(26, n);
+    let prog = tuned::cublas_tmv(n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog,
+        &binds(&[("n", n as i64), ("w", n as i64)]),
+        &[("a", &a), ("b", &b)],
+        &["c"],
+    );
+    assert_close(&out["c"], &reference::tmv(&a, &b, n, n), 1e-3, "cublas_tmv");
+}
+
+#[test]
+fn cublas_vv_matches_host() {
+    let n = 4096usize;
+    let a = data(27, n);
+    let b = data(28, n);
+    let prog = tuned::cublas_vv(n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog,
+        &binds(&[("n", n as i64)]),
+        &[("a", &a), ("b", &b)],
+        &["c"],
+    );
+    assert_close(&out["c"], &reference::vv(&a, &b), 1e-4, "cublas_vv");
+}
+
+#[test]
+fn cublas_rd_matches_host() {
+    let n = 1usize << 16;
+    let a = data(29, n);
+    let prog = tuned::cublas_rd(n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog,
+        &binds(&[("len", n as i64)]),
+        &[("a", &a)],
+        &["c"],
+    );
+    assert_close(&out["c"], &[reference::rd(&a)], 1e-3, "cublas_rd");
+}
+
+#[test]
+fn cublas_strsm_matches_host() {
+    let n = 64usize;
+    let l = triangular(n);
+    let b2 = data(30, n * n);
+    let prog = tuned::cublas_strsm(n as i64);
+    let out = run_program(
+        MachineDesc::gtx280(),
+        &prog,
+        &binds(&[("n", n as i64)]),
+        &[("l", &l), ("b2", &b2)],
+        &["x"],
+    );
+    assert_close(&out["x"], &reference::strsm(&l, &b2, n), 1e-3, "cublas_strsm");
+}
+
+#[test]
+fn sdk_transposes_match_host() {
+    let n = 128usize;
+    let a = data(31, n * n);
+    let want = reference::tp(&a, n);
+    for (label, prog) in [
+        ("sdk_prev", tuned::sdk_prev(n as i64)),
+        ("sdk_new", tuned::sdk_new(n as i64)),
+    ] {
+        let out = run_program(
+            MachineDesc::gtx280(),
+            &prog,
+            &binds(&[("n", n as i64)]),
+            &[("a", &a)],
+            &["c"],
+        );
+        assert_close(&out["c"], &want, 0.0, label);
+    }
+}
