@@ -358,18 +358,11 @@ fn loop_meta(l: &gpgpu_ast::ForLoop, resolve: &dyn Fn(&str) -> Option<i64>) -> L
         (Some(s), Some(k)) => Some((0..HALF_WARP).map(|i| s + i * k).collect()),
         _ => {
             // Geometric loops: enumerate fully when bounds are concrete.
-            let bound_known = Affine::from_expr(&l.bound, resolve)
-                .and_then(|a| a.as_constant())
-                .is_some();
-            if bound_known && start.is_some() {
+            let bound = Affine::from_expr(&l.bound, resolve).and_then(|a| a.as_constant());
+            if let (Some(s), Some(b)) = (start, bound) {
                 let concrete = gpgpu_ast::ForLoop {
-                    init: gpgpu_ast::Expr::Int(start.unwrap()),
-                    bound: gpgpu_ast::Expr::Int(
-                        Affine::from_expr(&l.bound, resolve)
-                            .unwrap()
-                            .as_constant()
-                            .unwrap(),
-                    ),
+                    init: gpgpu_ast::Expr::Int(s),
+                    bound: gpgpu_ast::Expr::Int(b),
                     ..l.clone()
                 };
                 concrete.enumerate_values(64)

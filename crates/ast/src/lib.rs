@@ -47,6 +47,7 @@ pub mod expr;
 pub mod kernel;
 pub mod parser;
 pub mod printer;
+pub mod spans;
 pub mod stmt;
 pub mod token;
 pub mod types;
@@ -57,6 +58,7 @@ pub use expr::{BinOp, Builtin, Expr, Field, LValue, UnOp};
 pub use kernel::{Kernel, LaunchConfig, Param, ParamKind, Pragma};
 pub use parser::{parse_kernel, parse_program, Parser};
 pub use printer::{print_kernel, print_stmt, PrintOptions};
+pub use spans::{access_spans, AccessSpans};
 pub use stmt::{ForLoop, LoopUpdate, Stmt};
 pub use token::{Lexer, Token, TokenKind};
 pub use types::{Dim, ScalarType};

@@ -1,0 +1,57 @@
+//! Source-location side table for array accesses.
+//!
+//! The AST keeps no per-node positions (transforms synthesize most nodes,
+//! and structural equality matters to the passes), so source spans for
+//! diagnostics come from a side table built by re-lexing the original
+//! source: for each identifier that is subscripted (`name[`), the span of
+//! its first subscripted occurrence. The trace subsystem attaches these
+//! spans to per-access events (`access-classified`, `coalesce-staged`).
+
+use crate::error::Span;
+use crate::token::{Lexer, TokenKind};
+use std::collections::HashMap;
+
+/// Array name → span of its first subscripted occurrence in the source.
+pub type AccessSpans = HashMap<String, Span>;
+
+/// Builds the [`AccessSpans`] table for a MiniCUDA source text.
+///
+/// Unparseable source yields an empty table (spans are best-effort
+/// diagnostics, never a reason to fail).
+pub fn access_spans(src: &str) -> AccessSpans {
+    let Ok(tokens) = Lexer::new(src).tokenize() else {
+        return AccessSpans::new();
+    };
+    let mut spans = AccessSpans::new();
+    for pair in tokens.windows(2) {
+        if let (TokenKind::Ident(name), TokenKind::LBracket) = (&pair[0].kind, &pair[1].kind) {
+            spans.entry(name.clone()).or_insert(pair[0].span);
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_first_subscripted_occurrence() {
+        let src = "__global__ void mm(float a[n][w], float b[w][n], int n, int w) {\n\
+                   float s = 0.0f;\n\
+                   s = a[idy][0] + b[0][idx] + a[idy][1];\n\
+                   }";
+        let spans = access_spans(src);
+        // Parameter declarations subscript the names first (line 1).
+        assert_eq!(spans.get("a"), Some(&Span::new(1, 26)));
+        assert_eq!(spans.get("b"), Some(&Span::new(1, 41)));
+        // Plain scalars never subscripted: absent.
+        assert!(!spans.contains_key("s"));
+        assert!(!spans.contains_key("n"));
+    }
+
+    #[test]
+    fn bad_source_yields_empty_table() {
+        assert!(access_spans("float a[ \x01 ]").is_empty());
+    }
+}

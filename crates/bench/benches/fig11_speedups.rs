@@ -5,14 +5,18 @@
 //! (GTX 280) with a maximum around 128×; the GTX 280 gains less because its
 //! naive baseline is stronger. Those two shapes — double-digit geo-mean,
 //! smaller gains on the newer part — are the reproduction targets.
+//!
+//! Besides the console table, the run writes `BENCH_fig11.json`
+//! (`gpgpu-trace/v1` schema) so results can be diffed across runs.
 
 use gpgpu_bench::harness::{banner, geomean};
-use gpgpu_core::{compile, naive_compiled, CompileOptions};
+use gpgpu_core::{compile, naive_compiled, CompileOptions, Json};
 use gpgpu_kernels::table1;
 use gpgpu_sim::MachineDesc;
 
 fn main() {
     banner("Figure 11", "speedup of optimized kernels over naive kernels");
+    let mut machines_json = Vec::new();
     for machine in [MachineDesc::gtx8800(), MachineDesc::gtx280()] {
         println!("\n--- {} ---", machine.name);
         println!(
@@ -20,6 +24,7 @@ fn main() {
             "kernel", "naive ms", "optimized ms", "speedup"
         );
         let mut speedups = Vec::new();
+        let mut rows = Vec::new();
         for b in table1() {
             let kernel = b.kernel();
             let opts = CompileOptions {
@@ -49,12 +54,38 @@ fn main() {
                 optimized.total_time_ms(),
                 speedup
             );
+            rows.push(Json::obj(vec![
+                ("kernel", Json::str(b.name)),
+                ("naive_ms", Json::num(baseline.total_time_ms())),
+                ("optimized_ms", Json::num(optimized.total_time_ms())),
+                ("speedup", Json::num(speedup)),
+                ("chosen", Json::str(optimized.chosen.label())),
+            ]));
         }
+        let geo = geomean(&speedups);
         println!(
             "{:<14} {:>38.1}x   (paper: {})",
             "geo-mean",
-            geomean(&speedups),
+            geo,
             if machine.name == "GTX8800" { "15.1x" } else { "7.9x" }
         );
+        machines_json.push(Json::obj(vec![
+            ("machine", Json::str(machine.name)),
+            ("kernels", Json::Arr(rows)),
+            ("geomean_speedup", Json::num(geo)),
+        ]));
+    }
+    let doc = Json::obj(vec![
+        ("schema", Json::str(gpgpu_core::trace::SCHEMA)),
+        ("figure", Json::str("fig11")),
+        (
+            "description",
+            Json::str("speedup of optimized kernels over naive kernels"),
+        ),
+        ("machines", Json::Arr(machines_json)),
+    ]);
+    match std::fs::write("BENCH_fig11.json", doc.pretty()) {
+        Ok(()) => println!("\nwrote BENCH_fig11.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_fig11.json: {e}"),
     }
 }

@@ -6,9 +6,12 @@
 //! Reproduction targets: vectorization is a no-op on the (scalar) suite,
 //! the merge step dominates, prefetching adds little (registers are already
 //! spent on merging), and camping elimination matters more on the GTX 280.
+//!
+//! Besides the console table, the run writes `BENCH_fig12.json`
+//! (`gpgpu-trace/v1` schema) so results can be diffed across runs.
 
 use gpgpu_bench::harness::{banner, geomean};
-use gpgpu_core::{compile, CompileOptions, StageSet};
+use gpgpu_core::{compile, CompileOptions, Json, StageSet};
 use gpgpu_kernels::table1;
 use gpgpu_sim::MachineDesc;
 
@@ -17,6 +20,7 @@ fn main() {
         "Figure 12",
         "geo-mean speedup after each cumulative optimization stage",
     );
+    let mut machines_json = Vec::new();
     for machine in [MachineDesc::gtx8800(), MachineDesc::gtx280()] {
         println!("\n--- {} ---", machine.name);
         // Per-kernel naive times first.
@@ -33,6 +37,7 @@ fn main() {
             }
         }
         println!("{:<26} {:>18}", "stage", "geo-mean speedup");
+        let mut stage_rows = Vec::new();
         for (stage_name, stages) in StageSet::dissection() {
             let mut speedups = Vec::new();
             for b in table1() {
@@ -48,10 +53,33 @@ fn main() {
                     speedups.push(base / c.total_time_ms());
                 }
             }
-            println!("{:<26} {:>17.2}x", stage_name, geomean(&speedups));
+            let geo = geomean(&speedups);
+            println!("{:<26} {:>17.2}x", stage_name, geo);
+            stage_rows.push(Json::obj(vec![
+                ("stage", Json::str(stage_name)),
+                ("kernels_measured", Json::count(speedups.len() as u64)),
+                ("geomean_speedup", Json::num(geo)),
+            ]));
         }
+        machines_json.push(Json::obj(vec![
+            ("machine", Json::str(machine.name)),
+            ("stages", Json::Arr(stage_rows)),
+        ]));
     }
     println!("\npaper: the thread/thread-block merge stage contributes the most;");
     println!("GTX 280 gains less overall (stronger naive baseline); prefetching");
     println!("is mostly register-starved; camping matters more on GTX 280.");
+    let doc = Json::obj(vec![
+        ("schema", Json::str(gpgpu_core::trace::SCHEMA)),
+        ("figure", Json::str("fig12")),
+        (
+            "description",
+            Json::str("geo-mean speedup after each cumulative optimization stage"),
+        ),
+        ("machines", Json::Arr(machines_json)),
+    ]);
+    match std::fs::write("BENCH_fig12.json", doc.pretty()) {
+        Ok(()) => println!("\nwrote BENCH_fig12.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_fig12.json: {e}"),
+    }
 }

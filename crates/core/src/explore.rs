@@ -8,9 +8,10 @@
 //! (the analytical-model alternative the paper discusses).
 
 use crate::domain::Domain;
-use crate::pipeline::{CompileError, CompileOptions};
+use crate::pipeline::{run_pass, CompileError, CompileOptions};
 use gpgpu_ast::LaunchConfig;
 use gpgpu_sim::{PerfEstimate, PerfError, PerfOptions};
+use gpgpu_trace::{MetricsRegistry, TraceEvent};
 use gpgpu_transform::{camping, merge, prefetch, PipelineState};
 
 /// The explored merge degrees.
@@ -52,6 +53,20 @@ pub struct Candidate {
     pub time_ms: f64,
 }
 
+impl Candidate {
+    /// Stable label used by the metrics registry and trace events,
+    /// e.g. `bx8_ty4_tx1` or `red256`.
+    pub fn label(&self) -> String {
+        match self.reduction_elems {
+            Some(e) => format!("red{e}"),
+            None => format!(
+                "bx{}_ty{}_tx{}",
+                self.block_merge_x, self.thread_merge_y, self.thread_merge_x
+            ),
+        }
+    }
+}
+
 /// The result of exploration: the winning kernel state and its launch.
 #[derive(Debug, Clone)]
 pub struct Explored {
@@ -65,6 +80,11 @@ pub struct Explored {
     pub chosen: Candidate,
     /// Every evaluated point (for Figure 10-style sweeps).
     pub evaluated: Vec<Candidate>,
+    /// Per-candidate counter snapshots; the winner is marked chosen.
+    pub metrics: MetricsRegistry,
+    /// Search-level trace events (candidate evaluations + selection),
+    /// appended after the winning state's own events.
+    pub events: Vec<TraceEvent>,
 }
 
 /// Builds the launch configuration implied by a pipeline state and domain.
@@ -100,55 +120,24 @@ pub fn finish_candidate(state: &mut PipelineState, domain: &Domain, opts: &Compi
             let grid_2d = cfg.grid_y > 1;
             // Diagonal remapping is a permutation only on square grids.
             if !grid_2d || cfg.grid_x == cfg.grid_y {
-                camping::eliminate(state, opts.machine.partitions, grid_2d);
+                run_pass(state, "camping", |st| {
+                    camping::eliminate(st, opts.machine.partitions, grid_2d)
+                });
+            } else {
+                state.emit(TraceEvent::Note {
+                    message: format!(
+                        "partition camping: diagonal remapping skipped \
+                         ({}x{} grid is not square)",
+                        cfg.grid_x, cfg.grid_y
+                    ),
+                });
             }
         }
     }
     if opts.stages.prefetch {
-        prefetch::prefetch(state, opts.machine.max_regs_per_thread);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use gpgpu_transform::PipelineState;
-
-    fn state(bx: i64, by: i64, tmx: i64, tmy: i64) -> PipelineState {
-        let k = gpgpu_ast::parse_kernel(
-            "__global__ void f(float c[n][m], int n, int m) { c[idy][idx] = 0.0f; }",
-        )
-        .unwrap();
-        let mut st = PipelineState::new(k, gpgpu_analysis::Bindings::new());
-        st.block_x = bx;
-        st.block_y = by;
-        st.thread_merge_x = tmx;
-        st.thread_merge_y = tmy;
-        st
-    }
-
-    #[test]
-    fn launch_for_tiles_domain() {
-        let st = state(128, 1, 1, 4);
-        let cfg = launch_for(&st, &Domain { x: 1024, y: 512 }).unwrap();
-        assert_eq!((cfg.grid_x, cfg.grid_y), (8, 128));
-        assert_eq!((cfg.block_x, cfg.block_y), (128, 1));
-    }
-
-    #[test]
-    fn launch_for_rejects_uneven_tiling() {
-        let st = state(128, 1, 1, 1);
-        assert!(launch_for(&st, &Domain { x: 100, y: 1 }).is_none());
-        let st = state(16, 16, 1, 1);
-        assert!(launch_for(&st, &Domain { x: 64, y: 40 }).is_none());
-    }
-
-    #[test]
-    fn default_explore_space_matches_paper() {
-        let e = ExploreOptions::default();
-        // §4: 128/256/512-thread blocks = merging 8/16/32 half-warp blocks.
-        assert_eq!(e.block_merge_x, vec![8, 16, 32]);
-        assert_eq!(e.thread_merge_y, vec![4, 8, 16, 32]);
+        run_pass(state, "prefetch", |st| {
+            prefetch::prefetch(st, opts.machine.max_regs_per_thread)
+        });
     }
 }
 
@@ -223,10 +212,22 @@ pub fn explore(
 
     let mut best: Option<Explored> = None;
     let mut evaluated = Vec::new();
+    let mut metrics = MetricsRegistry::new();
+    let mut events: Vec<TraceEvent> = Vec::new();
     let mut last_error: Option<String> = None;
-    for outcome in results {
+    for (&(bx, ty, tx), outcome) in combos.iter().zip(results) {
         match outcome {
             Ok(ev) => {
+                metrics.record(ev.candidate.label(), ev.estimate.counter_snapshot());
+                events.push(TraceEvent::CandidateEvaluated {
+                    label: ev.candidate.label(),
+                    block_merge_x: bx,
+                    thread_merge_y: ty,
+                    thread_merge_x: tx,
+                    reduction_elems: None,
+                    time_ms: ev.estimate.time_ms,
+                    rejected: None,
+                });
                 evaluated.push(ev.candidate.clone());
                 let better = best
                     .as_ref()
@@ -239,15 +240,45 @@ pub fn explore(
                         estimate: ev.estimate,
                         chosen: ev.candidate,
                         evaluated: Vec::new(),
+                        metrics: MetricsRegistry::new(),
+                        events: Vec::new(),
                     });
                 }
             }
-            Err(msg) => last_error = Some(msg),
+            Err(msg) => {
+                events.push(TraceEvent::CandidateEvaluated {
+                    label: Candidate {
+                        block_merge_x: bx,
+                        thread_merge_y: ty,
+                        thread_merge_x: tx,
+                        reduction_elems: None,
+                        time_ms: 0.0,
+                    }
+                    .label(),
+                    block_merge_x: bx,
+                    thread_merge_y: ty,
+                    thread_merge_x: tx,
+                    reduction_elems: None,
+                    time_ms: 0.0,
+                    rejected: Some(msg.clone()),
+                });
+                last_error = Some(msg);
+            }
         }
     }
     match best {
         Some(mut b) => {
             b.evaluated = evaluated;
+            metrics.set_chosen(b.chosen.label());
+            events.push(TraceEvent::MergeSelected {
+                block_merge_x: b.chosen.block_merge_x,
+                thread_merge_y: b.chosen.thread_merge_y,
+                thread_merge_x: b.chosen.thread_merge_x,
+                reduction_elems: b.chosen.reduction_elems,
+                time_ms: b.chosen.time_ms,
+            });
+            b.metrics = metrics;
+            b.events = events;
             Ok(b)
         }
         None => Err(CompileError::NoValidConfiguration(
@@ -273,14 +304,19 @@ fn evaluate_candidate(
     tx: i64,
 ) -> Result<EvaluatedCandidate, String> {
     let mut st = coalesced.clone();
-    if bx > 1 {
-        merge::thread_block_merge_x(&mut st, bx).map_err(|e| e.to_string())?;
-    }
-    if ty > 1 {
-        merge::thread_merge_y(&mut st, ty).map_err(|e| e.to_string())?;
-    }
-    if tx > 1 {
-        merge::thread_merge_x(&mut st, tx).map_err(|e| e.to_string())?;
+    if bx > 1 || ty > 1 || tx > 1 {
+        run_pass(&mut st, "merge", |st| -> Result<(), String> {
+            if bx > 1 {
+                merge::thread_block_merge_x(st, bx).map_err(|e| e.to_string())?;
+            }
+            if ty > 1 {
+                merge::thread_merge_y(st, ty).map_err(|e| e.to_string())?;
+            }
+            if tx > 1 {
+                merge::thread_merge_x(st, tx).map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        })?;
     }
     finish_candidate(&mut st, domain, opts);
     let cfg = launch_for(&st, domain)
@@ -312,4 +348,47 @@ fn evaluate_candidate(
         estimate,
         candidate,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_transform::PipelineState;
+
+    fn state(bx: i64, by: i64, tmx: i64, tmy: i64) -> PipelineState {
+        let k = gpgpu_ast::parse_kernel(
+            "__global__ void f(float c[n][m], int n, int m) { c[idy][idx] = 0.0f; }",
+        )
+        .unwrap();
+        let mut st = PipelineState::new(k, gpgpu_analysis::Bindings::new());
+        st.block_x = bx;
+        st.block_y = by;
+        st.thread_merge_x = tmx;
+        st.thread_merge_y = tmy;
+        st
+    }
+
+    #[test]
+    fn launch_for_tiles_domain() {
+        let st = state(128, 1, 1, 4);
+        let cfg = launch_for(&st, &Domain { x: 1024, y: 512 }).unwrap();
+        assert_eq!((cfg.grid_x, cfg.grid_y), (8, 128));
+        assert_eq!((cfg.block_x, cfg.block_y), (128, 1));
+    }
+
+    #[test]
+    fn launch_for_rejects_uneven_tiling() {
+        let st = state(128, 1, 1, 1);
+        assert!(launch_for(&st, &Domain { x: 100, y: 1 }).is_none());
+        let st = state(16, 16, 1, 1);
+        assert!(launch_for(&st, &Domain { x: 64, y: 40 }).is_none());
+    }
+
+    #[test]
+    fn default_explore_space_matches_paper() {
+        let e = ExploreOptions::default();
+        // §4: 128/256/512-thread blocks = merging 8/16/32 half-warp blocks.
+        assert_eq!(e.block_merge_x, vec![8, 16, 32]);
+        assert_eq!(e.thread_merge_y, vec![4, 8, 16, 32]);
+    }
 }

@@ -49,3 +49,10 @@ pub use pipeline::{
     KernelLaunch, StageSet,
 };
 pub use verify::{verify_equivalence, verify_equivalence_with, VerifyError};
+
+// The observability subsystem, re-exported so downstream users (CLI, bench
+// harnesses, tests) need not depend on `gpgpu-trace` directly.
+pub use gpgpu_trace as trace;
+pub use gpgpu_trace::{
+    AstDelta, CounterSnapshot, Json, MetricsRegistry, TraceEvent, TraceSink,
+};

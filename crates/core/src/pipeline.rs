@@ -3,10 +3,40 @@
 use crate::domain::{infer_domain, Domain};
 use crate::explore::{explore, launch_for, Candidate, ExploreOptions};
 use gpgpu_analysis::{ArrayLayout, Bindings};
-use gpgpu_ast::{print_kernel, Kernel, LaunchConfig, PrintOptions, ScalarType};
+use gpgpu_ast::{
+    print_kernel, stmt::count_stmts, AccessSpans, Kernel, LaunchConfig, PrintOptions, ScalarType,
+};
 use gpgpu_sim::{MachineDesc, PerfEstimate, PerfOptions};
+use gpgpu_trace::{AstDelta, Json, MetricsRegistry, TraceEvent, TraceSink};
 use gpgpu_transform::{coalesce, reduction, vectorize, PipelineState};
 use std::fmt;
+use std::time::Instant;
+
+/// Runs one pass over the pipeline state, recording its wall-clock time
+/// and the AST delta (statement count, shared bytes, register estimate)
+/// as a [`TraceEvent::PassCompleted`] event.
+pub(crate) fn run_pass<T>(
+    state: &mut PipelineState,
+    pass: &'static str,
+    f: impl FnOnce(&mut PipelineState) -> T,
+) -> T {
+    let statements_before = count_stmts(&state.kernel.body) as u32;
+    let start = Instant::now();
+    let out = f(state);
+    let micros = start.elapsed().as_micros() as u64;
+    let res = gpgpu_analysis::estimate_resources(&state.kernel);
+    state.emit(TraceEvent::PassCompleted {
+        pass,
+        micros,
+        delta: AstDelta {
+            statements_before,
+            statements_after: count_stmts(&state.kernel.body) as u32,
+            shared_bytes: res.shared_bytes_per_block,
+            registers: res.registers_per_thread,
+        },
+    });
+    out
+}
 
 /// Which optimization stages run — the Figure 12 dissection toggles these
 /// cumulatively.
@@ -92,6 +122,10 @@ pub struct CompileOptions {
     pub explore: ExploreOptions,
     /// Blocks sampled by the timing model's trace.
     pub sample_blocks: usize,
+    /// Source spans of the naive kernel's array accesses
+    /// (see [`gpgpu_ast::access_spans`]); attached to per-access trace
+    /// events. Empty when the caller has no source text.
+    pub spans: AccessSpans,
 }
 
 impl CompileOptions {
@@ -103,12 +137,20 @@ impl CompileOptions {
             stages: StageSet::all(),
             explore: ExploreOptions::default(),
             sample_blocks: gpgpu_sim::timing::DEFAULT_SAMPLE_BLOCKS,
+            spans: AccessSpans::new(),
         }
     }
 
     /// Binds a size parameter.
     pub fn bind(mut self, name: &str, value: i64) -> CompileOptions {
         self.bindings.insert(name.to_string(), value);
+        self
+    }
+
+    /// Builds the access-span side table from the kernel's source text, so
+    /// trace events carry source locations.
+    pub fn with_source(mut self, src: &str) -> CompileOptions {
+        self.spans = gpgpu_ast::access_spans(src);
         self
     }
 
@@ -142,8 +184,12 @@ pub struct CompiledKernel {
     pub estimate: PerfEstimate,
     /// Per-launch estimates.
     pub per_launch: Vec<PerfEstimate>,
-    /// Pass log (what the compiler did and why).
-    pub log: Vec<String>,
+    /// Structured trace of every decision the pipeline made (the winning
+    /// candidate's pass events plus the design-space search events).
+    pub trace: TraceSink,
+    /// Per-candidate simulator counter snapshots from the design-space
+    /// search; the winner is marked chosen.
+    pub metrics: MetricsRegistry,
     /// The optimized source, printed with the paper's shorthand ids.
     pub source: String,
     /// The design-space point that won.
@@ -158,6 +204,43 @@ impl CompiledKernel {
         self.per_launch.iter().map(|e| e.time_ms).sum()
     }
 
+    /// Renders the human-readable pass log (what the compiler did and why),
+    /// one line per trace event.
+    pub fn log(&self) -> Vec<String> {
+        self.trace.render_log()
+    }
+
+    /// Builds the complete `gpgpu-trace/v1` JSON document for this
+    /// compilation: kernel/machine identity, every trace event, per-pass
+    /// timings, per-candidate counter snapshots, and the final estimate.
+    pub fn trace_json(&self, machine: &str) -> Json {
+        let kernel = self
+            .launches
+            .first()
+            .map(|l| l.kernel.name.as_str())
+            .unwrap_or("?");
+        Json::obj([
+            ("schema", Json::str(gpgpu_trace::SCHEMA)),
+            ("kernel", Json::str(kernel)),
+            ("machine", Json::str(machine)),
+            ("time_ms", Json::num(self.total_time_ms())),
+            ("gflops", Json::num(self.gflops())),
+            ("bandwidth_gbps", Json::num(self.effective_bandwidth_gbps())),
+            ("chosen", candidate_json(&self.chosen)),
+            ("events", self.trace.to_json()),
+            ("metrics", self.metrics.to_json()),
+            (
+                "per_launch",
+                Json::Arr(
+                    self.per_launch
+                        .iter()
+                        .map(|e| e.counter_snapshot().to_json())
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Aggregate GFLOPS over the sequence.
     pub fn gflops(&self) -> f64 {
         let flops: u64 = self.per_launch.iter().map(|e| e.stats.flops).sum();
@@ -169,6 +252,23 @@ impl CompiledKernel {
         let bytes: u64 = self.per_launch.iter().map(|e| e.stats.useful_bytes).sum();
         bytes as f64 / (self.total_time_ms() * 1e-3) / 1e9
     }
+}
+
+/// A design-space candidate as a JSON object.
+fn candidate_json(c: &Candidate) -> Json {
+    Json::obj([
+        ("block_merge_x", Json::num(c.block_merge_x as f64)),
+        ("thread_merge_y", Json::num(c.thread_merge_y as f64)),
+        ("thread_merge_x", Json::num(c.thread_merge_x as f64)),
+        (
+            "reduction_elems",
+            match c.reduction_elems {
+                Some(e) => Json::num(e as f64),
+                None => Json::Null,
+            },
+        ),
+        ("time_ms", Json::num(c.time_ms)),
+    ])
 }
 
 /// Compilation failures.
@@ -204,16 +304,17 @@ impl std::error::Error for CompileError {}
 /// the supported naive shape (paper §7 discusses the compiler's limits).
 pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, CompileError> {
     let domain = infer_domain(naive, &opts.bindings).ok_or(CompileError::NoDomain)?;
-    let mut state = PipelineState::new(naive.clone(), opts.bindings.clone());
+    let mut state = PipelineState::new(naive.clone(), opts.bindings.clone())
+        .with_access_spans(opts.spans.clone());
     if opts.stages.vectorize {
-        vectorize::vectorize(&mut state);
-        // On AMD/ATI parts the compiler additionally widens element-wise
-        // kernels aggressively (paper §3.1): float4 first, then float2.
-        if opts.machine.prefers_wide_vectors() {
-            if vectorize::vectorize_amd(&mut state, 4).width == 0 {
-                vectorize::vectorize_amd(&mut state, 2);
+        run_pass(&mut state, "vectorize", |st| {
+            vectorize::vectorize(st);
+            // On AMD/ATI parts the compiler additionally widens element-wise
+            // kernels aggressively (paper §3.1): float4 first, then float2.
+            if opts.machine.prefers_wide_vectors() && vectorize::vectorize_amd(st, 4).width == 0 {
+                vectorize::vectorize_amd(st, 2);
             }
-        }
+        });
     }
 
     if state.kernel.uses_global_sync() {
@@ -222,11 +323,13 @@ pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, 
     if !opts.stages.coalesce {
         return naive_state_compiled(state, domain, opts);
     }
-    coalesce::coalesce(&mut state);
+    run_pass(&mut state, "coalesce", coalesce::coalesce);
 
     let explored = explore(&state, &domain, opts)?;
     let estimate = explored.estimate;
     let source = print_kernel(&explored.state.kernel, PrintOptions::default());
+    let mut trace = explored.state.trace.clone();
+    trace.extend(explored.events);
     Ok(CompiledKernel {
         launches: vec![KernelLaunch {
             kernel: explored.state.kernel.clone(),
@@ -235,7 +338,8 @@ pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, 
         }],
         per_launch: vec![estimate.clone()],
         estimate,
-        log: explored.state.log.clone(),
+        trace,
+        metrics: explored.metrics,
         source,
         chosen: explored.chosen,
         evaluated: explored.evaluated,
@@ -246,7 +350,8 @@ pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, 
 /// baseline of every speedup figure.
 pub fn naive_compiled(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, CompileError> {
     let domain = infer_domain(naive, &opts.bindings).ok_or(CompileError::NoDomain)?;
-    let state = PipelineState::new(naive.clone(), opts.bindings.clone());
+    let state = PipelineState::new(naive.clone(), opts.bindings.clone())
+        .with_access_spans(opts.spans.clone());
     naive_state_compiled(state, domain, opts)
 }
 
@@ -277,6 +382,9 @@ fn naive_state_compiled(
     let estimate = estimate_launch(&st.kernel, &cfg, &st.bindings, opts)
         .map_err(CompileError::Perf)?;
     let source = print_kernel(&st.kernel, PrintOptions::default());
+    let mut metrics = MetricsRegistry::new();
+    metrics.record("base", estimate.counter_snapshot());
+    metrics.set_chosen("base");
     Ok(CompiledKernel {
         launches: vec![KernelLaunch {
             kernel: st.kernel.clone(),
@@ -285,7 +393,8 @@ fn naive_state_compiled(
         }],
         per_launch: vec![estimate.clone()],
         estimate,
-        log: st.log.clone(),
+        trace: st.trace,
+        metrics,
         source,
         chosen: Candidate {
             block_merge_x: 1,
@@ -308,6 +417,8 @@ fn compile_reduction(
     }
     let mut best: Option<(CompiledKernel, f64)> = None;
     let mut evaluated = Vec::new();
+    let mut metrics = MetricsRegistry::new();
+    let mut search_events: Vec<TraceEvent> = Vec::new();
     let mut candidates: Vec<Option<i64>> = vec![None];
     candidates.extend(opts.explore.thread_merge_y.iter().map(|&e| Some(e)));
     for elems in candidates {
@@ -330,7 +441,25 @@ fn compile_reduction(
             reduction_elems: Some(rw.elems_per_thread),
             time_ms: time,
         };
-        evaluated.push(cand.clone());
+        let label = format!("red{}", rw.elems_per_thread);
+        // Duplicate degrees (the `None` probe often lands on an explicit
+        // one) would double-count in the registry.
+        if metrics.candidates().iter().all(|c| c.label != label) {
+            let mut snapshot = e1.counter_snapshot();
+            snapshot.push("stage2_time_ms", e2.time_ms);
+            snapshot.push("total_time_ms", time);
+            metrics.record(label.clone(), snapshot);
+            search_events.push(TraceEvent::CandidateEvaluated {
+                label,
+                block_merge_x: 1,
+                thread_merge_y: 1,
+                thread_merge_x: 1,
+                reduction_elems: Some(rw.elems_per_thread),
+                time_ms: time,
+                rejected: None,
+            });
+            evaluated.push(cand.clone());
+        }
         let better = best.as_ref().map(|(_, t)| time < *t).unwrap_or(true);
         if better {
             let partial_layout =
@@ -340,11 +469,11 @@ fn compile_reduction(
                 print_kernel(&rw.stage1, PrintOptions::default()),
                 print_kernel(&rw.stage2, PrintOptions::default())
             );
-            let mut log = state.log.clone();
-            log.push(format!(
-                "reduction: restructured into two launches, {} elements/thread",
-                rw.elems_per_thread
-            ));
+            let mut trace = state.trace.clone();
+            trace.emit(TraceEvent::ReductionRestructured {
+                elems_per_thread: rw.elems_per_thread,
+                launches: 2,
+            });
             let compiled = CompiledKernel {
                 launches: vec![
                     KernelLaunch {
@@ -360,7 +489,8 @@ fn compile_reduction(
                 ],
                 estimate: e1.clone(),
                 per_launch: vec![e1, e2],
-                log,
+                trace,
+                metrics: MetricsRegistry::new(),
                 source,
                 chosen: cand,
                 evaluated: Vec::new(),
@@ -371,6 +501,20 @@ fn compile_reduction(
     match best {
         Some((mut compiled, _)) => {
             compiled.evaluated = evaluated;
+            let chosen = compiled.chosen.clone();
+            metrics.set_chosen(format!(
+                "red{}",
+                chosen.reduction_elems.expect("reduction candidate")
+            ));
+            compiled.trace.extend(search_events);
+            compiled.trace.emit(TraceEvent::MergeSelected {
+                block_merge_x: chosen.block_merge_x,
+                thread_merge_y: chosen.thread_merge_y,
+                thread_merge_x: chosen.thread_merge_x,
+                reduction_elems: chosen.reduction_elems,
+                time_ms: chosen.time_ms,
+            });
+            compiled.metrics = metrics;
             Ok(compiled)
         }
         None => Err(CompileError::NoValidConfiguration(

@@ -169,7 +169,7 @@ pub fn radix2_program(n: i64) -> (Vec<KernelLaunch>, Workspace) {
     let mut l = 1i64;
     let mut stage = 0usize;
     while l < n {
-        let (src, dst) = if stage % 2 == 0 { ("x", "y") } else { ("y", "x") };
+        let (src, dst) = if stage.is_multiple_of(2) { ("x", "y") } else { ("y", "x") };
         let wr = format!("w{stage}_re");
         let wi = format!("w{stage}_im");
         // Full-length tables (indexed by thread id) avoid a second modulo.
@@ -209,7 +209,7 @@ __global__ void fft2_s{stage}(float {src}_re[{n}], float {src}_im[{n}], float {d
         l *= 2;
         stage += 1;
     }
-    let result_in = if stage % 2 == 0 { "x" } else { "y" };
+    let result_in = if stage.is_multiple_of(2) { "x" } else { "y" };
     (
         launches,
         Workspace {
@@ -261,7 +261,7 @@ pub fn radix8_like_program(n: i64, simplify: bool) -> (Vec<KernelLaunch>, Worksp
     let mut stage = 0usize;
     const REV: [usize; 8] = [0, 4, 2, 6, 1, 5, 3, 7];
     while l < n {
-        let (src, dst) = if stage % 2 == 0 { ("x", "y") } else { ("y", "x") };
+        let (src, dst) = if stage.is_multiple_of(2) { ("x", "y") } else { ("y", "x") };
         // Stage twiddles w(j·k, 8l) for k = 1..8, flattened [7][m].
         let twr = format!("t{stage}_re");
         let twi = format!("t{stage}_im");
@@ -301,10 +301,9 @@ pub fn radix8_like_program(n: i64, simplify: bool) -> (Vec<KernelLaunch>, Worksp
             ));
         }
         // Bit-reversed working set.
-        for k in 0..8 {
+        for (k, rev) in REV.iter().enumerate() {
             body.push_str(&format!(
-                "    float v{k}_r = y{}_r;\n    float v{k}_i = y{}_i;\n",
-                REV[k], REV[k]
+                "    float v{k}_r = y{rev}_r;\n    float v{k}_i = y{rev}_i;\n"
             ));
         }
         // Level 1.
@@ -370,7 +369,7 @@ pub fn radix8_like_program(n: i64, simplify: bool) -> (Vec<KernelLaunch>, Worksp
         l *= 8;
         stage += 1;
     }
-    let result_in = if stage % 2 == 0 { "x" } else { "y" };
+    let result_in = if stage.is_multiple_of(2) { "x" } else { "y" };
     (
         launches,
         Workspace {

@@ -1,0 +1,620 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `proptest` cannot be fetched. This shim implements the (small) API
+//! subset this workspace's property tests use — `proptest!`, strategies
+//! over ranges / tuples / `prop_oneof!` / `prop_map` / `prop_recursive`,
+//! `any::<T>()`, regex-ish string strategies, and the `prop_assert*`
+//! macros — on top of a deterministic splitmix PRNG.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its generated inputs via `Debug` where available, but is not
+//! minimized), and string "regex" strategies support only the patterns
+//! this repo uses (`\PC{lo,hi}` and single character classes
+//! `[...]{lo,hi}`).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Deterministic 64-bit PRNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift rejection-free mapping is fine for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// How strategies produce values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+
+    /// Builds a bounded-depth recursive strategy: `self` is the leaf, and
+    /// `recurse` wraps the previous level. `depth` controls the number of
+    /// wrapping levels; the size hints of real proptest are ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            level = recurse(level).boxed();
+        }
+        level
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let frac = rng.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+        self.start + frac * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        ((self.start as f64)..(self.end as f64)).generate(rng) as f32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+    }
+}
+
+/// Strategy generating any value of `T` (`any::<u64>()`-style).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// `prop::collection` — strategies over containers.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Builds a `Vec` strategy: each element from `element`, length in
+    /// `len` (half-open, like real proptest's `0..4`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::sample` — strategies drawing from fixed pools.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding clones of elements of a fixed vector.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Uniformly selects one of `items` (which must be non-empty).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select(items)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// The `prop::` facade (real proptest exposes these as `prop::collection`
+/// and `prop::sample` from its prelude).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+// ---------------------------------------------------------------------
+// String "regex" strategies
+// ---------------------------------------------------------------------
+
+/// The character pool and length bounds behind a `&str` pattern strategy.
+#[derive(Debug, Clone)]
+struct StringPattern {
+    /// Explicit characters; empty means "any printable char" (`\PC`).
+    pool: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+fn parse_pattern(pattern: &str) -> StringPattern {
+    let (pool, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (Vec::new(), rest)
+    } else if let Some(body) = pattern.strip_prefix('[') {
+        let mut pool = Vec::new();
+        let mut chars = body.chars().peekable();
+        let mut closed = false;
+        let mut consumed = 1; // the '['
+        while let Some(c) = chars.next() {
+            consumed += c.len_utf8();
+            match c {
+                ']' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => {
+                    if let Some(esc) = chars.next() {
+                        consumed += esc.len_utf8();
+                        pool.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        });
+                    }
+                }
+                _ => {
+                    // `a-z` style range (only when a '-' sits between two
+                    // class members; a trailing '-' is literal).
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(&end) if end != ']' => {
+                                chars.next();
+                                chars.next();
+                                consumed += 1 + end.len_utf8();
+                                for v in c as u32..=end as u32 {
+                                    if let Some(ch) = char::from_u32(v) {
+                                        pool.push(ch);
+                                    }
+                                }
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    pool.push(c);
+                }
+            }
+        }
+        assert!(closed, "unterminated character class in `{pattern}`");
+        (pool, &pattern[consumed..])
+    } else {
+        panic!("unsupported string strategy pattern `{pattern}`");
+    };
+
+    let reps = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("pattern `{pattern}` needs a {{lo,hi}} repetition"));
+    let (lo, hi) = match reps.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().expect("repetition lower bound"),
+            hi.parse().expect("repetition upper bound"),
+        ),
+        None => {
+            let n = reps.parse().expect("repetition count");
+            (n, n)
+        }
+    };
+    StringPattern { pool, lo, hi }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let p = parse_pattern(self);
+        let len = p.lo + rng.below((p.hi - p.lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                if p.pool.is_empty() {
+                    // `\PC`: any non-control scalar value below the
+                    // surrogate range, biased toward ASCII.
+                    if rng.next_u64() & 3 != 0 {
+                        (b' ' + rng.below(95) as u8) as char
+                    } else {
+                        char::from_u32(0xA0 + rng.below(0xD800 - 0xA0) as u32).unwrap_or(' ')
+                    }
+                } else {
+                    p.pool[rng.below(p.pool.len() as u64) as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner and config
+// ---------------------------------------------------------------------
+
+/// Test-runner configuration (the fields this workspace sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim does not shrink.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; the shim never rejects cases globally.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Everything the generated tests and macros need in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Any, Arbitrary, BoxedStrategy, Just, OneOf, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "{}: {:?} != {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests. Mirrors real proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0i64..10, y in any::<bool>()) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Stable per-test seed: deterministic runs, distinct streams.
+            let test_seed = {
+                let name = concat!(module_path!(), "::", stringify!($name));
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            };
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::new(test_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)*
+                // The body may consume the inputs; render them first so a
+                // failure can still report what was generated.
+                let inputs = format!("{:?}", ($(&$arg,)*));
+                let outcome: ::std::result::Result<(), String> = (|| {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!("proptest case {case} failed: {msg}\ninputs: {inputs}");
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..2000 {
+            let v = (-5i64..7).generate(&mut rng);
+            assert!((-5..7).contains(&v));
+            let u = (0usize..3).generate(&mut rng);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn char_class_patterns_parse() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..500 {
+            let s = "[a-c9\\n-]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc9\n-".contains(c)), "{s:?}");
+        }
+        let any = "\\PC{0,16}".generate(&mut rng);
+        assert!(any.chars().count() <= 16);
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(1i64), (10i64..20).prop_map(|v| v * 2)];
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v), "{v}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0i64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+}

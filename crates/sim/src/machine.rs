@@ -164,10 +164,9 @@ impl MachineDesc {
         } else {
             self.regs_per_sm / (regs_per_thread * threads_per_block).max(1)
         };
-        let by_shared = if shared_bytes == 0 {
-            self.max_blocks_per_sm
-        } else {
-            (self.shared_per_sm as u64 / shared_bytes) as u32
+        let by_shared = match (self.shared_per_sm as u64).checked_div(shared_bytes) {
+            None => self.max_blocks_per_sm,
+            Some(n) => n as u32,
         };
         by_threads
             .min(by_regs)

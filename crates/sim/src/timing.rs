@@ -119,6 +119,39 @@ pub struct PerfEstimate {
 }
 
 impl PerfEstimate {
+    /// Flattens the estimate plus its [`ExecStats`] into one ordered
+    /// counter snapshot for the metrics registry. Counter names are part
+    /// of the `gpgpu-trace/v1` schema.
+    pub fn counter_snapshot(&self) -> gpgpu_trace::CounterSnapshot {
+        let mut s = gpgpu_trace::CounterSnapshot::new();
+        s.push("time_ms", self.time_ms);
+        s.push("gflops", self.gflops);
+        s.push("bandwidth_gbps", self.effective_bandwidth_gbps);
+        s.push("blocks_per_sm", self.blocks_per_sm as f64);
+        s.push("active_warps", self.active_warps as f64);
+        s.push("compute_cycles", self.compute_cycles);
+        s.push("memory_cycles", self.memory_cycles);
+        s.push("latency_cycles", self.latency_cycles);
+        s.push("partition_imbalance", self.partition_imbalance);
+        s.push("coalescing_efficiency", self.coalescing_efficiency);
+        s.push("blocks_executed", self.stats.blocks_executed as f64);
+        s.push("total_blocks", self.stats.total_blocks as f64);
+        s.push("warp_insts", self.stats.warp_insts as f64);
+        s.push("flops", self.stats.flops as f64);
+        s.push("global_transactions", self.stats.global_transactions as f64);
+        s.push("global_bytes", self.stats.global_bytes as f64);
+        s.push("useful_bytes", self.stats.useful_bytes as f64);
+        s.push("gmem_requests", self.stats.gmem_requests as f64);
+        s.push("shared_accesses", self.stats.shared_accesses as f64);
+        s.push(
+            "shared_conflict_cycles",
+            self.stats.shared_conflict_cycles as f64,
+        );
+        s.push("loop_truncation", self.stats.loop_truncation);
+        s.push("gsync_crossings", self.stats.gsync_crossings as f64);
+        s
+    }
+
     /// The bounding component's name, for reports.
     pub fn bound_by(&self) -> &'static str {
         let m = self
@@ -212,7 +245,7 @@ pub fn finish(
     blocks_per_sm: u32,
     stats: ExecStats,
 ) -> PerfEstimate {
-    let warps_per_block = (cfg.threads_per_block() + machine.warp_size - 1) / machine.warp_size;
+    let warps_per_block = cfg.threads_per_block().div_ceil(machine.warp_size);
     let active_warps = (blocks_per_sm * warps_per_block).max(1);
     // A launch with fewer blocks than SMs leaves the rest idle.
     let busy_sms = (machine.sm_count as u64).min(cfg.total_blocks()).max(1) as f64;

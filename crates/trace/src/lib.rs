@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # gpgpu-trace
+//!
+//! Structured observability for the GPGPU optimizing compiler:
+//!
+//! - [`TraceEvent`] — one typed variant per pipeline decision (vectorize
+//!   applied/skipped, per-access §3.2 coalescing verdicts, G2S/G2R
+//!   classification, merge-degree selection, prefetch register-pressure
+//!   skips, partition-camping fix kinds, per-pass wall-clock timings with
+//!   AST deltas).
+//! - [`TraceSink`] — the event collector threaded through the pass
+//!   pipeline via `PipelineState`.
+//! - [`MetricsRegistry`] / [`CounterSnapshot`] — per-candidate simulator
+//!   counter snapshots recorded by the design-space search.
+//! - [`json`] — a std-only JSON document model with a stable serializer
+//!   and a minimal parser, shared by `--trace-json`, `--metrics`, and the
+//!   `BENCH_*.json` artifacts.
+//!
+//! The emitted document schema is versioned as `gpgpu-trace/v1`
+//! ([`SCHEMA`]); event `kind` strings and counter names are stable.
+
+pub mod event;
+pub mod json;
+pub mod sink;
+
+pub use event::{AstDelta, TraceEvent};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use sink::{CandidateMetrics, CounterSnapshot, MetricsRegistry, TraceSink};
+
+/// Version tag stamped into every emitted trace document.
+pub const SCHEMA: &str = "gpgpu-trace/v1";

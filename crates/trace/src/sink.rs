@@ -1,0 +1,299 @@
+//! The event sink threaded through the pass pipeline, and the metrics
+//! registry that snapshots the simulator's counters for every explored
+//! design-space candidate.
+
+use crate::event::TraceEvent;
+use crate::json::Json;
+
+/// Collects [`TraceEvent`]s in emission order.
+///
+/// The sink is a plain value: pipeline states clone it when the design-space
+/// search forks candidate versions, each clone's events diverge with its
+/// state, and the winner's sink survives into the compiled artifact.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// Records one event.
+    pub fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Appends another sink's events (used when pipeline-level events join
+    /// the winning candidate's events).
+    pub fn extend(&mut self, events: impl IntoIterator<Item = TraceEvent>) {
+        self.events.extend(events);
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event kinds in order — what the golden tests assert against.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        self.events.iter().map(TraceEvent::kind).collect()
+    }
+
+    /// Renders the human-readable pass log (one line per event).
+    pub fn render_log(&self) -> Vec<String> {
+        self.events.iter().map(TraceEvent::message).collect()
+    }
+
+    /// The events as a JSON array (`gpgpu-trace/v1`).
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.events.iter().map(TraceEvent::to_json).collect())
+    }
+}
+
+/// An ordered set of named numeric counters — one flattened snapshot of a
+/// `PerfEstimate` plus its `ExecStats`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CounterSnapshot {
+    entries: Vec<(String, f64)>,
+}
+
+impl CounterSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> CounterSnapshot {
+        CounterSnapshot::default()
+    }
+
+    /// Appends one counter. Order is preserved into the JSON schema.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.entries.push((name.into(), value));
+    }
+
+    /// Looks a counter up by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Iterates `(name, value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no counters were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.entries
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                .collect(),
+        )
+    }
+}
+
+/// One design-space candidate's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateMetrics {
+    /// Stable label, e.g. `bx8_ty4_tx1`.
+    pub label: String,
+    /// Full counter snapshot of the candidate's estimate.
+    pub counters: CounterSnapshot,
+}
+
+/// Registry of per-candidate counter snapshots for one compilation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    candidates: Vec<CandidateMetrics>,
+    chosen: Option<String>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Records one candidate's snapshot.
+    pub fn record(&mut self, label: impl Into<String>, counters: CounterSnapshot) {
+        self.candidates.push(CandidateMetrics {
+            label: label.into(),
+            counters,
+        });
+    }
+
+    /// Marks the winning candidate by label.
+    pub fn set_chosen(&mut self, label: impl Into<String>) {
+        self.chosen = Some(label.into());
+    }
+
+    /// All recorded candidates, in evaluation order.
+    pub fn candidates(&self) -> &[CandidateMetrics] {
+        &self.candidates
+    }
+
+    /// The winning candidate's label, when one was marked.
+    pub fn chosen(&self) -> Option<&str> {
+        self.chosen.as_deref()
+    }
+
+    /// The winning candidate's snapshot, when present.
+    pub fn chosen_counters(&self) -> Option<&CounterSnapshot> {
+        let label = self.chosen.as_deref()?;
+        self.candidates
+            .iter()
+            .find(|c| c.label == label)
+            .map(|c| &c.counters)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The registry as a JSON object (`candidates` array plus `chosen`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "chosen",
+                match &self.chosen {
+                    Some(l) => Json::str(l),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "candidates",
+                Json::Arr(
+                    self.candidates
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("label", Json::str(&c.label)),
+                                ("counters", c.counters.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders a fixed-width comparison table of the key counters across
+    /// candidates (the `--metrics` CLI view); the chosen row is starred.
+    pub fn render_table(&self) -> String {
+        const COLS: [&str; 6] = [
+            "time_ms",
+            "gflops",
+            "bandwidth_gbps",
+            "active_warps",
+            "global_transactions",
+            "coalescing_efficiency",
+        ];
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<16} {:>10} {:>10} {:>10} {:>12} {:>14} {:>12}\n",
+            "candidate", COLS[0], COLS[1], COLS[2], COLS[3], COLS[4], "coalesce_eff"
+        ));
+        for c in &self.candidates {
+            let star = if Some(c.label.as_str()) == self.chosen.as_deref() {
+                "*"
+            } else {
+                " "
+            };
+            let cell = |name: &str| match c.counters.get(name) {
+                Some(v) if v == v.trunc() && v.abs() < 1e15 => format!("{}", v as i64),
+                Some(v) => format!("{v:.4}"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{star} {:<16} {:>10} {:>10} {:>10} {:>12} {:>14} {:>12}\n",
+                c.label,
+                cell(COLS[0]),
+                cell(COLS[1]),
+                cell(COLS[2]),
+                cell(COLS[3]),
+                cell(COLS[4]),
+                cell(COLS[5]),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_preserves_order_and_renders() {
+        let mut sink = TraceSink::new();
+        assert!(sink.is_empty());
+        sink.emit(TraceEvent::CampingClean);
+        sink.emit(TraceEvent::PrefetchApplied { loads: 2 });
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.kinds(), vec!["camping-clean", "prefetch"]);
+        assert_eq!(sink.render_log().len(), 2);
+        let json = sink.to_json();
+        assert_eq!(json.as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn registry_tracks_chosen_candidate() {
+        let mut reg = MetricsRegistry::new();
+        let mut snap = CounterSnapshot::new();
+        snap.push("time_ms", 0.5);
+        snap.push("gflops", 120.0);
+        reg.record("bx8_ty4_tx1", snap.clone());
+        let mut faster = snap.clone();
+        faster.push("extra", 1.0);
+        reg.record("bx16_ty8_tx1", faster);
+        reg.set_chosen("bx16_ty8_tx1");
+        assert_eq!(reg.candidates().len(), 2);
+        assert_eq!(reg.chosen(), Some("bx16_ty8_tx1"));
+        assert_eq!(reg.chosen_counters().unwrap().get("extra"), Some(1.0));
+        let json = reg.to_json();
+        assert_eq!(
+            json.get("chosen").and_then(Json::as_str),
+            Some("bx16_ty8_tx1")
+        );
+        assert_eq!(json.get("candidates").and_then(Json::as_arr).unwrap().len(), 2);
+        let table = reg.render_table();
+        assert!(table.contains("* bx16_ty8_tx1"), "{table}");
+        assert!(table.contains("0.5"), "{table}");
+    }
+
+    #[test]
+    fn snapshot_lookup_and_order() {
+        let mut s = CounterSnapshot::new();
+        s.push("z", 1.0);
+        s.push("a", 2.0);
+        assert_eq!(s.get("a"), Some(2.0));
+        assert_eq!(s.get("missing"), None);
+        let names: Vec<_> = s.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["z", "a"]);
+        assert_eq!(s.to_json().compact(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -15,6 +15,7 @@ use gpgpu_analysis::{
     collect_accesses, resolve_layouts_padded, Affine, PartitionGeometry,
 };
 use gpgpu_ast::{visit, Builtin, Expr, ScalarType, Stmt};
+use gpgpu_trace::TraceEvent;
 use std::collections::HashSet;
 
 /// What the camping pass did.
@@ -102,17 +103,25 @@ pub fn eliminate(
     let mut report = CampingReport::default();
     let camping = detect(state, geometry);
     if camping.is_empty() {
+        state.emit(TraceEvent::CampingClean);
         return report;
     }
 
     if grid_2d {
         apply_diagonal(state);
         report.diagonal = true;
-        state.note("camping: applied diagonal block remapping");
+        state.emit(TraceEvent::CampingFixed {
+            fix: "diagonal",
+            arrays: camping,
+            detail: "block remapping".into(),
+        });
         return report;
     }
 
     let Ok(layouts) = resolve_layouts_padded(&state.kernel, &state.bindings) else {
+        state.emit(TraceEvent::CampingUnfixed {
+            arrays: camping.clone(),
+        });
         report.unfixed = camping;
         return report;
     };
@@ -142,11 +151,18 @@ pub fn eliminate(
         };
         if rotated_loops.insert(loop_var.clone()) {
             rotate_loop(state, &loop_var, offset_words, row_len);
-            state.note(format!(
-                "camping: rotated loop `{loop_var}` by {offset_words}*bidx (mod {row_len}) for {array}"
-            ));
+            state.emit(TraceEvent::CampingFixed {
+                fix: "offset",
+                arrays: vec![array.clone()],
+                detail: format!("rotated loop `{loop_var}` by {offset_words}*bidx (mod {row_len})"),
+            });
         }
         report.offset_arrays.push(array);
+    }
+    if !report.unfixed.is_empty() {
+        state.emit(TraceEvent::CampingUnfixed {
+            arrays: report.unfixed.clone(),
+        });
     }
     report
 }
@@ -185,7 +201,7 @@ fn loop_walking(body: &[Stmt], array: &str) -> Option<String> {
 /// different partition and wraps; the loop still visits every column
 /// exactly once, so any co-indexed access stays consistent).
 fn rotate_loop(state: &mut PipelineState, var: &str, offset_words: i64, row_len: i64) {
-    fn rec(body: &mut Vec<Stmt>, var: &str, off: i64, w: i64) -> bool {
+    fn rec(body: &mut [Stmt], var: &str, off: i64, w: i64) -> bool {
         for stmt in body.iter_mut() {
             if let Stmt::For(l) = stmt {
                 if l.var == var {

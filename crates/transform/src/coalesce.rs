@@ -14,12 +14,45 @@
 use crate::staging::{StagingInfo, StagingPattern, HALF_WARP};
 use crate::PipelineState;
 use gpgpu_analysis::{
-    collect_accesses, resolve_layouts_padded, Affine, CoalesceVerdict, GlobalAccess, Sym,
+    collect_accesses, resolve_layouts_padded, AccessTarget, Affine, CoalesceVerdict, GlobalAccess,
+    NonCoalescedReason, Sym,
 };
 use gpgpu_ast::{
-    builder, visit, Builtin, Expr, ForLoop, Kernel, LValue, LoopUpdate, ScalarType, Stmt,
+    builder, visit, Builtin, Expr, ForLoop, Kernel, LValue, LoopUpdate, PrintOptions, ScalarType,
+    Stmt,
 };
+use gpgpu_trace::TraceEvent;
 use std::collections::HashMap;
+
+/// Schema name of a coalescing verdict (`gpgpu-trace/v1` strings).
+fn verdict_name(v: CoalesceVerdict) -> &'static str {
+    match v {
+        CoalesceVerdict::Coalesced => "coalesced",
+        CoalesceVerdict::NotCoalesced(NonCoalescedReason::BadOffsets) => "bad-offsets",
+        CoalesceVerdict::NotCoalesced(NonCoalescedReason::MisalignedBase) => "misaligned-base",
+        CoalesceVerdict::Unresolved => "unresolved",
+    }
+}
+
+/// Schema name of a load's destination: G2S/G2R per §3.3, `store` for writes.
+fn access_target_name(acc: &GlobalAccess) -> &'static str {
+    if acc.is_write {
+        "store"
+    } else {
+        match acc.target {
+            AccessTarget::Register => "G2R",
+            AccessTarget::Shared => "G2S",
+        }
+    }
+}
+
+/// Renders index expressions as `[i][j]` for trace events.
+fn render_indices(indices: &[Expr]) -> String {
+    indices
+        .iter()
+        .map(|ix| format!("[{}]", gpgpu_ast::printer::expr_str(ix, PrintOptions::default())))
+        .collect()
+}
 
 /// What the coalescing pass did to each candidate access.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -47,11 +80,24 @@ pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
     let layouts = match resolve_layouts_padded(&state.kernel, &state.bindings) {
         Ok(l) => l,
         Err(e) => {
-            state.note(format!("coalesce: cannot resolve layouts ({e}); skipped"));
+            state.emit(TraceEvent::CoalescePassSkipped {
+                reason: e.to_string(),
+            });
             return report;
         }
     };
     let accesses = collect_accesses(&state.kernel, &layouts, &state.bindings);
+    // Record the §3.2 verdict and G2S/G2R classification of every access.
+    for acc in &accesses {
+        state.emit(TraceEvent::AccessClassified {
+            array: acc.array.clone(),
+            index: render_indices(&acc.indices),
+            verdict: verdict_name(acc.verdict).into(),
+            target: access_target_name(acc).into(),
+            is_write: acc.is_write,
+            span: state.span_of(&acc.array),
+        });
+    }
 
     // Plan staging for each convertible non-coalesced read.
     let mut loop_plans: HashMap<String, Vec<StagingInfo>> = HashMap::new();
@@ -62,12 +108,22 @@ pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
             continue;
         }
         if acc.verdict == CoalesceVerdict::Unresolved {
+            state.emit(TraceEvent::CoalesceSkippedAccess {
+                array: acc.array.clone(),
+                reason: "unresolved index".into(),
+                span: state.access_spans.get(&acc.array).copied(),
+            });
             report
                 .skipped
                 .push((acc.array.clone(), "unresolved index".into()));
             continue;
         }
         let Some((pattern, loop_var)) = classify_pattern(acc) else {
+            state.emit(TraceEvent::CoalesceSkippedAccess {
+                array: acc.array.clone(),
+                reason: "no data reuse in staged segment".into(),
+                span: state.access_spans.get(&acc.array).copied(),
+            });
             report
                 .skipped
                 .push((acc.array.clone(), "no data reuse in staged segment".into()));
@@ -136,6 +192,11 @@ pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
             if failed.contains(lv) {
                 for p in plans {
                     report.converted.retain(|(a, _)| a != &p.source);
+                    state.emit(TraceEvent::CoalesceSkippedAccess {
+                        array: p.source.clone(),
+                        reason: "loop trip count not divisible by 16".into(),
+                        span: state.access_spans.get(&p.source).copied(),
+                    });
                     report.skipped.push((
                         p.source.clone(),
                         "loop trip count not divisible by 16".into(),
@@ -151,14 +212,15 @@ pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
         apply_straightline(&mut state.kernel, &info, &resolve);
         placed.push(info);
     }
-    state.stagings.extend(placed);
-
-    if !report.converted.is_empty() {
-        state.note(format!(
-            "coalesce: converted {} access(es), block set to 16x1",
-            report.converted.len()
-        ));
+    for info in &placed {
+        state.emit(TraceEvent::CoalesceStaged {
+            array: info.source.clone(),
+            shared: info.shared.clone(),
+            pattern: pattern_name(&info.pattern).into(),
+            span: state.access_spans.get(&info.source).copied(),
+        });
     }
+    state.stagings.extend(placed);
     report
 }
 
@@ -553,7 +615,9 @@ fn try_exchange(state: &mut PipelineState, report: &mut CoalesceReport) -> bool 
     report
         .converted
         .push((array.clone(), "idx/idy exchange through tile".into()));
-    state.note("coalesce: applied transpose-style idx/idy exchange, block set to 16x16");
+    state.emit(TraceEvent::ExchangeApplied {
+        array: array.clone(),
+    });
     true
 }
 

@@ -31,7 +31,8 @@ pub mod vectorize;
 pub use staging::{StagingInfo, StagingPattern};
 
 use gpgpu_analysis::Bindings;
-use gpgpu_ast::Kernel;
+use gpgpu_ast::{AccessSpans, Kernel, Span};
+use gpgpu_trace::{TraceEvent, TraceSink};
 
 /// The state threaded through the pass pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,9 +51,11 @@ pub struct PipelineState {
     pub thread_merge_x: i64,
     /// Work items folded into each thread along Y by thread merge.
     pub thread_merge_y: i64,
-    /// Human-readable log of what each pass did (the paper touts
-    /// understandable output; the log explains it).
-    pub log: Vec<String>,
+    /// Structured record of every decision the passes made (the paper
+    /// touts understandable output; the trace explains it).
+    pub trace: TraceSink,
+    /// Source spans of the naive kernel's array accesses, for diagnostics.
+    pub access_spans: AccessSpans,
 }
 
 impl PipelineState {
@@ -67,13 +70,31 @@ impl PipelineState {
             stagings: Vec::new(),
             thread_merge_x: 1,
             thread_merge_y: 1,
-            log: Vec::new(),
+            trace: TraceSink::new(),
+            access_spans: AccessSpans::new(),
         }
     }
 
-    /// Records a pass action in the log.
-    pub fn note(&mut self, msg: impl Into<String>) {
-        self.log.push(msg.into());
+    /// Attaches the source-span side table built by
+    /// [`gpgpu_ast::access_spans`].
+    pub fn with_access_spans(mut self, spans: AccessSpans) -> PipelineState {
+        self.access_spans = spans;
+        self
+    }
+
+    /// Records a structured trace event.
+    pub fn emit(&mut self, event: TraceEvent) {
+        self.trace.emit(event);
+    }
+
+    /// Source span of an array's first subscripted use, when captured.
+    pub fn span_of(&self, array: &str) -> Option<Span> {
+        self.access_spans.get(array).copied()
+    }
+
+    /// Renders the human-readable pass log from the trace.
+    pub fn log(&self) -> Vec<String> {
+        self.trace.render_log()
     }
 
     /// Resolves a scalar name against the bindings and `size` pragmas.

@@ -62,10 +62,12 @@ pub fn thread_block_merge_x(state: &mut PipelineState, n: i64) -> Result<(), Mer
         replace_staging_region(&mut state.kernel.body, &info.shared, &replacement);
     }
     state.block_x = new_bx;
-    state.note(format!(
-        "thread-block merge: {n} blocks along X, block is now {}x{}",
-        state.block_x, state.block_y
-    ));
+    state.emit(gpgpu_trace::TraceEvent::BlockMerge {
+        axis: "X",
+        factor: n,
+        block_x: state.block_x,
+        block_y: state.block_y,
+    });
     Ok(())
 }
 
@@ -114,10 +116,12 @@ pub fn thread_block_merge_y(state: &mut PipelineState, n: i64) -> Result<(), Mer
         });
     }
     state.block_y = new_by;
-    state.note(format!(
-        "thread-block merge: {n} blocks along Y, block is now {}x{}",
-        state.block_x, state.block_y
-    ));
+    state.emit(gpgpu_trace::TraceEvent::BlockMerge {
+        axis: "Y",
+        factor: n,
+        block_x: state.block_x,
+        block_y: state.block_y,
+    });
     Ok(())
 }
 
@@ -201,11 +205,11 @@ fn thread_merge(state: &mut PipelineState, n: i64, axis: Axis) -> Result<(), Mer
         Axis::X => state.thread_merge_x *= n,
         Axis::Y => state.thread_merge_y *= n,
     }
-    state.note(format!(
-        "thread merge: {n} threads along {}, each thread now computes {} element(s)",
-        if axis == Axis::X { "X" } else { "Y" },
-        state.thread_merge_x * state.thread_merge_y
-    ));
+    state.emit(gpgpu_trace::TraceEvent::ThreadMerge {
+        axis: if axis == Axis::X { "X" } else { "Y" },
+        factor: n,
+        elements_per_thread: state.thread_merge_x * state.thread_merge_y,
+    });
     Ok(())
 }
 
@@ -220,10 +224,8 @@ fn replicated_symbols(body: &[Stmt], id: Builtin) -> HashSet<String> {
                 name,
                 init: Some(e),
                 ..
-            } => {
-                if expr_tainted(e, id, &set) {
-                    set.insert(name.clone());
-                }
+            } if expr_tainted(e, id, &set) => {
+                set.insert(name.clone());
             }
             Stmt::Assign { lhs, rhs } => {
                 let tainted = expr_tainted(rhs, id, &set)

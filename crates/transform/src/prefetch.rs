@@ -37,7 +37,11 @@ pub fn prefetch(state: &mut PipelineState, register_budget: u32) -> PrefetchRepo
     // the second (next-iteration) address site.
     if est.registers_per_thread + 3 * staged_loads as u32 > register_budget {
         report.skipped_for_registers = true;
-        state.note("prefetch: skipped (register budget exhausted)");
+        state.emit(gpgpu_trace::TraceEvent::PrefetchSkipped {
+            reason: "register budget exhausted".into(),
+            registers_per_thread: est.registers_per_thread + 3 * staged_loads as u32,
+            register_budget,
+        });
         return report;
     }
 
@@ -47,10 +51,9 @@ pub fn prefetch(state: &mut PipelineState, register_budget: u32) -> PrefetchRepo
     let body = std::mem::take(&mut state.kernel.body);
     state.kernel.body = rewrite_body(body, &shared_names, &globals, &mut counter, &mut report);
     if report.prefetched > 0 {
-        state.note(format!(
-            "prefetch: double-buffered {} staged load(s)",
-            report.prefetched
-        ));
+        state.emit(gpgpu_trace::TraceEvent::PrefetchApplied {
+            loads: report.prefetched,
+        });
     }
     report
 }

@@ -243,17 +243,19 @@ fn match_pattern(state: &PipelineState) -> Option<ReductionPattern> {
     // Optional preamble: t[idx] = map(idx); __gsync();
     let mut pos = 0;
     let mut preamble: Option<(String, Expr)> = None;
-    if let Some(Stmt::Assign { lhs, rhs }) = body.first() {
-        if let LValue::Index { array, indices } = lhs {
-            if indices.len() == 1
-                && indices[0] == Expr::Builtin(Builtin::IdX)
-                && kernel.param(array).is_some()
-            {
-                preamble = Some((array.clone(), rhs.clone()));
-                pos = 1;
-                if matches!(body.get(pos), Some(Stmt::GlobalSync)) {
-                    pos += 1;
-                }
+    if let Some(Stmt::Assign {
+        lhs: LValue::Index { array, indices },
+        rhs,
+    }) = body.first()
+    {
+        if indices.len() == 1
+            && indices[0] == Expr::Builtin(Builtin::IdX)
+            && kernel.param(array).is_some()
+        {
+            preamble = Some((array.clone(), rhs.clone()));
+            pos = 1;
+            if matches!(body.get(pos), Some(Stmt::GlobalSync)) {
+                pos += 1;
             }
         }
     }

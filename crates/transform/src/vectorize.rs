@@ -78,11 +78,15 @@ pub fn vectorize(state: &mut PipelineState) -> VectorizeReport {
         apply_to_array(state, &array, &resolve);
         report.vectorized.push(array);
     }
-    if !report.vectorized.is_empty() {
-        state.note(format!(
-            "vectorize: widened {} to float2",
-            report.vectorized.join(", ")
-        ));
+    if report.vectorized.is_empty() {
+        state.emit(gpgpu_trace::TraceEvent::VectorizeSkipped {
+            reason: "no float array whose reads all pair up as 2e+N / 2e+N+1".into(),
+        });
+    } else {
+        state.emit(gpgpu_trace::TraceEvent::VectorizeApplied {
+            arrays: report.vectorized.clone(),
+            width: 2,
+        });
     }
     report
 }
@@ -255,8 +259,7 @@ pub fn vectorize_amd(state: &mut PipelineState, factor: i64) -> AmdVectorizeRepo
     // the vector.
     let old_body = std::mem::take(&mut state.kernel.body);
     let mut new_body = Vec::new();
-    let mut counter = 0usize;
-    for stmt in old_body {
+    for (counter, stmt) in old_body.into_iter().enumerate() {
         let Stmt::Assign { lhs, rhs } = stmt else {
             unreachable!("shape checked above")
         };
@@ -309,13 +312,12 @@ pub fn vectorize_amd(state: &mut PipelineState, factor: i64) -> AmdVectorizeRepo
             lhs: LValue::index(out, vec![Expr::Builtin(gpgpu_ast::Builtin::IdX)]),
             rhs: Expr::Var(vout),
         });
-        counter += 1;
     }
     state.kernel.body = new_body;
     state.thread_merge_x *= factor;
-    state.note(format!(
-        "vectorize (AMD): widened every access to float{factor}, {factor} elements per thread"
-    ));
+    state.emit(gpgpu_trace::TraceEvent::AmdVectorizeApplied {
+        width: factor as u32,
+    });
     AmdVectorizeReport { width: factor }
 }
 

@@ -58,7 +58,7 @@ fn main() {
     show("Figure 8 — after data prefetching", &state);
 
     println!("pass log:");
-    for line in &state.log {
+    for line in state.log() {
         println!("  - {line}");
     }
 }

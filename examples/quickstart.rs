@@ -30,7 +30,7 @@ fn main() {
     println!("launch: {}", compiled.launches[0].launch);
     println!();
     println!("=== what the compiler did ===");
-    for line in &compiled.log {
+    for line in compiled.log() {
         println!("  - {line}");
     }
     println!();

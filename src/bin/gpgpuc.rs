@@ -10,7 +10,13 @@
 //!   --no-<stage>                        disable a stage: vectorize,
 //!                                       coalesce, merge, prefetch, partition
 //!   --report                            print the pass log, design-space
-//!                                       sweep and performance prediction
+//!                                       sweep, counter summary and
+//!                                       performance prediction
+//!   --metrics                           print the per-candidate simulator
+//!                                       counter table
+//!   --trace-json <path>                 write the full gpgpu-trace/v1
+//!                                       JSON document (events, pass
+//!                                       timings, per-candidate counters)
 //!   --verify <size>                     check optimized == naive on the
 //!                                       simulator at a smaller size bound
 //!                                       (binds every symbol to <size>)
@@ -34,6 +40,8 @@ struct Args {
     emit_cu: bool,
     stages: StageSet,
     report: bool,
+    metrics: bool,
+    trace_json: Option<String>,
     verify_at: Option<i64>,
 }
 
@@ -42,7 +50,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: gpgpuc [--machine gtx8800|gtx280|hd5870] [--bind n=1024]... \
          [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
-         [--report] [--verify <size>] <kernel.cu | ->"
+         [--report] [--metrics] [--trace-json <path>] [--verify <size>] <kernel.cu | ->"
     );
     ExitCode::from(2)
 }
@@ -56,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         emit_cu: false,
         stages: StageSet::all(),
         report: false,
+        metrics: false,
+        trace_json: None,
         verify_at: None,
     };
     let mut it = std::env::args().skip(1);
@@ -89,6 +99,10 @@ fn parse_args() -> Result<Args, String> {
             "--no-prefetch" => args.stages.prefetch = false,
             "--no-partition" => args.stages.partition = false,
             "--report" => args.report = true,
+            "--metrics" => args.metrics = true,
+            "--trace-json" => {
+                args.trace_json = Some(it.next().ok_or("--trace-json needs a path")?);
+            }
             "--verify" => {
                 let v = it.next().ok_or("--verify needs a size")?;
                 args.verify_at =
@@ -131,7 +145,9 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut opts = CompileOptions::new(args.machine.clone()).with_stages(args.stages);
+    let mut opts = CompileOptions::new(args.machine.clone())
+        .with_stages(args.stages)
+        .with_source(&source);
     for (name, value) in &args.bindings {
         opts = opts.bind(name, *value);
     }
@@ -142,6 +158,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(path) = &args.trace_json {
+        let doc = compiled.trace_json(args.machine.name).pretty();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("gpgpuc: cannot write trace to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if args.emit_cu {
         print!("{}", gpgpu::core::emit_cu(&compiled, &opts.bindings));
@@ -169,7 +193,7 @@ fn main() -> ExitCode {
 
     if args.report {
         eprintln!("== pass log ==");
-        for line in &compiled.log {
+        for line in compiled.log() {
             eprintln!("  - {line}");
         }
         eprintln!("== design space ==");
@@ -191,6 +215,31 @@ fn main() -> ExitCode {
             compiled.gflops(),
             compiled.effective_bandwidth_gbps()
         );
+        let est = &compiled.estimate;
+        eprintln!(
+            "  bound by {}   occupancy {} block(s)/SM, {} warps",
+            est.bound_by(),
+            est.blocks_per_sm,
+            est.active_warps
+        );
+        let st = &est.stats;
+        eprintln!(
+            "  counters: {} warp insts, {} global transactions ({} B moved, {} B useful), \
+             {:.1}% coalesced, {} shared accesses ({} conflict cycles), partition imbalance {:.2}",
+            st.warp_insts,
+            st.global_transactions,
+            st.global_bytes,
+            st.useful_bytes,
+            est.coalescing_efficiency * 100.0,
+            st.shared_accesses,
+            st.shared_conflict_cycles,
+            est.partition_imbalance
+        );
+    }
+
+    if args.metrics {
+        eprintln!("== candidate metrics ({}) ==", args.machine.name);
+        eprint!("{}", compiled.metrics.render_table());
     }
 
     if let Some(size) = args.verify_at {
