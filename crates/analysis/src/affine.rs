@@ -235,7 +235,10 @@ impl Affine {
                     }
                     BinOp::Shl => {
                         let k = r?.as_constant()?;
-                        (0..=62).contains(&k).then(|| l.unwrap().scale(1 << k))
+                        if !(0..=62).contains(&k) {
+                            return None;
+                        }
+                        Some(l?.scale(1 << k))
                     }
                     BinOp::Shr => {
                         let k = r?.as_constant()?;

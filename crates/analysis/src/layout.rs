@@ -66,7 +66,7 @@ impl ArrayLayout {
     /// Panics if `dims` is empty.
     pub fn new(name: impl Into<String>, elem: ScalarType, dims: Vec<i64>) -> ArrayLayout {
         assert!(!dims.is_empty(), "arrays have at least one dimension");
-        let row_pitch = *dims.last().unwrap();
+        let row_pitch = *dims.last().unwrap_or(&1);
         ArrayLayout {
             name: name.into(),
             elem,
@@ -78,14 +78,20 @@ impl ArrayLayout {
     /// Returns the layout with the innermost dimension padded up to a
     /// multiple of `multiple` elements.
     pub fn padded_to(mut self, multiple: i64) -> ArrayLayout {
-        let last = *self.dims.last().unwrap();
+        let last = self.row_len();
         self.row_pitch = (last + multiple - 1) / multiple * multiple;
         self
     }
 
     /// True if the row pitch differs from the logical row length.
     pub fn is_padded(&self) -> bool {
-        self.row_pitch != *self.dims.last().unwrap()
+        self.row_pitch != self.row_len()
+    }
+
+    /// Logical length of the innermost dimension (`dims` is never empty;
+    /// the constructor asserts it).
+    fn row_len(&self) -> i64 {
+        self.dims.last().copied().unwrap_or(1)
     }
 
     /// Number of *allocated* elements (including padding).

@@ -36,10 +36,11 @@ pub fn parse_program(src: &str) -> Result<Vec<Kernel>, ParseError> {
 /// well-formed kernel.
 pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
     let kernels = parse_program(src)?;
-    match kernels.len() {
-        1 => Ok(kernels.into_iter().next().unwrap()),
-        n => Err(ParseError::new(
-            Span::default(),
+    let n = kernels.len();
+    match kernels.into_iter().next() {
+        Some(k) if n == 1 => Ok(k),
+        _ => Err(ParseError::new(
+            Span::new(1, 1),
             format!("expected exactly one kernel, found {n}"),
         )),
     }
@@ -875,5 +876,35 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(&k.body[0], Stmt::CallStmt(name, args) if name == "atomicAdd" && args.len() == 2));
+    }
+
+    #[test]
+    fn malformed_inputs_yield_spanned_errors() {
+        // Each entry: (label, source, substring the message must contain).
+        // Every case must fail with a ParseError carrying a real span —
+        // never a panic — and a message that names the problem.
+        let table: &[(&str, &str, &str)] = &[
+            ("empty input", "", "expected"),
+            ("garbage directive", "#include <x>\n__global__ void f() {}", "directive"),
+            ("missing qualifier", "void f(float a[n], int n) { }", "__global__"),
+            ("unterminated body", "__global__ void f(float a[n], int n) {", "expected"),
+            ("missing paren", "__global__ void f(float a[n], int n { }", "expected"),
+            ("bad parameter", "__global__ void f(float, int n) { }", "expected"),
+            ("stray rbrace", "__global__ void f(int n) { } }", "__global__"),
+            ("unknown char", "__global__ void f(int n) { a @ 3; }", "character"),
+            ("missing semi", "__global__ void f(float a[n], int n) { a[idx] = 0.0f }", "expected"),
+            ("overflowing int", "__global__ void f(float a[n], int n) { a[idx] = a[99999999999999999999]; }", "literal"),
+            ("if without cond", "__global__ void f(int n) { if { } }", "expected"),
+            ("for missing update", "__global__ void f(int n) { for (int i = 0; i < n;) { } }", "expected"),
+        ];
+        for (label, src, needle) in table {
+            let err = parse_kernel(src).expect_err(label);
+            assert!(
+                err.message.contains(needle),
+                "{label}: message `{}` lacks `{needle}`",
+                err.message
+            );
+            assert!(err.span.line >= 1, "{label}: span not populated: {err}");
+        }
     }
 }

@@ -266,7 +266,8 @@ impl<'a> Lexer<'a> {
                     if ch == b'\n' {
                         break;
                     }
-                    line.push(self.bump().unwrap() as char);
+                    self.bump();
+                    line.push(ch as char);
                 }
                 let rest = line
                     .strip_prefix("#pragma")
@@ -278,7 +279,8 @@ impl<'a> Lexer<'a> {
                 let mut ident = String::new();
                 while let Some(ch) = self.peek() {
                     if ch.is_ascii_alphanumeric() || ch == b'_' {
-                        ident.push(self.bump().unwrap() as char);
+                        self.bump();
+                        ident.push(ch as char);
                     } else {
                         break;
                     }
@@ -409,10 +411,14 @@ impl<'a> Lexer<'a> {
         let mut is_float = false;
         while let Some(c) = self.peek() {
             match c {
-                b'0'..=b'9' => text.push(self.bump().unwrap() as char),
+                b'0'..=b'9' => {
+                    self.bump();
+                    text.push(c as char);
+                }
                 b'.' if self.peek2().is_some_and(|d| d.is_ascii_digit()) => {
                     is_float = true;
-                    text.push(self.bump().unwrap() as char);
+                    self.bump();
+                    text.push(c as char);
                 }
                 b'e' | b'E'
                     if is_float
@@ -420,8 +426,12 @@ impl<'a> Lexer<'a> {
                             .peek2()
                             .is_some_and(|d| d.is_ascii_digit() || d == b'-' || d == b'+') =>
                 {
-                    text.push(self.bump().unwrap() as char);
-                    text.push(self.bump().unwrap() as char);
+                    self.bump();
+                    text.push(c as char);
+                    if let Some(d) = self.peek() {
+                        self.bump();
+                        text.push(d as char);
+                    }
                 }
                 _ => break,
             }
@@ -429,9 +439,14 @@ impl<'a> Lexer<'a> {
         // Trailing `.` as in `1.` followed by `0f`.
         if self.peek() == Some(b'.') && !is_float {
             is_float = true;
-            text.push(self.bump().unwrap() as char);
-            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
-                text.push(self.bump().unwrap() as char);
+            self.bump();
+            text.push('.');
+            while let Some(d) = self.peek() {
+                if !d.is_ascii_digit() {
+                    break;
+                }
+                self.bump();
+                text.push(d as char);
             }
         }
         if self.peek() == Some(b'f') || self.peek() == Some(b'F') {

@@ -148,7 +148,7 @@ fn ablate_block_sampling() {
         &gpgpu_sim::ExecOptions {
             sample_blocks: Some(6),
             max_outer_iters: Some(24),
-            sample_spread: None,
+            ..gpgpu_sim::ExecOptions::default()
         },
     )
     .unwrap();

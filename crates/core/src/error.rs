@@ -1,0 +1,351 @@
+//! Unified, spanned compiler error taxonomy.
+//!
+//! Every failure the pipeline can produce — a parse error, an analysis
+//! failure, a transform precondition, a simulator fault, a verification
+//! mismatch — is absorbed into one [`CompilerError`] carrying the pipeline
+//! [`Stage`] where it arose, the typed [`ErrorKind`], an optional source
+//! [`Span`], and a context chain describing what the compiler was doing.
+//! The CLI renders the chain (`gpgpuc: error: ... / caused by: ...`) and
+//! maps stages to distinct exit codes.
+
+use gpgpu_ast::{ParseError, Span};
+use gpgpu_sim::{ExecError, PerfError};
+use std::fmt;
+
+/// The pipeline stage in which an error originated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Lexing/parsing MiniCUDA source.
+    Parse,
+    /// Static analysis (layouts, affine forms, access classification).
+    Analysis,
+    /// An AST-rewriting optimization pass.
+    Transform,
+    /// Design-space exploration over merge degrees.
+    Explore,
+    /// The trace-driven simulator or timing model.
+    Sim,
+    /// Functional equivalence checking.
+    Verify,
+    /// A contained internal fault (panic, fuel, deadline).
+    Internal,
+}
+
+impl Stage {
+    /// Stable lowercase name, used in rendered chains and trace payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Analysis => "analysis",
+            Stage::Transform => "transform",
+            Stage::Explore => "explore",
+            Stage::Sim => "sim",
+            Stage::Verify => "verify",
+            Stage::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a contained fault fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultReason {
+    /// A pass or candidate panicked; the payload is the panic message.
+    Panic(String),
+    /// The per-candidate fuel budget (interpreter step cap) ran out.
+    FuelExhausted,
+    /// The per-candidate wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultReason::Panic(msg) => write!(f, "panic: {msg}"),
+            FaultReason::FuelExhausted => f.write_str("fuel exhausted"),
+            FaultReason::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+/// The typed payload of a [`CompilerError`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// A front-end parse error (already spanned).
+    Parse(ParseError),
+    /// An analysis failure rendered to text (e.g. a layout error).
+    Analysis(String),
+    /// A transform precondition failure (e.g. incompatible staging).
+    Transform(String),
+    /// A simulator execution error.
+    Exec(ExecError),
+    /// A timing-model error.
+    Perf(PerfError),
+    /// A verification failure rendered to text.
+    Verify(String),
+    /// A contained fault.
+    Fault(FaultReason),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Parse(e) => write!(f, "{e}"),
+            ErrorKind::Analysis(s)
+            | ErrorKind::Transform(s)
+            | ErrorKind::Verify(s)
+            | ErrorKind::Other(s) => f.write_str(s),
+            ErrorKind::Exec(e) => write!(f, "{e}"),
+            ErrorKind::Perf(e) => write!(f, "{e}"),
+            ErrorKind::Fault(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// One compiler failure: where it happened, what it was, where in the
+/// source it points (when known), and the chain of what the compiler was
+/// doing when it fired (outermost context last).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerError {
+    /// Originating stage.
+    pub stage: Stage,
+    /// Typed payload.
+    pub kind: ErrorKind,
+    /// Source location, when one was captured.
+    pub span: Option<Span>,
+    /// Context frames, innermost first.
+    pub context: Vec<String>,
+}
+
+impl CompilerError {
+    /// Builds an error with no span and no context.
+    pub fn new(stage: Stage, kind: ErrorKind) -> CompilerError {
+        CompilerError {
+            stage,
+            kind,
+            span: None,
+            context: Vec::new(),
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> CompilerError {
+        self.span = Some(span);
+        self
+    }
+
+    /// Pushes a context frame (what the compiler was doing).
+    pub fn with_context(mut self, frame: impl Into<String>) -> CompilerError {
+        self.context.push(frame.into());
+        self
+    }
+
+    /// True when the error is a contained fault (panic/fuel/deadline).
+    pub fn is_fault(&self) -> bool {
+        matches!(self.kind, ErrorKind::Fault(_))
+    }
+
+    /// Renders the failure chain, one line per frame:
+    ///
+    /// ```text
+    /// parse error at 2:17: expected `)`
+    ///   caused by: <context frames, innermost first>
+    /// ```
+    pub fn render_chain(&self) -> String {
+        let mut out = self.to_string();
+        for frame in &self.context {
+            out.push_str("\n  caused by: ");
+            out.push_str(frame);
+        }
+        out
+    }
+}
+
+impl fmt::Display for CompilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Parse errors already render their own span and stage name.
+        if let ErrorKind::Parse(e) = &self.kind {
+            return write!(f, "{e}");
+        }
+        write!(f, "{} error", self.stage)?;
+        if let Some(span) = self.span {
+            write!(f, " at {span}")?;
+        }
+        write!(f, ": {}", self.kind)
+    }
+}
+
+impl std::error::Error for CompilerError {}
+
+impl From<ParseError> for CompilerError {
+    fn from(e: ParseError) -> CompilerError {
+        let span = e.span;
+        CompilerError::new(Stage::Parse, ErrorKind::Parse(e)).with_span(span)
+    }
+}
+
+impl From<gpgpu_analysis::LayoutError> for CompilerError {
+    fn from(e: gpgpu_analysis::LayoutError) -> CompilerError {
+        CompilerError::new(Stage::Analysis, ErrorKind::Analysis(e.to_string()))
+    }
+}
+
+impl From<gpgpu_transform::merge::MergeError> for CompilerError {
+    fn from(e: gpgpu_transform::merge::MergeError) -> CompilerError {
+        CompilerError::new(Stage::Transform, ErrorKind::Transform(e.to_string()))
+    }
+}
+
+impl From<ExecError> for CompilerError {
+    fn from(e: ExecError) -> CompilerError {
+        match e {
+            ExecError::DeadlineExceeded => CompilerError::new(
+                Stage::Internal,
+                ErrorKind::Fault(FaultReason::DeadlineExceeded),
+            ),
+            ExecError::IterationLimit => CompilerError::new(
+                Stage::Internal,
+                ErrorKind::Fault(FaultReason::FuelExhausted),
+            ),
+            other => CompilerError::new(Stage::Sim, ErrorKind::Exec(other)),
+        }
+    }
+}
+
+impl From<PerfError> for CompilerError {
+    fn from(e: PerfError) -> CompilerError {
+        match e {
+            PerfError::Exec(inner) => {
+                CompilerError::from(inner).with_context("estimating candidate performance")
+            }
+            other => CompilerError::new(Stage::Sim, ErrorKind::Perf(other)),
+        }
+    }
+}
+
+impl From<crate::verify::VerifyError> for CompilerError {
+    fn from(e: crate::verify::VerifyError) -> CompilerError {
+        CompilerError::new(Stage::Verify, ErrorKind::Verify(e.to_string()))
+    }
+}
+
+impl From<crate::pipeline::CompileError> for CompilerError {
+    fn from(e: crate::pipeline::CompileError) -> CompilerError {
+        use crate::pipeline::CompileError as CE;
+        match e {
+            CE::NoDomain => CompilerError::new(
+                Stage::Analysis,
+                ErrorKind::Analysis("cannot infer the kernel's output domain".into()),
+            ),
+            CE::NoValidConfiguration(s) => CompilerError::new(
+                Stage::Explore,
+                ErrorKind::Other(format!("no valid configuration: {s}")),
+            ),
+            CE::Perf(s) => CompilerError::new(Stage::Sim, ErrorKind::Other(s)),
+            CE::Internal(s) => {
+                CompilerError::new(Stage::Internal, ErrorKind::Fault(FaultReason::Panic(s)))
+            }
+        }
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Why a compilation degraded to the naive kernel instead of failing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradedReason {
+    /// Every design-space candidate was rejected or faulted.
+    AllCandidatesFailed(String),
+    /// The optimization pipeline itself panicked (contained).
+    PipelineFault(String),
+    /// A required pass failed ahead of exploration.
+    PassFailure(String),
+}
+
+impl DegradedReason {
+    /// Stable reason slug used in the trace schema.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            DegradedReason::AllCandidatesFailed(_) => "all-candidates-failed",
+            DegradedReason::PipelineFault(_) => "pipeline-fault",
+            DegradedReason::PassFailure(_) => "pass-failure",
+        }
+    }
+
+    /// The human-readable detail carried by the reason.
+    pub fn detail(&self) -> &str {
+        match self {
+            DegradedReason::AllCandidatesFailed(s)
+            | DegradedReason::PipelineFault(s)
+            | DegradedReason::PassFailure(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.slug(), self.detail())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_renders_innermost_first() {
+        let e = CompilerError::new(
+            Stage::Transform,
+            ErrorKind::Transform("staging `a_seg` is incompatible".into()),
+        )
+        .with_context("merging 4 blocks along Y")
+        .with_context("evaluating candidate bx8_ty4_tx1");
+        let chain = e.render_chain();
+        assert!(chain.starts_with("transform error: staging"), "{chain}");
+        let merge_pos = chain.find("merging 4 blocks").unwrap();
+        let cand_pos = chain.find("evaluating candidate").unwrap();
+        assert!(merge_pos < cand_pos, "{chain}");
+    }
+
+    #[test]
+    fn parse_errors_keep_their_span() {
+        let pe = ParseError::new(Span::new(2, 17), "expected `)`".to_string());
+        let ce = CompilerError::from(pe);
+        assert_eq!(ce.stage, Stage::Parse);
+        assert_eq!(ce.span, Some(Span::new(2, 17)));
+        assert!(ce.to_string().contains("2:17"), "{ce}");
+    }
+
+    #[test]
+    fn sim_limits_map_to_faults() {
+        let fuel = CompilerError::from(ExecError::IterationLimit);
+        assert!(fuel.is_fault());
+        assert_eq!(fuel.stage, Stage::Internal);
+        let deadline = CompilerError::from(ExecError::DeadlineExceeded);
+        assert!(deadline.is_fault());
+        assert!(deadline.to_string().contains("deadline"), "{deadline}");
+    }
+
+    #[test]
+    fn degraded_reasons_have_stable_slugs() {
+        let r = DegradedReason::AllCandidatesFailed("every candidate faulted".into());
+        assert_eq!(r.slug(), "all-candidates-failed");
+        assert!(r.to_string().contains("every candidate faulted"));
+    }
+}

@@ -8,11 +8,15 @@
 //! (the analytical-model alternative the paper discusses).
 
 use crate::domain::Domain;
+use crate::error::{panic_message, FaultReason};
+use crate::fault;
 use crate::pipeline::{run_pass, CompileError, CompileOptions};
 use gpgpu_ast::LaunchConfig;
-use gpgpu_sim::{PerfEstimate, PerfError, PerfOptions};
-use gpgpu_trace::{MetricsRegistry, TraceEvent};
+use gpgpu_sim::{ExecError, PerfEstimate, PerfError, PerfOptions};
+use gpgpu_trace::{CounterSnapshot, MetricsRegistry, TraceEvent};
 use gpgpu_transform::{camping, merge, prefetch, PipelineState};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// The explored merge degrees.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +30,13 @@ pub struct ExploreOptions {
     /// kernel prefers the Y direction, which preserves coalescing for
     /// free).
     pub thread_merge_x: Vec<i64>,
+    /// Per-candidate fuel budget (interpreter steps); `None` uses the
+    /// simulator's built-in step limit. A candidate that runs out is
+    /// contained as a fault, not a process abort.
+    pub candidate_fuel: Option<u64>,
+    /// Per-candidate wall-clock deadline in milliseconds; `None` disables
+    /// the deadline.
+    pub candidate_deadline_ms: Option<u64>,
 }
 
 impl Default for ExploreOptions {
@@ -34,8 +45,21 @@ impl Default for ExploreOptions {
             block_merge_x: vec![8, 16, 32],
             thread_merge_y: vec![4, 8, 16, 32],
             thread_merge_x: vec![2, 4],
+            candidate_fuel: None,
+            candidate_deadline_ms: Some(10_000),
         }
     }
+}
+
+/// Why one design-space candidate produced no estimate.
+#[derive(Debug, Clone, PartialEq)]
+enum CandidateFailure {
+    /// An expected rejection: merge precondition, non-tiling domain, or a
+    /// configuration that does not fit the machine.
+    Rejected(String),
+    /// A contained fault (panic, fuel exhaustion, deadline overrun). The
+    /// flag records whether the candidate was retried once first.
+    Fault(FaultReason, bool),
 }
 
 /// One evaluated point of the design space.
@@ -124,14 +148,19 @@ pub fn finish_candidate(state: &mut PipelineState, domain: &Domain, opts: &Compi
                     camping::eliminate(st, opts.machine.partitions, grid_2d)
                 });
             } else {
-                state.emit(TraceEvent::Note {
-                    message: format!(
-                        "partition camping: diagonal remapping skipped \
-                         ({}x{} grid is not square)",
+                state.emit(TraceEvent::PassSkipped {
+                    pass: "camping",
+                    reason: format!(
+                        "diagonal remapping needs a square grid, got {}x{}",
                         cfg.grid_x, cfg.grid_y
                     ),
                 });
             }
+        } else {
+            state.emit(TraceEvent::PassSkipped {
+                pass: "camping",
+                reason: format!("domain {domain} does not tile the merged block"),
+            });
         }
     }
     if opts.stages.prefetch {
@@ -179,14 +208,17 @@ pub fn explore(
     }
 
     // The paper test-runs its candidate kernels independently; we evaluate
-    // them on worker threads the same way.
-    let results: Vec<Result<EvaluatedCandidate, String>> = {
+    // them on worker threads the same way. Each evaluation runs under
+    // `catch_unwind` so one pathological candidate cannot take down the
+    // search: a panicked slot is retried once (transient poisoning), then
+    // recorded as a contained fault.
+    let results: Vec<Result<EvaluatedCandidate, CandidateFailure>> = {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .min(combos.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<EvaluatedCandidate, String>>> = Vec::new();
+        let mut slots: Vec<Option<Result<EvaluatedCandidate, CandidateFailure>>> = Vec::new();
         slots.resize_with(combos.len(), || None);
         let results = std::sync::Mutex::new(slots);
         std::thread::scope(|scope| {
@@ -197,16 +229,28 @@ pub fn explore(
                         return;
                     }
                     let (bx, ty, tx) = combos[i];
-                    let outcome = evaluate_candidate(coalesced, domain, opts, bx, ty, tx);
-                    results.lock().expect("no poisoned workers")[i] = Some(outcome);
+                    let outcome = contained_evaluate(coalesced, domain, opts, bx, ty, tx);
+                    // A panicking sibling may have poisoned the mutex while
+                    // holding no interesting state — the slots are plain
+                    // data, so recover the guard and keep going.
+                    results.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(outcome);
                 });
             }
         });
         results
             .into_inner()
-            .expect("scope joined all workers")
+            .unwrap_or_else(|p| p.into_inner())
             .into_iter()
-            .map(|r| r.expect("every slot evaluated"))
+            .map(|r| {
+                // A slot can only be empty if a worker died outside the
+                // catch_unwind envelope; treat it as a contained fault.
+                r.unwrap_or_else(|| {
+                    Err(CandidateFailure::Fault(
+                        FaultReason::Panic("worker died before reporting".into()),
+                        false,
+                    ))
+                })
+            })
             .collect()
     };
 
@@ -215,6 +259,8 @@ pub fn explore(
     let mut metrics = MetricsRegistry::new();
     let mut events: Vec<TraceEvent> = Vec::new();
     let mut last_error: Option<String> = None;
+    let mut fault_count = 0usize;
+    let mut last_fault: Option<String> = None;
     for (&(bx, ty, tx), outcome) in combos.iter().zip(results) {
         match outcome {
             Ok(ev) => {
@@ -245,16 +291,34 @@ pub fn explore(
                     });
                 }
             }
-            Err(msg) => {
-                events.push(TraceEvent::CandidateEvaluated {
-                    label: Candidate {
-                        block_merge_x: bx,
-                        thread_merge_y: ty,
-                        thread_merge_x: tx,
-                        reduction_elems: None,
-                        time_ms: 0.0,
+            Err(failure) => {
+                let label = Candidate {
+                    block_merge_x: bx,
+                    thread_merge_y: ty,
+                    thread_merge_x: tx,
+                    reduction_elems: None,
+                    time_ms: 0.0,
+                }
+                .label();
+                let msg = match &failure {
+                    CandidateFailure::Rejected(msg) => msg.clone(),
+                    CandidateFailure::Fault(reason, retried) => {
+                        events.push(TraceEvent::CandidateFault {
+                            label: label.clone(),
+                            fault: reason.to_string(),
+                            retried: *retried,
+                        });
+                        let mut snapshot = CounterSnapshot::new();
+                        snapshot.push("faulted", 1.0);
+                        metrics.record(label.clone(), snapshot);
+                        fault_count += 1;
+                        let msg = format!("fault: {reason}");
+                        last_fault = Some(msg.clone());
+                        msg
                     }
-                    .label(),
+                };
+                events.push(TraceEvent::CandidateEvaluated {
+                    label,
                     block_merge_x: bx,
                     thread_merge_y: ty,
                     thread_merge_x: tx,
@@ -281,9 +345,13 @@ pub fn explore(
             b.events = events;
             Ok(b)
         }
-        None => Err(CompileError::NoValidConfiguration(
-            last_error.unwrap_or_else(|| "no candidates".into()),
-        )),
+        // Faults are the actionable signal when nothing survived — a tiling
+        // rejection after a dozen contained panics is noise, so prefer the
+        // last fault over the last ordinary rejection.
+        None => Err(CompileError::NoValidConfiguration(match last_fault {
+            Some(f) => format!("{fault_count} candidate(s) faulted; last {f}"),
+            None => last_error.unwrap_or_else(|| "no candidates".into()),
+        })),
     }
 }
 
@@ -295,6 +363,35 @@ struct EvaluatedCandidate {
     candidate: Candidate,
 }
 
+/// Runs one candidate under panic containment: a panic is retried once
+/// (the paper's empirical search simply re-runs a flaky measurement) and
+/// then recorded as a fault; fuel and deadline overruns map to faults
+/// directly.
+fn contained_evaluate(
+    coalesced: &PipelineState,
+    domain: &Domain,
+    opts: &CompileOptions,
+    bx: i64,
+    ty: i64,
+    tx: i64,
+) -> Result<EvaluatedCandidate, CandidateFailure> {
+    let attempt = || {
+        catch_unwind(AssertUnwindSafe(|| {
+            evaluate_candidate(coalesced, domain, opts, bx, ty, tx)
+        }))
+    };
+    match attempt() {
+        Ok(outcome) => outcome,
+        Err(_first) => match attempt() {
+            Ok(outcome) => outcome,
+            Err(payload) => Err(CandidateFailure::Fault(
+                FaultReason::Panic(panic_message(payload)),
+                true,
+            )),
+        },
+    }
+}
+
 fn evaluate_candidate(
     coalesced: &PipelineState,
     domain: &Domain,
@@ -302,25 +399,40 @@ fn evaluate_candidate(
     bx: i64,
     ty: i64,
     tx: i64,
-) -> Result<EvaluatedCandidate, String> {
+) -> Result<EvaluatedCandidate, CandidateFailure> {
+    let label = Candidate {
+        block_merge_x: bx,
+        thread_merge_y: ty,
+        thread_merge_x: tx,
+        reduction_elems: None,
+        time_ms: 0.0,
+    }
+    .label();
+    fault::maybe_panic(&label);
+    let rejected = CandidateFailure::Rejected;
     let mut st = coalesced.clone();
     if bx > 1 || ty > 1 || tx > 1 {
-        run_pass(&mut st, "merge", |st| -> Result<(), String> {
+        run_pass(&mut st, "merge", |st| -> Result<(), CandidateFailure> {
             if bx > 1 {
-                merge::thread_block_merge_x(st, bx).map_err(|e| e.to_string())?;
+                merge::thread_block_merge_x(st, bx).map_err(|e| rejected(e.to_string()))?;
             }
             if ty > 1 {
-                merge::thread_merge_y(st, ty).map_err(|e| e.to_string())?;
+                merge::thread_merge_y(st, ty).map_err(|e| rejected(e.to_string()))?;
             }
             if tx > 1 {
-                merge::thread_merge_x(st, tx).map_err(|e| e.to_string())?;
+                merge::thread_merge_x(st, tx).map_err(|e| rejected(e.to_string()))?;
             }
             Ok(())
         })?;
     }
     finish_candidate(&mut st, domain, opts);
     let cfg = launch_for(&st, domain)
-        .ok_or_else(|| format!("domain {domain} does not tile {bx}x{ty}x{tx}"))?;
+        .ok_or_else(|| rejected(format!("domain {domain} does not tile {bx}x{ty}x{tx}")))?;
+    let fuel = fault::fuel_override(&label).or(opts.explore.candidate_fuel);
+    let deadline = opts
+        .explore
+        .candidate_deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
     let estimate = gpgpu_sim::estimate(
         &st.kernel,
         &cfg,
@@ -328,12 +440,20 @@ fn evaluate_candidate(
         &opts.machine,
         &PerfOptions {
             sample_blocks: opts.sample_blocks,
+            fuel,
+            deadline,
             ..PerfOptions::default()
         },
     )
     .map_err(|e| match e {
-        PerfError::DoesNotFit(msg) => msg,
-        other => other.to_string(),
+        PerfError::Exec(ExecError::IterationLimit) => {
+            CandidateFailure::Fault(FaultReason::FuelExhausted, false)
+        }
+        PerfError::Exec(ExecError::DeadlineExceeded) => {
+            CandidateFailure::Fault(FaultReason::DeadlineExceeded, false)
+        }
+        PerfError::DoesNotFit(msg) => rejected(msg),
+        other => rejected(other.to_string()),
     })?;
     let candidate = Candidate {
         block_merge_x: bx,

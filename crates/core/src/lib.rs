@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 //! # gpgpu-core
 //!
@@ -37,12 +38,15 @@
 
 pub mod cu;
 pub mod domain;
+pub mod error;
 pub mod explore;
+pub mod fault;
 pub mod pipeline;
 pub mod verify;
 
 pub use cu::emit_cu;
 pub use domain::{infer_domain, Domain};
+pub use error::{CompilerError, DegradedReason, ErrorKind, FaultReason, Stage};
 pub use explore::{explore, Candidate, ExploreOptions};
 pub use pipeline::{
     compile, estimate_launch, naive_compiled, CompileError, CompileOptions, CompiledKernel,

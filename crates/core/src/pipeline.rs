@@ -1,7 +1,9 @@
 //! The compiler pipeline (paper Figure 1) and its products.
 
 use crate::domain::{infer_domain, Domain};
+use crate::error::{panic_message, DegradedReason};
 use crate::explore::{explore, launch_for, Candidate, ExploreOptions};
+use crate::fault;
 use gpgpu_analysis::{ArrayLayout, Bindings};
 use gpgpu_ast::{
     print_kernel, stmt::count_stmts, AccessSpans, Kernel, LaunchConfig, PrintOptions, ScalarType,
@@ -196,6 +198,9 @@ pub struct CompiledKernel {
     pub chosen: Candidate,
     /// All evaluated design-space points.
     pub evaluated: Vec<Candidate>,
+    /// Set when the optimizing pipeline failed and [`compile`] fell back to
+    /// the naive kernel; `None` for a fully optimized result.
+    pub degraded: Option<DegradedReason>,
 }
 
 impl CompiledKernel {
@@ -227,6 +232,16 @@ impl CompiledKernel {
             ("gflops", Json::num(self.gflops())),
             ("bandwidth_gbps", Json::num(self.effective_bandwidth_gbps())),
             ("chosen", candidate_json(&self.chosen)),
+            (
+                "degraded",
+                match &self.degraded {
+                    Some(r) => Json::obj([
+                        ("reason", Json::str(r.slug())),
+                        ("detail", Json::str(r.detail())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
             ("events", self.trace.to_json()),
             ("metrics", self.metrics.to_json()),
             (
@@ -280,6 +295,8 @@ pub enum CompileError {
     NoValidConfiguration(String),
     /// The timing model failed on a candidate.
     Perf(String),
+    /// The pipeline itself faulted (a contained panic).
+    Internal(String),
 }
 
 impl fmt::Display for CompileError {
@@ -290,19 +307,64 @@ impl fmt::Display for CompileError {
                 write!(f, "no valid configuration: {s}")
             }
             CompileError::Perf(s) => write!(f, "timing model failure: {s}"),
+            CompileError::Internal(s) => write!(f, "internal fault: {s}"),
         }
     }
 }
 
 impl std::error::Error for CompileError {}
 
-/// Compiles a naive kernel into its optimized form.
+/// Compiles a naive kernel into its optimized form, degrading gracefully:
+/// when the optimizing pipeline fails or faults but the naive kernel still
+/// compiles, the naive result is returned with
+/// [`CompiledKernel::degraded`] set and a `degraded` trace event emitted.
+/// A panic anywhere in the optimization passes is contained and treated
+/// like any other pipeline failure.
 ///
 /// # Errors
 ///
-/// See [`CompileError`]. A failure generally means the kernel falls outside
-/// the supported naive shape (paper §7 discusses the compiler's limits).
+/// See [`CompileError`]. An error means even the naive fallback was
+/// impossible — the kernel falls outside the supported naive shape
+/// (paper §7 discusses the compiler's limits).
 pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, CompileError> {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compile_optimized(naive, opts)
+    }));
+    let primary = match attempt {
+        Ok(Ok(compiled)) => return Ok(compiled),
+        Ok(Err(e)) => e,
+        Err(payload) => CompileError::Internal(panic_message(payload)),
+    };
+    let reason = match &primary {
+        // No domain means the naive fallback cannot launch either; fail.
+        CompileError::NoDomain => return Err(primary),
+        CompileError::Internal(msg) => DegradedReason::PipelineFault(msg.clone()),
+        CompileError::NoValidConfiguration(msg) => {
+            DegradedReason::AllCandidatesFailed(msg.clone())
+        }
+        CompileError::Perf(msg) => DegradedReason::PassFailure(msg.clone()),
+    };
+    match naive_compiled(naive, opts) {
+        Ok(mut fallback) => {
+            fallback.trace.emit(TraceEvent::Degraded {
+                reason: reason.slug().to_string(),
+                detail: reason.detail().to_string(),
+            });
+            fallback.degraded = Some(reason);
+            Ok(fallback)
+        }
+        // The fallback failed too; the primary failure is the useful one.
+        Err(_) => Err(primary),
+    }
+}
+
+/// The optimizing pipeline proper (no fallback). Extracted from
+/// [`compile`] so its failures and panics can be contained uniformly.
+fn compile_optimized(
+    naive: &Kernel,
+    opts: &CompileOptions,
+) -> Result<CompiledKernel, CompileError> {
+    fault::maybe_panic("pipeline");
     let domain = infer_domain(naive, &opts.bindings).ok_or(CompileError::NoDomain)?;
     let mut state = PipelineState::new(naive.clone(), opts.bindings.clone())
         .with_access_spans(opts.spans.clone());
@@ -343,6 +405,7 @@ pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, 
         source,
         chosen: explored.chosen,
         evaluated: explored.evaluated,
+        degraded: None,
     })
 }
 
@@ -404,6 +467,7 @@ fn naive_state_compiled(
             time_ms: 0.0,
         },
         evaluated: Vec::new(),
+        degraded: None,
     })
 }
 
@@ -423,15 +487,40 @@ fn compile_reduction(
     candidates.extend(opts.explore.thread_merge_y.iter().map(|&e| Some(e)));
     for elems in candidates {
         let Some(rw) = reduction::rewrite_reduction(&state, elems) else {
+            search_events.push(TraceEvent::PassSkipped {
+                pass: "reduction",
+                reason: match elems {
+                    Some(e) => format!("{e} elements/thread did not match the reduction pattern"),
+                    None => "auto degree did not match the reduction pattern".into(),
+                },
+            });
             continue;
+        };
+        let label = format!("red{}", rw.elems_per_thread);
+        let reject = |msg: String, search_events: &mut Vec<TraceEvent>| {
+            search_events.push(TraceEvent::CandidateEvaluated {
+                label: label.clone(),
+                block_merge_x: 1,
+                thread_merge_y: 1,
+                thread_merge_x: 1,
+                reduction_elems: Some(rw.elems_per_thread),
+                time_ms: 0.0,
+                rejected: Some(msg),
+            });
         };
         let e1 = match estimate_launch(&rw.stage1, &rw.stage1_launch, &state.bindings, opts) {
             Ok(e) => e,
-            Err(_) => continue,
+            Err(msg) => {
+                reject(format!("stage 1: {msg}"), &mut search_events);
+                continue;
+            }
         };
         let e2 = match estimate_launch(&rw.stage2, &rw.stage2_launch, &state.bindings, opts) {
             Ok(e) => e,
-            Err(_) => continue,
+            Err(msg) => {
+                reject(format!("stage 2: {msg}"), &mut search_events);
+                continue;
+            }
         };
         let time = e1.time_ms + e2.time_ms;
         let cand = Candidate {
@@ -494,6 +583,7 @@ fn compile_reduction(
                 source,
                 chosen: cand,
                 evaluated: Vec::new(),
+                degraded: None,
             };
             best = Some((compiled, time));
         }
@@ -502,10 +592,9 @@ fn compile_reduction(
         Some((mut compiled, _)) => {
             compiled.evaluated = evaluated;
             let chosen = compiled.chosen.clone();
-            metrics.set_chosen(format!(
-                "red{}",
-                chosen.reduction_elems.expect("reduction candidate")
-            ));
+            if let Some(elems) = chosen.reduction_elems {
+                metrics.set_chosen(format!("red{elems}"));
+            }
             compiled.trace.extend(search_events);
             compiled.trace.emit(TraceEvent::MergeSelected {
                 block_merge_x: chosen.block_merge_x,

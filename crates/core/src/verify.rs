@@ -135,10 +135,8 @@ pub fn verify_equivalence_with(
     let reference = naive_compiled(naive, opts).map_err(|e| VerifyError::Setup(e.to_string()))?;
     let mut ref_dev = Device::new(opts.machine.clone());
     for p in naive.array_params() {
-        ref_dev.alloc(naive_layouts[&p.name].clone());
         ref_dev
-            .buffer_mut(&p.name)
-            .expect("just allocated")
+            .alloc(naive_layouts[&p.name].clone())
             .upload(&streams[&p.name]);
     }
     for l in &reference.launches {
@@ -161,12 +159,9 @@ pub fn verify_equivalence_with(
             if cand_dev.buffer(&p.name).is_ok() {
                 continue;
             }
-            cand_dev.alloc(layouts[&p.name].clone());
+            let buf = cand_dev.alloc(layouts[&p.name].clone());
             if let Some(stream) = streams.get(&p.name) {
-                cand_dev
-                    .buffer_mut(&p.name)
-                    .expect("just allocated")
-                    .upload(stream);
+                buf.upload(stream);
             }
         }
         for extra in &l.extra_buffers {

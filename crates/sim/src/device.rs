@@ -143,9 +143,12 @@ impl Buffer {
         assert!(!self.phantom, "cannot upload to a phantom buffer");
         let lanes = self.layout.elem.lanes() as i64;
         assert_eq!(src.len() as i64, self.layout.logical_elems() * lanes);
-        let row_len = (*self.layout.dims.last().unwrap() * lanes) as usize;
+        // Layouts always have at least one dimension (ArrayLayout::new
+        // asserts it); 1 keeps the arithmetic safe regardless.
+        let last_dim = self.layout.dims.last().copied().unwrap_or(1);
+        let row_len = (last_dim * lanes) as usize;
         let pitch = (self.layout.row_pitch * lanes) as usize;
-        let rows = (self.layout.logical_elems() / self.layout.dims.last().unwrap()) as usize;
+        let rows = (self.layout.logical_elems() / last_dim) as usize;
         for r in 0..rows {
             self.data[r * pitch..r * pitch + row_len]
                 .copy_from_slice(&src[r * row_len..(r + 1) * row_len]);
@@ -155,9 +158,10 @@ impl Buffer {
     /// Downloads the logical contents as a row-major `f32` stream.
     pub fn download(&self) -> Vec<f32> {
         let lanes = self.layout.elem.lanes() as i64;
-        let row_len = (*self.layout.dims.last().unwrap() * lanes) as usize;
+        let last_dim = self.layout.dims.last().copied().unwrap_or(1);
+        let row_len = (last_dim * lanes) as usize;
         let pitch = (self.layout.row_pitch * lanes) as usize;
-        let rows = (self.layout.logical_elems() / self.layout.dims.last().unwrap()) as usize;
+        let rows = (self.layout.logical_elems() / last_dim) as usize;
         let mut out = Vec::with_capacity(rows * row_len);
         for r in 0..rows {
             out.extend_from_slice(&self.data[r * pitch..r * pitch + row_len]);
@@ -212,8 +216,13 @@ impl Device {
         };
         // Allocations are 256-byte aligned, like the CUDA allocator.
         self.next_base += (buffer.size_bytes() + 255) / 256 * 256;
-        self.buffers.insert(name.clone(), buffer);
-        self.buffers.get_mut(&name).expect("just inserted")
+        match self.buffers.entry(name) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.insert(buffer);
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(buffer),
+        }
     }
 
     /// The buffer named `name`.

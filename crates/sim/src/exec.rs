@@ -44,6 +44,15 @@ pub struct ExecOptions {
     /// partition behaviour of the concurrent population is what matters.
     /// `None` samples consecutive blocks.
     pub sample_spread: Option<u64>,
+    /// Per-launch fuel budget: interpreter steps before the run is cut off
+    /// with [`ExecError::IterationLimit`]. `None` uses the built-in step
+    /// limit. Design-space exploration sets this to contain runaway
+    /// candidates.
+    pub fuel: Option<u64>,
+    /// Wall-clock deadline; execution past it fails with
+    /// [`ExecError::DeadlineExceeded`]. Checked every few thousand steps,
+    /// so overruns are bounded but not exact.
+    pub deadline: Option<std::time::Instant>,
 }
 
 /// Counters collected during execution.
@@ -151,7 +160,7 @@ impl ExecStats {
             if total == 0 {
                 continue;
             }
-            sum_max += *hist.iter().max().unwrap() as f64;
+            sum_max += hist.iter().copied().max().unwrap_or(0) as f64;
             sum_avg += total as f64 / nparts as f64;
         }
         if sum_avg == 0.0 {
@@ -205,6 +214,8 @@ pub enum ExecError {
     Unsupported(String),
     /// The step limit was exceeded (runaway loop).
     IterationLimit,
+    /// The wall-clock deadline passed (see [`ExecOptions::deadline`]).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ExecError {
@@ -217,6 +228,7 @@ impl fmt::Display for ExecError {
             ExecError::BarrierMisuse(s) => write!(f, "barrier misuse: {s}"),
             ExecError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
             ExecError::IterationLimit => f.write_str("statement step limit exceeded"),
+            ExecError::DeadlineExceeded => f.write_str("wall-clock deadline exceeded"),
         }
     }
 }
@@ -284,6 +296,8 @@ pub fn launch(
             request_ix: 0,
             depth: 0,
             max_outer_iters: None,
+            step_limit: opts.fuel.map_or(STEP_LIMIT, |f| f.min(STEP_LIMIT)),
+            deadline: opts.deadline,
         };
         let mask = vec![true; nt];
         ctx.exec_body(&kernel.body, &mask)?;
@@ -325,6 +339,8 @@ pub fn launch(
             request_ix: 0,
             depth: 0,
             max_outer_iters: opts.max_outer_iters,
+            step_limit: opts.fuel.map_or(STEP_LIMIT, |f| f.min(STEP_LIMIT)),
+            deadline: opts.deadline,
         };
         let mask = vec![true; nt];
         ctx.exec_body(&kernel.body, &mask)?;
@@ -384,13 +400,27 @@ struct BlockCtx<'a> {
     request_ix: usize,
     depth: u32,
     max_outer_iters: Option<u64>,
+    /// Effective fuel budget: `min(STEP_LIMIT, ExecOptions::fuel)`.
+    step_limit: u64,
+    deadline: Option<std::time::Instant>,
 }
+
+/// How often (in steps) the deadline is polled — a wall-clock read per
+/// step would dominate the interpreter.
+const DEADLINE_POLL_MASK: u64 = 4095;
 
 impl BlockCtx<'_> {
     fn step(&mut self) -> Result<(), ExecError> {
         self.steps += 1;
-        if self.steps > STEP_LIMIT {
+        if self.steps > self.step_limit {
             return Err(ExecError::IterationLimit);
+        }
+        if self.steps & DEADLINE_POLL_MASK == 0 {
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(ExecError::DeadlineExceeded);
+                }
+            }
         }
         Ok(())
     }
@@ -529,10 +559,13 @@ impl BlockCtx<'_> {
                     'sampled: for j in 0..limit {
                         let trip = j * trips / limit;
                         let value = Val::I(init0 + trip as i64 * step);
-                        let vals = self
-                            .env
-                            .get_mut(&l.var)
-                            .expect("loop variable was just inserted");
+                        let vals = match self.env.get_mut(&l.var) {
+                            Some(v) => v,
+                            None => {
+                                r = Err(ExecError::UndefinedVar(l.var.clone()));
+                                break 'sampled;
+                            }
+                        };
                         for v in vals.iter_mut() {
                             *v = value;
                         }
@@ -579,10 +612,13 @@ impl BlockCtx<'_> {
                             r = Err(e);
                             break;
                         }
-                        let vals = self
-                            .env
-                            .get_mut(&l.var)
-                            .expect("loop variable was just inserted");
+                        let vals = match self.env.get_mut(&l.var) {
+                            Some(v) => v,
+                            None => {
+                                r = Err(ExecError::UndefinedVar(l.var.clone()));
+                                break;
+                            }
+                        };
                         for (lane, v) in vals.iter_mut().enumerate() {
                             if active[lane] {
                                 let cur = match v.as_i() {
@@ -664,10 +700,10 @@ impl BlockCtx<'_> {
     fn assign(&mut self, lhs: &LValue, vals: &[Val], mask: &[bool]) -> Result<(), ExecError> {
         match lhs {
             LValue::Var(name) => {
-                if !self.env.contains_key(name) {
-                    return Err(ExecError::UndefinedVar(name.clone()));
-                }
-                let slot = self.env.get_mut(name).unwrap();
+                let slot = self
+                    .env
+                    .get_mut(name)
+                    .ok_or_else(|| ExecError::UndefinedVar(name.clone()))?;
                 for lane in 0..self.nt {
                     if mask[lane] {
                         slot[lane] = vals[lane];
@@ -675,11 +711,11 @@ impl BlockCtx<'_> {
                 }
             }
             LValue::Field(name, field) => {
-                if !self.env.contains_key(name) {
-                    return Err(ExecError::UndefinedVar(name.clone()));
-                }
                 let lane_ix = field.lane();
-                let slot = self.env.get_mut(name).unwrap();
+                let slot = self
+                    .env
+                    .get_mut(name)
+                    .ok_or_else(|| ExecError::UndefinedVar(name.clone()))?;
                 for lane in 0..self.nt {
                     if mask[lane] {
                         let x = vals[lane].as_f().ok_or_else(|| {
@@ -697,7 +733,10 @@ impl BlockCtx<'_> {
                 let idx_vals = self.eval_indices(indices, mask)?;
                 if self.shared.contains_key(array) {
                     self.trace_shared(array, &idx_vals, mask)?;
-                    let buf = self.shared.get_mut(array).unwrap();
+                    let buf = self
+                        .shared
+                        .get_mut(array)
+                        .ok_or_else(|| ExecError::UndefinedVar(array.clone()))?;
                     for lane in 0..self.nt {
                         if mask[lane] {
                             let off = buf.offset(&idx_vals[lane])?;
@@ -1542,7 +1581,7 @@ mod tests {
             &ExecOptions {
                 sample_blocks: Some(2),
                 max_outer_iters: Some(16),
-                sample_spread: None,
+                ..ExecOptions::default()
             },
         )
         .unwrap();

@@ -45,6 +45,11 @@ pub struct PerfOptions {
     /// Cap on traced top-level loop iterations (trip counts beyond the cap
     /// are extrapolated linearly).
     pub max_outer_iters: Option<u64>,
+    /// Per-trace fuel budget, forwarded to [`ExecOptions::fuel`]. `None`
+    /// uses the interpreter's built-in step limit.
+    pub fuel: Option<u64>,
+    /// Wall-clock deadline, forwarded to [`ExecOptions::deadline`].
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for PerfOptions {
@@ -52,6 +57,8 @@ impl Default for PerfOptions {
         PerfOptions {
             sample_blocks: DEFAULT_SAMPLE_BLOCKS,
             max_outer_iters: Some(DEFAULT_MAX_OUTER_ITERS),
+            fuel: None,
+            deadline: None,
         }
     }
 }
@@ -222,6 +229,8 @@ pub fn estimate(
             sample_blocks: Some(opts.sample_blocks),
             max_outer_iters: opts.max_outer_iters,
             sample_spread: Some(machine.sm_count as u64 * blocks_per_sm as u64),
+            fuel: opts.fuel,
+            deadline: opts.deadline,
         },
     )?;
     let block_factor = if stats.blocks_executed == 0 {

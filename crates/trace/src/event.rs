@@ -208,6 +208,32 @@ pub enum TraceEvent {
         /// Net effect on the kernel.
         delta: AstDelta,
     },
+    /// A pass declined to run and would otherwise have skipped silently.
+    PassSkipped {
+        /// Pass name (`vectorize-amd`, `prefetch`, `camping`, `reduction`,
+        /// `merge`).
+        pass: &'static str,
+        /// Why the pass did nothing.
+        reason: String,
+    },
+    /// A candidate evaluation was contained after a fault (panic, fuel
+    /// exhaustion, or deadline overrun) instead of aborting the compile.
+    CandidateFault {
+        /// Candidate label, e.g. `bx8_ty4_tx1`.
+        label: String,
+        /// Fault description (`panic: ...`, `fuel exhausted`, ...).
+        fault: String,
+        /// True when the slot was retried once before being skipped.
+        retried: bool,
+    },
+    /// The pipeline fell back to the verified naive kernel.
+    Degraded {
+        /// Stable degradation reason (`all-candidates-failed`,
+        /// `pipeline-fault`, `pass-failure`).
+        reason: String,
+        /// Human-readable detail: the failure that forced the fallback.
+        detail: String,
+    },
     /// Free-form note (fallback for information with no variant yet).
     Note {
         /// The note.
@@ -238,6 +264,9 @@ impl TraceEvent {
             TraceEvent::CampingClean => "camping-clean",
             TraceEvent::ReductionRestructured { .. } => "reduction-restructure",
             TraceEvent::PassCompleted { .. } => "pass-time",
+            TraceEvent::PassSkipped { .. } => "pass-skip",
+            TraceEvent::CandidateFault { .. } => "fault",
+            TraceEvent::Degraded { .. } => "degraded",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -365,6 +394,16 @@ impl TraceEvent {
                 delta.shared_bytes,
                 delta.registers
             ),
+            TraceEvent::PassSkipped { pass, reason } => {
+                format!("pass {pass}: skipped ({reason})")
+            }
+            TraceEvent::CandidateFault { label, fault, retried } => {
+                let suffix = if *retried { " after one retry" } else { "" };
+                format!("candidate {label}: contained fault{suffix} ({fault})")
+            }
+            TraceEvent::Degraded { reason, detail } => {
+                format!("degraded to naive kernel ({reason}: {detail})")
+            }
             TraceEvent::Note { message } => message.clone(),
         }
     }
@@ -502,6 +541,19 @@ impl TraceEvent {
                 put("micros", Json::count(*micros));
                 put("delta", delta.to_json());
             }
+            TraceEvent::PassSkipped { pass, reason } => {
+                put("pass", Json::str(*pass));
+                put("reason", Json::str(reason));
+            }
+            TraceEvent::CandidateFault { label, fault, retried } => {
+                put("label", Json::str(label));
+                put("fault", Json::str(fault));
+                put("retried", Json::Bool(*retried));
+            }
+            TraceEvent::Degraded { reason, detail } => {
+                put("reason", Json::str(reason));
+                put("detail", Json::str(detail));
+            }
             TraceEvent::Note { message } => put("message", Json::str(message)),
         }
         Json::Obj(pairs)
@@ -559,6 +611,19 @@ mod tests {
                 pass: "coalesce",
                 micros: 12,
                 delta: AstDelta::default(),
+            },
+            TraceEvent::PassSkipped {
+                pass: "prefetch",
+                reason: "no staged loads".into(),
+            },
+            TraceEvent::CandidateFault {
+                label: "bx8_ty4_tx1".into(),
+                fault: "panic: boom".into(),
+                retried: true,
+            },
+            TraceEvent::Degraded {
+                reason: "all-candidates-failed".into(),
+                detail: "every merge configuration faulted".into(),
             },
         ];
         let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind()).collect();

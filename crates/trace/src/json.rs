@@ -374,7 +374,10 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar.
                     let rest = &self.bytes[start..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty checked above");
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -406,7 +409,7 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+            .map_err(|_| self.err("number bytes are not ASCII"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err(format!("invalid number `{text}`")))

@@ -43,9 +43,21 @@ impl CampingReport {
 /// have become non-affine (lane arithmetic) while their global footprint is
 /// unchanged.
 pub fn detect(state: &PipelineState, geometry: PartitionGeometry) -> Vec<String> {
-    let Ok(layouts) = resolve_layouts_padded(&state.kernel, &state.bindings) else {
-        return Vec::new();
-    };
+    detect_checked(state, geometry).unwrap_or_default()
+}
+
+/// Like [`detect`], but surfaces layout-resolution failures instead of
+/// conflating them with "no camping".
+///
+/// # Errors
+///
+/// Returns the layout error when the kernel's array layouts cannot be
+/// resolved under the current bindings.
+pub fn detect_checked(
+    state: &PipelineState,
+    geometry: PartitionGeometry,
+) -> Result<Vec<String>, gpgpu_analysis::LayoutError> {
+    let layouts = resolve_layouts_padded(&state.kernel, &state.bindings)?;
     let mut camping: Vec<String> = Vec::new();
     let period = geometry.period_bytes();
     let pragma_sizes = state.kernel.pragma_sizes();
@@ -87,7 +99,7 @@ pub fn detect(state: &PipelineState, geometry: PartitionGeometry) -> Vec<String>
             check(&acc.array, linear);
         }
     }
-    camping
+    Ok(camping)
 }
 
 /// Detects and eliminates partition camping.
@@ -101,7 +113,18 @@ pub fn eliminate(
     grid_2d: bool,
 ) -> CampingReport {
     let mut report = CampingReport::default();
-    let camping = detect(state, geometry);
+    let camping = match detect_checked(state, geometry) {
+        Ok(camping) => camping,
+        Err(e) => {
+            // Without resolved layouts the pass cannot even tell whether
+            // camping exists; record the skip rather than claiming "clean".
+            state.emit(TraceEvent::PassSkipped {
+                pass: "camping",
+                reason: format!("layout resolution failed: {e}"),
+            });
+            return report;
+        }
+    };
     if camping.is_empty() {
         state.emit(TraceEvent::CampingClean);
         return report;
@@ -132,11 +155,10 @@ pub fn eliminate(
             report.unfixed.push(array);
             continue;
         };
-        if layout.dims.len() < 2 {
+        let Some(&row_len) = layout.dims.last().filter(|_| layout.dims.len() >= 2) else {
             report.unfixed.push(array);
             continue;
-        }
-        let row_len = *layout.dims.last().unwrap();
+        };
         if row_len % offset_words != 0 {
             report.unfixed.push(array);
             continue;

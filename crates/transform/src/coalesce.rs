@@ -370,7 +370,9 @@ fn unroll_and_stage(
     let i = l.var.clone();
     let mut out_body: Vec<Stmt> = Vec::new();
     for plan in plans {
-        out_body.extend(plan.emit(HALF_WARP, 1));
+        // Freshly planned stagings always emit for a 16×1 block; a failure
+        // means the plan is malformed, so the loop is left unconverted.
+        out_body.extend(plan.emit(HALF_WARP, 1).ok()?);
     }
     out_body.push(Stmt::SyncThreads);
 
@@ -381,7 +383,9 @@ fn unroll_and_stage(
         if let Expr::Index { array, indices } = &e {
             for plan in plans {
                 if &plan.source == array && &plan.orig_indices == indices {
-                    return plan.use_site(Some(&k_expr), 1, 0);
+                    if let Some(use_expr) = plan.use_site(Some(&k_expr), 1, 0) {
+                        return use_expr;
+                    }
                 }
             }
         }
@@ -427,7 +431,9 @@ fn apply_straightline(
         return;
     };
     let base = window_base(&info.orig_indices[0], factor, resolve);
-    let mut staging = info.emit(HALF_WARP, 1);
+    let Ok(mut staging) = info.emit(HALF_WARP, 1) else {
+        return;
+    };
     staging.push(Stmt::SyncThreads);
 
     let in_window = |e: &Expr| -> Option<i64> {
@@ -458,7 +464,7 @@ fn apply_straightline(
     // Rewrite uses everywhere: A[f·idx + c] → shared[f·tidx + c].
     let body = std::mem::take(&mut kernel.body);
     let mut body = visit::map_exprs(body, &|e| match in_window(&e) {
-        Some(parity) => info.use_site(None, 1, parity),
+        Some(parity) => info.use_site(None, 1, parity).unwrap_or(e),
         None => e,
     });
     for (off, s) in staging.into_iter().enumerate() {
@@ -482,7 +488,9 @@ fn normalize_window(indices: &[Expr]) -> Vec<Expr> {
 /// Applies a Window plan: one staging region serves every constant offset
 /// of the neighbourhood (`A[rows…][idx + c]`, 0 ≤ c < 16).
 fn apply_window(kernel: &mut Kernel, info: &StagingInfo) {
-    let mut staging = info.emit(HALF_WARP, 1);
+    let Ok(mut staging) = info.emit(HALF_WARP, 1) else {
+        return;
+    };
     staging.push(Stmt::SyncThreads);
 
     // An access matches when the source, the higher-order indices, and the
@@ -522,7 +530,7 @@ fn apply_window(kernel: &mut Kernel, info: &StagingInfo) {
     let pos = kernel.body.iter().position(uses_plan).unwrap_or(0);
     let body = std::mem::take(&mut kernel.body);
     let mut body = visit::map_exprs(body, &|e| match matches(&e) {
-        Some(c) => info.use_site(None, 1, c),
+        Some(c) => info.use_site(None, 1, c).unwrap_or(e),
         None => e,
     });
     for (off, s) in staging.into_iter().enumerate() {

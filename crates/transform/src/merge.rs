@@ -50,7 +50,9 @@ impl std::error::Error for MergeError {}
 ///
 /// # Errors
 ///
-/// Returns [`MergeError::BadFactor`] for factors below 2.
+/// Returns [`MergeError::BadFactor`] for factors below 2, or
+/// [`MergeError::IncompatibleStaging`] when a staging cannot be re-emitted
+/// for the widened block.
 pub fn thread_block_merge_x(state: &mut PipelineState, n: i64) -> Result<(), MergeError> {
     if n < 2 {
         return Err(MergeError::BadFactor(n));
@@ -58,7 +60,9 @@ pub fn thread_block_merge_x(state: &mut PipelineState, n: i64) -> Result<(), Mer
     let new_bx = state.block_x * n;
     let by = state.block_y;
     for info in &state.stagings {
-        let replacement = info.emit(new_bx, by);
+        let replacement = info
+            .emit(new_bx, by)
+            .map_err(MergeError::IncompatibleStaging)?;
         replace_staging_region(&mut state.kernel.body, &info.shared, &replacement);
     }
     state.block_x = new_bx;
@@ -94,7 +98,9 @@ pub fn thread_block_merge_y(state: &mut PipelineState, n: i64) -> Result<(), Mer
     let bx = state.block_x;
     let mut row_indexed: Vec<String> = Vec::new();
     for info in &state.stagings {
-        let replacement = info.emit(bx, new_by);
+        let replacement = info
+            .emit(bx, new_by)
+            .map_err(MergeError::IncompatibleStaging)?;
         replace_staging_region(&mut state.kernel.body, &info.shared, &replacement);
         if info.varies_with_idy() {
             row_indexed.push(info.shared.clone());

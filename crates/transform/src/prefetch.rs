@@ -31,6 +31,10 @@ pub fn prefetch(state: &mut PipelineState, register_budget: u32) -> PrefetchRepo
     let est = gpgpu_analysis::estimate_resources(&state.kernel);
     let staged_loads = count_staged_loads(state);
     if staged_loads == 0 {
+        state.emit(gpgpu_trace::TraceEvent::PassSkipped {
+            pass: "prefetch",
+            reason: "no global-to-shared staging loads inside loops".into(),
+        });
         return report;
     }
     // Each double-buffered load costs ~3 registers: the temp itself plus

@@ -170,11 +170,9 @@ pub fn rewrite_reduction(
 
     // Stage 2: fold the partials into the output.
     let (out_array, out_index) = &pattern.output;
-    let out_param = state
-        .kernel
-        .param(out_array)
-        .expect("output array is a parameter")
-        .clone();
+    // The detected output array always comes from this kernel's parameter
+    // list; if it somehow does not, the rewrite is declined.
+    let out_param = state.kernel.param(out_array)?.clone();
     let stage2_params = vec![
         Param::array(&partials, ScalarType::Float, vec![Dim::Const(PARTIALS)]),
         out_param,

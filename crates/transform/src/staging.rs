@@ -93,22 +93,39 @@ impl StagingInfo {
     ///
     /// The emitted code is valid for any `block_x` that is a multiple of 16.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a halo/tile/multi-segment staging is emitted with
-    /// `block_y > 1` (the merge passes refuse those combinations).
-    pub fn emit(&self, block_x: i64, block_y: i64) -> Vec<Stmt> {
+    /// Returns a description of the violated precondition when a
+    /// halo/tile/multi-segment/window staging is emitted with `block_y > 1`
+    /// (the merge passes refuse those combinations) or a loop-keyed pattern
+    /// has lost its loop variable.
+    pub fn emit(&self, block_x: i64, block_y: i64) -> Result<Vec<Stmt>, String> {
         let tidx = Expr::Builtin(Builtin::TidX);
         let tidy = Expr::Builtin(Builtin::TidY);
         let i = self.loop_var.clone();
+        let one_row = |what: &str| -> Result<(), String> {
+            if block_y == 1 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{what} staging `{}` requires a 1-row block, got block_y = {block_y}",
+                    self.shared
+                ))
+            }
+        };
+        let keyed = |what: &str| -> Result<&str, String> {
+            i.as_deref().ok_or_else(|| {
+                format!("{what} staging `{}` lost its loop key", self.shared)
+            })
+        };
         let subst_loop = |ix: &Expr, repl: &Expr| match &i {
             Some(v) => ix.clone().subst_var(v, repl),
             None => ix.clone(),
         };
         match &self.pattern {
             StagingPattern::Segment if self.is_halo() => {
-                assert_eq!(block_y, 1, "halo staging requires a 1-row block");
-                let loop_var = i.as_deref().expect("halo staging is loop-keyed");
+                one_row("halo")?;
+                let loop_var = keyed("halo")?;
                 let window = block_x + HALF_WARP;
                 let mut out = vec![builder::shared(
                     &self.shared,
@@ -146,7 +163,7 @@ impl StagingInfo {
                     tidx.clone().lt(Expr::Int(HALF_WARP)),
                     vec![tail],
                 ));
-                out
+                Ok(out)
             }
             StagingPattern::Segment => {
                 let staged: Vec<Expr> = self
@@ -166,7 +183,7 @@ impl StagingInfo {
                         Expr::index(&self.source, staged),
                     );
                     out.push(guard_lanes(store, block_x, false));
-                    out
+                    Ok(out)
                 } else {
                     let mut out = vec![builder::shared(
                         &self.shared,
@@ -178,12 +195,12 @@ impl StagingInfo {
                         Expr::index(&self.source, staged),
                     );
                     out.push(guard_lanes(store, block_x, block_y > 1));
-                    out
+                    Ok(out)
                 }
             }
             StagingPattern::Tile => {
-                assert_eq!(block_y, 1, "tile staging requires a 1-row block");
-                let loop_var = i.as_deref().expect("tile staging is loop-keyed");
+                one_row("tile")?;
+                let loop_var = keyed("tile")?;
                 let l2 = format!("{}_l", self.shared);
                 let mut out = vec![builder::shared(
                     &self.shared,
@@ -225,10 +242,10 @@ impl StagingInfo {
                         Expr::index(&self.source, staged),
                     )],
                 ));
-                out
+                Ok(out)
             }
             StagingPattern::Window => {
-                assert_eq!(block_y, 1, "window staging requires a 1-row block");
+                one_row("window")?;
                 let window = block_x + HALF_WARP;
                 let mut out = vec![builder::shared(
                     &self.shared,
@@ -268,10 +285,10 @@ impl StagingInfo {
                     tidx.clone().lt(Expr::Int(HALF_WARP)),
                     vec![tail],
                 ));
-                out
+                Ok(out)
             }
             StagingPattern::MultiSegment { factor } => {
-                assert_eq!(block_y, 1, "multi-segment staging requires a 1-row block");
+                one_row("multi-segment")?;
                 let f = *factor;
                 let mut out = vec![builder::shared(
                     &self.shared,
@@ -289,7 +306,7 @@ impl StagingInfo {
                         Expr::index(&self.source, vec![addr]),
                     ));
                 }
-                out
+                Ok(out)
             }
         }
     }
@@ -299,25 +316,21 @@ impl StagingInfo {
     /// `k` is the unrolled-iteration variable for loop-keyed stagings;
     /// `block_y` selects the per-`tidy` layout for Y-merged segments;
     /// `parity` is the constant offset for multi-segment accesses.
-    pub fn use_site(&self, k: Option<&Expr>, block_y: i64, parity: i64) -> Expr {
+    ///
+    /// Returns `None` when a loop-keyed pattern is queried without its
+    /// iteration variable — callers then leave the original access in place.
+    pub fn use_site(&self, k: Option<&Expr>, block_y: i64, parity: i64) -> Option<Expr> {
         let tidx = Expr::Builtin(Builtin::TidX);
         let tidy = Expr::Builtin(Builtin::TidY);
-        match &self.pattern {
-            StagingPattern::Segment if self.is_halo() => Expr::index(
-                &self.shared,
-                vec![tidx.add(k.expect("loop-keyed").clone())],
-            ),
-            StagingPattern::Segment if self.varies_with_idy() && block_y > 1 => Expr::index(
-                &self.shared,
-                vec![tidy, k.expect("loop-keyed").clone()],
-            ),
-            StagingPattern::Segment => {
-                Expr::index(&self.shared, vec![k.expect("loop-keyed").clone()])
+        Some(match &self.pattern {
+            StagingPattern::Segment if self.is_halo() => {
+                Expr::index(&self.shared, vec![tidx.add(k?.clone())])
             }
-            StagingPattern::Tile => Expr::index(
-                &self.shared,
-                vec![tidx, k.expect("loop-keyed").clone()],
-            ),
+            StagingPattern::Segment if self.varies_with_idy() && block_y > 1 => {
+                Expr::index(&self.shared, vec![tidy, k?.clone()])
+            }
+            StagingPattern::Segment => Expr::index(&self.shared, vec![k?.clone()]),
+            StagingPattern::Tile => Expr::index(&self.shared, vec![tidx, k?.clone()]),
             StagingPattern::MultiSegment { factor } => Expr::index(
                 &self.shared,
                 vec![Expr::Int(*factor).mul(tidx).add(Expr::Int(parity))],
@@ -325,7 +338,7 @@ impl StagingInfo {
             StagingPattern::Window => {
                 Expr::index(&self.shared, vec![tidx.add(Expr::Int(parity))])
             }
-        }
+        })
     }
 }
 
@@ -436,7 +449,7 @@ mod tests {
 
     #[test]
     fn segment_emission_matches_fig3a() {
-        let s = render(&segment_info().emit(16, 1));
+        let s = render(&segment_info().emit(16, 1).unwrap());
         assert!(s.contains("__shared__ float shared0[16];"), "{s}");
         assert!(s.contains("shared0[tidx] = a[idy][i + tidx];"), "{s}");
         assert!(!s.contains("if"), "{s}");
@@ -444,14 +457,14 @@ mod tests {
 
     #[test]
     fn segment_emission_guarded_after_x_merge() {
-        let s = render(&segment_info().emit(128, 1));
+        let s = render(&segment_info().emit(128, 1).unwrap());
         assert!(s.contains("if (tidx < 16) {"), "{s}");
         assert!(s.contains("shared0[tidx] = a[idy][i + tidx];"), "{s}");
     }
 
     #[test]
     fn segment_emission_replicates_rows_after_y_merge() {
-        let s = render(&segment_info().emit(16, 4));
+        let s = render(&segment_info().emit(16, 4).unwrap());
         assert!(s.contains("__shared__ float shared0[4][16];"), "{s}");
         assert!(s.contains("shared0[tidy][tidx] = a[idy][i + tidx];"), "{s}");
         // idy-dependent data: every tidy row stages its own copy, no guard.
@@ -468,7 +481,7 @@ mod tests {
             loop_var: Some("i".into()),
             orig_indices: vec![Expr::var("i")],
         };
-        let s = render(&info.emit(16, 4));
+        let s = render(&info.emit(16, 4).unwrap());
         assert!(s.contains("tidy == 0"), "{s}");
         assert!(s.contains("__shared__ float sb[16];"), "{s}");
     }
@@ -485,10 +498,10 @@ mod tests {
                 Expr::Builtin(Builtin::IdX).add(Expr::var("i")),
             ],
         };
-        let s16 = render(&info.emit(16, 1));
+        let s16 = render(&info.emit(16, 1).unwrap());
         assert!(s16.contains("__shared__ float sw[32];"), "{s16}");
         assert!(s16.contains("if (tidx < 16) {"), "{s16}");
-        let s128 = render(&info.emit(128, 1));
+        let s128 = render(&info.emit(128, 1).unwrap());
         assert!(s128.contains("__shared__ float sw[144];"), "{s128}");
         assert!(s128.contains("tidx + 128"), "{s128}");
     }
@@ -502,7 +515,7 @@ mod tests {
             loop_var: Some("i".into()),
             orig_indices: vec![Expr::Builtin(Builtin::IdX), Expr::var("i")],
         };
-        let s = render(&info.emit(16, 1));
+        let s = render(&info.emit(16, 1).unwrap());
         assert!(s.contains("__shared__ float shared1[16][17];"), "{s}");
         assert!(s.contains("shared1[shared1_l][tidx] = a[idx - tidx + shared1_l][i + tidx];"), "{s}");
     }
@@ -516,7 +529,7 @@ mod tests {
             loop_var: Some("i".into()),
             orig_indices: vec![Expr::Builtin(Builtin::IdX), Expr::var("i")],
         };
-        let s = render(&info.emit(128, 1));
+        let s = render(&info.emit(128, 1).unwrap());
         assert!(s.contains("__shared__ float t[128][17];"), "{s}");
         assert!(s.contains("tidx % 16"), "{s}");
         assert_eq!(info.shared_words(128, 1), 128 * 17);
@@ -531,7 +544,7 @@ mod tests {
             loop_var: None,
             orig_indices: vec![Expr::Int(2).mul(Expr::Builtin(Builtin::IdX))],
         };
-        let s = render(&info.emit(64, 1));
+        let s = render(&info.emit(64, 1).unwrap());
         assert!(s.contains("__shared__ float ms[128];"), "{s}");
         assert!(s.contains("ms[tidx + 64] = a[2 * (idx - tidx) + tidx + 64];"), "{s}");
     }
@@ -541,11 +554,11 @@ mod tests {
         let k = Expr::var("k");
         let seg = segment_info();
         assert_eq!(
-            seg.use_site(Some(&k), 1, 0),
+            seg.use_site(Some(&k), 1, 0).unwrap(),
             Expr::index("shared0", vec![Expr::var("k")])
         );
         assert_eq!(
-            seg.use_site(Some(&k), 4, 0),
+            seg.use_site(Some(&k), 4, 0).unwrap(),
             Expr::index(
                 "shared0",
                 vec![Expr::Builtin(Builtin::TidY), Expr::var("k")]
@@ -559,7 +572,7 @@ mod tests {
             orig_indices: vec![],
         };
         assert_eq!(
-            ms.use_site(None, 1, 1),
+            ms.use_site(None, 1, 1).unwrap(),
             Expr::index(
                 "ms",
                 vec![Expr::Int(2)
@@ -579,12 +592,12 @@ mod tests {
             bound: Expr::var("w"),
             update: gpgpu_ast::LoopUpdate::AddAssign(16),
             body: {
-                let mut b = info.emit(16, 1);
+                let mut b = info.emit(16, 1).unwrap();
                 b.push(Stmt::SyncThreads);
                 b
             },
         })];
-        let new = info.emit(128, 1);
+        let new = info.emit(128, 1).unwrap();
         assert!(replace_staging_region(&mut body, "shared0", &new));
         let s = render(&body);
         assert!(s.contains("if (tidx < 16) {"), "{s}");

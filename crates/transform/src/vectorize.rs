@@ -125,30 +125,24 @@ fn apply_to_array(
     let body = std::mem::take(&mut state.kernel.body);
     state.kernel.body = visit::map_exprs(body, &|e| match e {
         Expr::Index { array: a, indices } if a == array && indices.len() == 1 => {
-            let form = Affine::from_expr(&indices[0], resolve)
-                .expect("pairing pre-checked affine forms");
-            let parity = form.constant_part().rem_euclid(2);
-            let halved = form
-                .sub(&Affine::constant(parity))
-                .div_exact(2)
-                .expect("even form is divisible");
-            let component = if parity == 0 { Field::X } else { Field::Y };
-            Expr::Field(
-                Box::new(Expr::Index {
-                    array: a,
-                    indices: vec![affine_to_expr(&halved)],
-                }),
-                component,
-            )
+            // Pairing was pre-checked by `forms_pair_up`; if the checker and
+            // the rewriter ever disagree, the access is left untouched.
+            match halved_component(&indices[0], resolve) {
+                Some((halved, component)) => Expr::Field(
+                    Box::new(Expr::Index {
+                        array: a,
+                        indices: vec![affine_to_expr(&halved)],
+                    }),
+                    component,
+                ),
+                None => Expr::Index { array: a, indices },
+            }
         }
         other => other,
     });
-    let param = state
-        .kernel
-        .params
-        .iter_mut()
-        .find(|p| p.name == array)
-        .expect("array is a parameter");
+    let Some(param) = state.kernel.params.iter_mut().find(|p| p.name == array) else {
+        return;
+    };
     param.ty = ScalarType::Float2;
     param.dims = vec![match &param.dims[0] {
         Dim::Const(v) => Dim::Const(v / 2),
@@ -161,6 +155,20 @@ fn apply_to_array(
             }
         }
     }];
+}
+
+/// Splits a pre-checked paired index `2e+N` / `2e+N+1` into its halved
+/// affine form and the `.x`/`.y` component; `None` when the form turns out
+/// not to be paired after all.
+fn halved_component(
+    index: &Expr,
+    resolve: &dyn Fn(&str) -> Option<i64>,
+) -> Option<(Affine, Field)> {
+    let form = Affine::from_expr(index, resolve)?;
+    let parity = form.constant_part().rem_euclid(2);
+    let halved = form.sub(&Affine::constant(parity)).div_exact(2)?;
+    let component = if parity == 0 { Field::X } else { Field::Y };
+    Some((halved, component))
 }
 
 /// Result of the AMD-style vectorization pass.
@@ -180,15 +188,33 @@ pub struct AmdVectorizeReport {
 /// computes `factor` consecutive outputs through vector loads/stores, and
 /// the launch domain shrinks accordingly (`thread_merge_x`).
 ///
-/// Returns a zero-width report (kernel untouched) when the shape does not
-/// match or an extent is not divisible by `factor`.
+/// Returns a zero-width report (kernel untouched, a `pass-skip` trace event
+/// recorded with the reason) when the shape does not match or an extent is
+/// not divisible by `factor`.
 pub fn vectorize_amd(state: &mut PipelineState, factor: i64) -> AmdVectorizeReport {
+    match try_vectorize_amd(state, factor) {
+        Ok(report) => report,
+        Err(reason) => {
+            state.emit(gpgpu_trace::TraceEvent::PassSkipped {
+                pass: "vectorize-amd",
+                reason,
+            });
+            AmdVectorizeReport::default()
+        }
+    }
+}
+
+/// The fallible body of [`vectorize_amd`]: every shape check runs before the
+/// kernel is mutated, so an `Err` (the skip reason) leaves it untouched.
+fn try_vectorize_amd(
+    state: &mut PipelineState,
+    factor: i64,
+) -> Result<AmdVectorizeReport, String> {
     use gpgpu_ast::{Field, LValue, Stmt};
-    let none = AmdVectorizeReport::default();
     let ty = match factor {
         2 => ScalarType::Float2,
         4 => ScalarType::Float4,
-        _ => return none,
+        _ => return Err(format!("unsupported vector width {factor}")),
     };
     let lanes: &[Field] = match factor {
         2 => &[Field::X, Field::Y],
@@ -201,27 +227,30 @@ pub fn vectorize_amd(state: &mut PipelineState, factor: i64) -> AmdVectorizeRepo
     let idx_only = |indices: &[Expr]| indices == [Expr::Builtin(gpgpu_ast::Builtin::IdX)];
     for p in kernel.array_params() {
         if p.ty != ScalarType::Float || p.dims.len() != 1 {
-            return none;
+            return Err(format!("`{}` is not a 1-D float array", p.name));
         }
         let Some(extent) = kernel
             .resolve_dims(&p.name, &state.bindings)
             .map(|d| d[0])
         else {
-            return none;
+            return Err(format!("extent of `{}` is unknown", p.name));
         };
         if extent % factor != 0 {
-            return none;
+            return Err(format!(
+                "extent {extent} of `{}` is not divisible by {factor}",
+                p.name
+            ));
         }
     }
     for stmt in &kernel.body {
         let Stmt::Assign { lhs, rhs } = stmt else {
-            return none;
+            return Err("kernel body is not straight-line assignments".into());
         };
         let LValue::Index { indices, .. } = lhs else {
-            return none;
+            return Err("a store does not target a global array".into());
         };
         if !idx_only(indices) {
-            return none;
+            return Err("a store is not indexed exactly by `idx`".into());
         }
         let mut ok = true;
         rhs.walk(&mut |e| match e {
@@ -235,24 +264,33 @@ pub fn vectorize_amd(state: &mut PipelineState, factor: i64) -> AmdVectorizeRepo
             _ => {}
         });
         if !ok {
-            return none;
+            return Err("a read is not indexed exactly by `idx`".into());
         }
     }
-
-    // Widen the parameters.
+    // Resolve every widened extent up front so the mutation below is
+    // all-or-nothing.
     let bindings = state.bindings.clone();
-    for p in state.kernel.params.iter_mut() {
+    let mut widened: Vec<(usize, i64)> = Vec::new();
+    for (pos, p) in state.kernel.params.iter().enumerate() {
         if p.dims.len() == 1 {
             let extent = match &p.dims[0] {
                 gpgpu_ast::Dim::Const(v) => *v,
                 gpgpu_ast::Dim::Sym(name) => match bindings.get(name) {
                     Some(v) => *v,
-                    None => return none,
+                    None => {
+                        return Err(format!("extent of `{}` has no binding", p.name))
+                    }
                 },
             };
-            p.ty = ty;
-            p.dims = vec![gpgpu_ast::Dim::Const(extent / factor)];
+            widened.push((pos, extent / factor));
         }
+    }
+
+    // Widen the parameters.
+    for (pos, new_extent) in widened {
+        let p = &mut state.kernel.params[pos];
+        p.ty = ty;
+        p.dims = vec![gpgpu_ast::Dim::Const(new_extent)];
     }
 
     // Rewrite each statement: hoist vector loads, compute per lane, store
@@ -293,14 +331,12 @@ pub fn vectorize_amd(state: &mut PipelineState, factor: i64) -> AmdVectorizeRepo
         });
         for &lane in lanes {
             let lane_rhs = rhs.clone().map(&|e| match &e {
-                Expr::Index { array, .. } => {
-                    let temp = &loaded
-                        .iter()
-                        .find(|(a, _)| a == array)
-                        .expect("hoisted above")
-                        .1;
-                    Expr::Field(Box::new(Expr::Var(temp.clone())), lane)
-                }
+                // Every rhs array was hoisted just above; an unknown array
+                // here would mean the hoist missed it, so keep the access.
+                Expr::Index { array, .. } => match loaded.iter().find(|(a, _)| a == array) {
+                    Some((_, temp)) => Expr::Field(Box::new(Expr::Var(temp.clone())), lane),
+                    None => e,
+                },
                 _ => e,
             });
             new_body.push(Stmt::Assign {
@@ -318,7 +354,7 @@ pub fn vectorize_amd(state: &mut PipelineState, factor: i64) -> AmdVectorizeRepo
     state.emit(gpgpu_trace::TraceEvent::AmdVectorizeApplied {
         width: factor as u32,
     });
-    AmdVectorizeReport { width: factor }
+    Ok(AmdVectorizeReport { width: factor })
 }
 
 #[cfg(test)]

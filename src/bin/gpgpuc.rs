@@ -20,17 +20,50 @@
 //!   --verify <size>                     check optimized == naive on the
 //!                                       simulator at a smaller size bound
 //!                                       (binds every symbol to <size>)
+//!   --strict                            treat degradation to the naive
+//!                                       kernel as a failure (exit 2)
 //! ```
 //!
 //! The input is a *naive* MiniCUDA kernel (one output element per thread);
 //! the output is the optimized kernel plus its launch configuration,
 //! exactly as in the paper's workflow.
+//!
+//! ## Exit codes
+//!
+//! | Code | Meaning |
+//! |------|---------|
+//! | 0    | success (including non-strict degraded runs) |
+//! | 1    | verification failed (`--verify`) |
+//! | 2    | compilation degraded to the naive kernel under `--strict` |
+//! | 64   | usage error (unknown flag, missing operand) |
+//! | 65   | the input did not parse |
+//! | 66   | the input file could not be read |
+//! | 69   | compilation failed with no viable fallback |
+//! | 70   | an internal fault (contained panic) with no viable fallback |
+//! | 74   | an output file (e.g. `--trace-json`) could not be written |
 
 use gpgpu::ast::{parse_kernel, print_kernel, PrintOptions};
-use gpgpu::core::{compile, verify_equivalence, CompileOptions, StageSet};
+use gpgpu::core::{compile, verify_equivalence, CompileOptions, CompilerError, StageSet};
 use gpgpu::sim::MachineDesc;
 use std::io::Read;
 use std::process::ExitCode;
+
+/// Verification mismatch (`--verify`).
+const EXIT_VERIFY_FAILED: u8 = 1;
+/// Degraded compilation under `--strict`.
+const EXIT_DEGRADED_STRICT: u8 = 2;
+/// Bad command line (sysexits `EX_USAGE`).
+const EXIT_USAGE: u8 = 64;
+/// Unparseable input (sysexits `EX_DATAERR`).
+const EXIT_PARSE: u8 = 65;
+/// Unreadable input (sysexits `EX_NOINPUT`).
+const EXIT_NOINPUT: u8 = 66;
+/// Compilation failed, no fallback (sysexits `EX_UNAVAILABLE`).
+const EXIT_COMPILE: u8 = 69;
+/// Contained internal fault, no fallback (sysexits `EX_SOFTWARE`).
+const EXIT_INTERNAL: u8 = 70;
+/// Output file could not be written (sysexits `EX_IOERR`).
+const EXIT_IO: u8 = 74;
 
 struct Args {
     input: String,
@@ -43,6 +76,7 @@ struct Args {
     metrics: bool,
     trace_json: Option<String>,
     verify_at: Option<i64>,
+    strict: bool,
 }
 
 fn usage(msg: &str) -> ExitCode {
@@ -50,9 +84,14 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: gpgpuc [--machine gtx8800|gtx280|hd5870] [--bind n=1024]... \
          [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
-         [--report] [--metrics] [--trace-json <path>] [--verify <size>] <kernel.cu | ->"
+         [--report] [--metrics] [--trace-json <path>] [--verify <size>] [--strict] <kernel.cu | ->"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// Renders the full failure chain of a compiler error to stderr.
+fn report_error(e: &CompilerError) {
+    eprintln!("gpgpuc: error: {}", e.render_chain());
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         metrics: false,
         trace_json: None,
         verify_at: None,
+        strict: false,
     };
     let mut it = std::env::args().skip(1);
     let mut input: Option<String> = None;
@@ -100,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-partition" => args.stages.partition = false,
             "--report" => args.report = true,
             "--metrics" => args.metrics = true,
+            "--strict" => args.strict = true,
             "--trace-json" => {
                 args.trace_json = Some(it.next().ok_or("--trace-json needs a path")?);
             }
@@ -125,7 +166,8 @@ fn main() -> ExitCode {
     let source = if args.input == "-" {
         let mut buf = String::new();
         if std::io::stdin().read_to_string(&mut buf).is_err() {
-            return usage("cannot read stdin");
+            eprintln!("gpgpuc: cannot read stdin");
+            return ExitCode::from(EXIT_NOINPUT);
         }
         buf
     } else {
@@ -133,15 +175,15 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("gpgpuc: cannot read `{}`: {e}", args.input);
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_NOINPUT);
             }
         }
     };
     let naive = match parse_kernel(&source) {
         Ok(k) => k,
         Err(e) => {
-            eprintln!("gpgpuc: {e}");
-            return ExitCode::FAILURE;
+            report_error(&CompilerError::from(e));
+            return ExitCode::from(EXIT_PARSE);
         }
     };
 
@@ -154,22 +196,43 @@ fn main() -> ExitCode {
     let compiled = match compile(&naive, &opts) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("gpgpuc: compilation failed: {e}");
-            return ExitCode::FAILURE;
+            let err = CompilerError::from(e);
+            report_error(&err);
+            return ExitCode::from(if err.is_fault() {
+                EXIT_INTERNAL
+            } else {
+                EXIT_COMPILE
+            });
         }
+    };
+    // Degradation is a warning by default and a failure under --strict; the
+    // fallback kernel is still printed either way so pipelines keep working.
+    if let Some(reason) = &compiled.degraded {
+        eprintln!(
+            "gpgpuc: warning: optimization failed; falling back to the verified \
+             naive kernel ({reason})"
+        );
+        if args.strict {
+            eprintln!("gpgpuc: error: degraded compilation rejected by --strict");
+        }
+    }
+    let exit_ok = if args.strict && compiled.degraded.is_some() {
+        ExitCode::from(EXIT_DEGRADED_STRICT)
+    } else {
+        ExitCode::SUCCESS
     };
 
     if let Some(path) = &args.trace_json {
         let doc = compiled.trace_json(args.machine.name).pretty();
         if let Err(e) = std::fs::write(path, doc) {
             eprintln!("gpgpuc: cannot write trace to `{path}`: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
     }
 
     if args.emit_cu {
         print!("{}", gpgpu::core::emit_cu(&compiled, &opts.bindings));
-        return ExitCode::SUCCESS;
+        return exit_ok;
     }
     let popts = if args.cuda_names {
         PrintOptions::cuda()
@@ -251,17 +314,23 @@ fn main() -> ExitCode {
         let vcompiled = match compile(&naive, &vopts) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("gpgpuc: verification compile failed: {e}");
-                return ExitCode::FAILURE;
+                let err = CompilerError::from(e).with_context("compiling at verification size");
+                report_error(&err);
+                return ExitCode::from(if err.is_fault() {
+                    EXIT_INTERNAL
+                } else {
+                    EXIT_COMPILE
+                });
             }
         };
         match verify_equivalence(&naive, &vcompiled, &vopts) {
             Ok(()) => eprintln!("verify: optimized output matches the naive kernel at size {size}"),
             Err(e) => {
-                eprintln!("gpgpuc: VERIFICATION FAILED: {e}");
-                return ExitCode::FAILURE;
+                report_error(&CompilerError::from(e));
+                eprintln!("gpgpuc: VERIFICATION FAILED");
+                return ExitCode::from(EXIT_VERIFY_FAILED);
             }
         }
     }
-    ExitCode::SUCCESS
+    exit_ok
 }

@@ -13,7 +13,8 @@ fn gpgpuc() -> Command {
     Command::new(env!("CARGO_BIN_EXE_gpgpuc"))
 }
 
-fn run_with_stdin(mut cmd: Command, stdin: &str) -> (String, String, bool) {
+/// Runs gpgpuc and returns (stdout, stderr, exit code).
+fn run_full(mut cmd: Command, stdin: &str) -> (String, String, i32) {
     let mut child = cmd
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -31,8 +32,13 @@ fn run_with_stdin(mut cmd: Command, stdin: &str) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code().expect("gpgpuc not killed by signal"),
     )
+}
+
+fn run_with_stdin(cmd: Command, stdin: &str) -> (String, String, bool) {
+    let (stdout, stderr, code) = run_full(cmd, stdin);
+    (stdout, stderr, code == 0)
 }
 
 #[test]
@@ -78,19 +84,86 @@ fn stage_toggles_change_output() {
 }
 
 #[test]
-fn parse_errors_fail_cleanly() {
+fn parse_errors_exit_65_with_spanned_stderr() {
     let mut cmd = gpgpuc();
     cmd.arg("-");
-    let (_, stderr, ok) = run_with_stdin(cmd, "__global__ void broken(");
-    assert!(!ok);
-    assert!(stderr.contains("parse error"), "{stderr}");
+    let (_, stderr, code) = run_full(cmd, "__global__ void broken(");
+    assert_eq!(code, 65, "stderr: {stderr}");
+    // Golden stderr shape: prefixed, classified, and source-located.
+    assert!(stderr.starts_with("gpgpuc: error: parse error at "), "{stderr}");
+    assert!(stderr.contains("expected"), "{stderr}");
 }
 
 #[test]
-fn unknown_flags_print_usage() {
+fn unknown_flags_exit_64_with_usage() {
     let mut cmd = gpgpuc();
     cmd.args(["--frobnicate", "-"]);
-    let (_, stderr, ok) = run_with_stdin(cmd, MV);
-    assert!(!ok);
+    let (_, stderr, code) = run_full(cmd, MV);
+    assert_eq!(code, 64, "stderr: {stderr}");
     assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_input_file_exits_66() {
+    let mut cmd = gpgpuc();
+    cmd.arg("/nonexistent/kernel.cu");
+    let (_, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 66, "stderr: {stderr}");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+// The GPGPU_FAULT hooks below are compiled into the test-profile gpgpuc
+// binary because `cargo test` unifies the root dev-dependency's
+// `fault-inject` feature into the bin; release builds get the no-op shims.
+
+#[test]
+fn injected_fault_degrades_gracefully_without_strict() {
+    let mut cmd = gpgpuc();
+    cmd.args(["--bind", "n=128", "--bind", "w=128", "-"]);
+    cmd.env("GPGPU_FAULT", "fuel:*");
+    let (stdout, stderr, code) = run_full(cmd, MV);
+    assert_eq!(code, 0, "degradation is a warning by default: {stderr}");
+    assert!(
+        stderr.contains("falling back to the verified naive kernel"),
+        "{stderr}"
+    );
+    // The fallback still prints a runnable kernel and launch.
+    assert!(stdout.contains("// launch configuration: <<<"), "{stdout}");
+    assert!(!stdout.contains("__shared__"), "naive fallback only: {stdout}");
+}
+
+#[test]
+fn injected_fault_exits_2_under_strict() {
+    let mut cmd = gpgpuc();
+    cmd.args(["--bind", "n=128", "--bind", "w=128", "--strict", "-"]);
+    cmd.env("GPGPU_FAULT", "panic:pipeline");
+    let (stdout, stderr, code) = run_full(cmd, MV);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(
+        stderr.contains("degraded compilation rejected by --strict"),
+        "{stderr}"
+    );
+    // Even rejected, the fallback kernel is emitted for inspection.
+    assert!(stdout.contains("// launch configuration: <<<"), "{stdout}");
+}
+
+#[test]
+fn strict_trace_json_still_records_degradation() {
+    let dir = std::env::temp_dir().join(format!("gpgpuc-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("trace.json");
+    let mut cmd = gpgpuc();
+    cmd.args(["--bind", "n=128", "--bind", "w=128", "--strict", "--trace-json"]);
+    cmd.arg(&trace);
+    cmd.arg("-");
+    cmd.env("GPGPU_FAULT", "fuel:*");
+    let (_, stderr, code) = run_full(cmd, MV);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    let doc = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(doc.contains("\"reason\": \"all-candidates-failed\""), "{doc}");
+    // The per-candidate fault events die with the failed exploration, but
+    // the degradation record names the faults so the JSON stays actionable.
+    assert!(doc.contains("faulted; last fault:"), "{doc}");
+    assert!(doc.contains("\"kind\": \"degraded\""), "{doc}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

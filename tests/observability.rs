@@ -55,12 +55,13 @@ fn mm_case_study_golden_event_sequence() {
     }
 
     // The camping decision is recorded one way or another: either the pass
-    // ran (clean/fixed/unfixed) or the driver noted why it was bypassed.
+    // ran (clean/fixed/unfixed) or it was skipped with a reason (e.g. the
+    // winner's non-square grid cannot take the diagonal remap).
     assert!(
         kinds.iter().any(|k| k.starts_with("camping"))
             || compiled.trace.events().iter().any(|e| matches!(
                 e,
-                TraceEvent::Note { message } if message.contains("camping")
+                TraceEvent::PassSkipped { pass: "camping", .. }
             )),
         "no partition-camping decision in {kinds:?}"
     );
