@@ -16,6 +16,8 @@
 //! * [`partition`] — partition-camping detection (§3.7).
 //! * [`resources`] — per-thread register and per-block shared-memory
 //!   estimates used to balance parallelism against reuse (§4).
+//! * [`manager`] — the memoizing [`AnalysisManager`] that caches the above
+//!   keyed by a kernel version counter, with pass-declared preservation.
 //!
 //! The analyses are purely symbolic: they never execute the kernel. The
 //! compiler binds concrete input sizes before querying them, mirroring the
@@ -25,6 +27,7 @@ pub mod access;
 pub mod affine;
 pub mod banks;
 pub mod layout;
+pub mod manager;
 pub mod partition;
 pub mod resources;
 pub mod sharing;
@@ -38,6 +41,7 @@ pub use banks::{conflict_degree, padding_for, DEFAULT_BANKS};
 pub use layout::{
     resolve_layouts, resolve_layouts_padded, ArrayLayout, Bindings, LayoutError,
 };
+pub use manager::{AnalysisKind, AnalysisManager, AnalysisSet, CacheStats, LayoutMap};
 pub use partition::{detect_partition_camping, PartitionGeometry, PartitionReport};
 pub use resources::{estimate_resources, ResourceEstimate};
 pub use sharing::{analyze_sharing, MergeKind, SharingDirection, SharingReport};

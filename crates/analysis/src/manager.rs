@@ -1,0 +1,434 @@
+//! The memoizing analysis manager.
+//!
+//! Every transformation pass needs some subset of the same four analyses —
+//! resolved array layouts, the global-access classification (which embeds
+//! the affine index analysis), the inter-thread sharing report, and the
+//! per-thread resource estimate. Recomputing them from scratch on every
+//! query made design-space exploration O(passes × analyses); the
+//! [`AnalysisManager`] memoizes each result keyed by the kernel's version
+//! counter (see `PipelineState::version` in `gpgpu-transform`) so a pass
+//! that did not change the kernel — or that declared an analysis
+//! *preserved* — gets the cached value back.
+//!
+//! The protocol mirrors production pass managers:
+//!
+//! 1. the driver calls [`AnalysisManager::sync`] with the kernel's current
+//!    version before a pass runs, dropping anything stale;
+//! 2. the pass queries [`layouts`](AnalysisManager::layouts),
+//!    [`accesses`](AnalysisManager::accesses),
+//!    [`sharing`](AnalysisManager::sharing) or
+//!    [`resources`](AnalysisManager::resources);
+//! 3. after the pass, the driver calls
+//!    [`retain_preserved`](AnalysisManager::retain_preserved) with the
+//!    pass's preservation declaration: preserved entries are revalidated at
+//!    the new kernel version, the rest are invalidated.
+//!
+//! Results are `Arc`-shared, so cloning the manager (copy-on-write
+//! candidate exploration branches it alongside the pipeline state) is
+//! cheap and hits in a branch cost nothing extra.
+
+use crate::access::{collect_accesses, GlobalAccess};
+use crate::layout::{resolve_layouts_padded, ArrayLayout, Bindings, LayoutError};
+use crate::resources::{estimate_resources, ResourceEstimate};
+use crate::sharing::{analyze_sharing, SharingReport};
+use gpgpu_ast::Kernel;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Resolved array layouts, as cached by the manager.
+pub type LayoutMap = HashMap<String, ArrayLayout>;
+
+/// The analyses the manager memoizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisKind {
+    /// Resolved (padded) array layouts.
+    Layouts,
+    /// Global-access enumeration + affine classification (§3.2).
+    Accesses,
+    /// Inter-thread data-sharing report (§3.4–3.5).
+    Sharing,
+    /// Register / shared-memory resource estimate (§4).
+    Resources,
+}
+
+impl AnalysisKind {
+    /// Every analysis kind, in a fixed order.
+    pub const ALL: [AnalysisKind; 4] = [
+        AnalysisKind::Layouts,
+        AnalysisKind::Accesses,
+        AnalysisKind::Sharing,
+        AnalysisKind::Resources,
+    ];
+
+    /// Stable schema name of the analysis.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisKind::Layouts => "layouts",
+            AnalysisKind::Accesses => "accesses",
+            AnalysisKind::Sharing => "sharing",
+            AnalysisKind::Resources => "resources",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        1 << self as u8
+    }
+}
+
+/// A set of analyses — what a pass declares it preserves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisSet(u8);
+
+impl AnalysisSet {
+    /// The empty set: the pass may have perturbed every analysis.
+    pub fn none() -> AnalysisSet {
+        AnalysisSet(0)
+    }
+
+    /// Every analysis: the pass did not change the kernel in any way an
+    /// analysis observes.
+    pub fn all() -> AnalysisSet {
+        let mut s = AnalysisSet(0);
+        for k in AnalysisKind::ALL {
+            s.0 |= k.bit();
+        }
+        s
+    }
+
+    /// Adds one analysis to the set.
+    #[must_use]
+    pub fn with(mut self, kind: AnalysisKind) -> AnalysisSet {
+        self.0 |= kind.bit();
+        self
+    }
+
+    /// True when the set contains `kind`.
+    pub fn contains(self, kind: AnalysisKind) -> bool {
+        self.0 & kind.bit() != 0
+    }
+}
+
+/// Cache bookkeeping counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that recomputed.
+    pub misses: u64,
+    /// Cache entries dropped by invalidation.
+    pub invalidations: u64,
+}
+
+/// One cached result and the kernel version it was computed at.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    version: u64,
+    value: T,
+}
+
+/// The sharing cache entry: the block extents the report was computed for,
+/// plus the report itself.
+type SharingSlot = Slot<((i64, i64), Result<Arc<SharingReport>, LayoutError>)>;
+
+/// Memoizes the four pipeline analyses keyed by a kernel version counter.
+///
+/// See the [module docs](self) for the protocol. The manager never observes
+/// the kernel directly — callers pass the kernel (and bindings) with each
+/// query and are responsible for keeping the version honest; in the
+/// pipeline that bookkeeping is done by `PipelineState::kernel_mut` and the
+/// pass manager.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisManager {
+    version: u64,
+    layouts: Option<Slot<Result<Arc<LayoutMap>, LayoutError>>>,
+    accesses: Option<Slot<Result<Arc<Vec<GlobalAccess>>, LayoutError>>>,
+    /// Sharing is additionally keyed by the block extents it was computed
+    /// for (the report depends on the thread-block geometry).
+    sharing: Option<SharingSlot>,
+    resources: Option<Slot<Arc<ResourceEstimate>>>,
+    stats: CacheStats,
+    hit_log: Vec<(&'static str, u64)>,
+}
+
+impl AnalysisManager {
+    /// A fresh manager at kernel version 0 with an empty cache.
+    pub fn new() -> AnalysisManager {
+        AnalysisManager::default()
+    }
+
+    /// The kernel version the manager currently trusts.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Cache bookkeeping counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drains the `(analysis, version)` hit log accumulated since the last
+    /// drain — the pass manager turns these into trace events.
+    pub fn drain_hits(&mut self) -> Vec<(&'static str, u64)> {
+        std::mem::take(&mut self.hit_log)
+    }
+
+    /// Aligns the manager with the kernel's version counter: any cached
+    /// entry computed at a different version is dropped. Returns the names
+    /// of the analyses invalidated.
+    pub fn sync(&mut self, version: u64) -> Vec<&'static str> {
+        self.retain_preserved(AnalysisSet::none(), version)
+    }
+
+    /// Moves the manager to `new_version`, revalidating the entries whose
+    /// analysis the finished pass declared `preserved` and dropping the
+    /// rest. Returns the names of the analyses actually dropped.
+    pub fn retain_preserved(
+        &mut self,
+        preserved: AnalysisSet,
+        new_version: u64,
+    ) -> Vec<&'static str> {
+        let mut dropped = Vec::new();
+        let stats = &mut self.stats;
+        fn visit<T>(
+            slot: &mut Option<Slot<T>>,
+            kind: AnalysisKind,
+            preserved: AnalysisSet,
+            new_version: u64,
+            stats: &mut CacheStats,
+            dropped: &mut Vec<&'static str>,
+        ) {
+            if let Some(s) = slot {
+                if s.version != new_version {
+                    if preserved.contains(kind) {
+                        s.version = new_version;
+                    } else {
+                        *slot = None;
+                        stats.invalidations += 1;
+                        dropped.push(kind.name());
+                    }
+                }
+            }
+        }
+        visit(&mut self.layouts, AnalysisKind::Layouts, preserved, new_version, stats, &mut dropped);
+        visit(&mut self.accesses, AnalysisKind::Accesses, preserved, new_version, stats, &mut dropped);
+        visit(&mut self.sharing, AnalysisKind::Sharing, preserved, new_version, stats, &mut dropped);
+        visit(&mut self.resources, AnalysisKind::Resources, preserved, new_version, stats, &mut dropped);
+        self.version = new_version;
+        dropped
+    }
+
+    fn record_hit(&mut self, kind: AnalysisKind) {
+        self.stats.hits += 1;
+        self.hit_log.push((kind.name(), self.version));
+    }
+
+    /// Resolved (padded) array layouts for the kernel under `bindings`.
+    /// Failures are cached too, so a kernel with unresolvable extents is
+    /// not re-resolved on every query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LayoutError`] from layout resolution.
+    pub fn layouts(
+        &mut self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+    ) -> Result<Arc<LayoutMap>, LayoutError> {
+        if let Some(slot) = &self.layouts {
+            if slot.version == self.version {
+                let value = slot.value.clone();
+                self.record_hit(AnalysisKind::Layouts);
+                return value;
+            }
+        }
+        self.stats.misses += 1;
+        let value = resolve_layouts_padded(kernel, bindings).map(Arc::new);
+        self.layouts = Some(Slot {
+            version: self.version,
+            value: value.clone(),
+        });
+        value
+    }
+
+    /// The global-access classification (enumeration, affine forms,
+    /// coalescing verdicts, G2S/G2R targets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LayoutError`] from the underlying layout resolution.
+    pub fn accesses(
+        &mut self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+    ) -> Result<Arc<Vec<GlobalAccess>>, LayoutError> {
+        if let Some(slot) = &self.accesses {
+            if slot.version == self.version {
+                let value = slot.value.clone();
+                self.record_hit(AnalysisKind::Accesses);
+                return value;
+            }
+        }
+        let layouts = self.layouts(kernel, bindings);
+        self.stats.misses += 1;
+        let value = layouts.map(|l| Arc::new(collect_accesses(kernel, &l, bindings)));
+        self.accesses = Some(Slot {
+            version: self.version,
+            value: value.clone(),
+        });
+        value
+    }
+
+    /// The inter-thread data-sharing report for a `block_x` × `block_y`
+    /// thread block. Re-queries with different block extents recompute
+    /// (and re-key) the entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LayoutError`] from the underlying access analysis.
+    pub fn sharing(
+        &mut self,
+        kernel: &Kernel,
+        bindings: &Bindings,
+        block_x: i64,
+        block_y: i64,
+    ) -> Result<Arc<SharingReport>, LayoutError> {
+        if let Some(slot) = &self.sharing {
+            if slot.version == self.version && slot.value.0 == (block_x, block_y) {
+                let value = slot.value.1.clone();
+                self.record_hit(AnalysisKind::Sharing);
+                return value;
+            }
+        }
+        let accesses = self.accesses(kernel, bindings);
+        self.stats.misses += 1;
+        let value = accesses.map(|a| Arc::new(analyze_sharing(&a, block_x, block_y)));
+        self.sharing = Some(Slot {
+            version: self.version,
+            value: ((block_x, block_y), value.clone()),
+        });
+        value
+    }
+
+    /// The per-thread register / per-block shared-memory estimate.
+    pub fn resources(&mut self, kernel: &Kernel) -> Arc<ResourceEstimate> {
+        if let Some(slot) = &self.resources {
+            if slot.version == self.version {
+                let value = slot.value.clone();
+                self.record_hit(AnalysisKind::Resources);
+                return value;
+            }
+        }
+        self.stats.misses += 1;
+        let value = Arc::new(estimate_resources(kernel));
+        self.resources = Some(Slot {
+            version: self.version,
+            value: value.clone(),
+        });
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::parse_kernel;
+
+    fn mv() -> (Kernel, Bindings) {
+        let k = parse_kernel(
+            "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { sum += a[idx][i] * b[i]; }
+                c[idx] = sum;
+            }",
+        )
+        .unwrap_or_else(|e| panic!("mv parses: {e}"));
+        let b: Bindings = [("n".to_string(), 64i64), ("w".to_string(), 64)]
+            .into_iter()
+            .collect();
+        (k, b)
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let (k, b) = mv();
+        let mut am = AnalysisManager::new();
+        let first = am.accesses(&k, &b).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(am.stats().hits, 0);
+        // layouts + accesses both missed on the first query.
+        assert_eq!(am.stats().misses, 2);
+        let second = am.accesses(&k, &b).unwrap_or_else(|e| panic!("{e}"));
+        assert!(Arc::ptr_eq(&first, &second), "second query shares the Arc");
+        assert_eq!(am.stats().hits, 1);
+        assert_eq!(am.drain_hits(), vec![("accesses", 0)]);
+        assert!(am.drain_hits().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn sync_invalidates_stale_entries() {
+        let (k, b) = mv();
+        let mut am = AnalysisManager::new();
+        let _ = am.accesses(&k, &b);
+        let _ = am.resources(&k);
+        let dropped = am.sync(1);
+        assert_eq!(dropped, vec!["layouts", "accesses", "resources"]);
+        assert_eq!(am.stats().invalidations, 3);
+        // Re-query recomputes at the new version.
+        let _ = am.resources(&k);
+        assert_eq!(am.stats().misses, 4);
+    }
+
+    #[test]
+    fn preserved_analyses_survive_a_version_bump() {
+        let (k, b) = mv();
+        let mut am = AnalysisManager::new();
+        let before = am.resources(&k);
+        let _ = am.layouts(&k, &b);
+        let dropped = am.retain_preserved(
+            AnalysisSet::none().with(AnalysisKind::Resources),
+            7,
+        );
+        assert_eq!(dropped, vec!["layouts"]);
+        let after = am.resources(&k);
+        assert!(Arc::ptr_eq(&before, &after), "preserved entry revalidated");
+        assert_eq!(am.version(), 7);
+    }
+
+    #[test]
+    fn sharing_is_keyed_by_block_geometry() {
+        let (k, b) = mv();
+        let mut am = AnalysisManager::new();
+        let _ = am.sharing(&k, &b, 16, 1);
+        let _ = am.drain_hits();
+        let _ = am.sharing(&k, &b, 16, 16); // different block: recompute
+        assert!(
+            !am.drain_hits().iter().any(|(a, _)| *a == "sharing"),
+            "geometry change is a sharing miss (accesses may still hit)"
+        );
+        let _ = am.sharing(&k, &b, 16, 16);
+        assert!(am.drain_hits().iter().any(|(a, _)| *a == "sharing"));
+    }
+
+    #[test]
+    fn analysis_set_algebra() {
+        let s = AnalysisSet::none().with(AnalysisKind::Layouts);
+        assert!(s.contains(AnalysisKind::Layouts));
+        assert!(!s.contains(AnalysisKind::Sharing));
+        assert!(AnalysisKind::ALL
+            .iter()
+            .all(|&k| AnalysisSet::all().contains(k)));
+        assert_eq!(AnalysisKind::Accesses.name(), "accesses");
+    }
+
+    #[test]
+    fn cloned_managers_share_cached_results() {
+        let (k, b) = mv();
+        let mut am = AnalysisManager::new();
+        let base = am.layouts(&k, &b).unwrap_or_else(|e| panic!("{e}"));
+        let mut branch = am.clone();
+        let branched = branch.layouts(&k, &b).unwrap_or_else(|e| panic!("{e}"));
+        assert!(Arc::ptr_eq(&base, &branched));
+        assert_eq!(branch.stats().hits, 1);
+        // The original is untouched by the branch's bookkeeping.
+        assert_eq!(am.stats().hits, 0);
+    }
+}

@@ -181,7 +181,7 @@ fn ablate_amd_widths() {
         let elems = n / width;
         let cfg = LaunchConfig::one_d((elems / 256) as u32, 256);
         let opts = CompileOptions {
-            bindings: st.bindings.clone(),
+            bindings: st.bindings.as_ref().clone(),
             ..CompileOptions::new(machine.clone())
         };
         let est = estimate_launch(&st.kernel, &cfg, &st.bindings, &opts).unwrap();

@@ -4,10 +4,11 @@
 //! reproduction compiles kernels in milliseconds-to-seconds.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpgpu_core::{compile, CompileOptions};
+use gpgpu_analysis::AnalysisManager;
+use gpgpu_core::{compile, explore, infer_domain, CompileOptions, PassManager, StageSet};
 use gpgpu_kernels::naive;
 use gpgpu_sim::MachineDesc;
-use gpgpu_transform::{coalesce, PipelineState};
+use gpgpu_transform::{coalesce, CoalescePass, PipelineState, VectorizePass};
 use std::hint::black_box;
 
 fn bench_parse(c: &mut Criterion) {
@@ -54,11 +55,57 @@ fn bench_full_compile(c: &mut Criterion) {
     group.finish();
 }
 
+/// Design-space exploration from the shared post-coalesce snapshot, with
+/// and without the inherited analysis cache. The gap between the two is
+/// the wall-clock the memoized layouts/accesses save across candidates;
+/// `_cached` is the production configuration.
+fn bench_exploration(c: &mut Criterion) {
+    let kernel = naive::MM.kernel();
+    let opts = CompileOptions {
+        bindings: (naive::MM.bind)(512),
+        ..CompileOptions::new(MachineDesc::gtx280())
+    };
+    let domain = infer_domain(&kernel, &opts.bindings).expect("mm has a domain");
+    let mut st = PipelineState::new(kernel, opts.bindings.clone());
+    let mut pm = PassManager::new(StageSet::all());
+    pm.run(&mut st, &mut VectorizePass).expect("vectorize");
+    pm.run(&mut st, &mut CoalescePass).expect("coalesce");
+    // Warm the cache exactly the way the driver leaves it for `explore`.
+    pm.am.sync(st.version());
+    let _ = pm.am.layouts(&st.kernel, &st.bindings);
+    let _ = pm.am.accesses(&st.kernel, &st.bindings);
+
+    let mut group = c.benchmark_group("exploration");
+    group.sample_size(10);
+    group.bench_function("explore_mm_512_cached", |b| {
+        b.iter(|| explore(black_box(&st), &pm.am, &domain, &opts).unwrap())
+    });
+    let cold = AnalysisManager::new();
+    group.bench_function("explore_mm_512_cold_cache", |b| {
+        b.iter(|| explore(black_box(&st), &cold, &domain, &opts).unwrap())
+    });
+    group.finish();
+
+    // Per-candidate branching cost: the CoW branch only bumps refcounts and
+    // copies scalars, where the pre-refactor code deep-cloned the kernel
+    // body, bindings and access spans for every explored point.
+    let mut group = c.benchmark_group("candidate_setup");
+    group.bench_function("branch_cow", |b| b.iter(|| black_box(&st).branch()));
+    group.bench_function("deep_clone_baseline", |b| {
+        b.iter(|| {
+            let st = black_box(&st);
+            PipelineState::new(st.kernel.as_ref().clone(), st.bindings.as_ref().clone())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_parse,
     bench_analysis,
     bench_coalesce_pass,
-    bench_full_compile
+    bench_full_compile,
+    bench_exploration
 );
 criterion_main!(benches);

@@ -10,11 +10,16 @@
 use crate::domain::Domain;
 use crate::error::{panic_message, FaultReason};
 use crate::fault;
-use crate::pipeline::{run_pass, CompileError, CompileOptions};
+use crate::pass_manager::PassManager;
+use crate::pipeline::{CompileError, CompileOptions};
+use gpgpu_analysis::{AnalysisManager, CacheStats};
 use gpgpu_ast::LaunchConfig;
 use gpgpu_sim::{ExecError, PerfEstimate, PerfError, PerfOptions};
 use gpgpu_trace::{CounterSnapshot, MetricsRegistry, TraceEvent};
-use gpgpu_transform::{camping, merge, prefetch, PipelineState};
+use gpgpu_transform::{
+    CampingPass, MergeAxis, PassError, PipelineState, PrefetchPass, ThreadBlockMergePass,
+    ThreadMergePass,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -134,8 +139,18 @@ pub fn launch_for(state: &PipelineState, domain: &Domain) -> Option<LaunchConfig
 }
 
 /// Applies the post-merge passes (prefetch, partition-camping elimination)
-/// according to the enabled stages.
-pub fn finish_candidate(state: &mut PipelineState, domain: &Domain, opts: &CompileOptions) {
+/// according to the enabled stages, through the candidate's pass manager.
+///
+/// # Errors
+///
+/// Propagates a [`PassError`] from the pass manager — in practice only a
+/// contained panic, since camping and prefetching degrade by skipping.
+pub fn finish_candidate(
+    state: &mut PipelineState,
+    domain: &Domain,
+    opts: &CompileOptions,
+    pm: &mut PassManager,
+) -> Result<(), PassError> {
     // Camping elimination must precede prefetching: prefetch derives its
     // next-iteration fetch from the (possibly rotated) staging expression,
     // keeping the advance inside the rotation's modulo.
@@ -144,9 +159,13 @@ pub fn finish_candidate(state: &mut PipelineState, domain: &Domain, opts: &Compi
             let grid_2d = cfg.grid_y > 1;
             // Diagonal remapping is a permutation only on square grids.
             if !grid_2d || cfg.grid_x == cfg.grid_y {
-                run_pass(state, "camping", |st| {
-                    camping::eliminate(st, opts.machine.partitions, grid_2d)
-                });
+                pm.run(
+                    state,
+                    &mut CampingPass {
+                        geometry: opts.machine.partitions,
+                        grid_2d,
+                    },
+                )?;
             } else {
                 state.emit(TraceEvent::PassSkipped {
                     pass: "camping",
@@ -163,11 +182,13 @@ pub fn finish_candidate(state: &mut PipelineState, domain: &Domain, opts: &Compi
             });
         }
     }
-    if opts.stages.prefetch {
-        run_pass(state, "prefetch", |st| {
-            prefetch::prefetch(st, opts.machine.max_regs_per_thread)
-        });
-    }
+    pm.run(
+        state,
+        &mut PrefetchPass {
+            register_budget: opts.machine.max_regs_per_thread,
+        },
+    )?;
+    Ok(())
 }
 
 /// Explores merge degrees starting from a coalesced kernel state and
@@ -179,6 +200,7 @@ pub fn finish_candidate(state: &mut PipelineState, domain: &Domain, opts: &Compi
 /// the machine and tiles the domain.
 pub fn explore(
     coalesced: &PipelineState,
+    am: &AnalysisManager,
     domain: &Domain,
     opts: &CompileOptions,
 ) -> Result<Explored, CompileError> {
@@ -229,7 +251,7 @@ pub fn explore(
                         return;
                     }
                     let (bx, ty, tx) = combos[i];
-                    let outcome = contained_evaluate(coalesced, domain, opts, bx, ty, tx);
+                    let outcome = contained_evaluate(coalesced, am, domain, opts, bx, ty, tx);
                     // A panicking sibling may have poisoned the mutex while
                     // holding no interesting state — the slots are plain
                     // data, so recover the guard and keep going.
@@ -261,9 +283,13 @@ pub fn explore(
     let mut last_error: Option<String> = None;
     let mut fault_count = 0usize;
     let mut last_fault: Option<String> = None;
+    let mut cache = CacheStats::default();
     for (&(bx, ty, tx), outcome) in combos.iter().zip(results) {
         match outcome {
             Ok(ev) => {
+                cache.hits += ev.cache.hits;
+                cache.misses += ev.cache.misses;
+                cache.invalidations += ev.cache.invalidations;
                 metrics.record(ev.candidate.label(), ev.estimate.counter_snapshot());
                 events.push(TraceEvent::CandidateEvaluated {
                     label: ev.candidate.label(),
@@ -330,11 +356,21 @@ pub fn explore(
             }
         }
     }
+    // Compilation-wide cache effectiveness of the shared analysis snapshot
+    // across the whole search (the layouts computed once during coalescing
+    // are hit by every candidate).
+    metrics.push_global("analysis_cache_hits", cache.hits as f64);
+    metrics.push_global("analysis_cache_misses", cache.misses as f64);
+    metrics.push_global("analysis_cache_invalidations", cache.invalidations as f64);
     match best {
         Some(mut b) => {
             b.evaluated = evaluated;
             metrics.set_chosen(b.chosen.label());
-            events.push(TraceEvent::MergeSelected {
+            // The winner's state carries only the suffix of events beyond
+            // the shared snapshot; fold it in ahead of the search events.
+            let mut combined = std::mem::take(&mut b.state.trace).into_events();
+            combined.extend(events);
+            combined.push(TraceEvent::MergeSelected {
                 block_merge_x: b.chosen.block_merge_x,
                 thread_merge_y: b.chosen.thread_merge_y,
                 thread_merge_x: b.chosen.thread_merge_x,
@@ -342,7 +378,7 @@ pub fn explore(
                 time_ms: b.chosen.time_ms,
             });
             b.metrics = metrics;
-            b.events = events;
+            b.events = combined;
             Ok(b)
         }
         // Faults are the actionable signal when nothing survived — a tiling
@@ -361,6 +397,9 @@ struct EvaluatedCandidate {
     launch: LaunchConfig,
     estimate: PerfEstimate,
     candidate: Candidate,
+    /// Analysis-cache traffic this candidate generated on top of the
+    /// inherited snapshot.
+    cache: CacheStats,
 }
 
 /// Runs one candidate under panic containment: a panic is retried once
@@ -369,6 +408,7 @@ struct EvaluatedCandidate {
 /// directly.
 fn contained_evaluate(
     coalesced: &PipelineState,
+    am: &AnalysisManager,
     domain: &Domain,
     opts: &CompileOptions,
     bx: i64,
@@ -377,7 +417,7 @@ fn contained_evaluate(
 ) -> Result<EvaluatedCandidate, CandidateFailure> {
     let attempt = || {
         catch_unwind(AssertUnwindSafe(|| {
-            evaluate_candidate(coalesced, domain, opts, bx, ty, tx)
+            evaluate_candidate(coalesced, am, domain, opts, bx, ty, tx)
         }))
     };
     match attempt() {
@@ -392,8 +432,19 @@ fn contained_evaluate(
     }
 }
 
+/// Maps a pass-manager failure into a candidate failure: contained panics
+/// are faults, everything else is an ordinary rejection.
+fn pass_failure(e: PassError) -> CandidateFailure {
+    if e.fault {
+        CandidateFailure::Fault(FaultReason::Panic(e.message), false)
+    } else {
+        CandidateFailure::Rejected(e.message)
+    }
+}
+
 fn evaluate_candidate(
     coalesced: &PipelineState,
+    am: &AnalysisManager,
     domain: &Domain,
     opts: &CompileOptions,
     bx: i64,
@@ -410,22 +461,37 @@ fn evaluate_candidate(
     .label();
     fault::maybe_panic(&label);
     let rejected = CandidateFailure::Rejected;
-    let mut st = coalesced.clone();
-    if bx > 1 || ty > 1 || tx > 1 {
-        run_pass(&mut st, "merge", |st| -> Result<(), CandidateFailure> {
-            if bx > 1 {
-                merge::thread_block_merge_x(st, bx).map_err(|e| rejected(e.to_string()))?;
-            }
-            if ty > 1 {
-                merge::thread_merge_y(st, ty).map_err(|e| rejected(e.to_string()))?;
-            }
-            if tx > 1 {
-                merge::thread_merge_x(st, tx).map_err(|e| rejected(e.to_string()))?;
-            }
-            Ok(())
-        })?;
+    // Branch from the shared coalesced snapshot: the kernel is shared
+    // copy-on-write and the analysis cache is inherited, so the layouts
+    // resolved during coalescing are never recomputed per candidate.
+    let mut st = coalesced.branch();
+    let mut pm = PassManager::with_manager(opts.stages, am.clone());
+    let inherited = pm.am.stats();
+    if bx > 1 {
+        pm.run(&mut st, &mut ThreadBlockMergePass { factor: bx })
+            .map_err(pass_failure)?;
     }
-    finish_candidate(&mut st, domain, opts);
+    if ty > 1 {
+        pm.run(
+            &mut st,
+            &mut ThreadMergePass {
+                axis: MergeAxis::Y,
+                factor: ty,
+            },
+        )
+        .map_err(pass_failure)?;
+    }
+    if tx > 1 {
+        pm.run(
+            &mut st,
+            &mut ThreadMergePass {
+                axis: MergeAxis::X,
+                factor: tx,
+            },
+        )
+        .map_err(pass_failure)?;
+    }
+    finish_candidate(&mut st, domain, opts, &mut pm).map_err(pass_failure)?;
     let cfg = launch_for(&st, domain)
         .ok_or_else(|| rejected(format!("domain {domain} does not tile {bx}x{ty}x{tx}")))?;
     let fuel = fault::fuel_override(&label).or(opts.explore.candidate_fuel);
@@ -433,7 +499,15 @@ fn evaluate_candidate(
         .explore
         .candidate_deadline_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
-    let estimate = gpgpu_sim::estimate(
+    // The timing model reuses the memoized resources and layouts instead
+    // of recomputing them per candidate.
+    pm.am.sync(st.version());
+    let resources = pm.am.resources(&st.kernel);
+    let layouts = pm
+        .am
+        .layouts(&st.kernel, &st.bindings)
+        .map_err(|e| rejected(e.to_string()))?;
+    let estimate = gpgpu_sim::estimate_prepared(
         &st.kernel,
         &cfg,
         &st.bindings,
@@ -444,6 +518,8 @@ fn evaluate_candidate(
             deadline,
             ..PerfOptions::default()
         },
+        &resources,
+        &layouts,
     )
     .map_err(|e| match e {
         PerfError::Exec(ExecError::IterationLimit) => {
@@ -462,11 +538,18 @@ fn evaluate_candidate(
         reduction_elems: None,
         time_ms: estimate.time_ms,
     };
+    let total = pm.am.stats();
+    let cache = CacheStats {
+        hits: total.hits - inherited.hits,
+        misses: total.misses - inherited.misses,
+        invalidations: total.invalidations - inherited.invalidations,
+    };
     Ok(EvaluatedCandidate {
         state: st,
         launch: cfg,
         estimate,
         candidate,
+        cache,
     })
 }
 

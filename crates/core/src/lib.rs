@@ -41,6 +41,7 @@ pub mod domain;
 pub mod error;
 pub mod explore;
 pub mod fault;
+pub mod pass_manager;
 pub mod pipeline;
 pub mod verify;
 
@@ -48,6 +49,7 @@ pub use cu::emit_cu;
 pub use domain::{infer_domain, Domain};
 pub use error::{CompilerError, DegradedReason, ErrorKind, FaultReason, Stage};
 pub use explore::{explore, Candidate, ExploreOptions};
+pub use pass_manager::{registered_passes, PassInfo, PassManager};
 pub use pipeline::{
     compile, estimate_launch, naive_compiled, CompileError, CompileOptions, CompiledKernel,
     KernelLaunch, StageSet,

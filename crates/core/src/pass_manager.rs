@@ -1,0 +1,326 @@
+//! The driver-side pass manager.
+//!
+//! Sequencing a pass used to mean hand-written glue: check the stage gate,
+//! time the call, compute the AST delta, emit the trace event, contain the
+//! panic. [`PassManager::run`] owns all of that for any
+//! [`gpgpu_transform::Pass`], and additionally keeps the
+//! [`AnalysisManager`]'s memoized results honest: after a pass that moved
+//! the kernel version, every analysis the pass did not declare preserved is
+//! dropped (and the drop is recorded as a trace event), while preserved
+//! results are revalidated against the new version without recomputation.
+
+use crate::error::panic_message;
+use crate::pipeline::StageSet;
+use gpgpu_analysis::AnalysisManager;
+use gpgpu_ast::stmt::count_stmts;
+use gpgpu_trace::{AstDelta, TraceEvent};
+use gpgpu_transform::{
+    AmdVectorizePass, CampingPass, CoalescePass, MergeAxis, Pass, PassError, PassOutcome,
+    PipelineState, PrefetchPass, ReductionPass, ThreadBlockMergePass, ThreadMergePass,
+    VectorizePass,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Owns stage gating, analysis caching, per-pass timing/tracing and fault
+/// containment for one pipeline (or one explored candidate).
+#[derive(Debug, Clone)]
+pub struct PassManager {
+    stages: StageSet,
+    /// The memoized analyses shared by the passes this manager runs. A
+    /// candidate branch clones the parent's manager, inheriting every still
+    /// valid result (most importantly the array layouts, which survive all
+    /// post-vectorize passes).
+    pub am: AnalysisManager,
+}
+
+impl PassManager {
+    /// A manager with an empty analysis cache.
+    pub fn new(stages: StageSet) -> PassManager {
+        PassManager {
+            stages,
+            am: AnalysisManager::new(),
+        }
+    }
+
+    /// A manager seeded with an existing analysis cache — how candidate
+    /// branches inherit the shared snapshot's memoized results.
+    pub fn with_manager(stages: StageSet, am: AnalysisManager) -> PassManager {
+        PassManager { stages, am }
+    }
+
+    /// Runs one pass: gate, sync the analysis cache to the kernel version,
+    /// contain panics, sweep stale analyses, and record the
+    /// [`TraceEvent::PassCompleted`] delta.
+    ///
+    /// A pass whose stage is disabled returns `Ok(PassOutcome::Skipped)`
+    /// without running (and without a trace event), matching the staged
+    /// dissection's semantics of "this stage never happened".
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pass's own [`PassError`]; a panic inside the pass is
+    /// contained and surfaced as a `PassError` with `fault = true`.
+    pub fn run(
+        &mut self,
+        state: &mut PipelineState,
+        pass: &mut dyn Pass,
+    ) -> Result<PassOutcome, PassError> {
+        if !self.stages.enabled(pass.stage()) {
+            return Ok(PassOutcome::Skipped);
+        }
+        let name = pass.name();
+        self.am.sync(state.version());
+        let statements_before = count_stmts(&state.kernel.body) as u32;
+        let version_before = state.version();
+        let start = Instant::now();
+        let outcome = {
+            let am = &mut self.am;
+            catch_unwind(AssertUnwindSafe(|| pass.run(state, am)))
+                .unwrap_or_else(|payload| Err(PassError::fault(name, panic_message(payload))))?
+        };
+        let micros = start.elapsed().as_micros() as u64;
+        if state.version() != version_before {
+            let dropped = self.am.retain_preserved(pass.preserved(), state.version());
+            if !dropped.is_empty() {
+                state.emit(TraceEvent::AnalysisInvalidated {
+                    analyses: dropped,
+                    pass: name,
+                });
+            }
+        }
+        let res = self.am.resources(&state.kernel);
+        for (analysis, version) in self.am.drain_hits() {
+            state.emit(TraceEvent::AnalysisCacheHit { analysis, version });
+        }
+        state.emit(TraceEvent::PassCompleted {
+            pass: name,
+            micros,
+            delta: AstDelta {
+                statements_before,
+                statements_after: count_stmts(&state.kernel.body) as u32,
+                shared_bytes: res.shared_bytes_per_block,
+                registers: res.registers_per_thread,
+            },
+        });
+        Ok(outcome)
+    }
+}
+
+/// Identity of a registered pass, for `--list-passes` and the golden test
+/// keeping the staged-dissection labels in sync with the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassInfo {
+    /// Stable pass name (trace events use it).
+    pub name: &'static str,
+    /// Paper section the pass implements.
+    pub paper_section: &'static str,
+    /// Stage gate the driver switches the pass on.
+    pub stage: &'static str,
+}
+
+/// The full pass registry in pipeline order. Exploration instantiates the
+/// merge passes per candidate with concrete factors; the entries here are
+/// representatives carrying the stable metadata.
+pub fn registered_passes() -> Vec<PassInfo> {
+    let camping_geometry = gpgpu_analysis::PartitionGeometry::gtx280();
+    let passes: [&dyn Pass; 8] = [
+        &VectorizePass,
+        &AmdVectorizePass,
+        &CoalescePass,
+        &ReductionPass {
+            elems: None,
+            rewrite: None,
+        },
+        &ThreadBlockMergePass { factor: 2 },
+        &ThreadMergePass {
+            axis: MergeAxis::Y,
+            factor: 2,
+        },
+        &PrefetchPass { register_budget: 0 },
+        &CampingPass {
+            geometry: camping_geometry,
+            grid_2d: false,
+        },
+    ];
+    passes
+        .iter()
+        .map(|p| PassInfo {
+            name: p.name(),
+            paper_section: p.paper_section(),
+            stage: p.stage(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_analysis::Bindings;
+    use gpgpu_ast::parse_kernel;
+
+    const MM: &str = r#"
+        __global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+            float sum = 0.0f;
+            for (int i = 0; i < w; i = i + 1) {
+                sum += a[idy][i] * b[i][idx];
+            }
+            c[idy][idx] = sum;
+        }
+    "#;
+
+    fn mm_state() -> PipelineState {
+        let k = parse_kernel(MM).unwrap();
+        let bindings: Bindings = [("n".to_string(), 1024i64), ("w".to_string(), 1024)].into();
+        PipelineState::new(k, bindings)
+    }
+
+    #[test]
+    fn disabled_stage_skips_without_running() {
+        let mut st = mm_state();
+        let mut pm = PassManager::new(StageSet::none());
+        let before = st.kernel.clone();
+        let outcome = pm.run(&mut st, &mut CoalescePass).unwrap();
+        assert_eq!(outcome, PassOutcome::Skipped);
+        assert_eq!(st.kernel, before);
+        assert_eq!(st.trace.len(), 0, "gated passes leave no trace");
+    }
+
+    #[test]
+    fn run_emits_pass_completed_with_delta() {
+        let mut st = mm_state();
+        let mut pm = PassManager::new(StageSet::all());
+        pm.run(&mut st, &mut CoalescePass).unwrap();
+        let completed = st.trace.events().iter().any(|e| {
+            matches!(e, TraceEvent::PassCompleted { pass: "coalesce", delta, .. }
+                if delta.statements_after > delta.statements_before)
+        });
+        assert!(completed, "{:?}", st.trace.events());
+    }
+
+    #[test]
+    fn layouts_survive_the_whole_post_vectorize_pipeline() {
+        let mut st = mm_state();
+        let mut pm = PassManager::new(StageSet::all());
+        pm.run(&mut st, &mut CoalescePass).unwrap();
+        pm.am.sync(st.version());
+        let baseline = pm.am.stats();
+        let before = pm
+            .am
+            .layouts(&st.kernel, &st.bindings)
+            .unwrap_or_else(|e| panic!("{e}"));
+        pm.run(&mut st, &mut ThreadBlockMergePass { factor: 16 })
+            .unwrap();
+        pm.run(
+            &mut st,
+            &mut ThreadMergePass {
+                axis: MergeAxis::Y,
+                factor: 4,
+            },
+        )
+        .unwrap();
+        let after = pm
+            .am
+            .layouts(&st.kernel, &st.bindings)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            std::sync::Arc::ptr_eq(&before, &after),
+            "merges preserve the layout analysis"
+        );
+        assert!(pm.am.stats().hits > baseline.hits);
+    }
+
+    #[test]
+    fn a_panicking_pass_is_contained_as_a_fault() {
+        struct Bomb;
+        impl Pass for Bomb {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn paper_section(&self) -> &'static str {
+                "§0"
+            }
+            fn stage(&self) -> &'static str {
+                "coalesce"
+            }
+            fn run(
+                &mut self,
+                _state: &mut PipelineState,
+                _am: &mut AnalysisManager,
+            ) -> Result<PassOutcome, PassError> {
+                panic!("boom");
+            }
+        }
+        let mut st = mm_state();
+        let mut pm = PassManager::new(StageSet::all());
+        let err = pm.run(&mut st, &mut Bomb).unwrap_err();
+        assert!(err.fault);
+        assert_eq!(err.pass, "bomb");
+        assert!(err.message.contains("boom"), "{}", err.message);
+    }
+
+    #[test]
+    fn dissection_labels_stay_in_sync_with_the_registry() {
+        // The Figure 12 dissection flips one stage gate per label; the
+        // registry's passes, deduplicated by stage in pipeline order, must
+        // walk exactly the same sequence. Adding a pass with a new stage
+        // (or renaming a gate) breaks this until the dissection table and
+        // `StageSet::enabled` learn about it.
+        let stage_order = ["vectorize", "coalesce", "merge", "prefetch", "partition"];
+        let d = StageSet::dissection();
+        assert_eq!(d.len(), stage_order.len() + 1, "one label per stage plus naive");
+        for (i, stage) in stage_order.iter().enumerate() {
+            assert!(
+                !d[i].1.enabled(stage),
+                "`{}` enables `{stage}` a step early",
+                d[i].0
+            );
+            assert!(
+                d[i + 1].1.enabled(stage),
+                "`{}` does not enable `{stage}`",
+                d[i + 1].0
+            );
+        }
+        let mut registered = Vec::new();
+        for p in registered_passes() {
+            if registered.last() != Some(&p.stage) {
+                registered.push(p.stage);
+            }
+        }
+        assert_eq!(registered, stage_order);
+    }
+
+    #[test]
+    fn registry_covers_all_stages_in_pipeline_order() {
+        let passes = registered_passes();
+        assert_eq!(passes.len(), 8);
+        let stages: Vec<&str> = passes.iter().map(|p| p.stage).collect();
+        assert_eq!(
+            stages,
+            [
+                "vectorize",
+                "vectorize",
+                "coalesce",
+                "merge",
+                "merge",
+                "merge",
+                "prefetch",
+                "partition"
+            ]
+        );
+        let names: Vec<&str> = passes.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "vectorize",
+                "vectorize-amd",
+                "coalesce",
+                "reduction",
+                "block-merge",
+                "thread-merge",
+                "prefetch",
+                "camping"
+            ]
+        );
+    }
+}

@@ -4,41 +4,16 @@ use crate::domain::{infer_domain, Domain};
 use crate::error::{panic_message, DegradedReason};
 use crate::explore::{explore, launch_for, Candidate, ExploreOptions};
 use crate::fault;
+use crate::pass_manager::PassManager;
 use gpgpu_analysis::{ArrayLayout, Bindings};
-use gpgpu_ast::{
-    print_kernel, stmt::count_stmts, AccessSpans, Kernel, LaunchConfig, PrintOptions, ScalarType,
-};
+use gpgpu_ast::{print_kernel, AccessSpans, Kernel, LaunchConfig, PrintOptions, ScalarType};
 use gpgpu_sim::{MachineDesc, PerfEstimate, PerfOptions};
-use gpgpu_trace::{AstDelta, Json, MetricsRegistry, TraceEvent, TraceSink};
-use gpgpu_transform::{coalesce, reduction, vectorize, PipelineState};
+use gpgpu_trace::{Json, MetricsRegistry, TraceEvent, TraceSink};
+use gpgpu_transform::{
+    reduction, AmdVectorizePass, CoalescePass, PassError, ReductionPass, PipelineState,
+    VectorizePass,
+};
 use std::fmt;
-use std::time::Instant;
-
-/// Runs one pass over the pipeline state, recording its wall-clock time
-/// and the AST delta (statement count, shared bytes, register estimate)
-/// as a [`TraceEvent::PassCompleted`] event.
-pub(crate) fn run_pass<T>(
-    state: &mut PipelineState,
-    pass: &'static str,
-    f: impl FnOnce(&mut PipelineState) -> T,
-) -> T {
-    let statements_before = count_stmts(&state.kernel.body) as u32;
-    let start = Instant::now();
-    let out = f(state);
-    let micros = start.elapsed().as_micros() as u64;
-    let res = gpgpu_analysis::estimate_resources(&state.kernel);
-    state.emit(TraceEvent::PassCompleted {
-        pass,
-        micros,
-        delta: AstDelta {
-            statements_before,
-            statements_after: count_stmts(&state.kernel.body) as u32,
-            shared_bytes: res.shared_bytes_per_block,
-            registers: res.registers_per_thread,
-        },
-    });
-    out
-}
 
 /// Which optimization stages run — the Figure 12 dissection toggles these
 /// cumulatively.
@@ -76,6 +51,22 @@ impl StageSet {
             merge: false,
             prefetch: false,
             partition: false,
+        }
+    }
+
+    /// Whether the stage a pass declares (see
+    /// [`gpgpu_transform::Pass::stage`]) is enabled. Unknown stage names
+    /// are disabled rather than a panic: a future pass wired up with a
+    /// typo'd stage is silently gated off, which the registry golden test
+    /// catches.
+    pub fn enabled(&self, stage: &str) -> bool {
+        match stage {
+            "vectorize" => self.vectorize,
+            "coalesce" => self.coalesce,
+            "merge" => self.merge,
+            "prefetch" => self.prefetch,
+            "partition" => self.partition,
+            _ => false,
         }
     }
 
@@ -314,6 +305,16 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// Maps a pass failure out of the pass manager: contained panics are
+/// internal faults, ordinary rejections are pass failures.
+fn pass_failure(e: PassError) -> CompileError {
+    if e.fault {
+        CompileError::Internal(e.to_string())
+    } else {
+        CompileError::Perf(e.to_string())
+    }
+}
+
 /// Compiles a naive kernel into its optimized form, degrading gracefully:
 /// when the optimizing pipeline fails or faults but the naive kernel still
 /// compiles, the naive result is returned with
@@ -368,33 +369,34 @@ fn compile_optimized(
     let domain = infer_domain(naive, &opts.bindings).ok_or(CompileError::NoDomain)?;
     let mut state = PipelineState::new(naive.clone(), opts.bindings.clone())
         .with_access_spans(opts.spans.clone());
-    if opts.stages.vectorize {
-        run_pass(&mut state, "vectorize", |st| {
-            vectorize::vectorize(st);
-            // On AMD/ATI parts the compiler additionally widens element-wise
-            // kernels aggressively (paper §3.1): float4 first, then float2.
-            if opts.machine.prefers_wide_vectors() && vectorize::vectorize_amd(st, 4).width == 0 {
-                vectorize::vectorize_amd(st, 2);
-            }
-        });
+    let mut pm = PassManager::new(opts.stages);
+    pm.run(&mut state, &mut VectorizePass).map_err(pass_failure)?;
+    // On AMD/ATI parts the compiler additionally widens element-wise
+    // kernels aggressively (paper §3.1): float4 first, then float2.
+    if opts.machine.prefers_wide_vectors() {
+        pm.run(&mut state, &mut AmdVectorizePass)
+            .map_err(pass_failure)?;
     }
 
     if state.kernel.uses_global_sync() {
-        return compile_reduction(state, domain, opts);
+        return compile_reduction(state, pm, domain, opts);
     }
     if !opts.stages.coalesce {
         return naive_state_compiled(state, domain, opts);
     }
-    run_pass(&mut state, "coalesce", coalesce::coalesce);
+    pm.run(&mut state, &mut CoalescePass).map_err(pass_failure)?;
 
-    let explored = explore(&state, &domain, opts)?;
+    let explored = explore(&state, &pm.am, &domain, opts)?;
     let estimate = explored.estimate;
     let source = print_kernel(&explored.state.kernel, PrintOptions::default());
-    let mut trace = explored.state.trace.clone();
+    // The shared base trace is moved, not cloned: candidates record only
+    // suffix events, and the winner's suffix is already folded into
+    // `explored.events`.
+    let mut trace = state.trace;
     trace.extend(explored.events);
     Ok(CompiledKernel {
         launches: vec![KernelLaunch {
-            kernel: explored.state.kernel.clone(),
+            kernel: explored.state.kernel.as_ref().clone(),
             launch: explored.launch,
             extra_buffers: Vec::new(),
         }],
@@ -450,7 +452,7 @@ fn naive_state_compiled(
     metrics.set_chosen("base");
     Ok(CompiledKernel {
         launches: vec![KernelLaunch {
-            kernel: st.kernel.clone(),
+            kernel: st.kernel.as_ref().clone(),
             launch: cfg,
             extra_buffers: Vec::new(),
         }],
@@ -473,6 +475,7 @@ fn naive_state_compiled(
 
 fn compile_reduction(
     state: PipelineState,
+    mut pm: PassManager,
     domain: Domain,
     opts: &CompileOptions,
 ) -> Result<CompiledKernel, CompileError> {
@@ -486,7 +489,15 @@ fn compile_reduction(
     let mut candidates: Vec<Option<i64>> = vec![None];
     candidates.extend(opts.explore.thread_merge_y.iter().map(|&e| Some(e)));
     for elems in candidates {
-        let Some(rw) = reduction::rewrite_reduction(&state, elems) else {
+        // Each degree probes on a cheap copy-on-write branch; the branch's
+        // trace is a suffix merged back only for the winner.
+        let mut scratch = state.branch();
+        let mut pass = ReductionPass {
+            elems,
+            rewrite: None,
+        };
+        pm.run(&mut scratch, &mut pass).map_err(pass_failure)?;
+        let Some(rw) = pass.rewrite else {
             search_events.push(TraceEvent::PassSkipped {
                 pass: "reduction",
                 reason: match elems {
@@ -559,6 +570,7 @@ fn compile_reduction(
                 print_kernel(&rw.stage2, PrintOptions::default())
             );
             let mut trace = state.trace.clone();
+            trace.extend(std::mem::take(&mut scratch.trace).into_events());
             trace.emit(TraceEvent::ReductionRestructured {
                 elems_per_thread: rw.elems_per_thread,
                 launches: 2,

@@ -27,5 +27,5 @@ pub mod value;
 pub use device::{Buffer, Device, DeviceError};
 pub use exec::{launch, ExecError, ExecOptions, ExecStats};
 pub use machine::{MachineDesc, PartitionGeometry};
-pub use timing::{estimate, PerfEstimate, PerfError, PerfOptions};
+pub use timing::{estimate, estimate_prepared, PerfEstimate, PerfError, PerfOptions};
 pub use value::Val;

@@ -190,6 +190,18 @@ pub fn estimate(
     opts: &PerfOptions,
 ) -> Result<PerfEstimate, PerfError> {
     let resources = estimate_resources(kernel);
+    let layouts = resolve_layouts_padded(kernel, bindings)?;
+    estimate_prepared(kernel, cfg, bindings, machine, opts, &resources, &layouts)
+}
+
+/// Occupancy and fit checks shared by [`estimate`] and
+/// [`estimate_prepared`]: registers and shared memory against the machine
+/// limits, then resident blocks per SM.
+fn occupancy(
+    resources: &gpgpu_analysis::ResourceEstimate,
+    machine: &MachineDesc,
+    cfg: &LaunchConfig,
+) -> Result<u32, PerfError> {
     if resources.registers_per_thread > machine.max_regs_per_thread {
         return Err(PerfError::DoesNotFit(format!(
             "{} registers per thread exceeds {}",
@@ -213,9 +225,28 @@ pub fn estimate(
             "no block of {tpb} threads fits an SM"
         )));
     }
+    Ok(blocks_per_sm)
+}
+
+/// [`estimate`] for callers that already hold the resource estimate and
+/// resolved layouts — the design-space explorer reuses the analysis
+/// manager's memoized results instead of recomputing them per candidate.
+///
+/// # Errors
+///
+/// Same contract as [`estimate`].
+pub fn estimate_prepared(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    bindings: &Bindings,
+    machine: &MachineDesc,
+    opts: &PerfOptions,
+    resources: &gpgpu_analysis::ResourceEstimate,
+    layouts: &gpgpu_analysis::LayoutMap,
+) -> Result<PerfEstimate, PerfError> {
+    let blocks_per_sm = occupancy(resources, machine, cfg)?;
 
     // Phantom trace over a sample of consecutive blocks.
-    let layouts = resolve_layouts_padded(kernel, bindings)?;
     let mut device = Device::new(machine.clone());
     for p in kernel.array_params() {
         device.alloc_phantom(layouts[&p.name].clone());

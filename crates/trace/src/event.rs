@@ -216,6 +216,22 @@ pub enum TraceEvent {
         /// Why the pass did nothing.
         reason: String,
     },
+    /// The analysis manager served a memoized result instead of
+    /// recomputing (the pass/analysis-manager framework's cache).
+    AnalysisCacheHit {
+        /// Analysis name (`layouts`, `accesses`, `sharing`, `resources`).
+        analysis: &'static str,
+        /// Kernel version the cached result was computed at.
+        version: u64,
+    },
+    /// A pass invalidated cached analysis results (it mutated the kernel
+    /// and did not declare the analysis preserved).
+    AnalysisInvalidated {
+        /// Names of the analyses dropped from the cache.
+        analyses: Vec<&'static str>,
+        /// The pass whose run invalidated them.
+        pass: &'static str,
+    },
     /// A candidate evaluation was contained after a fault (panic, fuel
     /// exhaustion, or deadline overrun) instead of aborting the compile.
     CandidateFault {
@@ -265,6 +281,8 @@ impl TraceEvent {
             TraceEvent::ReductionRestructured { .. } => "reduction-restructure",
             TraceEvent::PassCompleted { .. } => "pass-time",
             TraceEvent::PassSkipped { .. } => "pass-skip",
+            TraceEvent::AnalysisCacheHit { .. } => "analysis-cache-hit",
+            TraceEvent::AnalysisInvalidated { .. } => "analysis-invalidated",
             TraceEvent::CandidateFault { .. } => "fault",
             TraceEvent::Degraded { .. } => "degraded",
             TraceEvent::Note { .. } => "note",
@@ -396,6 +414,12 @@ impl TraceEvent {
             ),
             TraceEvent::PassSkipped { pass, reason } => {
                 format!("pass {pass}: skipped ({reason})")
+            }
+            TraceEvent::AnalysisCacheHit { analysis, version } => {
+                format!("analysis {analysis}: cache hit (kernel version {version})")
+            }
+            TraceEvent::AnalysisInvalidated { analyses, pass } => {
+                format!("analysis cache: {} invalidated by pass {pass}", analyses.join(", "))
             }
             TraceEvent::CandidateFault { label, fault, retried } => {
                 let suffix = if *retried { " after one retry" } else { "" };
@@ -545,6 +569,17 @@ impl TraceEvent {
                 put("pass", Json::str(*pass));
                 put("reason", Json::str(reason));
             }
+            TraceEvent::AnalysisCacheHit { analysis, version } => {
+                put("analysis", Json::str(*analysis));
+                put("version", Json::count(*version));
+            }
+            TraceEvent::AnalysisInvalidated { analyses, pass } => {
+                put(
+                    "analyses",
+                    Json::Arr(analyses.iter().map(|a| Json::str(*a)).collect()),
+                );
+                put("pass", Json::str(*pass));
+            }
             TraceEvent::CandidateFault { label, fault, retried } => {
                 put("label", Json::str(label));
                 put("fault", Json::str(fault));
@@ -620,6 +655,14 @@ mod tests {
                 label: "bx8_ty4_tx1".into(),
                 fault: "panic: boom".into(),
                 retried: true,
+            },
+            TraceEvent::AnalysisCacheHit {
+                analysis: "accesses",
+                version: 3,
+            },
+            TraceEvent::AnalysisInvalidated {
+                analyses: vec!["layouts", "accesses"],
+                pass: "merge",
             },
             TraceEvent::Degraded {
                 reason: "all-candidates-failed".into(),

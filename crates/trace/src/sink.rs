@@ -37,6 +37,13 @@ impl TraceSink {
         self.events.extend(events);
     }
 
+    /// Consumes the sink, yielding its events in emission order — how a
+    /// candidate-local suffix sink is folded back into the pipeline's base
+    /// sink without cloning.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
     /// Number of events recorded.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -129,6 +136,7 @@ pub struct CandidateMetrics {
 pub struct MetricsRegistry {
     candidates: Vec<CandidateMetrics>,
     chosen: Option<String>,
+    globals: CounterSnapshot,
 }
 
 impl MetricsRegistry {
@@ -160,6 +168,28 @@ impl MetricsRegistry {
         self.chosen.as_deref()
     }
 
+    /// Records one compilation-wide counter (not tied to a candidate),
+    /// e.g. the analysis manager's cache hits. A repeated name overwrites
+    /// the earlier value.
+    pub fn push_global(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        if let Some(slot) = self
+            .globals
+            .entries
+            .iter_mut()
+            .find(|(n, _)| *n == name)
+        {
+            slot.1 = value;
+        } else {
+            self.globals.push(name, value);
+        }
+    }
+
+    /// The compilation-wide counters.
+    pub fn globals(&self) -> &CounterSnapshot {
+        &self.globals
+    }
+
     /// The winning candidate's snapshot, when present.
     pub fn chosen_counters(&self) -> Option<&CounterSnapshot> {
         let label = self.chosen.as_deref()?;
@@ -174,7 +204,8 @@ impl MetricsRegistry {
         self.candidates.is_empty()
     }
 
-    /// The registry as a JSON object (`candidates` array plus `chosen`).
+    /// The registry as a JSON object (`candidates` array, `chosen`, and the
+    /// compilation-wide `globals` counters).
     pub fn to_json(&self) -> Json {
         Json::obj([
             (
@@ -184,6 +215,7 @@ impl MetricsRegistry {
                     None => Json::Null,
                 },
             ),
+            ("globals", self.globals.to_json()),
             (
                 "candidates",
                 Json::Arr(
@@ -283,6 +315,23 @@ mod tests {
         let table = reg.render_table();
         assert!(table.contains("* bx16_ty8_tx1"), "{table}");
         assert!(table.contains("0.5"), "{table}");
+    }
+
+    #[test]
+    fn registry_global_counters_overwrite_and_serialize() {
+        let mut reg = MetricsRegistry::new();
+        reg.push_global("analysis_cache_hits", 3.0);
+        reg.push_global("analysis_cache_misses", 5.0);
+        reg.push_global("analysis_cache_hits", 7.0);
+        assert_eq!(reg.globals().get("analysis_cache_hits"), Some(7.0));
+        assert_eq!(reg.globals().len(), 2);
+        let json = reg.to_json();
+        assert_eq!(
+            json.get("globals")
+                .and_then(|g| g.get("analysis_cache_misses"))
+                .and_then(Json::as_f64),
+            Some(5.0)
+        );
     }
 
     #[test]

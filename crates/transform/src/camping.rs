@@ -11,9 +11,7 @@
 //!   Micikevicius: `newbidy = bidx; newbidx = (bidx + bidy) % gridDim.x`.
 
 use crate::PipelineState;
-use gpgpu_analysis::{
-    collect_accesses, resolve_layouts_padded, Affine, PartitionGeometry,
-};
+use gpgpu_analysis::{AnalysisManager, Affine, PartitionGeometry};
 use gpgpu_ast::{visit, Builtin, Expr, ScalarType, Stmt};
 use gpgpu_trace::TraceEvent;
 use std::collections::HashSet;
@@ -57,7 +55,25 @@ pub fn detect_checked(
     state: &PipelineState,
     geometry: PartitionGeometry,
 ) -> Result<Vec<String>, gpgpu_analysis::LayoutError> {
-    let layouts = resolve_layouts_padded(&state.kernel, &state.bindings)?;
+    let mut am = AnalysisManager::new();
+    am.sync(state.version());
+    detect_checked_with(state, geometry, &mut am)
+}
+
+/// Like [`detect_checked`], but reads layouts and accesses through a shared
+/// [`AnalysisManager`] so repeated queries across passes are memoized.
+///
+/// # Errors
+///
+/// Returns the layout error when the kernel's array layouts cannot be
+/// resolved under the current bindings.
+pub fn detect_checked_with(
+    state: &PipelineState,
+    geometry: PartitionGeometry,
+    am: &mut AnalysisManager,
+) -> Result<Vec<String>, gpgpu_analysis::LayoutError> {
+    let layouts = am.layouts(&state.kernel, &state.bindings)?;
+    let accesses = am.accesses(&state.kernel, &state.bindings)?;
     let mut camping: Vec<String> = Vec::new();
     let period = geometry.period_bytes();
     let pragma_sizes = state.kernel.pragma_sizes();
@@ -94,7 +110,7 @@ pub fn detect_checked(
         }
     }
     // Direct accesses still present in the kernel.
-    for acc in collect_accesses(&state.kernel, &layouts, &state.bindings) {
+    for acc in accesses.iter() {
         if let Some(linear) = &acc.linear {
             check(&acc.array, linear);
         }
@@ -112,8 +128,22 @@ pub fn eliminate(
     geometry: PartitionGeometry,
     grid_2d: bool,
 ) -> CampingReport {
+    let mut am = AnalysisManager::new();
+    am.sync(state.version());
+    eliminate_with(state, geometry, grid_2d, &mut am)
+}
+
+/// Like [`eliminate`], but reads analyses through a shared
+/// [`AnalysisManager`] so layout and access results computed by earlier
+/// passes are reused.
+pub fn eliminate_with(
+    state: &mut PipelineState,
+    geometry: PartitionGeometry,
+    grid_2d: bool,
+    am: &mut AnalysisManager,
+) -> CampingReport {
     let mut report = CampingReport::default();
-    let camping = match detect_checked(state, geometry) {
+    let camping = match detect_checked_with(state, geometry, am) {
         Ok(camping) => camping,
         Err(e) => {
             // Without resolved layouts the pass cannot even tell whether
@@ -141,7 +171,7 @@ pub fn eliminate(
         return report;
     }
 
-    let Ok(layouts) = resolve_layouts_padded(&state.kernel, &state.bindings) else {
+    let Ok(layouts) = am.layouts(&state.kernel, &state.bindings) else {
         state.emit(TraceEvent::CampingUnfixed {
             arrays: camping.clone(),
         });
@@ -249,9 +279,9 @@ fn rotate_loop(state: &mut PipelineState, var: &str, offset_words: i64, row_len:
         }
         false
     }
-    let mut body = std::mem::take(&mut state.kernel.body);
+    let mut body = std::mem::take(&mut state.kernel_mut().body);
     rec(&mut body, var, offset_words, row_len);
-    state.kernel.body = body;
+    state.kernel_mut().body = body;
 }
 
 
@@ -261,7 +291,7 @@ fn rotate_loop(state: &mut PipelineState, var: &str, offset_words: i64, row_len:
 fn apply_diagonal(state: &mut PipelineState) {
     let dbx = crate::util::fresh_name(&state.kernel, "diag_bx");
     let dby = crate::util::fresh_name(&state.kernel, "diag_by");
-    let body = std::mem::take(&mut state.kernel.body);
+    let body = std::mem::take(&mut state.kernel_mut().body);
     let body = visit::map_exprs(body, &|e| match e {
         Expr::Builtin(Builtin::BidX) => Expr::var(&dbx),
         Expr::Builtin(Builtin::BidY) => Expr::var(&dby),
@@ -283,7 +313,7 @@ fn apply_diagonal(state: &mut PipelineState) {
         Stmt::decl_int(&dby, Expr::Builtin(Builtin::BidX)),
     ];
     new_body.extend(body);
-    state.kernel.body = new_body;
+    state.kernel_mut().body = new_body;
 }
 
 /// The set of arrays a kernel reads or writes — used by the driver to pick

@@ -14,8 +14,7 @@
 use crate::staging::{StagingInfo, StagingPattern, HALF_WARP};
 use crate::PipelineState;
 use gpgpu_analysis::{
-    collect_accesses, resolve_layouts_padded, AccessTarget, Affine, CoalesceVerdict, GlobalAccess,
-    NonCoalescedReason, Sym,
+    AccessTarget, Affine, AnalysisManager, CoalesceVerdict, GlobalAccess, NonCoalescedReason, Sym,
 };
 use gpgpu_ast::{
     builder, visit, Builtin, Expr, ForLoop, Kernel, LValue, LoopUpdate, PrintOptions, ScalarType,
@@ -66,7 +65,18 @@ pub struct CoalesceReport {
 }
 
 /// Runs the pass; rewrites `state.kernel` and sets the half-warp block.
+///
+/// Convenience wrapper over [`coalesce_with`] with a throwaway analysis
+/// cache.
 pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
+    let mut am = AnalysisManager::new();
+    am.sync(state.version());
+    coalesce_with(state, &mut am)
+}
+
+/// Like [`coalesce`], but reads its layout/access analyses through the
+/// memoizing `AnalysisManager` (the pass-manager pipeline's entry point).
+pub fn coalesce_with(state: &mut PipelineState, am: &mut AnalysisManager) -> CoalesceReport {
     let mut report = CoalesceReport::default();
 
     // Transpose-style stores get the dedicated exchange transformation.
@@ -77,8 +87,8 @@ pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
     state.block_x = HALF_WARP;
     state.block_y = 1;
 
-    let layouts = match resolve_layouts_padded(&state.kernel, &state.bindings) {
-        Ok(l) => l,
+    let accesses = match am.accesses(&state.kernel, &state.bindings) {
+        Ok(a) => a,
         Err(e) => {
             state.emit(TraceEvent::CoalescePassSkipped {
                 reason: e.to_string(),
@@ -86,9 +96,8 @@ pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
             return report;
         }
     };
-    let accesses = collect_accesses(&state.kernel, &layouts, &state.bindings);
     // Record the §3.2 verdict and G2S/G2R classification of every access.
-    for acc in &accesses {
+    for acc in accesses.iter() {
         state.emit(TraceEvent::AccessClassified {
             array: acc.array.clone(),
             index: render_indices(&acc.indices),
@@ -103,7 +112,7 @@ pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
     let mut loop_plans: HashMap<String, Vec<StagingInfo>> = HashMap::new();
     let mut straightline_plans: Vec<StagingInfo> = Vec::new();
     let mut counter = 0usize;
-    for acc in &accesses {
+    for acc in accesses.iter() {
         if acc.is_write || acc.verdict.is_coalesced() {
             continue;
         }
@@ -185,9 +194,9 @@ pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
     let mut placed: Vec<StagingInfo> = Vec::new();
     if !loop_plans.is_empty() {
         let resolve = bindings_resolver(state);
-        let body = std::mem::take(&mut state.kernel.body);
+        let body = std::mem::take(&mut state.kernel_mut().body);
         let mut failed = Vec::new();
-        state.kernel.body = rewrite(body, &loop_plans, &resolve, &mut failed);
+        state.kernel_mut().body = rewrite(body, &loop_plans, &resolve, &mut failed);
         for (lv, plans) in &loop_plans {
             if failed.contains(lv) {
                 for p in plans {
@@ -209,7 +218,7 @@ pub fn coalesce(state: &mut PipelineState) -> CoalesceReport {
     }
     let resolve = bindings_resolver(state);
     for info in straightline_plans {
-        apply_straightline(&mut state.kernel, &info, &resolve);
+        apply_straightline(state.kernel_mut(), &info, &resolve);
         placed.push(info);
     }
     for info in &placed {
@@ -609,7 +618,7 @@ fn try_exchange(state: &mut PipelineState, report: &mut CoalesceReport) -> bool 
             Expr::index(&tile, vec![tidx, tidy]),
         ),
     ];
-    state.kernel.body = new_body;
+    state.kernel_mut().body = new_body;
     state.block_x = HALF_WARP;
     state.block_y = HALF_WARP;
     state.stagings.push(StagingInfo {

@@ -23,25 +23,40 @@
 pub mod camping;
 pub mod coalesce;
 pub mod merge;
+pub mod pass;
 pub mod prefetch;
 pub mod reduction;
 pub mod staging;
 pub mod util;
 pub mod vectorize;
 
+pub use pass::{
+    AmdVectorizePass, CampingPass, CoalescePass, MergeAxis, Pass, PassError, PassOutcome,
+    PrefetchPass, ReductionPass, ThreadBlockMergePass, ThreadMergePass, VectorizePass,
+};
 pub use staging::{StagingInfo, StagingPattern};
 
 use gpgpu_analysis::Bindings;
 use gpgpu_ast::{AccessSpans, Kernel, Span};
 use gpgpu_trace::{TraceEvent, TraceSink};
+use std::sync::Arc;
 
 /// The state threaded through the pass pipeline.
+///
+/// The kernel (and the immutable bindings/span tables) are held behind
+/// [`Arc`]s so the design-space search can [`branch`](Self::branch) a
+/// candidate from a shared snapshot without deep-cloning: a branch costs a
+/// few reference-count bumps, and the first rewrite a candidate performs
+/// (via [`kernel_mut`](Self::kernel_mut)) copies the kernel on write. Each
+/// copy-on-write bumps a version counter that keys the
+/// [`gpgpu_analysis::AnalysisManager`]'s memoized results.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineState {
-    /// The kernel in its current form.
-    pub kernel: Kernel,
+    /// The kernel in its current form. Shared copy-on-write; rewrite it
+    /// through [`Self::kernel_mut`] so the version counter stays honest.
+    pub kernel: Arc<Kernel>,
     /// Concrete size bindings the kernel is being compiled for.
-    pub bindings: Bindings,
+    pub bindings: Arc<Bindings>,
     /// Current thread-block extent along X.
     pub block_x: i64,
     /// Current thread-block extent along Y.
@@ -53,10 +68,14 @@ pub struct PipelineState {
     /// Work items folded into each thread along Y by thread merge.
     pub thread_merge_y: i64,
     /// Structured record of every decision the passes made (the paper
-    /// touts understandable output; the trace explains it).
+    /// touts understandable output; the trace explains it). A branched
+    /// candidate starts with an *empty* sink — its events are a suffix the
+    /// driver appends to the shared prefix when the candidate wins.
     pub trace: TraceSink,
     /// Source spans of the naive kernel's array accesses, for diagnostics.
-    pub access_spans: AccessSpans,
+    pub access_spans: Arc<AccessSpans>,
+    /// Kernel version counter: bumped by every [`Self::kernel_mut`] call.
+    version: u64,
 }
 
 impl PipelineState {
@@ -64,23 +83,57 @@ impl PipelineState {
     /// thread per block (the naive kernel needs no block structure).
     pub fn new(kernel: Kernel, bindings: Bindings) -> PipelineState {
         PipelineState {
-            kernel,
-            bindings,
+            kernel: Arc::new(kernel),
+            bindings: Arc::new(bindings),
             block_x: 1,
             block_y: 1,
             stagings: Vec::new(),
             thread_merge_x: 1,
             thread_merge_y: 1,
             trace: TraceSink::new(),
-            access_spans: AccessSpans::new(),
+            access_spans: Arc::new(AccessSpans::new()),
+            version: 0,
         }
     }
 
     /// Attaches the source-span side table built by
     /// [`gpgpu_ast::access_spans`].
     pub fn with_access_spans(mut self, spans: AccessSpans) -> PipelineState {
-        self.access_spans = spans;
+        self.access_spans = Arc::new(spans);
         self
+    }
+
+    /// Mutable access to the kernel. Copies on write when the kernel is
+    /// shared with other branches, and bumps the version counter that
+    /// invalidates memoized analyses.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        self.version += 1;
+        Arc::make_mut(&mut self.kernel)
+    }
+
+    /// The kernel version counter. Two states with equal versions that
+    /// share a history have byte-identical kernels; any rewrite bumps it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Forks a candidate branch of this state: the kernel, bindings and
+    /// span table are shared (copy-on-write), geometry and staging metadata
+    /// are copied, and the trace starts empty — the branch records only the
+    /// *suffix* of events it adds beyond the shared snapshot.
+    pub fn branch(&self) -> PipelineState {
+        PipelineState {
+            kernel: Arc::clone(&self.kernel),
+            bindings: Arc::clone(&self.bindings),
+            block_x: self.block_x,
+            block_y: self.block_y,
+            stagings: self.stagings.clone(),
+            thread_merge_x: self.thread_merge_x,
+            thread_merge_y: self.thread_merge_y,
+            trace: TraceSink::new(),
+            access_spans: Arc::clone(&self.access_spans),
+            version: self.version,
+        }
     }
 
     /// Records a structured trace event.

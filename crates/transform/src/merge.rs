@@ -59,12 +59,21 @@ pub fn thread_block_merge_x(state: &mut PipelineState, n: i64) -> Result<(), Mer
     }
     let new_bx = state.block_x * n;
     let by = state.block_y;
+    let mut body = std::mem::take(&mut state.kernel_mut().body);
+    let mut result = Ok(());
     for info in &state.stagings {
-        let replacement = info
-            .emit(new_bx, by)
-            .map_err(MergeError::IncompatibleStaging)?;
-        replace_staging_region(&mut state.kernel.body, &info.shared, &replacement);
+        match info.emit(new_bx, by) {
+            Ok(replacement) => {
+                replace_staging_region(&mut body, &info.shared, &replacement);
+            }
+            Err(s) => {
+                result = Err(MergeError::IncompatibleStaging(s));
+                break;
+            }
+        }
     }
+    state.kernel_mut().body = body;
+    result?;
     state.block_x = new_bx;
     state.emit(gpgpu_trace::TraceEvent::BlockMerge {
         axis: "X",
@@ -97,19 +106,25 @@ pub fn thread_block_merge_y(state: &mut PipelineState, n: i64) -> Result<(), Mer
     let new_by = state.block_y * n;
     let bx = state.block_x;
     let mut row_indexed: Vec<String> = Vec::new();
+    let mut body = std::mem::take(&mut state.kernel_mut().body);
+    let mut result = Ok(());
     for info in &state.stagings {
-        let replacement = info
-            .emit(bx, new_by)
-            .map_err(MergeError::IncompatibleStaging)?;
-        replace_staging_region(&mut state.kernel.body, &info.shared, &replacement);
-        if info.varies_with_idy() {
-            row_indexed.push(info.shared.clone());
+        match info.emit(bx, new_by) {
+            Ok(replacement) => {
+                replace_staging_region(&mut body, &info.shared, &replacement);
+                if info.varies_with_idy() {
+                    row_indexed.push(info.shared.clone());
+                }
+            }
+            Err(s) => {
+                result = Err(MergeError::IncompatibleStaging(s));
+                break;
+            }
         }
     }
     // Use sites of idy-dependent segments become shared[tidy][k].
-    if !row_indexed.is_empty() {
-        let body = std::mem::take(&mut state.kernel.body);
-        state.kernel.body = visit::map_exprs(body, &|e| match &e {
+    if result.is_ok() && !row_indexed.is_empty() {
+        body = visit::map_exprs(body, &|e| match &e {
             Expr::Index { array, indices }
                 if row_indexed.contains(array) && indices.len() == 1 =>
             {
@@ -121,6 +136,8 @@ pub fn thread_block_merge_y(state: &mut PipelineState, n: i64) -> Result<(), Mer
             _ => e,
         });
     }
+    state.kernel_mut().body = body;
+    result?;
     state.block_y = new_by;
     state.emit(gpgpu_trace::TraceEvent::BlockMerge {
         axis: "Y",
@@ -184,8 +201,10 @@ fn thread_merge(state: &mut PipelineState, n: i64, axis: Axis) -> Result<(), Mer
     };
 
     let mut counter = 0usize;
-    let body = std::mem::take(&mut state.kernel.body);
-    state.kernel.body = replicate_body(body, n, id, &replicated, &replica_id, &mut counter, state);
+    let globals = crate::util::global_arrays(&state.kernel);
+    let body = std::mem::take(&mut state.kernel_mut().body);
+    state.kernel_mut().body =
+        replicate_body(body, n, id, &replicated, &replica_id, &mut counter, &globals);
 
     // Rename replicated staging metadata.
     let mut new_stagings = Vec::new();
@@ -362,10 +381,9 @@ fn replicate_body(
     replicated: &HashSet<String>,
     replica_id: &dyn Fn(i64) -> Expr,
     counter: &mut usize,
-    state: &mut PipelineState,
+    globals: &HashSet<String>,
 ) -> Vec<Stmt> {
     let mut out = Vec::new();
-    let globals = crate::util::global_arrays(&state.kernel);
     for stmt in body {
         match stmt {
             Stmt::DeclScalar { name, ty, init } if replicated.contains(&name) => {
@@ -427,7 +445,7 @@ fn replicate_body(
             Stmt::For(mut l) => {
                 // Control flow is kept single (paper rule 3); only the body
                 // replicates.
-                l.body = replicate_body(l.body, n, id, replicated, replica_id, counter, state);
+                l.body = replicate_body(l.body, n, id, replicated, replica_id, counter, globals);
                 out.push(Stmt::For(l));
             }
             Stmt::If {
@@ -454,10 +472,10 @@ fn replicate_body(
                     out.push(Stmt::If {
                         cond,
                         then_body: replicate_body(
-                            then_body, n, id, replicated, replica_id, counter, state,
+                            then_body, n, id, replicated, replica_id, counter, globals,
                         ),
                         else_body: replicate_body(
-                            else_body, n, id, replicated, replica_id, counter, state,
+                            else_body, n, id, replicated, replica_id, counter, globals,
                         ),
                     });
                 }

@@ -11,6 +11,7 @@
 //! impact).
 
 use crate::PipelineState;
+use gpgpu_analysis::AnalysisManager;
 use gpgpu_ast::{builder, Expr, LValue, LoopUpdate, ScalarType, Stmt};
 
 /// Result of the prefetching pass.
@@ -27,8 +28,20 @@ pub struct PrefetchReport {
 /// `register_budget` is the number of registers per thread the schedule can
 /// still afford; the pass refuses to run if it would exceed it.
 pub fn prefetch(state: &mut PipelineState, register_budget: u32) -> PrefetchReport {
+    let mut am = AnalysisManager::new();
+    am.sync(state.version());
+    prefetch_with(state, register_budget, &mut am)
+}
+
+/// Like [`prefetch`], but reads the resource estimate through a shared
+/// [`AnalysisManager`] so repeated queries across passes are memoized.
+pub fn prefetch_with(
+    state: &mut PipelineState,
+    register_budget: u32,
+    am: &mut AnalysisManager,
+) -> PrefetchReport {
     let mut report = PrefetchReport::default();
-    let est = gpgpu_analysis::estimate_resources(&state.kernel);
+    let est = am.resources(&state.kernel);
     let staged_loads = count_staged_loads(state);
     if staged_loads == 0 {
         state.emit(gpgpu_trace::TraceEvent::PassSkipped {
@@ -52,8 +65,8 @@ pub fn prefetch(state: &mut PipelineState, register_budget: u32) -> PrefetchRepo
     let shared_names: Vec<String> = state.stagings.iter().map(|s| s.shared.clone()).collect();
     let globals = crate::util::global_arrays(&state.kernel);
     let mut counter = 0usize;
-    let body = std::mem::take(&mut state.kernel.body);
-    state.kernel.body = rewrite_body(body, &shared_names, &globals, &mut counter, &mut report);
+    let body = std::mem::take(&mut state.kernel_mut().body);
+    state.kernel_mut().body = rewrite_body(body, &shared_names, &globals, &mut counter, &mut report);
     if report.prefetched > 0 {
         state.emit(gpgpu_trace::TraceEvent::PrefetchApplied {
             loads: report.prefetched,

@@ -122,8 +122,8 @@ fn apply_to_array(
     array: &str,
     resolve: &dyn Fn(&str) -> Option<i64>,
 ) {
-    let body = std::mem::take(&mut state.kernel.body);
-    state.kernel.body = visit::map_exprs(body, &|e| match e {
+    let body = std::mem::take(&mut state.kernel_mut().body);
+    state.kernel_mut().body = visit::map_exprs(body, &|e| match e {
         Expr::Index { array: a, indices } if a == array && indices.len() == 1 => {
             // Pairing was pre-checked by `forms_pair_up`; if the checker and
             // the rewriter ever disagree, the access is left untouched.
@@ -140,7 +140,8 @@ fn apply_to_array(
         }
         other => other,
     });
-    let Some(param) = state.kernel.params.iter_mut().find(|p| p.name == array) else {
+    let bindings = std::sync::Arc::clone(&state.bindings);
+    let Some(param) = state.kernel_mut().params.iter_mut().find(|p| p.name == array) else {
         return;
     };
     param.ty = ScalarType::Float2;
@@ -149,7 +150,7 @@ fn apply_to_array(
         Dim::Sym(name) => {
             // Resolve to a constant using the bindings; vectorization runs
             // with concrete sizes.
-            match state.bindings.get(name).copied() {
+            match bindings.get(name).copied() {
                 Some(v) => Dim::Const(v / 2),
                 None => Dim::Sym(name.clone()),
             }
@@ -287,15 +288,16 @@ fn try_vectorize_amd(
     }
 
     // Widen the parameters.
+    let kernel = state.kernel_mut();
     for (pos, new_extent) in widened {
-        let p = &mut state.kernel.params[pos];
+        let p = &mut kernel.params[pos];
         p.ty = ty;
         p.dims = vec![gpgpu_ast::Dim::Const(new_extent)];
     }
 
     // Rewrite each statement: hoist vector loads, compute per lane, store
     // the vector.
-    let old_body = std::mem::take(&mut state.kernel.body);
+    let old_body = std::mem::take(&mut kernel.body);
     let mut new_body = Vec::new();
     for (counter, stmt) in old_body.into_iter().enumerate() {
         let Stmt::Assign { lhs, rhs } = stmt else {
@@ -349,7 +351,7 @@ fn try_vectorize_amd(
             rhs: Expr::Var(vout),
         });
     }
-    state.kernel.body = new_body;
+    kernel.body = new_body;
     state.thread_merge_x *= factor;
     state.emit(gpgpu_trace::TraceEvent::AmdVectorizeApplied {
         width: factor as u32,

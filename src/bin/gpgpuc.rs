@@ -9,6 +9,8 @@
 //!   --cuda-names                        emit threadIdx.x-style ids
 //!   --no-<stage>                        disable a stage: vectorize,
 //!                                       coalesce, merge, prefetch, partition
+//!   --list-passes                       print the registered pass table
+//!                                       (name, paper section, stage) and exit
 //!   --report                            print the pass log, design-space
 //!                                       sweep, counter summary and
 //!                                       performance prediction
@@ -77,6 +79,7 @@ struct Args {
     trace_json: Option<String>,
     verify_at: Option<i64>,
     strict: bool,
+    list_passes: bool,
 }
 
 fn usage(msg: &str) -> ExitCode {
@@ -84,7 +87,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: gpgpuc [--machine gtx8800|gtx280|hd5870] [--bind n=1024]... \
          [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
-         [--report] [--metrics] [--trace-json <path>] [--verify <size>] [--strict] <kernel.cu | ->"
+         [--list-passes] [--report] [--metrics] [--trace-json <path>] [--verify <size>] [--strict] <kernel.cu | ->"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -107,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
         trace_json: None,
         verify_at: None,
         strict: false,
+        list_passes: false,
     };
     let mut it = std::env::args().skip(1);
     let mut input: Option<String> = None;
@@ -138,6 +142,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-merge" => args.stages.merge = false,
             "--no-prefetch" => args.stages.prefetch = false,
             "--no-partition" => args.stages.partition = false,
+            "--list-passes" => args.list_passes = true,
             "--report" => args.report = true,
             "--metrics" => args.metrics = true,
             "--strict" => args.strict = true,
@@ -154,8 +159,18 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    args.input = input.ok_or("no input file")?;
+    if !args.list_passes {
+        args.input = input.ok_or("no input file")?;
+    }
     Ok(args)
+}
+
+/// Prints the registered pass table (`--list-passes`).
+fn list_passes() {
+    println!("{:<14} {:<10} STAGE", "PASS", "SECTION");
+    for p in gpgpu::core::registered_passes() {
+        println!("{:<14} {:<10} {}", p.name, p.paper_section, p.stage);
+    }
 }
 
 fn main() -> ExitCode {
@@ -163,6 +178,10 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => return usage(&e),
     };
+    if args.list_passes {
+        list_passes();
+        return ExitCode::SUCCESS;
+    }
     let source = if args.input == "-" {
         let mut buf = String::new();
         if std::io::stdin().read_to_string(&mut buf).is_err() {

@@ -1,0 +1,135 @@
+//! Correctness of the memoized analysis framework: whatever the
+//! [`AnalysisManager`] hands back from its cache after any prefix of the
+//! optimization pipeline must be *identical* to recomputing the analysis
+//! from scratch on the current kernel — caching is an optimization, never
+//! an observable behavior change.
+
+use gpgpu::analysis::{AnalysisManager, PartitionGeometry};
+use gpgpu::core::{compile, CompileOptions, PassManager, StageSet};
+use gpgpu::sim::MachineDesc;
+use gpgpu::transform::{
+    CampingPass, CoalescePass, MergeAxis, Pass, PipelineState, PrefetchPass, ThreadBlockMergePass,
+    ThreadMergePass, VectorizePass,
+};
+use proptest::prelude::*;
+
+const MM: &str = "__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+    float sum = 0.0f;
+    for (int i = 0; i < w; i = i + 1) { sum += a[idy][i] * b[i][idx]; }
+    c[idy][idx] = sum;
+}";
+
+const TMV: &str = "__global__ void tmv(float a[w][n], float b[w], float c[n], int n, int w) {
+    float sum = 0.0f;
+    for (int i = 0; i < w; i = i + 1) { sum += a[i][idx] * b[i]; }
+    c[idx] = sum;
+}";
+
+fn state_for(source: &str, n: i64) -> PipelineState {
+    let k = gpgpu::ast::parse_kernel(source).expect("kernel parses");
+    let bindings = [("n".to_string(), n), ("w".to_string(), n)].into();
+    PipelineState::new(k, bindings)
+}
+
+/// Every cached analysis must equal a from-scratch recomputation on the
+/// pipeline state as it stands right now.
+fn assert_cache_is_transparent(pm: &mut PassManager, st: &PipelineState, when: &str) {
+    pm.am.sync(st.version());
+    let mut fresh = AnalysisManager::new();
+    fresh.sync(st.version());
+
+    let cached = pm.am.layouts(&st.kernel, &st.bindings);
+    let scratch = fresh.layouts(&st.kernel, &st.bindings);
+    match (cached, scratch) {
+        (Ok(c), Ok(f)) => assert_eq!(*c, *f, "layouts diverge {when}"),
+        (Err(c), Err(f)) => assert_eq!(c.to_string(), f.to_string()),
+        (c, f) => panic!("layout cache verdict flipped {when}: {c:?} vs {f:?}"),
+    }
+
+    let cached = pm.am.accesses(&st.kernel, &st.bindings);
+    let scratch = fresh.accesses(&st.kernel, &st.bindings);
+    match (cached, scratch) {
+        (Ok(c), Ok(f)) => assert_eq!(*c, *f, "accesses diverge {when}"),
+        (Err(c), Err(f)) => assert_eq!(c.to_string(), f.to_string()),
+        (c, f) => panic!("access cache verdict flipped {when}: {c:?} vs {f:?}"),
+    }
+
+    let (bx, by) = (st.block_x, st.block_y);
+    let cached = pm.am.sharing(&st.kernel, &st.bindings, bx, by);
+    let scratch = fresh.sharing(&st.kernel, &st.bindings, bx, by);
+    match (cached, scratch) {
+        (Ok(c), Ok(f)) => assert_eq!(*c, *f, "sharing diverges {when}"),
+        (Err(c), Err(f)) => assert_eq!(c.to_string(), f.to_string()),
+        (c, f) => panic!("sharing cache verdict flipped {when}: {c:?} vs {f:?}"),
+    }
+
+    assert_eq!(
+        *pm.am.resources(&st.kernel),
+        *fresh.resources(&st.kernel),
+        "resources diverge {when}"
+    );
+}
+
+/// Runs one pass and then re-checks cache transparency. Pass failures
+/// (e.g. a merge factor the kernel rejects) are fine — the cache must
+/// stay transparent either way.
+fn step(pm: &mut PassManager, st: &mut PipelineState, pass: &mut dyn Pass) {
+    let name = pass.name();
+    let _ = pm.run(st, pass);
+    assert_cache_is_transparent(pm, st, &format!("after `{name}`"));
+}
+
+proptest! {
+    // Each case runs the full pass pipeline (no simulation), so a modest
+    // case count already sweeps the merge-factor space.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every pass of the mm/tmv pipelines, at every explored merge
+    /// degree, the cached analyses equal from-scratch recomputation.
+    #[test]
+    fn cached_analyses_match_recomputation_after_every_pass(
+        source in prop::sample::select(vec![MM, TMV]),
+        n in prop::sample::select(vec![256i64, 512]),
+        bx in prop::sample::select(vec![1i64, 2, 8, 16]),
+        ty in prop::sample::select(vec![1i64, 2, 4]),
+    ) {
+        let mut st = state_for(source, n);
+        let mut pm = PassManager::new(StageSet::all());
+        assert_cache_is_transparent(&mut pm, &st, "before any pass");
+
+        step(&mut pm, &mut st, &mut VectorizePass);
+        step(&mut pm, &mut st, &mut CoalescePass);
+        if bx > 1 {
+            step(&mut pm, &mut st, &mut ThreadBlockMergePass { factor: bx });
+        }
+        if ty > 1 {
+            step(&mut pm, &mut st, &mut ThreadMergePass { axis: MergeAxis::Y, factor: ty });
+        }
+        step(&mut pm, &mut st, &mut PrefetchPass { register_budget: 124 });
+        step(&mut pm, &mut st, &mut CampingPass {
+            geometry: PartitionGeometry::gtx280(),
+            grid_2d: source == MM,
+        });
+    }
+}
+
+/// The acceptance check of the caching framework end to end: compiling the
+/// paper's mm example must actually *hit* the cache (the layouts resolved
+/// during coalescing are reused by every explored candidate), and the
+/// traffic shows up in the metrics registry.
+#[test]
+fn mm_compilation_reports_cache_hits_in_metrics() {
+    let naive = gpgpu::ast::parse_kernel(MM).expect("mm parses");
+    let opts = CompileOptions::new(MachineDesc::gtx280())
+        .bind("n", 512)
+        .bind("w", 512);
+    let compiled = compile(&naive, &opts).expect("mm compiles");
+    let globals = compiled.metrics.globals();
+    let hits = globals.get("analysis_cache_hits").expect("hit counter");
+    let misses = globals.get("analysis_cache_misses").expect("miss counter");
+    assert!(hits > 0.0, "exploration never hit the analysis cache");
+    assert!(
+        hits > misses,
+        "candidates should mostly reuse inherited analyses ({hits} hits, {misses} misses)"
+    );
+}

@@ -167,3 +167,31 @@ fn strict_trace_json_still_records_degradation() {
     assert!(doc.contains("\"kind\": \"degraded\""), "{doc}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn list_passes_prints_registry_without_input() {
+    let mut cmd = gpgpuc();
+    cmd.arg("--list-passes");
+    let (stdout, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[0].starts_with("PASS"), "{stdout}");
+    // Every registered pass appears with its paper section and stage gate.
+    for (name, section, stage) in [
+        ("vectorize", "\u{a7}3.1", "vectorize"),
+        ("vectorize-amd", "\u{a7}3.1", "vectorize"),
+        ("coalesce", "\u{a7}3.3", "coalesce"),
+        ("reduction", "\u{a7}3/\u{a7}6", "merge"),
+        ("block-merge", "\u{a7}3.5.1", "merge"),
+        ("thread-merge", "\u{a7}3.5.2", "merge"),
+        ("prefetch", "\u{a7}3.6", "prefetch"),
+        ("camping", "\u{a7}3.7", "partition"),
+    ] {
+        let row = lines
+            .iter()
+            .find(|l| l.split_whitespace().next() == Some(name))
+            .unwrap_or_else(|| panic!("pass `{name}` missing from\n{stdout}"));
+        assert!(row.contains(section), "{row}");
+        assert!(row.ends_with(stage), "{row}");
+    }
+}

@@ -76,7 +76,7 @@ fn mm_case_study_golden_event_sequence() {
             _ => None,
         })
         .collect();
-    for pass in ["vectorize", "coalesce", "merge", "prefetch"] {
+    for pass in ["vectorize", "coalesce", "block-merge", "thread-merge", "prefetch"] {
         assert!(timed.contains(&pass), "pass `{pass}` has no timing event");
     }
 
