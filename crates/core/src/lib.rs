@@ -54,7 +54,9 @@ pub use pipeline::{
     compile, estimate_launch, naive_compiled, CompileError, CompileOptions, CompiledKernel,
     KernelLaunch, StageSet,
 };
-pub use verify::{verify_equivalence, verify_equivalence_with, VerifyError};
+pub use verify::{
+    verify_equivalence, verify_equivalence_sanitized, verify_equivalence_with, VerifyError,
+};
 
 // The observability subsystem, re-exported so downstream users (CLI, bench
 // harnesses, tests) need not depend on `gpgpu-trace` directly.

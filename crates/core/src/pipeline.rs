@@ -119,6 +119,11 @@ pub struct CompileOptions {
     /// (see [`gpgpu_ast::access_spans`]); attached to per-access trace
     /// events. Empty when the caller has no source text.
     pub spans: AccessSpans,
+    /// Seed mixed into the pseudo-random input streams used by output
+    /// verification. Reported in every mismatch so a failing comparison can
+    /// be replayed exactly (`gpgpuc --verify-seed`). Seed 0 is the
+    /// historical default stream.
+    pub verify_seed: u64,
 }
 
 impl CompileOptions {
@@ -131,6 +136,7 @@ impl CompileOptions {
             explore: ExploreOptions::default(),
             sample_blocks: gpgpu_sim::timing::DEFAULT_SAMPLE_BLOCKS,
             spans: AccessSpans::new(),
+            verify_seed: 0,
         }
     }
 
@@ -150,6 +156,13 @@ impl CompileOptions {
     /// Replaces the stage set.
     pub fn with_stages(mut self, stages: StageSet) -> CompileOptions {
         self.stages = stages;
+        self
+    }
+
+    /// Seeds the verification input streams (see
+    /// [`CompileOptions::verify_seed`]).
+    pub fn with_verify_seed(mut self, seed: u64) -> CompileOptions {
+        self.verify_seed = seed;
         self
     }
 }

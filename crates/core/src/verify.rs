@@ -6,11 +6,16 @@
 //! with a small floating-point tolerance (transformations reassociate
 //! sums). Every compiler transformation in this repository is validated
 //! through this door.
+//!
+//! [`verify_equivalence_sanitized`] additionally runs both versions under
+//! the simulator's sanitize mode (see [`gpgpu_sim::sanitize`]), so a
+//! miscompile whose wrong bytes happen to match — a `__shared__` staging
+//! race, a read of layout padding, a divergent barrier — is still caught.
 
 use crate::pipeline::{naive_compiled, CompileOptions, CompiledKernel};
 use gpgpu_analysis::resolve_layouts_padded;
 use gpgpu_ast::Kernel;
-use gpgpu_sim::{launch, Device, ExecOptions};
+use gpgpu_sim::{abs_rel_error, launch, Device, ExecError, ExecOptions};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -32,13 +37,35 @@ pub enum VerifyError {
         array: String,
         /// Flat logical index of the first differing element.
         index: usize,
-        /// Naive (reference) value.
+        /// Naive (reference) value at that index.
         reference: f32,
-        /// Optimized value.
+        /// Optimized value at that index.
         optimized: f32,
+        /// Total elements of the array differing beyond tolerance.
+        count: usize,
+        /// Maximum absolute error across the array.
+        max_abs: f32,
+        /// Maximum relative error across the array.
+        max_rel: f32,
+        /// Input-stream seed the comparison ran with; replay with
+        /// `gpgpuc --verify-seed <seed>`.
+        seed: u64,
     },
     /// The optimized program never wrote a declared output.
     MissingOutput(String),
+    /// A sanitizer check fired during one of the runs (only from
+    /// [`verify_equivalence_sanitized`]).
+    Sanitizer {
+        /// Which run tripped it: `"naive"` or the optimized kernel name.
+        run: String,
+        /// Stable finding identifier (see
+        /// [`gpgpu_sim::SanitizerKind::name`]).
+        kind: String,
+        /// Array the finding refers to, when there is one.
+        array: Option<String>,
+        /// Rendered finding.
+        detail: String,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -51,20 +78,31 @@ impl fmt::Display for VerifyError {
                 index,
                 reference,
                 optimized,
+                count,
+                max_abs,
+                max_rel,
+                seed,
             } => write!(
                 f,
-                "mismatch in `{array}`[{index}]: naive {reference} vs optimized {optimized}"
+                "mismatch in `{array}`[{index}]: naive {reference} vs optimized {optimized} \
+                 ({count} element(s) differ, max abs err {max_abs:e}, max rel err {max_rel:e}, \
+                 input seed {seed})"
             ),
             VerifyError::MissingOutput(a) => write!(f, "output `{a}` was never allocated"),
+            VerifyError::Sanitizer { run, detail, .. } => {
+                write!(f, "sanitizer fired in {run} run: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for VerifyError {}
 
-/// Deterministic input data: a per-array LCG stream in [-1, 1).
-fn fill(name: &str, len: usize) -> Vec<f32> {
-    let mut state: u64 = 0x9E37_79B9_7F4A_7C15 ^ name.bytes().map(u64::from).sum::<u64>();
+/// Deterministic input data: a per-array LCG stream in [-1, 1), mixed with
+/// a caller seed. Seed 0 reproduces the historical default streams.
+pub(crate) fn fill(name: &str, len: usize, seed: u64) -> Vec<f32> {
+    let mut state: u64 =
+        0x9E37_79B9_7F4A_7C15 ^ seed ^ name.bytes().map(u64::from).sum::<u64>();
     (0..len)
         .map(|_| {
             state = state
@@ -73,6 +111,20 @@ fn fill(name: &str, len: usize) -> Vec<f32> {
             ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
         })
         .collect()
+}
+
+/// Maps an execution failure to a [`VerifyError`], surfacing sanitizer
+/// findings structurally instead of as a flat string.
+fn map_exec_err(run: &str, e: ExecError) -> VerifyError {
+    match e {
+        ExecError::Sanitizer(s) => VerifyError::Sanitizer {
+            run: run.to_string(),
+            kind: s.name().to_string(),
+            array: s.kind.array().map(str::to_string),
+            detail: s.to_string(),
+        },
+        other => VerifyError::Exec(format!("{run}: {other}")),
+    }
 }
 
 /// Runs the naive kernel and the compiled program on identical inputs and
@@ -88,7 +140,7 @@ pub fn verify_equivalence(
     compiled: &CompiledKernel,
     opts: &CompileOptions,
 ) -> Result<(), VerifyError> {
-    verify_equivalence_with(naive, compiled, opts, &HashMap::new())
+    run_verify(naive, compiled, opts, &HashMap::new(), false)
 }
 
 /// Like [`verify_equivalence`], but with caller-supplied input streams for
@@ -105,7 +157,38 @@ pub fn verify_equivalence_with(
     opts: &CompileOptions,
     overrides: &HashMap<String, Vec<f32>>,
 ) -> Result<(), VerifyError> {
+    run_verify(naive, compiled, opts, overrides, false)
+}
+
+/// Like [`verify_equivalence`], but executes both runs under the
+/// simulator's sanitize mode: shadow-state violations (races, OOB and
+/// padding reads, uninitialized reads, barrier divergence) surface as
+/// [`VerifyError::Sanitizer`] even when the outputs happen to agree.
+///
+/// # Errors
+///
+/// Same as [`verify_equivalence`], plus [`VerifyError::Sanitizer`].
+pub fn verify_equivalence_sanitized(
+    naive: &Kernel,
+    compiled: &CompiledKernel,
+    opts: &CompileOptions,
+) -> Result<(), VerifyError> {
+    run_verify(naive, compiled, opts, &HashMap::new(), true)
+}
+
+fn run_verify(
+    naive: &Kernel,
+    compiled: &CompiledKernel,
+    opts: &CompileOptions,
+    overrides: &HashMap<String, Vec<f32>>,
+    sanitize: bool,
+) -> Result<(), VerifyError> {
     let outputs = naive.output_arrays();
+    let exec_opts = ExecOptions {
+        sanitize,
+        spans: opts.spans.clone(),
+        ..ExecOptions::default()
+    };
 
     // Input streams shared by both runs, keyed by array name.
     let naive_layouts = resolve_layouts_padded(naive, &opts.bindings)
@@ -126,7 +209,7 @@ pub fn verify_equivalence_with(
                 }
                 data.clone()
             }
-            None => fill(&p.name, want_len),
+            None => fill(&p.name, want_len, opts.verify_seed),
         };
         streams.insert(p.name.clone(), stream);
     }
@@ -140,14 +223,8 @@ pub fn verify_equivalence_with(
             .upload(&streams[&p.name]);
     }
     for l in &reference.launches {
-        launch(
-            &l.kernel,
-            &l.launch,
-            &opts.bindings,
-            &mut ref_dev,
-            &ExecOptions::default(),
-        )
-        .map_err(|e| VerifyError::Exec(format!("naive: {e}")))?;
+        launch(&l.kernel, &l.launch, &opts.bindings, &mut ref_dev, &exec_opts)
+            .map_err(|e| map_exec_err("naive", e))?;
     }
 
     // Candidate run: allocate the union of arrays across the launches.
@@ -168,17 +245,19 @@ pub fn verify_equivalence_with(
             if cand_dev.buffer(&extra.name).is_err() {
                 cand_dev.alloc(extra.clone());
             }
+            // Compiler-introduced scratch is zero-allocated by contract
+            // (multi-launch reductions accumulate into it), so its
+            // defined-before-read obligation is met at allocation time —
+            // even when the scratch doubles as a stage parameter and was
+            // allocated through the parameter path above.
+            if let Ok(buf) = cand_dev.buffer_mut(&extra.name) {
+                buf.mark_all_initialized();
+            }
         }
     }
     for l in &compiled.launches {
-        launch(
-            &l.kernel,
-            &l.launch,
-            &opts.bindings,
-            &mut cand_dev,
-            &ExecOptions::default(),
-        )
-        .map_err(|e| VerifyError::Exec(format!("optimized `{}`: {e}", l.kernel.name)))?;
+        launch(&l.kernel, &l.launch, &opts.bindings, &mut cand_dev, &exec_opts)
+            .map_err(|e| map_exec_err(&format!("optimized `{}`", l.kernel.name), e))?;
     }
 
     // Compare the declared outputs.
@@ -198,16 +277,36 @@ pub fn verify_equivalence_with(
                 got.len()
             )));
         }
+        // Full scan: the first divergence anchors the report, but the
+        // count and error magnitudes tell systematic corruption apart
+        // from a single bad element.
+        let mut first: Option<(usize, f32, f32)> = None;
+        let mut count = 0usize;
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
         for (i, (&w, &g)) in want.iter().zip(&got).enumerate() {
             let tol = ATOL + RTOL * w.abs().max(g.abs());
             if (w - g).abs() > tol {
-                return Err(VerifyError::Mismatch {
-                    array: out.clone(),
-                    index: i,
-                    reference: w,
-                    optimized: g,
-                });
+                let (abs, rel) = abs_rel_error(w, g);
+                count += 1;
+                max_abs = max_abs.max(abs);
+                max_rel = max_rel.max(rel);
+                if first.is_none() {
+                    first = Some((i, w, g));
+                }
             }
+        }
+        if let Some((index, reference, optimized)) = first {
+            return Err(VerifyError::Mismatch {
+                array: out.clone(),
+                index,
+                reference,
+                optimized,
+                count,
+                max_abs,
+                max_rel,
+                seed: opts.verify_seed,
+            });
         }
     }
     Ok(())
@@ -235,6 +334,8 @@ mod tests {
             .bind("w", 128);
         let compiled = compile(&k, &opts).unwrap();
         verify_equivalence(&k, &compiled, &opts).unwrap();
+        // The tuned pipeline is also clean under the sanitizer.
+        verify_equivalence_sanitized(&k, &compiled, &opts).unwrap();
     }
 
     #[test]
@@ -252,7 +353,23 @@ mod tests {
         .unwrap();
         compiled.launches[0].kernel = wrong;
         let err = verify_equivalence(&k, &compiled, &opts).unwrap_err();
-        assert!(matches!(err, VerifyError::Mismatch { .. }), "{err}");
+        // Every element differs (×3 vs ×2); the max relative error is the
+        // 1/3 gap between them and the seed is reported for replay.
+        match err {
+            VerifyError::Mismatch {
+                index,
+                count,
+                max_rel,
+                seed,
+                ..
+            } => {
+                assert_eq!(index, 0);
+                assert_eq!(count, 64);
+                assert!((max_rel - 1.0 / 3.0).abs() < 1e-3, "max_rel {max_rel}");
+                assert_eq!(seed, 0);
+            }
+            other => panic!("expected mismatch, got {other}"),
+        }
     }
 
     #[test]
@@ -272,12 +389,45 @@ mod tests {
         let compiled = compile(&k, &opts).unwrap();
         assert_eq!(compiled.launches.len(), 2);
         verify_equivalence(&k, &compiled, &opts).unwrap();
+        verify_equivalence_sanitized(&k, &compiled, &opts).unwrap();
     }
 
     #[test]
     fn deterministic_fill_is_stable() {
-        assert_eq!(fill("a", 8), fill("a", 8));
-        assert_ne!(fill("a", 8), fill("b", 8));
-        assert!(fill("a", 1024).iter().all(|v| (-1.0..1.0).contains(v)));
+        assert_eq!(fill("a", 8, 0), fill("a", 8, 0));
+        assert_ne!(fill("a", 8, 0), fill("b", 8, 0));
+        assert_ne!(fill("a", 8, 0), fill("a", 8, 1));
+        assert_eq!(fill("a", 8, 7), fill("a", 8, 7));
+        assert!(fill("a", 1024, 0).iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn sanitized_verify_flags_dropped_barrier() {
+        // Hand-build a "compiled" program whose kernel stages through
+        // shared memory without a barrier — outputs can still agree (the
+        // interpreter runs lanes in order), but the race must surface.
+        let naive = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) { c[idx] = a[idx]; }",
+        )
+        .unwrap();
+        let opts = CompileOptions::new(MachineDesc::gtx280()).bind("n", 64);
+        let mut compiled = compile(&naive, &opts).unwrap();
+        let racy = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) {
+                __shared__ float s0[16];
+                s0[tidx] = a[idx];
+                c[idx] = s0[15 - tidx];
+            }",
+        )
+        .unwrap();
+        compiled.launches[0].kernel = racy;
+        let err = verify_equivalence_sanitized(&naive, &compiled, &opts).unwrap_err();
+        match &err {
+            VerifyError::Sanitizer { run, kind, .. } => {
+                assert_eq!(kind, "shared-race");
+                assert!(run.contains("optimized"), "{run}");
+            }
+            other => panic!("expected sanitizer error, got {other}"),
+        }
     }
 }

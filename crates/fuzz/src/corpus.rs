@@ -1,0 +1,232 @@
+//! The regression corpus format: a minimized reproducer is one `.cu` file
+//! whose leading `//` comment lines carry the expected-failure metadata.
+//!
+//! ```text
+//! // gpgpu-fuzz repro
+//! // bucket: sanitizer:shared-race
+//! // machine: gtx280
+//! // stages: all
+//! // inject: drop-sync
+//! // verify-seed: 0
+//! // bind: n=64
+//! // bind: w=64
+//! __global__ void mv(float a[n][w], float c[n], int n, int w) { … }
+//! ```
+//!
+//! `tests/corpus_replay.rs` parses every file under `tests/corpus/`,
+//! re-runs the oracle exactly as recorded, and asserts the same bucket —
+//! so a fixed bug stays fixed and a sanitizer check can never silently
+//! stop firing.
+
+use crate::inject::InjectKind;
+use crate::oracle::{run_case, stage_set_by_label, OracleConfig, Outcome};
+use gpgpu_ast::parse_kernel;
+use gpgpu_sim::MachineDesc;
+
+/// Marker line identifying a corpus file.
+pub const HEADER: &str = "// gpgpu-fuzz repro";
+
+/// One corpus entry: a naive kernel plus everything needed to replay its
+/// expected failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// Expected failure bucket.
+    pub bucket: String,
+    /// Machine token (`gtx8800`, `gtx280`, `hd5870`).
+    pub machine: String,
+    /// Stage-set label (see [`crate::oracle::default_stage_sets`]).
+    pub stages: String,
+    /// Bug planted after compilation, if any.
+    pub inject: Option<InjectKind>,
+    /// Verification input seed.
+    pub verify_seed: u64,
+    /// Size bindings.
+    pub bindings: Vec<(String, i64)>,
+    /// The naive kernel source (no metadata lines).
+    pub source: String,
+}
+
+/// Resolves a machine token used in corpus metadata and on the `gpgpuc`
+/// command line.
+pub fn machine_by_token(token: &str) -> Option<MachineDesc> {
+    Some(match token {
+        "gtx8800" => MachineDesc::gtx8800(),
+        "gtx280" => MachineDesc::gtx280(),
+        "hd5870" => MachineDesc::hd5870(),
+        _ => return None,
+    })
+}
+
+impl CorpusEntry {
+    /// Renders the entry as a corpus `.cu` file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("// bucket: {}\n", self.bucket));
+        out.push_str(&format!("// machine: {}\n", self.machine));
+        out.push_str(&format!("// stages: {}\n", self.stages));
+        if let Some(kind) = self.inject {
+            out.push_str(&format!("// inject: {}\n", kind.slug()));
+        }
+        out.push_str(&format!("// verify-seed: {}\n", self.verify_seed));
+        for (name, value) in &self.bindings {
+            out.push_str(&format!("// bind: {name}={value}\n"));
+        }
+        out.push_str(&self.source);
+        if !self.source.ends_with('\n') {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a corpus `.cu` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed metadata line.
+    pub fn parse(text: &str) -> Result<CorpusEntry, String> {
+        let mut bucket = None;
+        let mut machine = None;
+        let mut stages = None;
+        let mut inject = None;
+        let mut verify_seed = 0u64;
+        let mut bindings = Vec::new();
+        let mut body_start = 0usize;
+        let mut saw_header = false;
+        for (off, line) in text.split_inclusive('\n').scan(0usize, |acc, l| {
+            let off = *acc;
+            *acc += l.len();
+            Some((off, l))
+        }) {
+            let trimmed = line.trim_end();
+            if trimmed == HEADER {
+                saw_header = true;
+                continue;
+            }
+            let Some(meta) = trimmed.strip_prefix("// ") else {
+                body_start = off;
+                break;
+            };
+            let Some((key, value)) = meta.split_once(':') else {
+                body_start = off;
+                break;
+            };
+            let value = value.trim();
+            match key.trim() {
+                "bucket" => bucket = Some(value.to_string()),
+                "machine" => machine = Some(value.to_string()),
+                "stages" => stages = Some(value.to_string()),
+                "inject" => {
+                    inject = Some(
+                        InjectKind::from_slug(value)
+                            .ok_or_else(|| format!("unknown inject kind `{value}`"))?,
+                    );
+                }
+                "verify-seed" => {
+                    verify_seed = value
+                        .parse()
+                        .map_err(|_| format!("bad verify-seed `{value}`"))?;
+                }
+                "bind" => {
+                    let (name, v) = value
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad bind `{value}`"))?;
+                    let v: i64 = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad bind value `{v}`"))?;
+                    bindings.push((name.trim().to_string(), v));
+                }
+                other => return Err(format!("unknown metadata key `{other}`")),
+            }
+        }
+        if !saw_header {
+            return Err(format!("missing `{HEADER}` marker"));
+        }
+        Ok(CorpusEntry {
+            bucket: bucket.ok_or("missing `// bucket:` line")?,
+            machine: machine.ok_or("missing `// machine:` line")?,
+            stages: stages.ok_or("missing `// stages:` line")?,
+            inject,
+            verify_seed,
+            bindings,
+            source: text[body_start..].to_string(),
+        })
+    }
+
+    /// Re-runs the oracle exactly as recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the metadata does not resolve (unknown
+    /// machine or stage label) or the kernel no longer parses.
+    pub fn replay(&self) -> Result<Outcome, String> {
+        let machine = machine_by_token(&self.machine)
+            .ok_or_else(|| format!("unknown machine `{}`", self.machine))?;
+        let stages = stage_set_by_label(&self.stages)
+            .ok_or_else(|| format!("unknown stage label `{}`", self.stages))?;
+        let naive = parse_kernel(&self.source).map_err(|e| e.to_string())?;
+        let cfg = OracleConfig {
+            machine,
+            stage_sets: vec![(self.stages.clone(), stages)],
+            inject: self.inject,
+            verify_seed: self.verify_seed,
+        };
+        Ok(run_case(&naive, &self.source, &self.bindings, &cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CorpusEntry {
+        CorpusEntry {
+            bucket: "sanitizer:shared-race".into(),
+            machine: "gtx280".into(),
+            stages: "all".into(),
+            inject: Some(InjectKind::DropSync),
+            verify_seed: 7,
+            bindings: vec![("n".into(), 64), ("w".into(), 64)],
+            source: "__global__ void mv(float a[n][w], float c[n], int n, int w) {\n\
+                     \x20   float sum = 0.0f;\n\
+                     \x20   for (int i = 0; i < w; i = i + 1) { sum += a[idx][i]; }\n\
+                     \x20   c[idx] = sum;\n}\n"
+                .into(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let entry = sample();
+        let text = entry.render();
+        let parsed = CorpusEntry::parse(&text).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn parse_rejects_missing_metadata() {
+        assert!(CorpusEntry::parse("__global__ void f() {}").is_err());
+        let no_bucket = format!("{HEADER}\n// machine: gtx280\n// stages: all\nvoid f() {{}}");
+        assert!(CorpusEntry::parse(&no_bucket)
+            .unwrap_err()
+            .contains("bucket"));
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_bucket() {
+        let entry = sample();
+        let outcome = entry.replay().unwrap();
+        let fail = outcome.failure().expect("must fail");
+        assert_eq!(fail.bucket, entry.bucket);
+    }
+
+    #[test]
+    fn machine_tokens_resolve() {
+        for tok in ["gtx8800", "gtx280", "hd5870"] {
+            assert!(machine_by_token(tok).is_some(), "{tok}");
+        }
+        assert!(machine_by_token("rtx5090").is_none());
+    }
+}

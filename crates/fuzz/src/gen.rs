@@ -1,0 +1,365 @@
+//! Seeded structured kernel generation.
+//!
+//! The generator widens the fragment exercised by `tests/random_kernels.rs`
+//! in exactly the directions the coalescing pass is sensitive to:
+//!
+//! * loop strides `m` with `gcd(m, 16) ∈ {1, 2, 4, 8, 16}` — stride 1 takes
+//!   the unroll-and-stage path at every unroll factor, every other stride
+//!   exercises the pass's bail-out (the loop must survive *unconverted*);
+//! * 2-D outputs (`c[idy][idx]`) next to 1-D ones;
+//! * multiple input arrays per kernel (matrix + vector + a multi-segment
+//!   1-D array in one accumulation);
+//! * nested loops (an outer row walk around the inner accumulation);
+//! * uniform conditional guards inside the loop body;
+//! * loop-free `d[f*idx + c]` sums (the `MultiSegment` staging pattern)
+//!   and sliding windows over a padded apron (the `Window` pattern).
+//!
+//! Every spec is derived deterministically from a `u64` seed, and
+//! [`KernelSpec::build`] produces the naive kernel, its printed source, and
+//! the size bindings it needs — everything the differential oracle consumes.
+
+use crate::rng::FuzzRng;
+use gpgpu_ast::builder;
+use gpgpu_ast::{print_kernel, Builtin, Expr, Kernel, LValue, Param, PrintOptions, ScalarType, Stmt};
+
+/// Loop strides the generator draws from: `gcd(m, 16)` covers
+/// {1, 2, 4, 8, 16}, so every unroll factor and every bail-out class of the
+/// coalescing conversion is hit.
+pub const STRIDES: [i64; 7] = [1, 2, 3, 4, 5, 8, 16];
+
+/// Multi-segment factors the coalescing pass recognizes (`A[f*idx + c]`).
+pub const SEGMENT_FACTORS: [i64; 2] = [2, 4];
+
+/// How the generated kernel's loop reads the 2-D input `a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum APattern {
+    /// `a[row][i]` — broadcast row walk (segment staging).
+    RowWalk,
+    /// `a[idx][i]` — thread-major row walk (tile staging; forces 1-D output).
+    ColWalk,
+    /// `a[i][idx]` — already coalesced column read.
+    Coalesced,
+    /// `a[row][idx + i]` — sliding window over a pre-padded apron.
+    Window,
+}
+
+/// How the 1-D vector `b` is read inside the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BPattern {
+    /// `b[i]` — broadcast (segment staging).
+    Broadcast,
+    /// `b[idx]` — coalesced.
+    Coalesced,
+    /// Not read at all.
+    Absent,
+}
+
+/// A complete description of one generated naive kernel.
+///
+/// `tests/random_kernels.rs` builds these through proptest strategies; the
+/// fuzzer draws them from a seed via [`KernelSpec::from_seed`]. Both go
+/// through the same [`KernelSpec::build`], so the two harnesses cover the
+/// same fragment.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Access pattern of the 2-D input.
+    pub a: APattern,
+    /// Access pattern of the 1-D vector input.
+    pub b: BPattern,
+    /// Loop stride (from [`STRIDES`]).
+    pub stride: i64,
+    /// Wrap the accumulation in an outer row loop (`a[j][i]`).
+    pub nested: bool,
+    /// Uniform guard `if (i < G)` around the loop body.
+    pub guard: Option<i64>,
+    /// Add a loop-free `d[f*idx + c]` multi-segment sum with this factor.
+    pub multi_segment: Option<i64>,
+    /// Multiply (vs add) the vector into the accumulation.
+    pub multiply: bool,
+    /// Constant folded into every accumulated term.
+    pub offset: i8,
+    /// 2-D output `c[idy][idx]` vs 1-D `c[idx]`.
+    pub two_d: bool,
+    /// Output rows / thread count along X.
+    pub n: i64,
+    /// Loop trip count (row length of `a` before the window apron).
+    pub w: i64,
+}
+
+impl KernelSpec {
+    /// Draws a spec from a seed, normalized to the supported fragment.
+    pub fn from_seed(seed: u64) -> KernelSpec {
+        let mut rng = FuzzRng::new(seed);
+        let a = *rng.pick(&[
+            APattern::RowWalk,
+            APattern::ColWalk,
+            APattern::Coalesced,
+            APattern::Window,
+        ]);
+        let b = *rng.pick(&[BPattern::Broadcast, BPattern::Coalesced, BPattern::Absent]);
+        let spec = KernelSpec {
+            a,
+            b,
+            stride: *rng.pick(&STRIDES),
+            nested: rng.chance(20),
+            guard: rng.chance(25).then(|| *rng.pick(&[8, 16, 24, 32])),
+            multi_segment: rng.chance(30).then(|| *rng.pick(&SEGMENT_FACTORS)),
+            multiply: rng.chance(50),
+            offset: rng.below(7) as i8 - 3,
+            two_d: rng.chance(50),
+            n: *rng.pick(&[32, 64]),
+            w: *rng.pick(&[32, 48, 64]),
+        };
+        spec.normalized()
+    }
+
+    /// Applies the fragment's structural constraints (e.g. `ColWalk` rows
+    /// are indexed by `idx`, which implies a 1-D output; nesting only makes
+    /// sense for row walks). Idempotent.
+    pub fn normalized(mut self) -> KernelSpec {
+        if matches!(self.a, APattern::ColWalk) {
+            self.two_d = false;
+        }
+        if !matches!(self.a, APattern::RowWalk) {
+            self.nested = false;
+        }
+        // Per-pattern bound constraints keep every access inside its
+        // array: `a[i][idx]` needs `i < w ≤ n` rows and `idx < n ≤ w+16`
+        // columns; a window read reaches column `idx + 15`, so its row
+        // must be at least `n` wide before the apron.
+        match self.a {
+            APattern::Coalesced => {
+                if self.w > self.n {
+                    self.w = self.n;
+                }
+                if self.w + 16 < self.n {
+                    self.w = self.n - 16;
+                }
+            }
+            APattern::Window if self.w < self.n => self.w = self.n,
+            _ => {}
+        }
+        // `b[idx]` reads up to column n-1 of a w-long vector. Widening w
+        // to n keeps every a-pattern constraint satisfied (w = n sits in
+        // the [n-16, n] band the coalesced walk needs).
+        if matches!(self.b, BPattern::Coalesced) && self.w < self.n {
+            self.w = self.n;
+        }
+        if let Some(g) = self.guard {
+            self.guard = Some(g.min(self.trip()));
+        }
+        self
+    }
+
+    /// Trip count of the accumulation loop (windows slide only 16 wide to
+    /// stay inside the apron).
+    pub fn trip(&self) -> i64 {
+        match self.a {
+            APattern::Window => 16,
+            _ => self.w,
+        }
+    }
+
+    /// Builds the naive kernel, its printed source, and the bindings it
+    /// needs — the unit the oracle, the reducer, and the corpus all share.
+    pub fn build(&self) -> FuzzCase {
+        let kernel = self.build_kernel();
+        let source = print_kernel(&kernel, PrintOptions::default());
+        let mut bindings = vec![
+            ("n".to_string(), self.n),
+            ("w".to_string(), self.w),
+            ("w2".to_string(), self.w + 16),
+        ];
+        if let Some(f) = self.multi_segment {
+            bindings.push(("m".to_string(), f * self.n));
+        }
+        FuzzCase {
+            kernel,
+            source,
+            bindings,
+        }
+    }
+
+    fn build_kernel(&self) -> Kernel {
+        let row = if self.nested {
+            Expr::var("j")
+        } else if self.two_d {
+            Expr::Builtin(Builtin::IdY)
+        } else {
+            match self.a {
+                APattern::ColWalk => Expr::Builtin(Builtin::IdX),
+                _ => Expr::Int(1),
+            }
+        };
+        let a_read = |i: Expr| -> Expr {
+            match self.a {
+                APattern::RowWalk | APattern::ColWalk => builder::load2("a", row.clone(), i),
+                APattern::Coalesced => builder::load2("a", i, Expr::Builtin(Builtin::IdX)),
+                APattern::Window => {
+                    builder::load2("a", row.clone(), Expr::Builtin(Builtin::IdX).add(i))
+                }
+            }
+        };
+        let b_read = |i: Expr| -> Option<Expr> {
+            match self.b {
+                BPattern::Broadcast => Some(builder::load1("b", i)),
+                BPattern::Coalesced => Some(builder::load1("b", Expr::Builtin(Builtin::IdX))),
+                BPattern::Absent => None,
+            }
+        };
+        let mut term = a_read(Expr::var("i"));
+        if let Some(b) = b_read(Expr::var("i")) {
+            term = if self.multiply {
+                term.mul(b)
+            } else {
+                term.add(b)
+            };
+        }
+        if self.offset != 0 {
+            term = term.add(Expr::Float(self.offset as f64));
+        }
+        let accumulate = builder::add_assign(LValue::Var("sum".into()), term);
+        let loop_body = match self.guard {
+            Some(g) => vec![builder::if_then(
+                Expr::var("i").lt(Expr::Int(g)),
+                vec![accumulate],
+            )],
+            None => vec![accumulate],
+        };
+        let inner = builder::for_up(
+            "i",
+            Expr::Int(0),
+            Expr::Int(self.trip()),
+            self.stride,
+            loop_body,
+        );
+        let walk = if self.nested {
+            // Outer row walk: the inner accumulation re-runs over rows
+            // 0..8, which keeps the access affine in two loop variables.
+            builder::for_up("j", Expr::Int(0), Expr::Int(8), 1, vec![inner])
+        } else {
+            inner
+        };
+        let mut body = vec![Stmt::decl_float("sum", Expr::Float(0.0)), walk];
+        if let Some(f) = self.multi_segment {
+            // Loop-free multi-segment read: sum of d[f*idx + c] for
+            // c in 0..f — the coalescing pass's MultiSegment pattern.
+            let mut seg = builder::load1("d", Expr::Int(f).mul(Expr::Builtin(Builtin::IdX)));
+            for c in 1..f {
+                seg = seg.add(builder::load1(
+                    "d",
+                    Expr::Int(f).mul(Expr::Builtin(Builtin::IdX)).add(Expr::Int(c)),
+                ));
+            }
+            body.push(builder::add_assign(LValue::Var("sum".into()), seg));
+        }
+        body.push(if self.two_d {
+            builder::assign(
+                builder::idx2("c", Expr::Builtin(Builtin::IdY), Expr::Builtin(Builtin::IdX)),
+                Expr::var("sum"),
+            )
+        } else {
+            builder::assign(
+                builder::idx1("c", Expr::Builtin(Builtin::IdX)),
+                Expr::var("sum"),
+            )
+        });
+
+        // The `a` extent carries a 16-wide apron so Window stays in bounds.
+        let mut k = builder::kernel("fuzzk")
+            .array_param("a", ScalarType::Float, &["n", "w2"])
+            .array_param("b", ScalarType::Float, &["w"])
+            .scalar_param("n", ScalarType::Int)
+            .scalar_param("w", ScalarType::Int)
+            .scalar_param("w2", ScalarType::Int)
+            .outputs(&["c"])
+            .build();
+        let c_param = if self.two_d {
+            Param::array("c", ScalarType::Float, vec!["n".into(), "n".into()])
+        } else {
+            Param::array("c", ScalarType::Float, vec!["n".into()])
+        };
+        k.params.insert(2, c_param);
+        if self.multi_segment.is_some() {
+            k.params.insert(3, Param::array("d", ScalarType::Float, vec!["m".into()]));
+            k.params.push(Param::scalar("m", ScalarType::Int));
+        }
+        k.body = body;
+        k
+    }
+}
+
+/// A generated kernel ready for the differential oracle: the AST, the
+/// printed source (for spans and for the corpus), and its size bindings.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The naive kernel.
+    pub kernel: Kernel,
+    /// `print_kernel` output for the kernel.
+    pub source: String,
+    /// Size bindings the kernel's symbolic extents need.
+    pub bindings: Vec<(String, i64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::parse_kernel;
+
+    #[test]
+    fn specs_are_deterministic_per_seed() {
+        for seed in 0..32u64 {
+            let a = KernelSpec::from_seed(seed).build();
+            let b = KernelSpec::from_seed(seed).build();
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.bindings, b.bindings);
+        }
+    }
+
+    #[test]
+    fn generated_kernels_parse_back() {
+        for seed in 0..64u64 {
+            let case = KernelSpec::from_seed(seed).build();
+            let reparsed = parse_kernel(&case.source)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", case.source));
+            assert_eq!(case.kernel, reparsed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generator_covers_the_widened_fragment() {
+        let mut strided = false;
+        let mut two_d = false;
+        let mut nested = false;
+        let mut guarded = false;
+        let mut multi = false;
+        for seed in 0..256u64 {
+            let s = KernelSpec::from_seed(seed);
+            strided |= s.stride > 1;
+            two_d |= s.two_d;
+            nested |= s.nested;
+            guarded |= s.guard.is_some();
+            multi |= s.multi_segment.is_some();
+        }
+        assert!(strided, "no strided loop in 256 seeds");
+        assert!(two_d, "no 2-D output in 256 seeds");
+        assert!(nested, "no nested loop in 256 seeds");
+        assert!(guarded, "no guarded loop in 256 seeds");
+        assert!(multi, "no multi-segment read in 256 seeds");
+    }
+
+    #[test]
+    fn normalization_is_idempotent_and_sound() {
+        for seed in 0..128u64 {
+            let s = KernelSpec::from_seed(seed);
+            let n = s.clone().normalized();
+            assert_eq!(format!("{s:?}"), format!("{n:?}"), "seed {seed}");
+            if matches!(s.a, APattern::ColWalk) {
+                assert!(!s.two_d);
+            }
+            if s.nested {
+                assert!(matches!(s.a, APattern::RowWalk));
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Miscompile injection: controlled bugs planted into an already-compiled
+//! program so the differential oracle and the sanitizer can be validated
+//! end-to-end.
+//!
+//! The compiler degrades to the naive kernel when a pass fails, so a buggy
+//! *pass* can never reach the oracle — a trivially-correct fallback would
+//! always verify. Planting the bug *after* compilation sidesteps that:
+//! the mutations below reproduce the two classic staging mistakes (a
+//! dropped `__syncthreads()` and an off-by-one staging extent) plus a
+//! plain wrong-value miscompile, directly on the optimized AST.
+
+use gpgpu_ast::{Expr, Kernel, LValue, Stmt};
+use gpgpu_core::CompiledKernel;
+
+/// A bug class the injector can plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// Remove the first `__syncthreads()` — the canonical staging race.
+    DropSync,
+    /// Add 1 to the innermost index of the first global load staged into
+    /// shared memory — an off-by-one staging extent (padding read or
+    /// out-of-bounds, depending on layout).
+    StagingOffByOne,
+    /// Scale the first output store by 1.5 — a silent wrong-value bug the
+    /// output comparison (not the sanitizer) must catch.
+    ValueTweak,
+}
+
+impl InjectKind {
+    /// Stable corpus-metadata slug.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            InjectKind::DropSync => "drop-sync",
+            InjectKind::StagingOffByOne => "staging-off-by-one",
+            InjectKind::ValueTweak => "value-tweak",
+        }
+    }
+
+    /// Parses a corpus-metadata slug.
+    pub fn from_slug(s: &str) -> Option<InjectKind> {
+        Some(match s {
+            "drop-sync" => InjectKind::DropSync,
+            "staging-off-by-one" => InjectKind::StagingOffByOne,
+            "value-tweak" => InjectKind::ValueTweak,
+            _ => return None,
+        })
+    }
+
+    /// All kinds, for exhaustive tests.
+    pub const ALL: [InjectKind; 3] = [
+        InjectKind::DropSync,
+        InjectKind::StagingOffByOne,
+        InjectKind::ValueTweak,
+    ];
+}
+
+/// Plants `kind` into the first launch kernel that has a matching site.
+/// Returns `false` when no launch offers one (e.g. dropping a barrier from
+/// a program that never staged through shared memory) — the caller should
+/// treat that as "injection not applicable", not as a pass.
+pub fn inject(compiled: &mut CompiledKernel, kind: InjectKind) -> bool {
+    for launch in &mut compiled.launches {
+        if inject_kernel(&mut launch.kernel, kind) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Plants `kind` into one kernel; returns whether a site was found.
+pub fn inject_kernel(kernel: &mut Kernel, kind: InjectKind) -> bool {
+    match kind {
+        InjectKind::DropSync => drop_first_sync(&mut kernel.body),
+        InjectKind::StagingOffByOne => {
+            let shared: Vec<String> = kernel
+                .shared_decls()
+                .iter()
+                .map(|(n, _, _)| n.to_string())
+                .collect();
+            if shared.is_empty() {
+                return false;
+            }
+            let globals: Vec<String> =
+                kernel.array_params().map(|p| p.name.clone()).collect();
+            bump_first_staged_load(&mut kernel.body, &shared, &globals)
+        }
+        InjectKind::ValueTweak => {
+            let outputs = kernel.output_arrays();
+            tweak_first_output_store(&mut kernel.body, &outputs)
+        }
+    }
+}
+
+fn drop_first_sync(body: &mut Vec<Stmt>) -> bool {
+    for i in 0..body.len() {
+        if matches!(body[i], Stmt::SyncThreads) {
+            body.remove(i);
+            return true;
+        }
+        for child in body[i].children_mut() {
+            if drop_first_sync(child) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Finds the first `shared[…] = … global[…] …` staging store and bumps the
+/// innermost index of its global load by one.
+fn bump_first_staged_load(body: &mut [Stmt], shared: &[String], globals: &[String]) -> bool {
+    for stmt in body.iter_mut() {
+        if let Stmt::Assign { lhs, rhs } = stmt {
+            let stages = matches!(
+                lhs,
+                LValue::Index { array, .. } if shared.iter().any(|s| s == array)
+            );
+            if stages && bump_first_global_load(rhs, globals) {
+                return true;
+            }
+        }
+        for child in stmt.children_mut() {
+            if bump_first_staged_load(child, shared, globals) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn bump_first_global_load(e: &mut Expr, globals: &[String]) -> bool {
+    match e {
+        Expr::Index { array, indices } if globals.iter().any(|g| g == array) => {
+            if let Some(last) = indices.last_mut() {
+                *last = std::mem::replace(last, Expr::Int(0)).add(Expr::Int(1));
+                return true;
+            }
+            false
+        }
+        Expr::Index { indices, .. } => indices
+            .iter_mut()
+            .any(|ix| bump_first_global_load(ix, globals)),
+        Expr::Field(inner, _) | Expr::Unary(_, inner) | Expr::Cast(_, inner) => {
+            bump_first_global_load(inner, globals)
+        }
+        Expr::Binary(_, l, r) => {
+            bump_first_global_load(l, globals) || bump_first_global_load(r, globals)
+        }
+        Expr::Call(_, args) => args.iter_mut().any(|a| bump_first_global_load(a, globals)),
+        Expr::Select(c, t, f) => {
+            bump_first_global_load(c, globals)
+                || bump_first_global_load(t, globals)
+                || bump_first_global_load(f, globals)
+        }
+        _ => false,
+    }
+}
+
+fn tweak_first_output_store(body: &mut [Stmt], outputs: &[String]) -> bool {
+    for stmt in body.iter_mut() {
+        if let Stmt::Assign { lhs, rhs } = stmt {
+            if matches!(
+                lhs,
+                LValue::Index { array, .. } if outputs.iter().any(|o| o == array)
+            ) {
+                let old = std::mem::replace(rhs, Expr::Int(0));
+                *rhs = old.mul(Expr::Float(1.5));
+                return true;
+            }
+        }
+        for child in stmt.children_mut() {
+            if tweak_first_output_store(child, outputs) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::parse_kernel;
+
+    #[test]
+    fn slugs_round_trip() {
+        for kind in InjectKind::ALL {
+            assert_eq!(InjectKind::from_slug(kind.slug()), Some(kind));
+        }
+        assert_eq!(InjectKind::from_slug("nope"), None);
+    }
+
+    #[test]
+    fn drop_sync_removes_only_the_first_barrier() {
+        let mut k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) {
+                __shared__ float s0[16];
+                s0[tidx] = a[idx];
+                __syncthreads();
+                c[idx] = s0[15 - tidx];
+                __syncthreads();
+            }",
+        )
+        .unwrap();
+        assert!(inject_kernel(&mut k, InjectKind::DropSync));
+        let syncs = k
+            .body
+            .iter()
+            .filter(|s| matches!(s, Stmt::SyncThreads))
+            .count();
+        assert_eq!(syncs, 1);
+    }
+
+    #[test]
+    fn drop_sync_reports_no_site_without_barriers() {
+        let mut k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) { c[idx] = a[idx]; }",
+        )
+        .unwrap();
+        assert!(!inject_kernel(&mut k, InjectKind::DropSync));
+    }
+
+    #[test]
+    fn staging_off_by_one_bumps_the_staged_read() {
+        let mut k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) {
+                __shared__ float s0[16];
+                s0[tidx] = a[idx];
+                __syncthreads();
+                c[idx] = s0[tidx];
+            }",
+        )
+        .unwrap();
+        assert!(inject_kernel(&mut k, InjectKind::StagingOffByOne));
+        let printed = gpgpu_ast::print_kernel(&k, Default::default());
+        assert!(printed.contains("a[idx + 1]"), "{printed}");
+    }
+
+    #[test]
+    fn value_tweak_scales_the_output_store() {
+        let mut k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) { c[idx] = a[idx]; }",
+        )
+        .unwrap();
+        assert!(inject_kernel(&mut k, InjectKind::ValueTweak));
+        let printed = gpgpu_ast::print_kernel(&k, Default::default());
+        assert!(printed.contains("1.5"), "{printed}");
+    }
+}

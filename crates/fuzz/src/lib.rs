@@ -1,0 +1,202 @@
+#![warn(missing_docs)]
+
+//! # gpgpu-fuzz
+//!
+//! Differential fuzzing for the GPGPU compiler: a seeded structured kernel
+//! generator, a naive-vs-optimized oracle running under the sanitizing
+//! simulator, miscompile injection for validating the oracle itself, a
+//! delta-debugging kernel reducer, and the on-disk regression-corpus
+//! format replayed by `tests/corpus_replay.rs`.
+//!
+//! The workflow (also exposed as `gpgpuc fuzz` / `gpgpuc reduce`):
+//!
+//! ```text
+//! seed ──> KernelSpec ──> naive kernel ──> compile per stage set
+//!                                             │
+//!                          verify naive vs optimized (sanitize on)
+//!                                             │
+//!                        failure? ──> bucket by signature ──> reduce
+//!                                             │
+//!                              tests/corpus/<name>.cu (replayed in CI)
+//! ```
+//!
+//! ```
+//! use gpgpu_fuzz::{fuzz, FuzzOptions};
+//! use gpgpu_sim::MachineDesc;
+//!
+//! let report = fuzz(&FuzzOptions {
+//!     seed: 1,
+//!     iters: 4,
+//!     machine: MachineDesc::gtx280(),
+//!     inject: None,
+//! });
+//! assert_eq!(report.iters, 4);
+//! assert!(report.failures.is_empty(), "clean compiler must pass");
+//! ```
+
+pub mod corpus;
+pub mod gen;
+pub mod inject;
+pub mod oracle;
+pub mod reduce;
+pub mod rng;
+
+pub use corpus::{machine_by_token, CorpusEntry};
+pub use gen::{APattern, BPattern, FuzzCase, KernelSpec, SEGMENT_FACTORS, STRIDES};
+pub use inject::{inject, inject_kernel, InjectKind};
+pub use oracle::{default_stage_sets, run_case, Failure, OracleConfig, Outcome};
+pub use reduce::{reduce_kernel, ReduceOutcome};
+pub use rng::FuzzRng;
+
+use gpgpu_core::{MetricsRegistry, TraceEvent};
+use gpgpu_sim::MachineDesc;
+use std::collections::BTreeMap;
+
+/// Configuration of a bounded fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Base seed; case `i` derives its own seed from `(seed, i)`.
+    pub seed: u64,
+    /// Number of generated kernels.
+    pub iters: u64,
+    /// Target machine.
+    pub machine: MachineDesc,
+    /// Optional planted bug (used to validate the oracle; a normal fuzzing
+    /// run passes `None`).
+    pub inject: Option<InjectKind>,
+}
+
+/// One failing case of a fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Derived per-case seed (replays via [`KernelSpec::from_seed`]).
+    pub case_seed: u64,
+    /// The generated naive source.
+    pub source: String,
+    /// Its bindings.
+    pub bindings: Vec<(String, i64)>,
+    /// The classified failure.
+    pub failure: Failure,
+}
+
+/// The result of a bounded fuzzing run.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub iters: u64,
+    /// Every failing case, in discovery order.
+    pub failures: Vec<FuzzFailure>,
+    /// Distinct buckets with their hit counts.
+    pub buckets: BTreeMap<String, usize>,
+    /// `sanitizer` trace events for every sanitizer finding, ready for a
+    /// `gpgpu-trace/v1` document.
+    pub events: Vec<TraceEvent>,
+    /// `sanitizer_*` global metrics (per-kind finding counts) plus
+    /// `fuzz_iters` / `fuzz_failures`.
+    pub metrics: MetricsRegistry,
+}
+
+impl FuzzReport {
+    /// True when no case failed.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `iters` generated kernels through the differential oracle.
+///
+/// Failures are bucketed by signature; every sanitizer finding additionally
+/// becomes a [`TraceEvent::Sanitizer`] event and bumps a
+/// `sanitizer_<kind>` metric in the report's registry, so the findings
+/// flow through the same observability pipeline as compiler decisions.
+pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let mut failures = Vec::new();
+    let mut buckets: BTreeMap<String, usize> = BTreeMap::new();
+    let mut events = Vec::new();
+    let mut sanitizer_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let cfg = OracleConfig {
+        machine: opts.machine.clone(),
+        stage_sets: default_stage_sets(),
+        inject: opts.inject,
+        verify_seed: opts.seed,
+    };
+    for i in 0..opts.iters {
+        let case_seed = FuzzRng::derive(opts.seed, i);
+        let case = KernelSpec::from_seed(case_seed).build();
+        if let Outcome::Fail(failure) =
+            run_case(&case.kernel, &case.source, &case.bindings, &cfg)
+        {
+            *buckets.entry(failure.bucket.clone()).or_insert(0) += 1;
+            if let Some(kind) = &failure.sanitizer_kind {
+                *sanitizer_counts.entry(kind.clone()).or_insert(0) += 1;
+                events.push(TraceEvent::Sanitizer {
+                    check: kind.clone(),
+                    array: failure.array.clone(),
+                    run: failure.run.clone().unwrap_or_else(|| "?".into()),
+                    detail: failure.detail.clone(),
+                    span: None,
+                });
+            }
+            failures.push(FuzzFailure {
+                case_seed,
+                source: case.source,
+                bindings: case.bindings,
+                failure,
+            });
+        }
+    }
+    let mut metrics = MetricsRegistry::new();
+    metrics.push_global("fuzz_iters", opts.iters as f64);
+    metrics.push_global("fuzz_failures", failures.len() as f64);
+    for (kind, count) in &sanitizer_counts {
+        metrics.push_global(format!("sanitizer_{}", kind.replace('-', "_")), *count as f64);
+    }
+    FuzzReport {
+        iters: opts.iters,
+        failures,
+        buckets,
+        events,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_races_surface_as_events_and_metrics() {
+        let report = fuzz(&FuzzOptions {
+            seed: 3,
+            iters: 12,
+            machine: MachineDesc::gtx280(),
+            inject: Some(InjectKind::DropSync),
+        });
+        // Not every generated kernel stages through shared memory, but
+        // across 12 seeds some must — and each race becomes an event.
+        assert!(!report.clean(), "no staged kernel in 12 seeds");
+        assert!(report.buckets.contains_key("sanitizer:shared-race"));
+        assert!(!report.events.is_empty());
+        let globals = report.metrics.globals();
+        assert!(
+            globals.iter().any(|(n, _)| n == "sanitizer_shared_race"),
+            "{globals:?}"
+        );
+        assert!(globals.iter().any(|(n, _)| n == "fuzz_iters"));
+    }
+
+    #[test]
+    fn fuzz_reports_are_reproducible() {
+        let opts = FuzzOptions {
+            seed: 5,
+            iters: 6,
+            machine: MachineDesc::gtx280(),
+            inject: None,
+        };
+        let a = fuzz(&opts);
+        let b = fuzz(&opts);
+        assert_eq!(a.iters, b.iters);
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+}

@@ -1,0 +1,295 @@
+//! The differential oracle: compile a naive kernel per stage-set, run
+//! naive-vs-optimized under the sanitizing simulator, and classify any
+//! failure into a stable bucket.
+//!
+//! Buckets are the fuzzer's unit of novelty: two failures with the same
+//! bucket are the same bug for triage purposes. The signature is built
+//! from the error's *kind*, never from values or indices, so a bucket is
+//! stable across seeds and input sizes:
+//!
+//! * `compile:<class>` — [`gpgpu_core::CompileError`] variants;
+//! * `sanitizer:<kind>` — [`gpgpu_sim::SanitizerKind::name`] strings
+//!   (`shared-race`, `global-oob`, `padding-read`, …);
+//! * `mismatch:<array>` — output comparison failed on that array;
+//! * `exec` / `setup` / `missing-output:<array>` — the remaining
+//!   [`gpgpu_core::VerifyError`] variants.
+
+use crate::inject::{inject, InjectKind};
+use gpgpu_core::{
+    compile, verify_equivalence_sanitized, CompileError, CompileOptions, StageSet, VerifyError,
+};
+use gpgpu_ast::Kernel;
+use gpgpu_sim::MachineDesc;
+
+/// How the oracle compiles and checks one case.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Target machine.
+    pub machine: MachineDesc,
+    /// Stage sets to compile with, labeled; each is checked independently.
+    pub stage_sets: Vec<(String, StageSet)>,
+    /// Bug to plant into each compiled program (`None` fuzzes the real
+    /// compiler).
+    pub inject: Option<InjectKind>,
+    /// Input-stream seed for verification.
+    pub verify_seed: u64,
+}
+
+impl OracleConfig {
+    /// Default configuration: the Figure 12 dissection prefixes (naive
+    /// through all-stages), no injection, seed 0.
+    pub fn new(machine: MachineDesc) -> OracleConfig {
+        OracleConfig {
+            machine,
+            stage_sets: default_stage_sets(),
+            inject: None,
+            verify_seed: 0,
+        }
+    }
+
+    /// Restricts the oracle to a single labeled stage set (the reducer
+    /// narrows to the failing set to cut re-check cost).
+    pub fn with_only_stage_set(mut self, label: &str) -> OracleConfig {
+        self.stage_sets.retain(|(l, _)| l == label);
+        self
+    }
+}
+
+/// The labeled stage sets the oracle checks by default: the cumulative
+/// dissection prefixes, with the full compiler labeled `all`.
+pub fn default_stage_sets() -> Vec<(String, StageSet)> {
+    let mut sets: Vec<(String, StageSet)> = StageSet::dissection()
+        .iter()
+        .map(|(name, set)| (name.to_string(), *set))
+        .collect();
+    // The last dissection prefix is the full compiler; relabel it `all`
+    // so corpus metadata reads naturally.
+    if let Some(last) = sets.last_mut() {
+        last.0 = "all".to_string();
+    }
+    sets
+}
+
+/// Resolves a stage-set label (as stored in corpus metadata) back to the
+/// set itself.
+pub fn stage_set_by_label(label: &str) -> Option<StageSet> {
+    if label == "none" {
+        return Some(StageSet::none());
+    }
+    default_stage_sets()
+        .into_iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, s)| s)
+}
+
+/// One classified failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Failure {
+    /// Stable signature (see the module docs).
+    pub bucket: String,
+    /// Label of the stage set that failed.
+    pub stage_set: String,
+    /// Human-readable rendering of the underlying error.
+    pub detail: String,
+    /// Sanitizer kind, when the failure came from the sanitizer.
+    pub sanitizer_kind: Option<String>,
+    /// Array involved, when the error names one.
+    pub array: Option<String>,
+    /// Which run tripped (for sanitizer findings): `naive` or the
+    /// optimized kernel name.
+    pub run: Option<String>,
+}
+
+/// Oracle verdict for one case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Every stage set compiled (or degraded) and verified clean.
+    Pass,
+    /// The first stage set that failed, classified.
+    Fail(Failure),
+}
+
+impl Outcome {
+    /// The failure, if any.
+    pub fn failure(&self) -> Option<&Failure> {
+        match self {
+            Outcome::Pass => None,
+            Outcome::Fail(f) => Some(f),
+        }
+    }
+}
+
+/// Runs the differential oracle on one naive kernel.
+///
+/// For each configured stage set: compile, optionally plant the configured
+/// bug, then run naive-vs-compiled under the sanitizing simulator. The
+/// first failure is returned; a planted bug with no applicable site (e.g.
+/// `DropSync` on a program that never staged) skips that stage set rather
+/// than reporting a pass for a bug that was never planted.
+pub fn run_case(
+    naive: &Kernel,
+    source: &str,
+    bindings: &[(String, i64)],
+    cfg: &OracleConfig,
+) -> Outcome {
+    for (label, stages) in &cfg.stage_sets {
+        let mut opts = CompileOptions::new(cfg.machine.clone())
+            .with_stages(*stages)
+            .with_source(source)
+            .with_verify_seed(cfg.verify_seed);
+        for (name, value) in bindings {
+            opts = opts.bind(name, *value);
+        }
+        let mut compiled = match compile(naive, &opts) {
+            Ok(c) => c,
+            Err(e) => {
+                return Outcome::Fail(Failure {
+                    bucket: format!("compile:{}", compile_class(&e)),
+                    stage_set: label.clone(),
+                    detail: e.to_string(),
+                    sanitizer_kind: None,
+                    array: None,
+                    run: None,
+                });
+            }
+        };
+        if let Some(kind) = cfg.inject {
+            if !inject(&mut compiled, kind) {
+                continue; // no site for this bug in this program
+            }
+        }
+        if let Err(e) = verify_equivalence_sanitized(naive, &compiled, &opts) {
+            return Outcome::Fail(classify_verify(label, &e));
+        }
+    }
+    Outcome::Pass
+}
+
+fn compile_class(e: &CompileError) -> &'static str {
+    match e {
+        CompileError::NoDomain => "no-domain",
+        CompileError::NoValidConfiguration(_) => "no-config",
+        CompileError::Perf(_) => "perf",
+        CompileError::Internal(_) => "internal",
+    }
+}
+
+fn classify_verify(stage_set: &str, e: &VerifyError) -> Failure {
+    let (bucket, sanitizer_kind, array, run) = match e {
+        VerifyError::Sanitizer {
+            kind, array, run, ..
+        } => (
+            format!("sanitizer:{kind}"),
+            Some(kind.clone()),
+            array.clone(),
+            Some(run.clone()),
+        ),
+        VerifyError::Mismatch { array, .. } => {
+            (format!("mismatch:{array}"), None, Some(array.clone()), None)
+        }
+        VerifyError::MissingOutput(a) => (
+            format!("missing-output:{a}"),
+            None,
+            Some(a.clone()),
+            None,
+        ),
+        VerifyError::Exec(_) => ("exec".to_string(), None, None, None),
+        VerifyError::Setup(_) => ("setup".to_string(), None, None, None),
+    };
+    Failure {
+        bucket,
+        stage_set: stage_set.to_string(),
+        detail: e.to_string(),
+        sanitizer_kind,
+        array,
+        run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::KernelSpec;
+    use gpgpu_ast::parse_kernel;
+
+    const MV: &str = "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+        float sum = 0.0f;
+        for (int i = 0; i < w; i = i + 1) { sum += a[idx][i] * b[i]; }
+        c[idx] = sum;
+    }";
+
+    fn mv_bindings() -> Vec<(String, i64)> {
+        vec![("n".into(), 64), ("w".into(), 64)]
+    }
+
+    #[test]
+    fn clean_compiler_passes_the_oracle() {
+        let k = parse_kernel(MV).unwrap();
+        let cfg = OracleConfig::new(MachineDesc::gtx280());
+        assert_eq!(run_case(&k, MV, &mv_bindings(), &cfg), Outcome::Pass);
+    }
+
+    #[test]
+    fn dropped_barrier_is_reported_as_a_shared_race() {
+        let k = parse_kernel(MV).unwrap();
+        let mut cfg = OracleConfig::new(MachineDesc::gtx280());
+        cfg.inject = Some(InjectKind::DropSync);
+        let out = run_case(&k, MV, &mv_bindings(), &cfg);
+        let fail = out.failure().expect("oracle must fail");
+        assert_eq!(fail.bucket, "sanitizer:shared-race", "{fail:?}");
+        assert!(fail.run.as_deref().unwrap_or("").contains("optimized"));
+    }
+
+    #[test]
+    fn off_by_one_staging_extent_is_caught() {
+        let k = parse_kernel(MV).unwrap();
+        let mut cfg = OracleConfig::new(MachineDesc::gtx280());
+        cfg.inject = Some(InjectKind::StagingOffByOne);
+        let out = run_case(&k, MV, &mv_bindings(), &cfg);
+        let fail = out.failure().expect("oracle must fail");
+        // Depending on where the bumped read lands it is a padding read,
+        // a true OOB, or (if the values happen to shift) a mismatch — but
+        // with the sanitizer on it must never silently pass, and the
+        // shifted read of `a` is flagged before the output comparison.
+        assert!(
+            fail.bucket.starts_with("sanitizer:"),
+            "expected a sanitizer bucket, got {fail:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_value_is_a_mismatch_bucket() {
+        let k = parse_kernel(MV).unwrap();
+        let mut cfg = OracleConfig::new(MachineDesc::gtx280());
+        cfg.inject = Some(InjectKind::ValueTweak);
+        let out = run_case(&k, MV, &mv_bindings(), &cfg);
+        let fail = out.failure().expect("oracle must fail");
+        assert_eq!(fail.bucket, "mismatch:c", "{fail:?}");
+    }
+
+    #[test]
+    fn stage_set_labels_round_trip() {
+        for (label, set) in default_stage_sets() {
+            assert_eq!(stage_set_by_label(&label), Some(set), "{label}");
+        }
+        assert_eq!(stage_set_by_label("none"), Some(StageSet::none()));
+        assert_eq!(stage_set_by_label("bogus"), None);
+    }
+
+    #[test]
+    fn generated_seeds_pass_the_clean_oracle() {
+        // A handful of generated kernels through the full dissection; the
+        // broad sweep lives in the fuzz smoke test and CI job.
+        for seed in 0..6u64 {
+            let case = KernelSpec::from_seed(seed).build();
+            let cfg = OracleConfig::new(MachineDesc::gtx280());
+            let out = run_case(&case.kernel, &case.source, &case.bindings, &cfg);
+            assert_eq!(
+                out,
+                Outcome::Pass,
+                "seed {seed} failed:\n{}",
+                case.source
+            );
+        }
+    }
+}

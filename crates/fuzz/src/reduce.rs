@@ -1,0 +1,394 @@
+//! Delta-debugging kernel reduction: shrink a failing naive kernel to a
+//! minimal reproducer that still fails the oracle with the *same bucket*.
+//!
+//! The reducer applies one candidate simplification at a time, greedily
+//! keeping any change that preserves the failure signature:
+//!
+//! 1. drop a statement (any nesting depth);
+//! 2. flatten a conditional to its then-branch;
+//! 3. shrink a constant loop bound (halving) or reset a stride to 1;
+//! 4. simplify an index expression (`e + k` → `e`);
+//! 5. prune array parameters the body no longer references.
+//!
+//! Each accepted step strictly simplifies the kernel, so the loop
+//! terminates; the result is 1-minimal with respect to these operators
+//! (no single remaining simplification preserves the bucket).
+
+use crate::oracle::{run_case, OracleConfig, Outcome};
+use gpgpu_ast::stmt::count_stmts;
+use gpgpu_ast::kernel::visit_writes;
+use gpgpu_ast::{print_kernel, Expr, ForLoop, Kernel, LoopUpdate, PrintOptions, Stmt};
+
+/// A reduced reproducer and how the reduction went.
+#[derive(Debug, Clone)]
+pub struct ReduceOutcome {
+    /// The minimized kernel.
+    pub kernel: Kernel,
+    /// Its printed source.
+    pub source: String,
+    /// The preserved failure bucket.
+    pub bucket: String,
+    /// Accepted simplification steps.
+    pub steps: usize,
+    /// Statement count of the minimized kernel.
+    pub stmt_count: usize,
+}
+
+/// Reduces `naive` while the oracle keeps failing with `bucket`.
+///
+/// `budget` caps accepted steps (each step re-runs the oracle, which
+/// compiles and simulates); 64 is plenty for generated kernels. Returns
+/// `None` when the input does not fail with `bucket` in the first place.
+pub fn reduce_kernel(
+    naive: &Kernel,
+    bindings: &[(String, i64)],
+    cfg: &OracleConfig,
+    bucket: &str,
+    budget: usize,
+) -> Option<ReduceOutcome> {
+    if !fails_with(naive, bindings, cfg, bucket) {
+        return None;
+    }
+    let mut current = prune_params(naive.clone());
+    if !fails_with(&current, bindings, cfg, bucket) {
+        current = naive.clone();
+    }
+    let mut steps = 0;
+    while steps < budget {
+        let mut advanced = false;
+        for candidate in variants(&current) {
+            let candidate = prune_params(candidate);
+            if fails_with(&candidate, bindings, cfg, bucket) {
+                current = candidate;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    let source = print_kernel(&current, PrintOptions::default());
+    Some(ReduceOutcome {
+        stmt_count: count_stmts(&current.body),
+        kernel: current,
+        source,
+        bucket: bucket.to_string(),
+        steps,
+    })
+}
+
+fn fails_with(k: &Kernel, bindings: &[(String, i64)], cfg: &OracleConfig, bucket: &str) -> bool {
+    matches!(
+        run_case(k, &print_kernel(k, PrintOptions::default()), bindings, cfg),
+        Outcome::Fail(f) if f.bucket == bucket
+    )
+}
+
+/// Enumerates single-step simplifications of the kernel, cheapest wins
+/// first (statement drops shrink fastest).
+fn variants(k: &Kernel) -> Vec<Kernel> {
+    let mut out = Vec::new();
+    let total = count_stmts(&k.body);
+    for target in 0..total {
+        let mut cand = k.clone();
+        let mut n = target as isize;
+        if remove_nth_stmt(&mut cand.body, &mut n) {
+            out.push(cand);
+        }
+    }
+    for target in 0..total {
+        let mut cand = k.clone();
+        let mut n = target as isize;
+        if flatten_nth_if(&mut cand.body, &mut n) {
+            out.push(cand);
+        }
+    }
+    for target in 0..total {
+        for shrink in [LoopShrink::HalveBound, LoopShrink::UnitStride] {
+            let mut cand = k.clone();
+            let mut n = target as isize;
+            if shrink_nth_loop(&mut cand.body, &mut n, shrink) {
+                out.push(cand);
+            }
+        }
+    }
+    // Index simplifications: bounded scan, one site per variant.
+    for target in 0..64 {
+        let mut cand = k.clone();
+        let mut n = target as isize;
+        if simplify_nth_index(&mut cand.body, &mut n) {
+            out.push(cand);
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Removes the statement at pre-order position `n` (counting every nesting
+/// level); returns whether a removal happened.
+fn remove_nth_stmt(body: &mut Vec<Stmt>, n: &mut isize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *n == 0 {
+            body.remove(i);
+            return true;
+        }
+        *n -= 1;
+        for child in body[i].children_mut() {
+            if remove_nth_stmt(child, n) {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Replaces the `If` at pre-order position `n` with its then-branch.
+fn flatten_nth_if(body: &mut Vec<Stmt>, n: &mut isize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *n == 0 {
+            if let Stmt::If { then_body, .. } = &mut body[i] {
+                let inner = std::mem::take(then_body);
+                body.splice(i..=i, inner);
+                return true;
+            }
+            *n = -1; // position consumed by a non-If statement
+            return false;
+        }
+        *n -= 1;
+        for child in body[i].children_mut() {
+            if flatten_nth_if(child, n) {
+                return true;
+            }
+            if *n < 0 {
+                return false;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+#[derive(Clone, Copy)]
+enum LoopShrink {
+    HalveBound,
+    UnitStride,
+}
+
+/// Applies a loop simplification to the `For` at pre-order position `n`.
+fn shrink_nth_loop(body: &mut [Stmt], n: &mut isize, shrink: LoopShrink) -> bool {
+    for stmt in body.iter_mut() {
+        if *n == 0 {
+            if let Stmt::For(f) = stmt {
+                return shrink_loop(f, shrink);
+            }
+            *n = -1;
+            return false;
+        }
+        *n -= 1;
+        for child in stmt.children_mut() {
+            if shrink_nth_loop(child, n, shrink) {
+                return true;
+            }
+            if *n < 0 {
+                return false;
+            }
+        }
+    }
+    false
+}
+
+fn shrink_loop(f: &mut ForLoop, shrink: LoopShrink) -> bool {
+    match shrink {
+        LoopShrink::HalveBound => match f.bound.as_int() {
+            // Halve, keeping the bound a multiple of 16 so the loop stays
+            // inside the unrollable fragment when it started there.
+            Some(b) if b >= 32 && b % 32 == 0 => {
+                f.bound = Expr::Int(b / 2);
+                true
+            }
+            _ => false,
+        },
+        LoopShrink::UnitStride => match f.update {
+            LoopUpdate::AddAssign(s) if s > 1 => {
+                f.update = LoopUpdate::AddAssign(1);
+                true
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Rewrites the `n`-th simplifiable index site (`e + k` with constant `k`
+/// inside an array index) to just `e`, scanning assignments in pre-order.
+fn simplify_nth_index(body: &mut [Stmt], n: &mut isize) -> bool {
+    for stmt in body.iter_mut() {
+        if let Stmt::Assign { lhs, rhs } = stmt {
+            if let gpgpu_ast::LValue::Index { indices, .. } = lhs {
+                for ix in indices.iter_mut() {
+                    if simplify_index_expr(ix, n) {
+                        return true;
+                    }
+                }
+            }
+            if simplify_in_expr(rhs, n) {
+                return true;
+            }
+        }
+        for child in stmt.children_mut() {
+            if simplify_nth_index(child, n) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Walks an expression looking for array-index sites to simplify.
+fn simplify_in_expr(e: &mut Expr, n: &mut isize) -> bool {
+    match e {
+        Expr::Index { indices, .. } => {
+            for ix in indices.iter_mut() {
+                if simplify_index_expr(ix, n) {
+                    return true;
+                }
+            }
+            false
+        }
+        Expr::Field(inner, _) | Expr::Unary(_, inner) | Expr::Cast(_, inner) => {
+            simplify_in_expr(inner, n)
+        }
+        Expr::Binary(_, l, r) => simplify_in_expr(l, n) || simplify_in_expr(r, n),
+        Expr::Call(_, args) => args.iter_mut().any(|a| simplify_in_expr(a, n)),
+        Expr::Select(c, t, f) => {
+            simplify_in_expr(c, n) || simplify_in_expr(t, n) || simplify_in_expr(f, n)
+        }
+        _ => false,
+    }
+}
+
+/// Simplifies one index expression in place when it is the `n`-th site.
+fn simplify_index_expr(ix: &mut Expr, n: &mut isize) -> bool {
+    if let Expr::Binary(gpgpu_ast::BinOp::Add, l, r) = ix {
+        if matches!(**r, Expr::Int(k) if k != 0) {
+            if *n == 0 {
+                *ix = std::mem::replace(&mut **l, Expr::Int(0));
+                return true;
+            }
+            *n -= 1;
+        }
+    }
+    false
+}
+
+/// Drops array parameters the body neither reads nor writes (declared
+/// outputs are always kept, as is anything the remaining body mentions).
+fn prune_params(mut k: Kernel) -> Kernel {
+    let outputs = k.output_arrays();
+    let mut used: Vec<String> = outputs;
+    visit_writes(&k.body, &mut |arr: &str| {
+        if !used.iter().any(|u| u == arr) {
+            used.push(arr.to_string());
+        }
+    });
+    fn collect_reads(body: &[Stmt], used: &mut Vec<String>) {
+        for s in body {
+            s.visit_exprs(&mut |e: &Expr| {
+                e.walk(&mut |sub| {
+                    if let Expr::Index { array, .. } = sub {
+                        if !used.iter().any(|u| u == array) {
+                            used.push(array.clone());
+                        }
+                    }
+                });
+            });
+            for child in s.children() {
+                collect_reads(child, used);
+            }
+        }
+    }
+    collect_reads(&k.body, &mut used);
+    k.params
+        .retain(|p| p.dims.is_empty() || used.iter().any(|u| u == &p.name));
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::InjectKind;
+    use crate::oracle::OracleConfig;
+    use gpgpu_ast::parse_kernel;
+    use gpgpu_sim::MachineDesc;
+
+    #[test]
+    fn reducer_shrinks_a_dropped_barrier_repro() {
+        // A deliberately baroque kernel: extra vector input, an offset in
+        // the accumulation, and a guard — all of which are irrelevant to
+        // the dropped-barrier race and must reduce away.
+        let k = parse_kernel(
+            "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) {
+                    if (i < 48) { sum += a[idx][i] * b[i] + 2.0f; }
+                }
+                c[idx] = sum;
+            }",
+        )
+        .unwrap();
+        let bindings = vec![("n".to_string(), 64i64), ("w".to_string(), 64i64)];
+        let mut cfg = OracleConfig::new(MachineDesc::gtx280());
+        cfg.inject = Some(InjectKind::DropSync);
+        let out = crate::oracle::run_case(
+            &k,
+            &print_kernel(&k, PrintOptions::default()),
+            &bindings,
+            &cfg,
+        );
+        let fail = out.failure().expect("injected race must fail").clone();
+        let narrowed = cfg.with_only_stage_set(&fail.stage_set);
+        let reduced =
+            reduce_kernel(&k, &bindings, &narrowed, &fail.bucket, 64).expect("reducible");
+        assert_eq!(reduced.bucket, fail.bucket);
+        assert!(
+            reduced.stmt_count <= 10,
+            "still {} statements:\n{}",
+            reduced.stmt_count,
+            reduced.source
+        );
+        assert!(reduced.steps > 0, "no simplification accepted");
+    }
+
+    #[test]
+    fn reduce_returns_none_when_the_bucket_does_not_reproduce() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) { c[idx] = a[idx]; }",
+        )
+        .unwrap();
+        let bindings = vec![("n".to_string(), 64i64)];
+        let cfg = OracleConfig::new(MachineDesc::gtx280());
+        assert!(reduce_kernel(&k, &bindings, &cfg, "sanitizer:shared-race", 8).is_none());
+    }
+
+    #[test]
+    fn prune_params_keeps_outputs_and_used_arrays() {
+        let k = parse_kernel(
+            "#pragma gpgpu output c
+            __global__ void f(float a[n], float b[n], float c[n], int n) {
+                c[idx] = a[idx];
+            }",
+        )
+        .unwrap();
+        let pruned = prune_params(k);
+        let names: Vec<&str> = pruned.params.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"a"));
+        assert!(names.contains(&"c"));
+        assert!(!names.contains(&"b"));
+        assert!(names.contains(&"n")); // scalars survive
+    }
+}

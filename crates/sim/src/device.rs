@@ -57,6 +57,10 @@ pub struct Buffer {
     /// Byte address of the first element in the simulated address space.
     pub base_addr: i64,
     phantom: bool,
+    /// Per-element initialization shadow (uploads and writes mark cells);
+    /// empty in phantom mode. The sanitizer reads it; maintenance is
+    /// always on because it is a handful of bit flips per access.
+    shadow: Vec<bool>,
 }
 
 impl Buffer {
@@ -129,6 +133,7 @@ impl Buffer {
         for lane in 0..lanes {
             self.data[base + lane] = v.component(lane).unwrap_or(0.0);
         }
+        self.shadow[off as usize] = true;
         Ok(())
     }
 
@@ -149,9 +154,41 @@ impl Buffer {
         let row_len = (last_dim * lanes) as usize;
         let pitch = (self.layout.row_pitch * lanes) as usize;
         let rows = (self.layout.logical_elems() / last_dim) as usize;
+        let pitch_elems = self.layout.row_pitch as usize;
         for r in 0..rows {
             self.data[r * pitch..r * pitch + row_len]
                 .copy_from_slice(&src[r * row_len..(r + 1) * row_len]);
+            self.shadow[r * pitch_elems..r * pitch_elems + last_dim as usize].fill(true);
+        }
+    }
+
+    /// Marks every cell (padding included) as initialized. Callers that
+    /// guarantee defined contents out of band — zero-allocated scratch
+    /// buffers, for instance — use this so the sanitizer does not flag
+    /// their first reads.
+    pub fn mark_all_initialized(&mut self) {
+        self.shadow.fill(true);
+    }
+
+    /// Whether the cell at an element offset has ever been uploaded or
+    /// written. Phantom buffers read as all zeros, hence always
+    /// initialized.
+    pub fn cell_initialized(&self, elem_offset: i64) -> bool {
+        self.phantom
+            || self
+                .shadow
+                .get(elem_offset as usize)
+                .copied()
+                .unwrap_or(false)
+    }
+
+    /// Whether an (in-allocation) index lands in compiler-introduced
+    /// padding: inside the row pitch but beyond the logical innermost
+    /// extent.
+    pub fn is_padding(&self, indices: &[i64]) -> bool {
+        match (indices.last(), self.layout.dims.last()) {
+            (Some(&ix), Some(&extent)) => ix >= extent && ix < self.layout.row_pitch,
+            _ => false,
         }
     }
 
@@ -203,15 +240,19 @@ impl Device {
     fn alloc_inner(&mut self, layout: ArrayLayout, phantom: bool) -> &mut Buffer {
         let name = layout.name.clone();
         let lanes = layout.elem.lanes() as i64;
-        let data = if phantom {
-            Vec::new()
+        let (data, shadow) = if phantom {
+            (Vec::new(), Vec::new())
         } else {
-            vec![0.0; (layout.alloc_elems() * lanes) as usize]
+            (
+                vec![0.0; (layout.alloc_elems() * lanes) as usize],
+                vec![false; layout.alloc_elems() as usize],
+            )
         };
         let buffer = Buffer {
             base_addr: self.next_base,
             phantom,
             data,
+            shadow,
             layout,
         };
         // Allocations are 256-byte aligned, like the CUDA allocator.
@@ -290,6 +331,33 @@ mod tests {
             b.read(&[0]),
             Err(DeviceError::RankMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn shadow_tracks_initialization() {
+        let mut dev = Device::new(MachineDesc::gtx280());
+        dev.alloc(layout_2d());
+        let b = dev.buffer_mut("a").unwrap();
+        assert!(!b.cell_initialized(0));
+        b.write(&[0, 0], Val::F(1.0)).unwrap();
+        assert!(b.cell_initialized(0));
+        // Upload marks logical cells but not the row padding.
+        let src: Vec<f32> = (0..20).map(|v| v as f32).collect();
+        b.upload(&src);
+        assert!(b.cell_initialized(16 + 4)); // [1][4], logical
+        assert!(!b.cell_initialized(5)); // [0][5], padding
+        assert!(b.is_padding(&[0, 5]));
+        assert!(!b.is_padding(&[0, 4]));
+        assert!(!b.is_padding(&[0, 16])); // true OOB, not padding
+        b.mark_all_initialized();
+        assert!(b.cell_initialized(5));
+    }
+
+    #[test]
+    fn phantom_cells_always_initialized() {
+        let mut dev = Device::new(MachineDesc::gtx280());
+        dev.alloc_phantom(layout_2d());
+        assert!(dev.buffer("a").unwrap().cell_initialized(3));
     }
 
     #[test]

@@ -16,10 +16,11 @@
 //! timing model consumes these traces.
 
 use crate::device::{Buffer, Device, DeviceError};
+use crate::sanitize::{SanitizerError, SanitizerKind, ShadowCell};
 use crate::value::Val;
 use gpgpu_analysis::Bindings;
 use gpgpu_ast::{
-    BinOp, Builtin, Expr, Field, Kernel, LValue, LaunchConfig, Stmt, UnOp,
+    AccessSpans, BinOp, Builtin, Expr, Field, Kernel, LValue, LaunchConfig, Stmt, UnOp,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -53,6 +54,14 @@ pub struct ExecOptions {
     /// [`ExecError::DeadlineExceeded`]. Checked every few thousand steps,
     /// so overruns are bounded but not exact.
     pub deadline: Option<std::time::Instant>,
+    /// Sanitize mode: track per-cell shadow state and fail with
+    /// [`ExecError::Sanitizer`] on out-of-bounds or padding accesses,
+    /// uninitialized reads, intra-block shared-memory races, barrier
+    /// divergence, and shared-memory overflow. See [`crate::sanitize`].
+    pub sanitize: bool,
+    /// Source spans of each array's first subscripted access in the
+    /// original kernel; sanitizer findings about an array carry its span.
+    pub spans: AccessSpans,
 }
 
 /// Counters collected during execution.
@@ -216,6 +225,8 @@ pub enum ExecError {
     IterationLimit,
     /// The wall-clock deadline passed (see [`ExecOptions::deadline`]).
     DeadlineExceeded,
+    /// A sanitizer check failed (only with [`ExecOptions::sanitize`]).
+    Sanitizer(SanitizerError),
 }
 
 impl fmt::Display for ExecError {
@@ -229,6 +240,7 @@ impl fmt::Display for ExecError {
             ExecError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
             ExecError::IterationLimit => f.write_str("statement step limit exceeded"),
             ExecError::DeadlineExceeded => f.write_str("wall-clock deadline exceeded"),
+            ExecError::Sanitizer(e) => write!(f, "{e}"),
         }
     }
 }
@@ -238,6 +250,12 @@ impl std::error::Error for ExecError {}
 impl From<DeviceError> for ExecError {
     fn from(e: DeviceError) -> Self {
         ExecError::Device(e)
+    }
+}
+
+impl From<SanitizerError> for ExecError {
+    fn from(e: SanitizerError) -> Self {
+        ExecError::Sanitizer(e)
     }
 }
 
@@ -298,6 +316,11 @@ pub fn launch(
             max_outer_iters: None,
             step_limit: opts.fuel.map_or(STEP_LIMIT, |f| f.min(STEP_LIMIT)),
             deadline: opts.deadline,
+            sanitize: opts.sanitize,
+            spans: &opts.spans,
+            epoch: 0,
+            shared_shadow: HashMap::new(),
+            shared_bytes: 0,
         };
         let mask = vec![true; nt];
         ctx.exec_body(&kernel.body, &mask)?;
@@ -341,6 +364,11 @@ pub fn launch(
             max_outer_iters: opts.max_outer_iters,
             step_limit: opts.fuel.map_or(STEP_LIMIT, |f| f.min(STEP_LIMIT)),
             deadline: opts.deadline,
+            sanitize: opts.sanitize,
+            spans: &opts.spans,
+            epoch: 0,
+            shared_shadow: HashMap::new(),
+            shared_bytes: 0,
         };
         let mask = vec![true; nt];
         ctx.exec_body(&kernel.body, &mask)?;
@@ -403,11 +431,30 @@ struct BlockCtx<'a> {
     /// Effective fuel budget: `min(STEP_LIMIT, ExecOptions::fuel)`.
     step_limit: u64,
     deadline: Option<std::time::Instant>,
+    /// Sanitize mode (see [`ExecOptions::sanitize`]).
+    sanitize: bool,
+    /// Array access spans for sanitizer findings.
+    spans: &'a AccessSpans,
+    /// Barrier epoch: incremented at every uniform barrier; shared-memory
+    /// accesses in the same epoch by different lanes race when one writes.
+    epoch: u32,
+    /// Per-cell shadow state of each `__shared__` array (sanitize only).
+    shared_shadow: HashMap<String, Vec<ShadowCell>>,
+    /// Cumulative `__shared__` bytes declared by this block.
+    shared_bytes: u64,
 }
 
 /// How often (in steps) the deadline is polled — a wall-clock read per
 /// step would dominate the interpreter.
 const DEADLINE_POLL_MASK: u64 = 4095;
+
+/// Wraps a sanitizer finding, attaching the source span of the array it
+/// refers to when the caller supplied one. Free-standing so it can run
+/// while a shadow table is mutably borrowed.
+fn sanitizer_err(spans: &AccessSpans, kind: SanitizerKind) -> ExecError {
+    let span = kind.array().and_then(|a| spans.get(a)).copied();
+    ExecError::Sanitizer(SanitizerError { kind, span })
+}
 
 impl BlockCtx<'_> {
     fn step(&mut self) -> Result<(), ExecError> {
@@ -532,6 +579,25 @@ impl BlockCtx<'_> {
                         data: vec![0.0; len as usize],
                     },
                 );
+                if self.sanitize {
+                    let fresh = self
+                        .shared_shadow
+                        .insert(name.clone(), vec![ShadowCell::default(); len as usize])
+                        .is_none();
+                    if fresh {
+                        self.shared_bytes += len as u64 * ty.size_bytes() as u64;
+                    }
+                    if !self.device.machine.fits_shared(self.shared_bytes) {
+                        return Err(sanitizer_err(
+                            self.spans,
+                            SanitizerKind::SharedOverflow {
+                                array: name.clone(),
+                                bytes: self.shared_bytes,
+                                limit: self.device.machine.shared_per_sm as u64,
+                            },
+                        ));
+                    }
+                }
             }
             Stmt::Assign { lhs, rhs } => {
                 let vals = self.eval(rhs, mask)?;
@@ -672,8 +738,11 @@ impl BlockCtx<'_> {
                     ));
                 }
                 if !mask.iter().all(|&b| b) {
-                    return Err(ExecError::DivergentSync);
+                    return Err(self.divergent_barrier(mask));
                 }
+                // The barrier closes the race window: accesses before and
+                // after it are ordered for every pair of threads.
+                self.epoch += 1;
             }
             Stmt::GlobalSync => {
                 if !self.mega {
@@ -684,8 +753,9 @@ impl BlockCtx<'_> {
                 // Lock-step execution makes the barrier a no-op; it must
                 // still be mask-uniform.
                 if !mask.iter().all(|&b| b) {
-                    return Err(ExecError::DivergentSync);
+                    return Err(self.divergent_barrier(mask));
                 }
+                self.epoch += 1;
                 self.stats.gsync_crossings += 1;
             }
             Stmt::CallStmt(name, _) => {
@@ -695,6 +765,22 @@ impl BlockCtx<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Divergent-barrier error: a spanless sanitizer finding in sanitize
+    /// mode, the classic [`ExecError::DivergentSync`] otherwise.
+    fn divergent_barrier(&self, mask: &[bool]) -> ExecError {
+        if self.sanitize {
+            ExecError::Sanitizer(SanitizerError {
+                kind: SanitizerKind::BarrierDivergence {
+                    active: mask.iter().filter(|&&b| b).count(),
+                    total: self.nt,
+                },
+                span: None,
+            })
+        } else {
+            ExecError::DivergentSync
+        }
     }
 
     fn assign(&mut self, lhs: &LValue, vals: &[Val], mask: &[bool]) -> Result<(), ExecError> {
@@ -732,6 +818,7 @@ impl BlockCtx<'_> {
             LValue::Index { array, indices } => {
                 let idx_vals = self.eval_indices(indices, mask)?;
                 if self.shared.contains_key(array) {
+                    self.sanitize_shared(array, &idx_vals, mask, true)?;
                     self.trace_shared(array, &idx_vals, mask)?;
                     let buf = self
                         .shared
@@ -746,6 +833,7 @@ impl BlockCtx<'_> {
                         }
                     }
                 } else {
+                    self.sanitize_global(array, &idx_vals, mask, true)?;
                     self.trace_global(array, &idx_vals, mask)?;
                     let buf = self.device.buffer_mut(array)?;
                     for lane in 0..self.nt {
@@ -753,6 +841,151 @@ impl BlockCtx<'_> {
                             buf.write(&idx_vals[lane], vals[lane])?;
                         }
                     }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sanitize-mode pre-check of one vector global access: true
+    /// out-of-bounds, reads of never-written padding, and uninitialized
+    /// reads. Runs before the access so the finding, not a generic device
+    /// fault, reaches the caller.
+    fn sanitize_global(
+        &self,
+        array: &str,
+        idx_vals: &[Vec<i64>],
+        mask: &[bool],
+        write: bool,
+    ) -> Result<(), ExecError> {
+        if !self.sanitize {
+            return Ok(());
+        }
+        let buf = self.device.buffer(array)?;
+        for lane in 0..self.nt {
+            if !mask[lane] {
+                continue;
+            }
+            let idx = &idx_vals[lane];
+            match buf.elem_offset(idx) {
+                Ok(off) => {
+                    if !write && !buf.cell_initialized(off) {
+                        let kind = if buf.is_padding(idx) {
+                            SanitizerKind::GlobalOutOfBounds {
+                                array: array.to_string(),
+                                indices: idx.clone(),
+                                write: false,
+                                padding: true,
+                            }
+                        } else {
+                            SanitizerKind::UninitializedRead {
+                                array: array.to_string(),
+                                indices: idx.clone(),
+                                shared: false,
+                            }
+                        };
+                        return Err(sanitizer_err(self.spans, kind));
+                    }
+                }
+                Err(DeviceError::OutOfBounds { .. }) => {
+                    return Err(sanitizer_err(
+                        self.spans,
+                        SanitizerKind::GlobalOutOfBounds {
+                            array: array.to_string(),
+                            indices: idx.clone(),
+                            write,
+                            padding: false,
+                        },
+                    ));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Sanitize-mode pre-check of one vector shared access: bounds,
+    /// uninitialized reads, and same-epoch races between lanes.
+    fn sanitize_shared(
+        &mut self,
+        array: &str,
+        idx_vals: &[Vec<i64>],
+        mask: &[bool],
+        write: bool,
+    ) -> Result<(), ExecError> {
+        if !self.sanitize {
+            return Ok(());
+        }
+        let spans = self.spans;
+        let epoch = self.epoch;
+        let nt = self.nt;
+        let dims = match self.shared.get(array) {
+            Some(b) => b.dims.clone(),
+            None => return Ok(()),
+        };
+        let Some(cells) = self.shared_shadow.get_mut(array) else {
+            return Ok(());
+        };
+        for lane in 0..nt {
+            if !mask[lane] {
+                continue;
+            }
+            let idx = &idx_vals[lane];
+            let mut off: i64 = 0;
+            let mut oob = idx.len() != dims.len();
+            if !oob {
+                for (&ix, &extent) in idx.iter().zip(&dims) {
+                    if ix < 0 || ix >= extent {
+                        oob = true;
+                        break;
+                    }
+                    off = off * extent + ix;
+                }
+            }
+            if oob {
+                return Err(sanitizer_err(
+                    spans,
+                    SanitizerKind::SharedOutOfBounds {
+                        array: array.to_string(),
+                        indices: idx.clone(),
+                        write,
+                    },
+                ));
+            }
+            let cell = &mut cells[off as usize];
+            if write {
+                if let Some((other, write_write)) = cell.record_write(epoch, lane as u32) {
+                    return Err(sanitizer_err(
+                        spans,
+                        SanitizerKind::SharedRace {
+                            array: array.to_string(),
+                            offset: off as usize,
+                            lanes: (lane as u32, other),
+                            write_write,
+                        },
+                    ));
+                }
+            } else {
+                if !cell.written {
+                    return Err(sanitizer_err(
+                        spans,
+                        SanitizerKind::UninitializedRead {
+                            array: array.to_string(),
+                            indices: idx.clone(),
+                            shared: true,
+                        },
+                    ));
+                }
+                if let Some(other) = cell.record_read(epoch, lane as u32) {
+                    return Err(sanitizer_err(
+                        spans,
+                        SanitizerKind::SharedRace {
+                            array: array.to_string(),
+                            offset: off as usize,
+                            lanes: (other, lane as u32),
+                            write_write: false,
+                        },
+                    ));
                 }
             }
         }
@@ -917,6 +1150,7 @@ impl BlockCtx<'_> {
             Expr::Index { array, indices } => {
                 let idx_vals = self.eval_indices(indices, mask)?;
                 if self.shared.contains_key(array) {
+                    self.sanitize_shared(array, &idx_vals, mask, false)?;
                     self.trace_shared(array, &idx_vals, mask)?;
                     let buf = &self.shared[array];
                     let mut out = vec![Val::F(0.0); self.nt];
@@ -927,6 +1161,7 @@ impl BlockCtx<'_> {
                     }
                     Ok(out)
                 } else {
+                    self.sanitize_global(array, &idx_vals, mask, false)?;
                     self.trace_global(array, &idx_vals, mask)?;
                     let buf = self.device.buffer(array)?;
                     let mut out = vec![Val::F(0.0); self.nt];
@@ -1592,6 +1827,200 @@ mod tests {
         let full_guarded_requests = 2 * 512; // 2 sampled blocks x 512 rows
         let ratio = scaled.gmem_requests as f64 / full_guarded_requests as f64;
         assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    fn san() -> ExecOptions {
+        ExecOptions {
+            sanitize: true,
+            ..ExecOptions::default()
+        }
+    }
+
+    fn kind_of(err: &ExecError) -> &'static str {
+        match err {
+            ExecError::Sanitizer(e) => e.name(),
+            other => panic!("expected sanitizer error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sanitizer_catches_shared_race_without_barrier() {
+        // The staging kernel from `shared_memory_staging_works`, with the
+        // __syncthreads() dropped: lane 0 reads cell 15 written by lane 15
+        // in the same epoch.
+        let k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) {
+                __shared__ float s0[16];
+                s0[tidx] = a[idx];
+                c[idx] = s0[15 - tidx];
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 16)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        dev.buffer_mut("a")
+            .unwrap()
+            .upload(&(0..16).map(|v| v as f32).collect::<Vec<_>>());
+        let err = launch(&k, &LaunchConfig::one_d(1, 16), &b, &mut dev, &san()).unwrap_err();
+        assert_eq!(kind_of(&err), "shared-race");
+        // With the barrier restored the same kernel is clean.
+        let k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) {
+                __shared__ float s0[16];
+                s0[tidx] = a[idx];
+                __syncthreads();
+                c[idx] = s0[15 - tidx];
+            }",
+        )
+        .unwrap();
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        dev.buffer_mut("a")
+            .unwrap()
+            .upload(&(0..16).map(|v| v as f32).collect::<Vec<_>>());
+        launch(&k, &LaunchConfig::one_d(1, 16), &b, &mut dev, &san()).unwrap();
+    }
+
+    #[test]
+    fn sanitizer_catches_global_oob_write() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) { a[idx + 1] = 0.0f; }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 16)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let err = launch(&k, &LaunchConfig::one_d(1, 16), &b, &mut dev, &san()).unwrap_err();
+        assert_eq!(kind_of(&err), "global-oob");
+    }
+
+    #[test]
+    fn sanitizer_distinguishes_padding_reads() {
+        // n = 20 pads the row pitch to 32; lanes past index 19 read cells
+        // that exist in the allocation but not in the logical array.
+        let k = parse_kernel(
+            "__global__ void f(float a[n], float c[m], int n, int m) {
+                c[idx] = a[idx + 16];
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 20), ("m", 16)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        dev.buffer_mut("a")
+            .unwrap()
+            .upload(&(0..20).map(|v| v as f32).collect::<Vec<_>>());
+        let err = launch(&k, &LaunchConfig::one_d(1, 16), &b, &mut dev, &san()).unwrap_err();
+        assert_eq!(kind_of(&err), "padding-read");
+        // Without the sanitizer the same run silently reads zeros.
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        dev.buffer_mut("a")
+            .unwrap()
+            .upload(&(0..20).map(|v| v as f32).collect::<Vec<_>>());
+        launch(
+            &k,
+            &LaunchConfig::one_d(1, 16),
+            &b,
+            &mut dev,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn sanitizer_catches_uninitialized_reads() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], float c[n], int n) { c[idx] = a[idx]; }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 16)]);
+        // `a` never uploaded: its cells are zero but undefined.
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let err = launch(&k, &LaunchConfig::one_d(1, 16), &b, &mut dev, &san()).unwrap_err();
+        assert_eq!(kind_of(&err), "uninit-read");
+
+        let shared = parse_kernel(
+            "__global__ void f(float c[n], int n) {
+                __shared__ float s0[16];
+                c[idx] = s0[tidx];
+            }",
+        )
+        .unwrap();
+        let mut dev = device_for(&shared, &b, MachineDesc::gtx280());
+        let err =
+            launch(&shared, &LaunchConfig::one_d(1, 16), &b, &mut dev, &san()).unwrap_err();
+        assert_eq!(kind_of(&err), "uninit-read");
+        assert!(matches!(
+            err,
+            ExecError::Sanitizer(SanitizerError {
+                kind: SanitizerKind::UninitializedRead { shared: true, .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn sanitizer_reports_barrier_divergence() {
+        let k = parse_kernel(
+            "__global__ void f(float a[n], int n) {
+                if (tidx < 8) { __syncthreads(); }
+                a[idx] = 0.0f;
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 32)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let err = launch(&k, &LaunchConfig::one_d(2, 16), &b, &mut dev, &san()).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Sanitizer(SanitizerError {
+                kind: SanitizerKind::BarrierDivergence {
+                    active: 8,
+                    total: 16
+                },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn sanitizer_flags_shared_overflow() {
+        // 5000 floats = 20 000 B > the 16 KB per-SM shared memory.
+        let k = parse_kernel(
+            "__global__ void f(float c[n], int n) {
+                __shared__ float s0[5000];
+                s0[tidx] = 1.0f;
+                __syncthreads();
+                c[idx] = s0[tidx];
+            }",
+        )
+        .unwrap();
+        let b = binds(&[("n", 16)]);
+        let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+        let err = launch(&k, &LaunchConfig::one_d(1, 16), &b, &mut dev, &san()).unwrap_err();
+        assert_eq!(kind_of(&err), "shared-overflow");
+    }
+
+    #[test]
+    fn sanitizer_clean_on_reference_mm() {
+        let k = parse_kernel(
+            r#"__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { sum += a[idy][i] * b[i][idx]; }
+                c[idy][idx] = sum;
+            }"#,
+        )
+        .unwrap();
+        let n = 8i64;
+        let bind = binds(&[("n", n), ("w", n)]);
+        let mut dev = device_for(&k, &bind, MachineDesc::gtx280());
+        let av: Vec<f32> = (0..n * n).map(|v| (v % 7) as f32).collect();
+        dev.buffer_mut("a").unwrap().upload(&av);
+        dev.buffer_mut("b").unwrap().upload(&av);
+        let cfg = LaunchConfig {
+            grid_x: 2,
+            grid_y: 8,
+            block_x: 4,
+            block_y: 1,
+        };
+        launch(&k, &cfg, &bind, &mut dev, &san()).unwrap();
     }
 
     #[test]

@@ -21,11 +21,13 @@
 pub mod device;
 pub mod exec;
 pub mod machine;
+pub mod sanitize;
 pub mod timing;
 pub mod value;
 
 pub use device::{Buffer, Device, DeviceError};
 pub use exec::{launch, ExecError, ExecOptions, ExecStats};
 pub use machine::{MachineDesc, PartitionGeometry};
+pub use sanitize::{SanitizerError, SanitizerKind};
 pub use timing::{estimate, estimate_prepared, PerfEstimate, PerfError, PerfOptions};
-pub use value::Val;
+pub use value::{abs_rel_error, Val};

@@ -153,6 +153,13 @@ impl MachineDesc {
         self.sm_count as f64 * self.sp_per_sm as f64 * self.clock_ghz * 2.0
     }
 
+    /// Whether a block's shared-memory footprint fits on one SM at all.
+    /// The sanitizer uses this to flag `__shared__` declarations that can
+    /// never launch on the target part.
+    pub fn fits_shared(&self, bytes: u64) -> bool {
+        bytes <= self.shared_per_sm as u64
+    }
+
     /// How many blocks of the given footprint fit on one SM.
     pub fn blocks_per_sm(&self, threads_per_block: u32, regs_per_thread: u32, shared_bytes: u64) -> u32 {
         if threads_per_block == 0 || threads_per_block > self.max_threads_per_block {

@@ -1,0 +1,366 @@
+//! Execution sanitizing: shadow-state checks for memory safety and
+//! barrier discipline.
+//!
+//! When [`crate::ExecOptions::sanitize`] is set, the interpreter tracks
+//! per-cell shadow state alongside every access and reports the first
+//! violation as a [`SanitizerError`]:
+//!
+//! * **Global out-of-bounds** — an access outside the array's allocation.
+//!   Reads that land in *compiler-introduced padding* (the region between
+//!   an array's logical extent and its padded row pitch) are reported
+//!   separately with [`padding`](SanitizerKind::GlobalOutOfBounds) set:
+//!   they return zeros rather than faulting on real hardware, so a kernel
+//!   relying on them is wrong in a subtler way than a true OOB.
+//! * **Uninitialized reads** — a read of a global or shared cell that was
+//!   never uploaded or written. The functional simulator zero-fills
+//!   allocations, so such reads silently "work" here but are garbage on a
+//!   real device.
+//! * **Shared-memory races** — two different threads of a block touch the
+//!   same shared cell with at least one write and no `__syncthreads()`
+//!   between the accesses. The detector is epoch-based: each barrier
+//!   increments the block's epoch, and every shared cell remembers the
+//!   epoch and lane of its last write and last read.
+//! * **Barrier divergence** — a barrier reached with only part of the
+//!   block active. The interpreter runs lock-step with divergence masks,
+//!   so threads reaching different barrier sites or iteration counts
+//!   manifest as a non-uniform mask at the barrier.
+//! * **Shared overflow** — the block's `__shared__` declarations exceed
+//!   the machine's per-SM shared memory.
+//!
+//! Errors carry the source [`Span`] of the offending array's first
+//! subscripted access when the caller provides an access-span table
+//! (see [`crate::ExecOptions::spans`]).
+
+use gpgpu_ast::Span;
+use std::fmt;
+
+/// What a sanitizer finding is, with enough payload to bucket and replay
+/// it. The [`SanitizerKind::name`] strings are stable identifiers used by
+/// the fuzzing oracle's failure buckets and the `sanitizer` trace events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SanitizerKind {
+    /// A global-memory access outside the array's bounds.
+    GlobalOutOfBounds {
+        /// Array accessed.
+        array: String,
+        /// Offending per-dimension indices.
+        indices: Vec<i64>,
+        /// True for stores.
+        write: bool,
+        /// True when the access is inside the allocation but beyond the
+        /// logical extent — a read of compiler-introduced padding.
+        padding: bool,
+    },
+    /// A shared-memory access outside the staging array's extents.
+    SharedOutOfBounds {
+        /// Shared array accessed.
+        array: String,
+        /// Offending per-dimension indices.
+        indices: Vec<i64>,
+        /// True for stores.
+        write: bool,
+    },
+    /// A read of a cell that was never uploaded or written.
+    UninitializedRead {
+        /// Array read.
+        array: String,
+        /// Per-dimension indices of the cell.
+        indices: Vec<i64>,
+        /// True for `__shared__` arrays, false for global memory.
+        shared: bool,
+    },
+    /// Two threads touched a shared cell, at least one writing, with no
+    /// intervening `__syncthreads()`.
+    SharedRace {
+        /// Shared array raced on.
+        array: String,
+        /// Linear cell offset within the array.
+        offset: usize,
+        /// The two racing lanes (thread indices within the block).
+        lanes: (u32, u32),
+        /// True for a write-write race; false when one side was a read.
+        write_write: bool,
+    },
+    /// A barrier reached with a divergent mask (threads of one block at
+    /// different barrier sites or iteration counts).
+    BarrierDivergence {
+        /// Lanes active at the barrier.
+        active: usize,
+        /// Threads in the block.
+        total: usize,
+    },
+    /// The block's `__shared__` declarations exceed the machine's shared
+    /// memory.
+    SharedOverflow {
+        /// The declaration that overflowed.
+        array: String,
+        /// Total shared bytes declared by the block so far.
+        bytes: u64,
+        /// The machine's per-SM shared-memory capacity.
+        limit: u64,
+    },
+}
+
+impl SanitizerKind {
+    /// Stable identifier of this finding, used for failure bucketing and
+    /// trace events: `global-oob`, `padding-read`, `shared-oob`,
+    /// `uninit-read`, `shared-race`, `barrier-divergence`,
+    /// `shared-overflow`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SanitizerKind::GlobalOutOfBounds { padding: true, .. } => "padding-read",
+            SanitizerKind::GlobalOutOfBounds { padding: false, .. } => "global-oob",
+            SanitizerKind::SharedOutOfBounds { .. } => "shared-oob",
+            SanitizerKind::UninitializedRead { .. } => "uninit-read",
+            SanitizerKind::SharedRace { .. } => "shared-race",
+            SanitizerKind::BarrierDivergence { .. } => "barrier-divergence",
+            SanitizerKind::SharedOverflow { .. } => "shared-overflow",
+        }
+    }
+
+    /// The array the finding refers to, when there is one.
+    pub fn array(&self) -> Option<&str> {
+        match self {
+            SanitizerKind::GlobalOutOfBounds { array, .. }
+            | SanitizerKind::SharedOutOfBounds { array, .. }
+            | SanitizerKind::UninitializedRead { array, .. }
+            | SanitizerKind::SharedRace { array, .. }
+            | SanitizerKind::SharedOverflow { array, .. } => Some(array),
+            SanitizerKind::BarrierDivergence { .. } => None,
+        }
+    }
+}
+
+/// A sanitizer violation: the finding plus the source location of the
+/// offending array's first subscripted access, when known.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizerError {
+    /// What went wrong.
+    pub kind: SanitizerKind,
+    /// Source location of the array's first subscripted use in the naive
+    /// kernel, when the caller supplied an access-span table.
+    pub span: Option<Span>,
+}
+
+impl SanitizerError {
+    /// Stable bucket identifier (see [`SanitizerKind::name`]).
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+}
+
+impl fmt::Display for SanitizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SanitizerKind::GlobalOutOfBounds {
+                array,
+                indices,
+                write,
+                padding,
+            } => {
+                let dir = if *write { "write" } else { "read" };
+                if *padding {
+                    write!(
+                        f,
+                        "sanitizer: {dir} of uninitialized padding {array}{indices:?} \
+                         (inside the allocation, beyond the logical extent)"
+                    )?;
+                } else {
+                    write!(f, "sanitizer: out-of-bounds {dir} {array}{indices:?}")?;
+                }
+            }
+            SanitizerKind::SharedOutOfBounds {
+                array,
+                indices,
+                write,
+            } => {
+                let dir = if *write { "write" } else { "read" };
+                write!(f, "sanitizer: out-of-bounds shared {dir} {array}{indices:?}")?;
+            }
+            SanitizerKind::UninitializedRead {
+                array,
+                indices,
+                shared,
+            } => {
+                let space = if *shared { "shared" } else { "global" };
+                write!(f, "sanitizer: uninitialized {space} read {array}{indices:?}")?;
+            }
+            SanitizerKind::SharedRace {
+                array,
+                offset,
+                lanes,
+                write_write,
+            } => {
+                let kind = if *write_write {
+                    "write-write"
+                } else {
+                    "read-write"
+                };
+                write!(
+                    f,
+                    "sanitizer: {kind} race on shared {array}[+{offset}] between \
+                     threads {} and {} (no __syncthreads() between them)",
+                    lanes.0, lanes.1
+                )?;
+            }
+            SanitizerKind::BarrierDivergence { active, total } => {
+                write!(
+                    f,
+                    "sanitizer: barrier divergence ({active} of {total} threads \
+                     reached the barrier)"
+                )?;
+            }
+            SanitizerKind::SharedOverflow {
+                array,
+                bytes,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "sanitizer: shared-memory overflow declaring `{array}` \
+                     ({bytes} bytes declared, {limit} available)"
+                )?;
+            }
+        }
+        if let Some(span) = self.span {
+            write!(f, " at {span}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SanitizerError {}
+
+/// Per-cell shadow state of a `__shared__` array: what the last accesses
+/// within the current barrier epoch were. Fresh cells are unwritten with
+/// no recorded accesses.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShadowCell {
+    /// Ever written since the block started.
+    pub written: bool,
+    /// Epoch and lane of the most recent write.
+    pub last_write: Option<(u32, u32)>,
+    /// Epoch, first reader lane, and optionally a second distinct reader
+    /// lane within that epoch.
+    pub last_read: Option<(u32, u32, Option<u32>)>,
+}
+
+impl ShadowCell {
+    /// Records a write by `lane` in `epoch`, returning the racing lane and
+    /// whether the race was write-write, if the write races.
+    pub fn record_write(&mut self, epoch: u32, lane: u32) -> Option<(u32, bool)> {
+        let conflict = match (self.last_write, self.last_read) {
+            (Some((e, l)), _) if e == epoch && l != lane => Some((l, true)),
+            (_, Some((e, r1, _))) if e == epoch && r1 != lane => Some((r1, false)),
+            (_, Some((e, _, Some(r2)))) if e == epoch && r2 != lane => Some((r2, false)),
+            _ => None,
+        };
+        self.written = true;
+        self.last_write = Some((epoch, lane));
+        conflict
+    }
+
+    /// Records a read by `lane` in `epoch`, returning the racing writer
+    /// lane if the read races a same-epoch write by another lane.
+    pub fn record_read(&mut self, epoch: u32, lane: u32) -> Option<u32> {
+        let conflict = match self.last_write {
+            Some((e, l)) if e == epoch && l != lane => Some(l),
+            _ => None,
+        };
+        self.last_read = Some(match self.last_read {
+            Some((e, r1, r2)) if e == epoch => {
+                (epoch, r1, r2.or((r1 != lane).then_some(lane)))
+            }
+            _ => (epoch, lane, None),
+        });
+        conflict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_distinct_and_stable() {
+        let kinds = [
+            SanitizerKind::GlobalOutOfBounds {
+                array: "a".into(),
+                indices: vec![9],
+                write: false,
+                padding: false,
+            },
+            SanitizerKind::GlobalOutOfBounds {
+                array: "a".into(),
+                indices: vec![9],
+                write: false,
+                padding: true,
+            },
+            SanitizerKind::SharedOutOfBounds {
+                array: "s0".into(),
+                indices: vec![17],
+                write: true,
+            },
+            SanitizerKind::UninitializedRead {
+                array: "a".into(),
+                indices: vec![0],
+                shared: false,
+            },
+            SanitizerKind::SharedRace {
+                array: "s0".into(),
+                offset: 3,
+                lanes: (0, 1),
+                write_write: false,
+            },
+            SanitizerKind::BarrierDivergence {
+                active: 8,
+                total: 16,
+            },
+            SanitizerKind::SharedOverflow {
+                array: "s0".into(),
+                bytes: 32768,
+                limit: 16384,
+            },
+        ];
+        let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+        for k in kinds {
+            let e = SanitizerError {
+                kind: k,
+                span: None,
+            };
+            assert!(e.to_string().starts_with("sanitizer: "), "{e}");
+        }
+    }
+
+    #[test]
+    fn shadow_cell_race_rules() {
+        // Write then read by another lane, same epoch: race on the read.
+        let mut c = ShadowCell::default();
+        assert_eq!(c.record_write(1, 0), None);
+        assert_eq!(c.record_read(1, 1), Some(0));
+        // After a barrier (new epoch) the same pattern is clean.
+        let mut c = ShadowCell::default();
+        assert_eq!(c.record_write(1, 0), None);
+        assert_eq!(c.record_read(2, 1), None);
+        // Read then write by another lane, same epoch: race on the write.
+        let mut c = ShadowCell::default();
+        assert_eq!(c.record_read(1, 5), None);
+        assert_eq!(c.record_write(1, 6), Some((5, false)));
+        // Write-write by two lanes.
+        let mut c = ShadowCell::default();
+        assert_eq!(c.record_write(3, 2), None);
+        assert_eq!(c.record_write(3, 7), Some((2, true)));
+        // Same-lane rewrite and reread are always fine.
+        let mut c = ShadowCell::default();
+        assert_eq!(c.record_write(1, 4), None);
+        assert_eq!(c.record_write(1, 4), None);
+        assert_eq!(c.record_read(1, 4), None);
+        // Multiple readers then a write by one of them: still a race (the
+        // other reader's value is in flight).
+        let mut c = ShadowCell::default();
+        assert_eq!(c.record_read(2, 0), None);
+        assert_eq!(c.record_read(2, 1), None);
+        assert_eq!(c.record_write(2, 0), Some((1, false)));
+    }
+}

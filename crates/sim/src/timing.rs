@@ -262,6 +262,7 @@ pub fn estimate_prepared(
             sample_spread: Some(machine.sm_count as u64 * blocks_per_sm as u64),
             fuel: opts.fuel,
             deadline: opts.deadline,
+            ..ExecOptions::default()
         },
     )?;
     let block_factor = if stats.blocks_executed == 0 {

@@ -94,6 +94,19 @@ impl Val {
     }
 }
 
+/// Absolute and relative error of `got` against `reference`.
+///
+/// The relative error is normalized by `max(|reference|, |got|)` and is 0
+/// when both are 0; NaNs propagate so callers comparing against a
+/// tolerance see them as failures. Shared by output verification and the
+/// differential fuzzing oracle.
+pub fn abs_rel_error(reference: f32, got: f32) -> (f32, f32) {
+    let abs = (got - reference).abs();
+    let scale = reference.abs().max(got.abs());
+    let rel = if abs == 0.0 { 0.0 } else { abs / scale };
+    (abs, rel)
+}
+
 impl fmt::Display for Val {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -127,6 +140,20 @@ mod tests {
         assert!(!v.set_component(2, 0.0));
         assert_eq!(Val::F(7.0).component(0), Some(7.0));
         assert_eq!(Val::F(7.0).component(1), None);
+    }
+
+    #[test]
+    fn abs_rel_error_basics() {
+        assert_eq!(abs_rel_error(2.0, 2.0), (0.0, 0.0));
+        assert_eq!(abs_rel_error(0.0, 0.0), (0.0, 0.0));
+        let (abs, rel) = abs_rel_error(100.0, 101.0);
+        assert_eq!(abs, 1.0);
+        assert!((rel - 1.0 / 101.0).abs() < 1e-7);
+        let (abs, rel) = abs_rel_error(0.0, 0.5);
+        assert_eq!(abs, 0.5);
+        assert_eq!(rel, 1.0);
+        let (abs, rel) = abs_rel_error(1.0, f32::NAN);
+        assert!(abs.is_nan() && rel.is_nan());
     }
 
     #[test]

@@ -250,6 +250,23 @@ pub enum TraceEvent {
         /// Human-readable detail: the failure that forced the fallback.
         detail: String,
     },
+    /// A sanitizer finding from a sanitize-mode simulation run (see the
+    /// `gpgpu-sim` sanitizer): a race, OOB/padding access, uninitialized
+    /// read, barrier divergence, or shared overflow.
+    Sanitizer {
+        /// Stable finding identifier (`shared-race`, `global-oob`,
+        /// `padding-read`, `uninit-read`, `barrier-divergence`,
+        /// `shared-overflow`).
+        check: String,
+        /// Array the finding refers to, when there is one.
+        array: Option<String>,
+        /// Which run tripped it (`naive`, or the optimized kernel name).
+        run: String,
+        /// Rendered finding.
+        detail: String,
+        /// Source location of the offending array's access, when known.
+        span: Option<Span>,
+    },
     /// Free-form note (fallback for information with no variant yet).
     Note {
         /// The note.
@@ -285,6 +302,7 @@ impl TraceEvent {
             TraceEvent::AnalysisInvalidated { .. } => "analysis-invalidated",
             TraceEvent::CandidateFault { .. } => "fault",
             TraceEvent::Degraded { .. } => "degraded",
+            TraceEvent::Sanitizer { .. } => "sanitizer",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -294,7 +312,8 @@ impl TraceEvent {
         match self {
             TraceEvent::AccessClassified { span, .. }
             | TraceEvent::CoalesceStaged { span, .. }
-            | TraceEvent::CoalesceSkippedAccess { span, .. } => *span,
+            | TraceEvent::CoalesceSkippedAccess { span, .. }
+            | TraceEvent::Sanitizer { span, .. } => *span,
             _ => None,
         }
     }
@@ -427,6 +446,9 @@ impl TraceEvent {
             }
             TraceEvent::Degraded { reason, detail } => {
                 format!("degraded to naive kernel ({reason}: {detail})")
+            }
+            TraceEvent::Sanitizer { check, run, detail, .. } => {
+                format!("sanitizer [{check}] in {run} run: {detail}")
             }
             TraceEvent::Note { message } => message.clone(),
         }
@@ -589,6 +611,25 @@ impl TraceEvent {
                 put("reason", Json::str(reason));
                 put("detail", Json::str(detail));
             }
+            TraceEvent::Sanitizer {
+                check,
+                array,
+                run,
+                detail,
+                span,
+            } => {
+                put("check", Json::str(check));
+                put(
+                    "array",
+                    match array {
+                        Some(a) => Json::str(a),
+                        None => Json::Null,
+                    },
+                );
+                put("run", Json::str(run));
+                put("detail", Json::str(detail));
+                put("span", span_json(*span));
+            }
             TraceEvent::Note { message } => put("message", Json::str(message)),
         }
         Json::Obj(pairs)
@@ -667,6 +708,13 @@ mod tests {
             TraceEvent::Degraded {
                 reason: "all-candidates-failed".into(),
                 detail: "every merge configuration faulted".into(),
+            },
+            TraceEvent::Sanitizer {
+                check: "shared-race".into(),
+                array: Some("s0".into()),
+                run: "optimized `mm`".into(),
+                detail: "write-write race on shared s0[+3]".into(),
+                span: Some(Span::new(2, 11)),
             },
         ];
         let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind()).collect();

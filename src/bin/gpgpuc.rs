@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! gpgpuc [OPTIONS] <kernel.cu>       # or `-` for stdin
+//! gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>]
+//!             [--inject <slug>] [--trace-json <path>]
+//! gpgpuc reduce <repro.cu> [--budget <n>]
 //!
 //! OPTIONS
 //!   --machine <gtx8800|gtx280|hd5870>   target GPU          [gtx280]
@@ -22,9 +25,26 @@
 //!   --verify <size>                     check optimized == naive on the
 //!                                       simulator at a smaller size bound
 //!                                       (binds every symbol to <size>)
+//!   --verify-seed <u64>                 seed for the random verification
+//!                                       inputs (printed on mismatch so
+//!                                       failures replay exactly)  [0]
 //!   --strict                            treat degradation to the naive
 //!                                       kernel as a failure (exit 2)
 //! ```
+//!
+//! ## Subcommands
+//!
+//! `gpgpuc fuzz` runs the differential fuzzer: seeded generated kernels are
+//! compiled per stage set and checked naive-vs-optimized under the
+//! sanitizing simulator. Any failure bucket exits 1; `--inject <slug>`
+//! plants a known bug (`drop-sync`, `staging-off-by-one`, `value-tweak`)
+//! to validate the oracle itself. `--trace-json` writes the sanitizer
+//! events and `fuzz_*`/`sanitizer_*` metrics as a `gpgpu-trace/v1`
+//! document.
+//!
+//! `gpgpuc reduce` takes a corpus-format repro (see `tests/corpus/`) and
+//! shrinks its kernel while the recorded failure bucket keeps reproducing,
+//! printing the minimized corpus entry to stdout.
 //!
 //! The input is a *naive* MiniCUDA kernel (one output element per thread);
 //! the output is the optimized kernel plus its launch configuration,
@@ -78,6 +98,7 @@ struct Args {
     metrics: bool,
     trace_json: Option<String>,
     verify_at: Option<i64>,
+    verify_seed: u64,
     strict: bool,
     list_passes: bool,
 }
@@ -87,7 +108,10 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: gpgpuc [--machine gtx8800|gtx280|hd5870] [--bind n=1024]... \
          [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
-         [--list-passes] [--report] [--metrics] [--trace-json <path>] [--verify <size>] [--strict] <kernel.cu | ->"
+         [--list-passes] [--report] [--metrics] [--trace-json <path>] [--verify <size>] \
+         [--verify-seed <u64>] [--strict] <kernel.cu | ->\n       \
+         gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>] [--inject <slug>] [--trace-json <path>]\n       \
+         gpgpuc reduce <repro.cu> [--budget <n>]"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -109,6 +133,7 @@ fn parse_args() -> Result<Args, String> {
         metrics: false,
         trace_json: None,
         verify_at: None,
+        verify_seed: 0,
         strict: false,
         list_passes: false,
     };
@@ -154,6 +179,12 @@ fn parse_args() -> Result<Args, String> {
                 args.verify_at =
                     Some(v.parse().map_err(|_| format!("--verify `{v}` not an integer"))?);
             }
+            "--verify-seed" => {
+                let v = it.next().ok_or("--verify-seed needs a value")?;
+                args.verify_seed = v
+                    .parse()
+                    .map_err(|_| format!("--verify-seed `{v}` is not a u64"))?;
+            }
             "--help" | "-h" => return Err("help".into()),
             other if input.is_none() => input = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -165,6 +196,186 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// `gpgpuc fuzz`: run the differential fuzzer and summarize buckets.
+fn cmd_fuzz(argv: &[String]) -> ExitCode {
+    use gpgpu::core::trace::Json;
+    let mut opts = gpgpu::fuzz::FuzzOptions {
+        seed: 0,
+        iters: 100,
+        machine: MachineDesc::gtx280(),
+        inject: None,
+    };
+    let mut trace_json: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let result = match arg.as_str() {
+            "--seed" => it
+                .next()
+                .ok_or_else(|| "--seed needs a value".to_string())
+                .and_then(|v| {
+                    v.parse()
+                        .map_err(|_| format!("--seed `{v}` is not a u64"))
+                })
+                .map(|v| opts.seed = v),
+            "--iters" => it
+                .next()
+                .ok_or_else(|| "--iters needs a value".to_string())
+                .and_then(|v| {
+                    v.parse()
+                        .map_err(|_| format!("--iters `{v}` is not an integer"))
+                })
+                .map(|v| opts.iters = v),
+            "--machine" => it
+                .next()
+                .ok_or_else(|| "--machine needs a value".to_string())
+                .and_then(|v| {
+                    gpgpu::fuzz::machine_by_token(v)
+                        .ok_or_else(|| format!("unknown machine `{v}`"))
+                })
+                .map(|m| opts.machine = m),
+            "--inject" => it
+                .next()
+                .ok_or_else(|| "--inject needs a slug".to_string())
+                .and_then(|v| {
+                    gpgpu::fuzz::InjectKind::from_slug(v)
+                        .ok_or_else(|| format!("unknown inject slug `{v}`"))
+                })
+                .map(|k| opts.inject = Some(k)),
+            "--trace-json" => it
+                .next()
+                .ok_or_else(|| "--trace-json needs a path".to_string())
+                .map(|p| trace_json = Some(p.clone())),
+            other => Err(format!("unexpected fuzz argument `{other}`")),
+        };
+        if let Err(e) = result {
+            return usage(&e);
+        }
+    }
+
+    let report = gpgpu::fuzz::fuzz(&opts);
+    println!(
+        "fuzz: {} iterations on {} (seed {}), {} failure(s)",
+        report.iters,
+        opts.machine.name,
+        opts.seed,
+        report.failures.len()
+    );
+    for (bucket, count) in &report.buckets {
+        println!("  {count:>4}  {bucket}");
+    }
+    for f in &report.failures {
+        println!(
+            "fuzz: seed={} stage-set={} bucket={} {}",
+            f.case_seed, f.failure.stage_set, f.failure.bucket, f.failure.detail
+        );
+    }
+    if let Some(first) = report.failures.first() {
+        eprintln!("== first failing kernel (seed {}) ==", first.case_seed);
+        eprint!("{}", first.source);
+        for (name, value) in &first.bindings {
+            eprintln!("//   bind {name}={value}");
+        }
+    }
+
+    if let Some(path) = &trace_json {
+        let doc = Json::obj([
+            ("schema", Json::str(gpgpu::core::trace::SCHEMA)),
+            ("machine", Json::str(opts.machine.name)),
+            ("fuzz_seed", Json::count(opts.seed)),
+            (
+                "events",
+                Json::Arr(report.events.iter().map(|e| e.to_json()).collect()),
+            ),
+            ("metrics", report.metrics.to_json()),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("gpgpuc: cannot write trace to `{path}`: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_VERIFY_FAILED)
+    }
+}
+
+/// `gpgpuc reduce`: shrink a corpus-format repro while its bucket holds.
+fn cmd_reduce(argv: &[String]) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut budget: usize = 64;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let Some(v) = it.next() else {
+                    return usage("--budget needs a value");
+                };
+                match v.parse() {
+                    Ok(b) => budget = b,
+                    Err(_) => return usage(&format!("--budget `{v}` is not an integer")),
+                }
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => return usage(&format!("unexpected reduce argument `{other}`")),
+        }
+    }
+    let Some(input) = input else {
+        return usage("reduce needs a corpus-format repro file");
+    };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gpgpuc: cannot read `{input}`: {e}");
+            return ExitCode::from(EXIT_NOINPUT);
+        }
+    };
+    let entry = match gpgpu::fuzz::CorpusEntry::parse(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("gpgpuc: `{input}` is not a corpus repro: {e}");
+            return ExitCode::from(EXIT_PARSE);
+        }
+    };
+    let naive = match parse_kernel(&entry.source) {
+        Ok(k) => k,
+        Err(e) => {
+            report_error(&CompilerError::from(e));
+            return ExitCode::from(EXIT_PARSE);
+        }
+    };
+    let Some(machine) = gpgpu::fuzz::machine_by_token(&entry.machine) else {
+        eprintln!("gpgpuc: unknown machine token `{}`", entry.machine);
+        return ExitCode::from(EXIT_PARSE);
+    };
+    let mut cfg =
+        gpgpu::fuzz::OracleConfig::new(machine).with_only_stage_set(&entry.stages);
+    cfg.inject = entry.inject;
+    cfg.verify_seed = entry.verify_seed;
+    match gpgpu::fuzz::reduce_kernel(&naive, &entry.bindings, &cfg, &entry.bucket, budget) {
+        Some(out) => {
+            eprintln!(
+                "reduce: {} accepted step(s), {} statement(s) remain",
+                out.steps, out.stmt_count
+            );
+            let reduced = gpgpu::fuzz::CorpusEntry {
+                source: out.source,
+                ..entry
+            };
+            print!("{}", reduced.render());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "gpgpuc: `{input}` does not reproduce bucket `{}`; nothing to reduce",
+                entry.bucket
+            );
+            ExitCode::from(EXIT_VERIFY_FAILED)
+        }
+    }
+}
+
 /// Prints the registered pass table (`--list-passes`).
 fn list_passes() {
     println!("{:<14} {:<10} STAGE", "PASS", "SECTION");
@@ -174,6 +385,12 @@ fn list_passes() {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("fuzz") => return cmd_fuzz(&argv[1..]),
+        Some("reduce") => return cmd_reduce(&argv[1..]),
+        _ => {}
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => return usage(&e),
@@ -208,7 +425,8 @@ fn main() -> ExitCode {
 
     let mut opts = CompileOptions::new(args.machine.clone())
         .with_stages(args.stages)
-        .with_source(&source);
+        .with_source(&source)
+        .with_verify_seed(args.verify_seed);
     for (name, value) in &args.bindings {
         opts = opts.bind(name, *value);
     }
@@ -326,7 +544,9 @@ fn main() -> ExitCode {
 
     if let Some(size) = args.verify_at {
         // Bind every size symbol to the (small) verification size.
-        let mut vopts = CompileOptions::new(args.machine.clone()).with_stages(args.stages);
+        let mut vopts = CompileOptions::new(args.machine.clone())
+            .with_stages(args.stages)
+            .with_verify_seed(args.verify_seed);
         for (name, _) in &args.bindings {
             vopts = vopts.bind(name, size);
         }

@@ -20,6 +20,9 @@
 //!   GTX 8800 / GTX 280-class machines;
 //! * [`core`] — the compiler driver: pipeline, design-space exploration,
 //!   equivalence verification;
+//! * [`fuzz`] — differential fuzzing: seeded kernel generation, the
+//!   sanitizing naive-vs-optimized oracle, kernel reduction, and the
+//!   regression-corpus format;
 //! * [`kernels`] — the Table 1 benchmarks, the FFT case study, and the
 //!   CUBLAS/SDK comparators.
 //!
@@ -50,6 +53,7 @@
 pub use gpgpu_analysis as analysis;
 pub use gpgpu_ast as ast;
 pub use gpgpu_core as core;
+pub use gpgpu_fuzz as fuzz;
 pub use gpgpu_kernels as kernels;
 pub use gpgpu_sim as sim;
 pub use gpgpu_transform as transform;

@@ -195,3 +195,93 @@ fn list_passes_prints_registry_without_input() {
         assert!(row.ends_with(stage), "{row}");
     }
 }
+
+#[test]
+fn fuzz_subcommand_is_clean_without_injection() {
+    let mut cmd = gpgpuc();
+    cmd.args(["fuzz", "--seed", "3", "--iters", "8"]);
+    let (stdout, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("8 iterations"), "{stdout}");
+    assert!(stdout.contains("0 failure(s)"), "{stdout}");
+}
+
+#[test]
+fn fuzz_subcommand_exits_1_on_injected_bugs_and_writes_trace() {
+    let dir = std::env::temp_dir().join("gpgpuc-fuzz-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("fuzz-trace.json");
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "fuzz",
+        "--seed",
+        "3",
+        "--iters",
+        "10",
+        "--inject",
+        "drop-sync",
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    let (stdout, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 1, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("sanitizer:shared-race"), "{stdout}");
+    // The failing kernel is echoed for debugging.
+    assert!(stderr.contains("first failing kernel"), "{stderr}");
+    let doc = std::fs::read_to_string(&trace).unwrap();
+    assert!(doc.contains("\"kind\": \"sanitizer\""), "{doc}");
+    assert!(doc.contains("sanitizer_shared_race"), "{doc}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reduce_subcommand_shrinks_a_corpus_repro() {
+    let repro = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/corpus/drop_sync_shared_race.cu"
+    );
+    let mut cmd = gpgpuc();
+    cmd.args(["reduce", repro]);
+    let (stdout, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    // The output is itself a corpus entry with the recorded bucket; the
+    // committed repro is already minimal, so reduce is a fixpoint.
+    assert!(stdout.starts_with("// gpgpu-fuzz repro"), "{stdout}");
+    assert!(stdout.contains("// bucket: sanitizer:shared-race"), "{stdout}");
+    assert!(stderr.contains("statement(s) remain"), "{stderr}");
+}
+
+#[test]
+fn reduce_subcommand_rejects_non_corpus_input() {
+    let dir = std::env::temp_dir().join("gpgpuc-reduce-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plain.cu");
+    std::fs::write(&path, MV).unwrap();
+    let mut cmd = gpgpuc();
+    cmd.args(["reduce", path.to_str().unwrap()]);
+    let (_, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 65, "stderr: {stderr}");
+    assert!(stderr.contains("not a corpus repro"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_seed_changes_the_verification_inputs_and_is_reported() {
+    // A valid seed is accepted and verification still passes.
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "--bind", "n=64", "--bind", "w=64", "--verify", "64", "--verify-seed", "17", "-",
+    ]);
+    let (_, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stderr.contains("optimized output matches the naive kernel"),
+        "{stderr}"
+    );
+    // A malformed seed is a usage error.
+    let mut cmd = gpgpuc();
+    cmd.args(["--verify-seed", "nope", "-"]);
+    let (_, stderr, code) = run_full(cmd, MV);
+    assert_eq!(code, 64, "stderr: {stderr}");
+    assert!(stderr.contains("--verify-seed"), "{stderr}");
+}

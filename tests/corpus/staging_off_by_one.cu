@@ -1,0 +1,17 @@
+// gpgpu-fuzz repro
+// bucket: sanitizer:global-oob
+// machine: gtx280
+// stages: +coalescing
+// inject: staging-off-by-one
+// verify-seed: 11
+// bind: n=64
+// bind: w=64
+// bind: w2=80
+#pragma gpgpu output c
+__global__ void fuzzk(float a[n][w2], float b[w], float c[n], int n, int w, int w2) {
+    float sum = 0.0f;
+    for (int i = 0; i < 64; i = i + 1) {
+        sum = sum + (a[i][idx] + b[i] + (-3.0f));
+    }
+    c[idx] = sum;
+}

@@ -1,0 +1,17 @@
+// gpgpu-fuzz repro
+// bucket: mismatch:c
+// machine: gtx280
+// stages: naive
+// inject: value-tweak
+// verify-seed: 11
+// bind: n=32
+// bind: w=32
+// bind: w2=48
+#pragma gpgpu output c
+__global__ void fuzzk(float a[n][w2], float b[w], float c[n], int n, int w, int w2) {
+    float sum = 0.0f;
+    for (int i = 0; i < 16; i = i + 1) {
+        sum = sum + (a[i][idx] + b[i] + (-1.0f));
+    }
+    c[idx] = sum;
+}

@@ -1,0 +1,73 @@
+//! Tier-1 regression-corpus replay.
+//!
+//! Every `tests/corpus/*.cu` file is a minimized repro written by the
+//! fuzz → reduce workflow (`gpgpuc fuzz`, `gpgpuc reduce`): a naive kernel
+//! plus the oracle configuration (machine, stage set, planted bug, verify
+//! seed, bindings) and the failure bucket it must reproduce. Replaying the
+//! corpus pins the sanitizer and the differential oracle: a repro that
+//! stops failing — or fails in a different bucket — means a behavior
+//! change in the compiler, the simulator, or the sanitizer.
+
+use gpgpu::fuzz::CorpusEntry;
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("corpus entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("cu"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_corpus_entry_replays_its_recorded_bucket() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 3,
+        "expected at least 3 corpus repros, found {}",
+        files.len()
+    );
+    for path in files {
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).expect("corpus file reads");
+        let entry =
+            CorpusEntry::parse(&text).unwrap_or_else(|e| panic!("{name}: bad metadata: {e}"));
+        let outcome = entry
+            .replay()
+            .unwrap_or_else(|e| panic!("{name}: replay setup failed: {e}"));
+        match outcome.failure() {
+            Some(f) => assert_eq!(
+                f.bucket, entry.bucket,
+                "{name}: replayed into a different bucket ({})",
+                f.detail
+            ),
+            None => panic!(
+                "{name}: no longer fails (expected bucket `{}`)",
+                entry.bucket
+            ),
+        }
+    }
+}
+
+#[test]
+fn corpus_buckets_cover_distinct_failure_classes() {
+    let buckets: std::collections::BTreeSet<String> = corpus_files()
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).expect("corpus file reads");
+            CorpusEntry::parse(&text).expect("corpus metadata").bucket
+        })
+        .collect();
+    // At least one sanitizer finding and one output mismatch.
+    assert!(
+        buckets.iter().any(|b| b.starts_with("sanitizer:")),
+        "no sanitizer bucket in {buckets:?}"
+    );
+    assert!(
+        buckets.iter().any(|b| b.starts_with("mismatch:")),
+        "no mismatch bucket in {buckets:?}"
+    );
+    assert!(buckets.len() >= 3, "only {buckets:?}");
+}

@@ -1,180 +1,43 @@
 //! Randomized end-to-end compiler testing: generate small naive kernels in
 //! the affine fragment the compiler optimizes, compile each with every
-//! stage enabled, and verify the optimized program against the naive one on
-//! the functional simulator.
+//! stage enabled, and verify the optimized program against the naive one
+//! under the sanitizing simulator.
 //!
-//! This is the broadest net for transformation bugs: any staging, merge,
-//! rotation or prefetch mistake shows up as an output mismatch, an
-//! out-of-bounds access, or a divergent barrier.
+//! The kernels come from the `gpgpu-fuzz` generator (the same one the
+//! `gpgpuc fuzz` driver and the CI smoke job use), which widens the old
+//! in-test fragment with non-unit loop strides, nested loops, conditional
+//! guards, and extra input arrays. Any staging, merge, rotation or
+//! prefetch mistake shows up as an output mismatch, an out-of-bounds or
+//! padding read, an uninitialized read, a shared-memory race, or a
+//! divergent barrier.
 
-
-use gpgpu::ast::{builder, Builtin, Expr, Kernel, LValue, ScalarType, Stmt};
-use gpgpu::core::{compile, verify_equivalence, CompileOptions};
+use gpgpu::core::{compile, verify_equivalence_sanitized, CompileOptions};
+use gpgpu::fuzz::KernelSpec;
 use gpgpu::sim::MachineDesc;
 use proptest::prelude::*;
 
-/// Problem size: small enough for full functional execution, big enough to
-/// exercise unrolling (multiple 16-blocks in both dimensions).
-const N: i64 = 64;
-const W: i64 = 64;
-
-/// How a generated kernel's loop body reads the 2-D input `a`.
-#[derive(Debug, Clone, Copy)]
-enum APattern {
-    /// `a[idy][i]` — broadcast row walk (segment staging).
-    RowWalk,
-    /// `a[idx][i]` — thread-major row walk (tile staging; 1-D output).
-    ColWalk,
-    /// `a[i][idx]` — already coalesced column read.
-    Coalesced,
-    /// `a[idy][idx + i]`-style sliding window (halo staging). The window
-    /// apron is pre-padded into the array extent.
-    Window,
-}
-
-/// How the 1-D vector `b` is read.
-#[derive(Debug, Clone, Copy)]
-enum BPattern {
-    /// `b[i]` — broadcast (segment staging).
-    Broadcast,
-    /// `b[idx]` — coalesced.
-    Coalesced,
-    /// Not read at all.
-    Absent,
-}
-
-#[derive(Debug, Clone)]
-struct Spec {
-    a: APattern,
-    b: BPattern,
-    /// Multiply vs add in the accumulation.
-    multiply: bool,
-    /// Extra constant offset folded into the accumulation.
-    offset: i8,
-    /// Whether the output is 2-D (`c[idy][idx]`) — requires an idy-free
-    /// thread pattern for `a` when 1-D.
-    two_d: bool,
-}
-
-fn spec_strategy() -> impl Strategy<Value = Spec> {
-    (
-        prop_oneof![
-            Just(APattern::RowWalk),
-            Just(APattern::ColWalk),
-            Just(APattern::Coalesced),
-            Just(APattern::Window),
-        ],
-        prop_oneof![
-            Just(BPattern::Broadcast),
-            Just(BPattern::Coalesced),
-            Just(BPattern::Absent),
-        ],
-        any::<bool>(),
-        -3i8..4,
-        any::<bool>(),
-    )
-        .prop_map(|(a, b, multiply, offset, two_d)| {
-            // ColWalk uses idx as the row: it implies a 1-D output.
-            let two_d = two_d && !matches!(a, APattern::ColWalk);
-            Spec {
-                a,
-                b,
-                multiply,
-                offset,
-                two_d,
-            }
-        })
-}
-
-/// Builds the naive kernel described by `spec`.
-fn build_kernel(spec: &Spec) -> Kernel {
-    let row = if spec.two_d {
-        Expr::Builtin(Builtin::IdY)
-    } else {
-        // 1-D kernels index rows by idx only for ColWalk; otherwise row 0…
-        // keep the access within bounds by folding to a constant row.
-        match spec.a {
-            APattern::ColWalk => Expr::Builtin(Builtin::IdX),
-            _ => Expr::Int(1),
-        }
-    };
-    let a_read = |i: Expr| -> Expr {
-        match spec.a {
-            APattern::RowWalk | APattern::ColWalk => builder::load2("a", row.clone(), i),
-            APattern::Coalesced => builder::load2("a", i, Expr::Builtin(Builtin::IdX)),
-            APattern::Window => builder::load2(
-                "a",
-                row.clone(),
-                Expr::Builtin(Builtin::IdX).add(i),
-            ),
-        }
-    };
-    let b_read = |i: Expr| -> Option<Expr> {
-        match spec.b {
-            BPattern::Broadcast => Some(builder::load1("b", i)),
-            BPattern::Coalesced => Some(builder::load1("b", Expr::Builtin(Builtin::IdX))),
-            BPattern::Absent => None,
-        }
-    };
-    // Windows slide only 16 wide to stay inside the apron.
-    let trip = match spec.a {
-        APattern::Window => 16,
-        _ => W,
-    };
-    let mut term = a_read(Expr::var("i"));
-    if let Some(b) = b_read(Expr::var("i")) {
-        term = if spec.multiply { term.mul(b) } else { term.add(b) };
+/// Compiles the generated kernel at its own bindings and verifies the
+/// optimized program against the naive one with every sanitizer check on.
+fn compile_and_verify(seed: u64, machine: MachineDesc) {
+    let spec = KernelSpec::from_seed(seed);
+    let case = spec.build();
+    let mut opts = CompileOptions::new(machine).with_source(&case.source);
+    for (name, value) in &case.bindings {
+        opts = opts.bind(name, *value);
     }
-    if spec.offset != 0 {
-        term = term.add(Expr::Float(spec.offset as f64));
-    }
-    let body = vec![
-        Stmt::decl_float("sum", Expr::Float(0.0)),
-        builder::for_up(
-            "i",
-            Expr::Int(0),
-            Expr::Int(trip),
-            1,
-            vec![builder::add_assign(LValue::Var("sum".into()), term)],
-        ),
-        if spec.two_d {
-            builder::assign(
-                builder::idx2(
-                    "c",
-                    Expr::Builtin(Builtin::IdY),
-                    Expr::Builtin(Builtin::IdX),
-                ),
-                Expr::var("sum"),
-            )
-        } else {
-            builder::assign(
-                builder::idx1("c", Expr::Builtin(Builtin::IdX)),
-                Expr::var("sum"),
-            )
-        },
-    ];
-    // The `a` extent carries a 16-wide apron so Window stays in bounds.
-    let mut k = builder::kernel("randk")
-        .array_param("a", ScalarType::Float, &["n", "w2"])
-        .array_param("b", ScalarType::Float, &["w"])
-        .scalar_param("n", ScalarType::Int)
-        .scalar_param("w", ScalarType::Int)
-        .scalar_param("w2", ScalarType::Int)
-        .outputs(&["c"])
-        .build();
-    let c_param = if spec.two_d {
-        gpgpu::ast::Param::array("c", ScalarType::Float, vec!["n".into(), "n".into()])
-    } else {
-        gpgpu::ast::Param::array("c", ScalarType::Float, vec!["n".into()])
-    };
-    k.params.insert(2, c_param);
-    k.body = body;
-    k
+    let compiled = compile(&case.kernel, &opts)
+        .unwrap_or_else(|e| panic!("seed {seed} ({spec:?}): compile failed: {e}"));
+    verify_equivalence_sanitized(&case.kernel, &compiled, &opts).unwrap_or_else(|e| {
+        panic!(
+            "seed {seed} ({spec:?}): {e}\nnaive:\n{}\noptimized:\n{}",
+            case.source, compiled.source
+        )
+    });
 }
 
 proptest! {
-    // Each case runs a full compile + functional verification; keep the
-    // count moderate.
+    // Each case runs a full compile + sanitized functional verification;
+    // keep the count moderate.
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 32,
@@ -182,36 +45,23 @@ proptest! {
     })]
 
     #[test]
-    fn random_affine_kernels_survive_the_pipeline(spec in spec_strategy()) {
-        let kernel = build_kernel(&spec);
-        let opts = CompileOptions::new(MachineDesc::gtx280())
-            .bind("n", N)
-            .bind("w", W)
-            .bind("w2", W + 16);
-        let compiled = compile(&kernel, &opts)
-            .unwrap_or_else(|e| panic!("{spec:?}: compile failed: {e}"));
-        verify_equivalence(&kernel, &compiled, &opts).unwrap_or_else(|e| {
-            panic!(
-                "{spec:?}: {e}\nnaive:\n{}\noptimized:\n{}",
-                gpgpu::ast::print_kernel(&kernel, Default::default()),
-                compiled.source
-            )
-        });
+    fn random_affine_kernels_survive_the_pipeline(seed in any::<u64>()) {
+        compile_and_verify(seed, MachineDesc::gtx280());
     }
 
     #[test]
-    fn random_affine_kernels_survive_on_g80(spec in spec_strategy()) {
-        let kernel = build_kernel(&spec);
-        let opts = CompileOptions {
-            machine: MachineDesc::gtx8800(),
-            ..CompileOptions::new(MachineDesc::gtx8800())
-        }
-        .bind("n", N)
-        .bind("w", W)
-        .bind("w2", W + 16);
-        let compiled = compile(&kernel, &opts)
-            .unwrap_or_else(|e| panic!("{spec:?}: compile failed: {e}"));
-        verify_equivalence(&kernel, &compiled, &opts)
-            .unwrap_or_else(|e| panic!("{spec:?}: {e}\n{}", compiled.source));
+    fn random_affine_kernels_survive_on_g80(seed in any::<u64>()) {
+        compile_and_verify(seed, MachineDesc::gtx8800());
     }
+}
+
+/// The generator draws non-unit strides; make sure this suite actually
+/// exercises them (the old in-test generator never did).
+#[test]
+fn the_sampled_fragment_includes_non_unit_strides() {
+    let strided = (0..64u64)
+        .map(KernelSpec::from_seed)
+        .filter(|s| s.stride > 1)
+        .count();
+    assert!(strided > 8, "only {strided}/64 sampled specs were strided");
 }
