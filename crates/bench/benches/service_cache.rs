@@ -1,0 +1,108 @@
+//! Batch-service cache benchmark: the Figure 11 kernel set (Table 1)
+//! batch-compiled twice through one engine — once cold, once against the
+//! warm content-addressed cache.
+//!
+//! The cold pass pays a full compile with design-space exploration per
+//! kernel; the warm pass answers every request from the in-memory LRU, so
+//! the gap is the wall-clock the cache saves a repeated manifest. The
+//! acceptance target is a ≥10× warm-over-cold speedup.
+//!
+//! Besides the console table, the run writes `BENCH_service.json`
+//! (`gpgpu-trace/v1` schema) so results can be diffed across runs.
+
+use gpgpu_bench::harness::banner;
+use gpgpu_core::Json;
+use gpgpu_kernels::table1;
+use gpgpu_service::{CompileRequest, Engine, ServiceConfig};
+use std::time::Instant;
+
+fn requests() -> Vec<CompileRequest> {
+    table1()
+        .iter()
+        .map(|b| {
+            let mut req = CompileRequest::inline(b.name, b.source);
+            let mut bindings: Vec<(String, i64)> = b.default_bindings().into_iter().collect();
+            bindings.sort();
+            req.bindings = bindings;
+            req
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "service cache",
+        "cold vs warm-cache batch of the Table 1 kernel set",
+    );
+    let engine = Engine::new(ServiceConfig {
+        jobs: 4,
+        ..ServiceConfig::default()
+    })
+    .expect("in-memory engine builds");
+
+    let started = Instant::now();
+    let cold = engine.run_batch(requests());
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Best of three warm passes: every request is an LRU hit, so this
+    // measures the service overhead per request, not compilation.
+    let mut warm_ms = f64::INFINITY;
+    let mut warm = Vec::new();
+    for _ in 0..3 {
+        let started = Instant::now();
+        warm = engine.run_batch(requests());
+        warm_ms = warm_ms.min(started.elapsed().as_secs_f64() * 1e3);
+    }
+
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>8}",
+        "kernel", "cold µs", "warm µs", "cache"
+    );
+    let mut rows = Vec::new();
+    for (c, w) in cold.iter().zip(&warm) {
+        let outcome = match &c.error {
+            Some(e) => e.class.as_str().to_string(),
+            None => "ok".to_string(),
+        };
+        println!(
+            "{:<14} {:>12} {:>12} {:>8}",
+            c.id,
+            c.micros,
+            w.micros,
+            w.cache.as_str()
+        );
+        rows.push(Json::obj(vec![
+            ("kernel", Json::str(&c.id)),
+            ("outcome", Json::str(&outcome)),
+            ("cold_micros", Json::count(c.micros)),
+            ("warm_micros", Json::count(w.micros)),
+            ("warm_cache", Json::str(w.cache.as_str())),
+        ]));
+    }
+    let speedup = cold_ms / warm_ms.max(1e-6);
+    println!(
+        "\nbatch: cold {cold_ms:.1} ms, warm {warm_ms:.3} ms -> {speedup:.0}x (target: >=10x)"
+    );
+    let misses = warm.iter().filter(|r| !r.cache.is_hit()).count();
+    if misses > 0 {
+        println!("warning: {misses} warm requests missed the cache");
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str(gpgpu_core::trace::SCHEMA)),
+        ("figure", Json::str("service")),
+        (
+            "description",
+            Json::str("cold vs warm-cache batch compile of the Table 1 kernel set"),
+        ),
+        ("jobs", Json::count(engine.config().jobs as u64)),
+        ("cold_ms", Json::num(cold_ms)),
+        ("warm_ms", Json::num(warm_ms)),
+        ("speedup", Json::num(speedup)),
+        ("kernels", Json::Arr(rows)),
+    ]);
+    match std::fs::write("BENCH_service.json", doc.pretty()) {
+        Ok(()) => println!("\nwrote BENCH_service.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_service.json: {e}"),
+    }
+}

@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod cu;
 pub mod domain;
 pub mod error;
@@ -45,9 +46,10 @@ pub mod pass_manager;
 pub mod pipeline;
 pub mod verify;
 
+pub use cache::{BufferArtifact, CachedArtifact, LaunchArtifact, CACHE_SCHEMA};
 pub use cu::emit_cu;
 pub use domain::{infer_domain, Domain};
-pub use error::{CompilerError, DegradedReason, ErrorKind, FaultReason, Stage};
+pub use error::{panic_message, CompilerError, DegradedReason, ErrorKind, FaultReason, Stage};
 pub use explore::{explore, Candidate, ExploreOptions};
 pub use pass_manager::{registered_passes, PassInfo, PassManager};
 pub use pipeline::{

@@ -47,14 +47,10 @@ pub struct CorpusEntry {
 }
 
 /// Resolves a machine token used in corpus metadata and on the `gpgpuc`
-/// command line.
+/// command line — a thin alias of the workspace-wide
+/// [`MachineDesc::by_name`] resolver.
 pub fn machine_by_token(token: &str) -> Option<MachineDesc> {
-    Some(match token {
-        "gtx8800" => MachineDesc::gtx8800(),
-        "gtx280" => MachineDesc::gtx280(),
-        "hd5870" => MachineDesc::hd5870(),
-        _ => return None,
-    })
+    MachineDesc::by_name(token)
 }
 
 impl CorpusEntry {

@@ -1,0 +1,409 @@
+//! The batch-compilation engine: a compile cache, a worker pool fed by a
+//! bounded queue, and per-request fault containment.
+//!
+//! One [`Engine`] serves many requests. Each request resolves to a
+//! content-addressed fingerprint; a cache hit returns the stored artifact
+//! byte-identically, a miss compiles under `catch_unwind` so a poisoned
+//! kernel (or an injected `GPGPU_FAULT=panic:service-<kernel>` fault)
+//! degrades only its own request into a structured `internal` error while
+//! the rest of the batch completes normally. Degraded compilations are
+//! *not* persisted — a transient fault must not pin its fallback output
+//! into the cache.
+
+use crate::cache::{CacheOutcome, CompileCache};
+use crate::queue::BoundedQueue;
+use crate::request::{
+    CacheDisposition, CompileRequest, CompileResponse, ErrorClass,
+};
+use gpgpu_core::{compile, CompileError, CompileOptions, MetricsRegistry, TraceEvent};
+use gpgpu_sim::MachineDesc;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads for [`Engine::run_batch`].
+    pub jobs: usize,
+    /// Bounded request-queue capacity (the backpressure knob).
+    pub queue_capacity: usize,
+    /// In-memory LRU capacity, in artifacts.
+    pub cache_entries: usize,
+    /// Root of the persistent on-disk cache; `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Deadline applied to requests that do not carry their own, in
+    /// milliseconds; `None` means no default deadline.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            jobs: 4,
+            queue_capacity: 64,
+            cache_entries: 256,
+            cache_dir: None,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Aggregated service counters, exported through [`Engine::metrics`].
+#[derive(Debug, Clone, Default)]
+struct Counters {
+    requests: u64,
+    ok: u64,
+    degraded: u64,
+    errors: u64,
+    memory_hits: u64,
+    disk_hits: u64,
+    misses: u64,
+    evictions: u64,
+    disk_errors: u64,
+    latency_micros_total: u64,
+    latency_micros_max: u64,
+    queue_max_depth: u64,
+}
+
+/// The long-lived batch-compilation engine.
+pub struct Engine {
+    config: ServiceConfig,
+    cache: Mutex<CompileCache>,
+    counters: Mutex<Counters>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Engine {
+    /// Builds an engine, opening (and creating) the persistent cache
+    /// directory when the config names one.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the cache directory cannot be created.
+    pub fn new(config: ServiceConfig) -> std::io::Result<Engine> {
+        let cache = CompileCache::new(config.cache_entries, config.cache_dir.as_deref())?;
+        Ok(Engine {
+            config,
+            cache: Mutex::new(cache),
+            counters: Mutex::new(Counters::default()),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        lock(&self.events).push(event);
+    }
+
+    /// Drains the trace events recorded so far (`service-request` /
+    /// `service-cache` kinds), in emission order.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut lock(&self.events))
+    }
+
+    /// The service counters as a metrics registry (the `--metrics` JSON
+    /// document and the CI smoke assertions read these globals).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let c = lock(&self.counters).clone();
+        let mut reg = MetricsRegistry::new();
+        let hits = c.memory_hits + c.disk_hits;
+        for (name, value) in [
+            ("service_requests", c.requests),
+            ("service_ok", c.ok),
+            ("service_degraded", c.degraded),
+            ("service_errors", c.errors),
+            ("service_cache_hits", hits),
+            ("service_cache_memory_hits", c.memory_hits),
+            ("service_cache_disk_hits", c.disk_hits),
+            ("service_cache_misses", c.misses),
+            ("service_cache_evictions", c.evictions),
+            ("service_cache_disk_errors", c.disk_errors),
+            ("service_latency_micros_total", c.latency_micros_total),
+            ("service_latency_micros_max", c.latency_micros_max),
+            ("service_queue_max_depth", c.queue_max_depth),
+        ] {
+            reg.push_global(name, value as f64);
+        }
+        reg
+    }
+
+    /// Parses and serves one NDJSON request line — the `serve` loop's unit
+    /// of work. A malformed line yields a structured `bad-request`
+    /// response, never a crash.
+    pub fn handle_line(&self, line: &str, position: usize) -> CompileResponse {
+        let started = Instant::now();
+        let mut req = match CompileRequest::parse(line, position) {
+            Ok(req) => req,
+            Err(detail) => {
+                let resp = CompileResponse::failure(
+                    position.to_string(),
+                    ErrorClass::BadRequest,
+                    detail,
+                );
+                self.finish(&resp, "?", started);
+                return resp;
+            }
+        };
+        if let Err(detail) = req.resolve_file() {
+            let resp = CompileResponse::failure(req.id, ErrorClass::BadRequest, detail);
+            self.finish(&resp, "?", started);
+            return resp;
+        }
+        self.handle(req, started)
+    }
+
+    /// Serves one parsed request. `started` is when the request entered
+    /// the system (enqueue time for batches), so deadlines cover queueing.
+    pub fn handle(&self, req: CompileRequest, started: Instant) -> CompileResponse {
+        let deadline_ms = req.deadline_ms.or(self.config.default_deadline_ms);
+        if let Some(limit) = deadline_ms {
+            let waited = started.elapsed().as_millis() as u64;
+            if waited > limit {
+                let resp = CompileResponse::failure(
+                    req.id,
+                    ErrorClass::Deadline,
+                    format!("deadline of {limit} ms elapsed after {waited} ms in queue"),
+                );
+                self.finish(&resp, "?", started);
+                return resp;
+            }
+        }
+        let Some(source) = req.source_text() else {
+            let resp = CompileResponse::failure(
+                req.id,
+                ErrorClass::BadRequest,
+                "request still points at an unresolved file",
+            );
+            self.finish(&resp, "?", started);
+            return resp;
+        };
+        let Some(machine) = MachineDesc::by_name(&req.machine) else {
+            let resp = CompileResponse::failure(
+                req.id,
+                ErrorClass::BadRequest,
+                format!(
+                    "unknown machine `{}` (known: {})",
+                    req.machine,
+                    MachineDesc::KNOWN_NAMES.join(", ")
+                ),
+            );
+            self.finish(&resp, "?", started);
+            return resp;
+        };
+        let kernel = match gpgpu_ast::parse_kernel(source) {
+            Ok(k) => k,
+            Err(e) => {
+                let resp =
+                    CompileResponse::failure(req.id, ErrorClass::Parse, e.to_string());
+                self.finish(&resp, "?", started);
+                return resp;
+            }
+        };
+        let kernel_name = kernel.name.clone();
+        let mut opts = CompileOptions::new(machine)
+            .with_stages(req.stages)
+            .with_verify_seed(req.verify_seed)
+            .with_source(source);
+        for (name, value) in &req.bindings {
+            opts = opts.bind(name, *value);
+        }
+        let fingerprint = opts.fingerprint(&kernel);
+
+        // Cache probe.
+        let probe = lock(&self.cache).get(&fingerprint);
+        if let Some(err) = &probe.disk_error {
+            self.note_disk_error(&fingerprint, err);
+        }
+        let disposition = match probe.outcome {
+            CacheOutcome::MemoryHit => CacheDisposition::Memory,
+            CacheOutcome::DiskHit => CacheDisposition::Disk,
+            CacheOutcome::Miss => CacheDisposition::Miss,
+        };
+        {
+            let op = match probe.outcome {
+                CacheOutcome::MemoryHit => "hit",
+                CacheOutcome::DiskHit => "disk-hit",
+                CacheOutcome::Miss => "miss",
+            };
+            self.emit(TraceEvent::ServiceCache {
+                op,
+                fingerprint: fingerprint.clone(),
+            });
+        }
+        if let Some(artifact) = probe.artifact {
+            let resp = CompileResponse {
+                id: req.id,
+                artifact: Some(artifact),
+                error: None,
+                cache: disposition,
+                micros: started.elapsed().as_micros() as u64,
+            };
+            self.finish(&resp, &kernel_name, started);
+            return resp;
+        }
+
+        // Cold compile, contained: a panic here — including the injected
+        // per-request `service-<kernel>` fault site — poisons only this
+        // request.
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gpgpu_core::fault::maybe_panic(&format!("service-{kernel_name}"));
+            compile(&kernel, &opts)
+        }));
+        let resp = match attempt {
+            Err(payload) => CompileResponse::failure(
+                req.id,
+                ErrorClass::Internal,
+                gpgpu_core::error::panic_message(payload),
+            ),
+            Ok(Err(e)) => {
+                let class = match e {
+                    CompileError::Internal(_) => ErrorClass::Internal,
+                    _ => ErrorClass::Compile,
+                };
+                CompileResponse::failure(req.id, class, e.to_string())
+            }
+            Ok(Ok(compiled)) => {
+                let artifact = compiled.cache_artifact(&fingerprint);
+                // Degraded results are transient (a fault's fallback); only
+                // fully optimized artifacts are worth pinning.
+                if compiled.degraded.is_none() {
+                    let (evicted, disk_error) = lock(&self.cache).put(&artifact);
+                    self.emit(TraceEvent::ServiceCache {
+                        op: "store",
+                        fingerprint: fingerprint.clone(),
+                    });
+                    if self.has_disk() {
+                        self.emit(TraceEvent::ServiceCache {
+                            op: "disk-store",
+                            fingerprint: fingerprint.clone(),
+                        });
+                    }
+                    if let Some(victim) = evicted {
+                        lock(&self.counters).evictions += 1;
+                        self.emit(TraceEvent::ServiceCache {
+                            op: "evict",
+                            fingerprint: victim,
+                        });
+                    }
+                    if let Some(err) = disk_error {
+                        self.note_disk_error(&fingerprint, &err);
+                    }
+                }
+                CompileResponse {
+                    id: req.id,
+                    artifact: Some(artifact),
+                    error: None,
+                    cache: CacheDisposition::Miss,
+                    micros: 0,
+                }
+            }
+        };
+        let resp = CompileResponse {
+            micros: started.elapsed().as_micros() as u64,
+            ..resp
+        };
+        self.finish(&resp, &kernel_name, started);
+        resp
+    }
+
+    fn has_disk(&self) -> bool {
+        lock(&self.cache).has_disk()
+    }
+
+    fn note_disk_error(&self, fingerprint: &str, err: &str) {
+        lock(&self.counters).disk_errors += 1;
+        self.emit(TraceEvent::ServiceCache {
+            op: "disk-error",
+            fingerprint: format!("{fingerprint}: {err}"),
+        });
+    }
+
+    /// Books a finished response into the counters and the event stream.
+    fn finish(&self, resp: &CompileResponse, kernel: &str, started: Instant) {
+        let micros = started.elapsed().as_micros() as u64;
+        let outcome = match &resp.error {
+            Some(e) => e.class.as_str().to_string(),
+            None => match &resp.artifact {
+                Some(a) if a.degraded.is_some() => "degraded".to_string(),
+                _ => "ok".to_string(),
+            },
+        };
+        {
+            let mut c = lock(&self.counters);
+            c.requests += 1;
+            match outcome.as_str() {
+                "ok" => c.ok += 1,
+                "degraded" => c.degraded += 1,
+                _ => c.errors += 1,
+            }
+            match resp.cache {
+                CacheDisposition::Memory => c.memory_hits += 1,
+                CacheDisposition::Disk => c.disk_hits += 1,
+                CacheDisposition::Miss if resp.error.is_none() => c.misses += 1,
+                CacheDisposition::Miss => {}
+            }
+            c.latency_micros_total += micros;
+            c.latency_micros_max = c.latency_micros_max.max(micros);
+        }
+        self.emit(TraceEvent::ServiceRequest {
+            id: resp.id.clone(),
+            kernel: kernel.to_string(),
+            cache_hit: resp.cache.is_hit(),
+            micros,
+            outcome,
+        });
+    }
+
+    /// Runs a whole batch through the worker pool: requests flow through
+    /// the bounded queue to `config.jobs` workers, and the responses come
+    /// back **in request order** regardless of completion order.
+    pub fn run_batch(&self, requests: Vec<CompileRequest>) -> Vec<CompileResponse> {
+        let total = requests.len();
+        let jobs = self.config.jobs.max(1).min(total.max(1));
+        let queue: BoundedQueue<(usize, CompileRequest, Instant)> =
+            BoundedQueue::new(self.config.queue_capacity);
+        let results: Mutex<Vec<Option<CompileResponse>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    while let Some((index, req, enqueued)) = queue.pop() {
+                        let resp = self.handle(req, enqueued);
+                        lock(&results)[index] = Some(resp);
+                    }
+                });
+            }
+            for (index, req) in requests.into_iter().enumerate() {
+                queue.push((index, req, Instant::now()));
+            }
+            queue.close();
+        });
+        {
+            let mut c = lock(&self.counters);
+            c.queue_max_depth = c.queue_max_depth.max(queue.max_depth() as u64);
+        }
+        let responses: Vec<CompileResponse> = lock(&results)
+            .drain(..)
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| {
+                    CompileResponse::failure(
+                        index.to_string(),
+                        ErrorClass::Internal,
+                        "worker exited without a response",
+                    )
+                })
+            })
+            .collect();
+        responses
+    }
+}

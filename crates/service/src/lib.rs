@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+//! # gpgpu-service
+//!
+//! The batch-compilation service: turns the one-shot compiler into a
+//! long-lived, concurrent engine behind `gpgpuc batch` and `gpgpuc serve`
+//! (DESIGN.md §5.10).
+//!
+//! Three pieces:
+//!
+//! - **Content-addressed compile cache** ([`CompileCache`]): requests are
+//!   keyed by [`gpgpu_core::CompileOptions::fingerprint`] — a stable hash
+//!   over the *normalized* kernel source plus every output-determining
+//!   option (machine, bindings, stage set, verify seed). An in-memory LRU
+//!   fronts an optional persistent store under the versioned
+//!   `gpgpu-cache/v1` directory layout; compilation is deterministic, so a
+//!   hit is byte-identical to a cold compile.
+//! - **Bounded work queue + worker pool** ([`BoundedQueue`],
+//!   [`Engine::run_batch`]): plain `std::thread` workers fed through a
+//!   bounded FIFO whose bound *is* the backpressure policy, with
+//!   per-request deadlines measured from enqueue and `catch_unwind` fault
+//!   containment so one poisoned kernel degrades only its own request.
+//! - **NDJSON protocol** ([`CompileRequest`], [`CompileResponse`]): one
+//!   JSON object per line for both batch manifests and the `serve`
+//!   stdin/stdout loop; malformed input becomes a structured
+//!   `bad-request` response, never a crash.
+//!
+//! Observability rides on the existing subsystems: queue depth, latency
+//! and cache hit/miss/evict counters export as `service_*` globals in a
+//! [`gpgpu_core::MetricsRegistry`], and every request and cache state
+//! change emits a `service-request` / `service-cache`
+//! [`gpgpu_core::TraceEvent`].
+
+mod cache;
+mod engine;
+mod queue;
+mod request;
+
+pub use cache::{CacheOutcome, CacheProbe, CompileCache};
+pub use engine::{Engine, ServiceConfig};
+pub use queue::BoundedQueue;
+pub use request::{
+    CacheDisposition, CompileRequest, CompileResponse, ErrorClass, ResponseError, SourceSpec,
+};

@@ -1,0 +1,177 @@
+//! A bounded multi-producer/multi-consumer work queue with blocking
+//! backpressure, built on `Mutex` + `Condvar` (no external deps).
+//!
+//! The batch engine feeds request indices through one of these to its
+//! worker pool. The bound is the backpressure policy: a producer that gets
+//! ahead of the workers blocks in [`BoundedQueue::push`] until a slot
+//! frees, so a huge manifest never balloons resident memory, and `serve`
+//! naturally stops reading stdin when the pool is saturated.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of the queue depth, for the service metrics.
+    max_depth: usize,
+}
+
+/// A bounded FIFO shared between one or more producers and a worker pool.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        // A worker that panicked while holding the lock cannot corrupt the
+        // VecDeque invariants we rely on; keep serving.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues `item`, blocking while the queue is full (backpressure).
+    /// Returns `false` when the queue was closed instead of accepting.
+    pub fn push(&self, item: T) -> bool {
+        let mut st = self.lock();
+        while st.items.len() >= self.capacity && !st.closed {
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        if st.closed {
+            return false;
+        }
+        st.items.push_back(item);
+        st.max_depth = st.max_depth.max(st.items.len());
+        drop(st);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained — the worker's exit
+    /// signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: producers are refused from now on; consumers
+    /// drain the remaining items and then see `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// The deepest the queue ever got — the backpressure observability
+    /// counter (`service_queue_max_depth`).
+    pub fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_close_semantics() {
+        let q = BoundedQueue::new(8);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.close();
+        assert!(!q.push(3), "closed queue refuses producers");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_depth_under_backpressure() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    // Let the producer race ahead into the bound.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..32 {
+            assert!(q.push(i));
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+        assert!(
+            q.max_depth() <= 2,
+            "producer overran the bound: depth {}",
+            q.max_depth()
+        );
+    }
+
+    #[test]
+    fn multiple_workers_drain_everything_exactly_once() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..100 {
+            assert!(q.push(i));
+        }
+        q.close();
+        let mut all: Vec<i32> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,441 @@
+//! The NDJSON request/response protocol shared by `gpgpuc batch` manifests
+//! and the `gpgpuc serve` stdin/stdout loop.
+//!
+//! One request per line, one JSON object per request:
+//!
+//! ```json
+//! {"id": "mm-512", "source": "__global__ void mm(...) {...}",
+//!  "machine": "GTX280", "bindings": {"n": 512, "w": 512},
+//!  "stages": "all", "verify_seed": 0, "deadline_ms": 5000}
+//! ```
+//!
+//! `source` may be replaced by `"file": "path/to/kernel.cu"` (the front
+//! end reads the file before handing the request to the engine). `id`
+//! defaults to the request's position; `machine` defaults to `GTX280`;
+//! `stages` accepts the label `"all"`/`"none"` or an array of stage names
+//! (`vectorize`, `coalesce`, `merge`, `prefetch`, `partition`);
+//! `verify_seed` defaults to 0 and `deadline_ms` to the engine default.
+//!
+//! Responses are one JSON object per line, echoing `id` in request order:
+//! `{"id", "ok", "cache" ("memory"|"disk"|"miss"), "fingerprint",
+//! "micros", "artifact"}` on success, or `{"id", "ok": false,
+//! "error": {"class", "detail"}, "micros"}` on failure — a malformed
+//! request line produces a structured `bad-request` response, never a
+//! crash.
+
+use gpgpu_core::{CachedArtifact, StageSet};
+use gpgpu_trace::Json;
+
+/// Stable error classes a response can carry, ordered by severity for the
+/// CLI's aggregated exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The request line or its fields were malformed.
+    BadRequest,
+    /// The kernel source did not parse.
+    Parse,
+    /// The compiler rejected the kernel (no fallback possible).
+    Compile,
+    /// The request's deadline elapsed before a worker picked it up.
+    Deadline,
+    /// A contained fault (panic) inside the worker.
+    Internal,
+}
+
+impl ErrorClass {
+    /// The wire name of the class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorClass::BadRequest => "bad-request",
+            ErrorClass::Parse => "parse",
+            ErrorClass::Compile => "compile",
+            ErrorClass::Deadline => "deadline",
+            ErrorClass::Internal => "internal",
+        }
+    }
+
+    /// The sysexits code the CLI maps this class to (aggregated across a
+    /// batch by numeric maximum).
+    pub fn exit_code(self) -> i32 {
+        match self {
+            // EX_DATAERR: the input itself was bad.
+            ErrorClass::BadRequest | ErrorClass::Parse => 65,
+            // EX_UNAVAILABLE: the compile could not be serviced.
+            ErrorClass::Compile | ErrorClass::Deadline => 69,
+            // EX_SOFTWARE: a contained internal fault.
+            ErrorClass::Internal => 70,
+        }
+    }
+}
+
+/// Where a request's kernel source comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceSpec {
+    /// Inline source text.
+    Inline(String),
+    /// A path the front end must read (`"file"` key). The engine never
+    /// touches the filesystem for sources; see
+    /// [`CompileRequest::resolve_file`].
+    File(String),
+}
+
+/// One parsed compile request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// Client-assigned id, echoed in the response. Defaults to the
+    /// request's position in the stream (`"0"`, `"1"`, …).
+    pub id: String,
+    /// The kernel source (inline or by file path).
+    pub source: SourceSpec,
+    /// Machine token (resolved via `MachineDesc::by_name`).
+    pub machine: String,
+    /// Size bindings.
+    pub bindings: Vec<(String, i64)>,
+    /// Enabled optimization stages.
+    pub stages: StageSet,
+    /// Verification input seed.
+    pub verify_seed: u64,
+    /// Per-request deadline override, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+fn parse_stages(value: &Json) -> Result<StageSet, String> {
+    match value {
+        Json::Str(label) => match label.as_str() {
+            "all" => Ok(StageSet::all()),
+            "none" => Ok(StageSet::none()),
+            other => Err(format!(
+                "unknown stage label `{other}` (use \"all\", \"none\", or an array of stage names)"
+            )),
+        },
+        Json::Arr(items) => {
+            let mut set = StageSet::none();
+            for item in items {
+                let name = item
+                    .as_str()
+                    .ok_or("stage array entries must be strings")?;
+                match name {
+                    "vectorize" => set.vectorize = true,
+                    "coalesce" => set.coalesce = true,
+                    "merge" => set.merge = true,
+                    "prefetch" => set.prefetch = true,
+                    "partition" => set.partition = true,
+                    other => {
+                        return Err(format!(
+                            "unknown stage `{other}` (stages: vectorize, coalesce, merge, \
+                             prefetch, partition)"
+                        ))
+                    }
+                }
+            }
+            Ok(set)
+        }
+        _ => Err("`stages` must be a string label or an array of stage names".into()),
+    }
+}
+
+impl CompileRequest {
+    /// Parses one NDJSON request line. `position` supplies the default id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `bad-request` detail string on malformed JSON or fields.
+    pub fn parse(line: &str, position: usize) -> Result<CompileRequest, String> {
+        let doc = gpgpu_trace::parse_json(line).map_err(|e| e.to_string())?;
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("request must be a JSON object".into());
+        }
+        let id = match doc.get("id") {
+            None => position.to_string(),
+            Some(v) => v
+                .as_str()
+                .map(str::to_string)
+                .ok_or("`id` must be a string")?,
+        };
+        let source = match (doc.get("source"), doc.get("file")) {
+            (Some(_), Some(_)) => {
+                return Err("request has both `source` and `file`; use one".into())
+            }
+            (Some(s), None) => SourceSpec::Inline(
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or("`source` must be a string")?,
+            ),
+            (None, Some(f)) => SourceSpec::File(
+                f.as_str()
+                    .map(str::to_string)
+                    .ok_or("`file` must be a string")?,
+            ),
+            (None, None) => return Err("request needs `source` or `file`".into()),
+        };
+        let machine = match doc.get("machine") {
+            None => "GTX280".to_string(),
+            Some(m) => m
+                .as_str()
+                .map(str::to_string)
+                .ok_or("`machine` must be a string")?,
+        };
+        let mut bindings = Vec::new();
+        match doc.get("bindings") {
+            None => {}
+            Some(Json::Obj(pairs)) => {
+                for (name, value) in pairs {
+                    let v = value
+                        .as_f64()
+                        .filter(|v| v.fract() == 0.0)
+                        .ok_or_else(|| format!("binding `{name}` must be an integer"))?;
+                    bindings.push((name.clone(), v as i64));
+                }
+            }
+            Some(_) => return Err("`bindings` must be an object of integers".into()),
+        }
+        let stages = match doc.get("stages") {
+            None => StageSet::all(),
+            Some(v) => parse_stages(v)?,
+        };
+        let verify_seed = match doc.get("verify_seed") {
+            None => 0,
+            Some(v) => v
+                .as_f64()
+                .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+                .ok_or("`verify_seed` must be a non-negative integer")? as u64,
+        };
+        let deadline_ms = match doc.get("deadline_ms") {
+            None => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+                    .ok_or("`deadline_ms` must be a non-negative integer")?
+                    as u64,
+            ),
+        };
+        Ok(CompileRequest {
+            id,
+            source,
+            machine,
+            bindings,
+            stages,
+            verify_seed,
+            deadline_ms,
+        })
+    }
+
+    /// A request compiling inline `source` with default options — the
+    /// programmatic entry the CLI's multi-input compile path uses.
+    pub fn inline(id: impl Into<String>, source: impl Into<String>) -> CompileRequest {
+        CompileRequest {
+            id: id.into(),
+            source: SourceSpec::Inline(source.into()),
+            machine: "GTX280".to_string(),
+            bindings: Vec::new(),
+            stages: StageSet::all(),
+            verify_seed: 0,
+            deadline_ms: None,
+        }
+    }
+
+    /// Replaces a `file` source with the file's contents (read by the
+    /// front end, so the engine stays filesystem-free for sources).
+    ///
+    /// # Errors
+    ///
+    /// Returns a `bad-request` detail when the file cannot be read.
+    pub fn resolve_file(&mut self) -> Result<(), String> {
+        if let SourceSpec::File(path) = &self.source {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            self.source = SourceSpec::Inline(text);
+        }
+        Ok(())
+    }
+
+    /// The inline source text; `None` when the request still points at an
+    /// unresolved file.
+    pub fn source_text(&self) -> Option<&str> {
+        match &self.source {
+            SourceSpec::Inline(text) => Some(text),
+            SourceSpec::File(_) => None,
+        }
+    }
+}
+
+/// How the cache answered a request, on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Served from the in-memory LRU.
+    Memory,
+    /// Served from the persistent store.
+    Disk,
+    /// Compiled cold.
+    Miss,
+}
+
+impl CacheDisposition {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheDisposition::Memory => "memory",
+            CacheDisposition::Disk => "disk",
+            CacheDisposition::Miss => "miss",
+        }
+    }
+
+    /// Whether this counts as a cache hit.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheDisposition::Miss)
+    }
+}
+
+/// What a response says when the request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseError {
+    /// Stable class.
+    pub class: ErrorClass,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// One compile response, serialized as one NDJSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// The compiled artifact on success.
+    pub artifact: Option<CachedArtifact>,
+    /// The failure, when the request did not produce an artifact.
+    pub error: Option<ResponseError>,
+    /// How the cache answered.
+    pub cache: CacheDisposition,
+    /// Wall-clock microseconds spent on the request.
+    pub micros: u64,
+}
+
+impl CompileResponse {
+    /// A failure response.
+    pub fn failure(
+        id: impl Into<String>,
+        class: ErrorClass,
+        detail: impl Into<String>,
+    ) -> CompileResponse {
+        CompileResponse {
+            id: id.into(),
+            artifact: None,
+            error: Some(ResponseError {
+                class,
+                detail: detail.into(),
+            }),
+            cache: CacheDisposition::Miss,
+            micros: 0,
+        }
+    }
+
+    /// Whether the request produced an artifact.
+    pub fn ok(&self) -> bool {
+        self.artifact.is_some()
+    }
+
+    /// The sysexits code this response contributes to the batch aggregate
+    /// (0 when ok, the error class's code otherwise).
+    pub fn exit_code(&self) -> i32 {
+        match &self.error {
+            None => 0,
+            Some(e) => e.class.exit_code(),
+        }
+    }
+
+    /// Serializes the response as its NDJSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_string(), Json::str(&self.id)),
+            ("ok".to_string(), Json::Bool(self.ok())),
+            ("cache".to_string(), Json::str(self.cache.as_str())),
+            ("micros".to_string(), Json::count(self.micros)),
+        ];
+        if let Some(artifact) = &self.artifact {
+            pairs.push(("fingerprint".to_string(), Json::str(&artifact.fingerprint)));
+            pairs.push(("artifact".to_string(), artifact.to_json()));
+        }
+        if let Some(error) = &self.error {
+            pairs.push((
+                "error".to_string(),
+                Json::obj([
+                    ("class", Json::str(error.class.as_str())),
+                    ("detail", Json::str(&error.detail)),
+                ]),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let line = r#"{"id": "mm-512", "source": "__global__ void mm() {}",
+            "machine": "gtx8800", "bindings": {"n": 512, "w": 256},
+            "stages": ["vectorize", "coalesce"], "verify_seed": 7,
+            "deadline_ms": 1000}"#
+            .replace('\n', " ");
+        let req = CompileRequest::parse(&line, 3).unwrap();
+        assert_eq!(req.id, "mm-512");
+        assert_eq!(req.machine, "gtx8800");
+        assert_eq!(req.bindings, vec![("n".into(), 512), ("w".into(), 256)]);
+        assert!(req.stages.vectorize && req.stages.coalesce && !req.stages.merge);
+        assert_eq!(req.verify_seed, 7);
+        assert_eq!(req.deadline_ms, Some(1000));
+    }
+
+    #[test]
+    fn defaults_fill_in_for_a_minimal_request() {
+        let req = CompileRequest::parse(r#"{"source": "void f() {}"}"#, 5).unwrap();
+        assert_eq!(req.id, "5");
+        assert_eq!(req.machine, "GTX280");
+        assert!(req.bindings.is_empty());
+        assert_eq!(req.stages, StageSet::all());
+        assert_eq!(req.verify_seed, 0);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn malformed_requests_are_described_not_panicked() {
+        for (line, want) in [
+            ("not json", "JSON"),
+            ("[1,2]", "object"),
+            (r#"{"id": "x"}"#, "source"),
+            (r#"{"source": "s", "file": "f"}"#, "both"),
+            (r#"{"source": "s", "bindings": {"n": 1.5}}"#, "integer"),
+            (r#"{"source": "s", "stages": "most"}"#, "stage label"),
+            (r#"{"source": "s", "stages": ["warp"]}"#, "unknown stage"),
+            (r#"{"source": "s", "verify_seed": -1}"#, "verify_seed"),
+        ] {
+            let err = CompileRequest::parse(line, 0).unwrap_err();
+            assert!(err.contains(want), "`{line}` → `{err}`");
+        }
+    }
+
+    #[test]
+    fn response_json_has_the_documented_shape() {
+        let fail = CompileResponse::failure("r1", ErrorClass::Parse, "expected `)`");
+        let doc = fail.to_json();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("class")).and_then(Json::as_str),
+            Some("parse")
+        );
+        assert_eq!(fail.exit_code(), 65);
+        // Every line the serve loop emits parses back.
+        assert!(gpgpu_trace::parse_json(&doc.compact()).is_ok());
+    }
+
+    #[test]
+    fn error_classes_order_into_sysexits() {
+        assert_eq!(ErrorClass::BadRequest.exit_code(), 65);
+        assert_eq!(ErrorClass::Parse.exit_code(), 65);
+        assert_eq!(ErrorClass::Compile.exit_code(), 69);
+        assert_eq!(ErrorClass::Deadline.exit_code(), 69);
+        assert_eq!(ErrorClass::Internal.exit_code(), 70);
+    }
+}

@@ -52,6 +52,27 @@ pub struct MachineDesc {
 }
 
 impl MachineDesc {
+    /// The marketing names of every known machine, in descriptor order —
+    /// what [`MachineDesc::by_name`] accepts (case-insensitively) and what
+    /// unknown-machine errors should list.
+    pub const KNOWN_NAMES: [&'static str; 3] = ["GTX8800", "GTX280", "HD5870"];
+
+    /// Resolves a machine by name, case-insensitively (`gtx280` and
+    /// `GTX280` both work) — the single resolver shared by the `gpgpuc`
+    /// `--machine` flag, the fuzz corpus format, and the batch service's
+    /// request `machine` field.
+    pub fn by_name(name: &str) -> Option<MachineDesc> {
+        if name.eq_ignore_ascii_case("GTX8800") {
+            Some(MachineDesc::gtx8800())
+        } else if name.eq_ignore_ascii_case("GTX280") {
+            Some(MachineDesc::gtx280())
+        } else if name.eq_ignore_ascii_case("HD5870") {
+            Some(MachineDesc::hd5870())
+        } else {
+            None
+        }
+    }
+
     /// NVIDIA GeForce GTX 8800 (G80): 16 SMs, 32 KB registers/SM, 6
     /// partitions.
     pub fn gtx8800() -> MachineDesc {
@@ -234,6 +255,18 @@ mod tests {
         assert_eq!(m.blocks_per_sm(32, 4, 0), 8);
         // Oversized block.
         assert_eq!(m.blocks_per_sm(1024, 10, 0), 0);
+    }
+
+    #[test]
+    fn by_name_resolves_every_known_machine_case_insensitively() {
+        for name in MachineDesc::KNOWN_NAMES {
+            let m = MachineDesc::by_name(name).unwrap();
+            assert_eq!(m.name, name);
+            let lower = MachineDesc::by_name(&name.to_lowercase()).unwrap();
+            assert_eq!(lower.name, name);
+        }
+        assert!(MachineDesc::by_name("rtx5090").is_none());
+        assert!(MachineDesc::by_name("").is_none());
     }
 
     #[test]

@@ -267,6 +267,28 @@ pub enum TraceEvent {
         /// Source location of the offending array's access, when known.
         span: Option<Span>,
     },
+    /// The batch-compilation service finished one request (hit or cold).
+    ServiceRequest {
+        /// Request id (manifest-assigned or positional).
+        id: String,
+        /// Kernel name, `?` when the source never parsed.
+        kernel: String,
+        /// Whether the compile cache served the artifact.
+        cache_hit: bool,
+        /// Wall-clock microseconds from dequeue to response.
+        micros: u64,
+        /// Stable outcome: `ok`, `degraded`, or an error class
+        /// (`parse`, `bad-request`, `compile`, `internal`, `deadline`).
+        outcome: String,
+    },
+    /// A compile-cache state change in the batch-compilation service.
+    ServiceCache {
+        /// Operation: `hit`, `miss`, `store`, `evict`, `disk-hit`,
+        /// `disk-store`, or `disk-error`.
+        op: &'static str,
+        /// The content-addressed fingerprint involved.
+        fingerprint: String,
+    },
     /// Free-form note (fallback for information with no variant yet).
     Note {
         /// The note.
@@ -303,6 +325,8 @@ impl TraceEvent {
             TraceEvent::CandidateFault { .. } => "fault",
             TraceEvent::Degraded { .. } => "degraded",
             TraceEvent::Sanitizer { .. } => "sanitizer",
+            TraceEvent::ServiceRequest { .. } => "service-request",
+            TraceEvent::ServiceCache { .. } => "service-cache",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -449,6 +473,19 @@ impl TraceEvent {
             }
             TraceEvent::Sanitizer { check, run, detail, .. } => {
                 format!("sanitizer [{check}] in {run} run: {detail}")
+            }
+            TraceEvent::ServiceRequest {
+                id,
+                kernel,
+                cache_hit,
+                micros,
+                outcome,
+            } => {
+                let src = if *cache_hit { "cache hit" } else { "cold" };
+                format!("service: request {id} ({kernel}) {outcome} in {micros} µs ({src})")
+            }
+            TraceEvent::ServiceCache { op, fingerprint } => {
+                format!("service cache: {op} {fingerprint}")
             }
             TraceEvent::Note { message } => message.clone(),
         }
@@ -630,6 +667,23 @@ impl TraceEvent {
                 put("detail", Json::str(detail));
                 put("span", span_json(*span));
             }
+            TraceEvent::ServiceRequest {
+                id,
+                kernel,
+                cache_hit,
+                micros,
+                outcome,
+            } => {
+                put("id", Json::str(id));
+                put("kernel", Json::str(kernel));
+                put("cache_hit", Json::Bool(*cache_hit));
+                put("micros", Json::count(*micros));
+                put("outcome", Json::str(outcome));
+            }
+            TraceEvent::ServiceCache { op, fingerprint } => {
+                put("op", Json::str(*op));
+                put("fingerprint", Json::str(fingerprint));
+            }
             TraceEvent::Note { message } => put("message", Json::str(message)),
         }
         Json::Obj(pairs)
@@ -715,6 +769,17 @@ mod tests {
                 run: "optimized `mm`".into(),
                 detail: "write-write race on shared s0[+3]".into(),
                 span: Some(Span::new(2, 11)),
+            },
+            TraceEvent::ServiceRequest {
+                id: "r0".into(),
+                kernel: "mm".into(),
+                cache_hit: true,
+                micros: 42,
+                outcome: "ok".into(),
+            },
+            TraceEvent::ServiceCache {
+                op: "evict",
+                fingerprint: "deadbeef".into(),
             },
         ];
         let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind()).collect();

@@ -1,10 +1,15 @@
 //! `gpgpuc` — the source-to-source GPGPU optimizing compiler, as a CLI.
 //!
 //! ```text
-//! gpgpuc [OPTIONS] <kernel.cu>       # or `-` for stdin
+//! gpgpuc [OPTIONS] <kernel.cu>...    # or `-` for stdin
 //! gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>]
 //!             [--inject <slug>] [--trace-json <path>]
 //! gpgpuc reduce <repro.cu> [--budget <n>]
+//! gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>]
+//!              [--cache-dir <dir>] [--cache-entries <n>]
+//!              [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]
+//! gpgpuc serve [--cache-dir <dir>] [--cache-entries <n>]
+//!              [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]
 //!
 //! OPTIONS
 //!   --machine <gtx8800|gtx280|hd5870>   target GPU          [gtx280]
@@ -46,9 +51,25 @@
 //! shrinks its kernel while the recorded failure bucket keeps reproducing,
 //! printing the minimized corpus entry to stdout.
 //!
+//! `gpgpuc batch` compiles an NDJSON manifest (one request object per
+//! line: `{"source"|"file", "machine", "bindings", ...}`) through the
+//! batch-compilation service — a worker pool behind a bounded queue in
+//! front of the content-addressed compile cache — and prints one NDJSON
+//! response per line **in manifest order**. `--cache-dir` persists
+//! artifacts across runs; `--metrics` writes the `service_*` counters
+//! (requests, cache hits/misses/evictions, queue depth, latency) as JSON.
+//! The exit code aggregates per-request outcomes by numeric maximum.
+//!
+//! `gpgpuc serve` is the same engine as a long-lived stdin/stdout NDJSON
+//! loop: one request line in, one response line out, until EOF. Malformed
+//! requests produce structured `bad-request` responses, never a crash.
+//!
 //! The input is a *naive* MiniCUDA kernel (one output element per thread);
 //! the output is the optimized kernel plus its launch configuration,
-//! exactly as in the paper's workflow.
+//! exactly as in the paper's workflow. Several `.cu` inputs may be given
+//! in one invocation; they compile through the same batch engine and
+//! print in input order (output-shaping flags like `--report`,
+//! `--trace-json` or `--verify` require a single input).
 //!
 //! ## Exit codes
 //!
@@ -58,16 +79,20 @@
 //! | 1    | verification failed (`--verify`) |
 //! | 2    | compilation degraded to the naive kernel under `--strict` |
 //! | 64   | usage error (unknown flag, missing operand) |
-//! | 65   | the input did not parse |
+//! | 65   | the input did not parse (or a batch request was malformed) |
 //! | 66   | the input file could not be read |
-//! | 69   | compilation failed with no viable fallback |
+//! | 69   | compilation failed with no viable fallback (or a deadline hit) |
 //! | 70   | an internal fault (contained panic) with no viable fallback |
 //! | 74   | an output file (e.g. `--trace-json`) could not be written |
+//!
+//! With several inputs (or `batch`), every input is attempted and the
+//! process exits with the numeric **maximum** of the per-input codes.
 
 use gpgpu::ast::{parse_kernel, print_kernel, PrintOptions};
 use gpgpu::core::{compile, verify_equivalence, CompileOptions, CompilerError, StageSet};
+use gpgpu::service::{CompileRequest, CompileResponse, Engine, ServiceConfig, SourceSpec};
 use gpgpu::sim::MachineDesc;
-use std::io::Read;
+use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
 /// Verification mismatch (`--verify`).
@@ -88,7 +113,7 @@ const EXIT_INTERNAL: u8 = 70;
 const EXIT_IO: u8 = 74;
 
 struct Args {
-    input: String,
+    inputs: Vec<String>,
     machine: MachineDesc,
     bindings: Vec<(String, i64)>,
     cuda_names: bool,
@@ -109,9 +134,13 @@ fn usage(msg: &str) -> ExitCode {
         "usage: gpgpuc [--machine gtx8800|gtx280|hd5870] [--bind n=1024]... \
          [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
          [--list-passes] [--report] [--metrics] [--trace-json <path>] [--verify <size>] \
-         [--verify-seed <u64>] [--strict] <kernel.cu | ->\n       \
+         [--verify-seed <u64>] [--strict] <kernel.cu | ->...\n       \
          gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>] [--inject <slug>] [--trace-json <path>]\n       \
-         gpgpuc reduce <repro.cu> [--budget <n>]"
+         gpgpuc reduce <repro.cu> [--budget <n>]\n       \
+         gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>] [--cache-dir <dir>] \
+         [--cache-entries <n>] [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]\n       \
+         gpgpuc serve [--cache-dir <dir>] [--cache-entries <n>] [--deadline-ms <n>] \
+         [--metrics <path>] [--trace-json <path>]"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -121,9 +150,20 @@ fn report_error(e: &CompilerError) {
     eprintln!("gpgpuc: error: {}", e.render_chain());
 }
 
+/// Resolves a `--machine` value through the workspace-wide resolver,
+/// listing the valid set on failure.
+fn resolve_machine(token: &str) -> Result<MachineDesc, String> {
+    MachineDesc::by_name(token).ok_or_else(|| {
+        format!(
+            "unknown machine `{token}` (known: {})",
+            MachineDesc::KNOWN_NAMES.join(", ")
+        )
+    })
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        input: String::new(),
+        inputs: Vec::new(),
         machine: MachineDesc::gtx280(),
         bindings: Vec::new(),
         cuda_names: false,
@@ -138,17 +178,11 @@ fn parse_args() -> Result<Args, String> {
         list_passes: false,
     };
     let mut it = std::env::args().skip(1);
-    let mut input: Option<String> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--machine" => {
                 let v = it.next().ok_or("--machine needs a value")?;
-                args.machine = match v.as_str() {
-                    "gtx8800" => MachineDesc::gtx8800(),
-                    "gtx280" => MachineDesc::gtx280(),
-                    "hd5870" => MachineDesc::hd5870(),
-                    other => return Err(format!("unknown machine `{other}`")),
-                };
+                args.machine = resolve_machine(&v)?;
             }
             "--bind" => {
                 let v = it.next().ok_or("--bind needs name=value")?;
@@ -186,12 +220,28 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--verify-seed `{v}` is not a u64"))?;
             }
             "--help" | "-h" => return Err("help".into()),
-            other if input.is_none() => input = Some(other.to_string()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument `{other}`"))
+            }
+            other => args.inputs.push(other.to_string()),
         }
     }
-    if !args.list_passes {
-        args.input = input.ok_or("no input file")?;
+    if !args.list_passes && args.inputs.is_empty() {
+        return Err("no input file".into());
+    }
+    if args.inputs.len() > 1 {
+        // Output-shaping flags assume exactly one compilation to describe.
+        for (on, flag) in [
+            (args.report, "--report"),
+            (args.metrics, "--metrics"),
+            (args.trace_json.is_some(), "--trace-json"),
+            (args.verify_at.is_some(), "--verify"),
+            (args.emit_cu, "--emit-cu"),
+        ] {
+            if on {
+                return Err(format!("{flag} requires a single input"));
+            }
+        }
     }
     Ok(args)
 }
@@ -228,10 +278,7 @@ fn cmd_fuzz(argv: &[String]) -> ExitCode {
             "--machine" => it
                 .next()
                 .ok_or_else(|| "--machine needs a value".to_string())
-                .and_then(|v| {
-                    gpgpu::fuzz::machine_by_token(v)
-                        .ok_or_else(|| format!("unknown machine `{v}`"))
-                })
+                .and_then(|v| resolve_machine(v))
                 .map(|m| opts.machine = m),
             "--inject" => it
                 .next()
@@ -345,9 +392,12 @@ fn cmd_reduce(argv: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_PARSE);
         }
     };
-    let Some(machine) = gpgpu::fuzz::machine_by_token(&entry.machine) else {
-        eprintln!("gpgpuc: unknown machine token `{}`", entry.machine);
-        return ExitCode::from(EXIT_PARSE);
+    let machine = match resolve_machine(&entry.machine) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("gpgpuc: {e}");
+            return ExitCode::from(EXIT_PARSE);
+        }
     };
     let mut cfg =
         gpgpu::fuzz::OracleConfig::new(machine).with_only_stage_set(&entry.stages);
@@ -376,6 +426,319 @@ fn cmd_reduce(argv: &[String]) -> ExitCode {
     }
 }
 
+/// Options shared by `batch` and `serve`.
+struct ServiceArgs {
+    config: ServiceConfig,
+    metrics_path: Option<String>,
+    trace_json: Option<String>,
+    /// Positional operand (the batch manifest; none for `serve`).
+    operand: Option<String>,
+}
+
+/// Parses the `batch` / `serve` command line.
+fn parse_service_args(argv: &[String], want_operand: bool) -> Result<ServiceArgs, String> {
+    let mut out = ServiceArgs {
+        config: ServiceConfig::default(),
+        metrics_path: None,
+        trace_json: None,
+        operand: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                let v = value("--jobs")?;
+                out.config.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs `{v}` is not a positive integer"))?;
+            }
+            "--queue" => {
+                let v = value("--queue")?;
+                out.config.queue_capacity = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--queue `{v}` is not a positive integer"))?;
+            }
+            "--cache-entries" => {
+                let v = value("--cache-entries")?;
+                out.config.cache_entries = v
+                    .parse()
+                    .map_err(|_| format!("--cache-entries `{v}` is not an integer"))?;
+            }
+            "--cache-dir" => {
+                out.config.cache_dir = Some(value("--cache-dir")?.into());
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                out.config.default_deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--deadline-ms `{v}` is not an integer"))?,
+                );
+            }
+            "--metrics" => out.metrics_path = Some(value("--metrics")?.clone()),
+            "--trace-json" => out.trace_json = Some(value("--trace-json")?.clone()),
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument `{other}`"))
+            }
+            other if want_operand && out.operand.is_none() => {
+                out.operand = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if want_operand && out.operand.is_none() {
+        return Err("batch needs an NDJSON manifest (or `-` for stdin)".into());
+    }
+    Ok(out)
+}
+
+/// Writes the post-run service artifacts (`--metrics` counters document,
+/// `--trace-json` event document).
+fn write_service_artifacts(engine: &Engine, args: &ServiceArgs) -> Result<(), ExitCode> {
+    use gpgpu::core::trace::Json;
+    if let Some(path) = &args.metrics_path {
+        let doc = Json::obj([
+            ("schema", Json::str(gpgpu::core::trace::SCHEMA)),
+            ("metrics", engine.metrics().to_json()),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("gpgpuc: cannot write metrics to `{path}`: {e}");
+            return Err(ExitCode::from(EXIT_IO));
+        }
+    }
+    if let Some(path) = &args.trace_json {
+        let events = engine.take_events();
+        let doc = Json::obj([
+            ("schema", Json::str(gpgpu::core::trace::SCHEMA)),
+            (
+                "events",
+                Json::Arr(events.iter().map(|e| e.to_json()).collect()),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("gpgpuc: cannot write trace to `{path}`: {e}");
+            return Err(ExitCode::from(EXIT_IO));
+        }
+    }
+    Ok(())
+}
+
+/// `gpgpuc batch`: compile an NDJSON manifest through the service engine,
+/// emitting one NDJSON response line per request in manifest order.
+fn cmd_batch(argv: &[String]) -> ExitCode {
+    let sargs = match parse_service_args(argv, true) {
+        Ok(a) => a,
+        Err(e) => return usage(&e),
+    };
+    let manifest = sargs.operand.clone().unwrap_or_default();
+    let text = if manifest == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("gpgpuc: cannot read stdin");
+            return ExitCode::from(EXIT_NOINPUT);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&manifest) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gpgpuc: cannot read `{manifest}`: {e}");
+                return ExitCode::from(EXIT_NOINPUT);
+            }
+        }
+    };
+    let engine = match Engine::new(sargs.config.clone()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("gpgpuc: cannot open cache directory: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    // Parse every line up front: well-formed requests flow through the
+    // worker pool; malformed lines become in-place bad-request responses
+    // (still booked into the engine's metrics) so manifest order holds.
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    let mut slots: Vec<Option<CompileResponse>> = (0..lines.len()).map(|_| None).collect();
+    let mut good: Vec<(usize, CompileRequest)> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let parsed = CompileRequest::parse(line, idx).and_then(|mut req| {
+            req.resolve_file()?;
+            Ok(req)
+        });
+        match parsed {
+            Ok(req) => good.push((idx, req)),
+            Err(_) => slots[idx] = Some(engine.handle_line(line, idx)),
+        }
+    }
+    let responses = engine.run_batch(good.iter().map(|(_, r)| r.clone()).collect());
+    for ((idx, _), resp) in good.into_iter().zip(responses) {
+        slots[idx] = Some(resp);
+    }
+    let mut worst: u8 = 0;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (idx, slot) in slots.into_iter().enumerate() {
+        let Some(resp) = slot else { continue };
+        worst = worst.max(resp.exit_code().clamp(0, 255) as u8);
+        if writeln!(out, "{}", resp.to_json().compact()).is_err() {
+            eprintln!("gpgpuc: cannot write response {idx} to stdout");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    drop(out);
+    if let Err(code) = write_service_artifacts(&engine, &sargs) {
+        return code;
+    }
+    ExitCode::from(worst)
+}
+
+/// `gpgpuc serve`: the engine as a stdin/stdout NDJSON request loop.
+/// Responses are emitted (and flushed) one line per request until EOF;
+/// malformed requests yield structured errors and the loop keeps serving.
+fn cmd_serve(argv: &[String]) -> ExitCode {
+    let sargs = match parse_service_args(argv, false) {
+        Ok(a) => a,
+        Err(e) => return usage(&e),
+    };
+    let engine = match Engine::new(sargs.config.clone()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("gpgpuc: cannot open cache directory: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut position = 0usize;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("gpgpuc: cannot read stdin: {e}");
+                return ExitCode::from(EXIT_NOINPUT);
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = engine.handle_line(&line, position);
+        position += 1;
+        let io = writeln!(out, "{}", resp.to_json().compact()).and_then(|()| out.flush());
+        if io.is_err() {
+            eprintln!("gpgpuc: cannot write response to stdout");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+    drop(out);
+    if let Err(code) = write_service_artifacts(&engine, &sargs) {
+        return code;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compiles several `.cu` inputs through the batch engine, printing each
+/// optimized kernel in input order and aggregating exit codes by maximum.
+fn cmd_multi(args: &Args) -> ExitCode {
+    let engine = match Engine::new(ServiceConfig::default()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("gpgpuc: cannot initialize the batch engine: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    };
+    let mut worst: u8 = 0;
+    let mut requests = Vec::new();
+    for path in &args.inputs {
+        let source = if path == "-" {
+            let mut buf = String::new();
+            match std::io::stdin().read_to_string(&mut buf) {
+                Ok(_) => Ok(buf),
+                Err(e) => Err(format!("cannot read stdin: {e}")),
+            }
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+        };
+        match source {
+            Ok(text) => requests.push(CompileRequest {
+                id: path.clone(),
+                source: SourceSpec::Inline(text),
+                machine: args.machine.name.to_string(),
+                bindings: args.bindings.clone(),
+                stages: args.stages,
+                verify_seed: args.verify_seed,
+                deadline_ms: None,
+            }),
+            Err(msg) => {
+                eprintln!("gpgpuc: {msg}");
+                worst = worst.max(EXIT_NOINPUT);
+            }
+        }
+    }
+    let responses = engine.run_batch(requests);
+    for resp in responses {
+        println!("// ==== {} ====", resp.id);
+        match (&resp.artifact, &resp.error) {
+            (Some(artifact), _) => {
+                if let Some((slug, detail)) = &artifact.degraded {
+                    eprintln!(
+                        "gpgpuc: warning: `{}` degraded to the verified naive kernel \
+                         ({slug}: {detail})",
+                        resp.id
+                    );
+                    if args.strict {
+                        eprintln!("gpgpuc: error: degraded compilation rejected by --strict");
+                        worst = worst.max(EXIT_DEGRADED_STRICT);
+                    }
+                }
+                let total = artifact.launches.len();
+                for (i, launch) in artifact.launches.iter().enumerate() {
+                    if total > 1 {
+                        println!("// launch {} of {total}", i + 1);
+                    }
+                    println!("// launch configuration: {}", launch.launch);
+                    for extra in &launch.extra_buffers {
+                        println!(
+                            "// requires zero-initialized buffer: {} ({} x {:?})",
+                            extra.name, extra.elem, extra.dims
+                        );
+                    }
+                    let text = if args.cuda_names {
+                        &launch.kernel_cuda
+                    } else {
+                        &launch.kernel
+                    };
+                    print!("{text}");
+                    println!();
+                }
+            }
+            (None, Some(err)) => {
+                eprintln!(
+                    "gpgpuc: error: `{}`: {}: {}",
+                    resp.id,
+                    err.class.as_str(),
+                    err.detail
+                );
+                worst = worst.max(resp.exit_code().clamp(0, 255) as u8);
+            }
+            (None, None) => {
+                eprintln!("gpgpuc: error: `{}` produced no artifact", resp.id);
+                worst = worst.max(EXIT_INTERNAL);
+            }
+        }
+    }
+    ExitCode::from(worst)
+}
+
 /// Prints the registered pass table (`--list-passes`).
 fn list_passes() {
     println!("{:<14} {:<10} STAGE", "PASS", "SECTION");
@@ -389,6 +752,8 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("fuzz") => return cmd_fuzz(&argv[1..]),
         Some("reduce") => return cmd_reduce(&argv[1..]),
+        Some("batch") => return cmd_batch(&argv[1..]),
+        Some("serve") => return cmd_serve(&argv[1..]),
         _ => {}
     }
     let args = match parse_args() {
@@ -399,7 +764,11 @@ fn main() -> ExitCode {
         list_passes();
         return ExitCode::SUCCESS;
     }
-    let source = if args.input == "-" {
+    if args.inputs.len() > 1 {
+        return cmd_multi(&args);
+    }
+    let input = args.inputs[0].clone();
+    let source = if input == "-" {
         let mut buf = String::new();
         if std::io::stdin().read_to_string(&mut buf).is_err() {
             eprintln!("gpgpuc: cannot read stdin");
@@ -407,10 +776,10 @@ fn main() -> ExitCode {
         }
         buf
     } else {
-        match std::fs::read_to_string(&args.input) {
+        match std::fs::read_to_string(&input) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("gpgpuc: cannot read `{}`: {e}", args.input);
+                eprintln!("gpgpuc: cannot read `{input}`: {e}");
                 return ExitCode::from(EXIT_NOINPUT);
             }
         }

@@ -24,7 +24,10 @@
 //!   sanitizing naive-vs-optimized oracle, kernel reduction, and the
 //!   regression-corpus format;
 //! * [`kernels`] — the Table 1 benchmarks, the FFT case study, and the
-//!   CUBLAS/SDK comparators.
+//!   CUBLAS/SDK comparators;
+//! * [`service`] — the batch-compilation service: content-addressed
+//!   compile cache, bounded work queue + worker pool, and the NDJSON
+//!   request protocol behind `gpgpuc batch` / `gpgpuc serve`.
 //!
 //! ## Quickstart
 //!
@@ -55,5 +58,6 @@ pub use gpgpu_ast as ast;
 pub use gpgpu_core as core;
 pub use gpgpu_fuzz as fuzz;
 pub use gpgpu_kernels as kernels;
+pub use gpgpu_service as service;
 pub use gpgpu_sim as sim;
 pub use gpgpu_transform as transform;

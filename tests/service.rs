@@ -1,0 +1,350 @@
+//! Integration tests of the batch-compilation service (`gpgpu::service`):
+//! the content-addressed cache round-trips byte-identically over the fuzz
+//! generator's kernel space, every output-determining option invalidates
+//! the fingerprint, the on-disk store survives engine restarts, the
+//! regression corpus replays through the batch path, and a poisoned
+//! request degrades alone.
+
+use gpgpu::core::fault;
+use gpgpu::core::{CompileOptions, StageSet};
+use gpgpu::fuzz::{CorpusEntry, KernelSpec};
+use gpgpu::service::{CompileRequest, Engine, ErrorClass, ServiceConfig, SourceSpec};
+use gpgpu::sim::MachineDesc;
+use proptest::prelude::*;
+use std::time::Instant;
+
+const MV: &str = "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) { \
+     float sum = 0.0f; \
+     for (int i = 0; i < w; i = i + 1) { sum += a[idx][i] * b[i]; } \
+     c[idx] = sum; }";
+
+fn engine() -> Engine {
+    Engine::new(ServiceConfig::default()).expect("engine without disk cache builds")
+}
+
+fn mv_request(id: &str) -> CompileRequest {
+    let mut req = CompileRequest::inline(id, MV);
+    req.bindings = vec![("n".into(), 512), ("w".into(), 512)];
+    req
+}
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "gpgpu-service-test-{label}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("temp dir creates");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+proptest! {
+    // Each case is two full service requests (one cold compile, one hit);
+    // a moderate count sweeps the generator's kernel shapes.
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        max_shrink_iters: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// For generator kernels, a cache hit is byte-identical to the cold
+    /// compile that populated it: same fingerprint, same artifact, same
+    /// serialized NDJSON object (modulo the timing field).
+    #[test]
+    fn cache_hits_are_byte_identical_to_cold_compiles(seed in any::<u64>()) {
+        let case = KernelSpec::from_seed(seed).build();
+        let engine = engine();
+        let mut req = CompileRequest::inline("cold", case.source.clone());
+        req.bindings = case.bindings.clone();
+
+        let cold = engine.handle(req.clone(), Instant::now());
+        prop_assert!(cold.ok(), "seed {seed}: cold compile failed: {:?}", cold.error);
+        prop_assert_eq!(cold.cache.as_str(), "miss");
+
+        req.id = "warm".to_string();
+        let warm = engine.handle(req, Instant::now());
+        prop_assert!(warm.ok(), "seed {seed}: warm request failed: {:?}", warm.error);
+
+        let cold_artifact = cold.artifact.expect("cold artifact");
+        let warm_artifact = warm.artifact.expect("warm artifact");
+        if cold_artifact.degraded.is_some() {
+            // Degraded results are transient fallbacks and never persisted,
+            // so the repeat compiles cold again — deterministically.
+            prop_assert_eq!(warm.cache.as_str(), "miss");
+        } else {
+            prop_assert!(warm.cache.is_hit(), "seed {seed}: second request missed");
+        }
+        prop_assert_eq!(&cold_artifact, &warm_artifact);
+        prop_assert_eq!(
+            cold_artifact.to_json().compact(),
+            warm_artifact.to_json().compact()
+        );
+    }
+}
+
+#[test]
+fn every_output_determining_option_invalidates_the_fingerprint() {
+    let kernel = gpgpu::ast::parse_kernel(MV).expect("mv parses");
+    let base = || {
+        CompileOptions::new(MachineDesc::gtx280())
+            .bind("n", 512)
+            .bind("w", 512)
+    };
+    let baseline = base().fingerprint(&kernel);
+
+    let variants: Vec<(&str, CompileOptions)> = vec![
+        (
+            "machine",
+            CompileOptions::new(MachineDesc::gtx8800())
+                .bind("n", 512)
+                .bind("w", 512),
+        ),
+        (
+            "binding value",
+            CompileOptions::new(MachineDesc::gtx280())
+                .bind("n", 512)
+                .bind("w", 1024),
+        ),
+        ("extra binding", base().bind("m", 16)),
+        ("verify seed", base().with_verify_seed(7)),
+        ("stage set", base().with_stages(StageSet::none())),
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    seen.insert(baseline.clone());
+    for (what, opts) in variants {
+        let fp = opts.fingerprint(&kernel);
+        assert_ne!(fp, baseline, "changing the {what} must change the fingerprint");
+        assert!(seen.insert(fp), "{what} collided with another variant");
+    }
+
+    // ...while formatting-only source changes do NOT: the fingerprint
+    // hashes the *normalized* kernel, so reformatted source still hits.
+    let reformatted = format!("  {}  ", MV.replace("; ", ";\n\t"));
+    let rekernel = gpgpu::ast::parse_kernel(&reformatted).expect("reformatted mv parses");
+    assert_eq!(
+        base().fingerprint(&rekernel),
+        baseline,
+        "formatting-only changes must not invalidate the cache"
+    );
+}
+
+#[test]
+fn changed_options_miss_the_cache_through_the_engine() {
+    let engine = engine();
+    let cold = engine.handle(mv_request("base"), Instant::now());
+    assert!(cold.ok(), "{:?}", cold.error);
+
+    let mut reseeded = mv_request("reseeded");
+    reseeded.verify_seed = 3;
+    let resp = engine.handle(reseeded, Instant::now());
+    assert!(resp.ok(), "{:?}", resp.error);
+    assert_eq!(
+        resp.cache.as_str(),
+        "miss",
+        "a different verify seed must not hit the cache"
+    );
+
+    let mut remachined = mv_request("remachined");
+    remachined.machine = "hd5870".to_string();
+    let resp = engine.handle(remachined, Instant::now());
+    assert!(resp.ok(), "{:?}", resp.error);
+    assert_eq!(resp.cache.as_str(), "miss");
+}
+
+#[test]
+fn disk_cache_survives_an_engine_restart() {
+    let dir = TempDir::new("restart");
+    let config = || ServiceConfig {
+        cache_dir: Some(dir.0.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let first = Engine::new(config()).expect("first engine");
+    let cold = first.handle(mv_request("cold"), Instant::now());
+    assert!(cold.ok(), "{:?}", cold.error);
+    assert_eq!(cold.cache.as_str(), "miss");
+    drop(first);
+
+    let second = Engine::new(config()).expect("second engine");
+    let warm = second.handle(mv_request("warm"), Instant::now());
+    assert!(warm.ok(), "{:?}", warm.error);
+    assert_eq!(
+        warm.cache.as_str(),
+        "disk",
+        "a fresh engine over the same cache dir must hit the persistent store"
+    );
+    assert_eq!(cold.artifact, warm.artifact);
+
+    let reg = second.metrics();
+    let globals = reg.to_json();
+    let disk_hits = globals
+        .get("globals")
+        .and_then(|g| g.get("service_cache_disk_hits"))
+        .and_then(gpgpu::core::Json::as_f64);
+    assert_eq!(disk_hits, Some(1.0), "{}", globals.pretty());
+}
+
+#[test]
+fn regression_corpus_replays_through_the_batch_path() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("corpus entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("cu"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "expected at least 3 corpus repros");
+
+    let mut requests = Vec::new();
+    let mut ids = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("corpus file reads");
+        let entry = CorpusEntry::parse(&text).expect("corpus metadata parses");
+        let id = path.file_name().expect("file name").to_string_lossy().into_owned();
+        let mut req = CompileRequest::inline(id.clone(), entry.source.clone());
+        req.machine = entry.machine.clone();
+        req.bindings = entry.bindings.clone();
+        req.verify_seed = entry.verify_seed;
+        ids.push(id);
+        requests.push(req);
+    }
+
+    let engine = Engine::new(ServiceConfig {
+        jobs: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("engine builds");
+    let responses = engine.run_batch(requests);
+    assert_eq!(responses.len(), ids.len());
+    for (resp, id) in responses.iter().zip(&ids) {
+        // The corpus buckets come from bugs the oracle *injects* after
+        // compilation; the naive sources themselves are valid kernels, so
+        // the service must compile every one of them cleanly.
+        assert_eq!(&resp.id, id, "responses must come back in request order");
+        assert!(resp.ok(), "{id}: {:?}", resp.error);
+    }
+}
+
+#[test]
+fn a_poisoned_request_degrades_alone() {
+    // Armed fault state is process-global; the site name is derived from
+    // the kernel name, so only this test's `poisoned` kernel can trip it.
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            fault::disarm();
+        }
+    }
+    let _guard = Disarm;
+    fault::arm_panic("service-poisoned");
+
+    let poisoned_src = MV.replace("void mv(", "void poisoned(");
+    let mut poisoned = CompileRequest::inline("poisoned", poisoned_src);
+    poisoned.bindings = vec![("n".into(), 512), ("w".into(), 512)];
+
+    let engine = Engine::new(ServiceConfig {
+        jobs: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("engine builds");
+    let responses = engine.run_batch(vec![
+        mv_request("healthy-a"),
+        poisoned,
+        mv_request("healthy-b"),
+    ]);
+
+    assert_eq!(responses.len(), 3);
+    assert!(responses[0].ok(), "healthy-a: {:?}", responses[0].error);
+    assert!(responses[2].ok(), "healthy-b: {:?}", responses[2].error);
+    let err = responses[1].error.as_ref().expect("poisoned request fails");
+    assert_eq!(err.class, ErrorClass::Internal);
+    assert!(
+        err.detail.contains("injected fault"),
+        "contained panic payload surfaces: {}",
+        err.detail
+    );
+    assert_eq!(responses[1].exit_code(), 70);
+
+    // healthy-b repeats healthy-a's kernel, so exactly one of the two hit.
+    let reg = engine.metrics().to_json();
+    let global = |name: &str| {
+        reg.get("globals")
+            .and_then(|g| g.get(name))
+            .and_then(gpgpu::core::Json::as_f64)
+            .unwrap_or_else(|| panic!("missing global {name} in {}", reg.pretty()))
+    };
+    assert_eq!(global("service_requests"), 3.0);
+    assert_eq!(global("service_errors"), 1.0);
+    assert_eq!(global("service_ok"), 2.0);
+}
+
+#[test]
+fn deadlines_cover_time_spent_in_the_queue() {
+    let engine = engine();
+    let mut req = mv_request("late");
+    req.deadline_ms = Some(1);
+    let enqueued = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let resp = engine.handle(req, enqueued);
+    let err = resp.error.expect("expired request fails");
+    assert_eq!(err.class, ErrorClass::Deadline);
+    assert!(err.detail.contains("deadline of 1 ms"), "{}", err.detail);
+    assert_eq!(ErrorClass::Deadline.exit_code(), 69);
+}
+
+#[test]
+fn bad_requests_are_structured_and_never_counted_as_misses() {
+    let engine = engine();
+    let resp = engine.handle_line("definitely not json", 4);
+    let err = resp.error.as_ref().expect("malformed line fails");
+    assert_eq!(err.class, ErrorClass::BadRequest);
+    assert_eq!(resp.id, "4", "id defaults to the line position");
+
+    let mut unreadable = CompileRequest::inline("f", "");
+    unreadable.source = SourceSpec::File("/does/not/exist.cu".into());
+    assert!(unreadable.resolve_file().is_err());
+
+    let reg = engine.metrics().to_json();
+    let misses = reg
+        .get("globals")
+        .and_then(|g| g.get("service_cache_misses"))
+        .and_then(gpgpu::core::Json::as_f64);
+    assert_eq!(
+        misses,
+        Some(0.0),
+        "a bad request never reached the cache, so it must not book a miss"
+    );
+}
+
+#[test]
+fn requests_emit_service_trace_events() {
+    let engine = engine();
+    let _ = engine.handle(mv_request("traced"), Instant::now());
+    let _ = engine.handle(mv_request("traced-again"), Instant::now());
+    let events = engine.take_events();
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"service-request"), "{kinds:?}");
+    assert!(kinds.contains(&"service-cache"), "{kinds:?}");
+    let messages: Vec<String> = events.iter().map(|e| e.message()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains("miss")),
+        "first request misses: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("hit")),
+        "second request hits: {messages:?}"
+    );
+    // Draining leaves the stream empty for the next batch.
+    assert!(engine.take_events().is_empty());
+}

@@ -1,0 +1,293 @@
+//! End-to-end tests of the service front ends: `gpgpuc batch`,
+//! `gpgpuc serve`, and the multi-input compile path that shares the batch
+//! engine.
+
+use gpgpu::core::trace::parse_json;
+use gpgpu::core::Json;
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const MV: &str = "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) { \
+     float sum = 0.0f; \
+     for (int i = 0; i < w; i = i + 1) { sum += a[idx][i] * b[i]; } \
+     c[idx] = sum; }";
+
+fn gpgpuc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gpgpuc"))
+}
+
+/// Runs gpgpuc and returns (stdout, stderr, exit code).
+fn run_full(mut cmd: Command, stdin: &str) -> (String, String, i32) {
+    let mut child = cmd
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("gpgpuc spawns");
+    let _ = child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes());
+    let out = child.wait_with_output().expect("gpgpuc runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("gpgpuc not killed by signal"),
+    )
+}
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "gpgpu-service-cli-{label}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("temp dir creates");
+        TempDir(path)
+    }
+
+    fn file(&self, name: &str, contents: &str) -> std::path::PathBuf {
+        let path = self.0.join(name);
+        std::fs::write(&path, contents).expect("temp file writes");
+        path
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A manifest request line compiling the mv kernel under `name`/`id`.
+fn mv_line(id: &str, kernel_name: &str, n: i64) -> String {
+    let source = MV.replace("void mv(", &format!("void {kernel_name}("));
+    format!(
+        r#"{{"id": "{id}", "source": "{source}", "bindings": {{"n": {n}, "w": {n}}}}}"#
+    )
+}
+
+fn response_lines(stdout: &str) -> Vec<Json> {
+    stdout
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_json(l).unwrap_or_else(|e| panic!("bad NDJSON line `{l}`: {e}")))
+        .collect()
+}
+
+fn field<'a>(doc: &'a Json, name: &str) -> &'a Json {
+    doc.get(name)
+        .unwrap_or_else(|| panic!("missing `{name}` in {}", doc.compact()))
+}
+
+#[test]
+fn batch_preserves_manifest_order_and_aggregates_exit_codes() {
+    let dir = TempDir::new("order");
+    let manifest = dir.file(
+        "manifest.ndjson",
+        &format!(
+            "{}\n{}\nthis line is not json\n{}\n",
+            mv_line("big", "mva", 1024),
+            mv_line("small", "mvb", 128),
+            mv_line("medium", "mvc", 512),
+        ),
+    );
+
+    let mut cmd = gpgpuc();
+    cmd.args(["batch", manifest.to_str().expect("utf-8 path"), "--jobs", "4"]);
+    let (stdout, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 65, "bad-request dominates ok responses\n{stderr}");
+
+    let docs = response_lines(&stdout);
+    assert_eq!(docs.len(), 4, "one response per manifest line\n{stdout}");
+    let ids: Vec<&str> = docs
+        .iter()
+        .map(|d| field(d, "id").as_str().expect("id is a string"))
+        .collect();
+    // "2" is the malformed line's positional id.
+    assert_eq!(
+        ids,
+        ["big", "small", "2", "medium"],
+        "responses come back in manifest order regardless of completion order"
+    );
+    for (doc, want_ok) in docs.iter().zip([true, true, false, true]) {
+        assert_eq!(field(doc, "ok"), &Json::Bool(want_ok), "{}", doc.compact());
+    }
+    let class = field(&docs[2], "error")
+        .get("class")
+        .and_then(Json::as_str);
+    assert_eq!(class, Some("bad-request"));
+}
+
+#[test]
+fn warm_batch_run_is_all_cache_hits() {
+    let dir = TempDir::new("warm");
+    let manifest = dir.file(
+        "manifest.ndjson",
+        &format!("{}\n{}\n", mv_line("a", "mva", 512), mv_line("b", "mvb", 512)),
+    );
+    let cache = dir.path("cache");
+    let metrics = dir.path("metrics.json");
+    let args = |m: &std::path::Path| {
+        vec![
+            "batch".to_string(),
+            manifest.to_str().expect("utf-8").to_string(),
+            "--cache-dir".to_string(),
+            cache.to_str().expect("utf-8").to_string(),
+            "--metrics".to_string(),
+            m.to_str().expect("utf-8").to_string(),
+        ]
+    };
+
+    let mut cold = gpgpuc();
+    cold.args(args(&metrics));
+    let (_, stderr, code) = run_full(cold, "");
+    assert_eq!(code, 0, "{stderr}");
+
+    let mut warm = gpgpuc();
+    warm.args(args(&metrics));
+    let (stdout, stderr, code) = run_full(warm, "");
+    assert_eq!(code, 0, "{stderr}");
+    for doc in response_lines(&stdout) {
+        let cache = field(&doc, "cache").as_str().expect("cache is a string");
+        assert_ne!(cache, "miss", "warm run must hit: {}", doc.compact());
+    }
+
+    // The CI smoke job asserts the same invariant from this JSON document.
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let doc = parse_json(&text).expect("metrics JSON parses");
+    let global = |name: &str| {
+        doc.get("metrics")
+            .and_then(|m| m.get("globals"))
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("missing global {name} in {text}"))
+    };
+    assert_eq!(global("service_requests"), 2.0);
+    assert_eq!(global("service_cache_hits"), 2.0);
+    assert_eq!(global("service_cache_misses"), 0.0);
+}
+
+#[test]
+fn serve_answers_malformed_requests_with_structured_errors() {
+    let input = format!(
+        "{}\n{{\"id\": \"broken\"}}\nnot json at all\n{}\n",
+        mv_line("first", "mv", 256),
+        mv_line("again", "mv", 256),
+    );
+    let mut cmd = gpgpuc();
+    cmd.arg("serve");
+    let (stdout, stderr, code) = run_full(cmd, &input);
+    assert_eq!(code, 0, "serve never crashes on bad input\n{stderr}");
+
+    let docs = response_lines(&stdout);
+    assert_eq!(docs.len(), 4, "{stdout}");
+    assert_eq!(field(&docs[0], "ok"), &Json::Bool(true));
+    for (doc, want) in [(&docs[1], "source"), (&docs[2], "JSON")] {
+        assert_eq!(field(doc, "ok"), &Json::Bool(false));
+        let detail = field(doc, "error")
+            .get("detail")
+            .and_then(Json::as_str)
+            .expect("error detail");
+        assert!(detail.contains(want), "{}", doc.compact());
+        let class = field(doc, "error").get("class").and_then(Json::as_str);
+        assert_eq!(class, Some("bad-request"));
+    }
+    // The repeated kernel is served from the engine's in-memory cache.
+    assert_eq!(field(&docs[3], "ok"), &Json::Bool(true));
+    assert_eq!(field(&docs[3], "cache").as_str(), Some("memory"));
+}
+
+#[test]
+fn multi_input_compile_orders_output_and_takes_the_worst_exit() {
+    let dir = TempDir::new("multi");
+    let good_a = dir.file("a.cu", MV);
+    let good_b = dir.file("b.cu", &MV.replace("void mv(", "void mv2("));
+    let broken = dir.file("broken.cu", "__global__ void nope(");
+
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "--bind",
+        "n=512",
+        "--bind",
+        "w=512",
+        good_a.to_str().expect("utf-8"),
+        broken.to_str().expect("utf-8"),
+        good_b.to_str().expect("utf-8"),
+    ]);
+    let (stdout, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 65, "parse failure dominates\nstderr: {stderr}");
+
+    // Per-input headers appear in argument order.
+    let pos = |p: &std::path::Path| {
+        stdout
+            .find(&format!("==== {} ====", p.display()))
+            .unwrap_or_else(|| panic!("no header for {}\n{stdout}", p.display()))
+    };
+    assert!(pos(&good_a) < pos(&broken) && pos(&broken) < pos(&good_b));
+    assert!(stdout.contains("__global__ void mv("), "{stdout}");
+    assert!(stdout.contains("__global__ void mv2("), "{stdout}");
+    assert!(stderr.contains("parse"), "{stderr}");
+
+    // A missing input is EX_NOINPUT, and still the maximum wins.
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "--bind",
+        "n=512",
+        "--bind",
+        "w=512",
+        good_a.to_str().expect("utf-8"),
+        dir.path("missing.cu").to_str().expect("utf-8"),
+    ]);
+    let (_, _, code) = run_full(cmd, "");
+    assert_eq!(code, 66);
+}
+
+#[test]
+fn unknown_machine_names_the_known_set() {
+    let mut cmd = gpgpuc();
+    cmd.args(["--machine", "rtx5090", "-"]);
+    let (_, stderr, code) = run_full(cmd, MV);
+    assert_eq!(code, 64);
+    for name in ["GTX8800", "GTX280", "HD5870"] {
+        assert!(stderr.contains(name), "{stderr}");
+    }
+}
+
+#[test]
+fn injected_fault_poisons_only_its_own_batch_request() {
+    let dir = TempDir::new("fault");
+    let manifest = dir.file(
+        "manifest.ndjson",
+        &format!(
+            "{}\n{}\n{}\n",
+            mv_line("ok-a", "mva", 256),
+            mv_line("poisoned", "mvb", 256),
+            mv_line("ok-b", "mvc", 256),
+        ),
+    );
+
+    let mut cmd = gpgpuc();
+    cmd.args(["batch", manifest.to_str().expect("utf-8"), "--jobs", "2"])
+        .env("GPGPU_FAULT", "panic:service-mvb");
+    let (stdout, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 70, "a contained internal fault is EX_SOFTWARE\n{stderr}");
+
+    let docs = response_lines(&stdout);
+    assert_eq!(docs.len(), 3);
+    assert_eq!(field(&docs[0], "ok"), &Json::Bool(true), "{}", docs[0].compact());
+    assert_eq!(field(&docs[2], "ok"), &Json::Bool(true), "{}", docs[2].compact());
+    let err = field(&docs[1], "error");
+    assert_eq!(err.get("class").and_then(Json::as_str), Some("internal"));
+    let detail = err.get("detail").and_then(Json::as_str).expect("detail");
+    assert!(detail.contains("injected fault"), "{detail}");
+}
