@@ -34,6 +34,7 @@ use crate::sharing::{analyze_sharing, SharingReport};
 use gpgpu_ast::Kernel;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Resolved array layouts, as cached by the manager.
 pub type LayoutMap = HashMap<String, ArrayLayout>;
@@ -148,6 +149,7 @@ pub struct AnalysisManager {
     resources: Option<Slot<Arc<ResourceEstimate>>>,
     stats: CacheStats,
     hit_log: Vec<(&'static str, u64)>,
+    compute_log: Vec<(&'static str, Instant, Instant)>,
 }
 
 impl AnalysisManager {
@@ -170,6 +172,13 @@ impl AnalysisManager {
     /// drain — the pass manager turns these into trace events.
     pub fn drain_hits(&mut self) -> Vec<(&'static str, u64)> {
         std::mem::take(&mut self.hit_log)
+    }
+
+    /// Drains the `(analysis, started, finished)` recomputation log — the
+    /// pass manager turns these into profiler spans under the pass that
+    /// triggered the recompute. Cache hits never appear here.
+    pub fn drain_computes(&mut self) -> Vec<(&'static str, Instant, Instant)> {
+        std::mem::take(&mut self.compute_log)
     }
 
     /// Aligns the manager with the kernel's version counter: any cached
@@ -242,7 +251,9 @@ impl AnalysisManager {
             }
         }
         self.stats.misses += 1;
+        let started = Instant::now();
         let value = resolve_layouts_padded(kernel, bindings).map(Arc::new);
+        self.compute_log.push(("layouts", started, Instant::now()));
         self.layouts = Some(Slot {
             version: self.version,
             value: value.clone(),
@@ -270,7 +281,9 @@ impl AnalysisManager {
         }
         let layouts = self.layouts(kernel, bindings);
         self.stats.misses += 1;
+        let started = Instant::now();
         let value = layouts.map(|l| Arc::new(collect_accesses(kernel, &l, bindings)));
+        self.compute_log.push(("accesses", started, Instant::now()));
         self.accesses = Some(Slot {
             version: self.version,
             value: value.clone(),
@@ -301,7 +314,9 @@ impl AnalysisManager {
         }
         let accesses = self.accesses(kernel, bindings);
         self.stats.misses += 1;
+        let started = Instant::now();
         let value = accesses.map(|a| Arc::new(analyze_sharing(&a, block_x, block_y)));
+        self.compute_log.push(("sharing", started, Instant::now()));
         self.sharing = Some(Slot {
             version: self.version,
             value: ((block_x, block_y), value.clone()),
@@ -319,7 +334,9 @@ impl AnalysisManager {
             }
         }
         self.stats.misses += 1;
+        let started = Instant::now();
         let value = Arc::new(estimate_resources(kernel));
+        self.compute_log.push(("resources", started, Instant::now()));
         self.resources = Some(Slot {
             version: self.version,
             value: value.clone(),
@@ -361,6 +378,20 @@ mod tests {
         assert_eq!(am.stats().hits, 1);
         assert_eq!(am.drain_hits(), vec![("accesses", 0)]);
         assert!(am.drain_hits().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn recomputes_are_logged_with_timing_but_hits_are_not() {
+        let (k, b) = mv();
+        let mut am = AnalysisManager::new();
+        let _ = am.accesses(&k, &b);
+        let computed: Vec<&str> = am.drain_computes().iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(computed, vec!["layouts", "accesses"]);
+        let _ = am.accesses(&k, &b); // cache hit
+        assert!(am.drain_computes().is_empty());
+        for (_, started, finished) in am.drain_computes() {
+            assert!(finished >= started);
+        }
     }
 
     #[test]

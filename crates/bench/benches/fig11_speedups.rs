@@ -7,7 +7,7 @@
 //! smaller gains on the newer part — are the reproduction targets.
 //!
 //! Besides the console table, the run writes `BENCH_fig11.json`
-//! (`gpgpu-trace/v1` schema) so results can be diffed across runs.
+//! (`gpgpu-trace/v2` schema) so results can be diffed across runs.
 
 use gpgpu_bench::harness::{banner, geomean};
 use gpgpu_core::{compile, naive_compiled, CompileOptions, Json};

@@ -8,7 +8,7 @@
 //! spent on merging), and camping elimination matters more on the GTX 280.
 //!
 //! Besides the console table, the run writes `BENCH_fig12.json`
-//! (`gpgpu-trace/v1` schema) so results can be diffed across runs.
+//! (`gpgpu-trace/v2` schema) so results can be diffed across runs.
 
 use gpgpu_bench::harness::{banner, geomean};
 use gpgpu_core::{compile, CompileOptions, Json, StageSet};

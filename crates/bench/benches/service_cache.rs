@@ -8,7 +8,9 @@
 //! acceptance target is a ≥10× warm-over-cold speedup.
 //!
 //! Besides the console table, the run writes `BENCH_service.json`
-//! (`gpgpu-trace/v1` schema) so results can be diffed across runs.
+//! (`gpgpu-trace/v2` schema, including the engine's live telemetry
+//! snapshot with per-class latency percentiles) so results can be diffed
+//! across runs.
 
 use gpgpu_bench::harness::banner;
 use gpgpu_core::Json;
@@ -100,6 +102,7 @@ fn main() {
         ("warm_ms", Json::num(warm_ms)),
         ("speedup", Json::num(speedup)),
         ("kernels", Json::Arr(rows)),
+        ("stats", engine.stats_json()),
     ]);
     match std::fs::write("BENCH_service.json", doc.pretty()) {
         Ok(()) => println!("\nwrote BENCH_service.json"),

@@ -15,7 +15,7 @@ use crate::pipeline::{CompileError, CompileOptions};
 use gpgpu_analysis::{AnalysisManager, CacheStats};
 use gpgpu_ast::LaunchConfig;
 use gpgpu_sim::{ExecError, PerfEstimate, PerfError, PerfOptions};
-use gpgpu_trace::{CounterSnapshot, MetricsRegistry, TraceEvent};
+use gpgpu_trace::{CounterSnapshot, MetricsRegistry, SpanId, TraceEvent};
 use gpgpu_transform::{
     CampingPass, MergeAxis, PassError, PipelineState, PrefetchPass, ThreadBlockMergePass,
     ThreadMergePass,
@@ -229,18 +229,26 @@ pub fn explore(
         }
     }
 
+    // The explore span covers the whole parallel search; candidate spans on
+    // the worker threads parent to it across the thread boundary.
+    let explore_span = coalesced
+        .profiler
+        .span_under(coalesced.profile_span, "explore", "explore");
+    let explore_span_id = explore_span.id();
+
     // The paper test-runs its candidate kernels independently; we evaluate
     // them on worker threads the same way. Each evaluation runs under
     // `catch_unwind` so one pathological candidate cannot take down the
     // search: a panicked slot is retried once (transient poisoning), then
     // recorded as a contained fault.
-    let results: Vec<Result<EvaluatedCandidate, CandidateFailure>> = {
+    let results: Vec<(Result<EvaluatedCandidate, CandidateFailure>, u64)> = {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .min(combos.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<EvaluatedCandidate, CandidateFailure>>> = Vec::new();
+        let mut slots: Vec<Option<(Result<EvaluatedCandidate, CandidateFailure>, u64)>> =
+            Vec::new();
         slots.resize_with(combos.len(), || None);
         let results = std::sync::Mutex::new(slots);
         std::thread::scope(|scope| {
@@ -250,12 +258,21 @@ pub fn explore(
                     if i >= combos.len() {
                         return;
                     }
-                    let (bx, ty, tx) = combos[i];
-                    let outcome = contained_evaluate(coalesced, am, domain, opts, bx, ty, tx);
+                    let started = Instant::now();
+                    let outcome = contained_evaluate(
+                        coalesced,
+                        am,
+                        domain,
+                        opts,
+                        Some(explore_span_id),
+                        combos[i],
+                    );
+                    let micros = started.elapsed().as_micros() as u64;
                     // A panicking sibling may have poisoned the mutex while
                     // holding no interesting state — the slots are plain
                     // data, so recover the guard and keep going.
-                    results.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(outcome);
+                    results.lock().unwrap_or_else(|p| p.into_inner())[i] =
+                        Some((outcome, micros));
                 });
             }
         });
@@ -267,14 +284,18 @@ pub fn explore(
                 // A slot can only be empty if a worker died outside the
                 // catch_unwind envelope; treat it as a contained fault.
                 r.unwrap_or_else(|| {
-                    Err(CandidateFailure::Fault(
-                        FaultReason::Panic("worker died before reporting".into()),
-                        false,
-                    ))
+                    (
+                        Err(CandidateFailure::Fault(
+                            FaultReason::Panic("worker died before reporting".into()),
+                            false,
+                        )),
+                        0,
+                    )
                 })
             })
             .collect()
     };
+    drop(explore_span);
 
     let mut best: Option<Explored> = None;
     let mut evaluated = Vec::new();
@@ -284,12 +305,17 @@ pub fn explore(
     let mut fault_count = 0usize;
     let mut last_fault: Option<String> = None;
     let mut cache = CacheStats::default();
-    for (&(bx, ty, tx), outcome) in combos.iter().zip(results) {
+    for (&(bx, ty, tx), (outcome, micros)) in combos.iter().zip(results) {
+        metrics.record_duration("candidate_micros", micros);
         match outcome {
             Ok(ev) => {
                 cache.hits += ev.cache.hits;
                 cache.misses += ev.cache.misses;
                 cache.invalidations += ev.cache.invalidations;
+                // Simulator phase attribution: phantom-trace vs analytical
+                // model wall time per candidate.
+                metrics.record_duration("estimate_trace_micros", ev.estimate.trace_micros);
+                metrics.record_duration("estimate_model_micros", ev.estimate.model_micros);
                 metrics.record(ev.candidate.label(), ev.estimate.counter_snapshot());
                 events.push(TraceEvent::CandidateEvaluated {
                     label: ev.candidate.label(),
@@ -411,13 +437,12 @@ fn contained_evaluate(
     am: &AnalysisManager,
     domain: &Domain,
     opts: &CompileOptions,
-    bx: i64,
-    ty: i64,
-    tx: i64,
+    explore_span: Option<SpanId>,
+    merges: (i64, i64, i64),
 ) -> Result<EvaluatedCandidate, CandidateFailure> {
     let attempt = || {
         catch_unwind(AssertUnwindSafe(|| {
-            evaluate_candidate(coalesced, am, domain, opts, bx, ty, tx)
+            evaluate_candidate(coalesced, am, domain, opts, explore_span, merges)
         }))
     };
     match attempt() {
@@ -447,9 +472,8 @@ fn evaluate_candidate(
     am: &AnalysisManager,
     domain: &Domain,
     opts: &CompileOptions,
-    bx: i64,
-    ty: i64,
-    tx: i64,
+    explore_span: Option<SpanId>,
+    (bx, ty, tx): (i64, i64, i64),
 ) -> Result<EvaluatedCandidate, CandidateFailure> {
     let label = Candidate {
         block_merge_x: bx,
@@ -459,12 +483,18 @@ fn evaluate_candidate(
         time_ms: 0.0,
     }
     .label();
+    // Opened before fault injection so an injected panic unwinds through
+    // the guard and the span table stays balanced.
+    let cand_span = coalesced
+        .profiler
+        .span_under(explore_span, format!("candidate:{label}"), "candidate");
     fault::maybe_panic(&label);
     let rejected = CandidateFailure::Rejected;
     // Branch from the shared coalesced snapshot: the kernel is shared
     // copy-on-write and the analysis cache is inherited, so the layouts
     // resolved during coalescing are never recomputed per candidate.
     let mut st = coalesced.branch();
+    st.profile_span = Some(cand_span.id());
     let mut pm = PassManager::with_manager(opts.stages, am.clone());
     let inherited = pm.am.stats();
     if bx > 1 {
@@ -507,6 +537,7 @@ fn evaluate_candidate(
         .am
         .layouts(&st.kernel, &st.bindings)
         .map_err(|e| rejected(e.to_string()))?;
+    let estimate_span = cand_span.child("estimate", "estimate");
     let estimate = gpgpu_sim::estimate_prepared(
         &st.kernel,
         &cfg,
@@ -531,6 +562,7 @@ fn evaluate_candidate(
         PerfError::DoesNotFit(msg) => rejected(msg),
         other => rejected(other.to_string()),
     })?;
+    drop(estimate_span);
     let candidate = Candidate {
         block_merge_x: bx,
         thread_merge_y: ty,

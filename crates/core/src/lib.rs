@@ -64,5 +64,6 @@ pub use verify::{
 // harnesses, tests) need not depend on `gpgpu-trace` directly.
 pub use gpgpu_trace as trace;
 pub use gpgpu_trace::{
-    AstDelta, CounterSnapshot, Json, MetricsRegistry, TraceEvent, TraceSink,
+    AstDelta, CounterSnapshot, Histogram, Json, MetricsRegistry, Profiler, SpanGuard, SpanId,
+    SpanRecord, TraceEvent, TraceSink,
 };

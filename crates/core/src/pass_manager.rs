@@ -73,13 +73,40 @@ impl PassManager {
         self.am.sync(state.version());
         let statements_before = count_stmts(&state.kernel.body) as u32;
         let version_before = state.version();
+        // The guard closes in Drop, so a panic unwinding out of the pass
+        // (contained below, or propagating under fault injection) still
+        // leaves the span table balanced.
+        let pass_span =
+            state
+                .profiler
+                .span_under(state.profile_span, format!("pass:{name}"), "pass");
         let start = Instant::now();
         let outcome = {
             let am = &mut self.am;
             catch_unwind(AssertUnwindSafe(|| pass.run(state, am)))
-                .unwrap_or_else(|payload| Err(PassError::fault(name, panic_message(payload))))?
+                .unwrap_or_else(|payload| Err(PassError::fault(name, panic_message(payload))))
         };
         let micros = start.elapsed().as_micros() as u64;
+        // Attribute analysis recomputations (including any a failing pass
+        // triggered before erroring) to this pass's span.
+        let sweep = |state: &mut PipelineState, am: &mut AnalysisManager| {
+            for (analysis, started, finished) in am.drain_computes() {
+                state.profiler.record_span_between(
+                    Some(pass_span.id()),
+                    format!("analysis:{analysis}"),
+                    "analysis",
+                    started,
+                    finished,
+                );
+            }
+        };
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                sweep(state, &mut self.am);
+                return Err(e);
+            }
+        };
         if state.version() != version_before {
             let dropped = self.am.retain_preserved(pass.preserved(), state.version());
             if !dropped.is_empty() {
@@ -93,6 +120,8 @@ impl PassManager {
         for (analysis, version) in self.am.drain_hits() {
             state.emit(TraceEvent::AnalysisCacheHit { analysis, version });
         }
+        sweep(state, &mut self.am);
+        drop(pass_span);
         state.emit(TraceEvent::PassCompleted {
             pass: name,
             micros,

@@ -8,7 +8,7 @@ use crate::pass_manager::PassManager;
 use gpgpu_analysis::{ArrayLayout, Bindings};
 use gpgpu_ast::{print_kernel, AccessSpans, Kernel, LaunchConfig, PrintOptions, ScalarType};
 use gpgpu_sim::{MachineDesc, PerfEstimate, PerfOptions};
-use gpgpu_trace::{Json, MetricsRegistry, TraceEvent, TraceSink};
+use gpgpu_trace::{Json, MetricsRegistry, Profiler, SpanId, TraceEvent, TraceSink};
 use gpgpu_transform::{
     reduction, AmdVectorizePass, CoalescePass, PassError, ReductionPass, PipelineState,
     VectorizePass,
@@ -124,6 +124,16 @@ pub struct CompileOptions {
     /// be replayed exactly (`gpgpuc --verify-seed`). Seed 0 is the
     /// historical default stream.
     pub verify_seed: u64,
+    /// Hierarchical span profiler the compilation records into. Callers
+    /// that compile several kernels (the batch service, `gpgpuc profile`)
+    /// share one profiler across invocations; the default is a fresh one
+    /// per options value.
+    pub profiler: Profiler,
+    /// Span the compilation's root span is parented under, when the caller
+    /// already opened one in [`CompileOptions::profiler`]'s table (the
+    /// service's per-request `compile` stage span). `None` makes the
+    /// compilation a root in the table.
+    pub profile_parent: Option<SpanId>,
 }
 
 impl CompileOptions {
@@ -137,6 +147,8 @@ impl CompileOptions {
             sample_blocks: gpgpu_sim::timing::DEFAULT_SAMPLE_BLOCKS,
             spans: AccessSpans::new(),
             verify_seed: 0,
+            profiler: Profiler::new(),
+            profile_parent: None,
         }
     }
 
@@ -163,6 +175,19 @@ impl CompileOptions {
     /// [`CompileOptions::verify_seed`]).
     pub fn with_verify_seed(mut self, seed: u64) -> CompileOptions {
         self.verify_seed = seed;
+        self
+    }
+
+    /// Shares an existing profiler (span table) with this compilation.
+    pub fn with_profiler(mut self, profiler: Profiler) -> CompileOptions {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Parents the compilation's root span under `parent` (a span in the
+    /// shared profiler's table).
+    pub fn under_span(mut self, parent: SpanId) -> CompileOptions {
+        self.profile_parent = Some(parent);
         self
     }
 }
@@ -205,6 +230,10 @@ pub struct CompiledKernel {
     /// Set when the optimizing pipeline failed and [`compile`] fell back to
     /// the naive kernel; `None` for a fully optimized result.
     pub degraded: Option<DegradedReason>,
+    /// The span profiler the compilation recorded into (a handle onto the
+    /// table shared with [`CompileOptions::profiler`]). Feeds the
+    /// `--profile` / `--profile-chrome` exporters and `gpgpuc profile`.
+    pub profiler: Profiler,
 }
 
 impl CompiledKernel {
@@ -219,9 +248,10 @@ impl CompiledKernel {
         self.trace.render_log()
     }
 
-    /// Builds the complete `gpgpu-trace/v1` JSON document for this
+    /// Builds the complete `gpgpu-trace/v2` JSON document for this
     /// compilation: kernel/machine identity, every trace event, per-pass
-    /// timings, per-candidate counter snapshots, and the final estimate.
+    /// timings, per-candidate counter snapshots, latency histograms,
+    /// profiler spans, and the final estimate.
     pub fn trace_json(&self, machine: &str) -> Json {
         let kernel = self
             .launches
@@ -248,6 +278,7 @@ impl CompiledKernel {
             ),
             ("events", self.trace.to_json()),
             ("metrics", self.metrics.to_json()),
+            ("spans", self.profiler.to_json()),
             (
                 "per_launch",
                 Json::Arr(
@@ -341,8 +372,17 @@ fn pass_failure(e: PassError) -> CompileError {
 /// impossible — the kernel falls outside the supported naive shape
 /// (paper §7 discusses the compiler's limits).
 pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, CompileError> {
+    // The root span covers the whole compilation, fallback included; its
+    // guard closes on every exit path (the unwind out of
+    // `compile_optimized` is contained below, so the guard lives here).
+    let root = opts.profiler.span_under(
+        opts.profile_parent,
+        format!("compile:{}", naive.name),
+        "compile",
+    );
+    let root_id = root.id();
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        compile_optimized(naive, opts)
+        compile_optimized(naive, opts, Some(root_id))
     }));
     let primary = match attempt {
         Ok(Ok(compiled)) => return Ok(compiled),
@@ -358,7 +398,8 @@ pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, 
         }
         CompileError::Perf(msg) => DegradedReason::PassFailure(msg.clone()),
     };
-    match naive_compiled(naive, opts) {
+    let fallback_span = root.child("naive-fallback", "compile");
+    match naive_compiled_under(naive, opts, Some(fallback_span.id())) {
         Ok(mut fallback) => {
             fallback.trace.emit(TraceEvent::Degraded {
                 reason: reason.slug().to_string(),
@@ -372,16 +413,28 @@ pub fn compile(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, 
     }
 }
 
+/// Folds the per-pass and per-candidate wall-clock durations recorded in
+/// the trace into the registry's latency histograms.
+fn record_duration_histograms(metrics: &mut MetricsRegistry, trace: &TraceSink) {
+    for event in trace.events() {
+        if let TraceEvent::PassCompleted { micros, .. } = event {
+            metrics.record_duration("pass_micros", *micros);
+        }
+    }
+}
+
 /// The optimizing pipeline proper (no fallback). Extracted from
 /// [`compile`] so its failures and panics can be contained uniformly.
 fn compile_optimized(
     naive: &Kernel,
     opts: &CompileOptions,
+    profile_span: Option<SpanId>,
 ) -> Result<CompiledKernel, CompileError> {
     fault::maybe_panic("pipeline");
     let domain = infer_domain(naive, &opts.bindings).ok_or(CompileError::NoDomain)?;
     let mut state = PipelineState::new(naive.clone(), opts.bindings.clone())
-        .with_access_spans(opts.spans.clone());
+        .with_access_spans(opts.spans.clone())
+        .with_profiler(opts.profiler.clone(), profile_span);
     let mut pm = PassManager::new(opts.stages);
     pm.run(&mut state, &mut VectorizePass).map_err(pass_failure)?;
     // On AMD/ATI parts the compiler additionally widens element-wise
@@ -407,6 +460,8 @@ fn compile_optimized(
     // `explored.events`.
     let mut trace = state.trace;
     trace.extend(explored.events);
+    let mut metrics = explored.metrics;
+    record_duration_histograms(&mut metrics, &trace);
     Ok(CompiledKernel {
         launches: vec![KernelLaunch {
             kernel: explored.state.kernel.as_ref().clone(),
@@ -416,20 +471,32 @@ fn compile_optimized(
         per_launch: vec![estimate.clone()],
         estimate,
         trace,
-        metrics: explored.metrics,
+        metrics,
         source,
         chosen: explored.chosen,
         evaluated: explored.evaluated,
         degraded: None,
+        profiler: opts.profiler.clone(),
     })
 }
 
 /// Wraps the naive kernel (no optimization) with a reasonable launch — the
 /// baseline of every speedup figure.
 pub fn naive_compiled(naive: &Kernel, opts: &CompileOptions) -> Result<CompiledKernel, CompileError> {
+    naive_compiled_under(naive, opts, None)
+}
+
+/// [`naive_compiled`], with the resulting spans parented under an existing
+/// profiler span (the degraded-fallback path in [`compile`]).
+fn naive_compiled_under(
+    naive: &Kernel,
+    opts: &CompileOptions,
+    profile_span: Option<SpanId>,
+) -> Result<CompiledKernel, CompileError> {
     let domain = infer_domain(naive, &opts.bindings).ok_or(CompileError::NoDomain)?;
     let state = PipelineState::new(naive.clone(), opts.bindings.clone())
-        .with_access_spans(opts.spans.clone());
+        .with_access_spans(opts.spans.clone())
+        .with_profiler(opts.profiler.clone(), profile_span);
     naive_state_compiled(state, domain, opts)
 }
 
@@ -457,12 +524,17 @@ fn naive_state_compiled(
     let cfg = launch_for(&st, &domain).ok_or_else(|| {
         CompileError::NoValidConfiguration(format!("domain {domain} does not tile"))
     })?;
-    let estimate = estimate_launch(&st.kernel, &cfg, &st.bindings, opts)
-        .map_err(CompileError::Perf)?;
+    let estimate = {
+        let _span = st
+            .profiler
+            .span_under(st.profile_span, "estimate:naive", "estimate");
+        estimate_launch(&st.kernel, &cfg, &st.bindings, opts).map_err(CompileError::Perf)?
+    };
     let source = print_kernel(&st.kernel, PrintOptions::default());
     let mut metrics = MetricsRegistry::new();
     metrics.record("base", estimate.counter_snapshot());
     metrics.set_chosen("base");
+    record_duration_histograms(&mut metrics, &st.trace);
     Ok(CompiledKernel {
         launches: vec![KernelLaunch {
             kernel: st.kernel.as_ref().clone(),
@@ -483,6 +555,7 @@ fn naive_state_compiled(
         },
         evaluated: Vec::new(),
         degraded: None,
+        profiler: st.profiler.clone(),
     })
 }
 
@@ -502,6 +575,14 @@ fn compile_reduction(
     let mut candidates: Vec<Option<i64>> = vec![None];
     candidates.extend(opts.explore.thread_merge_y.iter().map(|&e| Some(e)));
     for elems in candidates {
+        let _cand_span = state.profiler.span_under(
+            state.profile_span,
+            match elems {
+                Some(e) => format!("candidate:red{e}"),
+                None => "candidate:red-auto".to_string(),
+            },
+            "candidate",
+        );
         // Each degree probes on a cheap copy-on-write branch; the branch's
         // trace is a suffix merged back only for the winner.
         let mut scratch = state.branch();
@@ -609,6 +690,7 @@ fn compile_reduction(
                 chosen: cand,
                 evaluated: Vec::new(),
                 degraded: None,
+                profiler: opts.profiler.clone(),
             };
             best = Some((compiled, time));
         }
@@ -628,6 +710,7 @@ fn compile_reduction(
                 reduction_elems: chosen.reduction_elems,
                 time_ms: chosen.time_ms,
             });
+            record_duration_histograms(&mut metrics, &compiled.trace);
             compiled.metrics = metrics;
             Ok(compiled)
         }

@@ -184,6 +184,12 @@ fn run_verify(
     sanitize: bool,
 ) -> Result<(), VerifyError> {
     let outputs = naive.output_arrays();
+    // Verification has its own root span (it runs after `compile` returns);
+    // the phases below are its children.
+    let verify_span = opts.profiler.span(
+        if sanitize { "verify:sanitized" } else { "verify" },
+        "verify",
+    );
     let exec_opts = ExecOptions {
         sanitize,
         spans: opts.spans.clone(),
@@ -215,6 +221,7 @@ fn run_verify(
     }
 
     // Reference run.
+    let ref_span = verify_span.child("run:naive", "verify");
     let reference = naive_compiled(naive, opts).map_err(|e| VerifyError::Setup(e.to_string()))?;
     let mut ref_dev = Device::new(opts.machine.clone());
     for p in naive.array_params() {
@@ -226,6 +233,8 @@ fn run_verify(
         launch(&l.kernel, &l.launch, &opts.bindings, &mut ref_dev, &exec_opts)
             .map_err(|e| map_exec_err("naive", e))?;
     }
+    drop(ref_span);
+    let opt_span = verify_span.child("run:optimized", "verify");
 
     // Candidate run: allocate the union of arrays across the launches.
     let mut cand_dev = Device::new(opts.machine.clone());
@@ -259,6 +268,8 @@ fn run_verify(
         launch(&l.kernel, &l.launch, &opts.bindings, &mut cand_dev, &exec_opts)
             .map_err(|e| map_exec_err(&format!("optimized `{}`", l.kernel.name), e))?;
     }
+    drop(opt_span);
+    let _compare_span = verify_span.child("compare", "verify");
 
     // Compare the declared outputs.
     for out in &outputs {

@@ -15,7 +15,9 @@ use crate::queue::BoundedQueue;
 use crate::request::{
     CacheDisposition, CompileRequest, CompileResponse, ErrorClass,
 };
-use gpgpu_core::{compile, CompileError, CompileOptions, MetricsRegistry, TraceEvent};
+use gpgpu_core::{
+    compile, CompileError, CompileOptions, Json, MetricsRegistry, Profiler, SpanId, TraceEvent,
+};
 use gpgpu_sim::MachineDesc;
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -72,6 +74,18 @@ pub struct Engine {
     cache: Mutex<CompileCache>,
     counters: Mutex<Counters>,
     events: Mutex<Vec<TraceEvent>>,
+    /// When the engine was built — the `stats` uptime epoch.
+    started: Instant,
+    /// Span table shared with every compile this engine runs: request
+    /// stages (`queue-wait` → `cache-probe` → `compile` → `respond`) nest
+    /// the compiler's own pass/candidate spans. Spans accumulate for the
+    /// engine's lifetime (self-profile semantics), which is what the batch
+    /// attribution table and `--profile` exports read.
+    profiler: Profiler,
+    /// Live latency histograms (`service_latency_*` per outcome class,
+    /// `service_stage_*` per request stage), merged into [`Engine::metrics`]
+    /// snapshots and the `stats` document.
+    hists: Mutex<MetricsRegistry>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -92,6 +106,9 @@ impl Engine {
             cache: Mutex::new(cache),
             counters: Mutex::new(Counters::default()),
             events: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            profiler: Profiler::new(),
+            hists: Mutex::new(MetricsRegistry::new()),
         })
     }
 
@@ -133,7 +150,88 @@ impl Engine {
         ] {
             reg.push_global(name, value as f64);
         }
+        for (name, hist) in lock(&self.hists).histograms() {
+            reg.merge_histogram(name, hist);
+        }
         reg
+    }
+
+    /// The span table every request stage and contained compile records
+    /// into — `gpgpuc batch` reads it for the per-stage attribution table
+    /// and the `--profile` exporters.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    fn record_duration(&self, name: &str, micros: u64) {
+        lock(&self.hists).record_duration(name, micros);
+    }
+
+    /// The live telemetry snapshot answering a `{"stats": true}` control
+    /// request on the serve loop: uptime, request counts, queue
+    /// capacity/high-water, cache hit ratio, and per-class / per-stage
+    /// latency histograms with percentile estimates.
+    pub fn stats_json(&self) -> Json {
+        let c = lock(&self.counters).clone();
+        let hits = c.memory_hits + c.disk_hits;
+        let probes = hits + c.misses;
+        let hit_ratio = if probes == 0 {
+            0.0
+        } else {
+            hits as f64 / probes as f64
+        };
+        let hists = lock(&self.hists);
+        let mut latency: Vec<(String, Json)> = Vec::new();
+        let mut stages: Vec<(String, Json)> = Vec::new();
+        for (name, h) in hists.histograms() {
+            if let Some(class) = name.strip_prefix("service_latency_") {
+                latency.push((class.to_string(), h.to_json()));
+            } else if let Some(stage) = name.strip_prefix("service_stage_") {
+                stages.push((stage.to_string(), h.to_json()));
+            }
+        }
+        Json::obj([
+            ("schema", Json::str(gpgpu_core::trace::SCHEMA)),
+            (
+                "stats",
+                Json::obj([
+                    (
+                        "uptime_us",
+                        Json::count(self.started.elapsed().as_micros() as u64),
+                    ),
+                    (
+                        "requests",
+                        Json::obj([
+                            ("total", Json::count(c.requests)),
+                            ("ok", Json::count(c.ok)),
+                            ("degraded", Json::count(c.degraded)),
+                            ("errors", Json::count(c.errors)),
+                        ]),
+                    ),
+                    (
+                        "queue",
+                        Json::obj([
+                            ("capacity", Json::count(self.config.queue_capacity as u64)),
+                            ("high_water", Json::count(c.queue_max_depth)),
+                        ]),
+                    ),
+                    (
+                        "cache",
+                        Json::obj([
+                            ("hits", Json::count(hits)),
+                            ("memory_hits", Json::count(c.memory_hits)),
+                            ("disk_hits", Json::count(c.disk_hits)),
+                            ("misses", Json::count(c.misses)),
+                            ("evictions", Json::count(c.evictions)),
+                            ("disk_errors", Json::count(c.disk_errors)),
+                            ("hit_ratio", Json::Num(hit_ratio)),
+                        ]),
+                    ),
+                    ("latency", Json::Obj(latency)),
+                    ("stages", Json::Obj(stages)),
+                ]),
+            ),
+        ])
     }
 
     /// Parses and serves one NDJSON request line — the `serve` loop's unit
@@ -149,13 +247,13 @@ impl Engine {
                     ErrorClass::BadRequest,
                     detail,
                 );
-                self.finish(&resp, "?", started);
+                self.finish(&resp, "?", started, None);
                 return resp;
             }
         };
         if let Err(detail) = req.resolve_file() {
             let resp = CompileResponse::failure(req.id, ErrorClass::BadRequest, detail);
-            self.finish(&resp, "?", started);
+            self.finish(&resp, "?", started, None);
             return resp;
         }
         self.handle(req, started)
@@ -164,6 +262,17 @@ impl Engine {
     /// Serves one parsed request. `started` is when the request entered
     /// the system (enqueue time for batches), so deadlines cover queueing.
     pub fn handle(&self, req: CompileRequest, started: Instant) -> CompileResponse {
+        // Book the time between enqueue and this worker picking the
+        // request up — the queue-wait stage.
+        let entered = Instant::now();
+        self.profiler
+            .record_span_between(None, "queue-wait", "service", started, entered);
+        self.record_duration(
+            "service_stage_queue_wait",
+            entered.saturating_duration_since(started).as_micros() as u64,
+        );
+        let req_span = self.profiler.span("request", "service");
+        let parent = Some(req_span.id());
         let deadline_ms = req.deadline_ms.or(self.config.default_deadline_ms);
         if let Some(limit) = deadline_ms {
             let waited = started.elapsed().as_millis() as u64;
@@ -173,7 +282,7 @@ impl Engine {
                     ErrorClass::Deadline,
                     format!("deadline of {limit} ms elapsed after {waited} ms in queue"),
                 );
-                self.finish(&resp, "?", started);
+                self.finish(&resp, "?", started, parent);
                 return resp;
             }
         }
@@ -183,7 +292,7 @@ impl Engine {
                 ErrorClass::BadRequest,
                 "request still points at an unresolved file",
             );
-            self.finish(&resp, "?", started);
+            self.finish(&resp, "?", started, parent);
             return resp;
         };
         let Some(machine) = MachineDesc::by_name(&req.machine) else {
@@ -196,7 +305,7 @@ impl Engine {
                     MachineDesc::KNOWN_NAMES.join(", ")
                 ),
             );
-            self.finish(&resp, "?", started);
+            self.finish(&resp, "?", started, parent);
             return resp;
         };
         let kernel = match gpgpu_ast::parse_kernel(source) {
@@ -204,7 +313,7 @@ impl Engine {
             Err(e) => {
                 let resp =
                     CompileResponse::failure(req.id, ErrorClass::Parse, e.to_string());
-                self.finish(&resp, "?", started);
+                self.finish(&resp, "?", started, parent);
                 return resp;
             }
         };
@@ -212,14 +321,22 @@ impl Engine {
         let mut opts = CompileOptions::new(machine)
             .with_stages(req.stages)
             .with_verify_seed(req.verify_seed)
-            .with_source(source);
+            .with_source(source)
+            .with_profiler(self.profiler.clone());
         for (name, value) in &req.bindings {
             opts = opts.bind(name, *value);
         }
-        let fingerprint = opts.fingerprint(&kernel);
 
         // Cache probe.
+        let probe_span = self.profiler.span_under(parent, "cache-probe", "service");
+        let probe_started = Instant::now();
+        let fingerprint = opts.fingerprint(&kernel);
         let probe = lock(&self.cache).get(&fingerprint);
+        drop(probe_span);
+        self.record_duration(
+            "service_stage_cache_probe",
+            probe_started.elapsed().as_micros() as u64,
+        );
         if let Some(err) = &probe.disk_error {
             self.note_disk_error(&fingerprint, err);
         }
@@ -247,17 +364,28 @@ impl Engine {
                 cache: disposition,
                 micros: started.elapsed().as_micros() as u64,
             };
-            self.finish(&resp, &kernel_name, started);
+            self.finish(&resp, &kernel_name, started, parent);
             return resp;
         }
 
         // Cold compile, contained: a panic here — including the injected
         // per-request `service-<kernel>` fault site — poisons only this
-        // request.
+        // request. The stage span is opened before the `catch_unwind` so
+        // an unwinding fault still closes it (guard drop), and the
+        // compiler's own spans nest under it because `opts` shares the
+        // engine's profiler.
+        let compile_span = self.profiler.span_under(parent, "compile", "service");
+        let opts = opts.under_span(compile_span.id());
+        let compile_started = Instant::now();
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             gpgpu_core::fault::maybe_panic(&format!("service-{kernel_name}"));
             compile(&kernel, &opts)
         }));
+        drop(compile_span);
+        self.record_duration(
+            "service_stage_compile",
+            compile_started.elapsed().as_micros() as u64,
+        );
         let resp = match attempt {
             Err(payload) => CompileResponse::failure(
                 req.id,
@@ -311,7 +439,7 @@ impl Engine {
             micros: started.elapsed().as_micros() as u64,
             ..resp
         };
-        self.finish(&resp, &kernel_name, started);
+        self.finish(&resp, &kernel_name, started, parent);
         resp
     }
 
@@ -327,8 +455,17 @@ impl Engine {
         });
     }
 
-    /// Books a finished response into the counters and the event stream.
-    fn finish(&self, resp: &CompileResponse, kernel: &str, started: Instant) {
+    /// Books a finished response into the counters, the latency
+    /// histograms, and the event stream.
+    fn finish(
+        &self,
+        resp: &CompileResponse,
+        kernel: &str,
+        started: Instant,
+        parent: Option<SpanId>,
+    ) {
+        let respond_span = self.profiler.span_under(parent, "respond", "service");
+        let respond_started = Instant::now();
         let micros = started.elapsed().as_micros() as u64;
         let outcome = match &resp.error {
             Some(e) => e.class.as_str().to_string(),
@@ -354,6 +491,8 @@ impl Engine {
             c.latency_micros_total += micros;
             c.latency_micros_max = c.latency_micros_max.max(micros);
         }
+        self.record_duration("service_latency_all", micros);
+        self.record_duration(&format!("service_latency_{outcome}"), micros);
         self.emit(TraceEvent::ServiceRequest {
             id: resp.id.clone(),
             kernel: kernel.to_string(),
@@ -361,6 +500,11 @@ impl Engine {
             micros,
             outcome,
         });
+        drop(respond_span);
+        self.record_duration(
+            "service_stage_respond",
+            respond_started.elapsed().as_micros() as u64,
+        );
     }
 
     /// Runs a whole batch through the worker pool: requests flow through

@@ -121,6 +121,13 @@ pub struct PerfEstimate {
     pub partition_imbalance: f64,
     /// Fraction of moved bytes the kernel actually used.
     pub coalescing_efficiency: f64,
+    /// Wall-clock microseconds spent in the phantom-trace phase (the
+    /// sampled interpreter run). Zero when the caller assembled the
+    /// estimate from pre-scaled stats via [`finish`].
+    pub trace_micros: u64,
+    /// Wall-clock microseconds spent in the occupancy + analytical-model
+    /// phase.
+    pub model_micros: u64,
     /// Scaled whole-launch trace statistics.
     pub stats: ExecStats,
 }
@@ -244,9 +251,12 @@ pub fn estimate_prepared(
     resources: &gpgpu_analysis::ResourceEstimate,
     layouts: &gpgpu_analysis::LayoutMap,
 ) -> Result<PerfEstimate, PerfError> {
+    let model_started = std::time::Instant::now();
     let blocks_per_sm = occupancy(resources, machine, cfg)?;
+    let occupancy_micros = model_started.elapsed().as_micros() as u64;
 
     // Phantom trace over a sample of consecutive blocks.
+    let trace_started = std::time::Instant::now();
     let mut device = Device::new(machine.clone());
     for p in kernel.array_params() {
         device.alloc_phantom(layouts[&p.name].clone());
@@ -265,6 +275,9 @@ pub fn estimate_prepared(
             ..ExecOptions::default()
         },
     )?;
+    let trace_micros = trace_started.elapsed().as_micros() as u64;
+
+    let model_started = std::time::Instant::now();
     let block_factor = if stats.blocks_executed == 0 {
         1.0
     } else {
@@ -272,8 +285,10 @@ pub fn estimate_prepared(
     };
     let factor = block_factor * stats.loop_truncation;
     let stats = stats.scaled(factor);
-
-    Ok(finish(kernel, cfg, machine, blocks_per_sm, stats))
+    let mut est = finish(kernel, cfg, machine, blocks_per_sm, stats);
+    est.trace_micros = trace_micros;
+    est.model_micros = occupancy_micros + model_started.elapsed().as_micros() as u64;
+    Ok(est)
 }
 
 /// Combines trace statistics and occupancy into the final estimate. Public
@@ -335,6 +350,8 @@ pub fn finish(
         latency_cycles,
         partition_imbalance: imbalance,
         coalescing_efficiency: stats.coalescing_efficiency(),
+        trace_micros: 0,
+        model_micros: 0,
         stats,
     }
 }
@@ -525,6 +542,8 @@ mod tests {
             latency_cycles: 50.0,
             partition_imbalance: 1.0,
             coalescing_efficiency: 1.0,
+            trace_micros: 0,
+            model_micros: 0,
             stats: ExecStats::default(),
         };
         assert_eq!(est.bound_by(), "memory bandwidth");

@@ -1,0 +1,259 @@
+//! Fixed-bucket log-scale latency histograms.
+//!
+//! A [`Histogram`] buckets microsecond durations by power of two: bucket 0
+//! holds the value 0, bucket `b` (for `b >= 1`) holds values in
+//! `[2^(b-1), 2^b - 1]`. With 65 buckets the full `u64` range is covered,
+//! recording is O(1) with no allocation, and any percentile estimate is
+//! off by at most one bucket boundary — i.e. the estimate and the exact
+//! order statistic always land in the same bucket, so the estimate is
+//! within a factor of two of the true value and
+//! [`Histogram::bucket_index`] of both agree.
+//!
+//! The registry records one histogram per duration class (per-pass,
+//! per-candidate, per-request); the service exposes them through the
+//! `{"stats": true}` control request.
+
+use crate::json::Json;
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket log-scale histogram of `u64` samples (microseconds by
+/// convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket a value falls into: 0 for 0, else `64 - leading_zeros`.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket (`0` for bucket 0, `2^b - 1`
+    /// otherwise, saturating at `u64::MAX`).
+    pub fn bucket_upper(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else if bucket >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Histogram::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `p`-th percentile (`p` in `[0, 100]`).
+    ///
+    /// The estimate is the upper bound of the bucket holding the exact
+    /// order statistic, clamped to the recorded `[min, max]` range — so it
+    /// always lands in the same bucket as the exact value and is monotone
+    /// in `p`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the order statistic, 1-based: ceil(p/100 * count),
+        // at least 1 so p=0 maps to the minimum.
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Histogram::bucket_upper(bucket).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (slot, &n) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates the non-empty buckets as `(inclusive upper bound, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (Histogram::bucket_upper(b), n))
+    }
+
+    /// The histogram as a JSON object: summary statistics, the standard
+    /// percentiles, and the non-empty `[upper_bound, count]` buckets.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Num(self.count as f64)),
+            ("sum_us", Json::Num(self.sum as f64)),
+            ("min_us", Json::Num(self.min() as f64)),
+            ("max_us", Json::Num(self.max as f64)),
+            ("p50_us", Json::Num(self.percentile(50.0) as f64)),
+            ("p90_us", Json::Num(self.percentile(90.0) as f64)),
+            ("p99_us", Json::Num(self.percentile(99.0) as f64)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets()
+                        .map(|(le, n)| {
+                            Json::Arr(vec![Json::Num(le as f64), Json::Num(n as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(2), 3);
+        assert_eq!(Histogram::bucket_upper(10), 1023);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_in_bucket() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (0..1000).map(|i| i * 7 % 4096).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        let exact50 = sorted[(0.5 * sorted.len() as f64).ceil() as usize - 1];
+        assert_eq!(
+            Histogram::bucket_index(p50),
+            Histogram::bucket_index(exact50),
+            "estimate {p50} vs exact {exact50}"
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.sum(), 1012);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(100);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_f64), Some(2.0));
+        assert!(j.get("p50_us").is_some());
+        assert!(j.get("p99_us").is_some());
+        let buckets = j.get("buckets").and_then(Json::as_arr).expect("buckets");
+        assert_eq!(buckets.len(), 2);
+    }
+}

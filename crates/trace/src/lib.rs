@@ -12,21 +12,55 @@
 //! - [`TraceSink`] — the event collector threaded through the pass
 //!   pipeline via `PipelineState`.
 //! - [`MetricsRegistry`] / [`CounterSnapshot`] — per-candidate simulator
-//!   counter snapshots recorded by the design-space search.
+//!   counter snapshots recorded by the design-space search, plus named
+//!   log-scale latency [`Histogram`]s (per-pass, per-candidate,
+//!   per-request).
+//! - [`Profiler`] / [`SpanGuard`] — the hierarchical span profiler with
+//!   fault-safe RAII closing and the self-profile / Chrome trace-event
+//!   exporters.
 //! - [`json`] — a std-only JSON document model with a stable serializer
-//!   and a minimal parser, shared by `--trace-json`, `--metrics`, and the
-//!   `BENCH_*.json` artifacts.
+//!   and a minimal parser, shared by `--trace-json`, `--metrics`, the
+//!   profile exporters, and the `BENCH_*.json` artifacts.
 //!
-//! The emitted document schema is versioned as `gpgpu-trace/v1`
-//! ([`SCHEMA`]); event `kind` strings and counter names are stable.
+//! The emitted document schema is versioned as `gpgpu-trace/v2`
+//! ([`SCHEMA`]). v2 is a strict superset of v1: event `kind` strings and
+//! counter names are unchanged, and documents may additionally carry a
+//! `spans` array and a `histograms` object. Consumers of v1 documents
+//! keep working — [`schema_supported`] accepts both tags.
 
 pub mod event;
+pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod sink;
 
 pub use event::{AstDelta, TraceEvent};
+pub use hist::Histogram;
 pub use json::{parse as parse_json, Json, JsonError};
+pub use profile::{Profiler, SpanGuard, SpanId, SpanRecord};
 pub use sink::{CandidateMetrics, CounterSnapshot, MetricsRegistry, TraceSink};
 
 /// Version tag stamped into every emitted trace document.
-pub const SCHEMA: &str = "gpgpu-trace/v1";
+pub const SCHEMA: &str = "gpgpu-trace/v2";
+
+/// The previous schema tag; v1 documents remain parseable (v2 only adds
+/// keys) and [`schema_supported`] accepts them.
+pub const SCHEMA_V1: &str = "gpgpu-trace/v1";
+
+/// True for every schema tag this crate's readers understand.
+pub fn schema_supported(tag: &str) -> bool {
+    tag == SCHEMA || tag == SCHEMA_V1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_schema_generations_are_supported() {
+        assert!(schema_supported(SCHEMA));
+        assert!(schema_supported(SCHEMA_V1));
+        assert!(!schema_supported("gpgpu-trace/v3"));
+        assert!(!schema_supported(""));
+    }
+}

@@ -1,0 +1,558 @@
+//! Hierarchical span profiler.
+//!
+//! A [`Profiler`] is a cheap cloneable handle onto a shared span table.
+//! Code opens a [`SpanGuard`] around a unit of work (a pass run, an
+//! analysis recomputation, a candidate evaluation, a service request
+//! stage); the guard records a monotonic start timestamp on creation and
+//! the duration on drop. Because closing happens in `Drop`, span stacks
+//! stay balanced across early returns, `?`, and panics unwinding through
+//! `catch_unwind` — fault injection cannot leave a span open.
+//!
+//! Parenting is explicit: a guard's [`SpanGuard::child`] opens a span
+//! under it, and [`Profiler::span_under`] accepts any [`SpanId`], so the
+//! hierarchy survives thread crossings (the explorer's candidate spans on
+//! worker threads parent to the `explore` span on the driver thread).
+//!
+//! Two stable exporters serialize the table under the `gpgpu-trace/v2`
+//! schema: [`Profiler::to_json`] (the self-profile document embedded in
+//! `--profile` output) and [`Profiler::to_chrome_json`] (Chrome
+//! `chrome://tracing` / Perfetto trace-event format, strictly nested
+//! `B`/`E` pairs per thread). [`Profiler::render_tree`] renders the
+//! slowest spans as a sorted tree for `gpgpuc profile`.
+
+use crate::json::Json;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// Identifies one span in its profiler's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// The span's index in [`Profiler::spans`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// This span's id (its index in the table).
+    pub id: SpanId,
+    /// The enclosing span, when there is one.
+    pub parent: Option<SpanId>,
+    /// Human-readable name, e.g. `pass:coalesce` or `candidate:bx16_ty8_tx2`.
+    pub name: String,
+    /// Stable category: `compile`, `pass`, `analysis`, `explore`,
+    /// `candidate`, `estimate`, `verify`, `service`, ...
+    pub category: &'static str,
+    /// Microseconds since the profiler's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds; `None` while the span is still open.
+    pub duration_us: Option<u64>,
+    /// Small dense thread number (0 = first thread seen).
+    pub tid: u64,
+}
+
+impl SpanRecord {
+    /// Closed duration, treating still-open spans as zero-length.
+    pub fn micros(&self) -> u64 {
+        self.duration_us.unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<SpanRecord>,
+    open: usize,
+    tids: HashMap<ThreadId, u64>,
+}
+
+/// Shared, thread-safe span table. Clones observe the same table; equality
+/// is handle identity (two clones of one profiler compare equal).
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    epoch: Option<Instant>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl PartialEq for Profiler {
+    fn eq(&self, other: &Profiler) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    // A panic while holding the lock poisons it; the table itself is
+    // always in a consistent state, so recover rather than propagate.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Profiler {
+    /// A fresh profiler whose epoch is now.
+    pub fn new() -> Profiler {
+        Profiler {
+            epoch: Some(Instant::now()),
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        match self.epoch {
+            Some(e) => e.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    fn micros_at(&self, at: Instant) -> u64 {
+        match self.epoch {
+            Some(e) => at.saturating_duration_since(e).as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    fn thread_number(inner: &mut Inner) -> u64 {
+        let next = inner.tids.len() as u64;
+        *inner.tids.entry(std::thread::current().id()).or_insert(next)
+    }
+
+    /// Opens a root span (no parent).
+    pub fn span(&self, name: impl Into<String>, category: &'static str) -> SpanGuard {
+        self.span_under(None, name, category)
+    }
+
+    /// Opens a span under an explicit parent (which may live on another
+    /// thread).
+    pub fn span_under(
+        &self,
+        parent: Option<SpanId>,
+        name: impl Into<String>,
+        category: &'static str,
+    ) -> SpanGuard {
+        let start_us = self.now_us();
+        let mut inner = lock(&self.inner);
+        let tid = Profiler::thread_number(&mut inner);
+        let id = SpanId(inner.spans.len() as u32);
+        inner.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            category,
+            start_us,
+            duration_us: None,
+            tid,
+        });
+        inner.open += 1;
+        SpanGuard {
+            profiler: self.clone(),
+            id,
+        }
+    }
+
+    /// Records an already-finished span from a pair of instants — how the
+    /// service books queue-wait time measured before the handler ran.
+    pub fn record_span_between(
+        &self,
+        parent: Option<SpanId>,
+        name: impl Into<String>,
+        category: &'static str,
+        start: Instant,
+        end: Instant,
+    ) -> SpanId {
+        let start_us = self.micros_at(start);
+        let end_us = self.micros_at(end).max(start_us);
+        let mut inner = lock(&self.inner);
+        let tid = Profiler::thread_number(&mut inner);
+        let id = SpanId(inner.spans.len() as u32);
+        inner.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            category,
+            start_us,
+            duration_us: Some(end_us - start_us),
+            tid,
+        });
+        id
+    }
+
+    fn close(&self, id: SpanId) {
+        let end = self.now_us();
+        let mut inner = lock(&self.inner);
+        if let Some(span) = inner.spans.get_mut(id.index()) {
+            if span.duration_us.is_none() {
+                span.duration_us = Some(end.saturating_sub(span.start_us));
+                inner.open -= 1;
+            }
+        }
+    }
+
+    /// Number of spans opened by guards and not yet closed. Zero whenever
+    /// no guard is live — including after panics — which the fault tests
+    /// assert.
+    pub fn open_spans(&self) -> usize {
+        lock(&self.inner).open
+    }
+
+    /// Snapshot of every recorded span, in creation order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        lock(&self.inner).spans.clone()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).spans.is_empty()
+    }
+
+    /// Total duration attributed to each span name, summed across the
+    /// table, as `(name, count, total_us)` sorted by total descending.
+    pub fn aggregate_by_name(&self) -> Vec<(String, u64, u64)> {
+        let inner = lock(&self.inner);
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: HashMap<String, (u64, u64)> = HashMap::new();
+        for s in &inner.spans {
+            let slot = totals.entry(s.name.clone()).or_insert_with(|| {
+                order.push(s.name.clone());
+                (0, 0)
+            });
+            slot.0 += 1;
+            slot.1 += s.micros();
+        }
+        let mut rows: Vec<(String, u64, u64)> = order
+            .into_iter()
+            .map(|name| {
+                let (count, total) = totals.get(&name).copied().unwrap_or((0, 0));
+                (name, count, total)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// The self-profile exporter: a JSON array of span objects in creation
+    /// order (part of the `gpgpu-trace/v2` document schema).
+    pub fn to_json(&self) -> Json {
+        let inner = lock(&self.inner);
+        Json::Arr(
+            inner
+                .spans
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("id", Json::Num(s.id.0 as f64)),
+                        (
+                            "parent",
+                            match s.parent {
+                                Some(p) => Json::Num(p.0 as f64),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("name", Json::str(&s.name)),
+                        ("cat", Json::str(s.category)),
+                        ("start_us", Json::Num(s.start_us as f64)),
+                        ("dur_us", Json::Num(s.micros() as f64)),
+                        ("tid", Json::Num(s.tid as f64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// The Chrome trace-event exporter: a `{"traceEvents": [...]}` document
+    /// of duration (`B`/`E`) events, strictly nested per thread.
+    ///
+    /// Nesting is reconstructed per thread from span intervals (guards are
+    /// LIFO per thread, so intervals nest properly) and the `B`/`E` pairs
+    /// are emitted in tree order, so a stack-based validator always
+    /// balances.
+    pub fn to_chrome_json(&self, pid: u64) -> Json {
+        let spans = self.spans();
+        // Group span indices by tid, keeping creation order (creation
+        // order on one thread is start order, and for equal starts the
+        // outer span was created first).
+        let mut by_tid: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut tids: Vec<u64> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            by_tid.entry(s.tid).or_insert_with(|| {
+                tids.push(s.tid);
+                Vec::new()
+            });
+            if let Some(v) = by_tid.get_mut(&s.tid) {
+                v.push(i);
+            }
+        }
+        tids.sort_unstable();
+        let mut events: Vec<Json> = Vec::new();
+        let event = |phase: &str, s: &SpanRecord, ts: u64| {
+            Json::obj([
+                ("name", Json::str(&s.name)),
+                ("cat", Json::str(s.category)),
+                ("ph", Json::str(phase)),
+                ("ts", Json::Num(ts as f64)),
+                ("pid", Json::Num(pid as f64)),
+                ("tid", Json::Num(s.tid as f64)),
+            ])
+        };
+        for tid in tids {
+            let Some(indices) = by_tid.get(&tid) else { continue };
+            // Stack of (span index, end time). Emit B on push; emit E when
+            // the interval can no longer contain the next span.
+            let mut stack: Vec<(usize, u64)> = Vec::new();
+            for &i in indices {
+                let s = &spans[i];
+                let end = s.start_us + s.micros();
+                while let Some(&(top, top_end)) = stack.last() {
+                    if top_end <= s.start_us && top_end < end {
+                        events.push(event("E", &spans[top], top_end));
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                events.push(event("B", s, s.start_us));
+                stack.push((i, end));
+            }
+            while let Some((top, top_end)) = stack.pop() {
+                events.push(event("E", &spans[top], top_end));
+            }
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+    }
+
+    /// Renders the span hierarchy as a tree, children sorted by duration
+    /// descending, pruned to roughly `top_n` lines (elided siblings are
+    /// summarized). Roots are spans with no recorded parent.
+    pub fn render_tree(&self, top_n: usize) -> String {
+        let spans = self.spans();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent {
+                Some(p) if p.index() < spans.len() => children[p.index()].push(i),
+                _ => roots.push(i),
+            }
+        }
+        for list in children.iter_mut() {
+            list.sort_by(|&a, &b| spans[b].micros().cmp(&spans[a].micros()));
+        }
+        roots.sort_by(|&a, &b| spans[b].micros().cmp(&spans[a].micros()));
+        let mut out = String::new();
+        let mut budget = top_n.max(1);
+        fn render(
+            spans: &[SpanRecord],
+            children: &[Vec<usize>],
+            node: usize,
+            depth: usize,
+            budget: &mut usize,
+            out: &mut String,
+        ) {
+            if *budget == 0 {
+                return;
+            }
+            *budget -= 1;
+            let s = &spans[node];
+            let us = s.micros();
+            let dur = if us >= 1000 {
+                format!("{:.3} ms", us as f64 / 1000.0)
+            } else {
+                format!("{us} us")
+            };
+            out.push_str(&format!(
+                "{:indent$}{:<width$} {:>12}  [{}]\n",
+                "",
+                s.name,
+                dur,
+                s.category,
+                indent = depth * 2,
+                width = 36usize.saturating_sub(depth * 2),
+            ));
+            let kids = &children[node];
+            for (k, &child) in kids.iter().enumerate() {
+                if *budget == 0 {
+                    let left = kids.len() - k;
+                    out.push_str(&format!(
+                        "{:indent$}... ({left} more)\n",
+                        "",
+                        indent = (depth + 1) * 2
+                    ));
+                    return;
+                }
+                render(spans, children, child, depth + 1, budget, out);
+            }
+        }
+        for root in roots {
+            render(&spans, &children, root, 0, &mut budget, &mut out);
+        }
+        out
+    }
+}
+
+/// RAII guard for an open span: created by [`Profiler::span`] /
+/// [`Profiler::span_under`], closes the span (records its duration) on
+/// drop — including during panic unwinding.
+#[derive(Debug)]
+pub struct SpanGuard {
+    profiler: Profiler,
+    id: SpanId,
+}
+
+impl SpanGuard {
+    /// The guarded span's id — pass it to [`Profiler::span_under`] (or
+    /// [`SpanGuard::child`]) to parent further spans under it.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Opens a child span under this one.
+    pub fn child(&self, name: impl Into<String>, category: &'static str) -> SpanGuard {
+        self.profiler.span_under(Some(self.id), name, category)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.profiler.close(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_nest_and_balance() {
+        let p = Profiler::new();
+        {
+            let root = p.span("compile", "compile");
+            assert_eq!(p.open_spans(), 1);
+            {
+                let _pass = root.child("pass:coalesce", "pass");
+                assert_eq!(p.open_spans(), 2);
+            }
+            assert_eq!(p.open_spans(), 1);
+        }
+        assert_eq!(p.open_spans(), 0);
+        let spans = p.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert!(spans.iter().all(|s| s.duration_us.is_some()));
+    }
+
+    #[test]
+    fn spans_balance_across_panic() {
+        let p = Profiler::new();
+        let root = p.span("root", "compile");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _inner = root.child("doomed", "pass");
+            panic!("injected");
+        }));
+        assert!(result.is_err());
+        drop(root);
+        assert_eq!(p.open_spans(), 0, "unwind closed the inner span");
+        assert!(p.spans().iter().all(|s| s.duration_us.is_some()));
+    }
+
+    #[test]
+    fn cross_thread_parenting() {
+        let p = Profiler::new();
+        let root = p.span("explore", "explore");
+        let root_id = root.id();
+        std::thread::scope(|scope| {
+            for i in 0..2 {
+                let p = p.clone();
+                scope.spawn(move || {
+                    let _c = p.span_under(Some(root_id), format!("candidate:{i}"), "candidate");
+                });
+            }
+        });
+        drop(root);
+        let spans = p.spans();
+        assert_eq!(spans.len(), 3);
+        let tids: std::collections::HashSet<u64> = spans.iter().map(|s| s.tid).collect();
+        assert!(tids.len() >= 2, "worker spans carry distinct thread numbers");
+        assert!(spans[1..].iter().all(|s| s.parent == Some(root_id)));
+    }
+
+    #[test]
+    fn chrome_export_is_strictly_nested() {
+        let p = Profiler::new();
+        {
+            let a = p.span("a", "compile");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _b = a.child("b", "pass");
+            }
+            {
+                let _c = a.child("c", "pass");
+            }
+        }
+        let doc = p.to_chrome_json(1);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        assert_eq!(events.len(), 6);
+        let mut stack: Vec<&str> = Vec::new();
+        for e in events {
+            let name = e.get("name").and_then(Json::as_str).expect("name");
+            match e.get("ph").and_then(Json::as_str) {
+                Some("B") => stack.push(name),
+                Some("E") => assert_eq!(stack.pop(), Some(name), "E matches open B"),
+                other => panic!("unexpected phase {other:?}"),
+            }
+        }
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn record_span_between_books_closed_span() {
+        let p = Profiler::new();
+        let start = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let end = Instant::now();
+        let id = p.record_span_between(None, "queue-wait", "service", start, end);
+        let spans = p.spans();
+        assert_eq!(spans[id.index()].name, "queue-wait");
+        assert!(spans[id.index()].micros() >= 1000);
+        assert_eq!(p.open_spans(), 0);
+    }
+
+    #[test]
+    fn tree_rendering_sorts_by_duration() {
+        let p = Profiler::new();
+        {
+            let root = p.span("compile", "compile");
+            {
+                let _fast = root.child("fast", "pass");
+            }
+            {
+                let _slow = root.child("slow", "pass");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let tree = p.render_tree(10);
+        let slow_at = tree.find("slow").expect("slow span rendered");
+        let fast_at = tree.find("fast").expect("fast span rendered");
+        assert!(slow_at < fast_at, "slower child first:\n{tree}");
+        assert!(tree.starts_with("compile"), "{tree}");
+    }
+
+    #[test]
+    fn aggregate_by_name_totals() {
+        let p = Profiler::new();
+        for _ in 0..3 {
+            let _s = p.span("pass:coalesce", "pass");
+        }
+        let rows = p.aggregate_by_name();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "pass:coalesce");
+        assert_eq!(rows[0].1, 3);
+    }
+}

@@ -3,6 +3,7 @@
 //! design-space candidate.
 
 use crate::event::TraceEvent;
+use crate::hist::Histogram;
 use crate::json::Json;
 
 /// Collects [`TraceEvent`]s in emission order.
@@ -137,6 +138,7 @@ pub struct MetricsRegistry {
     candidates: Vec<CandidateMetrics>,
     chosen: Option<String>,
     globals: CounterSnapshot,
+    histograms: Vec<(String, Histogram)>,
 }
 
 impl MetricsRegistry {
@@ -190,6 +192,44 @@ impl MetricsRegistry {
         &self.globals
     }
 
+    /// Records one duration sample into the named latency histogram
+    /// (created on first use, insertion order preserved into the JSON).
+    pub fn record_duration(&mut self, name: impl Into<String>, micros: u64) {
+        let name = name.into();
+        match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.record(micros),
+            None => {
+                let mut h = Histogram::new();
+                h.record(micros);
+                self.histograms.push((name, h));
+            }
+        }
+    }
+
+    /// Merges a whole histogram into the named slot (created on first
+    /// use) — how the service folds its live latency histograms into the
+    /// registry snapshot it exports.
+    pub fn merge_histogram(&mut self, name: impl Into<String>, other: &Histogram) {
+        let name = name.into();
+        match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.merge(other),
+            None => self.histograms.push((name, other.clone())),
+        }
+    }
+
+    /// Looks a latency histogram up by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// All latency histograms, in creation order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
     /// The winning candidate's snapshot, when present.
     pub fn chosen_counters(&self) -> Option<&CounterSnapshot> {
         let label = self.chosen.as_deref()?;
@@ -204,10 +244,11 @@ impl MetricsRegistry {
         self.candidates.is_empty()
     }
 
-    /// The registry as a JSON object (`candidates` array, `chosen`, and the
-    /// compilation-wide `globals` counters).
+    /// The registry as a JSON object (`candidates` array, `chosen`, the
+    /// compilation-wide `globals` counters, and — when any were recorded —
+    /// the `histograms` object, a `gpgpu-trace/v2` addition).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut obj = Json::obj([
             (
                 "chosen",
                 match &self.chosen {
@@ -230,7 +271,21 @@ impl MetricsRegistry {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        if !self.histograms.is_empty() {
+            if let Json::Obj(entries) = &mut obj {
+                entries.push((
+                    "histograms".to_string(),
+                    Json::Obj(
+                        self.histograms
+                            .iter()
+                            .map(|(n, h)| (n.clone(), h.to_json()))
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        obj
     }
 
     /// Renders a fixed-width comparison table of the key counters across
@@ -331,6 +386,27 @@ mod tests {
                 .and_then(|g| g.get("analysis_cache_misses"))
                 .and_then(Json::as_f64),
             Some(5.0)
+        );
+    }
+
+    #[test]
+    fn registry_histograms_record_and_serialize() {
+        let mut reg = MetricsRegistry::new();
+        assert!(reg.to_json().get("histograms").is_none());
+        reg.record_duration("pass_micros", 10);
+        reg.record_duration("pass_micros", 500);
+        reg.record_duration("candidate_micros", 3000);
+        let h = reg.histogram("pass_micros").expect("histogram exists");
+        assert_eq!(h.count(), 2);
+        assert_eq!(reg.histograms().count(), 2);
+        let json = reg.to_json();
+        let hists = json.get("histograms").expect("histograms key");
+        assert_eq!(
+            hists
+                .get("candidate_micros")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
         );
     }
 

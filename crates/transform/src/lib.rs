@@ -38,7 +38,7 @@ pub use staging::{StagingInfo, StagingPattern};
 
 use gpgpu_analysis::Bindings;
 use gpgpu_ast::{AccessSpans, Kernel, Span};
-use gpgpu_trace::{TraceEvent, TraceSink};
+use gpgpu_trace::{Profiler, SpanId, TraceEvent, TraceSink};
 use std::sync::Arc;
 
 /// The state threaded through the pass pipeline.
@@ -74,6 +74,14 @@ pub struct PipelineState {
     pub trace: TraceSink,
     /// Source spans of the naive kernel's array accesses, for diagnostics.
     pub access_spans: Arc<AccessSpans>,
+    /// Hierarchical span profiler shared across the whole compilation —
+    /// branches clone the handle, so candidate spans land in the same
+    /// table. Equality is handle identity.
+    pub profiler: Profiler,
+    /// The profiler span the pipeline is currently inside (the parent for
+    /// per-pass spans). Branches inherit it; the explorer repoints it at
+    /// each candidate's span.
+    pub profile_span: Option<SpanId>,
     /// Kernel version counter: bumped by every [`Self::kernel_mut`] call.
     version: u64,
 }
@@ -92,6 +100,8 @@ impl PipelineState {
             thread_merge_y: 1,
             trace: TraceSink::new(),
             access_spans: Arc::new(AccessSpans::new()),
+            profiler: Profiler::new(),
+            profile_span: None,
             version: 0,
         }
     }
@@ -100,6 +110,14 @@ impl PipelineState {
     /// [`gpgpu_ast::access_spans`].
     pub fn with_access_spans(mut self, spans: AccessSpans) -> PipelineState {
         self.access_spans = Arc::new(spans);
+        self
+    }
+
+    /// Shares an existing profiler with this pipeline, parenting its spans
+    /// under `parent` (e.g. the driver's `compile` root span).
+    pub fn with_profiler(mut self, profiler: Profiler, parent: Option<SpanId>) -> PipelineState {
+        self.profiler = profiler;
+        self.profile_span = parent;
         self
     }
 
@@ -132,6 +150,8 @@ impl PipelineState {
             thread_merge_y: self.thread_merge_y,
             trace: TraceSink::new(),
             access_spans: Arc::clone(&self.access_spans),
+            profiler: self.profiler.clone(),
+            profile_span: self.profile_span,
             version: self.version,
         }
     }

@@ -1,0 +1,13 @@
+// Dense matrix multiply, naive one-output-element-per-thread form —
+// the paper's running example (Figure 2). Compile it with:
+//
+//   gpgpuc --bind n=256 --bind w=256 examples/mm.cu
+//   gpgpuc profile examples/mm.cu
+//
+__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+    float sum = 0.0f;
+    for (int i = 0; i < w; i = i + 1) {
+        sum += a[idy][i] * b[i][idx];
+    }
+    c[idy][idx] = sum;
+}

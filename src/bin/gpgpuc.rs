@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! gpgpuc [OPTIONS] <kernel.cu>...    # or `-` for stdin
+//! gpgpuc profile <kernel.cu | -> [--top <n>] [--machine <m>]
+//!                [--bind <name>=<value>]...
 //! gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>]
 //!             [--inject <slug>] [--trace-json <path>]
 //! gpgpuc reduce <repro.cu> [--budget <n>]
@@ -24,9 +26,17 @@
 //!                                       performance prediction
 //!   --metrics                           print the per-candidate simulator
 //!                                       counter table
-//!   --trace-json <path>                 write the full gpgpu-trace/v1
+//!   --trace-json <path>                 write the full gpgpu-trace/v2
 //!                                       JSON document (events, pass
-//!                                       timings, per-candidate counters)
+//!                                       timings, per-candidate counters,
+//!                                       spans)
+//!   --profile <path>                    write the compiler's self-profile
+//!                                       (the hierarchical span table with
+//!                                       per-name aggregates) as a
+//!                                       gpgpu-trace/v2 JSON document
+//!   --profile-chrome <path>             write the span table in Chrome
+//!                                       trace-event format (load it in
+//!                                       chrome://tracing or Perfetto)
 //!   --verify <size>                     check optimized == naive on the
 //!                                       simulator at a smaller size bound
 //!                                       (binds every symbol to <size>)
@@ -39,12 +49,24 @@
 //!
 //! ## Subcommands
 //!
+//! `gpgpuc profile` compiles one kernel and renders the hierarchical span
+//! profile as a tree — the slowest spans first, durations per node — so
+//! the compiler's own time attribution (passes, analyses, candidate
+//! evaluations, estimates) is readable at a glance. `--top <n>` bounds
+//! the tree to roughly `n` lines (default 24).
+//!
+//! `gpgpuc serve` additionally answers the NDJSON **control request**
+//! `{"stats": true}` with a one-line telemetry snapshot (uptime, request
+//! counts, queue high-water, cache hit ratio, per-class and per-stage
+//! latency histograms with p50/p90/p99) instead of a compile response;
+//! control requests are not booked as served requests.
+//!
 //! `gpgpuc fuzz` runs the differential fuzzer: seeded generated kernels are
 //! compiled per stage set and checked naive-vs-optimized under the
 //! sanitizing simulator. Any failure bucket exits 1; `--inject <slug>`
 //! plants a known bug (`drop-sync`, `staging-off-by-one`, `value-tweak`)
 //! to validate the oracle itself. `--trace-json` writes the sanitizer
-//! events and `fuzz_*`/`sanitizer_*` metrics as a `gpgpu-trace/v1`
+//! events and `fuzz_*`/`sanitizer_*` metrics as a `gpgpu-trace/v2`
 //! document.
 //!
 //! `gpgpuc reduce` takes a corpus-format repro (see `tests/corpus/`) and
@@ -122,6 +144,8 @@ struct Args {
     report: bool,
     metrics: bool,
     trace_json: Option<String>,
+    profile: Option<String>,
+    profile_chrome: Option<String>,
     verify_at: Option<i64>,
     verify_seed: u64,
     strict: bool,
@@ -133,8 +157,10 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: gpgpuc [--machine gtx8800|gtx280|hd5870] [--bind n=1024]... \
          [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
-         [--list-passes] [--report] [--metrics] [--trace-json <path>] [--verify <size>] \
+         [--list-passes] [--report] [--metrics] [--trace-json <path>] [--profile <path>] \
+         [--profile-chrome <path>] [--verify <size>] \
          [--verify-seed <u64>] [--strict] <kernel.cu | ->...\n       \
+         gpgpuc profile <kernel.cu | -> [--top <n>] [--machine <m>] [--bind n=1024]...\n       \
          gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>] [--inject <slug>] [--trace-json <path>]\n       \
          gpgpuc reduce <repro.cu> [--budget <n>]\n       \
          gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>] [--cache-dir <dir>] \
@@ -172,6 +198,8 @@ fn parse_args() -> Result<Args, String> {
         report: false,
         metrics: false,
         trace_json: None,
+        profile: None,
+        profile_chrome: None,
         verify_at: None,
         verify_seed: 0,
         strict: false,
@@ -208,6 +236,12 @@ fn parse_args() -> Result<Args, String> {
             "--trace-json" => {
                 args.trace_json = Some(it.next().ok_or("--trace-json needs a path")?);
             }
+            "--profile" => {
+                args.profile = Some(it.next().ok_or("--profile needs a path")?);
+            }
+            "--profile-chrome" => {
+                args.profile_chrome = Some(it.next().ok_or("--profile-chrome needs a path")?);
+            }
             "--verify" => {
                 let v = it.next().ok_or("--verify needs a size")?;
                 args.verify_at =
@@ -235,6 +269,8 @@ fn parse_args() -> Result<Args, String> {
             (args.report, "--report"),
             (args.metrics, "--metrics"),
             (args.trace_json.is_some(), "--trace-json"),
+            (args.profile.is_some(), "--profile"),
+            (args.profile_chrome.is_some(), "--profile-chrome"),
             (args.verify_at.is_some(), "--verify"),
             (args.emit_cu, "--emit-cu"),
         ] {
@@ -426,6 +462,123 @@ fn cmd_reduce(argv: &[String]) -> ExitCode {
     }
 }
 
+/// `gpgpuc profile`: compile one kernel and render the hierarchical span
+/// profile as a tree, slowest spans first.
+fn cmd_profile(argv: &[String]) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut machine = MachineDesc::gtx280();
+    let mut bindings: Vec<(String, i64)> = Vec::new();
+    let mut top: usize = 24;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--machine" => {
+                let Some(v) = it.next() else {
+                    return usage("--machine needs a value");
+                };
+                match resolve_machine(v) {
+                    Ok(m) => machine = m,
+                    Err(e) => return usage(&e),
+                }
+            }
+            "--bind" => {
+                let Some(v) = it.next() else {
+                    return usage("--bind needs name=value");
+                };
+                let Some((name, value)) = v.split_once('=') else {
+                    return usage(&format!("--bind `{v}` is not name=value"));
+                };
+                match value.parse() {
+                    Ok(n) => bindings.push((name.to_string(), n)),
+                    Err(_) => {
+                        return usage(&format!("--bind value `{value}` is not an integer"))
+                    }
+                }
+            }
+            "--top" => {
+                let Some(v) = it.next() else {
+                    return usage("--top needs a value");
+                };
+                match v.parse::<usize>().ok().filter(|&n| n >= 1) {
+                    Some(n) => top = n,
+                    None => return usage(&format!("--top `{v}` is not a positive integer")),
+                }
+            }
+            other if input.is_none() && (other == "-" || !other.starts_with("--")) => {
+                input = Some(other.to_string())
+            }
+            other => return usage(&format!("unexpected profile argument `{other}`")),
+        }
+    }
+    let Some(input) = input else {
+        return usage("profile needs a kernel file (or `-` for stdin)");
+    };
+    let source = if input == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("gpgpuc: cannot read stdin");
+            return ExitCode::from(EXIT_NOINPUT);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("gpgpuc: cannot read `{input}`: {e}");
+                return ExitCode::from(EXIT_NOINPUT);
+            }
+        }
+    };
+    let naive = match parse_kernel(&source) {
+        Ok(k) => k,
+        Err(e) => {
+            report_error(&CompilerError::from(e));
+            return ExitCode::from(EXIT_PARSE);
+        }
+    };
+    // Profiling wants a one-command workflow, so unbound size symbols
+    // default to 256 (a representative problem size) instead of failing
+    // domain inference.
+    for param in &naive.params {
+        for dim in &param.dims {
+            if let gpgpu::ast::Dim::Sym(name) = dim {
+                if !bindings.iter().any(|(n, _)| n == name) {
+                    eprintln!("gpgpuc: note: binding unbound size `{name}` to 256");
+                    bindings.push((name.clone(), 256));
+                }
+            }
+        }
+    }
+    let mut opts = CompileOptions::new(machine.clone()).with_source(&source);
+    for (name, value) in &bindings {
+        opts = opts.bind(name, *value);
+    }
+    let compiled = match compile(&naive, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            let err = CompilerError::from(e);
+            report_error(&err);
+            return ExitCode::from(if err.is_fault() {
+                EXIT_INTERNAL
+            } else {
+                EXIT_COMPILE
+            });
+        }
+    };
+    if let Some(reason) = &compiled.degraded {
+        eprintln!(
+            "gpgpuc: warning: optimization failed; profile covers the naive \
+             fallback ({reason})"
+        );
+    }
+    println!(
+        "== span profile: {} on {} (top {top}) ==",
+        naive.name, machine.name
+    );
+    print!("{}", compiled.profiler.render_tree(top));
+    ExitCode::SUCCESS
+}
+
 /// Options shared by `batch` and `serve`.
 struct ServiceArgs {
     config: ServiceConfig,
@@ -595,16 +748,78 @@ fn cmd_batch(argv: &[String]) -> ExitCode {
         }
     }
     drop(out);
+    print_stage_attribution(&engine);
     if let Err(code) = write_service_artifacts(&engine, &sargs) {
         return code;
     }
     ExitCode::from(worst)
 }
 
+/// Prints the batch's per-stage time-attribution summary to stderr (the
+/// NDJSON response stream on stdout stays clean): every service-stage
+/// span name with its count, total and share of the summed stage time,
+/// plus the end-to-end `request` total.
+fn print_stage_attribution(engine: &Engine) {
+    let spans = engine.profiler().spans();
+    let mut order: Vec<&str> = Vec::new();
+    let mut totals: std::collections::HashMap<&str, (u64, u64)> =
+        std::collections::HashMap::new();
+    let mut requests = (0u64, 0u64);
+    for s in spans.iter().filter(|s| s.category == "service") {
+        if s.name == "request" {
+            requests.0 += 1;
+            requests.1 += s.micros();
+            continue;
+        }
+        let slot = totals.entry(s.name.as_str()).or_insert_with(|| {
+            order.push(s.name.as_str());
+            (0, 0)
+        });
+        slot.0 += 1;
+        slot.1 += s.micros();
+    }
+    if order.is_empty() && requests.0 == 0 {
+        return;
+    }
+    let mut rows: Vec<(&str, u64, u64)> = order
+        .into_iter()
+        .map(|name| {
+            let (count, total) = totals.get(name).copied().unwrap_or((0, 0));
+            (name, count, total)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(b.0)));
+    let stage_total: u64 = rows.iter().map(|r| r.2).sum();
+    eprintln!("== stage attribution ({} request(s)) ==", requests.0);
+    eprintln!(
+        "  {:<14} {:>6} {:>14} {:>8}",
+        "stage", "count", "total", "share"
+    );
+    for (name, count, total) in rows {
+        let share = if stage_total == 0 {
+            0.0
+        } else {
+            total as f64 / stage_total as f64 * 100.0
+        };
+        eprintln!(
+            "  {:<14} {:>6} {:>11.3} ms {:>7.1}%",
+            name,
+            count,
+            total as f64 / 1000.0,
+            share
+        );
+    }
+    eprintln!(
+        "  {:<14} {:>6} {:>11.3} ms",
+        "request", requests.0, requests.1 as f64 / 1000.0
+    );
+}
+
 /// `gpgpuc serve`: the engine as a stdin/stdout NDJSON request loop.
 /// Responses are emitted (and flushed) one line per request until EOF;
 /// malformed requests yield structured errors and the loop keeps serving.
 fn cmd_serve(argv: &[String]) -> ExitCode {
+    use gpgpu::core::trace::{parse_json, Json};
     let sargs = match parse_service_args(argv, false) {
         Ok(a) => a,
         Err(e) => return usage(&e),
@@ -630,6 +845,20 @@ fn cmd_serve(argv: &[String]) -> ExitCode {
         };
         if line.trim().is_empty() {
             continue;
+        }
+        // `{"stats": true}` is a control request: answer with the live
+        // telemetry snapshot instead of a compile response, without
+        // booking it as a served request.
+        if let Ok(doc) = parse_json(&line) {
+            if matches!(doc.get("stats"), Some(Json::Bool(true))) {
+                let io = writeln!(out, "{}", engine.stats_json().compact())
+                    .and_then(|()| out.flush());
+                if io.is_err() {
+                    eprintln!("gpgpuc: cannot write stats to stdout");
+                    return ExitCode::from(EXIT_IO);
+                }
+                continue;
+            }
         }
         let resp = engine.handle_line(&line, position);
         position += 1;
@@ -754,6 +983,7 @@ fn main() -> ExitCode {
         Some("reduce") => return cmd_reduce(&argv[1..]),
         Some("batch") => return cmd_batch(&argv[1..]),
         Some("serve") => return cmd_serve(&argv[1..]),
+        Some("profile") => return cmd_profile(&argv[1..]),
         _ => {}
     }
     let args = match parse_args() {
@@ -836,6 +1066,41 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &args.profile {
+        use gpgpu::core::trace::Json;
+        let aggregate = compiled
+            .profiler
+            .aggregate_by_name()
+            .into_iter()
+            .map(|(name, count, total_us)| {
+                Json::obj([
+                    ("name", Json::str(&name)),
+                    ("count", Json::count(count)),
+                    ("total_us", Json::count(total_us)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("schema", Json::str(gpgpu::core::trace::SCHEMA)),
+            ("machine", Json::str(args.machine.name)),
+            ("kernel", Json::str(&naive.name)),
+            ("spans", compiled.profiler.to_json()),
+            ("aggregate", Json::Arr(aggregate)),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("gpgpuc: cannot write profile to `{path}`: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+
+    if let Some(path) = &args.profile_chrome {
+        let doc = compiled.profiler.to_chrome_json(std::process::id() as u64);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("gpgpuc: cannot write chrome trace to `{path}`: {e}");
+            return ExitCode::from(EXIT_IO);
+        }
+    }
+
     if args.emit_cu {
         print!("{}", gpgpu::core::emit_cu(&compiled, &opts.bindings));
         return exit_ok;
@@ -865,6 +1130,42 @@ fn main() -> ExitCode {
         for line in compiled.log() {
             eprintln!("  - {line}");
         }
+        // Per-pass wall-clock attribution, from the span profiler: every
+        // `pass:*` span summed by name, sorted descending, with its share
+        // of the total pass time.
+        let mut pass_rows: Vec<(String, u64, u64)> = compiled
+            .profiler
+            .aggregate_by_name()
+            .into_iter()
+            .filter_map(|(name, count, total_us)| {
+                name.strip_prefix("pass:")
+                    .map(|p| (p.to_string(), count, total_us))
+            })
+            .collect();
+        pass_rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        let pass_total: u64 = pass_rows.iter().map(|r| r.2).sum();
+        eprintln!("== pass attribution ==");
+        eprintln!("  {:<16} {:>5} {:>12} {:>8}", "pass", "runs", "total", "share");
+        for (name, count, total_us) in &pass_rows {
+            let share = if pass_total == 0 {
+                0.0
+            } else {
+                *total_us as f64 / pass_total as f64 * 100.0
+            };
+            eprintln!(
+                "  {:<16} {:>5} {:>9.3} ms {:>7.1}%",
+                name,
+                count,
+                *total_us as f64 / 1000.0,
+                share
+            );
+        }
+        eprintln!(
+            "  {:<16} {:>5} {:>9.3} ms   100.0%",
+            "total",
+            pass_rows.iter().map(|r| r.1).sum::<u64>(),
+            pass_total as f64 / 1000.0
+        );
         eprintln!("== design space ==");
         for cand in &compiled.evaluated {
             eprintln!(

@@ -285,3 +285,179 @@ fn verify_seed_changes_the_verification_inputs_and_is_reported() {
     assert_eq!(code, 64, "stderr: {stderr}");
     assert!(stderr.contains("--verify-seed"), "{stderr}");
 }
+
+#[test]
+fn profile_subcommand_renders_a_span_tree() {
+    let mut cmd = gpgpuc();
+    cmd.args(["profile", "--bind", "n=256", "--bind", "w=256", "--top", "12", "-"]);
+    let (stdout, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("== span profile: mv on GTX280 (top 12) =="),
+        "{stdout}"
+    );
+    // The root compile span heads the tree; pass and explore spans are
+    // indented beneath it with millisecond durations.
+    assert!(stdout.contains("compile:mv"), "{stdout}");
+    assert!(stdout.contains("explore"), "{stdout}");
+    assert!(stdout.contains("ms"), "{stdout}");
+}
+
+#[test]
+fn profile_subcommand_auto_binds_unbound_sizes() {
+    let mut cmd = gpgpuc();
+    cmd.args(["profile", "-"]);
+    let (stdout, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("compile:mv"), "{stdout}");
+    assert!(stderr.contains("binding unbound size `n` to 256"), "{stderr}");
+    assert!(stderr.contains("binding unbound size `w` to 256"), "{stderr}");
+}
+
+#[test]
+fn profile_flag_writes_a_self_profile_document() {
+    let dir = std::env::temp_dir().join(format!("gpgpuc-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("profile.json");
+
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "--bind", "n=256", "--bind", "w=256",
+        "--profile", out.to_str().unwrap(), "-",
+    ]);
+    let (_, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(ok, "stderr: {stderr}");
+
+    let text = std::fs::read_to_string(&out).expect("profile written");
+    let doc = gpgpu::core::trace::parse_json(&text).expect("profile parses");
+    use gpgpu::core::Json;
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("gpgpu-trace/v2")
+    );
+    assert_eq!(doc.get("kernel").and_then(Json::as_str), Some("mv"));
+    let spans = doc.get("spans").and_then(Json::as_arr).expect("spans");
+    assert!(!spans.is_empty());
+    // Every span in the finished document is closed.
+    for s in spans {
+        assert!(
+            s.get("dur_us").and_then(Json::as_f64).is_some(),
+            "open span in finished profile: {}",
+            s.compact()
+        );
+    }
+    let agg = doc.get("aggregate").and_then(Json::as_arr).expect("aggregate");
+    assert!(!agg.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_chrome_flag_writes_balanced_trace_events() {
+    let dir = std::env::temp_dir().join(format!("gpgpuc-chrome-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("chrome.json");
+
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "--bind", "n=256", "--bind", "w=256",
+        "--profile-chrome", out.to_str().unwrap(), "-",
+    ]);
+    let (_, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(ok, "stderr: {stderr}");
+
+    let text = std::fs::read_to_string(&out).expect("chrome trace written");
+    let doc = gpgpu::core::trace::parse_json(&text).expect("chrome trace parses");
+    use gpgpu::core::Json;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // B/E events nest strictly per thread: every E closes the most recent
+    // open B, and nothing is left open at the end.
+    let mut stacks: Vec<(f64, Vec<String>)> = Vec::new();
+    let mut compile_spans = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+        let tid = e.get("tid").and_then(Json::as_f64).expect("tid");
+        let name = e.get("name").and_then(Json::as_str).expect("name");
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((tid, Vec::new()));
+                &mut stacks.last_mut().unwrap().1
+            }
+        };
+        match ph {
+            "B" => {
+                if e.get("cat").and_then(Json::as_str) == Some("compile") {
+                    compile_spans += 1;
+                }
+                stack.push(name.to_string());
+            }
+            "E" => {
+                let open = stack.pop().unwrap_or_else(|| {
+                    panic!("E `{name}` with empty stack on tid {tid}")
+                });
+                assert_eq!(open, name, "mismatched E event");
+            }
+            other => panic!("unexpected phase `{other}`"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid} left spans open: {stack:?}");
+    }
+    assert!(compile_spans >= 1, "no compile-category span in the trace");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_fault_leaves_the_profile_document_balanced() {
+    let dir = std::env::temp_dir().join(format!("gpgpuc-faultprof-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("profile.json");
+
+    // A pipeline fault degrades the compile to the verified naive kernel;
+    // the run still succeeds and every recorded span must be closed.
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "--bind", "n=256", "--bind", "w=256",
+        "--profile", out.to_str().unwrap(), "-",
+    ])
+    .env("GPGPU_FAULT", "panic:pipeline");
+    let (_, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(ok, "a contained fault degrades, not fails: {stderr}");
+    assert!(
+        stderr.contains("falling back to the verified naive kernel"),
+        "{stderr}"
+    );
+
+    let text = std::fs::read_to_string(&out).expect("profile written");
+    let doc = gpgpu::core::trace::parse_json(&text).expect("profile parses");
+    use gpgpu::core::Json;
+    let spans = doc.get("spans").and_then(Json::as_arr).expect("spans");
+    assert!(!spans.is_empty());
+    for s in spans {
+        assert!(
+            s.get("dur_us").and_then(Json::as_f64).is_some(),
+            "fault leaked an open span: {}",
+            s.compact()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_includes_a_pass_attribution_table() {
+    let mut cmd = gpgpuc();
+    cmd.args(["--bind", "n=256", "--bind", "w=256", "--report", "-"]);
+    let (_, stderr, ok) = run_with_stdin(cmd, MV);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("== pass attribution =="), "{stderr}");
+    // At least the coalesce pass shows up with a share percentage, and a
+    // total row closes the table.
+    assert!(stderr.contains("coalesce"), "{stderr}");
+    assert!(stderr.contains('%'), "{stderr}");
+    assert!(stderr.contains("total"), "{stderr}");
+}

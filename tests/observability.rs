@@ -97,7 +97,7 @@ fn trace_json_document_is_schema_stable() {
     let compiled = compile_mm();
     let doc = compiled.trace_json("GTX280");
 
-    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("gpgpu-trace/v1"));
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("gpgpu-trace/v2"));
     assert_eq!(doc.get("kernel").and_then(Json::as_str), Some("mm"));
     assert_eq!(doc.get("machine").and_then(Json::as_str), Some("GTX280"));
 

@@ -291,3 +291,95 @@ fn injected_fault_poisons_only_its_own_batch_request() {
     let detail = err.get("detail").and_then(Json::as_str).expect("detail");
     assert!(detail.contains("injected fault"), "{detail}");
 }
+
+#[test]
+fn serve_answers_stats_requests_with_a_telemetry_snapshot() {
+    // Eight compile requests (one repeated kernel -> cache hits), then a
+    // stats control request. Stats lines are out-of-band: they carry no
+    // positional id and do not shift response numbering.
+    let mut input = String::new();
+    for i in 0..8 {
+        input.push_str(&mv_line(&format!("job-{i}"), "mv", 256));
+        input.push('\n');
+    }
+    input.push_str("{\"stats\": true}\n");
+    input.push_str(&mv_line("after-stats", "mv", 256));
+    input.push('\n');
+
+    let mut cmd = gpgpuc();
+    cmd.arg("serve");
+    let (stdout, stderr, code) = run_full(cmd, &input);
+    assert_eq!(code, 0, "stderr: {stderr}");
+
+    let docs = response_lines(&stdout);
+    assert_eq!(docs.len(), 10, "9 responses + 1 stats line\n{stdout}");
+    let stats_doc = docs
+        .iter()
+        .find(|d| d.get("stats").is_some())
+        .unwrap_or_else(|| panic!("no stats line in {stdout}"));
+    assert_eq!(
+        field(stats_doc, "schema").as_str(),
+        Some("gpgpu-trace/v2")
+    );
+    let stats = field(stats_doc, "stats");
+
+    // The snapshot was taken after 8 served requests.
+    let total = field(field(stats, "requests"), "total").as_f64();
+    assert_eq!(total, Some(8.0), "{}", stats_doc.compact());
+    let count = field(field(field(stats, "latency"), "all"), "count").as_f64();
+    assert_eq!(count, total, "latency population != requests served");
+
+    // Ordered percentiles, and a consistent cache ratio: 1 miss, 7 hits.
+    let lat_all = field(field(stats, "latency"), "all");
+    let p50 = field(lat_all, "p50_us").as_f64().expect("p50_us");
+    let p90 = field(lat_all, "p90_us").as_f64().expect("p90_us");
+    let p99 = field(lat_all, "p99_us").as_f64().expect("p99_us");
+    assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+    let cache = field(stats, "cache");
+    assert_eq!(field(cache, "hits").as_f64(), Some(7.0));
+    assert_eq!(field(cache, "misses").as_f64(), Some(1.0));
+    assert_eq!(field(cache, "hit_ratio").as_f64(), Some(7.0 / 8.0));
+
+    // Per-stage histograms exist for the whole request path.
+    let stages = field(stats, "stages");
+    for stage in ["queue_wait", "cache_probe", "compile", "respond"] {
+        assert!(stages.get(stage).is_some(), "missing stage `{stage}`");
+    }
+
+    // The compile request after the stats line still got answered, and
+    // positional bookkeeping ignored the control line.
+    let after = docs
+        .iter()
+        .find(|d| d.get("id").and_then(Json::as_str) == Some("after-stats"))
+        .expect("request after stats answered");
+    assert_eq!(field(after, "ok"), &Json::Bool(true));
+}
+
+#[test]
+fn batch_prints_a_stage_attribution_table() {
+    let dir = TempDir::new("attrib");
+    let manifest = dir.file(
+        "manifest.ndjson",
+        &format!(
+            "{}\n{}\n{}\n{}\n",
+            mv_line("a", "mva", 256),
+            mv_line("b", "mvb", 256),
+            mv_line("c", "mva", 256),
+            mv_line("d", "mvb", 256),
+        ),
+    );
+
+    let mut cmd = gpgpuc();
+    cmd.args(["batch", manifest.to_str().expect("utf-8"), "--jobs", "2"]);
+    let (stdout, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert_eq!(response_lines(&stdout).len(), 4);
+
+    assert!(
+        stderr.contains("== stage attribution (4 request(s)) =="),
+        "{stderr}"
+    );
+    for stage in ["queue-wait", "compile", "respond"] {
+        assert!(stderr.contains(stage), "stage `{stage}` missing:\n{stderr}");
+    }
+}
