@@ -1,0 +1,178 @@
+//! Serve-under-load benchmark: the seeded open-loop chaos mix from
+//! `gpgpu-load` (hot, cold, malformed, deadline-tight, and poisoned
+//! traffic) fired flat-out at an in-process sharded engine.
+//!
+//! Two regimes are measured back to back with the same seed:
+//!
+//! - **provisioned** — deep queues, every request admitted; the baseline
+//!   per-class latency distribution.
+//! - **saturated** — shallow queues and one worker per shard; admission
+//!   control must shed (nonzero `overloaded` responses carrying
+//!   `retry_after_ms`) instead of letting latency grow without bound.
+//!
+//! Both runs must keep the robustness invariants: every request resolves
+//! exactly once with its original id and no fault crosses a request
+//! boundary. The run writes `BENCH_serve.json` (`gpgpu-trace/v2` schema)
+//! with per-class p50/p99 — the document the CI `load-smoke` job asserts
+//! against (the committed snapshot replays through the trace parser in
+//! `tests/profiling.rs`).
+//!
+//! Note: the bench profile compiles without `gpgpu-core/fault-inject`, so
+//! the poisoned class only actually panics in builds that enable it (the
+//! CI job and the workspace test profile do); here it degrades to extra
+//! cold traffic.
+
+use gpgpu_bench::harness::banner;
+use gpgpu_core::Json;
+use gpgpu_load::{run_in_process, LoadConfig, LoadReport};
+use gpgpu_service::{ServiceConfig, ShardConfig};
+
+fn provisioned() -> LoadConfig {
+    LoadConfig {
+        requests: 384,
+        // Paced arrivals the worker pool can absorb: the baseline stays
+        // admission-clean so the saturated run's sheds stand out.
+        interarrival_us: 1500,
+        service: ServiceConfig {
+            jobs: 4,
+            queue_capacity: 64,
+            ..ServiceConfig::default()
+        },
+        shards: ShardConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            ..ShardConfig::default()
+        },
+        ..LoadConfig::default()
+    }
+}
+
+fn saturated() -> LoadConfig {
+    LoadConfig {
+        requests: 384,
+        service: ServiceConfig {
+            jobs: 2,
+            queue_capacity: 4,
+            ..ServiceConfig::default()
+        },
+        shards: ShardConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            admission_wait_ms: 2,
+            ..ShardConfig::default()
+        },
+        ..LoadConfig::default()
+    }
+}
+
+fn describe(label: &str, report: &LoadReport) {
+    println!(
+        "\n[{label}] {} requests in {:.1} ms: {} ok, {} shed, {} deadline, \
+         {} contained, {} cross-request faults",
+        report.sent(),
+        report.duration.as_secs_f64() * 1e3,
+        report.classes.iter().map(|(_, s)| s.ok).sum::<u64>(),
+        report.sheds(),
+        report.classes.iter().map(|(_, s)| s.deadline).sum::<u64>(),
+        report.classes.iter().map(|(_, s)| s.contained).sum::<u64>(),
+        report.cross_request_faults,
+    );
+    println!(
+        "{:<16} {:>6} {:>6} {:>6} {:>10} {:>10}",
+        "class", "sent", "ok", "shed", "p50 µs", "p99 µs"
+    );
+    for (class, s) in &report.classes {
+        println!(
+            "{:<16} {:>6} {:>6} {:>6} {:>10} {:>10}",
+            class.as_str(),
+            s.sent,
+            s.ok,
+            s.shed,
+            s.latency.percentile(50.0),
+            s.latency.percentile(99.0),
+        );
+    }
+}
+
+fn main() {
+    banner(
+        "serve load",
+        "open-loop chaos mix vs the sharded service: provisioned and saturated",
+    );
+
+    let runs: Vec<(&str, LoadConfig)> =
+        vec![("provisioned", provisioned()), ("saturated", saturated())];
+    let mut reports = Vec::new();
+    for (label, cfg) in runs {
+        match run_in_process(&cfg) {
+            Ok(report) => {
+                describe(label, &report);
+                if !report.clean() {
+                    println!("warning: [{label}] broke a robustness invariant");
+                }
+                reports.push((label, cfg, report));
+            }
+            Err(e) => {
+                eprintln!("serve_load: {label} run failed: {e}");
+                std::process::exit(70);
+            }
+        }
+    }
+
+    let saturated_sheds = reports
+        .iter()
+        .find(|(label, _, _)| *label == "saturated")
+        .map(|(_, _, r)| r.sheds())
+        .unwrap_or(0);
+    println!("\nsaturated sheds: {saturated_sheds} (expected nonzero: admission control engaged)");
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str(gpgpu_core::trace::SCHEMA)),
+        ("figure", Json::str("serve-load")),
+        (
+            "description",
+            Json::str(
+                "seeded open-loop chaos mix (hot/cold/malformed/deadline-tight/poisoned) \
+                 against the sharded compile service, provisioned vs saturated",
+            ),
+        ),
+        ("seed", Json::count(LoadConfig::default().seed)),
+        ("requests", Json::count(384)),
+        (
+            "runs",
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|(label, cfg, report)| {
+                        let mut entry = report.to_json();
+                        if let Json::Obj(fields) = &mut entry {
+                            fields.insert(0, ("regime".to_string(), Json::str(*label)));
+                            fields.insert(
+                                1,
+                                (
+                                    "config".to_string(),
+                                    Json::obj(vec![
+                                        ("shards", Json::count(cfg.shards.shards as u64)),
+                                        (
+                                            "workers_per_shard",
+                                            Json::count(cfg.shards.workers_per_shard as u64),
+                                        ),
+                                        (
+                                            "queue_capacity",
+                                            Json::count(cfg.service.queue_capacity as u64),
+                                        ),
+                                    ]),
+                                ),
+                            );
+                        }
+                        entry
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match std::fs::write("BENCH_serve.json", doc.pretty()) {
+        Ok(()) => println!("\nwrote BENCH_serve.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_serve.json: {e}"),
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+//! # gpgpu-load
+//!
+//! The load/chaos rig for the batch-compilation service (DESIGN.md §5.12):
+//! a *seeded, open-loop* traffic generator that drives sustained mixed
+//! traffic — hot (cache-hit), cold (distinct fingerprints), malformed,
+//! deadline-tight, and fault-poisoned requests — against either an
+//! in-process [`gpgpu_service::ShardedEngine`] or the real `gpgpuc serve`
+//! binary over stdin/stdout.
+//!
+//! "Open loop" means arrivals are paced by the clock, not by completions:
+//! the generator does not slow down when the server backs up, which is
+//! exactly the regime where admission control must shed instead of letting
+//! queues (and client-visible latency) grow without bound.
+//!
+//! Every run produces a [`LoadReport`]: per-traffic-class outcome counts
+//! and latency [`gpgpu_core::Histogram`]s (p50/p99 per class), plus the
+//! invariants CI gates on —
+//!
+//! - **no lost or duplicated responses**: every submitted request resolves
+//!   exactly once with its original id ([`LoadReport::missing`],
+//!   [`LoadReport::duplicates`], [`LoadReport::unexpected`] all zero);
+//! - **fault containment**: an injected panic (`GPGPU_FAULT` or
+//!   [`gpgpu_core::fault::arm_panic`] at [`POISON_SITE`]) degrades only the
+//!   poisoned request — [`LoadReport::cross_request_faults`] counts
+//!   `internal` errors leaking into *other* classes, and must be zero;
+//! - **bounded overload**: under saturation the shed count is nonzero (the
+//!   server refused work instead of queueing it forever) yet every shed
+//!   carries a `retry_after_ms` hint.
+//!
+//! The `gpgpu-load` binary wraps both rig targets behind a small CLI and
+//! writes the `BENCH_serve.json` snapshot the CI `load-smoke` job asserts
+//! against.
+
+mod rig;
+mod traffic;
+
+pub use rig::{run_in_process, run_serve_binary, ClassStats, LoadConfig, LoadReport};
+pub use traffic::{generate, splitmix64, LoadItem, Mix, Rng, TrafficClass, POISON_SITE};

@@ -1,0 +1,284 @@
+//! The seeded traffic generator: five request classes, one NDJSON line
+//! each, reproducible from a single `u64` seed.
+
+/// The fault site the poisoned class trips: the engine probes
+/// `service-<kernel>` before every cold compile, and poisoned requests
+/// name their kernel `inject`, so arming `panic:service-inject` (env var
+/// `GPGPU_FAULT` for a child process, [`gpgpu_core::fault::arm_panic`]
+/// in-process) panics exactly that class and nothing else.
+pub const POISON_SITE: &str = "service-inject";
+
+/// SplitMix64 — the same tiny deterministic mixer the fuzzer and the
+/// batch client's backoff jitter use; good enough to decorrelate class
+/// picks and binding sizes from consecutive seeds.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A minimal seeded PRNG over [`splitmix64`].
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator whose whole stream is determined by `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(1);
+        splitmix64(self.0)
+    }
+
+    /// A draw uniform in `0..n` (`n` ≥ 1).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+/// The five traffic classes the rig mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// The same kernel + bindings every time: after the first compile,
+    /// pure cache hits (and stampede-guard coalescing while it is hot).
+    Hot,
+    /// A fresh fingerprint per request (unique bindings): every one is a
+    /// real compile, the load that actually saturates workers.
+    Cold,
+    /// Broken requests — missing `source`, non-JSON garbage, bad types —
+    /// that must come back as structured `bad-request` lines.
+    Malformed,
+    /// Valid requests with a 1 ms deadline: most expire in the queue or
+    /// are preempted pre-compile; none may wedge a worker.
+    DeadlineTight,
+    /// Kernels named `inject` whose compile panics when the
+    /// [`POISON_SITE`] fault is armed; the panic must stay contained to
+    /// the poisoned request.
+    Poisoned,
+}
+
+impl TrafficClass {
+    /// Every class, in report order.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::Hot,
+        TrafficClass::Cold,
+        TrafficClass::Malformed,
+        TrafficClass::DeadlineTight,
+        TrafficClass::Poisoned,
+    ];
+
+    /// The class's wire/report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrafficClass::Hot => "hot",
+            TrafficClass::Cold => "cold",
+            TrafficClass::Malformed => "malformed",
+            TrafficClass::DeadlineTight => "deadline-tight",
+            TrafficClass::Poisoned => "poisoned",
+        }
+    }
+}
+
+/// Relative weights for the class mix (0 removes the class).
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Weight of [`TrafficClass::Hot`].
+    pub hot: u32,
+    /// Weight of [`TrafficClass::Cold`].
+    pub cold: u32,
+    /// Weight of [`TrafficClass::Malformed`].
+    pub malformed: u32,
+    /// Weight of [`TrafficClass::DeadlineTight`].
+    pub deadline_tight: u32,
+    /// Weight of [`TrafficClass::Poisoned`].
+    pub poisoned: u32,
+}
+
+impl Default for Mix {
+    /// The chaos mix: mostly real work (hot + cold), a steady trickle of
+    /// garbage, tight deadlines, and poison.
+    fn default() -> Mix {
+        Mix {
+            hot: 4,
+            cold: 4,
+            malformed: 1,
+            deadline_tight: 1,
+            poisoned: 2,
+        }
+    }
+}
+
+impl Mix {
+    fn total(&self) -> u64 {
+        (self.hot + self.cold + self.malformed + self.deadline_tight + self.poisoned) as u64
+    }
+
+    fn pick(&self, rng: &mut Rng) -> TrafficClass {
+        let mut roll = rng.below(self.total().max(1));
+        for (class, weight) in [
+            (TrafficClass::Hot, self.hot),
+            (TrafficClass::Cold, self.cold),
+            (TrafficClass::Malformed, self.malformed),
+            (TrafficClass::DeadlineTight, self.deadline_tight),
+            (TrafficClass::Poisoned, self.poisoned),
+        ] {
+            if roll < weight as u64 {
+                return class;
+            }
+            roll -= weight as u64;
+        }
+        TrafficClass::Hot
+    }
+}
+
+/// One generated request: its class, the id embedded in the line (when
+/// the line parses — malformed responses echo the stream position
+/// instead), and the raw NDJSON line to submit.
+#[derive(Debug, Clone)]
+pub struct LoadItem {
+    /// Which traffic class produced the line.
+    pub class: TrafficClass,
+    /// The id the generator embedded (`hot-3`, `cold-17`, …).
+    pub id: String,
+    /// The NDJSON request line.
+    pub line: String,
+}
+
+fn mv_kernel(name: &str) -> String {
+    format!(
+        "__global__ void {name}(float a[n][w], float b[w], float c[n], int n, int w) \
+         {{ float sum = 0.0f; for (int i = 0; i < w; i = i + 1) \
+         {{ sum += a[idx][i] * b[i]; }} c[idx] = sum; }}"
+    )
+}
+
+fn request_line(id: &str, kernel: &str, n: i64, w: i64, deadline_ms: Option<u64>) -> String {
+    let deadline = match deadline_ms {
+        Some(ms) => format!(", \"deadline_ms\": {ms}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"id\": \"{id}\", \"source\": \"{}\", \"bindings\": {{\"n\": {n}, \"w\": {w}}}{deadline}}}",
+        mv_kernel(kernel)
+    )
+}
+
+/// Generates `count` request lines from `seed`. Same seed + count + mix →
+/// byte-identical traffic, so a failing run replays exactly.
+pub fn generate(seed: u64, count: usize, mix: Mix, tight_deadline_ms: u64) -> Vec<LoadItem> {
+    let mut rng = Rng::new(seed);
+    let mut items = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = mix.pick(&mut rng);
+        let (id, line) = match class {
+            // One fingerprint for the whole run: the bindings never vary.
+            TrafficClass::Hot => {
+                let id = format!("hot-{i}");
+                let line = request_line(&id, "hot", 48, 48, None);
+                (id, line)
+            }
+            // A fresh fingerprint per request.
+            TrafficClass::Cold => {
+                let id = format!("cold-{i}");
+                let n = 24 + (rng.below(96) as i64);
+                let line = request_line(&id, "cold", n, 32, None);
+                (id, line)
+            }
+            TrafficClass::Malformed => {
+                let id = format!("bad-{i}");
+                let line = match rng.below(3) {
+                    // Parses as JSON but is not a valid request (the id
+                    // is lost: `parse` fails before extracting it).
+                    0 => format!("{{\"id\": \"{id}\"}}"),
+                    // Not JSON at all.
+                    1 => format!("!!! load noise {i}"),
+                    // Bad field type.
+                    _ => format!("{{\"id\": \"{id}\", \"source\": 42}}"),
+                };
+                (id, line)
+            }
+            TrafficClass::DeadlineTight => {
+                let id = format!("tight-{i}");
+                let n = 24 + (rng.below(96) as i64);
+                let line = request_line(&id, "tight", n, 32, Some(tight_deadline_ms));
+                (id, line)
+            }
+            TrafficClass::Poisoned => {
+                let id = format!("poison-{i}");
+                let n = 24 + (rng.below(96) as i64);
+                let line = request_line(&id, "inject", n, 32, None);
+                (id, line)
+            }
+        };
+        items.push(LoadItem { class, id, line });
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = generate(7, 64, Mix::default(), 1);
+        let b = generate(7, 64, Mix::default(), 1);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.line, y.line);
+            assert_eq!(x.class, y.class);
+        }
+        let c = generate(8, 64, Mix::default(), 1);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.line != y.line),
+            "different seeds produced identical traffic"
+        );
+    }
+
+    #[test]
+    fn the_mix_reaches_every_class() {
+        let items = generate(42, 256, Mix::default(), 1);
+        for class in TrafficClass::ALL {
+            assert!(
+                items.iter().any(|i| i.class == class),
+                "256 draws never produced {:?}",
+                class
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_removes_a_class() {
+        let mix = Mix {
+            poisoned: 0,
+            malformed: 0,
+            ..Mix::default()
+        };
+        let items = generate(3, 256, mix, 1);
+        assert!(items
+            .iter()
+            .all(|i| i.class != TrafficClass::Poisoned && i.class != TrafficClass::Malformed));
+    }
+
+    #[test]
+    fn generated_request_lines_parse_back() {
+        use gpgpu_service::CompileRequest;
+        for item in generate(11, 128, Mix::default(), 1) {
+            let parsed = CompileRequest::parse(&item.line, 0);
+            match item.class {
+                TrafficClass::Malformed => {
+                    assert!(parsed.is_err(), "malformed line parsed: {}", item.line)
+                }
+                _ => {
+                    let req = parsed.unwrap_or_else(|e| panic!("{}: {e}", item.line));
+                    assert_eq!(req.id, item.id);
+                }
+            }
+        }
+    }
+}

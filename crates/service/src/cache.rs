@@ -93,13 +93,20 @@ impl DiskCache {
     }
 
     /// Loads an entry; a missing, unreadable, mis-schema'd or
-    /// wrong-fingerprint file is a miss (corrupt files are deleted).
-    fn load(&self, fingerprint: &str) -> Result<Option<CachedArtifact>, String> {
+    /// wrong-fingerprint file is a miss (corrupt files are deleted — a
+    /// *self-heal*, reported through [`DiskFault::healed`] so the engine
+    /// can count it).
+    fn load(&self, fingerprint: &str) -> Result<Option<CachedArtifact>, DiskFault> {
         let path = self.path_for(fingerprint);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(format!("read {}: {e}", path.display())),
+            Err(e) => {
+                return Err(DiskFault {
+                    detail: format!("read {}: {e}", path.display()),
+                    healed: false,
+                })
+            }
         };
         let parsed = gpgpu_trace::parse_json(&text)
             .map_err(|e| e.to_string())
@@ -108,15 +115,21 @@ impl DiskCache {
             Ok(artifact) if artifact.fingerprint == fingerprint => Ok(Some(artifact)),
             Ok(artifact) => {
                 let _ = std::fs::remove_file(&path);
-                Err(format!(
-                    "entry {} carries fingerprint {}; deleted",
-                    path.display(),
-                    artifact.fingerprint
-                ))
+                Err(DiskFault {
+                    detail: format!(
+                        "entry {} carries fingerprint {}; deleted",
+                        path.display(),
+                        artifact.fingerprint
+                    ),
+                    healed: true,
+                })
             }
             Err(e) => {
                 let _ = std::fs::remove_file(&path);
-                Err(format!("stale or corrupt {}: {e}; deleted", path.display()))
+                Err(DiskFault {
+                    detail: format!("stale or corrupt {}: {e}; deleted", path.display()),
+                    healed: true,
+                })
             }
         }
     }
@@ -145,6 +158,17 @@ pub struct CompileCache {
     disk: Option<DiskCache>,
 }
 
+/// A soft failure in the persistent layer — never fatal to the request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskFault {
+    /// Human-readable description for the metrics/trace plumbing.
+    pub detail: String,
+    /// Whether the store repaired itself by deleting the offending entry
+    /// (corrupt or fingerprint-mismatched file). `false` for plain I/O
+    /// failures where nothing was removed.
+    pub healed: bool,
+}
+
 /// The result of one [`CompileCache::get`] probe.
 pub struct CacheProbe {
     /// The artifact, when either layer held it.
@@ -153,7 +177,7 @@ pub struct CacheProbe {
     pub outcome: CacheOutcome,
     /// A soft disk error (corrupt entry, I/O failure), reported for the
     /// metrics but never fatal to the request.
-    pub disk_error: Option<String>,
+    pub disk_error: Option<DiskFault>,
 }
 
 impl CompileCache {
@@ -214,14 +238,16 @@ impl CompileCache {
     /// Stores a freshly compiled artifact in both layers. Returns the
     /// evicted memory fingerprint (if the LRU overflowed) and any soft
     /// disk error.
-    pub fn put(&mut self, artifact: &CachedArtifact) -> (Option<String>, Option<String>) {
+    pub fn put(&mut self, artifact: &CachedArtifact) -> (Option<String>, Option<DiskFault>) {
         let evicted = self
             .memory
             .insert(artifact.fingerprint.clone(), artifact.clone());
-        let disk_error = self
-            .disk
-            .as_ref()
-            .and_then(|d| d.store(artifact).err());
+        let disk_error = self.disk.as_ref().and_then(|d| {
+            d.store(artifact).err().map(|detail| DiskFault {
+                detail,
+                healed: false,
+            })
+        });
         (evicted, disk_error)
     }
 
@@ -289,7 +315,7 @@ mod tests {
         std::fs::write(v1.join("0bad.json"), "not json at all").unwrap();
         let probe = cache.get("0bad");
         assert_eq!(probe.outcome, CacheOutcome::Miss);
-        assert!(probe.disk_error.is_some());
+        assert!(probe.disk_error.as_ref().is_some_and(|f| f.healed));
         assert!(!v1.join("0bad.json").exists(), "corrupt entry deleted");
         // A valid file stored under the wrong fingerprint is also refused.
         std::fs::write(
@@ -299,7 +325,7 @@ mod tests {
         .unwrap();
         let probe = cache.get("yyyy");
         assert_eq!(probe.outcome, CacheOutcome::Miss);
-        assert!(probe.disk_error.is_some());
+        assert!(probe.disk_error.as_ref().is_some_and(|f| f.healed));
         assert!(!v1.join("yyyy.json").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }

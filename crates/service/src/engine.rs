@@ -10,7 +10,7 @@
 //! *not* persisted — a transient fault must not pin its fallback output
 //! into the cache.
 
-use crate::cache::{CacheOutcome, CompileCache};
+use crate::cache::{CacheOutcome, CompileCache, DiskFault};
 use crate::queue::BoundedQueue;
 use crate::request::{
     CacheDisposition, CompileRequest, CompileResponse, ErrorClass,
@@ -19,9 +19,10 @@ use gpgpu_core::{
     compile, CompileError, CompileOptions, Json, MetricsRegistry, Profiler, SpanId, TraceEvent,
 };
 use gpgpu_sim::MachineDesc;
+use std::collections::HashSet;
 use std::path::PathBuf;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -66,6 +67,17 @@ struct Counters {
     latency_micros_total: u64,
     latency_micros_max: u64,
     queue_max_depth: u64,
+    /// Requests rejected by admission control (`overloaded` responses).
+    shed: u64,
+    /// Jobs an idle shard stole from another shard's backlog.
+    steals: u64,
+    /// Expired requests swept out of a queue before reaching a worker.
+    swept: u64,
+    /// Corrupt/mismatched on-disk cache entries deleted (self-heals).
+    self_heals: u64,
+    /// Requests failed with `deadline` *before* compiling because the
+    /// remaining budget was under the shard's p50 compile estimate.
+    deadline_preempted: u64,
 }
 
 /// The long-lived batch-compilation engine.
@@ -86,10 +98,39 @@ pub struct Engine {
     /// `service_stage_*` per request stage), merged into [`Engine::metrics`]
     /// snapshots and the `stats` document.
     hists: Mutex<MetricsRegistry>,
+    /// Fingerprints currently being compiled — the cache-stampede guard.
+    /// A request that misses the cache but finds its fingerprint here
+    /// waits for the in-flight compile and takes the hit instead of
+    /// duplicating the work (hot traffic arriving concurrently compiles
+    /// once, not N times).
+    inflight_fps: Mutex<HashSet<String>>,
+    inflight_cv: Condvar,
+}
+
+/// Holds one fingerprint's slot in the stampede guard; releasing (on any
+/// exit path, including an error response) wakes every waiter so they
+/// re-probe the cache.
+struct InflightSlot<'a> {
+    engine: &'a Engine,
+    fingerprint: String,
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        lock(&self.engine.inflight_fps).remove(&self.fingerprint);
+        self.engine.inflight_cv.notify_all();
+    }
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Whether a request that has already waited `waited_ms` of its
+/// `limit_ms` deadline is expired. A zero deadline is expired on arrival
+/// — such a request must be refused at admission, never dispatched.
+pub(crate) fn deadline_expired(limit_ms: u64, waited_ms: u64) -> bool {
+    limit_ms == 0 || waited_ms > limit_ms
 }
 
 impl Engine {
@@ -109,6 +150,8 @@ impl Engine {
             started: Instant::now(),
             profiler: Profiler::new(),
             hists: Mutex::new(MetricsRegistry::new()),
+            inflight_fps: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
         })
     }
 
@@ -147,6 +190,11 @@ impl Engine {
             ("service_latency_micros_total", c.latency_micros_total),
             ("service_latency_micros_max", c.latency_micros_max),
             ("service_queue_max_depth", c.queue_max_depth),
+            ("service_shed_total", c.shed),
+            ("service_steal_total", c.steals),
+            ("service_swept_total", c.swept),
+            ("service_cache_self_heals", c.self_heals),
+            ("service_deadline_preempted", c.deadline_preempted),
         ] {
             reg.push_global(name, value as f64);
         }
@@ -224,7 +272,17 @@ impl Engine {
                             ("misses", Json::count(c.misses)),
                             ("evictions", Json::count(c.evictions)),
                             ("disk_errors", Json::count(c.disk_errors)),
+                            ("self_heals", Json::count(c.self_heals)),
                             ("hit_ratio", Json::Num(hit_ratio)),
+                        ]),
+                    ),
+                    (
+                        "overload",
+                        Json::obj([
+                            ("shed", Json::count(c.shed)),
+                            ("steals", Json::count(c.steals)),
+                            ("swept", Json::count(c.swept)),
+                            ("deadline_preempted", Json::count(c.deadline_preempted)),
                         ]),
                     ),
                     ("latency", Json::Obj(latency)),
@@ -276,7 +334,7 @@ impl Engine {
         let deadline_ms = req.deadline_ms.or(self.config.default_deadline_ms);
         if let Some(limit) = deadline_ms {
             let waited = started.elapsed().as_millis() as u64;
-            if waited > limit {
+            if deadline_expired(limit, waited) {
                 let resp = CompileResponse::failure(
                     req.id,
                     ErrorClass::Deadline,
@@ -368,6 +426,103 @@ impl Engine {
             return resp;
         }
 
+        // Cache-stampede guard: when an identical request is already
+        // compiling on another worker, wait for it instead of compiling
+        // the same kernel twice, then take the cache hit it stored. The
+        // slot is released on every exit path (Drop), so even an error
+        // response wakes the waiters — they re-probe, miss, and the next
+        // one becomes the new winner.
+        let _slot = {
+            let mut inflight = lock(&self.inflight_fps);
+            loop {
+                if !inflight.contains(&fingerprint) {
+                    inflight.insert(fingerprint.clone());
+                    break;
+                }
+                if let Some(limit) = deadline_ms {
+                    let waited = started.elapsed().as_millis() as u64;
+                    if deadline_expired(limit, waited) {
+                        drop(inflight);
+                        let resp = CompileResponse::failure(
+                            req.id,
+                            ErrorClass::Deadline,
+                            format!(
+                                "deadline of {limit} ms elapsed after {waited} ms \
+                                 waiting on an in-flight duplicate compile"
+                            ),
+                        );
+                        self.finish(&resp, &kernel_name, started, parent);
+                        return resp;
+                    }
+                }
+                let (guard, _) = self
+                    .inflight_cv
+                    .wait_timeout(inflight, Duration::from_millis(20))
+                    .unwrap_or_else(|p| p.into_inner());
+                inflight = guard;
+            }
+            InflightSlot {
+                engine: self,
+                fingerprint: fingerprint.clone(),
+            }
+        };
+        // Re-probe now that we hold the slot: if we waited, the winner's
+        // artifact is in the cache; even without waiting, a winner may
+        // have stored and released between our first probe and the slot
+        // acquisition. Either way the hit is taken, not recompiled.
+        {
+            let reprobe = lock(&self.cache).get(&fingerprint);
+            if let Some(err) = &reprobe.disk_error {
+                self.note_disk_error(&fingerprint, err);
+            }
+            if let Some(artifact) = reprobe.artifact {
+                let disposition = match reprobe.outcome {
+                    CacheOutcome::MemoryHit => CacheDisposition::Memory,
+                    CacheOutcome::DiskHit => CacheDisposition::Disk,
+                    CacheOutcome::Miss => CacheDisposition::Miss,
+                };
+                self.emit(TraceEvent::ServiceCache {
+                    op: "coalesced",
+                    fingerprint: fingerprint.clone(),
+                });
+                let resp = CompileResponse {
+                    id: req.id,
+                    artifact: Some(artifact),
+                    error: None,
+                    cache: disposition,
+                    micros: started.elapsed().as_micros() as u64,
+                };
+                self.finish(&resp, &kernel_name, started, parent);
+                return resp;
+            }
+        }
+
+        // Deadline-aware scheduling: if what's left of the deadline is
+        // below the observed p50 compile time, the compile would almost
+        // certainly blow the budget — fail *now*, before opening a compile
+        // span or burning a worker on doomed work.
+        if let Some(limit) = deadline_ms {
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            let remaining_us = limit.saturating_mul(1000).saturating_sub(elapsed_us);
+            if let Some(p50_us) = self.compile_p50_estimate_us() {
+                if remaining_us < p50_us {
+                    lock(&self.counters).deadline_preempted += 1;
+                    let resp = CompileResponse::failure(
+                        req.id,
+                        ErrorClass::Deadline,
+                        format!(
+                            "remaining deadline {} ms is below the p50 compile \
+                             estimate of {} ms; not compiling",
+                            remaining_us / 1000,
+                            p50_us / 1000
+                        ),
+                    );
+                    self.finish(&resp, &kernel_name, started, parent);
+                    return resp;
+                }
+            }
+        }
+
         // Cold compile, contained: a panic here — including the injected
         // per-request `service-<kernel>` fault site — poisons only this
         // request. The stage span is opened before the `catch_unwind` so
@@ -447,12 +602,59 @@ impl Engine {
         lock(&self.cache).has_disk()
     }
 
-    fn note_disk_error(&self, fingerprint: &str, err: &str) {
-        lock(&self.counters).disk_errors += 1;
+    fn note_disk_error(&self, fingerprint: &str, fault: &DiskFault) {
+        {
+            let mut c = lock(&self.counters);
+            c.disk_errors += 1;
+            if fault.healed {
+                c.self_heals += 1;
+            }
+        }
         self.emit(TraceEvent::ServiceCache {
-            op: "disk-error",
-            fingerprint: format!("{fingerprint}: {err}"),
+            op: if fault.healed { "self-heal" } else { "disk-error" },
+            fingerprint: format!("{fingerprint}: {}", fault.detail),
         });
+    }
+
+    /// Books an admission-control shed into the counters (the
+    /// `service_shed_total` metric).
+    pub(crate) fn note_shed(&self) {
+        lock(&self.counters).shed += 1;
+    }
+
+    /// Books one work-steal (an idle shard draining a hot one's backlog).
+    pub(crate) fn note_steal(&self) {
+        lock(&self.counters).steals += 1;
+    }
+
+    /// Books expired requests swept from a queue before dispatch.
+    pub(crate) fn note_swept(&self, n: u64) {
+        lock(&self.counters).swept += n;
+    }
+
+    /// Folds a shard queue's high-water mark into the engine counters.
+    pub(crate) fn note_queue_depth(&self, depth: u64) {
+        let mut c = lock(&self.counters);
+        c.queue_max_depth = c.queue_max_depth.max(depth);
+    }
+
+    /// Books a response produced *outside* [`Engine::handle`] — admission
+    /// sheds, queue sweeps, and drain-timeout sheds — so the stats stay
+    /// consistent with everything the server emitted.
+    pub(crate) fn book_external(&self, resp: &CompileResponse, started: Instant) {
+        self.finish(resp, "?", started, None);
+    }
+
+    /// The p50 of observed compile-stage times, in microseconds — the
+    /// deadline scheduler's estimate of what admitting a cold request
+    /// costs. `None` until enough samples (8) have accumulated to trust.
+    pub fn compile_p50_estimate_us(&self) -> Option<u64> {
+        let hists = lock(&self.hists);
+        let h = hists.histogram("service_stage_compile")?;
+        if h.count() < 8 {
+            return None;
+        }
+        Some(h.percentile(50.0))
     }
 
     /// Books a finished response into the counters, the latency
@@ -527,7 +729,24 @@ impl Engine {
                 });
             }
             for (index, req) in requests.into_iter().enumerate() {
-                queue.push((index, req, Instant::now()));
+                // Admission short-circuit: a deadline that is already
+                // elapsed at enqueue never reaches a worker (and never
+                // opens a compile span).
+                let enqueued = Instant::now();
+                let limit = req.deadline_ms.or(self.config.default_deadline_ms);
+                if let Some(limit) = limit {
+                    if deadline_expired(limit, 0) {
+                        let resp = CompileResponse::failure(
+                            req.id.clone(),
+                            ErrorClass::Deadline,
+                            format!("deadline of {limit} ms already elapsed at enqueue"),
+                        );
+                        self.book_external(&resp, enqueued);
+                        lock(&results)[index] = Some(resp);
+                        continue;
+                    }
+                }
+                queue.push((index, req, enqueued));
             }
             queue.close();
         });
@@ -549,5 +768,54 @@ impl Engine {
             })
             .collect();
         responses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::CacheDisposition;
+    use std::sync::Arc;
+
+    const MV: &str = "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) \
+                      { float sum = 0.0f; for (int i = 0; i < w; i = i + 1) \
+                      { sum += a[idx][i] * b[i]; } c[idx] = sum; }";
+
+    /// The stampede guard: identical requests racing on a cold cache
+    /// compile exactly once — one miss does the work, every other thread
+    /// waits and takes the hit it stored.
+    #[test]
+    fn concurrent_identical_requests_compile_once() {
+        let engine = Arc::new(
+            Engine::new(ServiceConfig::default()).unwrap_or_else(|e| panic!("{e}")),
+        );
+        let mut workers = Vec::new();
+        for i in 0..4 {
+            let engine = Arc::clone(&engine);
+            workers.push(std::thread::spawn(move || {
+                let mut req = CompileRequest::inline(&format!("dup-{i}"), MV);
+                req.bindings = vec![("n".into(), 64), ("w".into(), 64)];
+                engine.handle(req, Instant::now())
+            }));
+        }
+        let responses: Vec<CompileResponse> = workers
+            .into_iter()
+            .map(|w| w.join().unwrap_or_else(|_| panic!("worker panicked")))
+            .collect();
+        assert!(responses.iter().all(|r| r.ok()), "{responses:?}");
+        let misses = responses
+            .iter()
+            .filter(|r| r.cache == CacheDisposition::Miss)
+            .count();
+        let hits = responses
+            .iter()
+            .filter(|r| r.cache == CacheDisposition::Memory)
+            .count();
+        assert_eq!((misses, hits), (1, 3), "{responses:?}");
+        // And the artifacts are byte-identical across winner and waiters.
+        let first = responses[0].artifact.as_ref().map(|a| &a.source);
+        assert!(responses
+            .iter()
+            .all(|r| r.artifact.as_ref().map(|a| &a.source) == first));
     }
 }

@@ -7,7 +7,7 @@
 //! long-lived, concurrent engine behind `gpgpuc batch` and `gpgpuc serve`
 //! (DESIGN.md §5.10).
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! - **Content-addressed compile cache** ([`CompileCache`]): requests are
 //!   keyed by [`gpgpu_core::CompileOptions::fingerprint`] — a stable hash
@@ -25,6 +25,14 @@
 //!   JSON object per line for both batch manifests and the `serve`
 //!   stdin/stdout loop; malformed input becomes a structured
 //!   `bad-request` response, never a crash.
+//! - **Overload-tolerant sharding** ([`ShardedEngine`], DESIGN.md §5.12):
+//!   N shards behind a least-loaded router with work stealing,
+//!   bounded-wait admission control that sheds saturation as structured
+//!   `overloaded` responses carrying a `retry_after_ms` hint, deadline
+//!   sweeping (expired requests never reach a worker), and graceful
+//!   drain-or-shed shutdown — under load every request resolves as a
+//!   success, a structured error, or an `overloaded` hint; no client is
+//!   ever blocked indefinitely.
 //!
 //! Observability rides on the existing subsystems: queue depth, latency
 //! and cache hit/miss/evict counters export as `service_*` globals in a
@@ -36,10 +44,12 @@ mod cache;
 mod engine;
 mod queue;
 mod request;
+mod shard;
 
-pub use cache::{CacheOutcome, CacheProbe, CompileCache};
+pub use cache::{CacheOutcome, CacheProbe, CompileCache, DiskFault};
 pub use engine::{Engine, ServiceConfig};
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, PopResult, PushError};
 pub use request::{
     CacheDisposition, CompileRequest, CompileResponse, ErrorClass, ResponseError, SourceSpec,
 };
+pub use shard::{ShardConfig, ShardedEngine, Submitted};

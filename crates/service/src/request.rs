@@ -21,7 +21,9 @@
 //! "micros", "artifact"}` on success, or `{"id", "ok": false,
 //! "error": {"class", "detail"}, "micros"}` on failure — a malformed
 //! request line produces a structured `bad-request` response, never a
-//! crash.
+//! crash. When admission control sheds a request the class is
+//! `overloaded` and the error object additionally carries
+//! `retry_after_ms`, the server's backoff hint.
 
 use gpgpu_core::{CachedArtifact, StageSet};
 use gpgpu_trace::Json;
@@ -38,6 +40,10 @@ pub enum ErrorClass {
     Compile,
     /// The request's deadline elapsed before a worker picked it up.
     Deadline,
+    /// Admission control shed the request: every shard's queue was past
+    /// its watermark. The error carries a `retry_after_ms` hint computed
+    /// from the observed service rate; clients should back off and retry.
+    Overloaded,
     /// A contained fault (panic) inside the worker.
     Internal,
 }
@@ -50,6 +56,7 @@ impl ErrorClass {
             ErrorClass::Parse => "parse",
             ErrorClass::Compile => "compile",
             ErrorClass::Deadline => "deadline",
+            ErrorClass::Overloaded => "overloaded",
             ErrorClass::Internal => "internal",
         }
     }
@@ -64,6 +71,8 @@ impl ErrorClass {
             ErrorClass::Compile | ErrorClass::Deadline => 69,
             // EX_SOFTWARE: a contained internal fault.
             ErrorClass::Internal => 70,
+            // EX_TEMPFAIL: retry later (honor `retry_after_ms`).
+            ErrorClass::Overloaded => 75,
         }
     }
 }
@@ -293,6 +302,9 @@ pub struct ResponseError {
     pub class: ErrorClass,
     /// Human-readable detail.
     pub detail: String,
+    /// For `overloaded` responses: how long the client should wait before
+    /// retrying, derived from the shard's observed service rate.
+    pub retry_after_ms: Option<u64>,
 }
 
 /// One compile response, serialized as one NDJSON line.
@@ -323,10 +335,29 @@ impl CompileResponse {
             error: Some(ResponseError {
                 class,
                 detail: detail.into(),
+                retry_after_ms: None,
             }),
             cache: CacheDisposition::Miss,
             micros: 0,
         }
+    }
+
+    /// An `overloaded` shed response carrying the backoff hint.
+    pub fn overloaded(
+        id: impl Into<String>,
+        detail: impl Into<String>,
+        retry_after_ms: u64,
+    ) -> CompileResponse {
+        let mut resp = CompileResponse::failure(id, ErrorClass::Overloaded, detail);
+        if let Some(error) = resp.error.as_mut() {
+            error.retry_after_ms = Some(retry_after_ms);
+        }
+        resp
+    }
+
+    /// The backoff hint, when this is an `overloaded` response.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        self.error.as_ref().and_then(|e| e.retry_after_ms)
     }
 
     /// Whether the request produced an artifact.
@@ -356,13 +387,14 @@ impl CompileResponse {
             pairs.push(("artifact".to_string(), artifact.to_json()));
         }
         if let Some(error) = &self.error {
-            pairs.push((
-                "error".to_string(),
-                Json::obj([
-                    ("class", Json::str(error.class.as_str())),
-                    ("detail", Json::str(&error.detail)),
-                ]),
-            ));
+            let mut fields = vec![
+                ("class".to_string(), Json::str(error.class.as_str())),
+                ("detail".to_string(), Json::str(&error.detail)),
+            ];
+            if let Some(ms) = error.retry_after_ms {
+                fields.push(("retry_after_ms".to_string(), Json::count(ms)));
+            }
+            pairs.push(("error".to_string(), Json::Obj(fields)));
         }
         Json::Obj(pairs)
     }
@@ -437,5 +469,20 @@ mod tests {
         assert_eq!(ErrorClass::Compile.exit_code(), 69);
         assert_eq!(ErrorClass::Deadline.exit_code(), 69);
         assert_eq!(ErrorClass::Internal.exit_code(), 70);
+        assert_eq!(ErrorClass::Overloaded.exit_code(), 75);
+    }
+
+    #[test]
+    fn overloaded_responses_carry_the_retry_hint_on_the_wire() {
+        let shed = CompileResponse::overloaded("r9", "all shards saturated", 120);
+        assert_eq!(shed.retry_after_ms(), Some(120));
+        assert_eq!(shed.exit_code(), 75);
+        let doc = shed.to_json();
+        let err = doc.get("error").expect("error object");
+        assert_eq!(err.get("class").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(err.get("retry_after_ms").and_then(Json::as_f64), Some(120.0));
+        // Non-overloaded errors never carry the hint.
+        let fail = CompileResponse::failure("r1", ErrorClass::Parse, "expected `)`");
+        assert!(fail.to_json().get("error").map(|e| e.get("retry_after_ms").is_none()) == Some(true));
     }
 }

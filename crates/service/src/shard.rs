@@ -1,0 +1,620 @@
+//! The sharded, overload-tolerant front of the engine: N shards (each its
+//! own bounded queue + worker pool) behind a least-loaded router, with
+//! work stealing, bounded-wait admission control, deadline sweeping, and
+//! graceful shutdown (DESIGN.md §5.12).
+//!
+//! All shards share one [`Engine`] — and therefore one compile cache, one
+//! counter block, and one histogram registry — so telemetry and cache
+//! behavior are identical to the single-queue engine; only the *queueing
+//! discipline* changes:
+//!
+//! - **Routing** picks the shard with the smallest backlog
+//!   (queued + in-flight) at submit time.
+//! - **Admission control** never blocks a client indefinitely. Past the
+//!   configurable watermark the request is shed immediately with a
+//!   structured `overloaded` response carrying `retry_after_ms` (derived
+//!   from the shard's observed service rate); at the hard capacity the
+//!   submitter first sweeps expired requests out of the queue, then waits
+//!   a *bounded* interval for a slot, then sheds.
+//! - **Work stealing**: a worker whose own queue stays empty for a beat
+//!   pops from the deepest sibling queue instead, so one hot shard cannot
+//!   strand idle capacity (`service_steal_total`).
+//! - **Shutdown** closes every queue, then either drains everything
+//!   (default — matching the pre-shard contract that EOF serves all
+//!   accepted work) or, past an optional drain timeout, sheds whatever is
+//!   still queued as `overloaded` and joins the workers.
+
+use crate::engine::{deadline_expired, Engine};
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{CompileRequest, CompileResponse, ErrorClass};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Sharding and admission-control knobs, layered over a
+/// [`crate::ServiceConfig`] (whose `queue_capacity` becomes the *per
+/// shard* bound).
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of engine shards (each its own queue + workers).
+    pub shards: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Fraction of a shard's queue capacity past which admission sheds
+    /// immediately (1.0 = only shed at hard capacity).
+    pub admission_watermark: f64,
+    /// How long admission may wait for a slot when the chosen queue is at
+    /// hard capacity before shedding, in milliseconds. This bounds the
+    /// worst-case time a client spends blocked on admission.
+    pub admission_wait_ms: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            admission_watermark: 1.0,
+            admission_wait_ms: 10,
+        }
+    }
+}
+
+/// One queued unit of work: the request plus its response channel.
+struct Job {
+    req: CompileRequest,
+    enqueued: Instant,
+    deadline_ms: Option<u64>,
+    tx: mpsc::Sender<CompileResponse>,
+}
+
+/// Per-shard state shared between the router and the shard's workers.
+struct Shard {
+    queue: BoundedQueue<Job>,
+    /// Jobs currently inside a worker (picked but not yet responded).
+    inflight: AtomicUsize,
+    /// Jobs this shard's workers completed (including stolen ones).
+    served: AtomicU64,
+    /// Jobs this shard's workers stole from sibling queues.
+    stolen: AtomicU64,
+    /// EWMA of observed per-job service time, in microseconds — the
+    /// basis of the `retry_after_ms` hint. 0 until the first sample.
+    ewma_service_us: AtomicU64,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            queue: BoundedQueue::new(capacity),
+            inflight: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            ewma_service_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Queued + in-flight — the router's load figure.
+    fn backlog(&self) -> usize {
+        self.queue.depth() + self.inflight.load(Ordering::Relaxed)
+    }
+
+    fn observe_service_time(&self, micros: u64) {
+        let old = self.ewma_service_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            micros
+        } else {
+            // 4/5 history, 1/5 sample: smooth but still tracks a phase
+            // change within a handful of requests.
+            (old.saturating_mul(4).saturating_add(micros)) / 5
+        };
+        self.ewma_service_us.store(new, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    engine: Arc<Engine>,
+    shards: Vec<Shard>,
+    config: ShardConfig,
+}
+
+/// What [`ShardedEngine::submit`] did with a request.
+pub enum Submitted {
+    /// Admitted: the response arrives on this receiver when a worker
+    /// finishes (or when a sweep/shutdown sheds the job).
+    Queued(mpsc::Receiver<CompileResponse>),
+    /// Refused at admission — an `overloaded` shed (with `retry_after_ms`)
+    /// or an already-expired `deadline`. Already booked into the engine
+    /// stats; just deliver it.
+    Rejected(Box<CompileResponse>),
+}
+
+/// N engine shards behind a least-loaded router with work stealing and
+/// shed-instead-of-stall admission control.
+pub struct ShardedEngine {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShardedEngine {
+    /// Starts `config.shards` shards, each with its own queue (capacity =
+    /// the engine's `queue_capacity`) and `config.workers_per_shard`
+    /// workers, all serving through the shared `engine`.
+    pub fn start(engine: Arc<Engine>, config: ShardConfig) -> ShardedEngine {
+        let mut config = config;
+        config.shards = config.shards.max(1);
+        config.workers_per_shard = config.workers_per_shard.max(1);
+        config.admission_watermark = config.admission_watermark.clamp(0.0, 1.0);
+        let capacity = engine.config().queue_capacity;
+        let shards: Vec<Shard> = (0..config.shards).map(|_| Shard::new(capacity)).collect();
+        let inner = Arc::new(Inner {
+            engine,
+            shards,
+            config,
+        });
+        let mut workers = Vec::new();
+        for shard_index in 0..inner.config.shards {
+            for _ in 0..inner.config.workers_per_shard {
+                let inner = Arc::clone(&inner);
+                workers.push(std::thread::spawn(move || worker_loop(&inner, shard_index)));
+            }
+        }
+        ShardedEngine { inner, workers }
+    }
+
+    /// The shared engine (cache, counters, profiler).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.inner.engine
+    }
+
+    /// Submits one parsed request. Never blocks longer than the bounded
+    /// admission wait: the request is either queued (response later via
+    /// the receiver) or rejected right now with a structured response.
+    ///
+    /// `enqueued` anchors the request's deadline (pass the time the line
+    /// was *read* so deadlines cover any front-end backlog).
+    pub fn submit(&self, req: CompileRequest, enqueued: Instant) -> Submitted {
+        let inner = &*self.inner;
+        let deadline_ms = req
+            .deadline_ms
+            .or(inner.engine.config().default_deadline_ms);
+
+        // Deadline short-circuit: a budget that is already spent at
+        // admission never reaches a queue, a worker, or a compile span.
+        if let Some(limit) = deadline_ms {
+            let waited = enqueued.elapsed().as_millis() as u64;
+            if deadline_expired(limit, waited) {
+                let resp = CompileResponse::failure(
+                    req.id,
+                    ErrorClass::Deadline,
+                    format!("deadline of {limit} ms already elapsed at admission"),
+                );
+                inner.engine.book_external(&resp, enqueued);
+                return Submitted::Rejected(Box::new(resp));
+            }
+        }
+
+        let shard_index = self.least_loaded();
+        let shard = &inner.shards[shard_index];
+
+        // Watermark check: past the configured fill fraction the request
+        // is shed immediately — saturation is answered with a hint, not a
+        // stall.
+        let capacity = shard.queue.capacity();
+        let watermark_slots =
+            ((capacity as f64) * inner.config.admission_watermark).ceil() as usize;
+        if shard.queue.depth() >= watermark_slots.max(1) {
+            return Submitted::Rejected(Box::new(self.shed(req, enqueued, shard_index)));
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let mut job = Job {
+            req,
+            enqueued,
+            deadline_ms,
+            tx,
+        };
+        // Fast path: a free slot right now.
+        job = match shard.queue.try_push(job) {
+            Ok(()) => return Submitted::Queued(rx),
+            Err((job, PushError::Closed)) => {
+                let resp = self.shutdown_shed(job.req.id.clone(), enqueued);
+                return Submitted::Rejected(Box::new(resp));
+            }
+            Err((job, PushError::Full)) => job,
+        };
+        // Hard capacity: sweep expired requests out of the queue first —
+        // they were going to fail anyway, and each one freed is a slot a
+        // live request can take.
+        self.sweep_expired(shard_index);
+        let wait = Duration::from_millis(inner.config.admission_wait_ms);
+        match shard.queue.push_timeout(job, wait) {
+            Ok(()) => Submitted::Queued(rx),
+            Err((job, PushError::Closed)) => {
+                let resp = self.shutdown_shed(job.req.id.clone(), enqueued);
+                Submitted::Rejected(Box::new(resp))
+            }
+            Err((job, PushError::Full)) => {
+                Submitted::Rejected(Box::new(self.shed(job.req, enqueued, shard_index)))
+            }
+        }
+    }
+
+    /// Index of the shard with the smallest backlog.
+    fn least_loaded(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.backlog())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Builds, books, and counts one `overloaded` shed.
+    fn shed(&self, req: CompileRequest, enqueued: Instant, shard_index: usize) -> CompileResponse {
+        let inner = &*self.inner;
+        let hint = self.retry_after_ms(shard_index);
+        let resp = CompileResponse::overloaded(
+            req.id,
+            format!(
+                "all {} shard queue(s) past the admission watermark; retry after the hint",
+                inner.config.shards
+            ),
+            hint,
+        );
+        inner.engine.note_shed();
+        inner.engine.book_external(&resp, enqueued);
+        resp
+    }
+
+    /// The shed during shutdown: the queue is closed, not saturated, so
+    /// the hint is the drain horizon rather than the service rate.
+    fn shutdown_shed(&self, id: String, enqueued: Instant) -> CompileResponse {
+        let resp =
+            CompileResponse::overloaded(id, "server is shutting down; resubmit elsewhere", 1000);
+        self.inner.engine.note_shed();
+        self.inner.engine.book_external(&resp, enqueued);
+        resp
+    }
+
+    /// The backoff hint for a shed on `shard_index`: how long the backlog
+    /// ahead should take to drain at the observed per-worker service
+    /// rate, clamped to [1 ms, 30 s]. Before any service-time sample
+    /// exists the hint is a flat 50 ms.
+    fn retry_after_ms(&self, shard_index: usize) -> u64 {
+        let inner = &*self.inner;
+        let shard = &inner.shards[shard_index];
+        let ewma_us = match shard.ewma_service_us.load(Ordering::Relaxed) {
+            0 => return 50,
+            us => us,
+        };
+        let backlog = shard.backlog() as u64;
+        let per_worker = backlog / inner.config.workers_per_shard as u64 + 1;
+        (per_worker.saturating_mul(ewma_us) / 1000).clamp(1, 30_000)
+    }
+
+    /// Sweeps expired requests out of one shard's queue, answering each
+    /// with a `deadline` failure — no worker ever sees them.
+    fn sweep_expired(&self, shard_index: usize) {
+        let inner = &*self.inner;
+        let expired = inner.shards[shard_index].queue.drain_matching(|job| {
+            job.deadline_ms
+                .is_some_and(|limit| deadline_expired(limit, job.enqueued.elapsed().as_millis() as u64))
+        });
+        if expired.is_empty() {
+            return;
+        }
+        inner.engine.note_swept(expired.len() as u64);
+        for job in expired {
+            let limit = job.deadline_ms.unwrap_or(0);
+            let resp = CompileResponse::failure(
+                job.req.id,
+                ErrorClass::Deadline,
+                format!(
+                    "deadline of {limit} ms elapsed after {} ms queued; swept before dispatch",
+                    job.enqueued.elapsed().as_millis()
+                ),
+            );
+            inner.engine.book_external(&resp, job.enqueued);
+            let _ = job.tx.send(resp);
+        }
+    }
+
+    /// Live per-shard depths (queued, in-flight) — the router's view, for
+    /// tests and telemetry.
+    pub fn shard_depths(&self) -> Vec<(usize, usize)> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                (
+                    s.queue.depth(),
+                    s.inflight.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// The engine stats snapshot with the shard table spliced in:
+    /// `stats.shards` gains one row per shard (depth, high-water,
+    /// in-flight, served, stolen, EWMA service time).
+    pub fn stats_json(&self) -> gpgpu_core::Json {
+        use gpgpu_core::Json;
+        let rows: Vec<Json> = self
+            .inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Json::obj([
+                    ("index", Json::count(i as u64)),
+                    ("depth", Json::count(s.queue.depth() as u64)),
+                    ("high_water", Json::count(s.queue.max_depth() as u64)),
+                    (
+                        "inflight",
+                        Json::count(s.inflight.load(Ordering::Relaxed) as u64),
+                    ),
+                    ("served", Json::count(s.served.load(Ordering::Relaxed))),
+                    ("stolen", Json::count(s.stolen.load(Ordering::Relaxed))),
+                    (
+                        "ewma_service_us",
+                        Json::count(s.ewma_service_us.load(Ordering::Relaxed)),
+                    ),
+                ])
+            })
+            .collect();
+        let mut doc = self.inner.engine.stats_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (key, value) in pairs.iter_mut() {
+                if key == "stats" {
+                    if let Json::Obj(stats) = value {
+                        stats.push(("shards".to_string(), Json::Arr(rows)));
+                    }
+                    break;
+                }
+            }
+        }
+        doc
+    }
+
+    /// Folds every shard queue's high-water mark into the engine's
+    /// `service_queue_max_depth` counter.
+    fn fold_high_water(&self) {
+        for shard in &self.inner.shards {
+            self.inner
+                .engine
+                .note_queue_depth(shard.queue.max_depth() as u64);
+        }
+    }
+
+    /// Graceful shutdown: closes every queue so no new work is admitted,
+    /// then drains. With `drain_timeout = None` every accepted request is
+    /// served (the pre-shard EOF contract). With a timeout, whatever is
+    /// still *queued* when it fires is shed as `overloaded` (in-flight
+    /// work always finishes), and the workers are joined either way.
+    pub fn shutdown(mut self, drain_timeout: Option<Duration>) {
+        for shard in &self.inner.shards {
+            shard.queue.close();
+        }
+        if let Some(timeout) = drain_timeout {
+            let deadline = Instant::now() + timeout;
+            loop {
+                let backlog: usize = self.inner.shards.iter().map(|s| s.backlog()).sum();
+                if backlog == 0 {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    // Drain horizon reached: everything still queued is
+                    // shed with a structured response; nothing is dropped
+                    // silently.
+                    for shard in &self.inner.shards {
+                        for job in shard.queue.drain_matching(|_| true) {
+                            let resp = self.shutdown_shed(job.req.id.clone(), job.enqueued);
+                            let _ = job.tx.send(resp);
+                        }
+                    }
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.fold_high_water();
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Belt-and-braces for the non-`shutdown` exit path: close and
+        // join so worker threads never outlive the router.
+        for shard in &self.inner.shards {
+            shard.queue.close();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.fold_high_water();
+    }
+}
+
+/// One worker: serve the home queue; when it goes quiet, steal from the
+/// deepest sibling; exit once every queue is closed and empty.
+fn worker_loop(inner: &Inner, home: usize) {
+    let beat = Duration::from_millis(5);
+    loop {
+        match inner.shards[home].queue.pop_timeout(beat) {
+            crate::queue::PopResult::Item(job) => run_job(inner, home, job, false),
+            crate::queue::PopResult::Empty => {
+                if let Some((victim, job)) = steal(inner, home) {
+                    run_job(inner, victim, job, true);
+                }
+            }
+            crate::queue::PopResult::Closed => {
+                // Home is drained; help siblings finish, then exit.
+                match steal(inner, home) {
+                    Some((victim, job)) => run_job(inner, victim, job, true),
+                    None => return,
+                }
+            }
+        }
+    }
+}
+
+/// Pops from the deepest sibling queue, if any has work.
+fn steal(inner: &Inner, home: usize) -> Option<(usize, Job)> {
+    let victim = inner
+        .shards
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != home)
+        .max_by_key(|(_, s)| s.queue.depth())
+        .filter(|(_, s)| s.queue.depth() > 0)
+        .map(|(i, _)| i)?;
+    let job = inner.shards[victim].queue.try_pop()?;
+    Some((victim, job))
+}
+
+fn run_job(inner: &Inner, shard_index: usize, job: Job, stolen: bool) {
+    let shard = &inner.shards[shard_index];
+    shard.inflight.fetch_add(1, Ordering::Relaxed);
+    if stolen {
+        shard.stolen.fetch_add(1, Ordering::Relaxed);
+        inner.engine.note_steal();
+    }
+    let started = Instant::now();
+    let resp = inner.engine.handle(job.req, job.enqueued);
+    shard.observe_service_time(started.elapsed().as_micros() as u64);
+    shard.served.fetch_add(1, Ordering::Relaxed);
+    shard.inflight.fetch_sub(1, Ordering::Relaxed);
+    // A client that gave up (dropped the receiver) is not an error.
+    let _ = job.tx.send(resp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+
+    const MV: &str = "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) \
+                      { float sum = 0.0f; for (int i = 0; i < w; i = i + 1) \
+                      { sum += a[idx][i] * b[i]; } c[idx] = sum; }";
+
+    fn request(id: &str) -> CompileRequest {
+        let mut req = CompileRequest::inline(id, MV);
+        req.bindings = vec![("n".into(), 64), ("w".into(), 64)];
+        req
+    }
+
+    fn sharded(shards: usize, capacity: usize) -> ShardedEngine {
+        let engine = Arc::new(
+            Engine::new(ServiceConfig {
+                jobs: 2,
+                queue_capacity: capacity,
+                ..ServiceConfig::default()
+            })
+            .expect("engine"),
+        );
+        ShardedEngine::start(
+            engine,
+            ShardConfig {
+                shards,
+                workers_per_shard: 1,
+                admission_watermark: 1.0,
+                admission_wait_ms: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn every_submitted_request_gets_its_response() {
+        let server = sharded(2, 8);
+        let mut pending = Vec::new();
+        for i in 0..12 {
+            match server.submit(request(&format!("r{i}")), Instant::now()) {
+                Submitted::Queued(rx) => pending.push((format!("r{i}"), rx)),
+                Submitted::Rejected(resp) => {
+                    panic!("unexpected rejection: {:?}", resp.error)
+                }
+            }
+        }
+        for (id, rx) in pending {
+            let resp = rx.recv().expect("worker responded");
+            assert_eq!(resp.id, id);
+            assert!(resp.ok(), "{:?}", resp.error);
+        }
+        server.shutdown(None);
+    }
+
+    #[test]
+    fn zero_deadline_is_refused_at_admission() {
+        let server = sharded(1, 4);
+        let mut req = request("expired");
+        req.deadline_ms = Some(0);
+        match server.submit(req, Instant::now()) {
+            Submitted::Rejected(resp) => {
+                assert_eq!(
+                    resp.error.as_ref().map(|e| e.class),
+                    Some(ErrorClass::Deadline)
+                );
+            }
+            Submitted::Queued(_) => panic!("expired request was admitted"),
+        }
+        server.shutdown(None);
+    }
+
+    #[test]
+    fn saturation_sheds_with_a_retry_hint_instead_of_blocking() {
+        // One shard, one worker, a deep backlog of *distinct* kernels:
+        // once the queue is full, further submits must come back
+        // `overloaded` within the bounded admission wait.
+        let server = sharded(1, 2);
+        let mut pending = Vec::new();
+        let mut sheds = 0;
+        let started = Instant::now();
+        for i in 0..24 {
+            let mut req = request(&format!("s{i}"));
+            // Distinct bindings defeat the cache so the worker stays busy.
+            req.bindings = vec![("n".into(), 32 + i), ("w".into(), 32)];
+            match server.submit(req, Instant::now()) {
+                Submitted::Queued(rx) => pending.push(rx),
+                Submitted::Rejected(resp) => {
+                    assert_eq!(resp.exit_code(), 75);
+                    assert!(resp.retry_after_ms().is_some_and(|ms| ms >= 1));
+                    sheds += 1;
+                }
+            }
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "admission stalled"
+        );
+        assert!(sheds > 0, "24 submits into a 2-deep queue never shed");
+        for rx in pending {
+            assert!(rx.recv().is_ok());
+        }
+        server.shutdown(None);
+    }
+
+    #[test]
+    fn drain_timeout_sheds_queued_work_as_overloaded() {
+        let server = sharded(1, 16);
+        let mut pending = Vec::new();
+        for i in 0..10 {
+            let mut req = request(&format!("d{i}"));
+            req.bindings = vec![("n".into(), 128 + i), ("w".into(), 64)];
+            match server.submit(req, Instant::now()) {
+                Submitted::Queued(rx) => pending.push(rx),
+                Submitted::Rejected(resp) => panic!("rejected: {:?}", resp.error),
+            }
+        }
+        server.shutdown(Some(Duration::from_millis(1)));
+        let mut outcomes = Vec::new();
+        for rx in pending {
+            let resp = rx.recv().expect("every job answered even under shed");
+            outcomes.push(resp.ok() || resp.exit_code() == 75);
+        }
+        assert!(outcomes.iter().all(|&ok| ok));
+    }
+}

@@ -8,9 +8,14 @@
 //!             [--inject <slug>] [--trace-json <path>]
 //! gpgpuc reduce <repro.cu> [--budget <n>]
 //! gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>]
+//!              [--shards <n>] [--admission-watermark <f>]
+//!              [--admission-wait-ms <n>] [--retry <n>]
 //!              [--cache-dir <dir>] [--cache-entries <n>]
 //!              [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]
-//! gpgpuc serve [--cache-dir <dir>] [--cache-entries <n>]
+//! gpgpuc serve [--jobs <n>] [--queue <n>] [--shards <n>]
+//!              [--admission-watermark <f>] [--admission-wait-ms <n>]
+//!              [--unordered] [--drain-timeout-ms <n>]
+//!              [--cache-dir <dir>] [--cache-entries <n>]
 //!              [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]
 //!
 //! OPTIONS
@@ -86,6 +91,33 @@
 //! loop: one request line in, one response line out, until EOF. Malformed
 //! requests produce structured `bad-request` responses, never a crash.
 //!
+//! ## Serving under load
+//!
+//! Both `batch` and `serve` run the engine **sharded** (DESIGN.md §5.12):
+//! `--shards <n>` engine shards, each with its own bounded queue
+//! (`--queue` is the *per-shard* capacity) and worker pool (`--jobs`
+//! workers split across the shards), behind a least-loaded router with
+//! work stealing. Admission is bounded-wait: past `--admission-watermark`
+//! (a fill fraction, default 1.0) — or after `--admission-wait-ms` at
+//! hard capacity — a request is *shed* with a structured `overloaded`
+//! response carrying `retry_after_ms`, instead of blocking the client.
+//! Requests whose deadline is already spent (or provably unmeetable given
+//! the observed p50 compile time) fail as `deadline` without compiling,
+//! and expired requests are swept from the queues.
+//!
+//! `gpgpuc batch` honors `retry_after_ms` itself: `--retry <n>` (default
+//! 3) resubmits shed requests with jittered exponential backoff before
+//! reporting them as `overloaded`.
+//!
+//! `gpgpuc serve` emits responses **in request order** by default (a
+//! `{"stats": true}` line acts as a barrier: every earlier request is
+//! answered before the snapshot). `--unordered` emits responses as they
+//! complete — each line still carries its request `id` — which is what a
+//! pipelined load generator wants. On stdin EOF the server stops
+//! admitting, drains what it accepted, and exits 0; with
+//! `--drain-timeout-ms <n>` whatever is still queued past the horizon is
+//! shed as `overloaded` (in-flight work always finishes).
+//!
 //! The input is a *naive* MiniCUDA kernel (one output element per thread);
 //! the output is the optimized kernel plus its launch configuration,
 //! exactly as in the paper's workflow. Several `.cu` inputs may be given
@@ -106,13 +138,18 @@
 //! | 69   | compilation failed with no viable fallback (or a deadline hit) |
 //! | 70   | an internal fault (contained panic) with no viable fallback |
 //! | 74   | an output file (e.g. `--trace-json`) could not be written |
+//! | 75   | shed by admission control (`overloaded`; retry after the hint) |
 //!
 //! With several inputs (or `batch`), every input is attempted and the
 //! process exits with the numeric **maximum** of the per-input codes.
 
 use gpgpu::ast::{parse_kernel, print_kernel, PrintOptions};
 use gpgpu::core::{compile, verify_equivalence, CompileOptions, CompilerError, StageSet};
-use gpgpu::service::{CompileRequest, CompileResponse, Engine, ServiceConfig, SourceSpec};
+use gpgpu::service::{
+    CompileRequest, CompileResponse, Engine, ErrorClass, ServiceConfig, ShardConfig,
+    ShardedEngine, SourceSpec, Submitted,
+};
+use std::sync::Arc;
 use gpgpu::sim::MachineDesc;
 use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
@@ -163,10 +200,12 @@ fn usage(msg: &str) -> ExitCode {
          gpgpuc profile <kernel.cu | -> [--top <n>] [--machine <m>] [--bind n=1024]...\n       \
          gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>] [--inject <slug>] [--trace-json <path>]\n       \
          gpgpuc reduce <repro.cu> [--budget <n>]\n       \
-         gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>] [--cache-dir <dir>] \
+         gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>] [--shards <n>] \
+         [--admission-watermark <f>] [--admission-wait-ms <n>] [--retry <n>] [--cache-dir <dir>] \
          [--cache-entries <n>] [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]\n       \
-         gpgpuc serve [--cache-dir <dir>] [--cache-entries <n>] [--deadline-ms <n>] \
-         [--metrics <path>] [--trace-json <path>]"
+         gpgpuc serve [--jobs <n>] [--queue <n>] [--shards <n>] [--admission-watermark <f>] \
+         [--admission-wait-ms <n>] [--unordered] [--drain-timeout-ms <n>] [--cache-dir <dir>] \
+         [--cache-entries <n>] [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -586,6 +625,31 @@ struct ServiceArgs {
     trace_json: Option<String>,
     /// Positional operand (the batch manifest; none for `serve`).
     operand: Option<String>,
+    /// Engine shards (`--shards`); `--jobs` workers are split across them.
+    shards: usize,
+    /// Queue fill fraction past which admission sheds (`--admission-watermark`).
+    admission_watermark: f64,
+    /// Bounded admission wait at hard capacity (`--admission-wait-ms`).
+    admission_wait_ms: u64,
+    /// Client-side resubmits for shed batch requests (`--retry`).
+    retry: u32,
+    /// `serve --unordered`: emit responses as they complete.
+    unordered: bool,
+    /// `serve --drain-timeout-ms`: shed still-queued work at EOF past this.
+    drain_timeout_ms: Option<u64>,
+}
+
+impl ServiceArgs {
+    /// The shard layout this command line asks for: `--shards` shards with
+    /// `--jobs` workers divided (rounding up) across them.
+    fn shard_config(&self) -> ShardConfig {
+        ShardConfig {
+            shards: self.shards,
+            workers_per_shard: self.config.jobs.div_ceil(self.shards.max(1)).max(1),
+            admission_watermark: self.admission_watermark,
+            admission_wait_ms: self.admission_wait_ms,
+        }
+    }
 }
 
 /// Parses the `batch` / `serve` command line.
@@ -595,6 +659,12 @@ fn parse_service_args(argv: &[String], want_operand: bool) -> Result<ServiceArgs
         metrics_path: None,
         trace_json: None,
         operand: None,
+        shards: 1,
+        admission_watermark: 1.0,
+        admission_wait_ms: 10,
+        retry: 3,
+        unordered: false,
+        drain_timeout_ms: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -636,6 +706,44 @@ fn parse_service_args(argv: &[String], want_operand: bool) -> Result<ServiceArgs
             }
             "--metrics" => out.metrics_path = Some(value("--metrics")?.clone()),
             "--trace-json" => out.trace_json = Some(value("--trace-json")?.clone()),
+            "--shards" => {
+                let v = value("--shards")?;
+                out.shards = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--shards `{v}` is not a positive integer"))?;
+            }
+            "--admission-watermark" => {
+                let v = value("--admission-watermark")?;
+                out.admission_watermark = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|w| (0.0..=1.0).contains(w))
+                    .ok_or_else(|| {
+                        format!("--admission-watermark `{v}` is not a fraction in [0, 1]")
+                    })?;
+            }
+            "--admission-wait-ms" => {
+                let v = value("--admission-wait-ms")?;
+                out.admission_wait_ms = v
+                    .parse()
+                    .map_err(|_| format!("--admission-wait-ms `{v}` is not an integer"))?;
+            }
+            "--retry" => {
+                let v = value("--retry")?;
+                out.retry = v
+                    .parse()
+                    .map_err(|_| format!("--retry `{v}` is not an integer"))?;
+            }
+            "--unordered" => out.unordered = true,
+            "--drain-timeout-ms" => {
+                let v = value("--drain-timeout-ms")?;
+                out.drain_timeout_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--drain-timeout-ms `{v}` is not an integer"))?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unexpected argument `{other}`"))
             }
@@ -707,15 +815,16 @@ fn cmd_batch(argv: &[String]) -> ExitCode {
         }
     };
     let engine = match Engine::new(sargs.config.clone()) {
-        Ok(e) => e,
+        Ok(e) => Arc::new(e),
         Err(e) => {
             eprintln!("gpgpuc: cannot open cache directory: {e}");
             return ExitCode::from(EXIT_IO);
         }
     };
     // Parse every line up front: well-formed requests flow through the
-    // worker pool; malformed lines become in-place bad-request responses
-    // (still booked into the engine's metrics) so manifest order holds.
+    // sharded worker pools; malformed lines become in-place bad-request
+    // responses (still booked into the engine's metrics) so manifest
+    // order holds.
     let lines: Vec<&str> = text
         .lines()
         .filter(|l| !l.trim().is_empty())
@@ -732,10 +841,12 @@ fn cmd_batch(argv: &[String]) -> ExitCode {
             Err(_) => slots[idx] = Some(engine.handle_line(line, idx)),
         }
     }
-    let responses = engine.run_batch(good.iter().map(|(_, r)| r.clone()).collect());
-    for ((idx, _), resp) in good.into_iter().zip(responses) {
-        slots[idx] = Some(resp);
-    }
+    run_batch_with_backoff(
+        &ShardedEngine::start(Arc::clone(&engine), sargs.shard_config()),
+        good,
+        sargs.retry,
+        &mut slots,
+    );
     let mut worst: u8 = 0;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -753,6 +864,81 @@ fn cmd_batch(argv: &[String]) -> ExitCode {
         return code;
     }
     ExitCode::from(worst)
+}
+
+/// splitmix64 — the workspace's stock deterministic mixer (cf.
+/// `gpgpu-fuzz`), used here to jitter backoff delays reproducibly.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The client half of the backoff contract: shed requests are resubmitted
+/// with jittered exponential backoff seeded from the server's
+/// `retry_after_ms` hint — delay = hint × 2^(attempt-1) × jitter in
+/// [0.5, 1.5) — for up to `retry` attempts before the `overloaded`
+/// response stands. Responses land in `slots` at their manifest index.
+fn run_batch_with_backoff(
+    server: &ShardedEngine,
+    work: Vec<(usize, CompileRequest)>,
+    retry: u32,
+    slots: &mut [Option<CompileResponse>],
+) {
+    let mut round: Vec<(usize, CompileRequest, u32)> =
+        work.into_iter().map(|(idx, req)| (idx, req, 0)).collect();
+    while !round.is_empty() {
+        let mut pending: Vec<(usize, std::sync::mpsc::Receiver<CompileResponse>)> = Vec::new();
+        let mut retries: Vec<(usize, CompileRequest, u32, u64)> = Vec::new();
+        for (idx, req, attempt) in round {
+            match server.submit(req.clone(), std::time::Instant::now()) {
+                Submitted::Queued(rx) => pending.push((idx, rx)),
+                Submitted::Rejected(resp) => {
+                    let shed = resp
+                        .error
+                        .as_ref()
+                        .is_some_and(|e| e.class == ErrorClass::Overloaded);
+                    if shed && attempt < retry {
+                        let hint = resp.retry_after_ms().unwrap_or(50).max(1);
+                        let backoff = hint.saturating_mul(1 << attempt.min(10));
+                        // Deterministic jitter in [0.5, 1.5): desynchronizes
+                        // clients without making runs irreproducible.
+                        let jitter =
+                            0.5 + (splitmix64(idx as u64 * 31 + attempt as u64) % 1000) as f64
+                                / 1000.0;
+                        let delay = ((backoff as f64 * jitter) as u64).clamp(1, 30_000);
+                        retries.push((idx, req, attempt + 1, delay));
+                    } else {
+                        slots[idx] = Some(*resp);
+                    }
+                }
+            }
+        }
+        // Waiting for this round's admitted work to finish consumes most
+        // of the backoff window; sleep off only the remainder.
+        let drained_at = std::time::Instant::now();
+        for (idx, rx) in pending {
+            slots[idx] = Some(rx.recv().unwrap_or_else(|_| {
+                CompileResponse::failure(
+                    idx.to_string(),
+                    ErrorClass::Internal,
+                    "worker exited without a response",
+                )
+            }));
+        }
+        round = retries
+            .into_iter()
+            .map(|(idx, req, attempt, delay)| {
+                let remaining = std::time::Duration::from_millis(delay)
+                    .saturating_sub(drained_at.elapsed());
+                if !remaining.is_zero() {
+                    std::thread::sleep(remaining);
+                }
+                (idx, req, attempt)
+            })
+            .collect();
+    }
 }
 
 /// Prints the batch's per-stage time-attribution summary to stderr (the
@@ -815,9 +1001,69 @@ fn print_stage_attribution(engine: &Engine) {
     );
 }
 
-/// `gpgpuc serve`: the engine as a stdin/stdout NDJSON request loop.
-/// Responses are emitted (and flushed) one line per request until EOF;
-/// malformed requests yield structured errors and the loop keeps serving.
+/// A response the serve loop owes the client, in request order.
+enum Ticket {
+    /// Resolved at admission (malformed line, shed, expired deadline).
+    Now(Box<CompileResponse>),
+    /// In flight on a shard; the worker delivers through the receiver.
+    Later(std::sync::mpsc::Receiver<CompileResponse>),
+}
+
+impl Ticket {
+    /// Blocks until the response is available.
+    fn wait(self) -> CompileResponse {
+        match self {
+            Ticket::Now(resp) => *resp,
+            Ticket::Later(rx) => rx.recv().unwrap_or_else(|_| {
+                CompileResponse::failure(
+                    "?",
+                    ErrorClass::Internal,
+                    "worker exited without a response",
+                )
+            }),
+        }
+    }
+
+    /// The response if it is already available, else the ticket back.
+    fn poll(self) -> Result<CompileResponse, Ticket> {
+        match self {
+            Ticket::Now(resp) => Ok(*resp),
+            Ticket::Later(rx) => match rx.try_recv() {
+                Ok(resp) => Ok(resp),
+                Err(std::sync::mpsc::TryRecvError::Empty) => Err(Ticket::Later(rx)),
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    Ok(CompileResponse::failure(
+                        "?",
+                        ErrorClass::Internal,
+                        "worker exited without a response",
+                    ))
+                }
+            },
+        }
+    }
+}
+
+/// Writes one NDJSON line to stdout (flushed — clients pipeline on this).
+/// Locks stdout per line so the unordered forwarder threads interleave
+/// whole lines, never fragments.
+fn write_serve_line(text: &str) -> Result<(), ExitCode> {
+    let mut out = std::io::stdout().lock();
+    let io = writeln!(out, "{text}").and_then(|()| out.flush());
+    if io.is_err() {
+        eprintln!("gpgpuc: cannot write response to stdout");
+        return Err(ExitCode::from(EXIT_IO));
+    }
+    Ok(())
+}
+
+/// `gpgpuc serve`: the sharded engine as a stdin/stdout NDJSON request
+/// loop. Requests are admitted (or shed) as lines arrive and compile
+/// concurrently on the shards; responses are emitted in request order by
+/// default (`--unordered` emits them as they complete). A
+/// `{"stats": true}` control line is a barrier in ordered mode: every
+/// earlier request is answered before the snapshot. On stdin EOF the
+/// server drains what it accepted (shedding past `--drain-timeout-ms`,
+/// when given) and exits 0.
 fn cmd_serve(argv: &[String]) -> ExitCode {
     use gpgpu::core::trace::{parse_json, Json};
     let sargs = match parse_service_args(argv, false) {
@@ -825,16 +1071,20 @@ fn cmd_serve(argv: &[String]) -> ExitCode {
         Err(e) => return usage(&e),
     };
     let engine = match Engine::new(sargs.config.clone()) {
-        Ok(e) => e,
+        Ok(e) => Arc::new(e),
         Err(e) => {
             eprintln!("gpgpuc: cannot open cache directory: {e}");
             return ExitCode::from(EXIT_IO);
         }
     };
+    let server = ShardedEngine::start(Arc::clone(&engine), sargs.shard_config());
     let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
     let mut position = 0usize;
+    // Responses owed, in request order (ordered mode drains this FIFO).
+    let mut tickets: std::collections::VecDeque<Ticket> = std::collections::VecDeque::new();
+    // Unordered mode: one forwarder thread per in-flight request writes
+    // the response the moment it lands (stdout lock serializes lines).
+    let mut forwarders: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(l) => l,
@@ -846,29 +1096,87 @@ fn cmd_serve(argv: &[String]) -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
+        // Opportunistically flush whatever has already completed at the
+        // head of the FIFO, so ordered responses stream out as soon as
+        // order allows instead of piling up until the next barrier.
+        while let Some(ticket) = tickets.pop_front() {
+            match ticket.poll() {
+                Ok(resp) => {
+                    if let Err(code) = write_serve_line(&resp.to_json().compact()) {
+                        return code;
+                    }
+                }
+                Err(ticket) => {
+                    tickets.push_front(ticket);
+                    break;
+                }
+            }
+        }
+        forwarders.retain(|f| !f.is_finished());
         // `{"stats": true}` is a control request: answer with the live
         // telemetry snapshot instead of a compile response, without
-        // booking it as a served request.
+        // booking it as a served request. In ordered mode it is a
+        // barrier — every earlier request is answered first, so the
+        // snapshot is consistent with the lines above it.
         if let Ok(doc) = parse_json(&line) {
             if matches!(doc.get("stats"), Some(Json::Bool(true))) {
-                let io = writeln!(out, "{}", engine.stats_json().compact())
-                    .and_then(|()| out.flush());
-                if io.is_err() {
-                    eprintln!("gpgpuc: cannot write stats to stdout");
-                    return ExitCode::from(EXIT_IO);
+                for ticket in tickets.drain(..) {
+                    if let Err(code) = write_serve_line(&ticket.wait().to_json().compact()) {
+                        return code;
+                    }
+                }
+                if let Err(code) = write_serve_line(&server.stats_json().compact()) {
+                    return code;
                 }
                 continue;
             }
         }
-        let resp = engine.handle_line(&line, position);
+        let enqueued = std::time::Instant::now();
+        let parsed = CompileRequest::parse(&line, position).and_then(|mut req| {
+            req.resolve_file()?;
+            Ok(req)
+        });
         position += 1;
-        let io = writeln!(out, "{}", resp.to_json().compact()).and_then(|()| out.flush());
-        if io.is_err() {
-            eprintln!("gpgpuc: cannot write response to stdout");
-            return ExitCode::from(EXIT_IO);
+        let ticket = match parsed {
+            // Malformed: book + answer without touching the shards (the
+            // engine builds the structured bad-request response).
+            Err(_) => Ticket::Now(Box::new(engine.handle_line(&line, position - 1))),
+            Ok(req) => match server.submit(req, enqueued) {
+                Submitted::Rejected(resp) => Ticket::Now(resp),
+                Submitted::Queued(rx) => Ticket::Later(rx),
+            },
+        };
+        if sargs.unordered {
+            match ticket {
+                Ticket::Now(resp) => {
+                    if let Err(code) = write_serve_line(&resp.to_json().compact()) {
+                        return code;
+                    }
+                }
+                Ticket::Later(rx) => {
+                    forwarders.push(std::thread::spawn(move || {
+                        if let Ok(resp) = rx.recv() {
+                            let _ = write_serve_line(&resp.to_json().compact());
+                        }
+                    }));
+                }
+            }
+        } else {
+            tickets.push_back(ticket);
         }
     }
-    drop(out);
+    // EOF: stop admitting, drain what was accepted (shedding whatever is
+    // still queued past the drain horizon, when one was given), answer
+    // every outstanding ticket, and exit 0.
+    server.shutdown(sargs.drain_timeout_ms.map(std::time::Duration::from_millis));
+    for ticket in tickets.drain(..) {
+        if let Err(code) = write_serve_line(&ticket.wait().to_json().compact()) {
+            return code;
+        }
+    }
+    for f in forwarders {
+        let _ = f.join();
+    }
     if let Err(code) = write_service_artifacts(&engine, &sargs) {
         return code;
     }

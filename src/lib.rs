@@ -58,6 +58,7 @@ pub use gpgpu_ast as ast;
 pub use gpgpu_core as core;
 pub use gpgpu_fuzz as fuzz;
 pub use gpgpu_kernels as kernels;
+pub use gpgpu_load as load;
 pub use gpgpu_service as service;
 pub use gpgpu_sim as sim;
 pub use gpgpu_transform as transform;

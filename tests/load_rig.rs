@@ -1,0 +1,178 @@
+//! Load/chaos-rig tests for the overload-tolerant sharded service
+//! (DESIGN.md §5.12): the acceptance properties of ISSUE 7 — under
+//! saturation no client blocks indefinitely, every request resolves
+//! exactly once with its original id, poisoned requests never corrupt a
+//! neighbor, and an already-expired deadline never opens a compile span.
+
+use gpgpu::load::{run_in_process, run_serve_binary, LoadConfig, Mix, TrafficClass};
+use gpgpu::service::{
+    CompileRequest, Engine, ErrorClass, ServiceConfig, ShardConfig, ShardedEngine, Submitted,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+const MV: &str = "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) { \
+     float sum = 0.0f; \
+     for (int i = 0; i < w; i = i + 1) { sum += a[idx][i] * b[i]; } \
+     c[idx] = sum; }";
+
+// ---------------------------------------------------------------------
+// Satellite: an already-elapsed deadline is refused at admission and
+// never opens a compile span.
+// ---------------------------------------------------------------------
+
+#[test]
+fn expired_deadline_is_refused_before_any_compile_span_opens() {
+    let engine = Arc::new(Engine::new(ServiceConfig::default()).expect("engine builds"));
+    let server = ShardedEngine::start(
+        Arc::clone(&engine),
+        ShardConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            ..ShardConfig::default()
+        },
+    );
+    let mut req = CompileRequest::inline("expired", MV);
+    req.bindings = vec![("n".into(), 64), ("w".into(), 64)];
+    req.deadline_ms = Some(0);
+    match server.submit(req, Instant::now()) {
+        Submitted::Rejected(resp) => {
+            assert_eq!(
+                resp.error.as_ref().map(|e| e.class),
+                Some(ErrorClass::Deadline),
+                "{resp:?}"
+            );
+        }
+        Submitted::Queued(_) => panic!("expired request was admitted to a queue"),
+    }
+    server.shutdown(None);
+    // The regression half: no `compile` stage ever ran for it — the
+    // stage histogram that the compile span feeds has zero samples.
+    let metrics = engine.metrics();
+    let compiled = metrics
+        .histogram("service_stage_compile")
+        .map(|h| h.count())
+        .unwrap_or(0);
+    assert_eq!(compiled, 0, "an expired request reached the compiler");
+    // And the engine booked it as a deadline failure, not work: the
+    // cache was never even probed for it.
+    assert_eq!(
+        metrics.globals().get("service_cache_misses").unwrap_or(0.0),
+        0.0,
+        "an expired request probed as a miss and compiled"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: saturation against the real `serve` binary. Open-loop
+// chaos mix, shallow queues — the server must shed (with hints) rather
+// than block, answer every wire id exactly once, contain every poisoned
+// request, and exit 0 at EOF.
+// ---------------------------------------------------------------------
+
+#[test]
+fn saturated_serve_binary_sheds_contains_and_answers_everything() {
+    let cfg = LoadConfig {
+        seed: 20100605,
+        requests: 160,
+        service: ServiceConfig {
+            jobs: 2,
+            queue_capacity: 3,
+            ..ServiceConfig::default()
+        },
+        shards: ShardConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            admission_wait_ms: 2,
+            ..ShardConfig::default()
+        },
+        ..LoadConfig::default()
+    };
+    let binary = std::path::Path::new(env!("CARGO_BIN_EXE_gpgpuc"));
+    let report = run_serve_binary(&cfg, binary).expect("rig drives the serve binary");
+
+    assert_eq!(report.exit_code, Some(0), "serve did not exit 0 at EOF");
+    assert_eq!(report.missing, 0, "a client was never answered: {report:?}");
+    assert_eq!(report.duplicates, 0, "a wire id was answered twice");
+    assert_eq!(report.unexpected, 0, "a response id was never requested");
+    assert_eq!(
+        report.cross_request_faults, 0,
+        "a poisoned request corrupted a neighbor"
+    );
+    assert_eq!(report.sheds_missing_hint, 0, "a shed lost retry_after_ms");
+    assert!(
+        report.sheds() > 0,
+        "saturating 2 single-worker shards with 3-deep queues never shed"
+    );
+    // The test-profile binary has the fault hooks compiled in, so every
+    // answered poisoned request must resolve as a *contained* internal
+    // fault (or a shed/deadline — never a success, never someone else's
+    // failure).
+    let poisoned = report.class(TrafficClass::Poisoned);
+    assert_eq!(
+        poisoned.ok, 0,
+        "a poisoned compile slipped through uncontained"
+    );
+    assert_eq!(
+        poisoned.answered(),
+        poisoned.sent,
+        "poisoned requests unaccounted for"
+    );
+    // Malformed lines all resolved as structured bad-requests.
+    let malformed = report.class(TrafficClass::Malformed);
+    assert_eq!(malformed.bad_request, malformed.sent, "{malformed:?}");
+}
+
+// ---------------------------------------------------------------------
+// Satellite: proptest — random shard counts, queue capacities, worker
+// counts, and fault injection; every submitted request gets exactly one
+// response carrying its original id.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn every_request_resolves_exactly_once_under_random_topology(
+        seed in 0u64..1_000_000,
+        shards in 1usize..4,
+        workers in 1usize..3,
+        capacity in 1usize..9,
+        requests in 24usize..56,
+        admission_wait_ms in 0u64..4,
+    ) {
+        let cfg = LoadConfig {
+            seed,
+            requests,
+            service: ServiceConfig {
+                jobs: shards * workers,
+                queue_capacity: capacity,
+                ..ServiceConfig::default()
+            },
+            shards: ShardConfig {
+                shards,
+                workers_per_shard: workers,
+                admission_wait_ms,
+                ..ShardConfig::default()
+            },
+            // Poison stays in the mix: containment must hold under any
+            // topology, not just the default one.
+            mix: Mix::default(),
+            ..LoadConfig::default()
+        };
+        let report = run_in_process(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        prop_assert_eq!(report.sent(), requests as u64);
+        prop_assert_eq!(report.missing, 0);
+        prop_assert_eq!(report.duplicates, 0);
+        prop_assert_eq!(report.unexpected, 0);
+        prop_assert_eq!(report.cross_request_faults, 0);
+        prop_assert_eq!(report.sheds_missing_hint, 0);
+        let answered: u64 = report.classes.iter().map(|(_, s)| s.answered()).sum();
+        prop_assert_eq!(answered, requests as u64);
+        // Fault injection is live in test builds: answered poisoned
+        // requests are contained faults, sheds, or deadline failures —
+        // never silent successes.
+        prop_assert_eq!(report.class(TrafficClass::Poisoned).ok, 0);
+    }
+}

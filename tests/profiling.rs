@@ -331,6 +331,7 @@ fn committed_bench_snapshots_replay_through_the_parser() {
         ("BENCH_fig11.json", "fig11"),
         ("BENCH_fig12.json", "fig12"),
         ("BENCH_service.json", "service"),
+        ("BENCH_serve.json", "serve-load"),
     ] {
         let text = std::fs::read_to_string(root.join(name))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -358,4 +359,49 @@ fn committed_bench_snapshots_replay_through_the_parser() {
     for key in ["count", "p50_us", "p90_us", "p99_us"] {
         assert!(lat.get(key).is_some(), "latency.all missing `{key}`");
     }
+
+    // The serve-load snapshot records per-traffic-class percentiles for
+    // each regime, a nonzero shed count under saturation, and zero
+    // cross-request faults everywhere (ISSUE 7 acceptance).
+    let text = std::fs::read_to_string(root.join("BENCH_serve.json")).unwrap();
+    let doc = parse_json(&text).unwrap();
+    let runs = match doc.get("runs") {
+        Some(Json::Arr(runs)) if !runs.is_empty() => runs.clone(),
+        other => panic!("BENCH_serve.json runs: {other:?}"),
+    };
+    let mut saw_saturated_sheds = false;
+    for run in &runs {
+        let regime = run.get("regime").and_then(Json::as_str).unwrap_or("?");
+        for class in ["hot", "cold", "malformed", "deadline-tight", "poisoned"] {
+            let lat = run
+                .get("classes")
+                .and_then(|c| c.get(class))
+                .and_then(|c| c.get("latency"))
+                .unwrap_or_else(|| panic!("{regime}: no latency for `{class}`"));
+            for key in ["count", "p50_us", "p99_us"] {
+                assert!(lat.get(key).is_some(), "{regime}/{class} missing `{key}`");
+            }
+        }
+        let totals = run.get("totals").expect("run totals");
+        let faults = totals
+            .get("cross_request_faults")
+            .and_then(Json::as_f64)
+            .expect("cross_request_faults");
+        assert_eq!(faults, 0.0, "{regime}: a fault crossed a request boundary");
+        for key in ["missing", "duplicates", "unexpected", "sheds_missing_hint"] {
+            assert_eq!(
+                totals.get(key).and_then(Json::as_f64),
+                Some(0.0),
+                "{regime}: nonzero `{key}`"
+            );
+        }
+        if regime == "saturated" {
+            saw_saturated_sheds =
+                totals.get("shed").and_then(Json::as_f64).unwrap_or(0.0) > 0.0;
+        }
+    }
+    assert!(
+        saw_saturated_sheds,
+        "the saturated regime never engaged admission control"
+    );
 }
