@@ -8,14 +8,17 @@
 //! behavior are identical to the single-queue engine; only the *queueing
 //! discipline* changes:
 //!
-//! - **Routing** picks the shard with the smallest backlog
-//!   (queued + in-flight) at submit time.
-//! - **Admission control** never blocks a client indefinitely. Past the
-//!   configurable watermark the request is shed immediately with a
+//! - **Routing** tries shards in ascending backlog order
+//!   (queued + in-flight) at submit time, so a request lands on the
+//!   least-loaded shard that will still take it and is never shed while a
+//!   sibling has a free slot.
+//! - **Admission control** never blocks a client indefinitely. With a
+//!   watermark below 1.0, a shard past that fill fraction stops accepting
+//!   early; once every shard has refused, the request is shed with a
 //!   structured `overloaded` response carrying `retry_after_ms` (derived
-//!   from the shard's observed service rate); at the hard capacity the
-//!   submitter first sweeps expired requests out of the queue, then waits
-//!   a *bounded* interval for a slot, then sheds.
+//!   from the shard's observed service rate). At hard capacity the
+//!   submitter first sweeps expired requests out of the least-loaded
+//!   queue, then waits a *bounded* interval for a slot, then sheds.
 //! - **Work stealing**: a worker whose own queue stays empty for a beat
 //!   pops from the deepest sibling queue instead, so one hot shard cannot
 //!   strand idle capacity (`service_steal_total`).
@@ -40,8 +43,10 @@ pub struct ShardConfig {
     pub shards: usize,
     /// Worker threads per shard.
     pub workers_per_shard: usize,
-    /// Fraction of a shard's queue capacity past which admission sheds
-    /// immediately (1.0 = only shed at hard capacity).
+    /// Fraction of a shard's queue capacity past which admission stops
+    /// accepting early. At 1.0 (the default) early shedding is disabled:
+    /// a full queue is swept of expired requests and waited on for the
+    /// bounded admission interval before the request is shed.
     pub admission_watermark: f64,
     /// How long admission may wait for a slot when the chosen queue is at
     /// hard capacity before shedding, in milliseconds. This bounds the
@@ -193,18 +198,11 @@ impl ShardedEngine {
             }
         }
 
-        let shard_index = self.least_loaded();
-        let shard = &inner.shards[shard_index];
-
-        // Watermark check: past the configured fill fraction the request
-        // is shed immediately — saturation is answered with a hint, not a
-        // stall.
-        let capacity = shard.queue.capacity();
-        let watermark_slots =
-            ((capacity as f64) * inner.config.admission_watermark).ceil() as usize;
-        if shard.queue.depth() >= watermark_slots.max(1) {
-            return Submitted::Rejected(Box::new(self.shed(req, enqueued, shard_index)));
-        }
+        // Admission tries every shard, least-loaded first — a request is
+        // shed only after no queue anywhere would take it, so the shed
+        // message's "all N shard queue(s)" claim is literally checked.
+        let mut order: Vec<usize> = (0..inner.shards.len()).collect();
+        order.sort_by_key(|&i| inner.shards[i].backlog());
 
         let (tx, rx) = mpsc::channel();
         let mut job = Job {
@@ -213,51 +211,84 @@ impl ShardedEngine {
             deadline_ms,
             tx,
         };
-        // Fast path: a free slot right now.
-        job = match shard.queue.try_push(job) {
-            Ok(()) => return Submitted::Queued(rx),
-            Err((job, PushError::Closed)) => {
-                let resp = self.shutdown_shed(job.req.id.clone(), enqueued);
-                return Submitted::Rejected(Box::new(resp));
+        let mut hit_hard_capacity = false;
+        for &shard_index in &order {
+            let shard = &inner.shards[shard_index];
+            // Watermark check: a watermark below 1.0 stops accepting
+            // *before* hard capacity, keeping headroom for the sweeper and
+            // answering saturation with a hint instead of a stall. At
+            // exactly 1.0 the watermark coincides with hard capacity, so
+            // the check is skipped and a full queue falls through to the
+            // sweep + bounded-wait path below.
+            if inner.config.admission_watermark < 1.0 {
+                let capacity = shard.queue.capacity();
+                let watermark_slots =
+                    ((capacity as f64) * inner.config.admission_watermark).ceil() as usize;
+                if shard.queue.depth() >= watermark_slots.max(1) {
+                    continue;
+                }
             }
-            Err((job, PushError::Full)) => job,
-        };
-        // Hard capacity: sweep expired requests out of the queue first —
-        // they were going to fail anyway, and each one freed is a slot a
-        // live request can take.
+            // Fast path: a free slot right now.
+            job = match shard.queue.try_push(job) {
+                Ok(()) => return Submitted::Queued(rx),
+                Err((job, PushError::Closed)) => {
+                    let resp = self.shutdown_shed(job.req.id.clone(), enqueued);
+                    return Submitted::Rejected(Box::new(resp));
+                }
+                Err((job, PushError::Full)) => {
+                    hit_hard_capacity = true;
+                    job
+                }
+            };
+        }
+        // Every shard refused. Past a sub-1.0 watermark with no queue at
+        // hard capacity, shed immediately — early shedding is exactly what
+        // the watermark asks for.
+        let shard_index = order.first().copied().unwrap_or(0);
+        if !hit_hard_capacity {
+            return Submitted::Rejected(Box::new(self.shed(
+                job.req,
+                enqueued,
+                shard_index,
+                "past the admission watermark",
+            )));
+        }
+        // Hard capacity: sweep expired requests out of the least-loaded
+        // queue first — they were going to fail anyway, and each one freed
+        // is a slot a live request can take — then wait a bounded interval
+        // for a slot before shedding.
         self.sweep_expired(shard_index);
         let wait = Duration::from_millis(inner.config.admission_wait_ms);
-        match shard.queue.push_timeout(job, wait) {
+        match inner.shards[shard_index].queue.push_timeout(job, wait) {
             Ok(()) => Submitted::Queued(rx),
             Err((job, PushError::Closed)) => {
                 let resp = self.shutdown_shed(job.req.id.clone(), enqueued);
                 Submitted::Rejected(Box::new(resp))
             }
-            Err((job, PushError::Full)) => {
-                Submitted::Rejected(Box::new(self.shed(job.req, enqueued, shard_index)))
-            }
+            Err((job, PushError::Full)) => Submitted::Rejected(Box::new(self.shed(
+                job.req,
+                enqueued,
+                shard_index,
+                "at hard capacity through the bounded admission wait",
+            ))),
         }
     }
 
-    /// Index of the shard with the smallest backlog.
-    fn least_loaded(&self) -> usize {
-        self.inner
-            .shards
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.backlog())
-            .map(|(i, _)| i)
-            .unwrap_or(0)
-    }
-
-    /// Builds, books, and counts one `overloaded` shed.
-    fn shed(&self, req: CompileRequest, enqueued: Instant, shard_index: usize) -> CompileResponse {
+    /// Builds, books, and counts one `overloaded` shed. `why` names the
+    /// refusal every shard actually gave (watermark vs hard capacity).
+    fn shed(
+        &self,
+        req: CompileRequest,
+        enqueued: Instant,
+        shard_index: usize,
+        why: &str,
+    ) -> CompileResponse {
         let inner = &*self.inner;
         let hint = self.retry_after_ms(shard_index);
         let resp = CompileResponse::overloaded(
             req.id,
             format!(
-                "all {} shard queue(s) past the admission watermark; retry after the hint",
+                "all {} shard queue(s) {why}; retry after the hint",
                 inner.config.shards
             ),
             hint,
@@ -566,10 +597,26 @@ mod tests {
 
     #[test]
     fn saturation_sheds_with_a_retry_hint_instead_of_blocking() {
-        // One shard, one worker, a deep backlog of *distinct* kernels:
-        // once the queue is full, further submits must come back
-        // `overloaded` within the bounded admission wait.
-        let server = sharded(1, 2);
+        // One shard, one worker, a sub-1.0 watermark, and a deep backlog
+        // of *distinct* kernels: once the queue fills past the watermark,
+        // further submits must come back `overloaded` immediately.
+        let engine = Arc::new(
+            Engine::new(ServiceConfig {
+                jobs: 2,
+                queue_capacity: 2,
+                ..ServiceConfig::default()
+            })
+            .expect("engine"),
+        );
+        let server = ShardedEngine::start(
+            engine,
+            ShardConfig {
+                shards: 1,
+                workers_per_shard: 1,
+                admission_watermark: 0.5,
+                admission_wait_ms: 5,
+            },
+        );
         let mut pending = Vec::new();
         let mut sheds = 0;
         let started = Instant::now();
@@ -593,6 +640,46 @@ mod tests {
         assert!(sheds > 0, "24 submits into a 2-deep queue never shed");
         for rx in pending {
             assert!(rx.recv().is_ok());
+        }
+        server.shutdown(None);
+    }
+
+    #[test]
+    fn watermark_one_waits_for_a_slot_instead_of_shedding_at_capacity() {
+        // With the default watermark of 1.0 a full queue is not an
+        // instant shed: admission sweeps expired work and then waits the
+        // bounded interval, so a worker that drains within the wait
+        // admits every request of a burst much deeper than the queue.
+        let engine = Arc::new(
+            Engine::new(ServiceConfig {
+                jobs: 2,
+                queue_capacity: 2,
+                ..ServiceConfig::default()
+            })
+            .expect("engine"),
+        );
+        let server = ShardedEngine::start(
+            engine,
+            ShardConfig {
+                shards: 1,
+                workers_per_shard: 1,
+                admission_watermark: 1.0,
+                admission_wait_ms: 10_000,
+            },
+        );
+        let mut pending = Vec::new();
+        for i in 0..12 {
+            let mut req = request(&format!("w{i}"));
+            req.bindings = vec![("n".into(), 16 + i), ("w".into(), 16)];
+            match server.submit(req, Instant::now()) {
+                Submitted::Queued(rx) => pending.push(rx),
+                Submitted::Rejected(resp) => {
+                    panic!("shed despite the bounded wait: {:?}", resp.error)
+                }
+            }
+        }
+        for rx in pending {
+            assert!(rx.recv().expect("answered").ok());
         }
         server.shutdown(None);
     }

@@ -97,17 +97,21 @@
 //! `--shards <n>` engine shards, each with its own bounded queue
 //! (`--queue` is the *per-shard* capacity) and worker pool (`--jobs`
 //! workers split across the shards), behind a least-loaded router with
-//! work stealing. Admission is bounded-wait: past `--admission-watermark`
-//! (a fill fraction, default 1.0) — or after `--admission-wait-ms` at
-//! hard capacity — a request is *shed* with a structured `overloaded`
-//! response carrying `retry_after_ms`, instead of blocking the client.
-//! Requests whose deadline is already spent (or provably unmeetable given
-//! the observed p50 compile time) fail as `deadline` without compiling,
-//! and expired requests are swept from the queues.
+//! work stealing. Admission is bounded-wait: when every shard is past
+//! `--admission-watermark` (a fill fraction below 1.0) — or still at
+//! hard capacity after `--admission-wait-ms` — a request is *shed* with
+//! a structured `overloaded` response carrying `retry_after_ms`, instead
+//! of blocking the client. Requests whose deadline is already spent (or
+//! provably unmeetable given the observed p50 compile time) fail as
+//! `deadline` without compiling, and expired requests are swept from the
+//! queues.
 //!
-//! `gpgpuc batch` honors `retry_after_ms` itself: `--retry <n>` (default
-//! 3) resubmits shed requests with jittered exponential backoff before
-//! reporting them as `overloaded`.
+//! `gpgpuc batch` honors `retry_after_ms` itself — and because a manifest
+//! is a finite job rather than live traffic, overload there is
+//! backpressure, never a verdict: shed requests resubmit with jittered
+//! exponential backoff until admitted, with `--retry <n>` (default 3)
+//! capping how far the delay doubles (at most hint × 2^n). Only `serve`
+//! surfaces `overloaded` to its clients.
 //!
 //! `gpgpuc serve` emits responses **in request order** by default (a
 //! `{"stats": true}` line acts as a barrier: every earlier request is
@@ -631,7 +635,9 @@ struct ServiceArgs {
     admission_watermark: f64,
     /// Bounded admission wait at hard capacity (`--admission-wait-ms`).
     admission_wait_ms: u64,
-    /// Client-side resubmits for shed batch requests (`--retry`).
+    /// Caps the exponential-backoff growth for shed batch resubmits
+    /// (`--retry`): delay tops out at hint × 2^retry. Batch retries shed
+    /// requests until admitted; this bounds the pacing, not the attempts.
     retry: u32,
     /// `serve --unordered`: emit responses as they complete.
     unordered: bool,
@@ -877,9 +883,14 @@ fn splitmix64(x: u64) -> u64 {
 
 /// The client half of the backoff contract: shed requests are resubmitted
 /// with jittered exponential backoff seeded from the server's
-/// `retry_after_ms` hint — delay = hint × 2^(attempt-1) × jitter in
-/// [0.5, 1.5) — for up to `retry` attempts before the `overloaded`
-/// response stands. Responses land in `slots` at their manifest index.
+/// `retry_after_ms` hint — delay = hint × 2^min(attempt, retry) × jitter
+/// in [0.5, 1.5). A manifest is a finite job, not live traffic, so
+/// overload here is backpressure, never a verdict: shed requests retry
+/// until admitted (`retry` caps how far the delay doubles, not how many
+/// attempts are made). Termination is guaranteed because each round
+/// waits for its admitted work to drain before resubmitting — the next
+/// round always finds free queue slots. Responses land in `slots` at
+/// their manifest index.
 fn run_batch_with_backoff(
     server: &ShardedEngine,
     work: Vec<(usize, CompileRequest)>,
@@ -889,26 +900,27 @@ fn run_batch_with_backoff(
     let mut round: Vec<(usize, CompileRequest, u32)> =
         work.into_iter().map(|(idx, req)| (idx, req, 0)).collect();
     while !round.is_empty() {
-        let mut pending: Vec<(usize, std::sync::mpsc::Receiver<CompileResponse>)> = Vec::new();
+        let mut pending: Vec<(usize, String, std::sync::mpsc::Receiver<CompileResponse>)> =
+            Vec::new();
         let mut retries: Vec<(usize, CompileRequest, u32, u64)> = Vec::new();
         for (idx, req, attempt) in round {
             match server.submit(req.clone(), std::time::Instant::now()) {
-                Submitted::Queued(rx) => pending.push((idx, rx)),
+                Submitted::Queued(rx) => pending.push((idx, req.id, rx)),
                 Submitted::Rejected(resp) => {
                     let shed = resp
                         .error
                         .as_ref()
                         .is_some_and(|e| e.class == ErrorClass::Overloaded);
-                    if shed && attempt < retry {
+                    if shed {
                         let hint = resp.retry_after_ms().unwrap_or(50).max(1);
-                        let backoff = hint.saturating_mul(1 << attempt.min(10));
+                        let backoff = hint.saturating_mul(1 << attempt.min(retry).min(10));
                         // Deterministic jitter in [0.5, 1.5): desynchronizes
                         // clients without making runs irreproducible.
                         let jitter =
                             0.5 + (splitmix64(idx as u64 * 31 + attempt as u64) % 1000) as f64
                                 / 1000.0;
                         let delay = ((backoff as f64 * jitter) as u64).clamp(1, 30_000);
-                        retries.push((idx, req, attempt + 1, delay));
+                        retries.push((idx, req, attempt.saturating_add(1), delay));
                     } else {
                         slots[idx] = Some(*resp);
                     }
@@ -918,14 +930,8 @@ fn run_batch_with_backoff(
         // Waiting for this round's admitted work to finish consumes most
         // of the backoff window; sleep off only the remainder.
         let drained_at = std::time::Instant::now();
-        for (idx, rx) in pending {
-            slots[idx] = Some(rx.recv().unwrap_or_else(|_| {
-                CompileResponse::failure(
-                    idx.to_string(),
-                    ErrorClass::Internal,
-                    "worker exited without a response",
-                )
-            }));
+        for (idx, id, rx) in pending {
+            slots[idx] = Some(rx.recv().unwrap_or_else(|_| worker_lost(id)));
         }
         round = retries
             .into_iter()
@@ -1001,12 +1007,22 @@ fn print_stage_attribution(engine: &Engine) {
     );
 }
 
+/// The response synthesized when a worker disconnects without answering:
+/// an internal error that still echoes the request's real `id`, so
+/// id-based correlation survives exactly the moment something already
+/// went wrong.
+fn worker_lost(id: String) -> CompileResponse {
+    CompileResponse::failure(id, ErrorClass::Internal, "worker exited without a response")
+}
+
 /// A response the serve loop owes the client, in request order.
 enum Ticket {
     /// Resolved at admission (malformed line, shed, expired deadline).
     Now(Box<CompileResponse>),
     /// In flight on a shard; the worker delivers through the receiver.
-    Later(std::sync::mpsc::Receiver<CompileResponse>),
+    /// The request `id` rides along so a vanished worker still yields a
+    /// correlatable response.
+    Later(String, std::sync::mpsc::Receiver<CompileResponse>),
 }
 
 impl Ticket {
@@ -1014,13 +1030,7 @@ impl Ticket {
     fn wait(self) -> CompileResponse {
         match self {
             Ticket::Now(resp) => *resp,
-            Ticket::Later(rx) => rx.recv().unwrap_or_else(|_| {
-                CompileResponse::failure(
-                    "?",
-                    ErrorClass::Internal,
-                    "worker exited without a response",
-                )
-            }),
+            Ticket::Later(id, rx) => rx.recv().unwrap_or_else(|_| worker_lost(id)),
         }
     }
 
@@ -1028,16 +1038,10 @@ impl Ticket {
     fn poll(self) -> Result<CompileResponse, Ticket> {
         match self {
             Ticket::Now(resp) => Ok(*resp),
-            Ticket::Later(rx) => match rx.try_recv() {
+            Ticket::Later(id, rx) => match rx.try_recv() {
                 Ok(resp) => Ok(resp),
-                Err(std::sync::mpsc::TryRecvError::Empty) => Err(Ticket::Later(rx)),
-                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
-                    Ok(CompileResponse::failure(
-                        "?",
-                        ErrorClass::Internal,
-                        "worker exited without a response",
-                    ))
-                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => Err(Ticket::Later(id, rx)),
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => Ok(worker_lost(id)),
             },
         }
     }
@@ -1141,10 +1145,13 @@ fn cmd_serve(argv: &[String]) -> ExitCode {
             // Malformed: book + answer without touching the shards (the
             // engine builds the structured bad-request response).
             Err(_) => Ticket::Now(Box::new(engine.handle_line(&line, position - 1))),
-            Ok(req) => match server.submit(req, enqueued) {
-                Submitted::Rejected(resp) => Ticket::Now(resp),
-                Submitted::Queued(rx) => Ticket::Later(rx),
-            },
+            Ok(req) => {
+                let id = req.id.clone();
+                match server.submit(req, enqueued) {
+                    Submitted::Rejected(resp) => Ticket::Now(resp),
+                    Submitted::Queued(rx) => Ticket::Later(id, rx),
+                }
+            }
         };
         if sargs.unordered {
             match ticket {
@@ -1153,11 +1160,10 @@ fn cmd_serve(argv: &[String]) -> ExitCode {
                         return code;
                     }
                 }
-                Ticket::Later(rx) => {
+                Ticket::Later(id, rx) => {
                     forwarders.push(std::thread::spawn(move || {
-                        if let Ok(resp) = rx.recv() {
-                            let _ = write_serve_line(&resp.to_json().compact());
-                        }
+                        let resp = rx.recv().unwrap_or_else(|_| worker_lost(id));
+                        let _ = write_serve_line(&resp.to_json().compact());
                     }));
                 }
             }

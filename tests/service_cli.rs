@@ -129,6 +129,49 @@ fn batch_preserves_manifest_order_and_aggregates_exit_codes() {
 }
 
 #[test]
+fn deep_cold_manifest_survives_a_tiny_queue_without_sheds() {
+    // Regression: a manifest much deeper than (retry + 1) × queue
+    // capacity of cold requests must still compile fully. Overload on a
+    // finite manifest is backpressure — batch keeps resubmitting shed
+    // requests (with the hint-paced backoff) until they are admitted,
+    // and never reports one as `overloaded`.
+    let dir = TempDir::new("deep-cold");
+    let lines: Vec<String> = (0..40)
+        .map(|i| mv_line(&format!("c{i}"), &format!("mv{i}"), 32 + i))
+        .collect();
+    let manifest = dir.file("manifest.ndjson", &(lines.join("\n") + "\n"));
+    let cache = dir.path("cache");
+
+    let mut cmd = gpgpuc();
+    cmd.args([
+        "batch",
+        manifest.to_str().expect("utf-8 path"),
+        "--jobs",
+        "1",
+        "--shards",
+        "1",
+        "--queue",
+        "2",
+        "--retry",
+        "0",
+        "--cache-dir",
+        cache.to_str().expect("utf-8 path"),
+    ]);
+    let (stdout, stderr, code) = run_full(cmd, "");
+    assert_eq!(code, 0, "a manifest request was shed as overloaded\n{stderr}");
+    let docs = response_lines(&stdout);
+    assert_eq!(docs.len(), 40, "one response per manifest line\n{stdout}");
+    for (i, doc) in docs.iter().enumerate() {
+        assert_eq!(
+            field(doc, "id").as_str(),
+            Some(format!("c{i}").as_str()),
+            "manifest order held"
+        );
+        assert_eq!(field(doc, "ok"), &Json::Bool(true), "{}", doc.compact());
+    }
+}
+
+#[test]
 fn warm_batch_run_is_all_cache_hits() {
     let dir = TempDir::new("warm");
     let manifest = dir.file(
