@@ -1,0 +1,182 @@
+//! Timing-model bench (DESIGN.md §5.13): what ranking with the
+//! trace-driven memory-hierarchy model costs over the closed-form
+//! analytic model, and what the parallel candidate explorer buys back.
+//!
+//! Two measurements over the Figure 11 suite (Table 1, GTX 280):
+//!
+//! 1. **Per-candidate estimate cost** — each kernel compiled once per
+//!    cost model with a *serial* explorer, so the per-candidate time is
+//!    the model's own cost and not a scheduling artifact.
+//! 2. **Explorer wall-clock** — the whole suite compiled under the
+//!    hierarchy model with the explorer pinned serial
+//!    (`ExploreOptions::workers = Some(1)`) and then parallel
+//!    (`workers = None`). Winners must agree exactly; the speedup is the
+//!    acceptance number (target ≥ 2x on a multi-core host).
+//!
+//! Besides the console tables, the run writes `BENCH_model.json`
+//! (`gpgpu-trace/v2` schema) so results can be diffed across runs.
+
+use gpgpu_bench::harness::banner;
+use gpgpu_core::{compile, CompileOptions, Json};
+use gpgpu_kernels::table1;
+use gpgpu_sim::{CostModelKind, MachineDesc};
+use std::time::Instant;
+
+/// Options for one Table 1 benchmark: default bindings, the given cost
+/// model, and an explicit explorer schedule.
+fn opts_for(
+    b: &gpgpu_kernels::Benchmark,
+    machine: &MachineDesc,
+    model: CostModelKind,
+    workers: Option<usize>,
+) -> CompileOptions {
+    let mut opts = CompileOptions {
+        bindings: b.default_bindings(),
+        ..CompileOptions::new(machine.clone()).with_cost_model(model)
+    };
+    opts.explore.workers = workers;
+    opts
+}
+
+/// Wall-clock of the `explore` span inside one compile, in milliseconds
+/// (falls back to 0 when the kernel skipped exploration entirely).
+fn explore_ms(compiled: &gpgpu_core::CompiledKernel) -> f64 {
+    compiled
+        .profiler
+        .aggregate_by_name()
+        .into_iter()
+        .find(|(name, _, _)| name == "explore")
+        .map(|(_, _, total_us)| total_us as f64 / 1000.0)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    banner(
+        "Timing models",
+        "analytic vs memory-hierarchy estimate cost; serial vs parallel explorer",
+    );
+    let machine = MachineDesc::gtx280();
+
+    // --- 1. per-candidate estimate cost, serial explorer ---------------
+    println!(
+        "\n{:<14} {:>10} {:>6} {:>16} {:>16} {:>8}",
+        "kernel", "model", "cands", "compile ms", "per-cand ms", "chosen"
+    );
+    let mut cost_rows = Vec::new();
+    for b in table1() {
+        let kernel = b.kernel();
+        for model in CostModelKind::ALL {
+            let opts = opts_for(&b, &machine, model, Some(1));
+            let start = Instant::now();
+            let compiled = match compile(&kernel, &opts) {
+                Ok(c) => c,
+                Err(e) => {
+                    println!("{:<14} {:>10} compile failed: {e}", b.name, model.as_str());
+                    continue;
+                }
+            };
+            let compile_ms = start.elapsed().as_secs_f64() * 1000.0;
+            let cands = compiled.evaluated.len().max(1);
+            let per_cand = explore_ms(&compiled) / cands as f64;
+            println!(
+                "{:<14} {:>10} {:>6} {:>13.2} ms {:>13.3} ms {:>8}",
+                b.name,
+                model.as_str(),
+                cands,
+                compile_ms,
+                per_cand,
+                compiled.chosen.label()
+            );
+            cost_rows.push(Json::obj(vec![
+                ("kernel", Json::str(b.name)),
+                ("model", Json::str(model.as_str())),
+                ("candidates", Json::num(cands as f64)),
+                ("compile_ms", Json::num(compile_ms)),
+                ("per_candidate_ms", Json::num(per_cand)),
+                ("chosen", Json::str(compiled.chosen.label())),
+            ]));
+        }
+    }
+
+    // --- 2. explorer wall-clock, serial vs parallel --------------------
+    // The hierarchy model is the simulation-heavy one, so it is the one
+    // the parallel explorer must pay for.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut serial_ms = 0.0;
+    let mut parallel_ms = 0.0;
+    let mut winners_match = true;
+    let mut suite_rows = Vec::new();
+    for b in table1() {
+        let kernel = b.kernel();
+        let serial = compile(&kernel, &opts_for(&b, &machine, CostModelKind::Hierarchy, Some(1)));
+        let parallel = compile(&kernel, &opts_for(&b, &machine, CostModelKind::Hierarchy, None));
+        let (serial, parallel) = match (serial, parallel) {
+            (Ok(s), Ok(p)) => (s, p),
+            (Err(e), _) | (_, Err(e)) => {
+                println!("{:<14} compile failed: {e}", b.name);
+                continue;
+            }
+        };
+        let s_ms = explore_ms(&serial);
+        let p_ms = explore_ms(&parallel);
+        serial_ms += s_ms;
+        parallel_ms += p_ms;
+        let same = serial.chosen.label() == parallel.chosen.label();
+        winners_match &= same;
+        suite_rows.push(Json::obj(vec![
+            ("kernel", Json::str(b.name)),
+            ("serial_explore_ms", Json::num(s_ms)),
+            ("parallel_explore_ms", Json::num(p_ms)),
+            ("winner", Json::str(serial.chosen.label())),
+            ("winners_match", Json::Bool(same)),
+        ]));
+        if !same {
+            println!(
+                "{:<14} WINNER MISMATCH: serial {} vs parallel {}",
+                b.name,
+                serial.chosen.label(),
+                parallel.chosen.label()
+            );
+        }
+    }
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    println!(
+        "\nexplorer wall-clock over the fig11 suite ({threads} worker threads):\n  \
+         serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms -> {speedup:.2}x speedup, winners {}",
+        if winners_match { "identical" } else { "DIVERGED" }
+    );
+    if threads < 2 {
+        println!("  (single-core host: the >=2x speedup target needs a multi-core machine)");
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str(gpgpu_core::trace::SCHEMA)),
+        ("figure", Json::str("model")),
+        (
+            "description",
+            Json::str(
+                "per-candidate cost of the analytic vs memory-hierarchy timing models, \
+                 and serial vs parallel explorer wall-clock over the fig11 suite",
+            ),
+        ),
+        ("machine", Json::str(machine.name)),
+        ("estimate_cost", Json::Arr(cost_rows)),
+        (
+            "explorer",
+            Json::obj(vec![
+                ("worker_threads", Json::num(threads as f64)),
+                ("serial_explore_ms", Json::num(serial_ms)),
+                ("parallel_explore_ms", Json::num(parallel_ms)),
+                ("speedup", Json::num(speedup)),
+                ("winners_match", Json::Bool(winners_match)),
+                ("kernels", Json::Arr(suite_rows)),
+            ]),
+        ),
+    ]);
+    match std::fs::write("BENCH_model.json", doc.pretty()) {
+        Ok(()) => println!("wrote BENCH_model.json"),
+        Err(e) => eprintln!("cannot write BENCH_model.json: {e}"),
+    }
+}

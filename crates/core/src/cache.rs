@@ -14,7 +14,9 @@
 //! * the target machine name;
 //! * the size bindings, iterated in sorted order;
 //! * the enabled stage set;
-//! * the verification seed.
+//! * the verification seed;
+//! * the cost model ranking the candidates (the analytic and
+//!   memory-hierarchy models can pick different winners).
 //!
 //! [`CompileOptions`] fields that cannot be expressed in a service request
 //! (custom explore degrees, sample-block overrides, span tables) are *not*
@@ -36,7 +38,7 @@ use gpgpu_trace::Json;
 /// entry and mixed into every fingerprint: changing the artifact schema or
 /// the fingerprint definition bumps this and orphans (invalidates) all
 /// previously stored entries.
-pub const CACHE_SCHEMA: &str = "gpgpu-cache/v1";
+pub const CACHE_SCHEMA: &str = "gpgpu-cache/v2";
 
 /// 64-bit FNV-1a.
 fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
@@ -103,6 +105,7 @@ impl CompileOptions {
             .map(|b| if b { b'1' } else { b'0' });
         fp.field(&stage_bits);
         fp.field(&self.verify_seed.to_le_bytes());
+        fp.field(self.cost_model.as_str().as_bytes());
         fp.hex()
     }
 }
@@ -386,12 +389,33 @@ mod tests {
         let binding = opts().bind("n", 512).fingerprint(&k);
         let stages = opts().with_stages(StageSet::none()).fingerprint(&k);
         let seed = opts().with_verify_seed(7).fingerprint(&k);
-        let keys = [&base, &machine, &binding, &stages, &seed];
+        let model = opts()
+            .with_cost_model(gpgpu_sim::CostModelKind::Hierarchy)
+            .fingerprint(&k);
+        let keys = [&base, &machine, &binding, &stages, &seed, &model];
         for (i, a) in keys.iter().enumerate() {
             for b in &keys[i + 1..] {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn cost_model_invalidates_cached_fingerprints() {
+        // The v1 fingerprint predates cost-model selection; the v2 schema
+        // bump must orphan every v1 entry, and the two models must never
+        // share an entry (they can rank candidates differently).
+        assert_eq!(CACHE_SCHEMA, "gpgpu-cache/v2");
+        let k = parse_kernel(MV).unwrap();
+        let analytic = opts()
+            .with_cost_model(gpgpu_sim::CostModelKind::Analytic)
+            .fingerprint(&k);
+        let hierarchy = opts()
+            .with_cost_model(gpgpu_sim::CostModelKind::Hierarchy)
+            .fingerprint(&k);
+        assert_ne!(analytic, hierarchy);
+        // The default options fingerprint is the analytic one.
+        assert_eq!(opts().fingerprint(&k), analytic);
     }
 
     #[test]

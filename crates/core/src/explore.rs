@@ -42,6 +42,11 @@ pub struct ExploreOptions {
     /// Per-candidate wall-clock deadline in milliseconds; `None` disables
     /// the deadline.
     pub candidate_deadline_ms: Option<u64>,
+    /// Worker threads evaluating candidates; `None` sizes the pool from
+    /// the host's available parallelism. `Some(1)` forces the serial
+    /// schedule (used by the timing-model bench to measure the speedup of
+    /// the parallel sweep).
+    pub workers: Option<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -52,6 +57,7 @@ impl Default for ExploreOptions {
             thread_merge_x: vec![2, 4],
             candidate_fuel: None,
             candidate_deadline_ms: Some(10_000),
+            workers: None,
         }
     }
 }
@@ -242,10 +248,15 @@ pub fn explore(
     // search: a panicked slot is retried once (transient poisoning), then
     // recorded as a contained fault.
     let results: Vec<(Result<EvaluatedCandidate, CandidateFailure>, u64)> = {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(combos.len().max(1));
+        let workers = opts
+            .explore
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .clamp(1, combos.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut slots: Vec<Option<(Result<EvaluatedCandidate, CandidateFailure>, u64)>> =
             Vec::new();
@@ -547,6 +558,7 @@ fn evaluate_candidate(
             sample_blocks: opts.sample_blocks,
             fuel,
             deadline,
+            cost_model: opts.cost_model,
             ..PerfOptions::default()
         },
         &resources,

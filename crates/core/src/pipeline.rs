@@ -7,7 +7,7 @@ use crate::fault;
 use crate::pass_manager::PassManager;
 use gpgpu_analysis::{ArrayLayout, Bindings};
 use gpgpu_ast::{print_kernel, AccessSpans, Kernel, LaunchConfig, PrintOptions, ScalarType};
-use gpgpu_sim::{MachineDesc, PerfEstimate, PerfOptions};
+use gpgpu_sim::{CostModelKind, MachineDesc, PerfEstimate, PerfOptions};
 use gpgpu_trace::{Json, MetricsRegistry, Profiler, SpanId, TraceEvent, TraceSink};
 use gpgpu_transform::{
     reduction, AmdVectorizePass, CoalescePass, PassError, ReductionPass, PipelineState,
@@ -124,6 +124,11 @@ pub struct CompileOptions {
     /// be replayed exactly (`gpgpuc --verify-seed`). Seed 0 is the
     /// historical default stream.
     pub verify_seed: u64,
+    /// Timing model used to rank candidates: the closed-form analytic
+    /// model, or the trace-driven memory-hierarchy model
+    /// (`gpgpuc --cost-model`). Part of the cache fingerprint — the two
+    /// models can rank candidates differently.
+    pub cost_model: CostModelKind,
     /// Hierarchical span profiler the compilation records into. Callers
     /// that compile several kernels (the batch service, `gpgpuc profile`)
     /// share one profiler across invocations; the default is a fresh one
@@ -147,6 +152,7 @@ impl CompileOptions {
             sample_blocks: gpgpu_sim::timing::DEFAULT_SAMPLE_BLOCKS,
             spans: AccessSpans::new(),
             verify_seed: 0,
+            cost_model: CostModelKind::default(),
             profiler: Profiler::new(),
             profile_parent: None,
         }
@@ -175,6 +181,13 @@ impl CompileOptions {
     /// [`CompileOptions::verify_seed`]).
     pub fn with_verify_seed(mut self, seed: u64) -> CompileOptions {
         self.verify_seed = seed;
+        self
+    }
+
+    /// Selects the timing model that ranks candidates (see
+    /// [`CompileOptions::cost_model`]).
+    pub fn with_cost_model(mut self, model: CostModelKind) -> CompileOptions {
+        self.cost_model = model;
         self
     }
 
@@ -230,6 +243,9 @@ pub struct CompiledKernel {
     /// Set when the optimizing pipeline failed and [`compile`] fell back to
     /// the naive kernel; `None` for a fully optimized result.
     pub degraded: Option<DegradedReason>,
+    /// The timing model that ranked the candidates (recorded in the trace
+    /// document so a replayed trace knows which model's numbers it holds).
+    pub cost_model: CostModelKind,
     /// The span profiler the compilation recorded into (a handle onto the
     /// table shared with [`CompileOptions::profiler`]). Feeds the
     /// `--profile` / `--profile-chrome` exporters and `gpgpuc profile`.
@@ -265,6 +281,7 @@ impl CompiledKernel {
             ("time_ms", Json::num(self.total_time_ms())),
             ("gflops", Json::num(self.gflops())),
             ("bandwidth_gbps", Json::num(self.effective_bandwidth_gbps())),
+            ("cost_model", Json::str(self.cost_model.as_str())),
             ("chosen", candidate_json(&self.chosen)),
             (
                 "degraded",
@@ -476,6 +493,7 @@ fn compile_optimized(
         chosen: explored.chosen,
         evaluated: explored.evaluated,
         degraded: None,
+        cost_model: opts.cost_model,
         profiler: opts.profiler.clone(),
     })
 }
@@ -555,6 +573,7 @@ fn naive_state_compiled(
         },
         evaluated: Vec::new(),
         degraded: None,
+        cost_model: opts.cost_model,
         profiler: st.profiler.clone(),
     })
 }
@@ -690,6 +709,7 @@ fn compile_reduction(
                 chosen: cand,
                 evaluated: Vec::new(),
                 degraded: None,
+                cost_model: opts.cost_model,
                 profiler: opts.profiler.clone(),
             };
             best = Some((compiled, time));
@@ -734,6 +754,7 @@ pub fn estimate_launch(
 ) -> Result<PerfEstimate, String> {
     let perf_opts = PerfOptions {
         sample_blocks: opts.sample_blocks,
+        cost_model: opts.cost_model,
         ..PerfOptions::default()
     };
     let total_threads = cfg.total_threads() as i64;
@@ -762,7 +783,10 @@ pub fn estimate_launch(
         let mut scaled = est.stats.scaled(factor as f64);
         // Barrier crossings (tree depth) grow with log2 of the shrink.
         scaled.gsync_crossings += factor.ilog2() as u64;
-        return Ok(gpgpu_sim::timing::finish(
+        // The shrunk trace has no replayable event stream, so the cost
+        // model finishes from scaled counters alone (the hierarchy model
+        // falls back to the analytic formulas here).
+        return Ok(opts.cost_model.model().finish_scaled(
             kernel,
             cfg,
             &opts.machine,

@@ -190,9 +190,15 @@ fn run_verify(
         if sanitize { "verify:sanitized" } else { "verify" },
         "verify",
     );
+    // Full-grid runs dominate verification wall-clock; split the grid into
+    // per-thread block clusters. Sanitized runs ignore the hint and stay
+    // serial — the shadow interpreter's race detection is order-sensitive.
     let exec_opts = ExecOptions {
         sanitize,
         spans: opts.spans.clone(),
+        block_clusters: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         ..ExecOptions::default()
     };
 

@@ -4,7 +4,7 @@
 //! Both layers are keyed by the content-addressed fingerprint computed by
 //! [`gpgpu_core::CompileOptions::fingerprint`] and store the rendered
 //! [`CachedArtifact`]. The disk layout is versioned by path — entries live
-//! under `<root>/v1/<fingerprint>.json` where `v1` derives from
+//! under `<root>/v2/<fingerprint>.json` where `v2` derives from
 //! [`gpgpu_core::CACHE_SCHEMA`] — so a format bump changes the directory
 //! and every stale entry is orphaned rather than misread; each file
 //! additionally embeds the schema tag and its own fingerprint, and a file
@@ -79,10 +79,10 @@ struct DiskCache {
 
 impl DiskCache {
     /// Opens (and creates) the store under `root`. The versioned
-    /// subdirectory is derived from [`CACHE_SCHEMA`] (`gpgpu-cache/v1` →
-    /// `v1`).
+    /// subdirectory is derived from [`CACHE_SCHEMA`] (`gpgpu-cache/v2` →
+    /// `v2`).
     fn open(root: &Path) -> std::io::Result<DiskCache> {
-        let version = CACHE_SCHEMA.rsplit('/').next().unwrap_or("v1");
+        let version = CACHE_SCHEMA.rsplit('/').next().unwrap_or("v2");
         let dir = root.join(version);
         std::fs::create_dir_all(&dir)?;
         Ok(DiskCache { dir })
@@ -311,22 +311,22 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("gpgpu-cache-bad-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut cache = CompileCache::new(4, Some(&dir)).unwrap();
-        let v1 = dir.join("v1");
-        std::fs::write(v1.join("0bad.json"), "not json at all").unwrap();
+        let vdir = dir.join("v2");
+        std::fs::write(vdir.join("0bad.json"), "not json at all").unwrap();
         let probe = cache.get("0bad");
         assert_eq!(probe.outcome, CacheOutcome::Miss);
         assert!(probe.disk_error.as_ref().is_some_and(|f| f.healed));
-        assert!(!v1.join("0bad.json").exists(), "corrupt entry deleted");
+        assert!(!vdir.join("0bad.json").exists(), "corrupt entry deleted");
         // A valid file stored under the wrong fingerprint is also refused.
         std::fs::write(
-            v1.join("yyyy.json"),
+            vdir.join("yyyy.json"),
             artifact("xxxx", "S").to_json().pretty(),
         )
         .unwrap();
         let probe = cache.get("yyyy");
         assert_eq!(probe.outcome, CacheOutcome::Miss);
         assert!(probe.disk_error.as_ref().is_some_and(|f| f.healed));
-        assert!(!v1.join("yyyy.json").exists());
+        assert!(!vdir.join("yyyy.json").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -336,7 +336,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let mut cache = CompileCache::new(1, Some(&dir)).unwrap();
         cache.put(&artifact("abcd", "S"));
-        assert!(dir.join("v1").join("abcd.json").exists());
+        // `gpgpu-cache/v2` → a `v2/` directory; stale `v1/` entries from
+        // before the cost-model fingerprint are orphaned, never read.
+        assert!(dir.join("v2").join("abcd.json").exists());
+        assert!(!dir.join("v1").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

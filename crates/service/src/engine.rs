@@ -18,7 +18,7 @@ use crate::request::{
 use gpgpu_core::{
     compile, CompileError, CompileOptions, Json, MetricsRegistry, Profiler, SpanId, TraceEvent,
 };
-use gpgpu_sim::MachineDesc;
+use gpgpu_sim::{CostModelKind, MachineDesc};
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::{Condvar, Mutex};
@@ -38,6 +38,10 @@ pub struct ServiceConfig {
     /// Deadline applied to requests that do not carry their own, in
     /// milliseconds; `None` means no default deadline.
     pub default_deadline_ms: Option<u64>,
+    /// Timing model ranking candidates for every compile this engine runs
+    /// (`gpgpuc serve --cost-model`). Part of each request's cache
+    /// fingerprint, so artifacts never leak across models.
+    pub cost_model: CostModelKind,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +52,7 @@ impl Default for ServiceConfig {
             cache_entries: 256,
             cache_dir: None,
             default_deadline_ms: None,
+            cost_model: CostModelKind::default(),
         }
     }
 }
@@ -231,9 +236,12 @@ impl Engine {
         let hists = lock(&self.hists);
         let mut latency: Vec<(String, Json)> = Vec::new();
         let mut stages: Vec<(String, Json)> = Vec::new();
+        let mut hierarchy: Vec<(String, Json)> = Vec::new();
         for (name, h) in hists.histograms() {
             if let Some(class) = name.strip_prefix("service_latency_") {
                 latency.push((class.to_string(), h.to_json()));
+            } else if let Some(counter) = name.strip_prefix("service_hierarchy_") {
+                hierarchy.push((counter.to_string(), h.to_json()));
             } else if let Some(stage) = name.strip_prefix("service_stage_") {
                 stages.push((stage.to_string(), h.to_json()));
             }
@@ -285,6 +293,11 @@ impl Engine {
                             ("deadline_preempted", Json::count(c.deadline_preempted)),
                         ]),
                     ),
+                    (
+                        "cost_model",
+                        Json::str(self.config.cost_model.as_str()),
+                    ),
+                    ("hierarchy", Json::Obj(hierarchy)),
                     ("latency", Json::Obj(latency)),
                     ("stages", Json::Obj(stages)),
                 ]),
@@ -379,6 +392,7 @@ impl Engine {
         let mut opts = CompileOptions::new(machine)
             .with_stages(req.stages)
             .with_verify_seed(req.verify_seed)
+            .with_cost_model(self.config.cost_model)
             .with_source(source)
             .with_profiler(self.profiler.clone());
         for (name, value) in &req.bindings {
@@ -555,6 +569,23 @@ impl Engine {
                 CompileResponse::failure(req.id, class, e.to_string())
             }
             Ok(Ok(compiled)) => {
+                // Under the hierarchy cost model, fold the winner's
+                // per-level memory counters into live histograms — the
+                // `{"stats": true}` snapshot's `hierarchy` section.
+                if let Some(h) = &compiled.estimate.hierarchy {
+                    let mut hists = lock(&self.hists);
+                    for (name, value) in [
+                        ("service_hierarchy_l1_hits", h.l1_hits),
+                        ("service_hierarchy_l2_hits", h.l2_hits),
+                        ("service_hierarchy_mshr_merges", h.mshr_merges),
+                        (
+                            "service_hierarchy_partition_queue_peak",
+                            h.partition_queue_peak,
+                        ),
+                    ] {
+                        hists.record_duration(name, value);
+                    }
+                }
                 let artifact = compiled.cache_artifact(&fingerprint);
                 // Degraded results are transient (a fault's fallback); only
                 // fully optimized artifacts are worth pinning.

@@ -192,6 +192,29 @@ impl Buffer {
         }
     }
 
+    /// Folds the writes recorded in `theirs` (a descendant of `snapshot`)
+    /// into this buffer: any cell whose bit pattern differs from the
+    /// snapshot was written and wins. Used to merge block-cluster devices
+    /// after a parallel launch; cells written by several clusters were
+    /// inter-block data races in the source program, so "last merged
+    /// cluster wins" is as defined as the hardware.
+    pub fn merge_writes(&mut self, snapshot: &Buffer, theirs: &Buffer) {
+        for (i, (&new, &old)) in theirs.data.iter().zip(&snapshot.data).enumerate() {
+            if new.to_bits() != old.to_bits() {
+                if let Some(cell) = self.data.get_mut(i) {
+                    *cell = new;
+                }
+            }
+        }
+        for (i, &init) in theirs.shadow.iter().enumerate() {
+            if init {
+                if let Some(cell) = self.shadow.get_mut(i) {
+                    *cell = true;
+                }
+            }
+        }
+    }
+
     /// Downloads the logical contents as a row-major `f32` stream.
     pub fn download(&self) -> Vec<f32> {
         let lanes = self.layout.elem.lanes() as i64;
@@ -283,6 +306,19 @@ impl Device {
     /// Names of all allocated buffers.
     pub fn buffer_names(&self) -> Vec<String> {
         self.buffers.keys().cloned().collect()
+    }
+
+    /// Folds the buffer writes a block cluster performed on `theirs` (a
+    /// clone of the pre-fork `snapshot` device) into this device. See
+    /// [`Buffer::merge_writes`].
+    pub fn merge_writes(&mut self, snapshot: &Device, theirs: &Device) {
+        for (name, ours) in self.buffers.iter_mut() {
+            if let (Some(snap), Some(their)) =
+                (snapshot.buffers.get(name), theirs.buffers.get(name))
+            {
+                ours.merge_writes(snap, their);
+            }
+        }
     }
 }
 

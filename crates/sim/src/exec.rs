@@ -62,6 +62,16 @@ pub struct ExecOptions {
     /// Source spans of each array's first subscripted access in the
     /// original kernel; sanitizer findings about an array carry its span.
     pub spans: AccessSpans,
+    /// Simulate the executed blocks on this many worker threads
+    /// ("block clusters", after the SM clusters of hardware simulators).
+    /// `0` or `1` runs serially. Blocks are independent up to inter-block
+    /// write conflicts (data races in the source program), so the parallel
+    /// run is serial-equivalent: per-cluster statistics merge by addition,
+    /// the lockstep partition timeline merges element-wise, and each
+    /// cluster's buffer writes are folded back in cluster order.
+    /// Sanitize and mega-block (`__gsync`) runs ignore this and stay
+    /// serial.
+    pub block_clusters: usize,
 }
 
 /// Counters collected during execution.
@@ -206,6 +216,61 @@ impl ExecStats {
     }
 }
 
+/// One global-memory transaction observed by the interpreter: a 32-byte
+/// line moved on behalf of a half-warp request. The stream of these events
+/// is what the trace-driven memory-hierarchy model
+/// ([`crate::mem::HierarchySim`]) replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// 32-byte line index (byte address / 32). Addresses come from the
+    /// phantom-buffer base-address machinery, so lines are unique across
+    /// arrays without any data being stored.
+    pub line: i64,
+    /// Whether the transaction was a store (assignment) rather than a load.
+    pub write: bool,
+    /// SM the issuing block is resident on (blocks are laid round-robin
+    /// over `MachineDesc::sm_count`).
+    pub sm: u32,
+    /// In-block issue index of the half-warp request. Blocks run the same
+    /// code in lockstep, so events with equal ticks are concurrent on real
+    /// hardware; the hierarchy model uses this for MSHR merging windows and
+    /// partition-queue depth.
+    pub tick: u64,
+}
+
+/// Receives the global-memory transaction stream during a launch.
+///
+/// The interpreter calls [`MemSink::record`] once per 32-byte line of every
+/// traced half-warp access, in issue order. Sinks must be cheap: the
+/// default [`NullSink`] makes tracing free for correctness runs.
+pub trait MemSink {
+    /// Records one transaction.
+    fn record(&mut self, ev: MemEvent);
+}
+
+/// Discards every event — the default sink for correctness and
+/// analytic-model runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl MemSink for NullSink {
+    fn record(&mut self, _ev: MemEvent) {}
+}
+
+/// Buffers the transaction stream in memory for later replay into a
+/// hierarchy simulator.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The recorded transactions, in issue order.
+    pub events: Vec<MemEvent>,
+}
+
+impl MemSink for VecSink {
+    fn record(&mut self, ev: MemEvent) {
+        self.events.push(ev);
+    }
+}
+
 /// Errors raised during execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
@@ -276,6 +341,28 @@ pub fn launch(
     device: &mut Device,
     opts: &ExecOptions,
 ) -> Result<ExecStats, ExecError> {
+    launch_with_sink(kernel, cfg, bindings, device, opts, &mut NullSink)
+}
+
+/// [`launch`], but streaming every global-memory transaction into `sink`.
+///
+/// The transaction stream drives the trace-based memory-hierarchy timing
+/// model ([`crate::mem`]); correctness-only callers use [`launch`], which
+/// discards the stream. Events arrive in block execution order (cluster
+/// order under [`ExecOptions::block_clusters`], which is the same order the
+/// serial run would produce).
+///
+/// # Errors
+///
+/// Same contract as [`launch`].
+pub fn launch_with_sink(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    bindings: &Bindings,
+    device: &mut Device,
+    opts: &ExecOptions,
+    sink: &mut dyn MemSink,
+) -> Result<ExecStats, ExecError> {
     let mut scalars: HashMap<String, i64> = HashMap::new();
     let pragma_sizes = kernel.pragma_sizes();
     for p in &kernel.params {
@@ -321,6 +408,8 @@ pub fn launch(
             epoch: 0,
             shared_shadow: HashMap::new(),
             shared_bytes: 0,
+            sm_id: 0,
+            sink,
         };
         let mask = vec![true; nt];
         ctx.exec_body(&kernel.body, &mask)?;
@@ -331,7 +420,6 @@ pub fn launch(
 
     let total = cfg.total_blocks();
     let limit = opts.sample_blocks.map(|n| n as u64).unwrap_or(total);
-    let nt = cfg.threads_per_block() as usize;
     // When sampling, stride the chosen blocks across the concurrently
     // resident population so partition statistics reflect what actually
     // runs together on the machine.
@@ -343,41 +431,178 @@ pub fn launch(
         }
         _ => 1,
     };
-    let mut executed = 0u64;
+    let mut blocks: Vec<u64> = Vec::new();
     let mut linear = 0u64;
-    while executed < limit && linear < total {
-        let bx = (linear % cfg.grid_x as u64) as u32;
-        let by = (linear / cfg.grid_x as u64) as u32;
-        let mut ctx = BlockCtx {
-            device,
-            scalars: &scalars,
-            stats: &mut stats,
-            env: HashMap::new(),
-            shared: HashMap::new(),
-            nt,
-            block: (bx, by),
-            cfg: *cfg,
-            mega: false,
-            steps: 0,
-            request_ix: 0,
-            depth: 0,
-            max_outer_iters: opts.max_outer_iters,
-            step_limit: opts.fuel.map_or(STEP_LIMIT, |f| f.min(STEP_LIMIT)),
-            deadline: opts.deadline,
-            sanitize: opts.sanitize,
-            spans: &opts.spans,
-            epoch: 0,
-            shared_shadow: HashMap::new(),
-            shared_bytes: 0,
-        };
-        let mask = vec![true; nt];
-        ctx.exec_body(&kernel.body, &mask)?;
-        executed += 1;
+    while (blocks.len() as u64) < limit && linear < total {
+        blocks.push(linear);
         linear += stride;
     }
-    stats.blocks_executed = executed;
+
+    // Sanitize runs stay serial: the shadow-state machinery assumes the
+    // serial block order when attributing first-fault blame.
+    let clusters = if opts.sanitize {
+        1
+    } else {
+        opts.block_clusters.clamp(1, blocks.len().max(1))
+    };
+
+    if clusters <= 1 {
+        for &lin in &blocks {
+            run_block(kernel, cfg, &scalars, device, opts, lin, &mut stats, sink)?;
+        }
+        stats.blocks_executed = blocks.len() as u64;
+        stats.total_blocks = total;
+        return Ok(stats);
+    }
+
+    // Parallel path: split the block list contiguously into clusters, run
+    // each on its own thread against a private clone of the device, then
+    // merge in cluster order. Blocks are independent up to inter-block
+    // write conflicts (already data races in the source program), so the
+    // merge is serial-equivalent: each cluster's writes are detected by
+    // comparing against the pre-fork snapshot and folded back in order.
+    let chunk = blocks.len().div_ceil(clusters);
+    let snapshot: Device = device.clone();
+    type ClusterRun = Result<(Device, ExecStats, Vec<MemEvent>), ExecError>;
+    let results: Vec<ClusterRun> =
+        std::thread::scope(|scope| {
+            let snapshot_ref = &snapshot;
+            let scalars_ref = &scalars;
+            let handles: Vec<_> = blocks
+                .chunks(chunk)
+                .map(|span| {
+                    scope.spawn(move || {
+                        let mut dev = snapshot_ref.clone();
+                        let mut local = ExecStats {
+                            partition_hits: vec![
+                                0;
+                                dev.machine.partitions.count as usize
+                            ],
+                            ..ExecStats::default()
+                        };
+                        let mut vec_sink = VecSink::default();
+                        for &lin in span {
+                            run_block(
+                                kernel,
+                                cfg,
+                                scalars_ref,
+                                &mut dev,
+                                opts,
+                                lin,
+                                &mut local,
+                                &mut vec_sink,
+                            )?;
+                        }
+                        Ok((dev, local, vec_sink.events))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+
+    for result in results {
+        let (dev, local, events) = result?;
+        device.merge_writes(&snapshot, &dev);
+        merge_stats(&mut stats, local);
+        for ev in events {
+            sink.record(ev);
+        }
+    }
+    stats.blocks_executed = blocks.len() as u64;
     stats.total_blocks = total;
     Ok(stats)
+}
+
+/// Executes one thread block (by linear grid index) against `device`,
+/// accumulating into `stats` and `sink`.
+#[allow(clippy::too_many_arguments)]
+fn run_block(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    scalars: &HashMap<String, i64>,
+    device: &mut Device,
+    opts: &ExecOptions,
+    linear: u64,
+    stats: &mut ExecStats,
+    sink: &mut dyn MemSink,
+) -> Result<(), ExecError> {
+    let bx = (linear % cfg.grid_x as u64) as u32;
+    let by = (linear / cfg.grid_x as u64) as u32;
+    let sm_id = (linear % device.machine.sm_count.max(1) as u64) as u32;
+    let nt = cfg.threads_per_block() as usize;
+    let mut ctx = BlockCtx {
+        device,
+        scalars,
+        stats,
+        env: HashMap::new(),
+        shared: HashMap::new(),
+        nt,
+        block: (bx, by),
+        cfg: *cfg,
+        mega: false,
+        steps: 0,
+        request_ix: 0,
+        depth: 0,
+        max_outer_iters: opts.max_outer_iters,
+        step_limit: opts.fuel.map_or(STEP_LIMIT, |f| f.min(STEP_LIMIT)),
+        deadline: opts.deadline,
+        sanitize: opts.sanitize,
+        spans: &opts.spans,
+        epoch: 0,
+        shared_shadow: HashMap::new(),
+        shared_bytes: 0,
+        sm_id,
+        sink,
+    };
+    let mask = vec![true; nt];
+    ctx.exec_body(&kernel.body, &mask)
+}
+
+/// Folds one cluster's statistics into the launch totals. Extensive
+/// counters add; the lockstep partition timeline adds element-wise (every
+/// block restarts its request index at zero, so equal ticks are concurrent
+/// regardless of which cluster ran the block); `loop_truncation` is a
+/// per-block factor and identical across clusters, so `max` keeps it.
+fn merge_stats(into: &mut ExecStats, from: ExecStats) {
+    into.warp_insts += from.warp_insts;
+    into.flops += from.flops;
+    into.global_transactions += from.global_transactions;
+    into.global_bytes += from.global_bytes;
+    into.useful_bytes += from.useful_bytes;
+    into.gmem_requests += from.gmem_requests;
+    for (a, b) in into.partition_hits.iter_mut().zip(&from.partition_hits) {
+        *a += b;
+    }
+    if into.partition_timeline.len() < from.partition_timeline.len() {
+        let nparts = from
+            .partition_timeline
+            .first()
+            .map(|h| h.len())
+            .unwrap_or(0);
+        into.partition_timeline
+            .resize(from.partition_timeline.len(), vec![0; nparts]);
+    }
+    for (ts, step) in from.partition_timeline.iter().enumerate() {
+        for (p, v) in step.iter().enumerate() {
+            if let Some(slot) = into
+                .partition_timeline
+                .get_mut(ts)
+                .and_then(|h| h.get_mut(p))
+            {
+                *slot += v;
+            }
+        }
+    }
+    into.shared_accesses += from.shared_accesses;
+    into.shared_conflict_cycles += from.shared_conflict_cycles;
+    into.loop_truncation = into.loop_truncation.max(from.loop_truncation);
+    into.gsync_crossings += from.gsync_crossings;
 }
 
 /// A block-private shared-memory array.
@@ -442,6 +667,10 @@ struct BlockCtx<'a> {
     shared_shadow: HashMap<String, Vec<ShadowCell>>,
     /// Cumulative `__shared__` bytes declared by this block.
     shared_bytes: u64,
+    /// SM this block is resident on (stamped into [`MemEvent`]s).
+    sm_id: u32,
+    /// Receives the global-memory transaction stream.
+    sink: &'a mut dyn MemSink,
 }
 
 /// How often (in steps) the deadline is polled — a wall-clock read per
@@ -834,7 +1063,7 @@ impl BlockCtx<'_> {
                     }
                 } else {
                     self.sanitize_global(array, &idx_vals, mask, true)?;
-                    self.trace_global(array, &idx_vals, mask)?;
+                    self.trace_global(array, &idx_vals, mask, true)?;
                     let buf = self.device.buffer_mut(array)?;
                     for lane in 0..self.nt {
                         if mask[lane] {
@@ -1011,12 +1240,14 @@ impl BlockCtx<'_> {
         Ok(out)
     }
 
-    /// Records global-memory traffic for one vector access.
+    /// Records global-memory traffic for one vector access, streaming one
+    /// [`MemEvent`] per touched 32-byte line into the sink.
     fn trace_global(
         &mut self,
         array: &str,
         idx_vals: &[Vec<i64>],
         mask: &[bool],
+        write: bool,
     ) -> Result<(), ExecError> {
         let buffer: &Buffer = self.device.buffer(array)?;
         let elem_bytes = buffer.layout.elem.size_bytes() as i64;
@@ -1079,6 +1310,7 @@ impl BlockCtx<'_> {
             self.stats.gmem_requests += 1;
             self.stats.global_transactions += transactions;
             self.stats.global_bytes += bytes;
+            let tick = self.request_ix as u64;
             let ts = self.request_ix % TIMELINE_CAP;
             self.request_ix += 1;
             if self.stats.partition_timeline.len() <= ts {
@@ -1090,6 +1322,12 @@ impl BlockCtx<'_> {
                 let p = geometry.partition_of(line * 32) as usize;
                 self.stats.partition_hits[p] += 1;
                 self.stats.partition_timeline[ts][p] += 1;
+                self.sink.record(MemEvent {
+                    line,
+                    write,
+                    sm: self.sm_id,
+                    tick,
+                });
             }
         }
         Ok(())
@@ -1162,7 +1400,7 @@ impl BlockCtx<'_> {
                     Ok(out)
                 } else {
                     self.sanitize_global(array, &idx_vals, mask, false)?;
-                    self.trace_global(array, &idx_vals, mask)?;
+                    self.trace_global(array, &idx_vals, mask, false)?;
                     let buf = self.device.buffer(array)?;
                     let mut out = vec![Val::F(0.0); self.nt];
                     for lane in 0..self.nt {
@@ -1455,6 +1693,83 @@ mod tests {
                 assert_eq!(c[(y * n + x) as usize], expect, "at ({x},{y})");
             }
         }
+    }
+
+    #[test]
+    fn block_clusters_match_serial_execution() {
+        let k = parse_kernel(
+            r#"__global__ void mm(float a[n][w], float b[w][n], float c[n][n], int n, int w) {
+                float sum = 0.0f;
+                for (int i = 0; i < w; i = i + 1) { sum += a[idy][i] * b[i][idx]; }
+                c[idy][idx] = sum;
+            }"#,
+        )
+        .unwrap();
+        let n = 16i64;
+        let bind = binds(&[("n", n), ("w", n)]);
+        let av: Vec<f32> = (0..n * n).map(|v| (v % 7) as f32).collect();
+        let bv: Vec<f32> = (0..n * n).map(|v| (v % 5) as f32 - 2.0).collect();
+        let cfg = LaunchConfig {
+            grid_x: 4,
+            grid_y: 16,
+            block_x: 4,
+            block_y: 1,
+        };
+        let run = |clusters: usize| {
+            let mut dev = device_for(&k, &bind, MachineDesc::gtx280());
+            dev.buffer_mut("a").unwrap().upload(&av);
+            dev.buffer_mut("b").unwrap().upload(&bv);
+            let mut sink = VecSink::default();
+            let stats = launch_with_sink(
+                &k,
+                &cfg,
+                &bind,
+                &mut dev,
+                &ExecOptions {
+                    block_clusters: clusters,
+                    ..ExecOptions::default()
+                },
+                &mut sink,
+            )
+            .unwrap();
+            (dev.buffer("c").unwrap().download(), stats, sink.events)
+        };
+        let (serial_c, serial_stats, serial_events) = run(1);
+        let (par_c, par_stats, par_events) = run(4);
+        assert_eq!(serial_c, par_c);
+        assert_eq!(serial_stats, par_stats);
+        // Clusters are contiguous spans replayed in order, so the event
+        // stream is bit-identical to the serial one.
+        assert_eq!(serial_events, par_events);
+        assert!(!serial_events.is_empty());
+    }
+
+    #[test]
+    fn block_clusters_respect_sampling() {
+        let k = parse_kernel("__global__ void f(float a[n], int n) { a[idx] = 1.0f; }").unwrap();
+        let b = binds(&[("n", 4096)]);
+        let run = |clusters: usize| {
+            let mut dev = device_for(&k, &b, MachineDesc::gtx280());
+            let stats = launch(
+                &k,
+                &LaunchConfig::one_d(256, 16),
+                &b,
+                &mut dev,
+                &ExecOptions {
+                    sample_blocks: Some(6),
+                    sample_spread: Some(120),
+                    block_clusters: clusters,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+            (stats, dev.buffer("a").unwrap().download())
+        };
+        let (serial, serial_a) = run(1);
+        let (par, par_a) = run(3);
+        assert_eq!(serial.blocks_executed, 6);
+        assert_eq!(serial, par);
+        assert_eq!(serial_a, par_a);
     }
 
     #[test]

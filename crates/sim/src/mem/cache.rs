@@ -1,0 +1,85 @@
+//! A set-associative cache with true-LRU replacement, keyed by line index.
+//!
+//! Used for both the per-SM L1s and the per-partition L2 slices. Tags are
+//! whole line indices (no bit slicing needed — the address decoder already
+//! assigns the set), which keeps the model trivially correct for any
+//! geometry.
+
+/// A set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    /// `sets[s]` holds the resident lines of set `s`, most recently used
+    /// first. Length is at most `ways`.
+    sets: Vec<Vec<i64>>,
+    ways: usize,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with `sets` sets of `ways` ways.
+    pub fn new(sets: usize, ways: usize) -> SetAssocCache {
+        SetAssocCache {
+            sets: vec![Vec::new(); sets.max(1)],
+            ways: ways.max(1),
+        }
+    }
+
+    /// Looks up `line` in `set`, allocating it on miss (LRU eviction).
+    /// Returns whether the access hit.
+    pub fn access(&mut self, set: usize, line: i64) -> bool {
+        let ways = self.ways;
+        let slot = match self.sets.get_mut(set) {
+            Some(s) => s,
+            None => return false,
+        };
+        if let Some(pos) = slot.iter().position(|&l| l == line) {
+            // Move to MRU position.
+            slot.remove(pos);
+            slot.insert(0, line);
+            return true;
+        }
+        if slot.len() == ways {
+            slot.pop();
+        }
+        slot.insert(0, line);
+        false
+    }
+
+    /// Number of lines currently resident (across all sets).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_after_cold_miss() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(!c.access(0, 10));
+        assert!(c.access(0, 10));
+        assert!(c.access(0, 10));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_way() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(0, 1);
+        c.access(0, 2);
+        assert!(c.access(0, 1)); // 1 becomes MRU; LRU is now 2
+        c.access(0, 3); // evicts 2
+        assert!(c.access(0, 1));
+        assert!(!c.access(0, 2), "2 should have been evicted");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(0, 1);
+        c.access(1, 2);
+        assert!(c.access(0, 1));
+        assert!(c.access(1, 2));
+        assert_eq!(c.resident_lines(), 2);
+    }
+}

@@ -1,0 +1,386 @@
+//! Trace-driven memory-hierarchy model: per-SM L1 caches with MSHR-style
+//! miss coalescing, shared L2 slices over the machine's memory partitions,
+//! and per-partition queue backpressure.
+//!
+//! The functional interpreter streams [`MemEvent`]s (one per 32-byte line
+//! of every traced half-warp access) into a [`HierarchySim`], which is a
+//! [`MemSink`]. Replay produces [`HierarchyStats`]: hit/miss/merge counts
+//! per level, DRAM traffic, per-partition busy cycles (the hottest
+//! partition bounds the memory component — camping backpressure emerges
+//! from the geometry instead of being a correction factor), and the peak
+//! partition-queue depth over a reorder window.
+//!
+//! Cache geometry is fixed per machine class (GT200-scale defaults) rather
+//! than a [`MachineDesc`] field: the paper's machines have no general L1/L2
+//! for global memory, so this subsystem models the *reuse-visible* variant
+//! of each machine used by the `hierarchy` cost model, and the descriptors
+//! stay bit-identical for the analytic model and all existing tests.
+
+pub mod addrdec;
+pub mod cache;
+pub mod mshr;
+
+pub use addrdec::{AddrDec, DecodedAddr, LINE_BYTES};
+pub use cache::SetAssocCache;
+pub use mshr::MshrTable;
+
+use crate::exec::{MemEvent, MemSink};
+use crate::machine::MachineDesc;
+use std::collections::VecDeque;
+
+/// Cache/queue geometry for the hierarchy simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchyConfig {
+    /// L1 sets per SM (16 KB, 4-way, 32-byte lines → 128 sets).
+    pub l1_sets: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 sets per partition slice (128 KB, 8-way → 512 sets).
+    pub l2_sets: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// MSHR entries per SM.
+    pub mshr_entries: usize,
+    /// Ticks an outstanding fill stays mergeable.
+    pub mshr_window: u64,
+    /// Reorder window (in ticks) for partition-queue depth, matching the
+    /// analytic model's 64-request window.
+    pub queue_window: u64,
+    /// How much cheaper an L2 hit is than a DRAM access (bandwidth ratio).
+    pub l2_hit_boost: f64,
+}
+
+impl HierarchyConfig {
+    /// The geometry used for `machine`. One GT200-scale configuration
+    /// serves all three descriptors today; per-machine overrides slot in
+    /// here when a machine gains a measured hierarchy.
+    pub fn for_machine(_machine: &MachineDesc) -> HierarchyConfig {
+        HierarchyConfig {
+            l1_sets: 128,
+            l1_ways: 4,
+            l2_sets: 512,
+            l2_ways: 8,
+            mshr_entries: 32,
+            mshr_window: 8,
+            queue_window: 64,
+            l2_hit_boost: 4.0,
+        }
+    }
+}
+
+/// Counters produced by replaying a transaction stream through the
+/// hierarchy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HierarchyStats {
+    /// Read transactions served by an L1.
+    pub l1_hits: u64,
+    /// Read transactions that missed their L1 (merges included).
+    pub l1_misses: u64,
+    /// L1 misses merged into an outstanding fill (no downstream traffic).
+    pub mshr_merges: u64,
+    /// Transactions served by an L2 slice.
+    pub l2_hits: u64,
+    /// Transactions that fell through to DRAM.
+    pub l2_misses: u64,
+    /// Bytes actually moved from DRAM.
+    pub dram_bytes: u64,
+    /// Peak partition-queue depth over the reorder window (intensive:
+    /// camping shows up as one deep queue).
+    pub partition_queue_peak: u64,
+    /// Service cycles accumulated per partition; the hottest partition
+    /// bounds the memory component.
+    pub partition_busy_cycles: Vec<f64>,
+}
+
+impl HierarchyStats {
+    /// The memory-bound component: busy cycles of the hottest partition.
+    pub fn memory_cycles(&self) -> f64 {
+        self.partition_busy_cycles
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// Ratio of the hottest partition's busy cycles to the average
+    /// (1.0 = even; approaches the partition count under full camping).
+    pub fn busy_imbalance(&self) -> f64 {
+        let n = self.partition_busy_cycles.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: f64 = self.partition_busy_cycles.iter().sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        self.memory_cycles() / (total / n as f64)
+    }
+
+    /// Fraction of read transactions an L1 served.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of L2 lookups that hit.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// Scales the extensive counters by `factor` (extrapolating a sampled
+    /// trace to the full launch). Queue peak is intensive and unchanged.
+    pub fn scaled(&self, factor: f64) -> HierarchyStats {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        HierarchyStats {
+            l1_hits: s(self.l1_hits),
+            l1_misses: s(self.l1_misses),
+            mshr_merges: s(self.mshr_merges),
+            l2_hits: s(self.l2_hits),
+            l2_misses: s(self.l2_misses),
+            dram_bytes: s(self.dram_bytes),
+            partition_queue_peak: self.partition_queue_peak,
+            partition_busy_cycles: self
+                .partition_busy_cycles
+                .iter()
+                .map(|&c| c * factor)
+                .collect(),
+        }
+    }
+}
+
+/// Replays a [`MemEvent`] stream through L1s, MSHRs, L2 slices, and
+/// partition queues. Implements [`MemSink`], so it can consume a launch's
+/// stream directly.
+#[derive(Debug)]
+pub struct HierarchySim {
+    dec: AddrDec,
+    l1: Vec<SetAssocCache>,
+    mshr: Vec<MshrTable>,
+    l2: Vec<SetAssocCache>,
+    queues: Vec<VecDeque<u64>>,
+    /// DRAM service cycles per 32-byte line for this machine/element width.
+    dram_cycles_per_line: f64,
+    l2_hit_boost: f64,
+    queue_window: u64,
+    stats: HierarchyStats,
+}
+
+impl HierarchySim {
+    /// Creates a simulator for `machine`, with bandwidth efficiency taken
+    /// at `elem_bytes` (the kernel's widest element, as in the analytic
+    /// model).
+    pub fn new(machine: &MachineDesc, elem_bytes: u32) -> HierarchySim {
+        let cfg = HierarchyConfig::for_machine(machine);
+        let nparts = machine.partitions.count.max(1) as usize;
+        let sms = machine.sm_count.max(1) as usize;
+        // Aggregate sustained bandwidth splits evenly over the partitions;
+        // a partition serves one line in 32 / (bytes-per-cycle / nparts).
+        let per_partition = (machine.bytes_per_cycle(elem_bytes) / nparts as f64).max(1e-9);
+        HierarchySim {
+            dec: AddrDec::new(cfg.l1_sets, cfg.l2_sets, machine.partitions),
+            l1: vec![SetAssocCache::new(cfg.l1_sets, cfg.l1_ways); sms],
+            mshr: vec![MshrTable::new(cfg.mshr_entries, cfg.mshr_window); sms],
+            l2: vec![SetAssocCache::new(cfg.l2_sets, cfg.l2_ways); nparts],
+            queues: vec![VecDeque::new(); nparts],
+            dram_cycles_per_line: LINE_BYTES as f64 / per_partition,
+            l2_hit_boost: cfg.l2_hit_boost,
+            queue_window: cfg.queue_window,
+            stats: HierarchyStats {
+                partition_busy_cycles: vec![0.0; nparts],
+                ..HierarchyStats::default()
+            },
+        }
+    }
+
+    /// Replays a buffered stream and returns the counters.
+    pub fn replay(mut self, events: &[MemEvent]) -> HierarchyStats {
+        for &ev in events {
+            self.record(ev);
+        }
+        self.into_stats()
+    }
+
+    /// Finishes the simulation, yielding the counters.
+    pub fn into_stats(self) -> HierarchyStats {
+        self.stats
+    }
+
+    fn access_l2(&mut self, partition: usize, l2_set: usize, line: i64, tick: u64) {
+        if let Some(q) = self.queues.get_mut(partition) {
+            // Keep only requests inside the reorder window; ticks restart
+            // per block, so "future" entries from a previous block expire.
+            while let Some(&t) = q.front() {
+                if t + self.queue_window <= tick || t > tick {
+                    q.pop_front();
+                } else {
+                    break;
+                }
+            }
+            q.push_back(tick);
+            self.stats.partition_queue_peak =
+                self.stats.partition_queue_peak.max(q.len() as u64);
+        }
+        let hit = self
+            .l2
+            .get_mut(partition)
+            .map(|c| c.access(l2_set, line))
+            .unwrap_or(false);
+        let cycles = if hit {
+            self.stats.l2_hits += 1;
+            self.dram_cycles_per_line / self.l2_hit_boost
+        } else {
+            self.stats.l2_misses += 1;
+            self.stats.dram_bytes += LINE_BYTES as u64;
+            self.dram_cycles_per_line
+        };
+        if let Some(busy) = self.stats.partition_busy_cycles.get_mut(partition) {
+            *busy += cycles;
+        }
+    }
+}
+
+impl MemSink for HierarchySim {
+    fn record(&mut self, ev: MemEvent) {
+        let d = self.dec.decode(ev.line);
+        if !ev.write {
+            let sm = ev.sm as usize % self.l1.len().max(1);
+            // A fill in flight for this line means the request merges: it
+            // piggybacks on the outstanding miss instead of hitting the
+            // (not yet filled) L1 or refetching.
+            let in_flight = self
+                .mshr
+                .get_mut(sm)
+                .map(|m| m.lookup(ev.line, ev.tick))
+                .unwrap_or(false);
+            if in_flight {
+                self.stats.l1_misses += 1;
+                self.stats.mshr_merges += 1;
+                return;
+            }
+            let l1_hit = self
+                .l1
+                .get_mut(sm)
+                .map(|c| c.access(d.l1_set, ev.line))
+                .unwrap_or(false);
+            if l1_hit {
+                self.stats.l1_hits += 1;
+                return;
+            }
+            self.stats.l1_misses += 1;
+            if let Some(m) = self.mshr.get_mut(sm) {
+                m.insert(ev.line, ev.tick);
+            }
+        }
+        // Writes are write-through/no-allocate: they skip the L1 but still
+        // occupy the partition and may hit lines resident in the slice.
+        self.access_l2(d.partition, d.l2_set, d.line, ev.tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(line: i64, sm: u32, tick: u64) -> MemEvent {
+        MemEvent {
+            line,
+            write: false,
+            sm,
+            tick,
+        }
+    }
+
+    #[test]
+    fn rereads_hit_in_l1_once_the_fill_lands() {
+        let sim = HierarchySim::new(&MachineDesc::gtx280(), 4);
+        // Ticks 20 and 40 are past the fill window, so these are hits.
+        let stats = sim.replay(&[ev(0, 0, 0), ev(0, 0, 20), ev(0, 0, 40)]);
+        assert_eq!(stats.l1_misses, 1);
+        assert_eq!(stats.l1_hits, 2);
+        assert_eq!(stats.mshr_merges, 0);
+        assert_eq!(stats.l2_misses, 1, "only the cold miss reaches DRAM");
+        assert_eq!(stats.dram_bytes, 32);
+    }
+
+    #[test]
+    fn l1s_are_private_per_sm() {
+        let sim = HierarchySim::new(&MachineDesc::gtx280(), 4);
+        let stats = sim.replay(&[ev(0, 0, 0), ev(0, 1, 0)]);
+        assert_eq!(stats.l1_hits, 0, "different SMs do not share an L1");
+        // The second SM's miss still hits in the shared L2 slice.
+        assert_eq!(stats.l2_hits, 1);
+        assert_eq!(stats.l2_misses, 1);
+    }
+
+    #[test]
+    fn concurrent_same_line_misses_merge_in_mshr() {
+        let sim = HierarchySim::new(&MachineDesc::gtx280(), 4);
+        // Re-touch while the fill is still in flight (tick 2 < window 8):
+        // the request merges — no L1 hit, no new DRAM traffic.
+        let stats = sim.replay(&[ev(0, 0, 0), ev(0, 0, 2), ev(0, 0, 20)]);
+        assert_eq!(stats.mshr_merges, 1, "{stats:?}");
+        assert_eq!(stats.l1_hits, 1, "post-fill re-touch hits the L1");
+        assert_eq!(stats.l2_misses, 1);
+        assert_eq!(stats.dram_bytes, 32 * stats.l2_misses);
+    }
+
+    #[test]
+    fn camping_concentrates_busy_cycles_and_queue_depth() {
+        let m = MachineDesc::gtx280();
+        let period_lines = (m.partitions.width_bytes as i64 / 32) * m.partitions.count as i64;
+        // Camped: every line lands in partition 0.
+        let camped: Vec<MemEvent> = (0..256)
+            .map(|i| ev(i * period_lines, (i % 30) as u32, i as u64))
+            .collect();
+        // Spread: consecutive chunks rotate partitions.
+        let spread: Vec<MemEvent> = (0..256)
+            .map(|i| ev(i * (m.partitions.width_bytes as i64 / 32), (i % 30) as u32, i as u64))
+            .collect();
+        let s_camped = HierarchySim::new(&m, 4).replay(&camped);
+        let s_spread = HierarchySim::new(&m, 4).replay(&spread);
+        assert!(
+            s_camped.busy_imbalance() > 4.0,
+            "camped imbalance {}",
+            s_camped.busy_imbalance()
+        );
+        assert!(s_spread.busy_imbalance() < 1.5);
+        assert!(s_camped.memory_cycles() > s_spread.memory_cycles() * 3.0);
+        assert!(s_camped.partition_queue_peak > s_spread.partition_queue_peak);
+    }
+
+    #[test]
+    fn writes_bypass_l1_but_use_l2() {
+        let sim = HierarchySim::new(&MachineDesc::gtx280(), 4);
+        let w = MemEvent {
+            line: 0,
+            write: true,
+            sm: 0,
+            tick: 0,
+        };
+        let stats = sim.replay(&[w, w]);
+        assert_eq!(stats.l1_hits + stats.l1_misses, 0);
+        assert_eq!(stats.l2_misses, 1);
+        assert_eq!(stats.l2_hits, 1, "second store hits the allocated line");
+    }
+
+    #[test]
+    fn scaled_extrapolates_extensive_counters_only() {
+        let sim = HierarchySim::new(&MachineDesc::gtx280(), 4);
+        let stats = sim.replay(&[ev(0, 0, 0), ev(8, 0, 1)]);
+        let scaled = stats.scaled(10.0);
+        assert_eq!(scaled.l1_misses, stats.l1_misses * 10);
+        assert_eq!(scaled.dram_bytes, stats.dram_bytes * 10);
+        assert_eq!(scaled.partition_queue_peak, stats.partition_queue_peak);
+        assert!(
+            (scaled.memory_cycles() - stats.memory_cycles() * 10.0).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Miss-status holding registers: merge concurrent misses to the same
+//! line into one outstanding fill.
+//!
+//! Each SM's L1 owns an MSHR table. A read miss probes the table: if the
+//! line is already in flight (requested within the last `window` ticks),
+//! the request *merges* — it piggybacks on the outstanding fill and
+//! generates no new downstream traffic. Ticks are the interpreter's
+//! in-block issue indices; every block restarts at zero, so the table also
+//! expires entries whose tick lies in the future (a new block began).
+
+use std::collections::VecDeque;
+
+/// An MSHR table with a fixed number of entries and a fill window.
+#[derive(Debug, Clone)]
+pub struct MshrTable {
+    /// Outstanding fills as `(line, issue_tick)`, oldest first.
+    entries: VecDeque<(i64, u64)>,
+    capacity: usize,
+    window: u64,
+}
+
+impl MshrTable {
+    /// Creates a table with `capacity` entries whose fills retire `window`
+    /// ticks after issue.
+    pub fn new(capacity: usize, window: u64) -> MshrTable {
+        MshrTable {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            window,
+        }
+    }
+
+    /// Whether a fill for `line` is outstanding at `tick` — i.e. a request
+    /// now would *merge* instead of refetching. Retires completed fills
+    /// (and stale entries from a previous block whose ticks lie in the
+    /// future) as a side effect.
+    pub fn lookup(&mut self, line: i64, tick: u64) -> bool {
+        while let Some(&(_, issued)) = self.entries.front() {
+            if issued + self.window <= tick || issued > tick {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.entries.iter().any(|&(l, _)| l == line)
+    }
+
+    /// Allocates an entry for a miss on `line` issued at `tick`, evicting
+    /// the oldest entry when full.
+    pub fn insert(&mut self, line: i64, tick: u64) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((line, tick));
+    }
+
+    /// Entries currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_within_window_merges() {
+        let mut m = MshrTable::new(8, 8);
+        assert!(!m.lookup(42, 0));
+        m.insert(42, 0);
+        assert!(m.lookup(42, 3), "second miss inside the window merges");
+        assert!(!m.lookup(7, 3));
+    }
+
+    #[test]
+    fn fills_retire_after_the_window() {
+        let mut m = MshrTable::new(8, 8);
+        m.insert(42, 0);
+        assert!(!m.lookup(42, 8), "fill completed; this is a fresh miss");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut m = MshrTable::new(2, 100);
+        m.insert(1, 0);
+        m.insert(2, 1);
+        m.insert(3, 2); // evicts line 1
+        assert_eq!(m.outstanding(), 2);
+        assert!(!m.lookup(1, 3), "evicted entry cannot merge");
+        assert!(m.lookup(2, 3));
+    }
+
+    #[test]
+    fn new_block_tick_reset_expires_stale_entries() {
+        let mut m = MshrTable::new(8, 8);
+        m.insert(42, 100);
+        // Next block restarts ticks at zero: the old entry must not merge.
+        assert!(!m.lookup(42, 0));
+    }
+}

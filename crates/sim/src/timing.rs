@@ -15,9 +15,13 @@
 //! is the *shape* of the paper's results: who wins, by what factor, and
 //! where the crossovers fall.
 
+use crate::cost::CostModelKind;
 use crate::device::Device;
-use crate::exec::{launch, ExecError, ExecOptions, ExecStats};
+use crate::exec::{
+    launch_with_sink, ExecError, ExecOptions, ExecStats, MemEvent, MemSink, NullSink, VecSink,
+};
 use crate::machine::MachineDesc;
+use crate::mem::HierarchyStats;
 use gpgpu_analysis::{estimate_resources, resolve_layouts_padded, Bindings, LayoutError};
 use gpgpu_ast::{Kernel, LaunchConfig};
 use std::fmt;
@@ -26,13 +30,13 @@ use std::fmt;
 pub const DEFAULT_SAMPLE_BLOCKS: usize = 6;
 
 /// Fixed kernel-launch overhead in microseconds.
-const LAUNCH_OVERHEAD_US: f64 = 5.0;
+pub(crate) const LAUNCH_OVERHEAD_US: f64 = 5.0;
 
 /// Extra cycles per bank-conflict serialization step.
-const CONFLICT_CYCLES: f64 = 2.0;
+pub(crate) const CONFLICT_CYCLES: f64 = 2.0;
 
 /// Cycles for one warp instruction on an 8-SP SM (32 lanes / 8 SPs).
-const CYCLES_PER_WARP_INST: f64 = 4.0;
+pub(crate) const CYCLES_PER_WARP_INST: f64 = 4.0;
 
 /// Default cap on traced top-level loop iterations.
 pub const DEFAULT_MAX_OUTER_ITERS: u64 = 24;
@@ -50,6 +54,13 @@ pub struct PerfOptions {
     pub fuel: Option<u64>,
     /// Wall-clock deadline, forwarded to [`ExecOptions::deadline`].
     pub deadline: Option<std::time::Instant>,
+    /// Which [`crate::cost::CostModel`] combines the trace into a time.
+    pub cost_model: CostModelKind,
+    /// Worker threads for the trace's block loop, forwarded to
+    /// [`ExecOptions::block_clusters`]. Estimates trace only a handful of
+    /// blocks, so the default stays serial; verification-sized launches
+    /// benefit.
+    pub block_clusters: usize,
 }
 
 impl Default for PerfOptions {
@@ -59,6 +70,8 @@ impl Default for PerfOptions {
             max_outer_iters: Some(DEFAULT_MAX_OUTER_ITERS),
             fuel: None,
             deadline: None,
+            cost_model: CostModelKind::Analytic,
+            block_clusters: 1,
         }
     }
 }
@@ -128,6 +141,9 @@ pub struct PerfEstimate {
     /// Wall-clock microseconds spent in the occupancy + analytical-model
     /// phase.
     pub model_micros: u64,
+    /// Per-level hierarchy counters, present when the estimate came from
+    /// the `hierarchy` cost model.
+    pub hierarchy: Option<HierarchyStats>,
     /// Scaled whole-launch trace statistics.
     pub stats: ExecStats,
 }
@@ -163,6 +179,17 @@ impl PerfEstimate {
         );
         s.push("loop_truncation", self.stats.loop_truncation);
         s.push("gsync_crossings", self.stats.gsync_crossings as f64);
+        if let Some(h) = &self.hierarchy {
+            s.push("l1_hits", h.l1_hits as f64);
+            s.push("l1_misses", h.l1_misses as f64);
+            s.push("l1_hit_rate", h.l1_hit_rate());
+            s.push("l2_hits", h.l2_hits as f64);
+            s.push("l2_misses", h.l2_misses as f64);
+            s.push("l2_hit_rate", h.l2_hit_rate());
+            s.push("mshr_merges", h.mshr_merges as f64);
+            s.push("partition_queue_peak", h.partition_queue_peak as f64);
+            s.push("dram_bytes", h.dram_bytes as f64);
+        }
         s
     }
 
@@ -204,7 +231,7 @@ pub fn estimate(
 /// Occupancy and fit checks shared by [`estimate`] and
 /// [`estimate_prepared`]: registers and shared memory against the machine
 /// limits, then resident blocks per SM.
-fn occupancy(
+pub(crate) fn occupancy(
     resources: &gpgpu_analysis::ResourceEstimate,
     machine: &MachineDesc,
     cfg: &LaunchConfig,
@@ -251,6 +278,41 @@ pub fn estimate_prepared(
     resources: &gpgpu_analysis::ResourceEstimate,
     layouts: &gpgpu_analysis::LayoutMap,
 ) -> Result<PerfEstimate, PerfError> {
+    opts.cost_model
+        .model()
+        .estimate_prepared(kernel, cfg, bindings, machine, opts, resources, layouts)
+}
+
+/// A sampled phantom trace, scaled to the full launch, shared by every
+/// [`crate::cost::CostModel`].
+pub(crate) struct SampledTrace {
+    /// Whole-launch (scaled) statistics.
+    pub stats: ExecStats,
+    /// Extrapolation factor applied (block sampling × loop truncation).
+    pub factor: f64,
+    /// Resident blocks per SM from the occupancy computation.
+    pub blocks_per_sm: u32,
+    /// Wall-clock microseconds in the interpreter.
+    pub trace_micros: u64,
+    /// Wall-clock microseconds in the occupancy computation.
+    pub occupancy_micros: u64,
+    /// Raw (unscaled) transaction stream; empty unless requested.
+    pub events: Vec<MemEvent>,
+}
+
+/// Runs the occupancy check and the phantom-buffer trace, optionally
+/// collecting the [`MemEvent`] stream for trace-driven models.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_trace(
+    kernel: &Kernel,
+    cfg: &LaunchConfig,
+    bindings: &Bindings,
+    machine: &MachineDesc,
+    opts: &PerfOptions,
+    resources: &gpgpu_analysis::ResourceEstimate,
+    layouts: &gpgpu_analysis::LayoutMap,
+    collect_events: bool,
+) -> Result<SampledTrace, PerfError> {
     let model_started = std::time::Instant::now();
     let blocks_per_sm = occupancy(resources, machine, cfg)?;
     let occupancy_micros = model_started.elapsed().as_micros() as u64;
@@ -261,34 +323,38 @@ pub fn estimate_prepared(
     for p in kernel.array_params() {
         device.alloc_phantom(layouts[&p.name].clone());
     }
-    let stats = launch(
-        kernel,
-        cfg,
-        bindings,
-        &mut device,
-        &ExecOptions {
-            sample_blocks: Some(opts.sample_blocks),
-            max_outer_iters: opts.max_outer_iters,
-            sample_spread: Some(machine.sm_count as u64 * blocks_per_sm as u64),
-            fuel: opts.fuel,
-            deadline: opts.deadline,
-            ..ExecOptions::default()
-        },
-    )?;
+    let exec_opts = ExecOptions {
+        sample_blocks: Some(opts.sample_blocks),
+        max_outer_iters: opts.max_outer_iters,
+        sample_spread: Some(machine.sm_count as u64 * blocks_per_sm as u64),
+        fuel: opts.fuel,
+        deadline: opts.deadline,
+        block_clusters: opts.block_clusters,
+        ..ExecOptions::default()
+    };
+    let mut events = VecSink::default();
+    let sink: &mut dyn MemSink = if collect_events {
+        &mut events
+    } else {
+        &mut NullSink
+    };
+    let stats = launch_with_sink(kernel, cfg, bindings, &mut device, &exec_opts, sink)?;
     let trace_micros = trace_started.elapsed().as_micros() as u64;
 
-    let model_started = std::time::Instant::now();
     let block_factor = if stats.blocks_executed == 0 {
         1.0
     } else {
         stats.total_blocks as f64 / stats.blocks_executed as f64
     };
     let factor = block_factor * stats.loop_truncation;
-    let stats = stats.scaled(factor);
-    let mut est = finish(kernel, cfg, machine, blocks_per_sm, stats);
-    est.trace_micros = trace_micros;
-    est.model_micros = occupancy_micros + model_started.elapsed().as_micros() as u64;
-    Ok(est)
+    Ok(SampledTrace {
+        stats: stats.scaled(factor),
+        factor,
+        blocks_per_sm,
+        trace_micros,
+        occupancy_micros,
+        events: events.events,
+    })
 }
 
 /// Combines trace statistics and occupancy into the final estimate. Public
@@ -352,6 +418,7 @@ pub fn finish(
         coalescing_efficiency: stats.coalescing_efficiency(),
         trace_micros: 0,
         model_micros: 0,
+        hierarchy: None,
         stats,
     }
 }
@@ -544,6 +611,7 @@ mod tests {
             coalescing_efficiency: 1.0,
             trace_micros: 0,
             model_micros: 0,
+            hierarchy: None,
             stats: ExecStats::default(),
         };
         assert_eq!(est.bound_by(), "memory bandwidth");

@@ -4,6 +4,7 @@
 //! gpgpuc [OPTIONS] <kernel.cu>...    # or `-` for stdin
 //! gpgpuc profile <kernel.cu | -> [--top <n>] [--machine <m>]
 //!                [--bind <name>=<value>]...
+//! gpgpuc validate [--cost-model <analytic|hierarchy>]
 //! gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>]
 //!             [--inject <slug>] [--trace-json <path>]
 //! gpgpuc reduce <repro.cu> [--budget <n>]
@@ -11,15 +12,19 @@
 //!              [--shards <n>] [--admission-watermark <f>]
 //!              [--admission-wait-ms <n>] [--retry <n>]
 //!              [--cache-dir <dir>] [--cache-entries <n>]
-//!              [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]
+//!              [--deadline-ms <n>] [--cost-model <m>]
+//!              [--metrics <path>] [--trace-json <path>]
 //! gpgpuc serve [--jobs <n>] [--queue <n>] [--shards <n>]
 //!              [--admission-watermark <f>] [--admission-wait-ms <n>]
 //!              [--unordered] [--drain-timeout-ms <n>]
 //!              [--cache-dir <dir>] [--cache-entries <n>]
-//!              [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]
+//!              [--deadline-ms <n>] [--cost-model <m>]
+//!              [--metrics <path>] [--trace-json <path>]
 //!
 //! OPTIONS
 //!   --machine <gtx8800|gtx280|hd5870>   target GPU          [gtx280]
+//!   --cost-model <analytic|hierarchy>   timing model used to rank
+//!                                       candidates           [analytic]
 //!   --bind <name>=<value>               bind a size symbol  (repeatable)
 //!   --cuda-names                        emit threadIdx.x-style ids
 //!   --no-<stage>                        disable a stage: vectorize,
@@ -59,6 +64,14 @@
 //! the compiler's own time attribution (passes, analyses, candidate
 //! evaluations, estimates) is readable at a glance. `--top <n>` bounds
 //! the tree to roughly `n` lines (default 24).
+//!
+//! `gpgpuc validate` runs the figure-shape validation harness: the mm
+//! design-space ridge of Figure 10, the optimized-beats-naive winner
+//! orderings of Figure 11 (plus their geo-mean), and the
+//! partition-camping crossover of Figure 12 must all reproduce under the
+//! selected timing model. With no `--cost-model` it validates *every*
+//! model; any failed shape exits 1. This is the CI gate for the
+//! trace-driven memory-hierarchy model (DESIGN.md §5.13).
 //!
 //! `gpgpuc serve` additionally answers the NDJSON **control request**
 //! `{"stats": true}` with a one-line telemetry snapshot (uptime, request
@@ -154,7 +167,7 @@ use gpgpu::service::{
     ShardedEngine, SourceSpec, Submitted,
 };
 use std::sync::Arc;
-use gpgpu::sim::MachineDesc;
+use gpgpu::sim::{CostModelKind, MachineDesc};
 use std::io::{BufRead, Read, Write};
 use std::process::ExitCode;
 
@@ -191,6 +204,7 @@ struct Args {
     verify_seed: u64,
     strict: bool,
     list_passes: bool,
+    cost_model: CostModelKind,
 }
 
 fn usage(msg: &str) -> ExitCode {
@@ -200,16 +214,19 @@ fn usage(msg: &str) -> ExitCode {
          [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
          [--list-passes] [--report] [--metrics] [--trace-json <path>] [--profile <path>] \
          [--profile-chrome <path>] [--verify <size>] \
-         [--verify-seed <u64>] [--strict] <kernel.cu | ->...\n       \
+         [--verify-seed <u64>] [--strict] [--cost-model analytic|hierarchy] <kernel.cu | ->...\n       \
          gpgpuc profile <kernel.cu | -> [--top <n>] [--machine <m>] [--bind n=1024]...\n       \
+         gpgpuc validate [--cost-model analytic|hierarchy]\n       \
          gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>] [--inject <slug>] [--trace-json <path>]\n       \
          gpgpuc reduce <repro.cu> [--budget <n>]\n       \
          gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>] [--shards <n>] \
          [--admission-watermark <f>] [--admission-wait-ms <n>] [--retry <n>] [--cache-dir <dir>] \
-         [--cache-entries <n>] [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]\n       \
+         [--cache-entries <n>] [--deadline-ms <n>] [--cost-model analytic|hierarchy] \
+         [--metrics <path>] [--trace-json <path>]\n       \
          gpgpuc serve [--jobs <n>] [--queue <n>] [--shards <n>] [--admission-watermark <f>] \
          [--admission-wait-ms <n>] [--unordered] [--drain-timeout-ms <n>] [--cache-dir <dir>] \
-         [--cache-entries <n>] [--deadline-ms <n>] [--metrics <path>] [--trace-json <path>]"
+         [--cache-entries <n>] [--deadline-ms <n>] [--cost-model analytic|hierarchy] \
+         [--metrics <path>] [--trace-json <path>]"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -247,6 +264,7 @@ fn parse_args() -> Result<Args, String> {
         verify_seed: 0,
         strict: false,
         list_passes: false,
+        cost_model: CostModelKind::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -295,6 +313,10 @@ fn parse_args() -> Result<Args, String> {
                 args.verify_seed = v
                     .parse()
                     .map_err(|_| format!("--verify-seed `{v}` is not a u64"))?;
+            }
+            "--cost-model" => {
+                let v = it.next().ok_or("--cost-model needs a value")?;
+                args.cost_model = v.parse()?;
             }
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with("--") => {
@@ -712,6 +734,9 @@ fn parse_service_args(argv: &[String], want_operand: bool) -> Result<ServiceArgs
             }
             "--metrics" => out.metrics_path = Some(value("--metrics")?.clone()),
             "--trace-json" => out.trace_json = Some(value("--trace-json")?.clone()),
+            "--cost-model" => {
+                out.config.cost_model = value("--cost-model")?.parse()?;
+            }
             "--shards" => {
                 let v = value("--shards")?;
                 out.shards = v
@@ -1192,7 +1217,11 @@ fn cmd_serve(argv: &[String]) -> ExitCode {
 /// Compiles several `.cu` inputs through the batch engine, printing each
 /// optimized kernel in input order and aggregating exit codes by maximum.
 fn cmd_multi(args: &Args) -> ExitCode {
-    let engine = match Engine::new(ServiceConfig::default()) {
+    let config = ServiceConfig {
+        cost_model: args.cost_model,
+        ..ServiceConfig::default()
+    };
+    let engine = match Engine::new(config) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("gpgpuc: cannot initialize the batch engine: {e}");
@@ -1282,6 +1311,52 @@ fn cmd_multi(args: &Args) -> ExitCode {
     ExitCode::from(worst)
 }
 
+/// `gpgpuc validate`: run the figure-shape validation harness — the fig10
+/// design-space ridge, the fig11 winner orderings, and the fig12
+/// partition-camping crossover — under one timing model (`--cost-model`)
+/// or, by default, under every model. Any failed shape exits 1.
+fn cmd_validate(argv: &[String]) -> ExitCode {
+    let mut only: Option<CostModelKind> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let result = match arg.as_str() {
+            "--cost-model" => it
+                .next()
+                .ok_or_else(|| "--cost-model needs a value".to_string())
+                .and_then(|v| v.parse())
+                .map(|m| only = Some(m)),
+            other => Err(format!("unexpected validate argument `{other}`")),
+        };
+        if let Err(e) = result {
+            return usage(&e);
+        }
+    }
+    let runs: Vec<(CostModelKind, Vec<gpgpu::validate::ShapeCheck>)> = match only {
+        Some(model) => vec![(model, gpgpu::validate::validate_model(model))],
+        None => gpgpu::validate::validate_all(),
+    };
+    let mut failed = 0usize;
+    let mut total = 0usize;
+    for (model, checks) in &runs {
+        println!("== {model} model ==");
+        for check in checks {
+            total += 1;
+            let verdict = if check.passed { "PASS" } else { "FAIL" };
+            if !check.passed {
+                failed += 1;
+            }
+            println!("  {verdict}  {:<18} {}", check.name, check.detail);
+        }
+    }
+    if failed == 0 {
+        println!("validate: all {total} shape checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("gpgpuc: validate: {failed} of {total} shape checks FAILED");
+        ExitCode::from(EXIT_VERIFY_FAILED)
+    }
+}
+
 /// Prints the registered pass table (`--list-passes`).
 fn list_passes() {
     println!("{:<14} {:<10} STAGE", "PASS", "SECTION");
@@ -1298,6 +1373,7 @@ fn main() -> ExitCode {
         Some("batch") => return cmd_batch(&argv[1..]),
         Some("serve") => return cmd_serve(&argv[1..]),
         Some("profile") => return cmd_profile(&argv[1..]),
+        Some("validate") => return cmd_validate(&argv[1..]),
         _ => {}
     }
     let args = match parse_args() {
@@ -1339,7 +1415,8 @@ fn main() -> ExitCode {
     let mut opts = CompileOptions::new(args.machine.clone())
         .with_stages(args.stages)
         .with_source(&source)
-        .with_verify_seed(args.verify_seed);
+        .with_verify_seed(args.verify_seed)
+        .with_cost_model(args.cost_model);
     for (name, value) in &args.bindings {
         opts = opts.bind(name, *value);
     }
@@ -1519,6 +1596,32 @@ fn main() -> ExitCode {
             st.shared_conflict_cycles,
             est.partition_imbalance
         );
+        // Hierarchy counters exist only when the trace-driven model ranked
+        // the candidates (`--cost-model hierarchy`).
+        if let Some(h) = &est.hierarchy {
+            let l1_total = h.l1_hits + h.l1_misses;
+            let l2_total = h.l2_hits + h.l2_misses;
+            let rate = |hits: u64, total: u64| {
+                if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64 * 100.0
+                }
+            };
+            eprintln!(
+                "  memory hierarchy: L1 {}/{} hits ({:.1}%), L2 {}/{} hits ({:.1}%), \
+                 {} MSHR merges, partition queue peak {}, {} B from DRAM",
+                h.l1_hits,
+                l1_total,
+                rate(h.l1_hits, l1_total),
+                h.l2_hits,
+                l2_total,
+                rate(h.l2_hits, l2_total),
+                h.mshr_merges,
+                h.partition_queue_peak,
+                h.dram_bytes
+            );
+        }
     }
 
     if args.metrics {
@@ -1530,7 +1633,8 @@ fn main() -> ExitCode {
         // Bind every size symbol to the (small) verification size.
         let mut vopts = CompileOptions::new(args.machine.clone())
             .with_stages(args.stages)
-            .with_verify_seed(args.verify_seed);
+            .with_verify_seed(args.verify_seed)
+            .with_cost_model(args.cost_model);
         for (name, _) in &args.bindings {
             vopts = vopts.bind(name, size);
         }

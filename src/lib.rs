@@ -29,6 +29,10 @@
 //!   compile cache, bounded work queue + worker pool, and the NDJSON
 //!   request protocol behind `gpgpuc batch` / `gpgpuc serve`.
 //!
+//! One module lives here rather than in a member crate: [`validate`], the
+//! figure-shape validation harness behind `gpgpuc validate`, which needs
+//! both the compiler driver and the benchmark suite.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -52,6 +56,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+pub mod validate;
 
 pub use gpgpu_analysis as analysis;
 pub use gpgpu_ast as ast;

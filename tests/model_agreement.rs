@@ -1,0 +1,85 @@
+//! Property: on cache-friendly kernels the two timing models may rank the
+//! design space slightly differently, but they must not *disagree* — the
+//! winner one model picks has to sit within the top ranks of the other
+//! model's ordering. Kernels come from the gpgpu-fuzz generator, so this
+//! covers the same naive-kernel fragment the differential fuzzer does.
+
+use gpgpu::core::{compile, CompileOptions, CompiledKernel};
+use gpgpu::fuzz::{APattern, KernelSpec};
+use gpgpu::sim::{CostModelKind, MachineDesc};
+use proptest::prelude::*;
+
+/// How deep into the other model's ranking a winner may legitimately
+/// land. The models share the compute component and differ only in the
+/// memory term, so near-ties may swap, but a winner falling out of the
+/// top 3 means the models disagree about the *shape* of the space.
+const TOP_K: usize = 3;
+
+/// Cache-friendly: the 2-D input is read along rows (staged) or already
+/// coalesced, with a unit loop stride — no strided walks whose camping
+/// behavior the analytic model intentionally scores differently. Rather
+/// than filtering generated specs (the shim has no `prop_filter`), the
+/// strategy coerces each spec into the fragment and re-normalizes.
+fn make_cache_friendly(seed: u64) -> KernelSpec {
+    let mut spec = KernelSpec::from_seed(seed);
+    if !matches!(spec.a, APattern::RowWalk | APattern::Coalesced) {
+        spec.a = if seed % 2 == 0 {
+            APattern::RowWalk
+        } else {
+            APattern::Coalesced
+        };
+    }
+    spec.stride = 1;
+    spec.normalized()
+}
+
+fn compiled_under(spec: &KernelSpec, model: CostModelKind) -> CompiledKernel {
+    let case = spec.build();
+    let mut opts = CompileOptions::new(MachineDesc::gtx280()).with_cost_model(model);
+    for (name, value) in &case.bindings {
+        opts = opts.bind(name, *value);
+    }
+    compile(&case.kernel, &opts).expect("generated kernel compiles")
+}
+
+/// The labels of the `k` fastest candidates in a compile's design space.
+fn top_labels(compiled: &CompiledKernel, k: usize) -> Vec<String> {
+    let mut ranked: Vec<(f64, String)> = compiled
+        .evaluated
+        .iter()
+        .map(|c| (c.time_ms, c.label()))
+        .collect();
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.into_iter().take(k).map(|(_, l)| l).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Each model's chosen candidate ranks within the other model's top
+    /// `TOP_K`, in both directions.
+    #[test]
+    fn models_agree_on_winners_for_cache_friendly_kernels(
+        spec in any::<u64>().prop_map(make_cache_friendly)
+    ) {
+        let analytic = compiled_under(&spec, CostModelKind::Analytic);
+        let hierarchy = compiled_under(&spec, CostModelKind::Hierarchy);
+
+        let analytic_top = top_labels(&analytic, TOP_K);
+        let hierarchy_top = top_labels(&hierarchy, TOP_K);
+        prop_assert!(
+            hierarchy_top.is_empty()
+                || hierarchy_top.contains(&analytic.chosen.label()),
+            "analytic winner {} not in hierarchy top-{TOP_K} {hierarchy_top:?} \
+             for spec {spec:?}",
+            analytic.chosen.label()
+        );
+        prop_assert!(
+            analytic_top.is_empty()
+                || analytic_top.contains(&hierarchy.chosen.label()),
+            "hierarchy winner {} not in analytic top-{TOP_K} {analytic_top:?} \
+             for spec {spec:?}",
+            hierarchy.chosen.label()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure-shape validation of both timing models (ISSUE 8): the paper's
+//! qualitative shapes — the fig10 occupancy ridge, the fig11 winner
+//! orderings, and the fig12 partition-camping crossover — must reproduce
+//! under the analytic model *and* the trace-driven memory-hierarchy model.
+//! This is the same harness `gpgpuc validate` runs in CI.
+
+use gpgpu::sim::CostModelKind;
+use gpgpu::validate::{validate_model, ShapeCheck};
+
+fn assert_all_pass(model: CostModelKind, checks: &[ShapeCheck]) {
+    let failed: Vec<&ShapeCheck> = checks.iter().filter(|c| !c.passed).collect();
+    assert!(
+        failed.is_empty(),
+        "{model}: {} shape check(s) failed:\n{}",
+        failed.len(),
+        failed
+            .iter()
+            .map(|c| format!("  {}: {}", c.name, c.detail))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn analytic_model_reproduces_the_paper_shapes() {
+    let checks = validate_model(CostModelKind::Analytic);
+    // The harness covers the ridge, all ten fig11 kernels + geo-mean, and
+    // the camping crossover.
+    assert!(checks.len() >= 13, "only {} checks ran", checks.len());
+    assert_all_pass(CostModelKind::Analytic, &checks);
+}
+
+#[test]
+fn hierarchy_model_reproduces_the_paper_shapes() {
+    let checks = validate_model(CostModelKind::Hierarchy);
+    assert!(checks.len() >= 13, "only {} checks ran", checks.len());
+    assert_all_pass(CostModelKind::Hierarchy, &checks);
+}
+
+#[test]
+fn both_models_expose_their_identity() {
+    for model in CostModelKind::ALL {
+        assert_eq!(
+            model.as_str().parse::<CostModelKind>().ok(),
+            Some(model),
+            "{model} does not round-trip"
+        );
+    }
+}

@@ -332,6 +332,7 @@ fn committed_bench_snapshots_replay_through_the_parser() {
         ("BENCH_fig12.json", "fig12"),
         ("BENCH_service.json", "service"),
         ("BENCH_serve.json", "serve-load"),
+        ("BENCH_model.json", "model"),
     ] {
         let text = std::fs::read_to_string(root.join(name))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -404,4 +405,60 @@ fn committed_bench_snapshots_replay_through_the_parser() {
         saw_saturated_sheds,
         "the saturated regime never engaged admission control"
     );
+}
+
+/// The timing-model snapshot (`BENCH_model.json`, from the
+/// `timing_model` bench) covers every Table 1 kernel under *both* cost
+/// models, and its serial-vs-parallel explorer comparison picked the
+/// same winner on both schedules. The >=2x parallel speedup is asserted
+/// only when the snapshot was taken on a multi-core host — a single-core
+/// recording is honest about having nothing to parallelize onto.
+#[test]
+fn timing_model_snapshot_covers_both_models_with_stable_winners() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("BENCH_model.json")).unwrap();
+    let doc = parse_json(&text).unwrap();
+
+    let rows = match doc.get("estimate_cost") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows.clone(),
+        other => panic!("estimate_cost: {other:?}"),
+    };
+    let mut per_model = std::collections::BTreeMap::<String, usize>::new();
+    for row in &rows {
+        let model = row
+            .get("model")
+            .and_then(Json::as_str)
+            .expect("row model")
+            .to_string();
+        *per_model.entry(model).or_default() += 1;
+        for key in ["kernel", "candidates", "compile_ms", "per_candidate_ms", "chosen"] {
+            assert!(row.get(key).is_some(), "estimate_cost row missing `{key}`");
+        }
+    }
+    let analytic = per_model.get("analytic").copied().unwrap_or(0);
+    let hierarchy = per_model.get("hierarchy").copied().unwrap_or(0);
+    assert_eq!(analytic, hierarchy, "unequal model coverage: {per_model:?}");
+    assert!(analytic >= 10, "fewer kernels than Table 1: {per_model:?}");
+
+    let explorer = doc.get("explorer").expect("explorer object");
+    assert_eq!(
+        explorer.get("winners_match"),
+        Some(&Json::Bool(true)),
+        "serial and parallel explorers disagreed on a winner"
+    );
+    let threads = explorer
+        .get("worker_threads")
+        .and_then(Json::as_f64)
+        .expect("worker_threads");
+    let speedup = explorer
+        .get("speedup")
+        .and_then(Json::as_f64)
+        .expect("speedup");
+    assert!(speedup > 0.0, "nonsensical speedup {speedup}");
+    if threads >= 4.0 {
+        assert!(
+            speedup >= 2.0,
+            "parallel explorer only {speedup:.2}x on a {threads}-thread host"
+        );
+    }
 }
