@@ -1,0 +1,220 @@
+//! Persistent-autotuning benchmark: the Figure 11 kernel set compiled
+//! cold (empty tuning store, full design-space search) and then as
+//! *textual mutants* against the warm store.
+//!
+//! A mutant renames the kernel, so its normalized source — and therefore
+//! its compile-cache fingerprint — differs and the content-addressed
+//! cache MISSES; only the access-pattern shape matches. The warm compile
+//! therefore measures exactly what the tuning store adds over the cache:
+//! the shape-keyed warm start narrows the design-space search to the
+//! best-known seeds instead of the full grid. Acceptance: a ≥5× average
+//! reduction in explored candidates at equal winner quality (identical
+//! launch configuration and predicted time).
+//!
+//! The run also batches both passes through the service engine sharing
+//! the same `--tuning-dir`, recording p50/p99 request latency cold vs
+//! warm, and writes everything to `BENCH_tuning.json`.
+
+use gpgpu_bench::harness::banner;
+use gpgpu_core::tuning::TuningStore;
+use gpgpu_core::{compile, CompileOptions, Json};
+use gpgpu_kernels::table1;
+use gpgpu_service::{CompileRequest, Engine, ServiceConfig};
+use gpgpu_sim::MachineDesc;
+use std::sync::Arc;
+
+/// A textually different kernel with the identical access-pattern shape:
+/// the kernel (and only the kernel) is renamed, so the compile cache
+/// misses while the tuning store hits.
+fn mutate(source: &str, name: &str, generation: usize) -> String {
+    source.replacen(name, &format!("{name}_v{generation}"), 1)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn latency_json(micros: &mut Vec<u64>) -> Json {
+    micros.sort_unstable();
+    Json::obj(vec![
+        ("count", Json::count(micros.len() as u64)),
+        ("p50_us", Json::count(percentile(micros, 0.50))),
+        ("p99_us", Json::count(percentile(micros, 0.99))),
+    ])
+}
+
+fn main() {
+    banner(
+        "tuning store",
+        "cold vs warm-started design-space search on mutated Figure 11 kernels",
+    );
+    let dir = std::env::temp_dir().join(format!("gpgpu-bench-tuning-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_dir = dir.join("store");
+    let store = Arc::new(TuningStore::open(&store_dir));
+
+    let opts_for = |b: &gpgpu_kernels::Benchmark, source: &str| {
+        let mut opts = CompileOptions::new(MachineDesc::gtx280())
+            .with_source(source)
+            .with_tuning(Arc::clone(&store));
+        let mut bindings: Vec<(String, i64)> = b.default_bindings().into_iter().collect();
+        bindings.sort();
+        for (name, value) in &bindings {
+            opts = opts.bind(name, *value);
+        }
+        opts
+    };
+
+    println!(
+        "\n{:<14} {:>10} {:>10} {:>10} {:>9} {:>7}",
+        "kernel", "space", "cold", "warm", "reduction", "winner"
+    );
+    let mut rows = Vec::new();
+    let mut cold_total = 0u64;
+    let mut warm_total = 0u64;
+    let mut tuned = 0usize;
+    for b in table1() {
+        let kernel = gpgpu_ast::parse_kernel(b.source).expect("table1 kernel parses");
+        let cold = compile(&kernel, &opts_for(b, b.source)).expect("cold compile succeeds");
+        let Some(cold_report) = &cold.tuning else {
+            // Reduction kernels bypass the merge design space; the store
+            // has nothing to warm-start there.
+            println!("{:<14} {:>10}", b.name, "(untuned)");
+            continue;
+        };
+
+        let mutant_src = mutate(b.source, b.name, 1);
+        let mutant = gpgpu_ast::parse_kernel(&mutant_src).expect("mutant parses");
+        let warm = compile(&mutant, &opts_for(b, &mutant_src)).expect("warm compile succeeds");
+        let warm_report = warm.tuning.as_ref().expect("mutant is tuned too");
+
+        assert_eq!(
+            cold_report.fingerprint, warm_report.fingerprint,
+            "{}: renaming the kernel must not change its shape",
+            b.name
+        );
+        let winner_equal = cold.launches.len() == warm.launches.len()
+            && cold
+                .launches
+                .iter()
+                .zip(&warm.launches)
+                .all(|(c, w)| format!("{}", c.launch) == format!("{}", w.launch))
+            && cold.total_time_ms() == warm.total_time_ms();
+
+        cold_total += cold_report.explored;
+        warm_total += warm_report.explored;
+        tuned += 1;
+        let reduction = cold_report.explored as f64 / warm_report.explored.max(1) as f64;
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>8.1}x {:>7}",
+            b.name,
+            cold_report.full_space,
+            cold_report.explored,
+            warm_report.explored,
+            reduction,
+            if winner_equal { "equal" } else { "DIFFERS" }
+        );
+        rows.push(Json::obj(vec![
+            ("kernel", Json::str(b.name)),
+            ("fingerprint", Json::str(&cold_report.fingerprint)),
+            ("full_space", Json::count(cold_report.full_space)),
+            ("cold_candidates", Json::count(cold_report.explored)),
+            ("warm_candidates", Json::count(warm_report.explored)),
+            ("warm_outcome", Json::str(&warm_report.outcome)),
+            ("reduction", Json::num(reduction)),
+            ("winner_equal", Json::Bool(winner_equal)),
+        ]));
+    }
+    let reduction = cold_total as f64 / warm_total.max(1) as f64;
+    println!(
+        "\ncandidates: cold {cold_total}, warm {warm_total} over {tuned} kernels \
+         -> {reduction:.1}x reduction (target: >=5x)"
+    );
+
+    // Service latency, cold vs warm, through one engine sharing the store
+    // directory. Generation-2 mutants keep the compile cache cold on both
+    // passes so the gap is the tuning store's, not the cache's.
+    drop(store);
+    let engine = Engine::new(ServiceConfig {
+        jobs: 4,
+        tuning_dir: Some(store_dir.clone()),
+        ..ServiceConfig::default()
+    })
+    .expect("engine with tuning store builds");
+    let requests = |generation: usize| -> Vec<CompileRequest> {
+        table1()
+            .iter()
+            .map(|b| {
+                let mut req =
+                    CompileRequest::inline(b.name, mutate(b.source, b.name, generation));
+                let mut bindings: Vec<(String, i64)> =
+                    b.default_bindings().into_iter().collect();
+                bindings.sort();
+                req.bindings = bindings;
+                req
+            })
+            .collect()
+    };
+    // The per-request store state is already warm from the compiles above,
+    // so this pass IS the warm regime; the cold numbers come from a second
+    // engine on a fresh directory.
+    let mut warm_us: Vec<u64> = engine
+        .run_batch(requests(2))
+        .iter()
+        .map(|r| r.micros)
+        .collect();
+    let cold_engine = Engine::new(ServiceConfig {
+        jobs: 4,
+        tuning_dir: Some(dir.join("cold-store")),
+        ..ServiceConfig::default()
+    })
+    .expect("cold engine builds");
+    let mut cold_us: Vec<u64> = cold_engine
+        .run_batch(requests(3))
+        .iter()
+        .map(|r| r.micros)
+        .collect();
+    let cold_lat = latency_json(&mut cold_us);
+    let warm_lat = latency_json(&mut warm_us);
+    println!(
+        "service latency: cold p50 {} us / p99 {} us, warm p50 {} us / p99 {} us",
+        cold_lat.get("p50_us").and_then(Json::as_f64).unwrap_or(0.0),
+        cold_lat.get("p99_us").and_then(Json::as_f64).unwrap_or(0.0),
+        warm_lat.get("p50_us").and_then(Json::as_f64).unwrap_or(0.0),
+        warm_lat.get("p99_us").and_then(Json::as_f64).unwrap_or(0.0),
+    );
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str(gpgpu_core::trace::SCHEMA)),
+        ("figure", Json::str("tuning")),
+        (
+            "description",
+            Json::str(
+                "cold vs warm-started design-space search on mutated Figure 11 kernels \
+                 sharing one persistent tuning store",
+            ),
+        ),
+        ("kernels", Json::Arr(rows)),
+        ("cold_candidates", Json::count(cold_total)),
+        ("warm_candidates", Json::count(warm_total)),
+        ("reduction", Json::num(reduction)),
+        (
+            "service",
+            Json::obj(vec![("cold", cold_lat), ("warm", warm_lat)]),
+        ),
+        ("stats", engine.stats_json()),
+    ]);
+    match std::fs::write("BENCH_tuning.json", doc.pretty()) {
+        Ok(()) => println!("\nwrote BENCH_tuning.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_tuning.json: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        reduction >= 5.0,
+        "warm start must cut explored candidates by >=5x (got {reduction:.1}x)"
+    );
+}

@@ -47,6 +47,25 @@ pub struct ExploreOptions {
     /// schedule (used by the timing-model bench to measure the speedup of
     /// the parallel sweep).
     pub workers: Option<usize>,
+    /// Warm-start plan from the persistent tuning store: when set, the
+    /// search evaluates only the seed configurations (plus their grid
+    /// neighbors when [`WarmStartPlan::expand`] is set) instead of the
+    /// full cross product, falling back to the full grid when no seed
+    /// lies inside it.
+    pub warm_start: Option<WarmStartPlan>,
+}
+
+/// The configurations a warm-started search evaluates instead of the full
+/// grid. Produced by the tuning store's lookup (`gpgpu-tuning`), consumed
+/// here where the factor vectors live.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarmStartPlan {
+    /// Best-known merge-degree triples, best first.
+    pub seeds: Vec<(i64, i64, i64)>,
+    /// Widen each seed to its adjacent factors along every axis — used
+    /// when the seeds come from a *neighboring* size point rather than an
+    /// exact hit, where the optimum may sit one grid step away.
+    pub expand: bool,
 }
 
 impl Default for ExploreOptions {
@@ -58,7 +77,27 @@ impl Default for ExploreOptions {
             candidate_fuel: None,
             candidate_deadline_ms: Some(10_000),
             workers: None,
+            warm_start: None,
         }
+    }
+}
+
+impl ExploreOptions {
+    /// Stable signature of the search grid, hashed into the tuning-store
+    /// shape so winners found under one grid never warm-start another.
+    pub fn grid_signature(&self) -> String {
+        let join = |v: &[i64]| {
+            v.iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "bx{};ty{};tx{}",
+            join(&self.block_merge_x),
+            join(&self.thread_merge_y),
+            join(&self.thread_merge_x)
+        )
     }
 }
 
@@ -120,6 +159,11 @@ pub struct Explored {
     /// Search-level trace events (candidate evaluations + selection),
     /// appended after the winning state's own events.
     pub events: Vec<TraceEvent>,
+    /// Size of the full design space (before any warm-start narrowing) —
+    /// the denominator of the candidate-reduction ratio.
+    pub full_space: usize,
+    /// True when a warm-start plan actually narrowed the search.
+    pub warm_started: bool,
 }
 
 /// Builds the launch configuration implied by a pipeline state and domain.
@@ -232,6 +276,20 @@ pub fn explore(
             for &tx in &tx_factors {
                 combos.push((bx, ty, tx));
             }
+        }
+    }
+    let full_space = combos.len();
+    let mut warm_started = false;
+    if let Some(plan) = &opts.explore.warm_start {
+        let keep = warm_selection(plan, &x_factors, &y_factors, &tx_factors);
+        let narrowed: Vec<(i64, i64, i64)> =
+            combos.iter().copied().filter(|c| keep.contains(c)).collect();
+        // A plan whose seeds all fall outside this grid (a stale or
+        // foreign entry) must not empty the search; fall back to the full
+        // space so the store can never produce "no candidates".
+        if !narrowed.is_empty() {
+            combos = narrowed;
+            warm_started = true;
         }
     }
 
@@ -351,6 +409,8 @@ pub fn explore(
                         evaluated: Vec::new(),
                         metrics: MetricsRegistry::new(),
                         events: Vec::new(),
+                        full_space,
+                        warm_started,
                     });
                 }
             }
@@ -437,6 +497,46 @@ struct EvaluatedCandidate {
     /// Analysis-cache traffic this candidate generated on top of the
     /// inherited snapshot.
     cache: CacheStats,
+}
+
+/// The configurations a warm-start plan selects out of the factor grid:
+/// each seed itself, widened to the adjacent factor along every axis when
+/// the plan asks for expansion. Seeds outside the grid select nothing.
+fn warm_selection(
+    plan: &WarmStartPlan,
+    x_factors: &[i64],
+    y_factors: &[i64],
+    tx_factors: &[i64],
+) -> Vec<(i64, i64, i64)> {
+    fn axis(vals: &[i64], v: i64, expand: bool) -> Vec<i64> {
+        match vals.iter().position(|&x| x == v) {
+            Some(i) if expand => {
+                let mut out = vec![vals[i]];
+                if i > 0 {
+                    out.push(vals[i - 1]);
+                }
+                if i + 1 < vals.len() {
+                    out.push(vals[i + 1]);
+                }
+                out
+            }
+            Some(i) => vec![vals[i]],
+            None => Vec::new(),
+        }
+    }
+    let mut keep: Vec<(i64, i64, i64)> = Vec::new();
+    for &(bx, ty, tx) in &plan.seeds {
+        for &kb in &axis(x_factors, bx, plan.expand) {
+            for &kt in &axis(y_factors, ty, plan.expand) {
+                for &kx in &axis(tx_factors, tx, plan.expand) {
+                    if !keep.contains(&(kb, kt, kx)) {
+                        keep.push((kb, kt, kx));
+                    }
+                }
+            }
+        }
+    }
+    keep
 }
 
 /// Runs one candidate under panic containment: a panic is retried once

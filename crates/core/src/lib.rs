@@ -50,12 +50,16 @@ pub use cache::{BufferArtifact, CachedArtifact, LaunchArtifact, CACHE_SCHEMA};
 pub use cu::emit_cu;
 pub use domain::{infer_domain, Domain};
 pub use error::{panic_message, CompilerError, DegradedReason, ErrorKind, FaultReason, Stage};
-pub use explore::{explore, Candidate, ExploreOptions};
+pub use explore::{explore, Candidate, ExploreOptions, WarmStartPlan};
 pub use pass_manager::{registered_passes, PassInfo, PassManager};
 pub use pipeline::{
     compile, estimate_launch, naive_compiled, CompileError, CompileOptions, CompiledKernel,
-    KernelLaunch, StageSet,
+    KernelLaunch, StageSet, TuningReport,
 };
+
+// The persistent autotuning store, re-exported for the same reason.
+pub use gpgpu_tuning as tuning;
+pub use gpgpu_tuning::{KernelShape, StoreCounters, StoreNote, TuningStore};
 pub use verify::{
     verify_equivalence, verify_equivalence_sanitized, verify_equivalence_with, VerifyError,
 };

@@ -2,7 +2,7 @@
 
 use crate::domain::{infer_domain, Domain};
 use crate::error::{panic_message, DegradedReason};
-use crate::explore::{explore, launch_for, Candidate, ExploreOptions};
+use crate::explore::{explore, launch_for, Candidate, ExploreOptions, Explored, WarmStartPlan};
 use crate::fault;
 use crate::pass_manager::PassManager;
 use gpgpu_analysis::{ArrayLayout, Bindings};
@@ -13,7 +13,9 @@ use gpgpu_transform::{
     reduction, AmdVectorizePass, CoalescePass, PassError, ReductionPass, PipelineState,
     VectorizePass,
 };
+use gpgpu_tuning::{kernel_shape, ConfigScore, KernelShape, Lookup, ShapeContext, StoreNote, TuningStore};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which optimization stages run — the Figure 12 dissection toggles these
 /// cumulatively.
@@ -68,6 +70,17 @@ impl StageSet {
             "partition" => self.partition,
             _ => false,
         }
+    }
+
+    /// A stable bitmask of the enabled stages, hashed into the tuning
+    /// store's shape fingerprint (a winner found under one stage set must
+    /// not warm-start another).
+    pub fn bits(&self) -> u8 {
+        (self.vectorize as u8)
+            | (self.coalesce as u8) << 1
+            | (self.merge as u8) << 2
+            | (self.prefetch as u8) << 3
+            | (self.partition as u8) << 4
     }
 
     /// The cumulative prefixes used by the Figure 12 dissection, in order:
@@ -139,6 +152,15 @@ pub struct CompileOptions {
     /// service's per-request `compile` stage span). `None` makes the
     /// compilation a root in the table.
     pub profile_parent: Option<SpanId>,
+    /// Persistent tuning store (`gpgpu-tuning`), when the caller opened one
+    /// (`--tuning-dir`). Looked up by kernel shape before the design-space
+    /// search and updated with the outcome afterwards; `None` compiles
+    /// store-less with the full search.
+    pub tuning: Option<Arc<TuningStore>>,
+    /// Whether a tuning-store hit may narrow the search. `false`
+    /// (`--no-warm-start`) still records outcomes but always runs the full
+    /// grid.
+    pub warm_start: bool,
 }
 
 impl CompileOptions {
@@ -155,6 +177,8 @@ impl CompileOptions {
             cost_model: CostModelKind::default(),
             profiler: Profiler::new(),
             profile_parent: None,
+            tuning: None,
+            warm_start: true,
         }
     }
 
@@ -201,6 +225,19 @@ impl CompileOptions {
     /// shared profiler's table).
     pub fn under_span(mut self, parent: SpanId) -> CompileOptions {
         self.profile_parent = Some(parent);
+        self
+    }
+
+    /// Attaches a persistent tuning store (see [`CompileOptions::tuning`]).
+    pub fn with_tuning(mut self, store: Arc<TuningStore>) -> CompileOptions {
+        self.tuning = Some(store);
+        self
+    }
+
+    /// Enables or disables warm-started exploration (see
+    /// [`CompileOptions::warm_start`]).
+    pub fn with_warm_start(mut self, warm: bool) -> CompileOptions {
+        self.warm_start = warm;
         self
     }
 }
@@ -250,6 +287,43 @@ pub struct CompiledKernel {
     /// table shared with [`CompileOptions::profiler`]). Feeds the
     /// `--profile` / `--profile-chrome` exporters and `gpgpuc profile`.
     pub profiler: Profiler,
+    /// What the persistent tuning store did for this compilation; `None`
+    /// when no store was attached (or the kernel took the reduction or
+    /// naive path, which the store does not cover).
+    pub tuning: Option<TuningReport>,
+}
+
+/// The tuning store's involvement in one compilation, summarized for the
+/// trace document and the CLI report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningReport {
+    /// The kernel's 32-hex structural shape fingerprint.
+    pub fingerprint: String,
+    /// Lookup outcome: `warm`, `neighbor`, `miss`, `reexplore`, or
+    /// `disabled`.
+    pub outcome: String,
+    /// Candidates the (possibly narrowed) search evaluated or rejected.
+    pub explored: u64,
+    /// Size of the full design space a cold search would have run.
+    pub full_space: u64,
+    /// True when the store's plan actually narrowed the search.
+    pub warm_started: bool,
+    /// True when a full-grid result beat and replaced a stored winner.
+    pub demoted: bool,
+}
+
+impl TuningReport {
+    /// The report as a JSON object (embedded in the trace document).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("fingerprint", Json::str(&self.fingerprint)),
+            ("outcome", Json::str(&self.outcome)),
+            ("explored", Json::count(self.explored)),
+            ("full_space", Json::count(self.full_space)),
+            ("warm_started", Json::Bool(self.warm_started)),
+            ("demoted", Json::Bool(self.demoted)),
+        ])
+    }
 }
 
 impl CompiledKernel {
@@ -290,6 +364,13 @@ impl CompiledKernel {
                         ("reason", Json::str(r.slug())),
                         ("detail", Json::str(r.detail())),
                     ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "tuning",
+                match &self.tuning {
+                    Some(t) => t.to_json(),
                     None => Json::Null,
                 },
             ),
@@ -469,7 +550,17 @@ fn compile_optimized(
     }
     pm.run(&mut state, &mut CoalescePass).map_err(pass_failure)?;
 
-    let explored = explore(&state, &pm.am, &domain, opts)?;
+    let mut tuning_events: Vec<TraceEvent> = Vec::new();
+    let session = prepare_tuning(naive, &domain, opts, &mut tuning_events);
+    let explored = match &session {
+        Some(s) if s.plan.is_some() => {
+            let mut warm_opts = opts.clone();
+            warm_opts.explore.warm_start = s.plan.clone();
+            explore(&state, &pm.am, &domain, &warm_opts)?
+        }
+        _ => explore(&state, &pm.am, &domain, opts)?,
+    };
+    let tuning_report = session.map(|s| s.finish(&explored, &mut tuning_events));
     let estimate = explored.estimate;
     let source = print_kernel(&explored.state.kernel, PrintOptions::default());
     // The shared base trace is moved, not cloned: candidates record only
@@ -477,7 +568,16 @@ fn compile_optimized(
     // `explored.events`.
     let mut trace = state.trace;
     trace.extend(explored.events);
+    trace.extend(tuning_events);
     let mut metrics = explored.metrics;
+    if let Some(report) = &tuning_report {
+        metrics.push_global("tuning_explored", report.explored as f64);
+        metrics.push_global("tuning_full_space", report.full_space as f64);
+        metrics.push_global(
+            "tuning_warm_started",
+            if report.warm_started { 1.0 } else { 0.0 },
+        );
+    }
     record_duration_histograms(&mut metrics, &trace);
     Ok(CompiledKernel {
         launches: vec![KernelLaunch {
@@ -495,7 +595,145 @@ fn compile_optimized(
         degraded: None,
         cost_model: opts.cost_model,
         profiler: opts.profiler.clone(),
+        tuning: tuning_report,
     })
+}
+
+/// One compilation's interaction with the tuning store: the shape lookup
+/// done up front, carried to [`TuningSession::finish`] after the search.
+struct TuningSession {
+    store: Arc<TuningStore>,
+    shape: KernelShape,
+    outcome: String,
+    plan: Option<WarmStartPlan>,
+}
+
+/// Maps the store's drained notes into trace events.
+fn store_note_events(notes: Vec<StoreNote>, events: &mut Vec<TraceEvent>) {
+    for note in notes {
+        events.push(match note {
+            StoreNote::Degraded { reason } => TraceEvent::StoreDegraded {
+                store: "tuning",
+                reason,
+            },
+            StoreNote::SelfHeal { detail } => TraceEvent::Note {
+                message: format!("tuning store self-heal: {detail}"),
+            },
+            StoreNote::WriteError { detail } => TraceEvent::StoreWriteError {
+                store: "tuning",
+                detail,
+            },
+        });
+    }
+}
+
+/// Computes the kernel's shape and asks the store for a warm-start plan.
+/// Returns `None` when no store is attached or the kernel's layouts defeat
+/// the shape analysis (such compiles run the full search, store-less).
+fn prepare_tuning(
+    naive: &Kernel,
+    domain: &Domain,
+    opts: &CompileOptions,
+    events: &mut Vec<TraceEvent>,
+) -> Option<TuningSession> {
+    let store = opts.tuning.as_ref()?.clone();
+    let grid_sig = opts.explore.grid_signature();
+    let shape = kernel_shape(
+        naive,
+        &ShapeContext {
+            bindings: &opts.bindings,
+            machine: opts.machine.name,
+            cost_model: opts.cost_model.as_str(),
+            stage_bits: opts.stages.bits(),
+            grid_sig: &grid_sig,
+            domain: (domain.x, domain.y),
+        },
+    )?;
+    let (outcome, plan) = if !opts.warm_start {
+        ("disabled".to_string(), None)
+    } else {
+        match store.lookup(&shape) {
+            Lookup::Warm(warm) => {
+                let outcome = if warm.neighbor { "neighbor" } else { "warm" };
+                (
+                    outcome.to_string(),
+                    Some(WarmStartPlan {
+                        seeds: warm.seeds,
+                        expand: warm.neighbor,
+                    }),
+                )
+            }
+            Lookup::Reexplore => ("reexplore".to_string(), None),
+            Lookup::Miss => ("miss".to_string(), None),
+            Lookup::Disabled(_) => ("disabled".to_string(), None),
+        }
+    };
+    let seeds = plan
+        .as_ref()
+        .map(|p| {
+            p.seeds
+                .iter()
+                .map(|&(bx, ty, tx)| format!("bx{bx}_ty{ty}_tx{tx}"))
+                .collect()
+        })
+        .unwrap_or_default();
+    events.push(TraceEvent::TuningLookup {
+        fingerprint: shape.structure.clone(),
+        outcome: outcome.clone(),
+        seeds,
+    });
+    store_note_events(store.drain_notes(), events);
+    Some(TuningSession {
+        store,
+        shape,
+        outcome,
+        plan,
+    })
+}
+
+impl TuningSession {
+    /// Records the search outcome into the store and summarizes the
+    /// session for the trace document.
+    fn finish(self, explored: &Explored, events: &mut Vec<TraceEvent>) -> TuningReport {
+        let winner = ConfigScore {
+            block_merge_x: explored.chosen.block_merge_x,
+            thread_merge_y: explored.chosen.thread_merge_y,
+            thread_merge_x: explored.chosen.thread_merge_x,
+            time_ms: explored.chosen.time_ms,
+        };
+        let candidates: Vec<ConfigScore> = explored
+            .evaluated
+            .iter()
+            .filter(|c| c.reduction_elems.is_none())
+            .map(|c| ConfigScore {
+                block_merge_x: c.block_merge_x,
+                thread_merge_y: c.thread_merge_y,
+                thread_merge_x: c.thread_merge_x,
+                time_ms: c.time_ms,
+            })
+            .collect();
+        // A search the store did not narrow is authoritative for this
+        // size point: it may demote a stale stored winner.
+        let demoted = self
+            .store
+            .record(&self.shape, &winner, &candidates, !explored.warm_started);
+        events.push(TraceEvent::TuningRecorded {
+            fingerprint: self.shape.structure.clone(),
+            winner: winner.label(),
+            explored: explored.evaluated.len() as u64,
+            full_space: explored.full_space as u64,
+            demoted,
+        });
+        store_note_events(self.store.drain_notes(), events);
+        TuningReport {
+            fingerprint: self.shape.structure,
+            outcome: self.outcome,
+            explored: explored.evaluated.len() as u64,
+            full_space: explored.full_space as u64,
+            warm_started: explored.warm_started,
+            demoted,
+        }
+    }
 }
 
 /// Wraps the naive kernel (no optimization) with a reasonable launch — the
@@ -575,6 +813,7 @@ fn naive_state_compiled(
         degraded: None,
         cost_model: opts.cost_model,
         profiler: st.profiler.clone(),
+        tuning: None,
     })
 }
 
@@ -711,6 +950,7 @@ fn compile_reduction(
                 degraded: None,
                 cost_model: opts.cost_model,
                 profiler: opts.profiler.clone(),
+                tuning: None,
             };
             best = Some((compiled, time));
         }

@@ -11,6 +11,7 @@
 //! that fails either check is deleted and treated as a miss.
 
 use gpgpu_core::{CachedArtifact, CACHE_SCHEMA};
+use gpgpu_tuning::fault;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
@@ -98,7 +99,7 @@ impl DiskCache {
     /// can count it).
     fn load(&self, fingerprint: &str) -> Result<Option<CachedArtifact>, DiskFault> {
         let path = self.path_for(fingerprint);
-        let text = match std::fs::read_to_string(&path) {
+        let mut text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => {
@@ -108,6 +109,12 @@ impl DiskCache {
                 })
             }
         };
+        // `GPGPU_FAULT=io:corrupt-read` — garble the bytes the way a bad
+        // sector would, exercising the delete-and-self-heal path below.
+        if fault::io_read_corrupt() && !text.is_empty() {
+            let mid = text.len() / 2;
+            text.replace_range(mid..mid + 1, "\u{1}");
+        }
         let parsed = gpgpu_trace::parse_json(&text)
             .map_err(|e| e.to_string())
             .and_then(|doc| CachedArtifact::from_json(&doc));
@@ -135,7 +142,9 @@ impl DiskCache {
     }
 
     /// Persists an entry. Writes to a temp file first so a crash cannot
-    /// leave a half-written artifact under the real name.
+    /// leave a half-written artifact under the real name. The write and
+    /// the rename run through the `io:*` fault probes (`short-write`,
+    /// `enospc`, `rename`) so the engine's degrade path is testable.
     fn store(&self, artifact: &CachedArtifact) -> Result<(), String> {
         let path = self.path_for(&artifact.fingerprint);
         let tmp = self.dir.join(format!(
@@ -143,8 +152,28 @@ impl DiskCache {
             artifact.fingerprint,
             std::process::id()
         ));
-        let write = std::fs::write(&tmp, artifact.to_json().pretty())
-            .and_then(|()| std::fs::rename(&tmp, &path));
+        let payload = artifact.to_json().pretty();
+        let write_tmp = || -> std::io::Result<()> {
+            match fault::io_write_fault() {
+                Some(fault::IoWriteFault::ShortWrite) => {
+                    // Persist a real torn prefix, then fail — the tmp file
+                    // on disk looks exactly like a mid-write crash.
+                    std::fs::write(&tmp, &payload.as_bytes()[..payload.len() / 2])?;
+                    Err(std::io::Error::other("injected short write"))
+                }
+                Some(fault::IoWriteFault::Enospc) => Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "injected ENOSPC",
+                )),
+                None => std::fs::write(&tmp, payload.as_bytes()),
+            }
+        };
+        let write = write_tmp().and_then(|()| {
+            if fault::io_rename_fault() {
+                return Err(std::io::Error::other("injected rename failure"));
+            }
+            std::fs::rename(&tmp, &path)
+        });
         write.map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             format!("store {}: {e}", path.display())

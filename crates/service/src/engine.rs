@@ -17,11 +17,12 @@ use crate::request::{
 };
 use gpgpu_core::{
     compile, CompileError, CompileOptions, Json, MetricsRegistry, Profiler, SpanId, TraceEvent,
+    TuningStore,
 };
 use gpgpu_sim::{CostModelKind, MachineDesc};
 use std::collections::HashSet;
 use std::path::PathBuf;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Engine construction options.
@@ -42,6 +43,12 @@ pub struct ServiceConfig {
     /// (`gpgpuc serve --cost-model`). Part of each request's cache
     /// fingerprint, so artifacts never leak across models.
     pub cost_model: CostModelKind,
+    /// Root of the persistent tuning store (`--tuning-dir`); `None`
+    /// compiles store-less with full exploration.
+    pub tuning_dir: Option<PathBuf>,
+    /// Whether tuning-store hits may narrow the design-space search
+    /// (`--no-warm-start` records outcomes without consuming them).
+    pub warm_start: bool,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +60,8 @@ impl Default for ServiceConfig {
             cache_dir: None,
             default_deadline_ms: None,
             cost_model: CostModelKind::default(),
+            tuning_dir: None,
+            warm_start: true,
         }
     }
 }
@@ -83,6 +92,9 @@ struct Counters {
     /// Requests failed with `deadline` *before* compiling because the
     /// remaining budget was under the shard's p50 compile estimate.
     deadline_preempted: u64,
+    /// Durable-state writes (compile cache or tuning store) that failed —
+    /// the "dying disk" early-warning counter.
+    store_write_errors: u64,
 }
 
 /// The long-lived batch-compilation engine.
@@ -103,6 +115,9 @@ pub struct Engine {
     /// `service_stage_*` per request stage), merged into [`Engine::metrics`]
     /// snapshots and the `stats` document.
     hists: Mutex<MetricsRegistry>,
+    /// Persistent tuning store shared by every compile this engine runs;
+    /// `None` when the config names no `tuning_dir`.
+    tuning: Option<Arc<TuningStore>>,
     /// Fingerprints currently being compiled — the cache-stampede guard.
     /// A request that misses the cache but finds its fingerprint here
     /// waits for the in-flight compile and takes the hit instead of
@@ -147,7 +162,13 @@ impl Engine {
     /// Fails only when the cache directory cannot be created.
     pub fn new(config: ServiceConfig) -> std::io::Result<Engine> {
         let cache = CompileCache::new(config.cache_entries, config.cache_dir.as_deref())?;
-        Ok(Engine {
+        // Opening the tuning store never fails — I/O problems yield a
+        // degraded store that answers every lookup with full exploration.
+        let tuning = config
+            .tuning_dir
+            .as_deref()
+            .map(|dir| Arc::new(TuningStore::open(dir)));
+        let engine = Engine {
             config,
             cache: Mutex::new(cache),
             counters: Mutex::new(Counters::default()),
@@ -155,9 +176,39 @@ impl Engine {
             started: Instant::now(),
             profiler: Profiler::new(),
             hists: Mutex::new(MetricsRegistry::new()),
+            tuning,
             inflight_fps: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
-        })
+        };
+        if let Some(store) = &engine.tuning {
+            let notes = store.drain_notes();
+            let mut events = lock(&engine.events);
+            for note in notes {
+                events.push(match note {
+                    gpgpu_core::StoreNote::Degraded { reason } => {
+                        TraceEvent::StoreDegraded {
+                            store: "tuning",
+                            reason,
+                        }
+                    }
+                    gpgpu_core::StoreNote::SelfHeal { detail } => TraceEvent::Note {
+                        message: format!("tuning store self-heal: {detail}"),
+                    },
+                    gpgpu_core::StoreNote::WriteError { detail } => {
+                        TraceEvent::StoreWriteError {
+                            store: "tuning",
+                            detail,
+                        }
+                    }
+                });
+            }
+        }
+        Ok(engine)
+    }
+
+    /// The engine's persistent tuning store, when one is open.
+    pub fn tuning_store(&self) -> Option<&Arc<TuningStore>> {
+        self.tuning.as_ref()
     }
 
     /// The engine's configuration.
@@ -200,8 +251,24 @@ impl Engine {
             ("service_swept_total", c.swept),
             ("service_cache_self_heals", c.self_heals),
             ("service_deadline_preempted", c.deadline_preempted),
+            ("service_store_write_errors", c.store_write_errors),
         ] {
             reg.push_global(name, value as f64);
+        }
+        if let Some(store) = &self.tuning {
+            let t = store.counters();
+            for (name, value) in [
+                ("service_tuning_warm_hits", t.warm_hits),
+                ("service_tuning_neighbor_hits", t.neighbor_hits),
+                ("service_tuning_misses", t.misses),
+                ("service_tuning_reexplored", t.reexplored),
+                ("service_tuning_demotions", t.demotions),
+                ("service_tuning_self_heals", t.self_heals),
+                ("service_tuning_write_errors", t.write_errors),
+                ("service_tuning_degraded", t.degraded),
+            ] {
+                reg.push_global(name, value as f64);
+            }
         }
         for (name, hist) in lock(&self.hists).histograms() {
             reg.merge_histogram(name, hist);
@@ -281,8 +348,16 @@ impl Engine {
                             ("evictions", Json::count(c.evictions)),
                             ("disk_errors", Json::count(c.disk_errors)),
                             ("self_heals", Json::count(c.self_heals)),
+                            ("write_errors", Json::count(c.store_write_errors)),
                             ("hit_ratio", Json::Num(hit_ratio)),
                         ]),
+                    ),
+                    (
+                        "tuning",
+                        match &self.tuning {
+                            Some(store) => store.stats_json(),
+                            None => Json::Null,
+                        },
                     ),
                     (
                         "overload",
@@ -397,6 +472,11 @@ impl Engine {
             .with_profiler(self.profiler.clone());
         for (name, value) in &req.bindings {
             opts = opts.bind(name, *value);
+        }
+        if let Some(store) = &self.tuning {
+            opts = opts
+                .with_tuning(Arc::clone(store))
+                .with_warm_start(self.config.warm_start);
         }
 
         // Cache probe.
@@ -569,6 +649,21 @@ impl Engine {
                 CompileResponse::failure(req.id, class, e.to_string())
             }
             Ok(Ok(compiled)) => {
+                // Surface the compile's tuning-store events (degradation,
+                // self-heals, failed durable writes) in the service event
+                // stream and the write-error counter, so a dying disk under
+                // the store shows up in `--report` and `{"stats": true}`
+                // instead of disappearing into one request's trace.
+                for event in compiled.trace.events() {
+                    match event {
+                        TraceEvent::StoreDegraded { .. } => self.emit(event.clone()),
+                        TraceEvent::StoreWriteError { .. } => {
+                            lock(&self.counters).store_write_errors += 1;
+                            self.emit(event.clone());
+                        }
+                        _ => {}
+                    }
+                }
                 // Under the hierarchy cost model, fold the winner's
                 // per-level memory counters into live histograms — the
                 // `{"stats": true}` snapshot's `hierarchy` section.
@@ -609,6 +704,14 @@ impl Engine {
                         });
                     }
                     if let Some(err) = disk_error {
+                        // A failed persist is a miss that silently costs
+                        // every future request a recompile: count it and
+                        // name it, don't just log the disk fault.
+                        lock(&self.counters).store_write_errors += 1;
+                        self.emit(TraceEvent::StoreWriteError {
+                            store: "cache",
+                            detail: format!("{fingerprint}: {}", err.detail),
+                        });
                         self.note_disk_error(&fingerprint, &err);
                     }
                 }

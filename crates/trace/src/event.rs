@@ -289,6 +289,46 @@ pub enum TraceEvent {
         /// The content-addressed fingerprint involved.
         fingerprint: String,
     },
+    /// The persistent tuning store answered a compile's shape lookup.
+    TuningLookup {
+        /// The 32-hex structural shape fingerprint (see `gpgpu-tuning`).
+        fingerprint: String,
+        /// Outcome: `warm` (exact size point), `neighbor` (nearest other
+        /// size point), `miss`, `reexplore` (periodic full-grid audit), or
+        /// `disabled` (degraded store / lock contention / opted out).
+        outcome: String,
+        /// Seed candidate labels a warm outcome supplied (empty otherwise).
+        seeds: Vec<String>,
+    },
+    /// The persistent tuning store recorded a compile's exploration result.
+    TuningRecorded {
+        /// The structural shape fingerprint recorded under.
+        fingerprint: String,
+        /// The winning candidate label.
+        winner: String,
+        /// Candidates actually evaluated by this search.
+        explored: u64,
+        /// Size of the full design space the search would have run cold.
+        full_space: u64,
+        /// True when a full-grid re-exploration beat (and replaced) the
+        /// previously stored winner.
+        demoted: bool,
+    },
+    /// A durable store (tuning store or disk compile cache) degraded to
+    /// non-persistent operation.
+    StoreDegraded {
+        /// Which store: `tuning` or `cache`.
+        store: &'static str,
+        /// Why — the first I/O failure or recovery action that disabled it.
+        reason: String,
+    },
+    /// A durable-state write failed; the result lives on in memory only.
+    StoreWriteError {
+        /// Which store: `tuning` or `cache`.
+        store: &'static str,
+        /// The failed operation and error.
+        detail: String,
+    },
     /// Free-form note (fallback for information with no variant yet).
     Note {
         /// The note.
@@ -327,6 +367,10 @@ impl TraceEvent {
             TraceEvent::Sanitizer { .. } => "sanitizer",
             TraceEvent::ServiceRequest { .. } => "service-request",
             TraceEvent::ServiceCache { .. } => "service-cache",
+            TraceEvent::TuningLookup { .. } => "tuning-lookup",
+            TraceEvent::TuningRecorded { .. } => "tuning-recorded",
+            TraceEvent::StoreDegraded { .. } => "store-degraded",
+            TraceEvent::StoreWriteError { .. } => "store-write-error",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -486,6 +530,39 @@ impl TraceEvent {
             }
             TraceEvent::ServiceCache { op, fingerprint } => {
                 format!("service cache: {op} {fingerprint}")
+            }
+            TraceEvent::TuningLookup {
+                fingerprint,
+                outcome,
+                seeds,
+            } => {
+                if seeds.is_empty() {
+                    format!("tuning store: {outcome} for shape {fingerprint}")
+                } else {
+                    format!(
+                        "tuning store: {outcome} for shape {fingerprint} (seeds {})",
+                        seeds.join(", ")
+                    )
+                }
+            }
+            TraceEvent::TuningRecorded {
+                fingerprint,
+                winner,
+                explored,
+                full_space,
+                demoted,
+            } => {
+                let note = if *demoted { ", demoted stale winner" } else { "" };
+                format!(
+                    "tuning store: recorded {winner} for shape {fingerprint} \
+                     ({explored}/{full_space} candidates explored{note})"
+                )
+            }
+            TraceEvent::StoreDegraded { store, reason } => {
+                format!("{store} store degraded to non-persistent operation: {reason}")
+            }
+            TraceEvent::StoreWriteError { store, detail } => {
+                format!("{store} store write failed (kept in memory only): {detail}")
             }
             TraceEvent::Note { message } => message.clone(),
         }
@@ -684,6 +761,39 @@ impl TraceEvent {
                 put("op", Json::str(*op));
                 put("fingerprint", Json::str(fingerprint));
             }
+            TraceEvent::TuningLookup {
+                fingerprint,
+                outcome,
+                seeds,
+            } => {
+                put("fingerprint", Json::str(fingerprint));
+                put("outcome", Json::str(outcome));
+                put(
+                    "seeds",
+                    Json::Arr(seeds.iter().map(Json::str).collect()),
+                );
+            }
+            TraceEvent::TuningRecorded {
+                fingerprint,
+                winner,
+                explored,
+                full_space,
+                demoted,
+            } => {
+                put("fingerprint", Json::str(fingerprint));
+                put("winner", Json::str(winner));
+                put("explored", Json::count(*explored));
+                put("full_space", Json::count(*full_space));
+                put("demoted", Json::Bool(*demoted));
+            }
+            TraceEvent::StoreDegraded { store, reason } => {
+                put("store", Json::str(*store));
+                put("reason", Json::str(reason));
+            }
+            TraceEvent::StoreWriteError { store, detail } => {
+                put("store", Json::str(*store));
+                put("detail", Json::str(detail));
+            }
             TraceEvent::Note { message } => put("message", Json::str(message)),
         }
         Json::Obj(pairs)
@@ -780,6 +890,26 @@ mod tests {
             TraceEvent::ServiceCache {
                 op: "evict",
                 fingerprint: "deadbeef".into(),
+            },
+            TraceEvent::TuningLookup {
+                fingerprint: "deadbeef".into(),
+                outcome: "warm".into(),
+                seeds: vec!["bx16_ty8_tx1".into()],
+            },
+            TraceEvent::TuningRecorded {
+                fingerprint: "deadbeef".into(),
+                winner: "bx16_ty8_tx1".into(),
+                explored: 2,
+                full_space: 20,
+                demoted: false,
+            },
+            TraceEvent::StoreDegraded {
+                store: "tuning",
+                reason: "journal-append: injected ENOSPC".into(),
+            },
+            TraceEvent::StoreWriteError {
+                store: "cache",
+                detail: "disk-store: injected short write".into(),
             },
         ];
         let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind()).collect();

@@ -1,0 +1,116 @@
+//! I/O fault injection for testing the durable-state recovery paths.
+//!
+//! Compiled only with the `fault-inject` feature (the workspace enables it
+//! for test builds; release builds compile the no-op shims below). A fault
+//! is *armed* either programmatically ([`arm_io`]) or via the `GPGPU_FAULT`
+//! environment variable, whose value is `io:<mode>` where `<mode>` is one
+//! of the four durable-state failure modes — or `*` for all of them:
+//!
+//! | mode           | effect at the probe site                              |
+//! |----------------|-------------------------------------------------------|
+//! | `short-write`  | a write persists only a prefix, then reports an error |
+//! | `enospc`       | a write fails before persisting anything (ENOSPC)     |
+//! | `rename`       | an atomic rename (snapshot publish) fails             |
+//! | `corrupt-read` | bytes read back from disk come back garbled           |
+//!
+//! The tuning store ([`crate::TuningStore`]) and the service's disk compile
+//! cache route every write, rename, and read through these probes, so one
+//! `GPGPU_FAULT=io:*` run exercises every recovery path. Armed state is
+//! process-global, so tests that arm faults must serialize on a lock.
+
+/// The injected failure a durable-state write probe reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoWriteFault {
+    /// Persist only a prefix of the record, then fail — the on-disk file
+    /// gains a real torn tail for recovery to truncate.
+    ShortWrite,
+    /// Fail without persisting anything (the classic full-disk error).
+    Enospc,
+}
+
+#[cfg(feature = "fault-inject")]
+mod imp {
+    use super::IoWriteFault;
+    use std::sync::Mutex;
+
+    static ARMED: Mutex<Option<String>> = Mutex::new(None);
+
+    fn armed_mode(mode: &str) -> bool {
+        let guard = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(m) = guard.as_ref() {
+            return m == "*" || m == mode;
+        }
+        drop(guard);
+        // Environment-variable arming, used by CLI integration tests and
+        // the CI crash-smoke job where the injector runs in a child
+        // process.
+        if let Ok(v) = std::env::var("GPGPU_FAULT") {
+            if let Some((k, m)) = v.split_once(':') {
+                return k == "io" && (m == "*" || m == mode);
+            }
+        }
+        false
+    }
+
+    /// Arms an I/O fault mode (`short-write`, `enospc`, `rename`,
+    /// `corrupt-read`, or `*` for all four).
+    pub fn arm_io(mode: &str) {
+        *ARMED.lock().unwrap_or_else(|p| p.into_inner()) = Some(mode.to_string());
+    }
+
+    /// Disarms any armed I/O fault.
+    pub fn disarm_io() {
+        *ARMED.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    /// The failure an armed write fault injects, probed before every
+    /// durable write. `short-write` wins over `enospc` under `io:*` so a
+    /// wildcard run always produces a torn tail for recovery to find.
+    pub fn io_write_fault() -> Option<IoWriteFault> {
+        if armed_mode("short-write") {
+            Some(IoWriteFault::ShortWrite)
+        } else if armed_mode("enospc") {
+            Some(IoWriteFault::Enospc)
+        } else {
+            None
+        }
+    }
+
+    /// True when an armed fault should fail the next atomic rename.
+    pub fn io_rename_fault() -> bool {
+        armed_mode("rename")
+    }
+
+    /// True when bytes read back from disk should come back garbled.
+    pub fn io_read_corrupt() -> bool {
+        armed_mode("corrupt-read")
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+mod imp {
+    use super::IoWriteFault;
+
+    /// Arms an I/O fault mode (no-op without `fault-inject`).
+    pub fn arm_io(_mode: &str) {}
+
+    /// Disarms any armed I/O fault (no-op without `fault-inject`).
+    pub fn disarm_io() {}
+
+    /// Never injects a write fault without `fault-inject`.
+    pub fn io_write_fault() -> Option<IoWriteFault> {
+        None
+    }
+
+    /// Never fails a rename without `fault-inject`.
+    pub fn io_rename_fault() -> bool {
+        false
+    }
+
+    /// Never corrupts a read without `fault-inject`.
+    pub fn io_read_corrupt() -> bool {
+        false
+    }
+}
+
+pub use imp::{arm_io, disarm_io, io_read_corrupt, io_rename_fault, io_write_fault};

@@ -12,12 +12,14 @@
 //!              [--shards <n>] [--admission-watermark <f>]
 //!              [--admission-wait-ms <n>] [--retry <n>]
 //!              [--cache-dir <dir>] [--cache-entries <n>]
+//!              [--tuning-dir <dir>] [--no-warm-start]
 //!              [--deadline-ms <n>] [--cost-model <m>]
 //!              [--metrics <path>] [--trace-json <path>]
 //! gpgpuc serve [--jobs <n>] [--queue <n>] [--shards <n>]
 //!              [--admission-watermark <f>] [--admission-wait-ms <n>]
 //!              [--unordered] [--drain-timeout-ms <n>]
 //!              [--cache-dir <dir>] [--cache-entries <n>]
+//!              [--tuning-dir <dir>] [--no-warm-start]
 //!              [--deadline-ms <n>] [--cost-model <m>]
 //!              [--metrics <path>] [--trace-json <path>]
 //!
@@ -26,6 +28,14 @@
 //!   --cost-model <analytic|hierarchy>   timing model used to rank
 //!                                       candidates           [analytic]
 //!   --bind <name>=<value>               bind a size symbol  (repeatable)
+//!   --tuning-dir <dir>                  persist per-shape autotuning
+//!                                       results across runs; later
+//!                                       compiles of the same kernel shape
+//!                                       warm-start the design-space search
+//!                                       from the best known configuration
+//!   --no-warm-start                     record tuning results but always
+//!                                       run the full design-space search
+//!                                       (requires --tuning-dir)
 //!   --cuda-names                        emit threadIdx.x-style ids
 //!   --no-<stage>                        disable a stage: vectorize,
 //!                                       coalesce, merge, prefetch, partition
@@ -96,7 +106,10 @@
 //! batch-compilation service — a worker pool behind a bounded queue in
 //! front of the content-addressed compile cache — and prints one NDJSON
 //! response per line **in manifest order**. `--cache-dir` persists
-//! artifacts across runs; `--metrics` writes the `service_*` counters
+//! artifacts across runs; `--tuning-dir` additionally persists per-shape
+//! autotuning winners (DESIGN.md §5.14) so textually different kernels
+//! with the same access-pattern shape warm-start the design-space search;
+//! `--metrics` writes the `service_*` counters
 //! (requests, cache hits/misses/evictions, queue depth, latency) as JSON.
 //! The exit code aggregates per-request outcomes by numeric maximum.
 //!
@@ -161,7 +174,9 @@
 //! process exits with the numeric **maximum** of the per-input codes.
 
 use gpgpu::ast::{parse_kernel, print_kernel, PrintOptions};
-use gpgpu::core::{compile, verify_equivalence, CompileOptions, CompilerError, StageSet};
+use gpgpu::core::{
+    compile, verify_equivalence, CompileOptions, CompilerError, StageSet, TuningStore,
+};
 use gpgpu::service::{
     CompileRequest, CompileResponse, Engine, ErrorClass, ServiceConfig, ShardConfig,
     ShardedEngine, SourceSpec, Submitted,
@@ -205,6 +220,8 @@ struct Args {
     strict: bool,
     list_passes: bool,
     cost_model: CostModelKind,
+    tuning_dir: Option<String>,
+    warm_start: bool,
 }
 
 fn usage(msg: &str) -> ExitCode {
@@ -214,18 +231,21 @@ fn usage(msg: &str) -> ExitCode {
          [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
          [--list-passes] [--report] [--metrics] [--trace-json <path>] [--profile <path>] \
          [--profile-chrome <path>] [--verify <size>] \
-         [--verify-seed <u64>] [--strict] [--cost-model analytic|hierarchy] <kernel.cu | ->...\n       \
+         [--verify-seed <u64>] [--strict] [--cost-model analytic|hierarchy] \
+         [--tuning-dir <dir>] [--no-warm-start] <kernel.cu | ->...\n       \
          gpgpuc profile <kernel.cu | -> [--top <n>] [--machine <m>] [--bind n=1024]...\n       \
          gpgpuc validate [--cost-model analytic|hierarchy]\n       \
          gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>] [--inject <slug>] [--trace-json <path>]\n       \
          gpgpuc reduce <repro.cu> [--budget <n>]\n       \
          gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>] [--shards <n>] \
          [--admission-watermark <f>] [--admission-wait-ms <n>] [--retry <n>] [--cache-dir <dir>] \
-         [--cache-entries <n>] [--deadline-ms <n>] [--cost-model analytic|hierarchy] \
+         [--cache-entries <n>] [--tuning-dir <dir>] [--no-warm-start] [--deadline-ms <n>] \
+         [--cost-model analytic|hierarchy] \
          [--metrics <path>] [--trace-json <path>]\n       \
          gpgpuc serve [--jobs <n>] [--queue <n>] [--shards <n>] [--admission-watermark <f>] \
          [--admission-wait-ms <n>] [--unordered] [--drain-timeout-ms <n>] [--cache-dir <dir>] \
-         [--cache-entries <n>] [--deadline-ms <n>] [--cost-model analytic|hierarchy] \
+         [--cache-entries <n>] [--tuning-dir <dir>] [--no-warm-start] [--deadline-ms <n>] \
+         [--cost-model analytic|hierarchy] \
          [--metrics <path>] [--trace-json <path>]"
     );
     ExitCode::from(EXIT_USAGE)
@@ -265,6 +285,8 @@ fn parse_args() -> Result<Args, String> {
         strict: false,
         list_passes: false,
         cost_model: CostModelKind::default(),
+        tuning_dir: None,
+        warm_start: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -318,6 +340,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--cost-model needs a value")?;
                 args.cost_model = v.parse()?;
             }
+            "--tuning-dir" => {
+                args.tuning_dir = Some(it.next().ok_or("--tuning-dir needs a directory")?);
+            }
+            "--no-warm-start" => args.warm_start = false,
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with("--") => {
                 return Err(format!("unexpected argument `{other}`"))
@@ -327,6 +353,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if !args.list_passes && args.inputs.is_empty() {
         return Err("no input file".into());
+    }
+    if !args.warm_start && args.tuning_dir.is_none() {
+        return Err("--no-warm-start requires --tuning-dir".into());
     }
     if args.inputs.len() > 1 {
         // Output-shaping flags assume exactly one compilation to describe.
@@ -725,6 +754,10 @@ fn parse_service_args(argv: &[String], want_operand: bool) -> Result<ServiceArgs
             "--cache-dir" => {
                 out.config.cache_dir = Some(value("--cache-dir")?.into());
             }
+            "--tuning-dir" => {
+                out.config.tuning_dir = Some(value("--tuning-dir")?.into());
+            }
+            "--no-warm-start" => out.config.warm_start = false,
             "--deadline-ms" => {
                 let v = value("--deadline-ms")?;
                 out.config.default_deadline_ms = Some(
@@ -786,6 +819,9 @@ fn parse_service_args(argv: &[String], want_operand: bool) -> Result<ServiceArgs
     }
     if want_operand && out.operand.is_none() {
         return Err("batch needs an NDJSON manifest (or `-` for stdin)".into());
+    }
+    if !out.config.warm_start && out.config.tuning_dir.is_none() {
+        return Err("--no-warm-start requires --tuning-dir".into());
     }
     Ok(out)
 }
@@ -1219,6 +1255,8 @@ fn cmd_serve(argv: &[String]) -> ExitCode {
 fn cmd_multi(args: &Args) -> ExitCode {
     let config = ServiceConfig {
         cost_model: args.cost_model,
+        tuning_dir: args.tuning_dir.as_ref().map(std::path::PathBuf::from),
+        warm_start: args.warm_start,
         ..ServiceConfig::default()
     };
     let engine = match Engine::new(config) {
@@ -1420,6 +1458,17 @@ fn main() -> ExitCode {
     for (name, value) in &args.bindings {
         opts = opts.bind(name, *value);
     }
+    // --tuning-dir: open (never fails — I/O trouble degrades the store to
+    // full exploration) and let the pipeline warm-start from it.
+    let tuning_store = args
+        .tuning_dir
+        .as_ref()
+        .map(|dir| Arc::new(TuningStore::open(std::path::Path::new(dir))));
+    if let Some(store) = &tuning_store {
+        opts = opts
+            .with_tuning(Arc::clone(store))
+            .with_warm_start(args.warm_start);
+    }
     let compiled = match compile(&naive, &opts) {
         Ok(c) => c,
         Err(e) => {
@@ -1568,6 +1617,38 @@ fn main() -> ExitCode {
                     .unwrap_or_default(),
                 cand.time_ms
             );
+        }
+        if let Some(report) = &compiled.tuning {
+            eprintln!("== tuning store ==");
+            eprintln!(
+                "  shape {}   lookup {}   explored {}/{} candidate(s){}{}",
+                report.fingerprint,
+                report.outcome,
+                report.explored,
+                report.full_space,
+                if report.warm_started { " (warm-started)" } else { "" },
+                if report.demoted { ", stored winner demoted" } else { "" },
+            );
+            if let Some(store) = &tuning_store {
+                let c = store.counters();
+                eprintln!(
+                    "  store: {} warm hit(s), {} neighbor hit(s), {} miss(es), \
+                     {} re-explored, {} demotion(s)",
+                    c.warm_hits, c.neighbor_hits, c.misses, c.reexplored, c.demotions
+                );
+                eprintln!(
+                    "  durability: {} record(s), {} compaction(s), {} self-heal(s), \
+                     {} write error(s){}",
+                    c.records,
+                    c.compactions,
+                    c.self_heals,
+                    c.write_errors,
+                    store
+                        .degraded()
+                        .map(|r| format!(", DEGRADED ({r})"))
+                        .unwrap_or_default()
+                );
+            }
         }
         eprintln!("== prediction ({}) ==", args.machine.name);
         eprintln!(

@@ -333,6 +333,7 @@ fn committed_bench_snapshots_replay_through_the_parser() {
         ("BENCH_service.json", "service"),
         ("BENCH_serve.json", "serve-load"),
         ("BENCH_model.json", "model"),
+        ("BENCH_tuning.json", "tuning"),
     ] {
         let text = std::fs::read_to_string(root.join(name))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -405,6 +406,55 @@ fn committed_bench_snapshots_replay_through_the_parser() {
         saw_saturated_sheds,
         "the saturated regime never engaged admission control"
     );
+}
+
+/// The tuning snapshot (`BENCH_tuning.json`, from the `tuning_store`
+/// bench) records the persistent-autotuning acceptance: on the mutated
+/// Figure 11 kernels the warm-started search explores >=5x fewer
+/// candidates than the cold full-grid search, every warm winner is
+/// identical to its cold winner, and both service regimes carry latency
+/// percentiles.
+#[test]
+fn tuning_snapshot_shows_5x_candidate_reduction_at_equal_winner_quality() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("BENCH_tuning.json")).unwrap();
+    let doc = parse_json(&text).unwrap();
+
+    let kernels = match doc.get("kernels") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows.clone(),
+        other => panic!("BENCH_tuning.json kernels: {other:?}"),
+    };
+    let mut cold = 0.0;
+    let mut warm = 0.0;
+    for row in &kernels {
+        let name = row.get("kernel").and_then(Json::as_str).unwrap_or("?");
+        for key in ["fingerprint", "full_space", "warm_outcome", "reduction"] {
+            assert!(row.get(key).is_some(), "{name}: missing `{key}`");
+        }
+        assert_eq!(
+            row.get("winner_equal"),
+            Some(&Json::Bool(true)),
+            "{name}: the warm-started winner differs from the cold winner"
+        );
+        cold += row.get("cold_candidates").and_then(Json::as_f64).expect("cold_candidates");
+        warm += row.get("warm_candidates").and_then(Json::as_f64).expect("warm_candidates");
+    }
+    assert!(kernels.len() >= 8, "fewer tuned kernels than Figure 11: {}", kernels.len());
+    let reduction = doc.get("reduction").and_then(Json::as_f64).expect("reduction");
+    assert!(
+        reduction >= 5.0,
+        "warm start must cut explored candidates by >=5x (snapshot: {reduction})"
+    );
+    assert!((cold / warm.max(1.0) - reduction).abs() < 0.1, "reduction not reproducible from rows");
+    for regime in ["cold", "warm"] {
+        let lat = doc
+            .get("service")
+            .and_then(|s| s.get(regime))
+            .unwrap_or_else(|| panic!("service.{regime} latency missing"));
+        for key in ["count", "p50_us", "p99_us"] {
+            assert!(lat.get(key).is_some(), "service.{regime} missing `{key}`");
+        }
+    }
 }
 
 /// The timing-model snapshot (`BENCH_model.json`, from the

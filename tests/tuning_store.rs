@@ -1,0 +1,506 @@
+//! Durability tests of the persistent autotuning store (`gpgpu-tuning`):
+//! crash recovery truncates torn journal tails to a consistent prefix with
+//! zero corrupt records, a crash between snapshot publish and journal
+//! truncation replays idempotently, corrupt snapshots are quarantined
+//! rather than trusted, concurrent opens degrade the loser to lock-free
+//! full exploration (never a deadlock), stale winners are audited and
+//! demoted, every injected `io:*` fault degrades to full exploration with
+//! winners identical to a store-less run, and two concurrent `gpgpuc
+//! batch` processes can share `--cache-dir`/`--tuning-dir` without
+//! corrupting either store.
+
+use gpgpu::core::tuning::fault;
+use gpgpu::core::tuning::{
+    ConfigScore, KernelShape, Lookup, StoreConfig, TuningStore,
+};
+use gpgpu::core::{compile, CompileOptions};
+use gpgpu::sim::MachineDesc;
+use proptest::prelude::*;
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Mutex};
+
+const MV: &str = "__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) { \
+     float sum = 0.0f; \
+     for (int i = 0; i < w; i = i + 1) { sum += a[idx][i] * b[i]; } \
+     c[idx] = sum; }";
+
+/// Serializes every test in this binary: the `io:*` injector is
+/// process-global, so a fault armed by one test must never bleed into a
+/// sibling's store I/O.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Disarms the injector even when a test panics mid-fault.
+struct Disarmed;
+
+impl Drop for Disarmed {
+    fn drop(&mut self) {
+        fault::disarm_io();
+    }
+}
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "gpgpu-tuning-test-{label}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("temp dir creates");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn shape(structure: &str, size: &[i64]) -> KernelShape {
+    KernelShape {
+        structure: structure.to_string(),
+        size: size.to_vec(),
+    }
+}
+
+fn score(bx: i64, ty: i64, tx: i64, time_ms: f64) -> ConfigScore {
+    ConfigScore {
+        block_merge_x: bx,
+        thread_merge_y: ty,
+        thread_merge_x: tx,
+        time_ms,
+    }
+}
+
+fn journal_path(root: &std::path::Path) -> std::path::PathBuf {
+    root.join("v1").join("journal.log")
+}
+
+fn snapshot_path(root: &std::path::Path) -> std::path::PathBuf {
+    root.join("v1").join("snapshot.json")
+}
+
+#[test]
+fn recorded_winners_survive_a_reopen() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("reopen");
+    {
+        let store = TuningStore::open(dir.path());
+        assert!(store.is_writer());
+        store.record(
+            &shape("mm", &[256, 256]),
+            &score(8, 16, 1, 0.143),
+            &[score(8, 16, 1, 0.143), score(16, 8, 1, 0.151)],
+            true,
+        );
+    }
+    let store = TuningStore::open(dir.path());
+    assert_eq!(store.degraded(), None);
+    match store.lookup(&shape("mm", &[256, 256])) {
+        Lookup::Warm(warm) => {
+            assert!(!warm.neighbor);
+            assert_eq!(warm.seeds[0], (8, 16, 1), "best-known config seeds first");
+        }
+        other => panic!("expected a warm start after reopen, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 8,
+        ..ProptestConfig::default()
+    })]
+
+    /// Kill a writer at an arbitrary byte offset mid-journal-append (here:
+    /// truncate the journal at a fuzzed offset, which is exactly the state
+    /// a kill -9 during `write(2)` leaves) and reopen. Recovery must keep
+    /// a consistent prefix — every complete record, zero corrupt ones —
+    /// truncate the tail, and leave the store usable.
+    #[test]
+    fn torn_journal_tails_recover_to_a_consistent_prefix(
+        seed in any::<u64>(),
+        n in 1usize..6,
+    ) {
+        let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = TempDir::new(&format!("torn-{seed}-{n}"));
+        {
+            let store = TuningStore::open(dir.path());
+            prop_assert!(store.is_writer());
+            for i in 0..n {
+                store.record(
+                    &shape(&format!("struct-{i}"), &[64 * (i as i64 + 1)]),
+                    &score(8, 1 << (i % 4), 1, 0.1 + i as f64),
+                    &[score(8, 1 << (i % 4), 1, 0.1 + i as f64)],
+                    true,
+                );
+            }
+        }
+        let journal = journal_path(dir.path());
+        let bytes = std::fs::read(&journal).expect("journal exists");
+        prop_assert!(!bytes.is_empty());
+        let cut = (seed % (bytes.len() as u64 + 1)) as usize;
+        std::fs::write(&journal, &bytes[..cut]).expect("truncate journal");
+
+        // The expected consistent prefix: every newline-terminated record
+        // that survived the cut, in order.
+        let survivors = bytes[..cut].iter().filter(|&&b| b == b'\n').count();
+        let valid_end: usize = bytes[..cut]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap_or(0);
+
+        let store = TuningStore::open(dir.path());
+        prop_assert_eq!(store.degraded(), None, "recovery must not degrade");
+        for i in 0..n {
+            let looked = store.lookup(&shape(&format!("struct-{i}"), &[64 * (i as i64 + 1)]));
+            if i < survivors {
+                match looked {
+                    Lookup::Warm(warm) => {
+                        prop_assert!(!warm.neighbor);
+                        prop_assert_eq!(
+                            warm.seeds[0],
+                            (8, 1 << (i % 4), 1),
+                            "record {i} must replay exactly"
+                        );
+                    }
+                    other => {
+                        return Err(format!(
+                            "record {i} (< {survivors} survivors) lost: {other:?}"
+                        ));
+                    }
+                }
+            } else {
+                prop_assert_eq!(looked, Lookup::Miss, "record {i} is past the torn tail");
+            }
+        }
+        if cut > valid_end {
+            prop_assert!(
+                store.counters().self_heals >= 1,
+                "a mid-record cut must self-heal"
+            );
+        }
+        // The writer repairs the file itself: the torn tail is gone.
+        let repaired = std::fs::read(&journal).expect("journal still exists");
+        prop_assert_eq!(repaired.len(), valid_end, "torn tail must be truncated on disk");
+
+        // And the store keeps working: a fresh record survives another reopen.
+        store.record(&shape("fresh", &[512]), &score(16, 4, 1, 0.2), &[], true);
+        drop(store);
+        let store = TuningStore::open(dir.path());
+        prop_assert!(matches!(store.lookup(&shape("fresh", &[512])), Lookup::Warm(_)));
+    }
+}
+
+#[test]
+fn crash_between_snapshot_publish_and_journal_truncation_replays_idempotently() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("idempotent");
+    let saved_journal;
+    {
+        let store = TuningStore::open(dir.path());
+        for i in 0..3i64 {
+            store.record(
+                &shape("mm", &[128 * (i + 1), 128 * (i + 1)]),
+                &score(8, 16, 1, 0.1 * (i + 1) as f64),
+                &[],
+                true,
+            );
+        }
+        saved_journal = std::fs::read(journal_path(dir.path())).expect("journal exists");
+        store.compact_now();
+        assert!(snapshot_path(dir.path()).exists());
+        assert_eq!(
+            std::fs::metadata(journal_path(dir.path())).expect("journal").len(),
+            0,
+            "compaction truncates the journal"
+        );
+    }
+    // Simulate the crash window: the snapshot made it to disk, but the
+    // journal still holds the records it already covers.
+    std::fs::write(journal_path(dir.path()), &saved_journal).expect("restore journal");
+
+    let store = TuningStore::open(dir.path());
+    assert_eq!(store.degraded(), None);
+    assert_eq!(
+        store.counters().records,
+        3,
+        "journal records at or below the snapshot seq must be skipped, not doubled"
+    );
+    for i in 0..3i64 {
+        match store.lookup(&shape("mm", &[128 * (i + 1), 128 * (i + 1)])) {
+            Lookup::Warm(warm) => assert_eq!(warm.seeds[0], (8, 16, 1)),
+            other => panic!("point {i} lost after idempotent replay: {other:?}"),
+        }
+    }
+    // Sequence numbers keep climbing past the replayed window.
+    store.record(&shape("mm", &[1024, 1024]), &score(16, 8, 1, 0.4), &[], true);
+    drop(store);
+    let store = TuningStore::open(dir.path());
+    assert!(matches!(
+        store.lookup(&shape("mm", &[1024, 1024])),
+        Lookup::Warm(_)
+    ));
+}
+
+#[test]
+fn corrupt_snapshots_are_quarantined_not_trusted() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("quarantine");
+    {
+        let store = TuningStore::open(dir.path());
+        store.record(&shape("mm", &[256, 256]), &score(8, 16, 1, 0.1), &[], true);
+        store.compact_now();
+    }
+    // Flip a byte in the middle of the snapshot: the checksum must catch it.
+    let path = snapshot_path(dir.path());
+    let mut bytes = std::fs::read(&path).expect("snapshot exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    std::fs::write(&path, &bytes).expect("corrupt snapshot");
+
+    let store = TuningStore::open(dir.path());
+    assert_eq!(store.degraded(), None, "quarantine is a self-heal, not a failure");
+    assert!(store.counters().self_heals >= 1);
+    assert!(!path.exists(), "the corrupt snapshot must be moved aside");
+    let quarantined = std::fs::read_dir(dir.path().join("v1"))
+        .expect("store dir")
+        .flatten()
+        .any(|e| e.file_name().to_string_lossy().starts_with("quarantine-"));
+    assert!(quarantined, "the corrupt snapshot must be preserved for forensics");
+    // The store restarts empty (never a wrong winner) and stays usable.
+    assert_eq!(store.lookup(&shape("mm", &[256, 256])), Lookup::Miss);
+    store.record(&shape("mm", &[256, 256]), &score(8, 16, 1, 0.1), &[], true);
+    drop(store);
+    let store = TuningStore::open(dir.path());
+    assert!(matches!(store.lookup(&shape("mm", &[256, 256])), Lookup::Warm(_)));
+}
+
+#[test]
+fn stale_snapshot_tmp_files_are_cleaned_up_on_open() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("staletmp");
+    let v1 = dir.path().join("v1");
+    std::fs::create_dir_all(&v1).expect("store dir creates");
+    let stale = v1.join("snapshot.tmp-99999");
+    std::fs::write(&stale, b"half-published snapshot").expect("stale tmp writes");
+
+    let store = TuningStore::open(dir.path());
+    assert!(store.is_writer());
+    assert!(!stale.exists(), "mid-publish leftovers must be removed");
+    assert!(store.counters().self_heals >= 1);
+}
+
+#[test]
+fn concurrent_opens_degrade_the_loser_and_never_deadlock() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("contend");
+    let writer = TuningStore::open(dir.path());
+    assert!(writer.is_writer());
+    writer.record(&shape("mm", &[256, 256]), &score(8, 16, 1, 0.1), &[], true);
+
+    // The second open must return immediately (no blocking lock) in
+    // lock-free reader mode: lookups say "explore fully", writes are
+    // skipped, and the writer's files are untouched.
+    let loser = TuningStore::open(dir.path());
+    assert!(!loser.is_writer());
+    assert_eq!(loser.counters().lock_contended, 1);
+    assert!(matches!(
+        loser.lookup(&shape("mm", &[256, 256])),
+        Lookup::Disabled(_)
+    ));
+    let before = std::fs::read(journal_path(dir.path())).expect("journal exists");
+    loser.record(&shape("mv", &[512]), &score(4, 4, 1, 0.2), &[], true);
+    let after = std::fs::read(journal_path(dir.path())).expect("journal exists");
+    assert_eq!(before, after, "a contended loser must never write the journal");
+
+    // Once the writer exits, the next open wins the lock and sees its data.
+    drop(writer);
+    drop(loser);
+    let next = TuningStore::open(dir.path());
+    assert!(next.is_writer());
+    assert!(matches!(next.lookup(&shape("mm", &[256, 256])), Lookup::Warm(_)));
+}
+
+#[test]
+fn periodic_reexploration_audits_and_demotes_a_stale_winner() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("demote");
+    let store = TuningStore::open_with(
+        dir.path(),
+        StoreConfig {
+            reexplore_every: 2,
+            ..StoreConfig::default()
+        },
+    );
+    let mm = shape("mm", &[256, 256]);
+    store.record(&mm, &score(8, 16, 1, 0.143), &[score(8, 16, 1, 0.143)], true);
+
+    assert!(matches!(store.lookup(&mm), Lookup::Warm(_)));
+    assert_eq!(store.lookup(&mm), Lookup::Reexplore, "every 2nd hit audits");
+
+    // The audit's full search found a better config: the stored winner is
+    // demoted and the new one seeds future warm starts.
+    let demoted = store.record(&mm, &score(16, 8, 1, 0.120), &[score(16, 8, 1, 0.120)], true);
+    assert!(demoted);
+    assert_eq!(store.counters().demotions, 1);
+    match store.lookup(&mm) {
+        Lookup::Warm(warm) => assert_eq!(warm.seeds[0], (16, 8, 1)),
+        other => panic!("expected the demoted point to warm-start, got {other:?}"),
+    }
+    // A warm-started result matching the stored winner is not a demotion.
+    assert!(!store.record(&mm, &score(16, 8, 1, 0.121), &[], false));
+}
+
+/// The differential property the whole design hangs on: under EVERY
+/// injected durable-state fault, a compile that uses the store produces
+/// byte-identical output to a store-less compile — the store may lose
+/// durability, it may never change (or lose) a winner.
+#[test]
+fn every_io_fault_degrades_to_full_exploration_with_identical_winners() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = Disarmed;
+    let naive = gpgpu::ast::parse_kernel(MV).expect("mv parses");
+    let opts = || {
+        CompileOptions::new(MachineDesc::gtx280())
+            .bind("n", 128)
+            .bind("w", 128)
+    };
+    let baseline = compile(&naive, &opts()).expect("store-less compile succeeds");
+
+    for mode in ["short-write", "enospc", "rename", "corrupt-read", "*"] {
+        let dir = TempDir::new(&format!("fault-{}", mode.replace('*', "all")));
+        // Pre-populate so `corrupt-read` has something to garble at open,
+        // and use an aggressive compaction threshold so `rename` fires.
+        {
+            let store = TuningStore::open(dir.path());
+            store.record(
+                &shape("pre", &[64]),
+                &score(8, 16, 1, 0.5),
+                &[],
+                true,
+            );
+        }
+        fault::arm_io(mode);
+        let store = Arc::new(TuningStore::open_with(
+            dir.path(),
+            StoreConfig {
+                compact_after_bytes: 1,
+                ..StoreConfig::default()
+            },
+        ));
+        let compiled = compile(
+            &naive,
+            &opts().with_tuning(Arc::clone(&store)).with_warm_start(true),
+        )
+        .unwrap_or_else(|e| panic!("io:{mode} must not fail the compile: {e:?}"));
+        fault::disarm_io();
+
+        assert_eq!(
+            compiled.source, baseline.source,
+            "io:{mode}: the optimized kernel must match the store-less compile"
+        );
+        assert_eq!(
+            compiled.total_time_ms(),
+            baseline.total_time_ms(),
+            "io:{mode}: the predicted time must match the store-less compile"
+        );
+        let c = store.counters();
+        assert!(
+            c.write_errors >= 1 || c.self_heals >= 1 || store.degraded().is_some(),
+            "io:{mode} must be observed as a write error, self-heal, or degradation \
+             (counters: {c:?})"
+        );
+        // The fault must never have produced a wrong persisted winner: a
+        // clean reopen either replays valid records or starts fresh.
+        drop(store);
+        let reopened = TuningStore::open(dir.path());
+        assert_eq!(reopened.degraded(), None, "io:{mode}: recovery must succeed");
+        if let Lookup::Warm(warm) = reopened.lookup(&shape("pre", &[64])) {
+            assert_eq!(warm.seeds[0], (8, 16, 1), "io:{mode}: surviving records replay exactly");
+        }
+    }
+}
+
+/// Satellite: two concurrent `gpgpuc batch` processes sharing one
+/// `--cache-dir` and one `--tuning-dir` must both finish with
+/// exactly-once results and leave both stores uncorrupted; the lock loser
+/// degrades to lock-free full exploration instead of deadlocking.
+#[test]
+fn concurrent_batch_processes_share_cache_and_tuning_dirs_safely() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("multiproc");
+    let cache_dir = dir.path().join("cache");
+    let tuning_dir = dir.path().join("tuning");
+    let manifest: String = (0..3)
+        .map(|i| {
+            format!(
+                "{{\"id\": \"req-{i}\", \"source\": {}, \"bindings\": {{\"n\": 64, \"w\": 64}}}}\n",
+                gpgpu::core::trace::Json::str(MV).compact()
+            )
+        })
+        .collect();
+
+    let spawn = |label: &str| {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_gpgpuc"))
+            .args([
+                "batch",
+                "-",
+                "--cache-dir",
+                cache_dir.to_str().expect("utf-8 path"),
+                "--tuning-dir",
+                tuning_dir.to_str().expect("utf-8 path"),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap_or_else(|e| panic!("{label} spawns: {e}"));
+        child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(manifest.as_bytes())
+            .expect("manifest writes");
+        child
+    };
+    let a = spawn("batch A");
+    let b = spawn("batch B");
+    for (label, child) in [("batch A", a), ("batch B", b)] {
+        let out = child.wait_with_output().expect("child finishes");
+        assert!(
+            out.status.success(),
+            "{label} must exit 0 under shared stores (status {:?})",
+            out.status
+        );
+        let stdout = String::from_utf8(out.stdout).expect("NDJSON output is utf-8");
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines.len(), 3, "{label}: exactly one response per request");
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.contains("\"ok\":true"),
+                "{label} response {i} failed: {line}"
+            );
+            assert!(
+                line.contains(&format!("\"id\":\"req-{i}\"")),
+                "{label} response {i} out of order: {line}"
+            );
+        }
+    }
+
+    // Both stores reopen clean: the tuning journal replays with zero
+    // corrupt records and the compile cache still hits.
+    let store = TuningStore::open(&tuning_dir);
+    assert!(store.is_writer(), "the shared lock must be free after both exit");
+    assert_eq!(store.degraded(), None, "no corruption from concurrent writers");
+    assert!(store.shape_count() >= 1, "the winner's records persisted");
+}
