@@ -13,6 +13,8 @@
 use gpgpu_core::{CachedArtifact, CACHE_SCHEMA};
 use gpgpu_tuning::fault;
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// What a cache probe did, for the metrics/trace plumbing.
@@ -141,10 +143,12 @@ impl DiskCache {
         }
     }
 
-    /// Persists an entry. Writes to a temp file first so a crash cannot
-    /// leave a half-written artifact under the real name. The write and
-    /// the rename run through the `io:*` fault probes (`short-write`,
-    /// `enospc`, `rename`) so the engine's degrade path is testable.
+    /// Persists an entry. Writes to a temp file, fsyncs it, renames, and
+    /// fsyncs the directory (the tuning store's publish discipline) so a
+    /// crash cannot leave a half-written artifact under the real name.
+    /// The write and the rename run through the `io:*` fault probes
+    /// (`short-write`, `enospc`, `rename`) so the engine's degrade path is
+    /// testable.
     fn store(&self, artifact: &CachedArtifact) -> Result<(), String> {
         let path = self.path_for(&artifact.fingerprint);
         let tmp = self.dir.join(format!(
@@ -165,14 +169,23 @@ impl DiskCache {
                     std::io::ErrorKind::StorageFull,
                     "injected ENOSPC",
                 )),
-                None => std::fs::write(&tmp, payload.as_bytes()),
+                None => {
+                    let mut f = File::create(&tmp)?;
+                    f.write_all(payload.as_bytes())?;
+                    f.sync_data()
+                }
             }
         };
         let write = write_tmp().and_then(|()| {
             if fault::io_rename_fault() {
                 return Err(std::io::Error::other("injected rename failure"));
             }
-            std::fs::rename(&tmp, &path)
+            std::fs::rename(&tmp, &path)?;
+            // Make the rename itself durable.
+            if let Ok(d) = File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+            Ok(())
         });
         write.map_err(|e| {
             let _ = std::fs::remove_file(&tmp);

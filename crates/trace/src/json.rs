@@ -67,6 +67,14 @@ impl Json {
         }
     }
 
+    /// The value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a number, when it is one.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

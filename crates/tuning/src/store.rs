@@ -217,8 +217,12 @@ struct PointEntry {
     size: Vec<i64>,
     winner: ConfigScore,
     candidates: Vec<ConfigScore>,
-    /// Warm lookups served since the last full exploration (in-memory
-    /// pacing state for re-exploration; not persisted).
+    /// Warm compiles recorded since the last full exploration — the
+    /// re-exploration pacing counter. Advanced by non-full records (the
+    /// live path and journal replay count each warm compile exactly
+    /// once) and carried in the snapshot, so pacing survives process
+    /// restarts: one-shot `gpgpuc` invocations audit a stored winner
+    /// just like a long-lived `serve` does.
     warm_serves: u64,
     seq: u64,
 }
@@ -235,6 +239,7 @@ impl PointEntry {
                 "cands",
                 Json::Arr(self.candidates.iter().map(ConfigScore::to_json).collect()),
             ),
+            ("ws", Json::count(self.warm_serves)),
             ("seq", Json::count(self.seq)),
         ])
     }
@@ -257,7 +262,9 @@ impl PointEntry {
             size,
             winner,
             candidates,
-            warm_serves: 0,
+            // Snapshots from before the counter was persisted lack `ws`;
+            // starting the audit cycle over is harmless.
+            warm_serves: doc.get("ws").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             seq: doc.get("seq").and_then(Json::as_f64).unwrap_or(0.0) as u64,
         })
     }
@@ -458,7 +465,19 @@ impl Inner {
             self.heal(format!("ignored corrupt snapshot ({why})"));
             return;
         }
-        let dest = self.dir.join(format!("quarantine-{}.json", self.seq));
+        // `self.seq` is still 0 here (the snapshot failed to load), so the
+        // name must come from what is already on disk: probe for the first
+        // unused slot so a second corrupt snapshot never overwrites the
+        // first one's forensic copy.
+        let Some(dest) = (0u32..10_000)
+            .map(|n| self.dir.join(format!("quarantine-{n}.json")))
+            .find(|p| !p.exists())
+        else {
+            self.degrade(format!(
+                "cannot quarantine corrupt snapshot ({why}): no free quarantine slot"
+            ));
+            return;
+        };
         match std::fs::rename(&path, &dest) {
             Ok(()) => self.heal(format!(
                 "quarantined corrupt snapshot ({why}) as {}",
@@ -541,9 +560,12 @@ impl Inner {
             .and_then(Json::as_arr)
             .map(|a| a.iter().filter_map(ConfigScore::from_json).collect())
             .unwrap_or_default();
+        // Records framed before the `full` flag existed are treated as
+        // full-grid results (the only kind that was written back then).
+        let full = doc.get("full").and_then(Json::as_bool).unwrap_or(true);
         self.seq = seq;
         let structure = structure.to_string();
-        self.upsert(&structure, size, winner, candidates, seq);
+        self.upsert(&structure, size, winner, candidates, seq, full);
         self.counters.records += 1;
     }
 
@@ -554,6 +576,7 @@ impl Inner {
         winner: ConfigScore,
         candidates: Vec<ConfigScore>,
         seq: u64,
+        full: bool,
     ) {
         let cap = self.cfg.max_candidates;
         let max_points = self.cfg.max_points;
@@ -562,10 +585,37 @@ impl Inner {
         candidates.sort_by(|a, b| a.time_ms.total_cmp(&b.time_ms));
         candidates.truncate(cap);
         match points.iter_mut().find(|p| p.size == size) {
-            Some(point) => {
+            Some(point) if full => {
                 point.winner = winner;
                 point.candidates = candidates;
                 point.warm_serves = 0;
+                point.seq = seq;
+            }
+            Some(point) => {
+                // A warm-started (narrowed) search typically re-scored only
+                // the stored winner. It must not wipe the full-grid
+                // runner-up list (neighbor lookups seed from it) and must
+                // not reset the pacing counter — otherwise the
+                // lookup/record cycle of every compile would keep
+                // `warm_serves` at zero and re-exploration would never
+                // fire. It *advances* the counter instead: this runs for
+                // live records and for journal replay alike, so each warm
+                // compile is counted exactly once however the table was
+                // rebuilt.
+                point.warm_serves += 1;
+                match point
+                    .candidates
+                    .iter_mut()
+                    .find(|c| c.combo() == winner.combo())
+                {
+                    Some(c) => c.time_ms = winner.time_ms,
+                    None => point.candidates.push(winner.clone()),
+                }
+                point
+                    .candidates
+                    .sort_by(|a, b| a.time_ms.total_cmp(&b.time_ms));
+                point.candidates.truncate(cap);
+                point.winner = winner;
                 point.seq = seq;
             }
             None => {
@@ -803,8 +853,9 @@ impl TuningStore {
         // periodic re-exploration below catches drift — hedging with
         // runners-up here would halve the candidate reduction for free.
         if let Some(point) = points.iter_mut().find(|p| p.size == shape.size) {
-            point.warm_serves += 1;
-            if reexplore_every > 0 && point.warm_serves % reexplore_every == 0 {
+            // `warm_serves` counts warm compiles *recorded* since the last
+            // full exploration; this lookup would be the next one.
+            if reexplore_every > 0 && (point.warm_serves + 1) % reexplore_every == 0 {
                 inner.counters.reexplored += 1;
                 return Lookup::Reexplore;
             }
@@ -878,6 +929,7 @@ impl TuningStore {
             winner.clone(),
             candidates.to_vec(),
             seq,
+            full,
         );
         inner.counters.records += 1;
         let payload = Json::obj([

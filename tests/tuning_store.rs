@@ -283,6 +283,28 @@ fn corrupt_snapshots_are_quarantined_not_trusted() {
     drop(store);
     let store = TuningStore::open(dir.path());
     assert!(matches!(store.lookup(&shape("mm", &[256, 256])), Lookup::Warm(_)));
+
+    // A second corruption must not overwrite the first forensic copy:
+    // each quarantined snapshot gets its own slot.
+    store.compact_now();
+    let mut bytes = std::fs::read(&path).expect("snapshot republished");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    std::fs::write(&path, &bytes).expect("corrupt snapshot again");
+    drop(store);
+    let store = TuningStore::open(dir.path());
+    assert_eq!(store.degraded(), None);
+    let quarantined: Vec<String> = std::fs::read_dir(dir.path().join("v1"))
+        .expect("store dir")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("quarantine-"))
+        .collect();
+    assert_eq!(
+        quarantined.len(),
+        2,
+        "both corrupt snapshots preserved, got {quarantined:?}"
+    );
 }
 
 #[test]
@@ -338,15 +360,25 @@ fn periodic_reexploration_audits_and_demotes_a_stale_winner() {
     let store = TuningStore::open_with(
         dir.path(),
         StoreConfig {
-            reexplore_every: 2,
+            reexplore_every: 3,
             ..StoreConfig::default()
         },
     );
     let mm = shape("mm", &[256, 256]);
+    // Interleave lookup/record exactly the way `compile_optimized` does:
+    // every compile ends with a record, and a warm-started (non-full) one
+    // must not reset the pacing counter — otherwise re-exploration would
+    // never fire in the real compile path.
+    assert_eq!(store.lookup(&mm), Lookup::Miss);
     store.record(&mm, &score(8, 16, 1, 0.143), &[score(8, 16, 1, 0.143)], true);
-
-    assert!(matches!(store.lookup(&mm), Lookup::Warm(_)));
-    assert_eq!(store.lookup(&mm), Lookup::Reexplore, "every 2nd hit audits");
+    for i in 0..2 {
+        assert!(
+            matches!(store.lookup(&mm), Lookup::Warm(_)),
+            "compile {i} warm-starts"
+        );
+        store.record(&mm, &score(8, 16, 1, 0.143), &[score(8, 16, 1, 0.143)], false);
+    }
+    assert_eq!(store.lookup(&mm), Lookup::Reexplore, "every 3rd hit audits");
 
     // The audit's full search found a better config: the stored winner is
     // demoted and the new one seeds future warm starts.
@@ -357,8 +389,96 @@ fn periodic_reexploration_audits_and_demotes_a_stale_winner() {
         Lookup::Warm(warm) => assert_eq!(warm.seeds[0], (16, 8, 1)),
         other => panic!("expected the demoted point to warm-start, got {other:?}"),
     }
-    // A warm-started result matching the stored winner is not a demotion.
+    // A warm-started result matching the stored winner is not a demotion,
+    // and the full record above restarted the audit cycle: counting the
+    // seed check above as the first warm serve, the third lookup after
+    // the demotion audits again.
     assert!(!store.record(&mm, &score(16, 8, 1, 0.121), &[], false));
+    assert!(matches!(store.lookup(&mm), Lookup::Warm(_)));
+    store.record(&mm, &score(16, 8, 1, 0.121), &[], false);
+    assert_eq!(store.lookup(&mm), Lookup::Reexplore, "the cycle repeats");
+    assert_eq!(store.counters().reexplored, 2);
+}
+
+#[test]
+fn reexploration_pacing_survives_process_restarts() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("pacing");
+    let open = || {
+        TuningStore::open_with(
+            dir.path(),
+            StoreConfig {
+                reexplore_every: 4,
+                ..StoreConfig::default()
+            },
+        )
+    };
+    let mm = shape("mm", &[256, 256]);
+    {
+        let store = open();
+        assert_eq!(store.lookup(&mm), Lookup::Miss);
+        store.record(&mm, &score(8, 16, 1, 0.143), &[score(8, 16, 1, 0.143)], true);
+    }
+    // Three one-shot "processes" warm-start; the counter accumulates
+    // across restarts (journal replay counts each non-full record), so
+    // the fourth process audits — one-shot `gpgpuc` invocations pace
+    // re-exploration exactly like a long-lived `serve` would.
+    for i in 0..3 {
+        let store = open();
+        assert!(
+            matches!(store.lookup(&mm), Lookup::Warm(_)),
+            "restart {i} warm-starts"
+        );
+        store.record(&mm, &score(8, 16, 1, 0.144), &[score(8, 16, 1, 0.144)], false);
+        if i == 1 {
+            // A snapshot compaction mid-cycle must carry the counter too.
+            store.compact_now();
+        }
+    }
+    let store = open();
+    assert_eq!(
+        store.lookup(&mm),
+        Lookup::Reexplore,
+        "the 4th warm compile after a full exploration audits, across restarts"
+    );
+}
+
+#[test]
+fn warm_hit_records_preserve_the_full_grid_candidate_list() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("preserve");
+    let store = TuningStore::open(dir.path());
+    let mm = shape("mm", &[256, 256]);
+    store.record(
+        &mm,
+        &score(8, 16, 1, 0.143),
+        &[score(8, 16, 1, 0.143), score(16, 8, 1, 0.151)],
+        true,
+    );
+    // A warm exact hit evaluates only the stored winner; recording that
+    // narrowed result must not wipe the full-grid runner-up list.
+    assert!(matches!(store.lookup(&mm), Lookup::Warm(_)));
+    store.record(&mm, &score(8, 16, 1, 0.145), &[score(8, 16, 1, 0.145)], false);
+
+    let assert_two_seeds = |store: &TuningStore| {
+        match store.lookup(&shape("mm", &[512, 512])) {
+            Lookup::Warm(warm) => {
+                assert!(warm.neighbor);
+                assert_eq!(
+                    warm.seeds,
+                    vec![(8, 16, 1), (16, 8, 1)],
+                    "neighbor lookups still seed the top two full-grid configs"
+                );
+            }
+            other => panic!("expected a neighbor warm start, got {other:?}"),
+        }
+    };
+    assert_two_seeds(&store);
+    // And the preserved list survives journal replay on reopen: the
+    // non-full record in the journal must not clobber it either.
+    drop(store);
+    let store = TuningStore::open(dir.path());
+    assert_two_seeds(&store);
 }
 
 /// The differential property the whole design hangs on: under EVERY
