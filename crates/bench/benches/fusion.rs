@@ -1,0 +1,169 @@
+//! Kernel-fusion benchmark: BLAS-style producer→consumer pipelines
+//! compiled as two separate kernels and as one fused kernel, under both
+//! cost models.
+//!
+//! This is the paper's motivating arithmetic for fusion (cf. Filipovič et
+//! al. on fusing BLAS sequences): the intermediate array round-trips
+//! through global memory in the unfused sequence, so the fused kernel
+//! removes one full store+load of the intermediate per element. The run
+//! reports the planner's predicted saving, then re-measures global
+//! traffic on the *optimized* launch sequences of both forms, and batches
+//! the same pairs through the service engine's `fuse` path so the fusion
+//! counters land in the embedded stats snapshot. Acceptance: every fused
+//! pipeline moves strictly fewer global bytes than its unfused sequence.
+//! Everything is written to `BENCH_fusion.json`.
+
+use gpgpu_bench::harness::banner;
+use gpgpu_core::{compile, CompileOptions, Json};
+use gpgpu_fusion::compile_fused;
+use gpgpu_service::{Engine, ServiceConfig};
+use gpgpu_sim::{CostModelKind, MachineDesc};
+
+struct Pair {
+    name: &'static str,
+    producer: &'static str,
+    consumer: &'static str,
+    bindings: &'static [(&'static str, i64)],
+}
+
+/// `c = 2a + b` split as scale-then-add (identity dataflow, register
+/// forwarding) and a square-then-3-point-blur stencil (windowed dataflow,
+/// inline recomputation). The blur's arrays carry the 16-element staging
+/// apron the coalescing pass tiles by.
+const PAIRS: &[Pair] = &[
+    Pair {
+        name: "scale+add",
+        producer: "__global__ void scale(float a[n], float t[n], int n) { \
+                   t[idx] = a[idx] * 2.0f; }",
+        consumer: "__global__ void add(float t[n], float b[n], float c[n], int n) { \
+                   c[idx] = t[idx] + b[idx]; }",
+        bindings: &[("n", 1 << 20)],
+    },
+    Pair {
+        name: "sq+blur",
+        producer: "__global__ void sq(float a[m], float t[m], int m) { \
+                   t[idx] = a[idx] * a[idx]; }",
+        consumer: "__global__ void blur(float t[m], float c[n], int m, int n) { \
+                   c[idx] = (t[idx] + t[idx + 1] + t[idx + 2]) / 3.0f; }",
+        bindings: &[("n", 1 << 20), ("m", (1 << 20) + 16)],
+    },
+];
+
+fn global_bytes(compiled: &gpgpu_core::CompiledKernel) -> u64 {
+    compiled.per_launch.iter().map(|e| e.stats.global_bytes).sum()
+}
+
+fn main() {
+    banner(
+        "fusion",
+        "fused vs sequential BLAS-style pipelines under both cost models",
+    );
+    let mut rows = Vec::new();
+    for model in CostModelKind::ALL {
+        println!(
+            "\n[{model:?}]\n{:<10} {:>8} {:>14} {:>14} {:>9} {:>12}",
+            "pair", "mode", "unfused bytes", "fused bytes", "traffic", "time"
+        );
+        for pair in PAIRS {
+            let opts_for = |source: &str| {
+                let mut opts = CompileOptions::new(MachineDesc::gtx280())
+                    .with_cost_model(model)
+                    .with_source(source);
+                for (name, value) in pair.bindings {
+                    opts = opts.bind(name, *value);
+                }
+                opts
+            };
+            let producer =
+                gpgpu_ast::parse_kernel(pair.producer).expect("producer parses");
+            let consumer =
+                gpgpu_ast::parse_kernel(pair.consumer).expect("consumer parses");
+            let combined = format!("{}\n\n{}", pair.producer, pair.consumer);
+
+            let fused = compile_fused(&producer, &consumer, &opts_for(&combined))
+                .unwrap_or_else(|e| panic!("{}: {e}", pair.name));
+            let p = compile(&producer, &opts_for(pair.producer))
+                .expect("producer compiles alone");
+            let c = compile(&consumer, &opts_for(pair.consumer))
+                .expect("consumer compiles alone");
+
+            let unfused_bytes = global_bytes(&p) + global_bytes(&c);
+            let fused_bytes = global_bytes(&fused.compiled);
+            let unfused_ms = p.total_time_ms() + c.total_time_ms();
+            let fused_ms = fused.compiled.total_time_ms();
+            let traffic = unfused_bytes as f64 / fused_bytes.max(1) as f64;
+            println!(
+                "{:<10} {:>8} {:>14} {:>14} {:>8.2}x {:>5.3}->{:.3} ms",
+                pair.name,
+                fused.mode.as_str(),
+                unfused_bytes,
+                fused_bytes,
+                traffic,
+                unfused_ms,
+                fused_ms,
+            );
+            assert!(
+                fused_bytes < unfused_bytes,
+                "{}: fusion must reduce global traffic ({} -> {})",
+                pair.name,
+                unfused_bytes,
+                fused_bytes
+            );
+            rows.push(Json::obj(vec![
+                ("pair", Json::str(pair.name)),
+                ("cost_model", Json::str(format!("{model:?}"))),
+                ("mode", Json::str(fused.mode.as_str())),
+                ("intermediate", Json::str(&fused.intermediate)),
+                ("unfused_global_bytes", Json::count(unfused_bytes)),
+                ("fused_global_bytes", Json::count(fused_bytes)),
+                ("planner_bytes_saved", Json::count(fused.bytes_saved)),
+                ("traffic_reduction", Json::num(traffic)),
+                ("unfused_time_ms", Json::num(unfused_ms)),
+                ("fused_time_ms", Json::num(fused_ms)),
+                (
+                    "planner_members_time_ms",
+                    Json::num(fused.members_time_ms),
+                ),
+                ("planner_fused_time_ms", Json::num(fused.fused_time_ms)),
+            ]));
+        }
+    }
+
+    // The same pairs through the service `fuse` path, so the snapshot's
+    // embedded stats carry the fusion counters a dashboard would scrape.
+    let engine = Engine::new(ServiceConfig::default()).expect("engine builds");
+    for (i, pair) in PAIRS.iter().enumerate() {
+        let bindings = Json::obj(
+            pair.bindings
+                .iter()
+                .map(|(name, value)| (*name, Json::num(*value as f64))),
+        );
+        let line = format!(
+            r#"{{"id": "{}", "fuse": [{{"source": {}}}, {{"source": {}}}], "bindings": {}}}"#,
+            pair.name,
+            Json::str(pair.producer).compact(),
+            Json::str(pair.consumer).compact(),
+            bindings.compact(),
+        );
+        let resp = engine.handle_line(&line, i);
+        assert!(resp.ok(), "{}: {:?}", pair.name, resp.error);
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str(gpgpu_core::trace::SCHEMA)),
+        ("figure", Json::str("fusion")),
+        (
+            "description",
+            Json::str(
+                "global traffic and predicted time of fused vs sequential \
+                 producer->consumer pipelines, per cost model",
+            ),
+        ),
+        ("pairs", Json::Arr(rows)),
+        ("stats", engine.stats_json()),
+    ]);
+    match std::fs::write("BENCH_fusion.json", doc.pretty()) {
+        Ok(()) => println!("\nwrote BENCH_fusion.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_fusion.json: {e}"),
+    }
+}

@@ -38,7 +38,7 @@ use gpgpu_trace::Json;
 /// entry and mixed into every fingerprint: changing the artifact schema or
 /// the fingerprint definition bumps this and orphans (invalidates) all
 /// previously stored entries.
-pub const CACHE_SCHEMA: &str = "gpgpu-cache/v2";
+pub const CACHE_SCHEMA: &str = "gpgpu-cache/v3";
 
 /// 64-bit FNV-1a.
 fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
@@ -101,12 +101,64 @@ impl CompileOptions {
             fp.field(&value.to_le_bytes());
         }
         let s = self.stages;
-        let stage_bits = [s.vectorize, s.coalesce, s.merge, s.prefetch, s.partition]
-            .map(|b| if b { b'1' } else { b'0' });
+        let stage_bits = [
+            s.vectorize,
+            s.coalesce,
+            s.merge,
+            s.prefetch,
+            s.partition,
+            s.fusion,
+        ]
+        .map(|b| if b { b'1' } else { b'0' });
         fp.field(&stage_bits);
         fp.field(&self.verify_seed.to_le_bytes());
         fp.field(self.cost_model.as_str().as_bytes());
         fp.hex()
+    }
+
+    /// The cache key for compiling the fused form of an ordered
+    /// producer→consumer group under these options: the schema tag, a
+    /// `fuse` marker, and the ordered member fingerprints (each of which
+    /// already covers the normalized member source, machine, bindings,
+    /// stage set — including the fusion gate — seed, and cost model).
+    ///
+    /// Order matters: fusing `a` into `b` is not fusing `b` into `a`.
+    pub fn fused_fingerprint(&self, producer: &Kernel, consumer: &Kernel) -> String {
+        let mut fp = Fingerprint::new();
+        fp.field(CACHE_SCHEMA.as_bytes());
+        fp.field(b"fuse");
+        fp.field(self.fingerprint(producer).as_bytes());
+        fp.field(self.fingerprint(consumer).as_bytes());
+        fp.hex()
+    }
+}
+
+/// How a fused artifact came to be: which members were merged, how the
+/// intermediate was forwarded, and what the cost model said it saved.
+/// `None` on ordinary single-kernel artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionMeta {
+    /// Forwarding mode (`register` or `inline`).
+    pub mode: String,
+    /// Ordered member kernel names (producer first).
+    pub members: Vec<String>,
+    /// The intermediate array eliminated by the fusion.
+    pub intermediate: String,
+    /// Global-memory bytes the cost model says the fusion saved.
+    pub bytes_saved: f64,
+}
+
+impl FusionMeta {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::str(&self.mode)),
+            (
+                "members",
+                Json::Arr(self.members.iter().map(Json::str).collect()),
+            ),
+            ("intermediate", Json::str(&self.intermediate)),
+            ("bytes_saved", Json::num(self.bytes_saved)),
+        ])
     }
 }
 
@@ -163,6 +215,9 @@ pub struct CachedArtifact {
     /// Degradation record (`(slug, detail)`) when the pipeline fell back to
     /// the verified naive kernel.
     pub degraded: Option<(String, String)>,
+    /// Fusion provenance, when this artifact is a fused group (or a
+    /// fallback compiled from one); `None` for single-kernel artifacts.
+    pub fusion: Option<FusionMeta>,
 }
 
 impl CompiledKernel {
@@ -204,6 +259,7 @@ impl CompiledKernel {
                 .degraded
                 .as_ref()
                 .map(|r| (r.slug().to_string(), r.detail().to_string())),
+            fusion: None,
         }
     }
 }
@@ -265,6 +321,13 @@ impl CachedArtifact {
                         ("reason", Json::str(slug)),
                         ("detail", Json::str(detail)),
                     ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "fusion",
+                match &self.fusion {
+                    Some(meta) => meta.to_json(),
                     None => Json::Null,
                 },
             ),
@@ -334,6 +397,22 @@ impl CachedArtifact {
             None | Some(Json::Null) => None,
             Some(d) => Some((str_field(d, "reason")?, str_field(d, "detail")?)),
         };
+        let fusion = match doc.get("fusion") {
+            None | Some(Json::Null) => None,
+            Some(m) => Some(FusionMeta {
+                mode: str_field(m, "mode")?,
+                members: m
+                    .get("members")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing fusion `members` array")?
+                    .iter()
+                    .map(|v| v.as_str().map(str::to_string))
+                    .collect::<Option<Vec<String>>>()
+                    .ok_or("non-string fusion member")?,
+                intermediate: str_field(m, "intermediate")?,
+                bytes_saved: num_field(m, "bytes_saved")?,
+            }),
+        };
         Ok(CachedArtifact {
             fingerprint: str_field(doc, "fingerprint")?,
             kernel_name: str_field(doc, "kernel")?,
@@ -343,6 +422,7 @@ impl CachedArtifact {
             gflops: num_field(doc, "gflops")?,
             bandwidth_gbps: num_field(doc, "bandwidth_gbps")?,
             degraded,
+            fusion,
         })
     }
 }
@@ -402,10 +482,12 @@ mod tests {
 
     #[test]
     fn cost_model_invalidates_cached_fingerprints() {
-        // The v1 fingerprint predates cost-model selection; the v2 schema
-        // bump must orphan every v1 entry, and the two models must never
-        // share an entry (they can rank candidates differently).
-        assert_eq!(CACHE_SCHEMA, "gpgpu-cache/v2");
+        // The v1 fingerprint predates cost-model selection and the v2 one
+        // predates fusion (the `fusion` stage bit, fused fingerprints, and
+        // the artifact's fusion metadata); each schema bump must orphan
+        // every prior entry, and the two cost models must never share an
+        // entry (they can rank candidates differently).
+        assert_eq!(CACHE_SCHEMA, "gpgpu-cache/v3");
         let k = parse_kernel(MV).unwrap();
         let analytic = opts()
             .with_cost_model(gpgpu_sim::CostModelKind::Analytic)
@@ -447,6 +529,59 @@ mod tests {
     }
 
     #[test]
+    fn fused_fingerprints_are_distinct_and_order_sensitive() {
+        let a = parse_kernel(
+            "__global__ void sc(float x[n], float t[n], int n) { t[idx] = x[idx] * 2.0f; }",
+        )
+        .unwrap();
+        let b = parse_kernel(
+            "__global__ void ad(float t[n], float y[n], float z[n], int n) { z[idx] = t[idx] + y[idx]; }",
+        )
+        .unwrap();
+        let o = opts();
+        let ab = o.fused_fingerprint(&a, &b);
+        let ba = o.fused_fingerprint(&b, &a);
+        assert_eq!(ab.len(), 32);
+        assert_ne!(ab, ba, "fusion order is part of the key");
+        assert_ne!(ab, o.fingerprint(&a));
+        assert_ne!(ab, o.fingerprint(&b));
+        // Any keyed member option shifts the fused key too.
+        let other = opts().with_verify_seed(7).fused_fingerprint(&a, &b);
+        assert_ne!(ab, other);
+    }
+
+    #[test]
+    fn fusion_metadata_round_trips_and_defaults_to_none() {
+        let art = CachedArtifact {
+            fingerprint: "0".repeat(32),
+            kernel_name: "fused_sc_ad".into(),
+            source: String::new(),
+            launches: Vec::new(),
+            time_ms: 1.0,
+            gflops: 2.0,
+            bandwidth_gbps: 3.0,
+            degraded: None,
+            fusion: Some(FusionMeta {
+                mode: "register".into(),
+                members: vec!["sc".into(), "ad".into()],
+                intermediate: "t".into(),
+                bytes_saved: 8192.0,
+            }),
+        };
+        let back = CachedArtifact::from_json(&art.to_json()).unwrap();
+        assert_eq!(back, art);
+        let mut doc = art.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "fusion" {
+                    *v = Json::Null;
+                }
+            }
+        }
+        assert_eq!(CachedArtifact::from_json(&doc).unwrap().fusion, None);
+    }
+
+    #[test]
     fn wrong_schema_is_rejected() {
         let mut doc = CachedArtifact {
             fingerprint: "0".repeat(32),
@@ -457,6 +592,7 @@ mod tests {
             gflops: 0.0,
             bandwidth_gbps: 0.0,
             degraded: None,
+            fusion: None,
         }
         .to_json();
         if let Json::Obj(pairs) = &mut doc {

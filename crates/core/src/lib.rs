@@ -46,7 +46,7 @@ pub mod pass_manager;
 pub mod pipeline;
 pub mod verify;
 
-pub use cache::{BufferArtifact, CachedArtifact, LaunchArtifact, CACHE_SCHEMA};
+pub use cache::{BufferArtifact, CachedArtifact, FusionMeta, LaunchArtifact, CACHE_SCHEMA};
 pub use cu::emit_cu;
 pub use domain::{infer_domain, Domain};
 pub use error::{panic_message, CompilerError, DegradedReason, ErrorKind, FaultReason, Stage};

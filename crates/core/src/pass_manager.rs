@@ -151,8 +151,18 @@ pub struct PassInfo {
 /// The full pass registry in pipeline order. Exploration instantiates the
 /// merge passes per candidate with concrete factors; the entries here are
 /// representatives carrying the stable metadata.
+///
+/// The fusion pass lives in `gpgpu-fusion`, which depends on this crate —
+/// its registry entry is therefore a hand-written literal (kept in sync by
+/// `gpgpu-fusion`'s `registry_entry_matches_the_pass` test) rather than a
+/// `Pass` instance.
 pub fn registered_passes() -> Vec<PassInfo> {
     let camping_geometry = gpgpu_analysis::PartitionGeometry::gtx280();
+    let fusion = PassInfo {
+        name: "fusion",
+        paper_section: "related work: Filipovič et al., kernel fusion (BLAS)",
+        stage: "fusion",
+    };
     let passes: [&dyn Pass; 8] = [
         &VectorizePass,
         &AmdVectorizePass,
@@ -172,13 +182,12 @@ pub fn registered_passes() -> Vec<PassInfo> {
             grid_2d: false,
         },
     ];
-    passes
-        .iter()
-        .map(|p| PassInfo {
+    std::iter::once(fusion)
+        .chain(passes.iter().map(|p| PassInfo {
             name: p.name(),
             paper_section: p.paper_section(),
             stage: p.stage(),
-        })
+        }))
         .collect()
 }
 
@@ -312,6 +321,11 @@ mod tests {
         }
         let mut registered = Vec::new();
         for p in registered_passes() {
+            // Fusion precedes the single-kernel pipeline and is not a
+            // dissection step (it needs a multi-kernel group to act on).
+            if p.stage == "fusion" {
+                continue;
+            }
             if registered.last() != Some(&p.stage) {
                 registered.push(p.stage);
             }
@@ -322,11 +336,12 @@ mod tests {
     #[test]
     fn registry_covers_all_stages_in_pipeline_order() {
         let passes = registered_passes();
-        assert_eq!(passes.len(), 8);
+        assert_eq!(passes.len(), 9);
         let stages: Vec<&str> = passes.iter().map(|p| p.stage).collect();
         assert_eq!(
             stages,
             [
+                "fusion",
                 "vectorize",
                 "vectorize",
                 "coalesce",
@@ -341,6 +356,7 @@ mod tests {
         assert_eq!(
             names,
             [
+                "fusion",
                 "vectorize",
                 "vectorize-amd",
                 "coalesce",

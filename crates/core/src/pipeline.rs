@@ -21,6 +21,10 @@ use std::sync::Arc;
 /// cumulatively.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageSet {
+    /// Producer→consumer kernel fusion (`gpgpu-fusion`; related work:
+    /// Filipovič et al., kernel fusion for BLAS). Runs before the
+    /// single-kernel pipeline, on multi-kernel (`fuse`) requests only.
+    pub fusion: bool,
     /// §3.1 vectorization.
     pub vectorize: bool,
     /// §3.3 coalescing conversion.
@@ -37,6 +41,7 @@ impl StageSet {
     /// Every stage enabled (the normal compiler).
     pub fn all() -> StageSet {
         StageSet {
+            fusion: true,
             vectorize: true,
             coalesce: true,
             merge: true,
@@ -48,6 +53,7 @@ impl StageSet {
     /// No stages: the naive kernel as-is.
     pub fn none() -> StageSet {
         StageSet {
+            fusion: false,
             vectorize: false,
             coalesce: false,
             merge: false,
@@ -63,6 +69,7 @@ impl StageSet {
     /// catches.
     pub fn enabled(&self, stage: &str) -> bool {
         match stage {
+            "fusion" => self.fusion,
             "vectorize" => self.vectorize,
             "coalesce" => self.coalesce,
             "merge" => self.merge,
@@ -81,10 +88,13 @@ impl StageSet {
             | (self.merge as u8) << 2
             | (self.prefetch as u8) << 3
             | (self.partition as u8) << 4
+            | (self.fusion as u8) << 5
     }
 
     /// The cumulative prefixes used by the Figure 12 dissection, in order:
-    /// naive, +vectorize, +coalesce, +merge, +prefetch, +partition.
+    /// naive, +vectorize, +coalesce, +merge, +prefetch, +partition. Fusion
+    /// is not a dissection step: it applies to multi-kernel groups, which
+    /// the single-kernel Figure 12 experiment never forms.
     pub fn dissection() -> [(&'static str, StageSet); 6] {
         let mut sets = [
             ("naive", StageSet::none()),

@@ -1,0 +1,279 @@
+//! The fusion driver: plan, rewrite under the pass manager, compile the
+//! fused kernel through the full single-kernel pipeline, and verify it
+//! element-for-element against the sequential round-trip reference.
+
+use crate::plan::{plan_fusion, FusionMode, RejectReason};
+use crate::transform::FusionPass;
+use gpgpu_ast::Kernel;
+use gpgpu_core::{
+    compile, verify_equivalence, verify_equivalence_sanitized, CompileError, CompileOptions,
+    CompiledKernel, PassManager, VerifyError,
+};
+use gpgpu_trace::{TraceEvent, TraceSink};
+use gpgpu_transform::PipelineState;
+use std::fmt;
+
+/// Why a fused compilation could not be delivered.
+///
+/// Only [`FusionError::Rejected`] is the planner's routine "do not fuse
+/// this pair" answer; callers degrade it to separate compiles. The other
+/// two mean the fused kernel was attempted and failed — callers should
+/// degrade the same way, but the distinction matters for reporting (a
+/// verification failure is a compiler bug worth surfacing loudly).
+#[derive(Debug)]
+pub enum FusionError {
+    /// The planner refused the pair (legality or profitability).
+    Rejected(RejectReason),
+    /// The fused kernel itself failed to compile.
+    Compile(CompileError),
+    /// The fused kernel compiled but differed from the sequential
+    /// round-trip reference under the differential oracle.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::Rejected(r) => write!(f, "fusion rejected: {r}"),
+            FusionError::Compile(e) => write!(f, "fused kernel failed to compile: {e}"),
+            FusionError::Verify(e) => write!(f, "fused kernel failed differential check: {e}"),
+        }
+    }
+}
+
+impl FusionError {
+    /// The structured rejection slug for trace events: the planner's
+    /// [`RejectReason::slug`], or a fixed slug for downstream failures.
+    pub fn slug(&self) -> String {
+        match self {
+            FusionError::Rejected(r) => r.slug().to_string(),
+            FusionError::Compile(_) => "compile-failed".to_string(),
+            FusionError::Verify(_) => "verify-failed".to_string(),
+        }
+    }
+
+    /// Human-readable detail for trace events and reports.
+    pub fn detail(&self) -> String {
+        match self {
+            FusionError::Rejected(r) => r.detail(),
+            FusionError::Compile(e) => e.to_string(),
+            FusionError::Verify(e) => e.to_string(),
+        }
+    }
+}
+
+/// A fused compilation that passed the differential oracle.
+#[derive(Debug)]
+pub struct FusedCompile {
+    /// The compiled fused kernel, pipeline trace prefixed with the fusion
+    /// pass's events and the `fusion` rationale event.
+    pub compiled: CompiledKernel,
+    /// The sequential round-trip reference the result was verified
+    /// against (members spliced around a grid-wide barrier). Kept so
+    /// callers can re-verify — e.g. the service's sanitized spot checks.
+    pub reference: Kernel,
+    /// Producer kernel name.
+    pub producer: String,
+    /// Consumer kernel name.
+    pub consumer: String,
+    /// Fused kernel name.
+    pub kernel: String,
+    /// How the intermediate was forwarded.
+    pub mode: FusionMode,
+    /// The intermediate array eliminated by fusion.
+    pub intermediate: String,
+    /// Estimated global-memory bytes saved versus separate compiles.
+    pub bytes_saved: u64,
+    /// Estimated time of the two members compiled separately (ms).
+    pub members_time_ms: f64,
+    /// Estimated time of the fused kernel (ms).
+    pub fused_time_ms: f64,
+}
+
+fn run_fused(
+    producer: &Kernel,
+    consumer: &Kernel,
+    opts: &CompileOptions,
+    sanitized: bool,
+) -> Result<FusedCompile, FusionError> {
+    if !opts.stages.fusion {
+        return Err(FusionError::Rejected(RejectReason::StageDisabled));
+    }
+    let plan = plan_fusion(producer, consumer, opts).map_err(FusionError::Rejected)?;
+
+    // The rewrite from round-trip form to fused form runs as a normal
+    // pass under the manager, so it is stage-gated, timed, and traced
+    // like the rest of the pipeline.
+    let mut state = PipelineState::new(plan.reference.clone(), opts.bindings.clone());
+    let mut manager = PassManager::new(opts.stages);
+    let mut pass = FusionPass {
+        fused: plan.fused.clone(),
+    };
+    manager
+        .run(&mut state, &mut pass)
+        .map_err(|e| FusionError::Compile(CompileError::Internal(e.to_string())))?;
+
+    let mut compiled = compile(&plan.fused, opts).map_err(FusionError::Compile)?;
+
+    // Prefix the pipeline's trace with the fusion story: the pass event
+    // the manager recorded, then the rationale.
+    let mut trace = state.trace;
+    trace.emit(TraceEvent::Fusion {
+        producer: producer.name.clone(),
+        consumer: consumer.name.clone(),
+        kernel: plan.fused.name.clone(),
+        mode: plan.mode.as_str().to_string(),
+        intermediate: plan.intermediate.clone(),
+        bytes_saved: plan.bytes_saved,
+        members_time_ms: plan.members_time_ms,
+        fused_time_ms: plan.fused_time_ms,
+    });
+    trace.extend(std::mem::replace(&mut compiled.trace, TraceSink::new()).into_events());
+    compiled.trace = trace;
+
+    // The differential oracle: the round-trip reference runs the two
+    // member bodies sequentially (split by a grid-wide barrier), so
+    // verifying against it is exactly "fused == sequential unfused".
+    let check = if sanitized {
+        verify_equivalence_sanitized(&plan.reference, &compiled, opts)
+    } else {
+        verify_equivalence(&plan.reference, &compiled, opts)
+    };
+    check.map_err(FusionError::Verify)?;
+
+    Ok(FusedCompile {
+        compiled,
+        reference: plan.reference,
+        producer: producer.name.clone(),
+        consumer: consumer.name.clone(),
+        kernel: plan.fused.name.clone(),
+        mode: plan.mode,
+        intermediate: plan.intermediate,
+        bytes_saved: plan.bytes_saved,
+        members_time_ms: plan.members_time_ms,
+        fused_time_ms: plan.fused_time_ms,
+    })
+}
+
+/// Plans, compiles, and differentially verifies the fusion of
+/// `producer` into `consumer`.
+///
+/// On success the fused kernel has been checked element-for-element
+/// against the sequential unfused execution. On [`FusionError`] the
+/// caller should compile the members separately — a rejection is a
+/// routine planner answer, never a hard failure.
+///
+/// # Errors
+///
+/// See [`FusionError`].
+pub fn compile_fused(
+    producer: &Kernel,
+    consumer: &Kernel,
+    opts: &CompileOptions,
+) -> Result<FusedCompile, FusionError> {
+    run_fused(producer, consumer, opts, false)
+}
+
+/// [`compile_fused`] with the memory sanitizer enabled during the
+/// differential check (races on staged shared memory, out-of-bounds
+/// accesses, uninitialised reads).
+///
+/// # Errors
+///
+/// See [`FusionError`].
+pub fn compile_fused_sanitized(
+    producer: &Kernel,
+    consumer: &Kernel,
+    opts: &CompileOptions,
+) -> Result<FusedCompile, FusionError> {
+    run_fused(producer, consumer, opts, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_ast::parse_kernel;
+    use gpgpu_core::StageSet;
+    use gpgpu_sim::MachineDesc;
+
+    const SCALE: &str = r#"
+        __global__ void scale(float a[n], float t[n], int n) {
+            t[idx] = a[idx] * 2.0f;
+        }
+    "#;
+
+    const ADD: &str = r#"
+        __global__ void add(float t[n], float b[n], float c[n], int n) {
+            c[idx] = t[idx] + b[idx];
+        }
+    "#;
+
+    fn opts() -> CompileOptions {
+        CompileOptions::new(MachineDesc::gtx280()).bind("n", 4096)
+    }
+
+    #[test]
+    fn register_fusion_compiles_and_verifies() {
+        let p = parse_kernel(SCALE).unwrap();
+        let c = parse_kernel(ADD).unwrap();
+        let fused = compile_fused(&p, &c, &opts()).unwrap();
+        assert_eq!(fused.mode, FusionMode::Register);
+        assert_eq!(fused.intermediate, "t");
+        assert_eq!(fused.kernel, "fused_scale_add");
+        assert!(
+            fused.bytes_saved > 0,
+            "eliminating the round-trip must save global traffic"
+        );
+        // The intermediate is gone from the fused parameter list…
+        let launch = &fused.compiled.launches[0];
+        assert!(launch.kernel.param("t").is_none(), "{}", fused.compiled.source);
+        // …but the round-trip reference still carries it.
+        assert!(fused.reference.param("t").is_some());
+        // The trace leads with the fusion story before the pipeline's.
+        let kinds: Vec<&str> = fused.compiled.trace.events().iter().map(|e| e.kind()).collect();
+        let fusion_at = kinds.iter().position(|k| *k == "fusion").unwrap();
+        let coalesce_at = kinds.iter().position(|k| *k == "pass").unwrap_or(usize::MAX);
+        assert!(fusion_at < coalesce_at || coalesce_at == usize::MAX, "{kinds:?}");
+    }
+
+    #[test]
+    fn inline_window_fusion_compiles_and_verifies() {
+        let p = parse_kernel(
+            "__global__ void sq(float a[m], float t[m], int m) {
+                t[idx] = a[idx] * a[idx];
+            }",
+        )
+        .unwrap();
+        let c = parse_kernel(
+            "__global__ void blur(float t[m], float c[n], int n, int m) {
+                c[idx] = (t[idx] + t[idx + 1] + t[idx + 2]) / 3.0f;
+            }",
+        )
+        .unwrap();
+        let opts = CompileOptions::new(MachineDesc::gtx280())
+            .bind("n", 2048)
+            .bind("m", 2050);
+        let fused = compile_fused(&p, &c, &opts).unwrap();
+        assert_eq!(fused.mode, FusionMode::Inline);
+        assert!(fused.compiled.launches[0].kernel.param("t").is_none());
+    }
+
+    #[test]
+    fn sanitized_fused_compile_passes_clean() {
+        let p = parse_kernel(SCALE).unwrap();
+        let c = parse_kernel(ADD).unwrap();
+        compile_fused_sanitized(&p, &c, &opts()).unwrap();
+    }
+
+    #[test]
+    fn disabled_stage_rejects_with_structured_slug() {
+        let p = parse_kernel(SCALE).unwrap();
+        let c = parse_kernel(ADD).unwrap();
+        let err = compile_fused(&p, &c, &opts().with_stages(StageSet::none())).unwrap_err();
+        assert_eq!(err.slug(), "stage-disabled");
+        assert!(matches!(
+            err,
+            FusionError::Rejected(RejectReason::StageDisabled)
+        ));
+    }
+}

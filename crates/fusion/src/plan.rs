@@ -1,0 +1,619 @@
+//! Fusion legality and profitability analysis.
+
+use crate::transform::{fused_kernel, round_trip_kernel};
+use gpgpu_analysis::estimate_resources;
+use gpgpu_ast::{Builtin, Expr, Kernel, LValue, Stmt};
+use gpgpu_core::{infer_domain, naive_compiled, CompileOptions, Domain};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How the intermediate is forwarded from producer to consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionMode {
+    /// Identical element mapping: the producer's `t[idx]` value stays in a
+    /// thread-local register and the consumer reads it there.
+    Register,
+    /// Constant-offset window mapping: each consumer read `t[idx + k]` is
+    /// replaced by the producer's (straight-line) defining expression,
+    /// recomputed at that offset.
+    Inline,
+}
+
+impl FusionMode {
+    /// Stable name (`register` or `inline`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FusionMode::Register => "register",
+            FusionMode::Inline => "inline",
+        }
+    }
+}
+
+/// Why a fusion group was refused. Every variant degrades gracefully: the
+/// members compile separately, and the slug/detail pair feeds the
+/// `fusion-rejected` trace event, the `--report` block, and the service
+/// metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// The fusion stage is gated off (`--no-fusion`).
+    StageDisabled,
+    /// No producer output array is read by the consumer.
+    NoDataflow,
+    /// The intermediate has consumers (or producers) beyond the simple
+    /// producer-writes / consumer-reads dataflow — fusing would change
+    /// what some other reader observes.
+    MultiConsumer(String),
+    /// The members' iteration domains do not line up for the mapping.
+    DomainMismatch(String),
+    /// The element mapping between producer writes and consumer reads is
+    /// outside the supported (identity / constant-offset) forms.
+    UnsupportedMapping(String),
+    /// A member uses `__gsync()` — grid-wide phases cannot be fused.
+    GlobalSync,
+    /// The fused kernel exceeds per-thread register or per-block shared
+    /// memory limits of the target.
+    ResourceOverflow(String),
+    /// Legal, but the cost model predicts the fused kernel is slower than
+    /// the member sequence.
+    Unprofitable {
+        /// Estimated member-sequence time, milliseconds.
+        members_time_ms: f64,
+        /// Estimated fused time, milliseconds.
+        fused_time_ms: f64,
+    },
+    /// The cost model could not estimate a member or the fused kernel.
+    CostModel(String),
+}
+
+impl RejectReason {
+    /// Stable slug for metrics and trace events.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            RejectReason::StageDisabled => "stage-disabled",
+            RejectReason::NoDataflow => "no-dataflow",
+            RejectReason::MultiConsumer(_) => "multi-consumer",
+            RejectReason::DomainMismatch(_) => "domain-mismatch",
+            RejectReason::UnsupportedMapping(_) => "unsupported-mapping",
+            RejectReason::GlobalSync => "gsync-unsupported",
+            RejectReason::ResourceOverflow(_) => "resource-overflow",
+            RejectReason::Unprofitable { .. } => "unprofitable",
+            RejectReason::CostModel(_) => "cost-model-error",
+        }
+    }
+
+    /// Human-readable specifics.
+    pub fn detail(&self) -> String {
+        match self {
+            RejectReason::StageDisabled => "the fusion stage is disabled".into(),
+            RejectReason::NoDataflow => {
+                "no producer output array is read by the consumer".into()
+            }
+            RejectReason::MultiConsumer(d)
+            | RejectReason::DomainMismatch(d)
+            | RejectReason::UnsupportedMapping(d)
+            | RejectReason::ResourceOverflow(d)
+            | RejectReason::CostModel(d) => d.clone(),
+            RejectReason::GlobalSync => {
+                "a member uses __gsync(); grid-wide phases cannot be fused".into()
+            }
+            RejectReason::Unprofitable {
+                members_time_ms,
+                fused_time_ms,
+            } => format!(
+                "fused naive estimate {fused_time_ms:.4} ms is not faster than the \
+                 member sequence {members_time_ms:.4} ms"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.slug(), self.detail())
+    }
+}
+
+/// A proven-legal, predicted-profitable fusion of one producer→consumer
+/// pair, carrying both kernels the transform and the oracle need.
+#[derive(Debug, Clone)]
+pub struct FusionPlan {
+    /// Forwarding mode.
+    pub mode: FusionMode,
+    /// The eliminated intermediate array.
+    pub intermediate: String,
+    /// The fused kernel (naive form; [`crate::compile_fused`] sends it
+    /// through the full pipeline).
+    pub fused: Kernel,
+    /// The round-trip reference: producer body, grid-wide barrier, then the
+    /// (domain-guarded) consumer body, with the intermediate still a real
+    /// array parameter. Observationally the sequential unfused execution —
+    /// the differential oracle compares the fused result against it.
+    pub reference: Kernel,
+    /// The fused launch domain.
+    pub domain: Domain,
+    /// Global-memory bytes the cost model says the fusion saves (member
+    /// traffic minus fused traffic, clamped at zero).
+    pub bytes_saved: u64,
+    /// Estimated naive member-sequence time, milliseconds.
+    pub members_time_ms: f64,
+    /// Estimated naive fused time, milliseconds.
+    pub fused_time_ms: f64,
+}
+
+/// Arrays read anywhere in `body` (array names appearing in r-value
+/// `Index` expressions, including index subexpressions of writes).
+fn read_arrays(body: &[Stmt], out: &mut BTreeSet<String>) {
+    fn scan(e: &Expr, out: &mut BTreeSet<String>) {
+        e.walk(&mut |sub| {
+            if let Expr::Index { array, .. } = sub {
+                out.insert(array.clone());
+            }
+        });
+    }
+    for stmt in body {
+        match stmt {
+            Stmt::DeclScalar { init, .. } => {
+                if let Some(e) = init {
+                    scan(e, out);
+                }
+            }
+            Stmt::DeclShared { .. } | Stmt::SyncThreads | Stmt::GlobalSync => {}
+            Stmt::Assign { lhs, rhs } => {
+                scan(rhs, out);
+                if let LValue::Index { indices, .. } = lhs {
+                    for i in indices {
+                        scan(i, out);
+                    }
+                }
+            }
+            Stmt::For(fl) => {
+                scan(&fl.init, out);
+                scan(&fl.bound, out);
+                read_arrays(&fl.body, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                scan(cond, out);
+                read_arrays(then_body, out);
+                read_arrays(else_body, out);
+            }
+            Stmt::CallStmt(_, args) => {
+                for a in args {
+                    scan(a, out);
+                }
+            }
+        }
+    }
+}
+
+/// Arrays written anywhere in `body`.
+fn written_arrays(body: &[Stmt], out: &mut BTreeSet<String>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign {
+                lhs: LValue::Index { array, .. },
+                ..
+            } => {
+                out.insert(array.clone());
+            }
+            Stmt::For(fl) => written_arrays(&fl.body, out),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                written_arrays(then_body, out);
+                written_arrays(else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One write site of the intermediate in the producer.
+struct WriteSite {
+    top_level: bool,
+    indices: Vec<Expr>,
+}
+
+fn collect_writes(body: &[Stmt], t: &str, top: bool, out: &mut Vec<WriteSite>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign {
+                lhs: LValue::Index { array, indices },
+                ..
+            } if array == t => out.push(WriteSite {
+                top_level: top,
+                indices: indices.clone(),
+            }),
+            Stmt::For(fl) => collect_writes(&fl.body, t, false, out),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_writes(then_body, t, false, out);
+                collect_writes(else_body, t, false, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A consumer read of the intermediate: its index expressions plus the
+/// enclosing loop context (loop variable → concrete value range, when
+/// enumerable).
+pub(crate) struct ReadSite {
+    pub indices: Vec<Expr>,
+    pub loops: Vec<(String, Option<(i64, i64)>)>,
+}
+
+fn collect_reads(
+    body: &[Stmt],
+    t: &str,
+    loops: &mut Vec<(String, Option<(i64, i64)>)>,
+    out: &mut Vec<ReadSite>,
+) {
+    let scan = |e: &Expr, loops: &[(String, Option<(i64, i64)>)], out: &mut Vec<ReadSite>| {
+        e.walk(&mut |sub| {
+            if let Expr::Index { array, indices } = sub {
+                if array == t {
+                    out.push(ReadSite {
+                        indices: indices.clone(),
+                        loops: loops.to_vec(),
+                    });
+                }
+            }
+        });
+    };
+    for stmt in body {
+        match stmt {
+            Stmt::DeclScalar { init, .. } => {
+                if let Some(e) = init {
+                    scan(e, loops, out);
+                }
+            }
+            Stmt::DeclShared { .. } | Stmt::SyncThreads | Stmt::GlobalSync => {}
+            Stmt::Assign { lhs, rhs } => {
+                scan(rhs, loops, out);
+                if let LValue::Index { indices, .. } = lhs {
+                    for i in indices {
+                        scan(i, loops, out);
+                    }
+                }
+            }
+            Stmt::For(fl) => {
+                scan(&fl.init, loops, out);
+                scan(&fl.bound, loops, out);
+                let range = fl
+                    .enumerate_values(4096)
+                    .and_then(|vs| match (vs.iter().min(), vs.iter().max()) {
+                        (Some(&lo), Some(&hi)) => Some((lo, hi)),
+                        _ => None,
+                    });
+                loops.push((fl.var.clone(), range));
+                collect_reads(&fl.body, t, loops, out);
+                loops.pop();
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                scan(cond, loops, out);
+                collect_reads(then_body, t, loops, out);
+                collect_reads(else_body, t, loops, out);
+            }
+            Stmt::CallStmt(_, args) => {
+                for a in args {
+                    scan(a, loops, out);
+                }
+            }
+        }
+    }
+}
+
+/// The identity index form for a given dimensionality: `[idx]` or
+/// `[idy][idx]`.
+fn identity_indices(dims: usize) -> Option<Vec<Expr>> {
+    match dims {
+        1 => Some(vec![Expr::Builtin(Builtin::IdX)]),
+        2 => Some(vec![Expr::Builtin(Builtin::IdY), Expr::Builtin(Builtin::IdX)]),
+        _ => None,
+    }
+}
+
+/// Bounds of `e − idx` as a constant interval, requiring exactly one `idx`
+/// occurrence with coefficient 1; loop variables contribute their
+/// enumerable value range. `None` when `e` is outside that affine form.
+fn offset_range(e: &Expr, loops: &[(String, Option<(i64, i64)>)]) -> Option<(i64, i64)> {
+    // (idx occurrences, lo, hi) of the expression's value minus idx*count.
+    fn linear(
+        e: &Expr,
+        loops: &[(String, Option<(i64, i64)>)],
+    ) -> Option<(i64, i64, i64)> {
+        match e {
+            Expr::Int(k) => Some((0, *k, *k)),
+            Expr::Builtin(Builtin::IdX) => Some((1, 0, 0)),
+            Expr::Var(v) => {
+                let (_, range) = loops.iter().rev().find(|(name, _)| name == v)?;
+                let (lo, hi) = (*range)?;
+                Some((0, lo, hi))
+            }
+            Expr::Binary(op, a, b) => {
+                let (ca, la, ha) = linear(a, loops)?;
+                let (cb, lb, hb) = linear(b, loops)?;
+                match op {
+                    gpgpu_ast::BinOp::Add => Some((ca + cb, la + lb, ha + hb)),
+                    gpgpu_ast::BinOp::Sub => Some((ca - cb, la - hb, ha - lb)),
+                    gpgpu_ast::BinOp::Mul => {
+                        // Only constant×range (no idx inside either factor).
+                        if ca != 0 || cb != 0 {
+                            return None;
+                        }
+                        if la == ha {
+                            let (x, y) = (la * lb, la * hb);
+                            Some((0, x.min(y), x.max(y)))
+                        } else if lb == hb {
+                            let (x, y) = (lb * la, lb * ha);
+                            Some((0, x.min(y), x.max(y)))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+    let (count, lo, hi) = linear(e, loops)?;
+    if count != 1 {
+        return None;
+    }
+    Some((lo, hi))
+}
+
+/// Checks parameters shared by name between the members for structural
+/// agreement (same type and extents); a shared scalar `n` must mean the
+/// same size in both kernels for the merged parameter list to be sound.
+fn check_shared_params(p: &Kernel, c: &Kernel) -> Result<(), RejectReason> {
+    for cp in &c.params {
+        if let Some(pp) = p.param(&cp.name) {
+            if pp.ty != cp.ty || pp.dims != cp.dims {
+                return Err(RejectReason::UnsupportedMapping(format!(
+                    "parameter `{}` differs between the members",
+                    cp.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Plans the fusion of `producer` into `consumer`: proves legality, builds
+/// the fused and round-trip kernels, checks resource limits, and asks the
+/// configured cost model for profitability.
+///
+/// # Errors
+///
+/// A structured [`RejectReason`]; callers compile the members separately.
+pub fn plan_fusion(
+    producer: &Kernel,
+    consumer: &Kernel,
+    opts: &CompileOptions,
+) -> Result<FusionPlan, RejectReason> {
+    if producer.uses_global_sync() || consumer.uses_global_sync() {
+        return Err(RejectReason::GlobalSync);
+    }
+    let dp = infer_domain(producer, &opts.bindings).ok_or_else(|| {
+        RejectReason::UnsupportedMapping("producer domain is not inferable".into())
+    })?;
+    let dc = infer_domain(consumer, &opts.bindings).ok_or_else(|| {
+        RejectReason::UnsupportedMapping("consumer domain is not inferable".into())
+    })?;
+
+    // Dataflow: exactly one producer output feeds the consumer.
+    let p_outputs: BTreeSet<String> = producer.output_arrays().into_iter().collect();
+    let mut c_reads = BTreeSet::new();
+    read_arrays(&consumer.body, &mut c_reads);
+    let shared: Vec<&String> = p_outputs.intersection(&c_reads).collect();
+    let t = match shared.as_slice() {
+        [] => return Err(RejectReason::NoDataflow),
+        [one] => (*one).clone(),
+        many => {
+            return Err(RejectReason::UnsupportedMapping(format!(
+                "{} producer outputs feed the consumer ({}); only one intermediate is supported",
+                many.len(),
+                many.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            )))
+        }
+    };
+
+    // No other consumers or producers of the intermediate.
+    let mut c_writes = BTreeSet::new();
+    written_arrays(&consumer.body, &mut c_writes);
+    if c_writes.contains(&t) {
+        return Err(RejectReason::MultiConsumer(format!(
+            "consumer also writes the intermediate `{t}`"
+        )));
+    }
+    if consumer.output_arrays().contains(&t) {
+        return Err(RejectReason::MultiConsumer(format!(
+            "intermediate `{t}` is an output of the consumer — it stays live downstream"
+        )));
+    }
+    let mut p_reads = BTreeSet::new();
+    read_arrays(&producer.body, &mut p_reads);
+    if p_reads.contains(&t) {
+        return Err(RejectReason::MultiConsumer(format!(
+            "producer reads back the intermediate `{t}`"
+        )));
+    }
+    check_shared_params(producer, consumer)?;
+
+    // Producer write sites of the intermediate.
+    let mut writes = Vec::new();
+    collect_writes(&producer.body, &t, true, &mut writes);
+    let write = match writes.as_slice() {
+        [w] if w.top_level => w,
+        [_] => {
+            return Err(RejectReason::UnsupportedMapping(format!(
+                "the producer's write of `{t}` is conditional or inside a loop"
+            )))
+        }
+        ws => {
+            return Err(RejectReason::UnsupportedMapping(format!(
+                "the producer writes `{t}` at {} sites; exactly one is supported",
+                ws.len()
+            )))
+        }
+    };
+    let identity = identity_indices(write.indices.len()).ok_or_else(|| {
+        RejectReason::UnsupportedMapping(format!(
+            "`{t}` is {}-dimensional; only 1-D and 2-D intermediates are supported",
+            write.indices.len()
+        ))
+    })?;
+    if write.indices != identity {
+        return Err(RejectReason::UnsupportedMapping(format!(
+            "the producer writes `{t}` at a non-identity index"
+        )));
+    }
+
+    // Consumer read sites and the element mapping they induce.
+    let mut reads = Vec::new();
+    collect_reads(&consumer.body, &t, &mut Vec::new(), &mut reads);
+    if reads.is_empty() {
+        // `read_arrays` saw it, so this cannot happen; keep the refusal
+        // structured rather than panicking if the walkers ever diverge.
+        return Err(RejectReason::NoDataflow);
+    }
+    let all_identity = reads.iter().all(|r| r.indices == identity);
+
+    let mode = if all_identity {
+        if dp != dc {
+            return Err(RejectReason::DomainMismatch(format!(
+                "identity mapping needs equal domains (producer {dp}, consumer {dc})"
+            )));
+        }
+        FusionMode::Register
+    } else {
+        // Constant-offset window mapping: 1-D only, producer straight-line.
+        if write.indices.len() != 1 || dp.is_2d() || dc.is_2d() {
+            return Err(RejectReason::UnsupportedMapping(
+                "offset reads of a 2-D intermediate are not supported".into(),
+            ));
+        }
+        if producer.body.len() != 1 {
+            return Err(RejectReason::UnsupportedMapping(format!(
+                "offset reads need a straight-line producer (one statement defining `{t}`)"
+            )));
+        }
+        let expr_ok = match &producer.body[0] {
+            Stmt::Assign { rhs, .. } => {
+                let mut ok = true;
+                rhs.walk(&mut |e| {
+                    if let Expr::Builtin(b) = e {
+                        if *b != Builtin::IdX {
+                            ok = false;
+                        }
+                    }
+                });
+                ok
+            }
+            _ => false,
+        };
+        if !expr_ok {
+            return Err(RejectReason::UnsupportedMapping(
+                "the producer expression uses thread coordinates beyond idx; it cannot be \
+                 recomputed at an offset"
+                    .into(),
+            ));
+        }
+        let mut max_hi = 0i64;
+        for r in &reads {
+            let (lo, hi) = offset_range(&r.indices[0], &r.loops).ok_or_else(|| {
+                RejectReason::UnsupportedMapping(format!(
+                    "a consumer read of `{t}` is not idx plus a bounded constant offset"
+                ))
+            })?;
+            if lo < 0 {
+                return Err(RejectReason::DomainMismatch(format!(
+                    "a consumer read of `{t}` reaches {lo} elements below the producer's domain"
+                )));
+            }
+            max_hi = max_hi.max(hi);
+        }
+        if dp.x < dc.x + max_hi {
+            return Err(RejectReason::DomainMismatch(format!(
+                "consumer reads `{t}` up to offset {max_hi} past its domain ({}), but the \
+                 producer only computes {} elements",
+                dc.x, dp.x
+            )));
+        }
+        FusionMode::Inline
+    };
+
+    let fused = fused_kernel(producer, consumer, &t, mode, &dc)
+        .map_err(RejectReason::UnsupportedMapping)?;
+    let reference = round_trip_kernel(producer, consumer, &t, &dp, &dc)
+        .map_err(RejectReason::UnsupportedMapping)?;
+
+    // Combined register/shared pressure of the fused kernel.
+    let res = estimate_resources(&fused);
+    let m = &opts.machine;
+    if res.registers_per_thread > m.max_regs_per_thread {
+        return Err(RejectReason::ResourceOverflow(format!(
+            "fused kernel needs {} registers/thread; {} allows {}",
+            res.registers_per_thread, m.name, m.max_regs_per_thread
+        )));
+    }
+    if res.shared_bytes_per_block > m.shared_per_sm as u64 {
+        return Err(RejectReason::ResourceOverflow(format!(
+            "fused kernel needs {} shared bytes/block; {} has {}",
+            res.shared_bytes_per_block, m.name, m.shared_per_sm
+        )));
+    }
+
+    // Profitability under the configured cost model: naive member sequence
+    // versus the naive fused kernel (the same baseline the paper's speedup
+    // figures use; the optimizing pipeline then runs on the fused form).
+    let est = |k: &Kernel| {
+        naive_compiled(k, opts)
+            .map(|c| {
+                (
+                    c.total_time_ms(),
+                    c.per_launch.iter().map(|e| e.stats.global_bytes).sum::<u64>(),
+                )
+            })
+            .map_err(|e| RejectReason::CostModel(format!("{}: {e}", k.name)))
+    };
+    let (p_ms, p_bytes) = est(producer)?;
+    let (c_ms, c_bytes) = est(consumer)?;
+    let (f_ms, f_bytes) = est(&fused)?;
+    let members_time_ms = p_ms + c_ms;
+    let bytes_saved = (p_bytes + c_bytes).saturating_sub(f_bytes);
+    // A small tolerance keeps borderline model noise from flapping the
+    // decision; the differential oracle still gates correctness.
+    if f_ms > members_time_ms * 1.02 {
+        return Err(RejectReason::Unprofitable {
+            members_time_ms,
+            fused_time_ms: f_ms,
+        });
+    }
+
+    Ok(FusionPlan {
+        mode,
+        intermediate: t,
+        fused,
+        reference,
+        domain: dc,
+        bytes_saved,
+        members_time_ms,
+        fused_time_ms: f_ms,
+    })
+}

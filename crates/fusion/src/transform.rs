@@ -1,0 +1,427 @@
+//! The fusion transform: building the fused kernel and the round-trip
+//! reference, and the [`Pass`] wrapper that rewrites one into the other
+//! under the pass manager.
+
+use crate::plan::FusionMode;
+use gpgpu_analysis::AnalysisManager;
+use gpgpu_ast::{Builtin, Expr, Kernel, LValue, Param, Pragma, Stmt};
+use gpgpu_core::Domain;
+use gpgpu_transform::{Pass, PassError, PassOutcome, PipelineState};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Names introduced by a kernel body: scalar/shared declarations and loop
+/// variables.
+fn local_names(body: &[Stmt], out: &mut BTreeSet<String>) {
+    for stmt in body {
+        match stmt {
+            Stmt::DeclScalar { name, .. } | Stmt::DeclShared { name, .. } => {
+                out.insert(name.clone());
+            }
+            Stmt::For(fl) => {
+                out.insert(fl.var.clone());
+                local_names(&fl.body, out);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                local_names(then_body, out);
+                local_names(else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Applies `f` to every expression root in the body, in place.
+fn map_exprs(body: &mut [Stmt], f: &dyn Fn(Expr) -> Expr) {
+    let apply = |e: &mut Expr| {
+        let old = std::mem::replace(e, Expr::Int(0));
+        *e = old.map(f);
+    };
+    for stmt in body {
+        match stmt {
+            Stmt::DeclScalar { init, .. } => {
+                if let Some(e) = init {
+                    apply(e);
+                }
+            }
+            Stmt::DeclShared { .. } | Stmt::SyncThreads | Stmt::GlobalSync => {}
+            Stmt::Assign { lhs, rhs } => {
+                apply(rhs);
+                if let LValue::Index { indices, .. } = lhs {
+                    for i in indices {
+                        apply(i);
+                    }
+                }
+            }
+            Stmt::For(fl) => {
+                apply(&mut fl.init);
+                apply(&mut fl.bound);
+                map_exprs(&mut fl.body, f);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                apply(cond);
+                map_exprs(then_body, f);
+                map_exprs(else_body, f);
+            }
+            Stmt::CallStmt(_, args) => {
+                for a in args {
+                    apply(a);
+                }
+            }
+        }
+    }
+}
+
+/// Renames every occurrence of the mapped identifiers (declarations, loop
+/// variables, scalar references, and array names) in place.
+fn rename_idents(body: &mut [Stmt], map: &BTreeMap<String, String>) {
+    let rename = |n: &mut String| {
+        if let Some(new) = map.get(n.as_str()) {
+            *n = new.clone();
+        }
+    };
+    for stmt in body.iter_mut() {
+        match stmt {
+            Stmt::DeclScalar { name, .. } | Stmt::DeclShared { name, .. } => rename(name),
+            Stmt::Assign { lhs, .. } => match lhs {
+                LValue::Var(n) | LValue::Field(n, _) => rename(n),
+                LValue::Index { array, .. } => rename(array),
+            },
+            Stmt::For(fl) => {
+                rename(&mut fl.var);
+                rename_idents(&mut fl.body, map);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                rename_idents(then_body, map);
+                rename_idents(else_body, map);
+            }
+            _ => {}
+        }
+    }
+    map_exprs(body, &|e| match e {
+        Expr::Var(n) => match map.get(n.as_str()) {
+            Some(new) => Expr::Var(new.clone()),
+            None => Expr::Var(n),
+        },
+        Expr::Index { array, indices } => match map.get(array.as_str()) {
+            Some(new) => Expr::Index {
+                array: new.clone(),
+                indices,
+            },
+            None => Expr::Index { array, indices },
+        },
+        other => other,
+    });
+}
+
+/// A body clone with its local names uniquified against `taken` by a
+/// member prefix; the chosen names are added to `taken`.
+fn renamed_body(body: &[Stmt], member: &str, taken: &mut BTreeSet<String>) -> Vec<Stmt> {
+    let mut locals = BTreeSet::new();
+    local_names(body, &mut locals);
+    let mut map = BTreeMap::new();
+    for name in locals {
+        if taken.contains(&name) {
+            let mut i = 0u32;
+            let fresh = loop {
+                let candidate = if i == 0 {
+                    format!("{member}_{name}")
+                } else {
+                    format!("{member}{i}_{name}")
+                };
+                if !taken.contains(&candidate) {
+                    break candidate;
+                }
+                i += 1;
+            };
+            taken.insert(fresh.clone());
+            map.insert(name, fresh);
+        } else {
+            taken.insert(name);
+        }
+    }
+    let mut out = body.to_vec();
+    if !map.is_empty() {
+        rename_idents(&mut out, &map);
+    }
+    out
+}
+
+/// A name not used anywhere in `taken`, derived from `base`.
+fn fresh_name(base: &str, taken: &mut BTreeSet<String>) -> String {
+    let mut i = 0u32;
+    loop {
+        let candidate = if i == 0 {
+            base.to_string()
+        } else {
+            format!("{base}{i}")
+        };
+        if !taken.contains(&candidate) {
+            taken.insert(candidate.clone());
+            return candidate;
+        }
+        i += 1;
+    }
+}
+
+/// The merged parameter list: producer parameters first, then consumer
+/// parameters not already present, with `skip` (the intermediate) dropped
+/// when requested.
+fn merged_params(p: &Kernel, c: &Kernel, skip: Option<&str>) -> Vec<Param> {
+    let mut out: Vec<Param> = Vec::new();
+    for param in p.params.iter().chain(c.params.iter()) {
+        if Some(param.name.as_str()) == skip {
+            continue;
+        }
+        if out.iter().all(|q| q.name != param.name) {
+            out.push(param.clone());
+        }
+    }
+    out
+}
+
+/// Output pragma of the combined kernel: producer outputs minus the
+/// intermediate, then consumer outputs.
+fn merged_outputs(p: &Kernel, c: &Kernel, t: &str) -> Vec<String> {
+    let mut out: Vec<String> = p.output_arrays().into_iter().filter(|a| a != t).collect();
+    for o in c.output_arrays() {
+        if !out.contains(&o) {
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// Size pragmas of both members, merged; a name bound to two different
+/// values is a structural conflict.
+fn merged_sizes(p: &Kernel, c: &Kernel) -> Result<Vec<Pragma>, String> {
+    let mut sizes: BTreeMap<String, i64> = BTreeMap::new();
+    for pragma in p.pragmas.iter().chain(c.pragmas.iter()) {
+        if let Pragma::Size(name, value) = pragma {
+            if let Some(prev) = sizes.insert(name.clone(), *value) {
+                if prev != *value {
+                    return Err(format!(
+                        "size pragma `{name}` differs between the members ({prev} vs {value})"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(sizes
+        .into_iter()
+        .map(|(name, value)| Pragma::Size(name, value))
+        .collect())
+}
+
+/// Every name a member pair mentions (parameters and locals of both) —
+/// the collision universe for renaming.
+fn taken_names(p: &Kernel, c: &Kernel) -> BTreeSet<String> {
+    let mut taken: BTreeSet<String> = BTreeSet::new();
+    for param in p.params.iter().chain(c.params.iter()) {
+        taken.insert(param.name.clone());
+    }
+    local_names(&p.body, &mut taken);
+    local_names(&c.body, &mut taken);
+    taken
+}
+
+/// Builds the fused kernel: the producer's computation feeding the
+/// consumer's without the intermediate array.
+///
+/// # Errors
+///
+/// A human-readable structural conflict (the planner maps it to
+/// `unsupported-mapping`).
+pub(crate) fn fused_kernel(
+    p: &Kernel,
+    c: &Kernel,
+    t: &str,
+    mode: FusionMode,
+    dc: &Domain,
+) -> Result<Kernel, String> {
+    let mut taken = taken_names(p, c);
+    let mut body = Vec::new();
+    match mode {
+        FusionMode::Register => {
+            let val = fresh_name(&format!("{t}_val"), &mut taken);
+            let elem = p
+                .param(t)
+                .map(|param| param.ty)
+                .ok_or_else(|| format!("intermediate `{t}` is not a producer parameter"))?;
+            let p_body = renamed_body(&p.body, "p", &mut taken);
+            for stmt in p_body {
+                match stmt {
+                    Stmt::Assign {
+                        lhs: LValue::Index { ref array, .. },
+                        ref rhs,
+                    } if array == t => body.push(Stmt::DeclScalar {
+                        name: val.clone(),
+                        ty: elem,
+                        init: Some(rhs.clone()),
+                    }),
+                    other => body.push(other),
+                }
+            }
+            let mut c_body = renamed_body(&c.body, "c", &mut taken);
+            map_exprs(&mut c_body, &|e| match e {
+                Expr::Index { ref array, .. } if array == t => Expr::Var(val.clone()),
+                other => other,
+            });
+            body.extend(c_body);
+        }
+        FusionMode::Inline => {
+            let def = match p.body.first() {
+                Some(Stmt::Assign { rhs, .. }) => rhs.clone(),
+                _ => return Err(format!("producer does not define `{t}` straight-line")),
+            };
+            let mut c_body = renamed_body(&c.body, "c", &mut taken);
+            map_exprs(&mut c_body, &|e| match e {
+                Expr::Index { ref array, indices } if array == t && indices.len() == 1 => def
+                    .clone()
+                    .subst_builtin(Builtin::IdX, &indices[0]),
+                other => other,
+            });
+            body.extend(c_body);
+        }
+    }
+    let mut pragmas = vec![
+        Pragma::Output(merged_outputs(p, c, t)),
+        Pragma::Domain(dc.x, dc.y),
+    ];
+    pragmas.extend(merged_sizes(p, c)?);
+    Ok(Kernel {
+        name: format!("fused_{}_{}", p.name, c.name),
+        params: merged_params(p, c, Some(t)),
+        body,
+        pragmas,
+    })
+}
+
+/// Builds the round-trip reference kernel: producer body, grid-wide
+/// barrier, then the consumer body (guarded to its own domain when the
+/// producer's is larger), with the intermediate still a real array
+/// parameter. Running it is observationally the sequential unfused
+/// execution, so verifying the fused compile against it *is* the
+/// differential fused-vs-unfused oracle.
+///
+/// # Errors
+///
+/// Same as [`fused_kernel`].
+pub(crate) fn round_trip_kernel(
+    p: &Kernel,
+    c: &Kernel,
+    t: &str,
+    dp: &Domain,
+    dc: &Domain,
+) -> Result<Kernel, String> {
+    let mut taken = taken_names(p, c);
+    let mut body = renamed_body(&p.body, "p", &mut taken);
+    body.push(Stmt::GlobalSync);
+    let c_body = renamed_body(&c.body, "c", &mut taken);
+    if dp == dc {
+        body.extend(c_body);
+    } else {
+        body.push(Stmt::If {
+            cond: Expr::lt(Expr::Builtin(Builtin::IdX), Expr::int(dc.x)),
+            then_body: c_body,
+            else_body: Vec::new(),
+        });
+    }
+    let mut pragmas = vec![
+        Pragma::Output(merged_outputs(p, c, t)),
+        Pragma::Domain(dp.x, dp.y),
+    ];
+    pragmas.extend(merged_sizes(p, c)?);
+    Ok(Kernel {
+        name: format!("seq_{}_{}", p.name, c.name),
+        params: merged_params(p, c, None),
+        body,
+        pragmas,
+    })
+}
+
+/// The fusion transform as a first-class pipeline pass: rewrites the
+/// round-trip form the state holds into the planned fused kernel, so the
+/// rewrite is stage-gated, timed, traced, and fault-contained like every
+/// other pass.
+#[derive(Debug, Clone)]
+pub struct FusionPass {
+    /// The fused kernel the planner produced.
+    pub fused: Kernel,
+}
+
+impl Pass for FusionPass {
+    fn name(&self) -> &'static str {
+        "fusion"
+    }
+
+    fn paper_section(&self) -> &'static str {
+        "related work: Filipovič et al., kernel fusion (BLAS)"
+    }
+
+    fn stage(&self) -> &'static str {
+        "fusion"
+    }
+
+    fn run(
+        &mut self,
+        state: &mut PipelineState,
+        _am: &mut AnalysisManager,
+    ) -> Result<PassOutcome, PassError> {
+        *state.kernel_mut() = self.fused.clone();
+        Ok(PassOutcome::Applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_core::registered_passes;
+
+    #[test]
+    fn registry_entry_matches_the_pass() {
+        // `gpgpu-core` cannot depend on this crate, so its registry entry
+        // for the fusion pass is a hand-written literal; keep it honest.
+        let mut pass = FusionPass {
+            fused: Kernel {
+                name: "k".into(),
+                params: Vec::new(),
+                body: Vec::new(),
+                pragmas: Vec::new(),
+            },
+        };
+        let entry = registered_passes()
+            .into_iter()
+            .find(|p| p.name == "fusion")
+            .unwrap_or_else(|| panic!("fusion pass missing from the registry"));
+        assert_eq!(entry.name, Pass::name(&pass));
+        assert_eq!(entry.paper_section, pass.paper_section());
+        assert_eq!(entry.stage, pass.stage());
+        // And the default stage set actually gates it on.
+        assert!(gpgpu_core::StageSet::all().enabled(pass.stage()));
+        assert!(!gpgpu_core::StageSet::none().enabled(pass.stage()));
+        let _ = pass.run(
+            &mut PipelineState::new(
+                Kernel {
+                    name: "k0".into(),
+                    params: Vec::new(),
+                    body: Vec::new(),
+                    pragmas: Vec::new(),
+                },
+                Default::default(),
+            ),
+            &mut AnalysisManager::new(),
+        );
+    }
+}

@@ -289,6 +289,121 @@ impl KernelSpec {
     }
 }
 
+/// A generated producer→consumer kernel pair for the fusion planner.
+///
+/// The producer writes the intermediate `t` with a straight-line
+/// element-wise expression; the consumer folds `t` (either the identity
+/// element `t[idx]` — the register-fusion shape — or a constant-offset
+/// window `t[idx] .. t[idx+w]` — the inline shape) into its output `c`,
+/// optionally combined with a second input `b`. Every spec is legal by
+/// construction *modulo profitability*, so the pair fuzzer treats
+/// `fused` and `rejected(unprofitable)` as passing outcomes and anything
+/// else (a compile fault, a differential mismatch against the sequential
+/// reference) as a failure.
+#[derive(Debug, Clone)]
+pub struct PairSpec {
+    /// `None` — identity mapping (`t[idx]`, register fusion);
+    /// `Some(w)` — window reads `t[idx] ..= t[idx+w]` (inline fusion).
+    pub window: Option<i64>,
+    /// Producer multiplier: `t[idx] = a[idx] * scale + shift`.
+    pub scale: i8,
+    /// Producer added constant.
+    pub shift: i8,
+    /// Consumer also reads `b[idx]`.
+    pub combine_b: bool,
+    /// Combine the window/identity term with `b` by `*` instead of `+`.
+    pub multiply: bool,
+    /// Consumer domain (threads along X).
+    pub n: i64,
+}
+
+impl PairSpec {
+    /// Draws a pair spec from a seed.
+    pub fn from_seed(seed: u64) -> PairSpec {
+        let mut rng = FuzzRng::new(seed);
+        PairSpec {
+            window: rng.chance(40).then(|| 1 + rng.below(2) as i64),
+            scale: 1 + rng.below(3) as i8,
+            shift: rng.below(5) as i8 - 2,
+            combine_b: rng.chance(50),
+            multiply: rng.chance(50),
+            n: *rng.pick(&[1024, 2048, 4096]),
+        }
+    }
+
+    /// Producer extent: the consumer's domain plus the 16-wide apron the
+    /// coalescing pass's window staging assumes (cf. [`KernelSpec`] —
+    /// windows slide at most 16 wide, and staged tiles load the full
+    /// apron even when the window itself is narrower).
+    pub fn m(&self) -> i64 {
+        self.n + if self.window.is_some() { 16 } else { 0 }
+    }
+
+    /// Builds the producer, the consumer, and the bindings both need.
+    pub fn build(&self) -> FuzzPair {
+        let idx = || Expr::Builtin(Builtin::IdX);
+        let mut term = builder::load1("a", idx()).mul(Expr::Float(self.scale as f64));
+        if self.shift != 0 {
+            term = term.add(Expr::Float(self.shift as f64));
+        }
+        let mut producer = builder::kernel("prod")
+            .array_param("a", ScalarType::Float, &["m"])
+            .array_param("t", ScalarType::Float, &["m"])
+            .scalar_param("m", ScalarType::Int)
+            .outputs(&["t"])
+            .build();
+        producer.body = vec![builder::assign(builder::idx1("t", idx()), term)];
+
+        let mut fold = builder::load1("t", idx());
+        if let Some(w) = self.window {
+            for k in 1..=w {
+                fold = fold.add(builder::load1("t", idx().add(Expr::Int(k))));
+            }
+        }
+        if self.combine_b {
+            let b = builder::load1("b", idx());
+            fold = if self.multiply { fold.mul(b) } else { fold.add(b) };
+        }
+        let mut consumer = builder::kernel("cons")
+            .array_param("t", ScalarType::Float, &["m"])
+            .array_param("b", ScalarType::Float, &["n"])
+            .array_param("c", ScalarType::Float, &["n"])
+            .scalar_param("m", ScalarType::Int)
+            .scalar_param("n", ScalarType::Int)
+            .outputs(&["c"])
+            .build();
+        if !self.combine_b {
+            consumer.params.retain(|p| p.name != "b");
+        }
+        consumer.body = vec![builder::assign(builder::idx1("c", idx()), fold)];
+
+        let producer_source = print_kernel(&producer, PrintOptions::default());
+        let consumer_source = print_kernel(&consumer, PrintOptions::default());
+        FuzzPair {
+            producer,
+            consumer,
+            producer_source,
+            consumer_source,
+            bindings: vec![("n".to_string(), self.n), ("m".to_string(), self.m())],
+        }
+    }
+}
+
+/// A generated producer→consumer pair ready for the fusion driver.
+#[derive(Debug, Clone)]
+pub struct FuzzPair {
+    /// The producer kernel (writes the intermediate `t`).
+    pub producer: Kernel,
+    /// The consumer kernel (reads `t`, writes `c`).
+    pub consumer: Kernel,
+    /// `print_kernel` output for the producer.
+    pub producer_source: String,
+    /// `print_kernel` output for the consumer.
+    pub consumer_source: String,
+    /// Size bindings both kernels need.
+    pub bindings: Vec<(String, i64)>,
+}
+
 /// A generated kernel ready for the differential oracle: the AST, the
 /// printed source (for spans and for the corpus), and its size bindings.
 #[derive(Debug, Clone)]
@@ -346,6 +461,29 @@ mod tests {
         assert!(nested, "no nested loop in 256 seeds");
         assert!(guarded, "no guarded loop in 256 seeds");
         assert!(multi, "no multi-segment read in 256 seeds");
+    }
+
+    #[test]
+    fn pair_specs_are_deterministic_and_parse_back() {
+        let mut identity = false;
+        let mut window = false;
+        for seed in 0..64u64 {
+            let a = PairSpec::from_seed(seed).build();
+            let b = PairSpec::from_seed(seed).build();
+            assert_eq!(a.producer_source, b.producer_source, "seed {seed}");
+            assert_eq!(a.consumer_source, b.consumer_source, "seed {seed}");
+            let spec = PairSpec::from_seed(seed);
+            identity |= spec.window.is_none();
+            window |= spec.window.is_some();
+            let p = parse_kernel(&a.producer_source)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", a.producer_source));
+            let c = parse_kernel(&a.consumer_source)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", a.consumer_source));
+            assert_eq!(a.producer, p, "seed {seed}");
+            assert_eq!(a.consumer, c, "seed {seed}");
+        }
+        assert!(identity, "no identity pair in 64 seeds");
+        assert!(window, "no window pair in 64 seeds");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod reduce;
 pub mod rng;
 
 pub use corpus::{machine_by_token, CorpusEntry};
-pub use gen::{APattern, BPattern, FuzzCase, KernelSpec, SEGMENT_FACTORS, STRIDES};
+pub use gen::{APattern, BPattern, FuzzCase, FuzzPair, KernelSpec, PairSpec, SEGMENT_FACTORS, STRIDES};
 pub use inject::{inject, inject_kernel, InjectKind};
 pub use oracle::{default_stage_sets, run_case, Failure, OracleConfig, Outcome};
 pub use reduce::{reduce_kernel, ReduceOutcome};
@@ -160,9 +160,113 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
     }
 }
 
+/// One failing producer→consumer pair of a pair-fuzzing run.
+#[derive(Debug, Clone)]
+pub struct PairFailure {
+    /// Derived per-case seed (replays via [`PairSpec::from_seed`]).
+    pub case_seed: u64,
+    /// The generated producer source.
+    pub producer_source: String,
+    /// The generated consumer source.
+    pub consumer_source: String,
+    /// The pair's bindings.
+    pub bindings: Vec<(String, i64)>,
+    /// The driver's error, rendered (`compile-failed: ...` /
+    /// `verify-failed: ...`).
+    pub detail: String,
+}
+
+/// The result of a bounded pair-fuzzing run.
+#[derive(Debug)]
+pub struct PairReport {
+    /// Pairs executed.
+    pub iters: u64,
+    /// Pairs that fused and passed the sequential differential check.
+    pub fused: u64,
+    /// Structured planner rejections by slug (an acceptable outcome —
+    /// e.g. `unprofitable` on shapes where the launch overhead saved does
+    /// not cover the recomputation added).
+    pub rejected: BTreeMap<String, u64>,
+    /// Hard failures: a fused compile fault or a differential mismatch
+    /// against the sequential two-kernel reference.
+    pub failures: Vec<PairFailure>,
+}
+
+impl PairReport {
+    /// True when no pair hard-failed (rejections are fine).
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `iters` generated producer→consumer pairs through the fusion
+/// driver under the sanitizing simulator.
+///
+/// Every generated pair is legal by construction, so the only acceptable
+/// outcomes are a verified fused kernel or a structured planner
+/// rejection (profitability is the planner's call, not the generator's);
+/// a compile fault or a differential mismatch is a hard failure.
+/// `opts.inject` is not used — miscompile injection for the fusion
+/// oracle lives in `tests/fusion.rs`, which plants the bug surgically.
+pub fn fuzz_pairs(opts: &FuzzOptions) -> PairReport {
+    use gpgpu_fusion::{compile_fused_sanitized, FusionError};
+    let mut fused = 0u64;
+    let mut rejected: BTreeMap<String, u64> = BTreeMap::new();
+    let mut failures = Vec::new();
+    for i in 0..opts.iters {
+        let case_seed = FuzzRng::derive(opts.seed, i);
+        let pair = PairSpec::from_seed(case_seed).build();
+        let mut copts = gpgpu_core::CompileOptions::new(opts.machine.clone())
+            .with_verify_seed(case_seed)
+            .with_source(&format!("{}\n\n{}", pair.producer_source, pair.consumer_source));
+        for (name, value) in &pair.bindings {
+            copts = copts.bind(name, *value);
+        }
+        match compile_fused_sanitized(&pair.producer, &pair.consumer, &copts) {
+            Ok(_) => fused += 1,
+            Err(FusionError::Rejected(reason)) => {
+                *rejected.entry(reason.slug().to_string()).or_insert(0) += 1;
+            }
+            Err(err) => failures.push(PairFailure {
+                case_seed,
+                producer_source: pair.producer_source,
+                consumer_source: pair.consumer_source,
+                bindings: pair.bindings,
+                detail: format!("{}: {}", err.slug(), err.detail()),
+            }),
+        }
+    }
+    PairReport {
+        iters: opts.iters,
+        fused,
+        rejected,
+        failures,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn generated_pairs_fuse_or_reject_cleanly() {
+        let report = fuzz_pairs(&FuzzOptions {
+            seed: 11,
+            iters: 16,
+            machine: MachineDesc::gtx280(),
+            inject: None,
+        });
+        assert!(
+            report.clean(),
+            "pair failures: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (&f.detail, f.case_seed))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.fused > 0, "no pair fused in 16 seeds: {:?}", report.rejected);
+    }
 
     #[test]
     fn injected_races_surface_as_events_and_metrics() {

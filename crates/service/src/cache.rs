@@ -4,7 +4,7 @@
 //! Both layers are keyed by the content-addressed fingerprint computed by
 //! [`gpgpu_core::CompileOptions::fingerprint`] and store the rendered
 //! [`CachedArtifact`]. The disk layout is versioned by path — entries live
-//! under `<root>/v2/<fingerprint>.json` where `v2` derives from
+//! under `<root>/v3/<fingerprint>.json` where `v3` derives from
 //! [`gpgpu_core::CACHE_SCHEMA`] — so a format bump changes the directory
 //! and every stale entry is orphaned rather than misread; each file
 //! additionally embeds the schema tag and its own fingerprint, and a file
@@ -82,10 +82,10 @@ struct DiskCache {
 
 impl DiskCache {
     /// Opens (and creates) the store under `root`. The versioned
-    /// subdirectory is derived from [`CACHE_SCHEMA`] (`gpgpu-cache/v2` →
-    /// `v2`).
+    /// subdirectory is derived from [`CACHE_SCHEMA`] (`gpgpu-cache/v3` →
+    /// `v3`).
     fn open(root: &Path) -> std::io::Result<DiskCache> {
-        let version = CACHE_SCHEMA.rsplit('/').next().unwrap_or("v2");
+        let version = CACHE_SCHEMA.rsplit('/').next().unwrap_or("v3");
         let dir = root.join(version);
         std::fs::create_dir_all(&dir)?;
         Ok(DiskCache { dir })
@@ -313,6 +313,7 @@ mod tests {
             gflops: 2.0,
             bandwidth_gbps: 3.0,
             degraded: None,
+            fusion: None,
         }
     }
 
@@ -353,7 +354,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("gpgpu-cache-bad-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut cache = CompileCache::new(4, Some(&dir)).unwrap();
-        let vdir = dir.join("v2");
+        let vdir = dir.join("v3");
         std::fs::write(vdir.join("0bad.json"), "not json at all").unwrap();
         let probe = cache.get("0bad");
         assert_eq!(probe.outcome, CacheOutcome::Miss);
@@ -378,10 +379,35 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let mut cache = CompileCache::new(1, Some(&dir)).unwrap();
         cache.put(&artifact("abcd", "S"));
-        // `gpgpu-cache/v2` → a `v2/` directory; stale `v1/` entries from
-        // before the cost-model fingerprint are orphaned, never read.
-        assert!(dir.join("v2").join("abcd.json").exists());
-        assert!(!dir.join("v1").exists());
+        // `gpgpu-cache/v3` → a `v3/` directory; stale `v1/`/`v2/` entries
+        // from before the fusion-aware fingerprint are orphaned, never
+        // read.
+        assert!(dir.join("v3").join("abcd.json").exists());
+        assert!(!dir.join("v2").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_bump_orphans_the_previous_generation() {
+        // A root carrying a pre-fusion `v2/` store: the new cache must
+        // neither read nor disturb it — the entry is simply unreachable
+        // (v2 fingerprints embedded the old schema tag, so they cannot
+        // collide with v3 keys anyway).
+        let dir = std::env::temp_dir().join(format!("gpgpu-cache-orphan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let v2 = dir.join("v2");
+        std::fs::create_dir_all(&v2).unwrap();
+        let stale = artifact("feed", "old generation");
+        std::fs::write(v2.join("feed.json"), stale.to_json().pretty()).unwrap();
+        let mut cache = CompileCache::new(4, Some(&dir)).unwrap();
+        let probe = cache.get("feed");
+        assert_eq!(probe.outcome, CacheOutcome::Miss);
+        assert!(probe.disk_error.is_none(), "{:?}", probe.disk_error);
+        // The orphan is left intact for manual cleanup, and the new
+        // generation writes beside it.
+        assert!(v2.join("feed.json").exists());
+        cache.put(&artifact("feed", "new generation"));
+        assert!(dir.join("v3").join("feed.json").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -13,12 +13,13 @@
 use crate::cache::{CacheOutcome, CompileCache, DiskFault};
 use crate::queue::BoundedQueue;
 use crate::request::{
-    CacheDisposition, CompileRequest, CompileResponse, ErrorClass,
+    CacheDisposition, CompileRequest, CompileResponse, ErrorClass, SourceSpec,
 };
 use gpgpu_core::{
-    compile, CompileError, CompileOptions, Json, MetricsRegistry, Profiler, SpanId, TraceEvent,
-    TuningStore,
+    compile, CachedArtifact, CompileError, CompileOptions, FusionMeta, Json, MetricsRegistry,
+    Profiler, SpanId, TraceEvent, TuningStore,
 };
+use gpgpu_fusion::{compile_fused, FusionError};
 use gpgpu_sim::{CostModelKind, MachineDesc};
 use std::collections::HashSet;
 use std::path::PathBuf;
@@ -95,6 +96,17 @@ struct Counters {
     /// Durable-state writes (compile cache or tuning store) that failed —
     /// the "dying disk" early-warning counter.
     store_write_errors: u64,
+    /// Fusion groups the engine planned (every `fuse` request that reached
+    /// the planner; cache hits are not re-planned).
+    fusion_planned: u64,
+    /// Groups fused, compiled, and differentially verified.
+    fusion_fused: u64,
+    /// Groups that degraded to separate member compiles (planner
+    /// rejection, fused-compile failure, or verification failure).
+    fusion_rejected: u64,
+    /// The subset of rejections where the *verifier* refused the fused
+    /// kernel — a compiler bug worth alarming on, not a routine refusal.
+    fusion_verify_failures: u64,
 }
 
 /// The long-lived batch-compilation engine.
@@ -252,6 +264,10 @@ impl Engine {
             ("service_cache_self_heals", c.self_heals),
             ("service_deadline_preempted", c.deadline_preempted),
             ("service_store_write_errors", c.store_write_errors),
+            ("service_fusion_planned", c.fusion_planned),
+            ("service_fusion_fused", c.fusion_fused),
+            ("service_fusion_rejected", c.fusion_rejected),
+            ("service_fusion_verify_failures", c.fusion_verify_failures),
         ] {
             reg.push_global(name, value as f64);
         }
@@ -266,6 +282,7 @@ impl Engine {
                 ("service_tuning_self_heals", t.self_heals),
                 ("service_tuning_write_errors", t.write_errors),
                 ("service_tuning_degraded", t.degraded),
+                ("service_tuning_refreshes", t.refreshes),
             ] {
                 reg.push_global(name, value as f64);
             }
@@ -358,6 +375,18 @@ impl Engine {
                             Some(store) => store.stats_json(),
                             None => Json::Null,
                         },
+                    ),
+                    (
+                        "fusion",
+                        Json::obj([
+                            ("planned", Json::count(c.fusion_planned)),
+                            ("fused", Json::count(c.fusion_fused)),
+                            ("rejected", Json::count(c.fusion_rejected)),
+                            (
+                                "verify_failures",
+                                Json::count(c.fusion_verify_failures),
+                            ),
+                        ]),
                     ),
                     (
                         "overload",
@@ -454,6 +483,9 @@ impl Engine {
             self.finish(&resp, "?", started, parent);
             return resp;
         };
+        if req.fuse.is_some() {
+            return self.handle_fuse(req, machine, started, parent);
+        }
         let kernel = match gpgpu_ast::parse_kernel(source) {
             Ok(k) => k,
             Err(e) => {
@@ -617,6 +649,15 @@ impl Engine {
             }
         }
 
+        // Mid-batch tuning refresh: a shard that lost the writer election
+        // re-reads the writer's on-disk state here, so this compile's
+        // lookup warm-starts from what a sibling shard already recorded
+        // instead of re-exploring the full grid. For the writer (or an
+        // unchanged store) this is a cheap no-op.
+        if let Some(store) = &self.tuning {
+            store.refresh();
+        }
+
         // Cold compile, contained: a panic here — including the injected
         // per-request `service-<kernel>` fault site — poisons only this
         // request. The stage span is opened before the `catch_unwind` so
@@ -730,6 +771,337 @@ impl Engine {
         };
         self.finish(&resp, &kernel_name, started, parent);
         resp
+    }
+
+    /// Serves one fusion-group request (`"fuse": [producer, consumer]`).
+    ///
+    /// The group is planned before dispatch: when legal and profitable the
+    /// fused kernel runs the full pipeline and is differentially verified
+    /// against the sequential reference; any structured rejection —
+    /// planner refusal, fused-compile failure, or verification failure —
+    /// degrades to separate member compiles returned as *one* artifact
+    /// with the launches concatenated, never an error. Fused artifacts
+    /// cache under their own fingerprint (ordered member fingerprints +
+    /// fusion marker), so a repeat group is a hit either way.
+    fn handle_fuse(
+        &self,
+        req: CompileRequest,
+        machine: MachineDesc,
+        started: Instant,
+        parent: Option<SpanId>,
+    ) -> CompileResponse {
+        let mut sources = Vec::new();
+        for member in req.fuse.as_deref().unwrap_or_default() {
+            match member {
+                SourceSpec::Inline(text) => sources.push(text.clone()),
+                SourceSpec::File(path) => {
+                    let resp = CompileResponse::failure(
+                        req.id,
+                        ErrorClass::BadRequest,
+                        format!("fuse member `{path}` is an unresolved file"),
+                    );
+                    self.finish(&resp, "?", started, parent);
+                    return resp;
+                }
+            }
+        }
+        let [p_src, c_src] = sources.as_slice() else {
+            let resp = CompileResponse::failure(
+                req.id,
+                ErrorClass::BadRequest,
+                "`fuse` must list exactly two kernels",
+            );
+            self.finish(&resp, "?", started, parent);
+            return resp;
+        };
+        let (producer, consumer) = match (
+            gpgpu_ast::parse_kernel(p_src),
+            gpgpu_ast::parse_kernel(c_src),
+        ) {
+            (Ok(p), Ok(c)) => (p, c),
+            (Err(e), _) => {
+                let resp = CompileResponse::failure(
+                    req.id,
+                    ErrorClass::Parse,
+                    format!("fuse producer: {e}"),
+                );
+                self.finish(&resp, "?", started, parent);
+                return resp;
+            }
+            (_, Err(e)) => {
+                let resp = CompileResponse::failure(
+                    req.id,
+                    ErrorClass::Parse,
+                    format!("fuse consumer: {e}"),
+                );
+                self.finish(&resp, "?", started, parent);
+                return resp;
+            }
+        };
+        let group = format!("{}+{}", producer.name, consumer.name);
+        let combined_source = format!("{p_src}\n{c_src}");
+        let mut opts = CompileOptions::new(machine)
+            .with_stages(req.stages)
+            .with_verify_seed(req.verify_seed)
+            .with_cost_model(self.config.cost_model)
+            .with_source(&combined_source)
+            .with_profiler(self.profiler.clone());
+        for (name, value) in &req.bindings {
+            opts = opts.bind(name, *value);
+        }
+        if let Some(store) = &self.tuning {
+            opts = opts
+                .with_tuning(Arc::clone(store))
+                .with_warm_start(self.config.warm_start);
+        }
+
+        // Fused artifacts are content-addressed by the ordered member
+        // fingerprints (see `CompileOptions::fused_fingerprint`).
+        let fingerprint = opts.fused_fingerprint(&producer, &consumer);
+        let probe = lock(&self.cache).get(&fingerprint);
+        if let Some(err) = &probe.disk_error {
+            self.note_disk_error(&fingerprint, err);
+        }
+        self.emit(TraceEvent::ServiceCache {
+            op: match probe.outcome {
+                CacheOutcome::MemoryHit => "hit",
+                CacheOutcome::DiskHit => "disk-hit",
+                CacheOutcome::Miss => "miss",
+            },
+            fingerprint: fingerprint.clone(),
+        });
+        if let Some(artifact) = probe.artifact {
+            let disposition = match probe.outcome {
+                CacheOutcome::MemoryHit => CacheDisposition::Memory,
+                CacheOutcome::DiskHit => CacheDisposition::Disk,
+                CacheOutcome::Miss => CacheDisposition::Miss,
+            };
+            let resp = CompileResponse {
+                id: req.id,
+                artifact: Some(artifact),
+                error: None,
+                cache: disposition,
+                micros: started.elapsed().as_micros() as u64,
+            };
+            self.finish(&resp, &group, started, parent);
+            return resp;
+        }
+
+        // Same mid-batch refresh as the single-kernel path: the fused
+        // kernel's tuning lookup (keyed by its combined shape) should see
+        // what a sibling writer shard has recorded.
+        if let Some(store) = &self.tuning {
+            store.refresh();
+        }
+
+        lock(&self.counters).fusion_planned += 1;
+        let compile_span = self.profiler.span_under(parent, "compile", "service");
+        let opts = opts.under_span(compile_span.id());
+        let compile_started = Instant::now();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gpgpu_core::fault::maybe_panic(&format!("service-{group}"));
+            compile_fused(&producer, &consumer, &opts)
+        }));
+        let resp = match attempt {
+            Err(payload) => CompileResponse::failure(
+                req.id,
+                ErrorClass::Internal,
+                gpgpu_core::error::panic_message(payload),
+            ),
+            Ok(Ok(fused)) => {
+                lock(&self.counters).fusion_fused += 1;
+                for event in fused.compiled.trace.events() {
+                    match event {
+                        TraceEvent::StoreDegraded { .. } => self.emit(event.clone()),
+                        TraceEvent::StoreWriteError { .. } => {
+                            lock(&self.counters).store_write_errors += 1;
+                            self.emit(event.clone());
+                        }
+                        _ => {}
+                    }
+                }
+                self.emit(TraceEvent::Fusion {
+                    producer: fused.producer.clone(),
+                    consumer: fused.consumer.clone(),
+                    kernel: fused.kernel.clone(),
+                    mode: fused.mode.as_str().to_string(),
+                    intermediate: fused.intermediate.clone(),
+                    bytes_saved: fused.bytes_saved,
+                    members_time_ms: fused.members_time_ms,
+                    fused_time_ms: fused.fused_time_ms,
+                });
+                let mut artifact = fused.compiled.cache_artifact(&fingerprint);
+                artifact.fusion = Some(FusionMeta {
+                    mode: fused.mode.as_str().to_string(),
+                    members: vec![fused.producer.clone(), fused.consumer.clone()],
+                    intermediate: fused.intermediate.clone(),
+                    bytes_saved: fused.bytes_saved as f64,
+                });
+                if fused.compiled.degraded.is_none() {
+                    self.persist(&artifact, &fingerprint);
+                }
+                CompileResponse {
+                    id: req.id,
+                    artifact: Some(artifact),
+                    error: None,
+                    cache: CacheDisposition::Miss,
+                    micros: 0,
+                }
+            }
+            Ok(Err(err)) => {
+                // Structured degradation: separate member compiles, one
+                // combined artifact. A fusion rejection is never an error.
+                {
+                    let mut c = lock(&self.counters);
+                    c.fusion_rejected += 1;
+                    if matches!(err, FusionError::Verify(_)) {
+                        c.fusion_verify_failures += 1;
+                    }
+                }
+                self.emit(TraceEvent::FusionRejected {
+                    producer: producer.name.clone(),
+                    consumer: consumer.name.clone(),
+                    reason: err.slug(),
+                    detail: err.detail(),
+                });
+                self.compile_members_separately(
+                    req.id,
+                    &producer,
+                    &consumer,
+                    &opts,
+                    &fingerprint,
+                    &err,
+                )
+            }
+        };
+        drop(compile_span);
+        self.record_duration(
+            "service_stage_compile",
+            compile_started.elapsed().as_micros() as u64,
+        );
+        let resp = CompileResponse {
+            micros: started.elapsed().as_micros() as u64,
+            ..resp
+        };
+        self.finish(&resp, &group, started, parent);
+        resp
+    }
+
+    /// The fusion fallback: each member compiles on its own (full
+    /// pipeline, oracle, tuning), and the launch sequences concatenate
+    /// into one artifact under the group's fingerprint — callers observe
+    /// the same artifact shape either way, launches just number two.
+    fn compile_members_separately(
+        &self,
+        id: String,
+        producer: &gpgpu_ast::Kernel,
+        consumer: &gpgpu_ast::Kernel,
+        opts: &CompileOptions,
+        fingerprint: &str,
+        rejection: &FusionError,
+    ) -> CompileResponse {
+        let mut compiled = Vec::new();
+        for member in [producer, consumer] {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                compile(member, opts)
+            }));
+            match attempt {
+                Err(payload) => {
+                    return CompileResponse::failure(
+                        id,
+                        ErrorClass::Internal,
+                        gpgpu_core::error::panic_message(payload),
+                    )
+                }
+                Ok(Err(e)) => {
+                    let class = match e {
+                        CompileError::Internal(_) => ErrorClass::Internal,
+                        _ => ErrorClass::Compile,
+                    };
+                    return CompileResponse::failure(
+                        id,
+                        class,
+                        format!("fuse member `{}`: {e}", member.name),
+                    );
+                }
+                Ok(Ok(c)) => compiled.push(c.cache_artifact(fingerprint)),
+            }
+        }
+        let Some(second) = compiled.pop() else {
+            return CompileResponse::failure(id, ErrorClass::Internal, "no members compiled");
+        };
+        let Some(first) = compiled.pop() else {
+            return CompileResponse::failure(id, ErrorClass::Internal, "no members compiled");
+        };
+        let time_ms = first.time_ms + second.time_ms;
+        let weight = |va: f64, vb: f64| {
+            if time_ms > 0.0 {
+                (va * first.time_ms + vb * second.time_ms) / time_ms
+            } else {
+                0.0
+            }
+        };
+        let artifact = CachedArtifact {
+            fingerprint: fingerprint.to_string(),
+            kernel_name: format!("{}+{}", producer.name, consumer.name),
+            source: format!("{}\n\n{}", first.source, second.source),
+            launches: first
+                .launches
+                .into_iter()
+                .chain(second.launches)
+                .collect(),
+            time_ms,
+            gflops: weight(first.gflops, second.gflops),
+            bandwidth_gbps: weight(first.bandwidth_gbps, second.bandwidth_gbps),
+            degraded: first.degraded.clone().or(second.degraded.clone()),
+            fusion: Some(FusionMeta {
+                mode: format!("separate:{}", rejection.slug()),
+                members: vec![producer.name.clone(), consumer.name.clone()],
+                intermediate: String::new(),
+                bytes_saved: 0.0,
+            }),
+        };
+        if artifact.degraded.is_none() {
+            self.persist(&artifact, fingerprint);
+        }
+        CompileResponse {
+            id,
+            artifact: Some(artifact),
+            error: None,
+            cache: CacheDisposition::Miss,
+            micros: 0,
+        }
+    }
+
+    /// Stores an artifact in the cache, booking evictions and disk faults
+    /// the same way the single-kernel path does.
+    fn persist(&self, artifact: &CachedArtifact, fingerprint: &str) {
+        let (evicted, disk_error) = lock(&self.cache).put(artifact);
+        self.emit(TraceEvent::ServiceCache {
+            op: "store",
+            fingerprint: fingerprint.to_string(),
+        });
+        if self.has_disk() {
+            self.emit(TraceEvent::ServiceCache {
+                op: "disk-store",
+                fingerprint: fingerprint.to_string(),
+            });
+        }
+        if let Some(victim) = evicted {
+            lock(&self.counters).evictions += 1;
+            self.emit(TraceEvent::ServiceCache {
+                op: "evict",
+                fingerprint: victim,
+            });
+        }
+        if let Some(err) = disk_error {
+            lock(&self.counters).store_write_errors += 1;
+            self.emit(TraceEvent::StoreWriteError {
+                store: "cache",
+                detail: format!("{fingerprint}: {}", err.detail),
+            });
+            self.note_disk_error(fingerprint, &err);
+        }
     }
 
     fn has_disk(&self) -> bool {

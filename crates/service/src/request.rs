@@ -10,11 +10,16 @@
 //! ```
 //!
 //! `source` may be replaced by `"file": "path/to/kernel.cu"` (the front
-//! end reads the file before handing the request to the engine). `id`
-//! defaults to the request's position; `machine` defaults to `GTX280`;
-//! `stages` accepts the label `"all"`/`"none"` or an array of stage names
-//! (`vectorize`, `coalesce`, `merge`, `prefetch`, `partition`);
-//! `verify_seed` defaults to 0 and `deadline_ms` to the engine default.
+//! end reads the file before handing the request to the engine), or by
+//! `"fuse": ["producer.cu", "consumer.cu"]` — a producer→consumer fusion
+//! group of exactly two kernels (file paths or `{"source"| "file"}`
+//! objects) the engine fuses into one kernel when legal and profitable,
+//! degrading to separate member compiles in one combined artifact
+//! otherwise. `id` defaults to the request's position; `machine` defaults
+//! to `GTX280`; `stages` accepts the label `"all"`/`"none"` or an array
+//! of stage names (`fusion`, `vectorize`, `coalesce`, `merge`,
+//! `prefetch`, `partition`); `verify_seed` defaults to 0 and
+//! `deadline_ms` to the engine default.
 //!
 //! Responses are one JSON object per line, echoing `id` in request order:
 //! `{"id", "ok", "cache" ("memory"|"disk"|"miss"), "fingerprint",
@@ -106,6 +111,12 @@ pub struct CompileRequest {
     pub verify_seed: u64,
     /// Per-request deadline override, in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// A fusion group: `"fuse": ["producer.cu", "consumer.cu"]` — exactly
+    /// two kernels, producer first. Entries are file paths (strings) or
+    /// objects with `source`/`file`. When set, `source` holds a
+    /// placeholder and the engine plans producer→consumer fusion before
+    /// dispatch, degrading to separate member compiles on rejection.
+    pub fuse: Option<Vec<SourceSpec>>,
 }
 
 fn parse_stages(value: &Json) -> Result<StageSet, String> {
@@ -124,6 +135,7 @@ fn parse_stages(value: &Json) -> Result<StageSet, String> {
                     .as_str()
                     .ok_or("stage array entries must be strings")?;
                 match name {
+                    "fusion" => set.fusion = true,
                     "vectorize" => set.vectorize = true,
                     "coalesce" => set.coalesce = true,
                     "merge" => set.merge = true,
@@ -131,8 +143,8 @@ fn parse_stages(value: &Json) -> Result<StageSet, String> {
                     "partition" => set.partition = true,
                     other => {
                         return Err(format!(
-                            "unknown stage `{other}` (stages: vectorize, coalesce, merge, \
-                             prefetch, partition)"
+                            "unknown stage `{other}` (stages: fusion, vectorize, coalesce, \
+                             merge, prefetch, partition)"
                         ))
                     }
                 }
@@ -161,21 +173,74 @@ impl CompileRequest {
                 .map(str::to_string)
                 .ok_or("`id` must be a string")?,
         };
-        let source = match (doc.get("source"), doc.get("file")) {
-            (Some(_), Some(_)) => {
+        let fuse = match doc.get("fuse") {
+            None => None,
+            Some(Json::Arr(items)) => {
+                let mut members = Vec::new();
+                for item in items {
+                    members.push(match item {
+                        Json::Str(path) => SourceSpec::File(path.clone()),
+                        Json::Obj(_) => match (item.get("source"), item.get("file")) {
+                            (Some(_), Some(_)) => {
+                                return Err(
+                                    "a `fuse` entry has both `source` and `file`; use one".into()
+                                )
+                            }
+                            (Some(s), None) => SourceSpec::Inline(
+                                s.as_str()
+                                    .map(str::to_string)
+                                    .ok_or("a `fuse` entry's `source` must be a string")?,
+                            ),
+                            (None, Some(f)) => SourceSpec::File(
+                                f.as_str()
+                                    .map(str::to_string)
+                                    .ok_or("a `fuse` entry's `file` must be a string")?,
+                            ),
+                            (None, None) => {
+                                return Err("a `fuse` entry needs `source` or `file`".into())
+                            }
+                        },
+                        _ => {
+                            return Err(
+                                "`fuse` entries must be file-path strings or objects with \
+                                 `source`/`file`"
+                                    .into(),
+                            )
+                        }
+                    });
+                }
+                if members.len() != 2 {
+                    return Err(format!(
+                        "`fuse` must list exactly two kernels (producer, consumer); got {}",
+                        members.len()
+                    ));
+                }
+                Some(members)
+            }
+            Some(_) => return Err("`fuse` must be an array of two kernels".into()),
+        };
+        let source = match (doc.get("source"), doc.get("file"), &fuse) {
+            (Some(_), _, Some(_)) | (_, Some(_), Some(_)) => {
+                return Err("request has both `fuse` and `source`/`file`; use one".into())
+            }
+            // The engine compiles the fusion group; `source` is unused.
+            (None, None, Some(_)) => SourceSpec::Inline(String::new()),
+            (Some(_), Some(_), None) => {
                 return Err("request has both `source` and `file`; use one".into())
             }
-            (Some(s), None) => SourceSpec::Inline(
+            (Some(s), None, None) => SourceSpec::Inline(
                 s.as_str()
                     .map(str::to_string)
                     .ok_or("`source` must be a string")?,
             ),
-            (None, Some(f)) => SourceSpec::File(
+            (None, Some(f), None) => SourceSpec::File(
                 f.as_str()
                     .map(str::to_string)
                     .ok_or("`file` must be a string")?,
             ),
-            (None, None) => return Err("request needs `source` or `file`".into()),
+            (None, None, None) => {
+                return Err("request needs `source`, `file`, or `fuse`".into())
+            }
         };
         let machine = match doc.get("machine") {
             None => "GTX280".to_string(),
@@ -226,6 +291,7 @@ impl CompileRequest {
             stages,
             verify_seed,
             deadline_ms,
+            fuse,
         })
     }
 
@@ -240,6 +306,7 @@ impl CompileRequest {
             stages: StageSet::all(),
             verify_seed: 0,
             deadline_ms: None,
+            fuse: None,
         }
     }
 
@@ -254,6 +321,15 @@ impl CompileRequest {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read `{path}`: {e}"))?;
             self.source = SourceSpec::Inline(text);
+        }
+        if let Some(members) = self.fuse.as_mut() {
+            for member in members {
+                if let SourceSpec::File(path) = member {
+                    let text = std::fs::read_to_string(&*path)
+                        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                    *member = SourceSpec::Inline(text);
+                }
+            }
         }
         Ok(())
     }
@@ -442,10 +518,44 @@ mod tests {
             (r#"{"source": "s", "stages": "most"}"#, "stage label"),
             (r#"{"source": "s", "stages": ["warp"]}"#, "unknown stage"),
             (r#"{"source": "s", "verify_seed": -1}"#, "verify_seed"),
+            (r#"{"fuse": ["a.cu"]}"#, "exactly two"),
+            (r#"{"fuse": ["a.cu", "b.cu", "c.cu"]}"#, "exactly two"),
+            (r#"{"fuse": "a.cu"}"#, "array"),
+            (r#"{"fuse": [1, 2]}"#, "strings or objects"),
+            (r#"{"fuse": ["a.cu", "b.cu"], "source": "s"}"#, "both"),
+            (r#"{"fuse": [{"x": 1}, "b.cu"]}"#, "needs `source` or `file`"),
         ] {
             let err = CompileRequest::parse(line, 0).unwrap_err();
             assert!(err.contains(want), "`{line}` → `{err}`");
         }
+    }
+
+    #[test]
+    fn parses_a_fuse_request() {
+        let line = r#"{"id": "pipe", "fuse": ["scale.cu", {"source": "__global__ void f() {}"}],
+            "bindings": {"n": 256}}"#
+            .replace('\n', " ");
+        let req = CompileRequest::parse(&line, 0).unwrap();
+        let members = req.fuse.as_ref().unwrap();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0], SourceSpec::File("scale.cu".into()));
+        assert_eq!(
+            members[1],
+            SourceSpec::Inline("__global__ void f() {}".into())
+        );
+        // The placeholder source never reaches the engine's parse path.
+        assert_eq!(req.source_text(), Some(""));
+        assert!(req.stages.fusion);
+    }
+
+    #[test]
+    fn stage_array_accepts_fusion() {
+        let req = CompileRequest::parse(
+            r#"{"source": "s", "stages": ["fusion", "coalesce"]}"#,
+            0,
+        )
+        .unwrap();
+        assert!(req.stages.fusion && req.stages.coalesce && !req.stages.merge);
     }
 
     #[test]

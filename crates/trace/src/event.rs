@@ -329,6 +329,43 @@ pub enum TraceEvent {
         /// The failed operation and error.
         detail: String,
     },
+    /// A producer→consumer kernel group was fused (`gpgpu-fusion`): the
+    /// intermediate array no longer round-trips through global memory.
+    Fusion {
+        /// Producer kernel name.
+        producer: String,
+        /// Consumer kernel name.
+        consumer: String,
+        /// The fused kernel's name.
+        kernel: String,
+        /// Forwarding mode: `register` (thread-local identity mapping) or
+        /// `inline` (recompute at each offset read).
+        mode: String,
+        /// The eliminated intermediate array.
+        intermediate: String,
+        /// Global-memory bytes saved per the cost model (member traffic
+        /// minus fused traffic).
+        bytes_saved: u64,
+        /// Estimated time of the unfused member sequence, milliseconds.
+        members_time_ms: f64,
+        /// Estimated time of the naive fused kernel, milliseconds.
+        fused_time_ms: f64,
+    },
+    /// A fusion group was refused; the members compile separately. Never an
+    /// error: the structured reason feeds the report and the metrics.
+    FusionRejected {
+        /// Producer kernel name.
+        producer: String,
+        /// Consumer kernel name.
+        consumer: String,
+        /// Stable reason slug (`domain-mismatch`, `multi-consumer`,
+        /// `no-dataflow`, `unsupported-mapping`, `resource-overflow`,
+        /// `unprofitable`, `gsync-unsupported`, `cost-model-error`,
+        /// `stage-disabled`, `verify-failed`).
+        reason: String,
+        /// Human-readable specifics.
+        detail: String,
+    },
     /// Free-form note (fallback for information with no variant yet).
     Note {
         /// The note.
@@ -371,6 +408,8 @@ impl TraceEvent {
             TraceEvent::TuningRecorded { .. } => "tuning-recorded",
             TraceEvent::StoreDegraded { .. } => "store-degraded",
             TraceEvent::StoreWriteError { .. } => "store-write-error",
+            TraceEvent::Fusion { .. } => "fusion",
+            TraceEvent::FusionRejected { .. } => "fusion-rejected",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -564,6 +603,29 @@ impl TraceEvent {
             TraceEvent::StoreWriteError { store, detail } => {
                 format!("{store} store write failed (kept in memory only): {detail}")
             }
+            TraceEvent::Fusion {
+                producer,
+                consumer,
+                kernel,
+                mode,
+                intermediate,
+                bytes_saved,
+                members_time_ms,
+                fused_time_ms,
+            } => format!(
+                "fusion: {producer} → {consumer} fused as {kernel} ({mode} forwarding of \
+                 {intermediate}; ~{bytes_saved} global bytes saved, {members_time_ms:.4} ms \
+                 unfused vs {fused_time_ms:.4} ms fused naive)"
+            ),
+            TraceEvent::FusionRejected {
+                producer,
+                consumer,
+                reason,
+                detail,
+            } => format!(
+                "fusion: {producer} → {consumer} rejected ({reason}: {detail}); members \
+                 compile separately"
+            ),
             TraceEvent::Note { message } => message.clone(),
         }
     }
@@ -792,6 +854,36 @@ impl TraceEvent {
             }
             TraceEvent::StoreWriteError { store, detail } => {
                 put("store", Json::str(*store));
+                put("detail", Json::str(detail));
+            }
+            TraceEvent::Fusion {
+                producer,
+                consumer,
+                kernel,
+                mode,
+                intermediate,
+                bytes_saved,
+                members_time_ms,
+                fused_time_ms,
+            } => {
+                put("producer", Json::str(producer));
+                put("consumer", Json::str(consumer));
+                put("kernel", Json::str(kernel));
+                put("mode", Json::str(mode));
+                put("intermediate", Json::str(intermediate));
+                put("bytes_saved", Json::count(*bytes_saved));
+                put("members_time_ms", Json::num(*members_time_ms));
+                put("fused_time_ms", Json::num(*fused_time_ms));
+            }
+            TraceEvent::FusionRejected {
+                producer,
+                consumer,
+                reason,
+                detail,
+            } => {
+                put("producer", Json::str(producer));
+                put("consumer", Json::str(consumer));
+                put("reason", Json::str(reason));
                 put("detail", Json::str(detail));
             }
             TraceEvent::Note { message } => put("message", Json::str(message)),

@@ -165,6 +165,9 @@ pub struct StoreCounters {
     pub degraded: u64,
     /// 1 when this process lost the writer lock to a sibling.
     pub lock_contended: u64,
+    /// Reader-mode re-reads of the writer's on-disk state (see
+    /// [`TuningStore::refresh`]).
+    pub refreshes: u64,
 }
 
 impl StoreCounters {
@@ -182,6 +185,7 @@ impl StoreCounters {
             ("compactions", Json::count(self.compactions)),
             ("degraded", Json::count(self.degraded)),
             ("lock_contended", Json::count(self.lock_contended)),
+            ("refreshes", Json::count(self.refreshes)),
         ])
     }
 }
@@ -284,6 +288,15 @@ struct Inner {
     counters: StoreCounters,
     degraded: Option<String>,
     notes: Vec<StoreNote>,
+    /// True once a reader (lock-contended) store has re-read the writer's
+    /// on-disk state via [`TuningStore::refresh`]. A refreshed reader
+    /// serves warm starts from its snapshot of the table instead of
+    /// answering [`Lookup::Disabled`], but never [`Lookup::Reexplore`] —
+    /// it cannot persist the audit result.
+    reader_snapshot: bool,
+    /// On-disk sizes `(snapshot, journal)` at the last refresh, so a
+    /// refresh with no writer activity in between is a cheap no-op.
+    seen_lens: Option<(u64, u64)>,
 }
 
 /// The persistent, crash-safe tuning store. All methods take `&self`; the
@@ -837,13 +850,53 @@ impl TuningStore {
         self.lock().shapes.len()
     }
 
+    /// Re-reads the writer's on-disk state (snapshot + journal prefix) in
+    /// reader (lock-contended) mode, so a shard that lost the writer
+    /// election still benefits mid-batch from what the winning shard has
+    /// recorded. Returns `true` when the table was re-read.
+    ///
+    /// - Writer-mode stores are always current: no-op, returns `false`.
+    /// - A repeat call with no on-disk growth (file sizes unchanged) is a
+    ///   cheap no-op.
+    /// - After the first successful refresh the store answers lookups
+    ///   [`Lookup::Warm`]/[`Lookup::Miss`] from the refreshed table
+    ///   instead of [`Lookup::Disabled`] — but never
+    ///   [`Lookup::Reexplore`], since a reader cannot persist the audit.
+    pub fn refresh(&self) -> bool {
+        let mut inner = self.lock();
+        if inner.lock.is_some() {
+            return false;
+        }
+        let len = |p: PathBuf| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+        let lens = (len(inner.snapshot_path()), len(inner.journal_path()));
+        if inner.seen_lens == Some(lens) {
+            return false;
+        }
+        // Readers only ever observe the writer's files; both loaders read
+        // the valid prefix and never repair on disk when `lock` is `None`.
+        inner.seq = 0;
+        inner.shapes.clear();
+        inner.load_snapshot();
+        inner.replay_journal();
+        inner.seen_lens = Some(lens);
+        inner.reader_snapshot = true;
+        inner.counters.refreshes += 1;
+        true
+    }
+
     /// Answers one compile's lookup. See [`Lookup`].
     pub fn lookup(&self, shape: &KernelShape) -> Lookup {
         let mut inner = self.lock();
+        // A refreshed reader serves warm starts from its snapshot of the
+        // writer's table despite being "degraded" (lock-contended); any
+        // *other* degradation still disables it.
+        let read_only = inner.reader_snapshot;
         if let Some(reason) = &inner.degraded {
-            return Lookup::Disabled(reason.clone());
+            if !read_only {
+                return Lookup::Disabled(reason.clone());
+            }
         }
-        let reexplore_every = inner.cfg.reexplore_every;
+        let reexplore_every = if read_only { 0 } else { inner.cfg.reexplore_every };
         let Some(points) = inner.shapes.get_mut(&shape.structure) else {
             inner.counters.misses += 1;
             return Lookup::Miss;

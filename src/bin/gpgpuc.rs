@@ -4,8 +4,11 @@
 //! gpgpuc [OPTIONS] <kernel.cu>...    # or `-` for stdin
 //! gpgpuc profile <kernel.cu | -> [--top <n>] [--machine <m>]
 //!                [--bind <name>=<value>]...
+//! gpgpuc fuse <producer.cu> <consumer.cu> [--machine <m>]
+//!             [--bind <name>=<value>]... [--cost-model <m>]
+//!             [--cuda-names] [--report] [--verify-seed <u64>]
 //! gpgpuc validate [--cost-model <analytic|hierarchy>]
-//! gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>]
+//! gpgpuc fuzz [--seed <u64>] [--iters <n>] [--pairs <n>] [--machine <m>]
 //!             [--inject <slug>] [--trace-json <path>]
 //! gpgpuc reduce <repro.cu> [--budget <n>]
 //! gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>]
@@ -37,7 +40,7 @@
 //!                                       run the full design-space search
 //!                                       (requires --tuning-dir)
 //!   --cuda-names                        emit threadIdx.x-style ids
-//!   --no-<stage>                        disable a stage: vectorize,
+//!   --no-<stage>                        disable a stage: fusion, vectorize,
 //!                                       coalesce, merge, prefetch, partition
 //!   --list-passes                       print the registered pass table
 //!                                       (name, paper section, stage) and exit
@@ -75,6 +78,17 @@
 //! evaluations, estimates) is readable at a glance. `--top <n>` bounds
 //! the tree to roughly `n` lines (default 24).
 //!
+//! `gpgpuc fuse` compiles a producer→consumer kernel pair as one fused
+//! kernel (DESIGN.md §5.15): the planner proves the dataflow legal — the
+//! producer's output array feeds the consumer and nothing else, the
+//! element mapping is dependence-checked — and profitable under the cost
+//! model, then the fused kernel flows through the ordinary optimization
+//! pipeline and is verified element-identical to the sequential two-kernel
+//! reference on the simulator. An illegal or unprofitable pair *degrades*
+//! to two separate compiles with a structured warning, never an error.
+//! `--report` adds a `== fusion ==` block (mode, eliminated intermediate,
+//! bytes saved, member-vs-fused predicted times).
+//!
 //! `gpgpuc validate` runs the figure-shape validation harness: the mm
 //! design-space ridge of Figure 10, the optimized-beats-naive winner
 //! orderings of Figure 11 (plus their geo-mean), and the
@@ -93,7 +107,10 @@
 //! compiled per stage set and checked naive-vs-optimized under the
 //! sanitizing simulator. Any failure bucket exits 1; `--inject <slug>`
 //! plants a known bug (`drop-sync`, `staging-off-by-one`, `value-tweak`)
-//! to validate the oracle itself. `--trace-json` writes the sanitizer
+//! to validate the oracle itself. `--pairs <n>` additionally runs `n`
+//! generated producer→consumer pairs through the fusion driver
+//! (fused-vs-sequential differential under the sanitizer; planner
+//! rejections pass, mismatches fail). `--trace-json` writes the sanitizer
 //! events and `fuzz_*`/`sanitizer_*` metrics as a `gpgpu-trace/v2`
 //! document.
 //!
@@ -228,14 +245,16 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("gpgpuc: {msg}");
     eprintln!(
         "usage: gpgpuc [--machine gtx8800|gtx280|hd5870] [--bind n=1024]... \
-         [--cuda-names] [--emit-cu] [--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
+         [--cuda-names] [--emit-cu] [--no-fusion|--no-vectorize|--no-coalesce|--no-merge|--no-prefetch|--no-partition] \
          [--list-passes] [--report] [--metrics] [--trace-json <path>] [--profile <path>] \
          [--profile-chrome <path>] [--verify <size>] \
          [--verify-seed <u64>] [--strict] [--cost-model analytic|hierarchy] \
          [--tuning-dir <dir>] [--no-warm-start] <kernel.cu | ->...\n       \
          gpgpuc profile <kernel.cu | -> [--top <n>] [--machine <m>] [--bind n=1024]...\n       \
+         gpgpuc fuse <producer.cu> <consumer.cu> [--machine <m>] [--bind n=1024]... \
+         [--cost-model analytic|hierarchy] [--cuda-names] [--report] [--verify-seed <u64>]\n       \
          gpgpuc validate [--cost-model analytic|hierarchy]\n       \
-         gpgpuc fuzz [--seed <u64>] [--iters <n>] [--machine <m>] [--inject <slug>] [--trace-json <path>]\n       \
+         gpgpuc fuzz [--seed <u64>] [--iters <n>] [--pairs <n>] [--machine <m>] [--inject <slug>] [--trace-json <path>]\n       \
          gpgpuc reduce <repro.cu> [--budget <n>]\n       \
          gpgpuc batch <manifest.ndjson | -> [--jobs <n>] [--queue <n>] [--shards <n>] \
          [--admission-watermark <f>] [--admission-wait-ms <n>] [--retry <n>] [--cache-dir <dir>] \
@@ -307,6 +326,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--cuda-names" => args.cuda_names = true,
             "--emit-cu" => args.emit_cu = true,
+            "--no-fusion" => args.stages.fusion = false,
             "--no-vectorize" => args.stages.vectorize = false,
             "--no-coalesce" => args.stages.coalesce = false,
             "--no-merge" => args.stages.merge = false,
@@ -386,9 +406,18 @@ fn cmd_fuzz(argv: &[String]) -> ExitCode {
         inject: None,
     };
     let mut trace_json: Option<String> = None;
+    let mut pairs: u64 = 0;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let result = match arg.as_str() {
+            "--pairs" => it
+                .next()
+                .ok_or_else(|| "--pairs needs a value".to_string())
+                .and_then(|v| {
+                    v.parse()
+                        .map_err(|_| format!("--pairs `{v}` is not an integer"))
+                })
+                .map(|v| pairs = v),
             "--seed" => it
                 .next()
                 .ok_or_else(|| "--seed needs a value".to_string())
@@ -471,7 +500,43 @@ fn cmd_fuzz(argv: &[String]) -> ExitCode {
         }
     }
 
-    if report.clean() {
+    // --pairs <n>: additionally run n generated producer→consumer pairs
+    // through the fusion driver under the sanitizer. A structured planner
+    // rejection is a passing outcome; a fused-vs-sequential mismatch or a
+    // compile fault is a failure.
+    let mut pairs_clean = true;
+    if pairs > 0 {
+        let preport = gpgpu::fuzz::fuzz_pairs(&gpgpu::fuzz::FuzzOptions {
+            iters: pairs,
+            inject: None,
+            ..opts.clone()
+        });
+        pairs_clean = preport.clean();
+        println!(
+            "fuzz: {} fusion pair(s) (seed {}), {} fused, {} rejected, {} failure(s)",
+            preport.iters,
+            opts.seed,
+            preport.fused,
+            preport.rejected.values().sum::<u64>(),
+            preport.failures.len()
+        );
+        for (slug, count) in &preport.rejected {
+            println!("  {count:>4}  rejected:{slug}");
+        }
+        for f in &preport.failures {
+            println!("fuzz: pair seed={} {}", f.case_seed, f.detail);
+        }
+        if let Some(first) = preport.failures.first() {
+            eprintln!("== first failing pair (seed {}) ==", first.case_seed);
+            eprint!("{}", first.producer_source);
+            eprint!("{}", first.consumer_source);
+            for (name, value) in &first.bindings {
+                eprintln!("//   bind {name}={value}");
+            }
+        }
+    }
+
+    if report.clean() && pairs_clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(EXIT_VERIFY_FAILED)
@@ -671,6 +736,191 @@ fn cmd_profile(argv: &[String]) -> ExitCode {
     );
     print!("{}", compiled.profiler.render_tree(top));
     ExitCode::SUCCESS
+}
+
+/// Prints a compiled kernel's launches (configuration comment, extra
+/// buffers, kernel text) to stdout — the common output shape of the
+/// single-kernel path and `gpgpuc fuse`.
+fn print_launches(compiled: &gpgpu::core::CompiledKernel, cuda_names: bool) {
+    let popts = if cuda_names {
+        PrintOptions::cuda()
+    } else {
+        PrintOptions::default()
+    };
+    for (i, launch) in compiled.launches.iter().enumerate() {
+        if compiled.launches.len() > 1 {
+            println!("// launch {} of {}", i + 1, compiled.launches.len());
+        }
+        println!("// launch configuration: {}", launch.launch);
+        for extra in &launch.extra_buffers {
+            println!(
+                "// requires zero-initialized buffer: {} ({} x {:?})",
+                extra.name, extra.elem, extra.dims
+            );
+        }
+        print!("{}", print_kernel(&launch.kernel, popts));
+        println!();
+    }
+}
+
+/// `gpgpuc fuse`: compile a producer→consumer pair as one fused kernel.
+/// Legality and profitability are the planner's call; a rejected pair
+/// degrades to two separate compiles with a structured warning on stderr
+/// and still exits 0 — rejection is an outcome, not an error.
+fn cmd_fuse(argv: &[String]) -> ExitCode {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut machine = MachineDesc::gtx280();
+    let mut bindings: Vec<(String, i64)> = Vec::new();
+    let mut cost_model = CostModelKind::default();
+    let mut verify_seed: u64 = 0;
+    let mut report = false;
+    let mut cuda_names = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--machine" => {
+                let Some(v) = it.next() else {
+                    return usage("--machine needs a value");
+                };
+                match resolve_machine(v) {
+                    Ok(m) => machine = m,
+                    Err(e) => return usage(&e),
+                }
+            }
+            "--bind" => {
+                let Some(v) = it.next() else {
+                    return usage("--bind needs name=value");
+                };
+                let Some((name, value)) = v.split_once('=') else {
+                    return usage(&format!("--bind `{v}` is not name=value"));
+                };
+                match value.parse() {
+                    Ok(n) => bindings.push((name.to_string(), n)),
+                    Err(_) => {
+                        return usage(&format!("--bind value `{value}` is not an integer"))
+                    }
+                }
+            }
+            "--cost-model" => {
+                let Some(v) = it.next() else {
+                    return usage("--cost-model needs a value");
+                };
+                match v.parse() {
+                    Ok(m) => cost_model = m,
+                    Err(e) => return usage(&e),
+                }
+            }
+            "--verify-seed" => {
+                let Some(v) = it.next() else {
+                    return usage("--verify-seed needs a value");
+                };
+                match v.parse() {
+                    Ok(s) => verify_seed = s,
+                    Err(_) => return usage(&format!("--verify-seed `{v}` is not a u64")),
+                }
+            }
+            "--report" => report = true,
+            "--cuda-names" => cuda_names = true,
+            other if !other.starts_with("--") => inputs.push(other.to_string()),
+            other => return usage(&format!("unexpected fuse argument `{other}`")),
+        }
+    }
+    if inputs.len() != 2 {
+        return usage("fuse needs exactly two kernels: <producer.cu> <consumer.cu>");
+    }
+    let mut sources = Vec::new();
+    for path in &inputs {
+        match std::fs::read_to_string(path) {
+            Ok(s) => sources.push(s),
+            Err(e) => {
+                eprintln!("gpgpuc: cannot read `{path}`: {e}");
+                return ExitCode::from(EXIT_NOINPUT);
+            }
+        }
+    }
+    let mut kernels = Vec::new();
+    for (path, source) in inputs.iter().zip(&sources) {
+        match parse_kernel(source) {
+            Ok(k) => kernels.push(k),
+            Err(e) => {
+                eprintln!("gpgpuc: `{path}`:");
+                report_error(&CompilerError::from(e));
+                return ExitCode::from(EXIT_PARSE);
+            }
+        }
+    }
+    let consumer = kernels.pop().unwrap_or_else(|| unreachable!());
+    let producer = kernels.pop().unwrap_or_else(|| unreachable!());
+    let mut opts = CompileOptions::new(machine.clone())
+        .with_cost_model(cost_model)
+        .with_verify_seed(verify_seed)
+        .with_source(&format!("{}\n\n{}", sources[0], sources[1]));
+    for (name, value) in &bindings {
+        opts = opts.bind(name, *value);
+    }
+    match gpgpu::fusion::compile_fused(&producer, &consumer, &opts) {
+        Ok(fused) => {
+            print_launches(&fused.compiled, cuda_names);
+            if report {
+                eprintln!("== fusion ==");
+                eprintln!(
+                    "  `{}` + `{}` -> `{}` ({} mode)",
+                    fused.producer,
+                    fused.consumer,
+                    fused.kernel,
+                    fused.mode.as_str()
+                );
+                eprintln!(
+                    "  intermediate `{}` eliminated, {} global bytes saved",
+                    fused.intermediate, fused.bytes_saved
+                );
+                eprintln!(
+                    "  predicted: members {:.3} ms -> fused {:.3} ms",
+                    fused.members_time_ms, fused.fused_time_ms
+                );
+                eprintln!("== prediction ({}) ==", machine.name);
+                eprintln!(
+                    "  time {:.3} ms   {:.1} GFLOPS   {:.1} GB/s effective",
+                    fused.compiled.total_time_ms(),
+                    fused.compiled.gflops(),
+                    fused.compiled.effective_bandwidth_gbps()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!(
+                "gpgpuc: warning: fusion rejected ({}): {}; compiling the members \
+                 separately",
+                err.slug(),
+                err.detail()
+            );
+            let mut worst = 0u8;
+            for (kernel, source) in [(&producer, &sources[0]), (&consumer, &sources[1])] {
+                let mut kopts = CompileOptions::new(machine.clone())
+                    .with_cost_model(cost_model)
+                    .with_verify_seed(verify_seed)
+                    .with_source(source);
+                for (name, value) in &bindings {
+                    kopts = kopts.bind(name, *value);
+                }
+                println!("// ==== {} ====", kernel.name);
+                match compile(kernel, &kopts) {
+                    Ok(c) => print_launches(&c, cuda_names),
+                    Err(e) => {
+                        let err = CompilerError::from(e);
+                        report_error(&err);
+                        worst = worst.max(if err.is_fault() {
+                            EXIT_INTERNAL
+                        } else {
+                            EXIT_COMPILE
+                        });
+                    }
+                }
+            }
+            ExitCode::from(worst)
+        }
+    }
 }
 
 /// Options shared by `batch` and `serve`.
@@ -1282,6 +1532,7 @@ fn cmd_multi(args: &Args) -> ExitCode {
             Ok(text) => requests.push(CompileRequest {
                 id: path.clone(),
                 source: SourceSpec::Inline(text),
+                fuse: None,
                 machine: args.machine.name.to_string(),
                 bindings: args.bindings.clone(),
                 stages: args.stages,
@@ -1411,6 +1662,7 @@ fn main() -> ExitCode {
         Some("batch") => return cmd_batch(&argv[1..]),
         Some("serve") => return cmd_serve(&argv[1..]),
         Some("profile") => return cmd_profile(&argv[1..]),
+        Some("fuse") => return cmd_fuse(&argv[1..]),
         Some("validate") => return cmd_validate(&argv[1..]),
         _ => {}
     }

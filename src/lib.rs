@@ -20,6 +20,9 @@
 //!   GTX 8800 / GTX 280-class machines;
 //! * [`core`] — the compiler driver: pipeline, design-space exploration,
 //!   equivalence verification;
+//! * [`fusion`] — dependence-checked producer→consumer kernel fusion:
+//!   the legality/profitability planner, the fused-kernel transform, and
+//!   the round-trip differential driver behind `gpgpuc fuse`;
 //! * [`fuzz`] — differential fuzzing: seeded kernel generation, the
 //!   sanitizing naive-vs-optimized oracle, kernel reduction, and the
 //!   regression-corpus format;
@@ -62,6 +65,7 @@ pub mod validate;
 pub use gpgpu_analysis as analysis;
 pub use gpgpu_ast as ast;
 pub use gpgpu_core as core;
+pub use gpgpu_fusion as fusion;
 pub use gpgpu_fuzz as fuzz;
 pub use gpgpu_kernels as kernels;
 pub use gpgpu_load as load;

@@ -1,0 +1,267 @@
+//! Integration tests of the kernel-fusion subsystem (`gpgpu::fusion` +
+//! the batch service): fused kernels are element-identical to the
+//! sequential two-kernel execution in both forwarding modes, a planted
+//! drop-sync miscompile in a fused kernel is caught by the sanitizing
+//! oracle, every illegal pairing is refused with its structured slug, and
+//! a rejected `fuse` service request degrades to separate member compiles
+//! instead of an error.
+
+use gpgpu::core::{verify_equivalence, verify_equivalence_sanitized, CompileOptions, VerifyError};
+use gpgpu::fusion::{compile_fused, plan_fusion, FusionError, FusionMode, RejectReason};
+use gpgpu::fuzz::InjectKind;
+use gpgpu::service::{Engine, ServiceConfig};
+use gpgpu::sim::MachineDesc;
+
+const SCALE: &str = "__global__ void scale(float a[n], float t[n], int n) { \
+     t[idx] = a[idx] * 2.0f; }";
+
+const ADD: &str = "__global__ void add(float t[n], float b[n], float c[n], int n) { \
+     c[idx] = t[idx] + b[idx]; }";
+
+const SQ: &str = "__global__ void sq(float a[m], float t[m], int m) { \
+     t[idx] = a[idx] * a[idx]; }";
+
+const BLUR: &str = "__global__ void blur(float t[m], float c[n], int m, int n) { \
+     c[idx] = (t[idx] + t[idx + 1] + t[idx + 2]) / 3.0f; }";
+
+fn kernel(src: &str) -> gpgpu::ast::Kernel {
+    gpgpu::ast::parse_kernel(src).expect("test kernel parses")
+}
+
+fn opts(bindings: &[(&str, i64)]) -> CompileOptions {
+    let mut o = CompileOptions::new(MachineDesc::gtx280());
+    for (name, value) in bindings {
+        o = o.bind(name, *value);
+    }
+    o
+}
+
+/// Register-mode fusion: the fused kernel is element-identical to the
+/// sequential producer→consumer execution (the driver already verified
+/// it against the round-trip reference; re-check here independently),
+/// the intermediate is gone from the parameter list, and the cost model
+/// reports saved global traffic.
+#[test]
+fn register_fused_kernel_matches_sequential_execution() {
+    let o = opts(&[("n", 4096)]);
+    let fused = compile_fused(&kernel(SCALE), &kernel(ADD), &o).expect("scale→add fuses");
+    assert_eq!(fused.mode, FusionMode::Register);
+    assert_eq!(fused.intermediate, "t");
+    assert!(fused.bytes_saved > 0, "register fusion must cut global traffic");
+    for launch in &fused.compiled.launches {
+        assert!(
+            launch.kernel.param("t").is_none(),
+            "the intermediate must not survive as a fused parameter"
+        );
+    }
+    // The independent differential check: fused vs the sequential
+    // round-trip reference (producer, grid barrier, consumer).
+    verify_equivalence(&fused.reference, &fused.compiled, &o)
+        .expect("fused == sequential, element for element");
+}
+
+/// Inline-mode fusion: constant-offset window reads of the intermediate
+/// are replaced by the producer expression recomputed at each offset, and
+/// the result still matches the sequential execution exactly.
+#[test]
+fn inline_window_fused_kernel_matches_sequential_execution() {
+    let o = opts(&[("n", 2048), ("m", 2064)]);
+    let fused = compile_fused(&kernel(SQ), &kernel(BLUR), &o).expect("sq→blur fuses");
+    assert_eq!(fused.mode, FusionMode::Inline);
+    verify_equivalence(&fused.reference, &fused.compiled, &o)
+        .expect("inline fused == sequential, element for element");
+}
+
+/// The oracle itself is validated by planting a known miscompile: strip
+/// the staging barrier from the optimized fused kernel and the sanitizing
+/// differential check must flag the shared-memory race.
+#[test]
+fn planted_drop_sync_in_a_fused_kernel_is_caught_by_the_sanitizer() {
+    let o = opts(&[("n", 2048), ("m", 2064)]);
+    let mut fused = compile_fused(&kernel(SQ), &kernel(BLUR), &o).expect("sq→blur fuses");
+    // The clean fused program passes under the sanitizer...
+    verify_equivalence_sanitized(&fused.reference, &fused.compiled, &o)
+        .expect("clean fused kernel is race-free");
+    // ...then drop the first __syncthreads() from its staged launch.
+    assert!(
+        gpgpu::fuzz::inject(&mut fused.compiled, InjectKind::DropSync),
+        "the optimized fused kernel must stage through shared memory"
+    );
+    let err = verify_equivalence_sanitized(&fused.reference, &fused.compiled, &o)
+        .expect_err("the dropped barrier must not go unnoticed");
+    match &err {
+        VerifyError::Sanitizer { kind, run, .. } => {
+            assert_eq!(kind, "shared-race");
+            assert!(run.contains("optimized"), "{run}");
+        }
+        other => panic!("expected a sanitizer finding, got {other}"),
+    }
+}
+
+/// Every illegal pairing is refused with its structured slug — the table
+/// the service metrics, the trace events, and the CLI warning all key on.
+#[test]
+fn illegal_pairings_reject_with_structured_slugs() {
+    let heavy_consumer = {
+        // 70 accumulators carried across a loop: past the GTX280's 64
+        // registers/thread, so the fused kernel overflows resources.
+        let decls: String = (0..70).map(|i| format!("float s{i} = 0.0f; ")).collect();
+        let accs: String = (0..70)
+            .map(|i| format!("s{i} += t[idx] * {}.0f; ", i + 1))
+            .collect();
+        let sum = (1..70).fold("s0".to_string(), |acc, i| format!("{acc} + s{i}"));
+        format!(
+            "__global__ void heavy(float t[n], float c[n], int n) {{ {decls} \
+             for (int i = 0; i < 8; i = i + 1) {{ {accs} }} c[idx] = {sum}; }}"
+        )
+    };
+    let table: Vec<(&str, String, String, Vec<(&str, i64)>)> = vec![
+        (
+            "no-dataflow",
+            SCALE.to_string(),
+            "__global__ void other(float b[n], float c[n], int n) { c[idx] = b[idx] * 1.5f; }"
+                .to_string(),
+            vec![("n", 1024)],
+        ),
+        (
+            "multi-consumer",
+            SCALE.to_string(),
+            "__global__ void rmw(float t[n], float c[n], int n) { \
+             t[idx] = t[idx] + 1.0f; c[idx] = t[idx]; }"
+                .to_string(),
+            vec![("n", 1024)],
+        ),
+        (
+            "domain-mismatch",
+            "__global__ void big(float a[m], float t[m], int m) { t[idx] = a[idx] * 2.0f; }"
+                .to_string(),
+            "__global__ void small(float t[m], float c[n], int m, int n) { \
+             c[idx] = t[idx] * 0.5f; }"
+                .to_string(),
+            vec![("n", 1024), ("m", 2048)],
+        ),
+        (
+            "unsupported-mapping",
+            "__global__ void strided(float a[n], float t[n], int n) { \
+             t[idx * 2] = a[idx]; }"
+                .to_string(),
+            ADD.to_string(),
+            vec![("n", 1024)],
+        ),
+        (
+            "gsync-unsupported",
+            "__global__ void phased(float a[n], float t[n], int n) { \
+             t[idx] = a[idx]; __gsync(); }"
+                .to_string(),
+            ADD.to_string(),
+            vec![("n", 1024)],
+        ),
+        (
+            "resource-overflow",
+            SCALE.to_string(),
+            heavy_consumer,
+            vec![("n", 1024)],
+        ),
+    ];
+    for (slug, p, c, bindings) in table {
+        let o = opts(&bindings);
+        let reason = plan_fusion(&kernel(&p), &kernel(&c), &o)
+            .map(|plan| panic!("`{slug}` pair must not plan, got {:?}", plan.mode))
+            .unwrap_err();
+        assert_eq!(reason.slug(), slug, "wrong slug: {reason}");
+    }
+    // The stage gate is its own slug, surfaced through the driver.
+    let gated = opts(&[("n", 1024)]).with_stages(gpgpu::core::StageSet::none());
+    match compile_fused(&kernel(SCALE), &kernel(ADD), &gated) {
+        Err(FusionError::Rejected(RejectReason::StageDisabled)) => {}
+        other => panic!("expected stage-disabled, got {other:?}"),
+    }
+}
+
+/// A `fuse` service request whose pair is rejected degrades to two
+/// separate member compiles inside ONE ok response — never an error —
+/// and the rejection is visible in the metrics, the artifact's fusion
+/// block, and the trace events.
+#[test]
+fn rejected_fuse_requests_degrade_to_separate_compiles() {
+    let engine = Engine::new(ServiceConfig::default()).expect("engine builds");
+    let line = format!(
+        r#"{{"id": "pair", "fuse": [{{"source": {}}}, {{"source": {}}}], "bindings": {{"n": 1024, "m": 2048}}}}"#,
+        gpgpu::core::Json::str(
+            "__global__ void big(float a[m], float t[m], int m) { t[idx] = a[idx] * 2.0f; }"
+        )
+        .compact(),
+        gpgpu::core::Json::str(
+            "__global__ void small(float t[m], float c[n], int m, int n) { c[idx] = t[idx] * 0.5f; }"
+        )
+        .compact(),
+    );
+    let resp = engine.handle_line(&line, 0);
+    assert!(resp.ok(), "a rejection must not fail the request: {:?}", resp.error);
+    let artifact = resp.artifact.expect("fallback artifact");
+    assert_eq!(artifact.kernel_name, "big+small");
+    assert_eq!(
+        artifact.launches.len(),
+        2,
+        "both members compile into the combined artifact"
+    );
+    let fusion = artifact.fusion.expect("fusion block records the outcome");
+    assert_eq!(fusion.mode, "separate:domain-mismatch");
+    assert_eq!(fusion.members, vec!["big".to_string(), "small".to_string()]);
+
+    let reg = engine.metrics().to_json();
+    let global = |name: &str| {
+        reg.get("globals")
+            .and_then(|g| g.get(name))
+            .and_then(gpgpu::core::Json::as_f64)
+            .unwrap_or_else(|| panic!("missing global {name} in {}", reg.pretty()))
+    };
+    assert_eq!(global("service_fusion_planned"), 1.0);
+    assert_eq!(global("service_fusion_rejected"), 1.0);
+    assert_eq!(global("service_fusion_fused"), 0.0);
+    let rejected = engine.take_events().into_iter().any(|e| matches!(
+        e,
+        gpgpu::core::TraceEvent::FusionRejected { ref reason, .. } if reason == "domain-mismatch"
+    ));
+    assert!(rejected, "the rejection must emit a fusion-rejected event");
+}
+
+/// A legal `fuse` request produces one fused artifact, caches it under
+/// the pair's own fingerprint (a repeat hits), and books the fused
+/// counters.
+#[test]
+fn fuse_requests_compile_once_and_cache_by_pair_fingerprint() {
+    let engine = Engine::new(ServiceConfig::default()).expect("engine builds");
+    let line = |id: &str| {
+        format!(
+            r#"{{"id": "{id}", "fuse": [{{"source": {}}}, {{"source": {}}}], "bindings": {{"n": 4096}}}}"#,
+            gpgpu::core::Json::str(SCALE).compact(),
+            gpgpu::core::Json::str(ADD).compact(),
+        )
+    };
+    let cold = engine.handle_line(&line("cold"), 0);
+    assert!(cold.ok(), "{:?}", cold.error);
+    assert_eq!(cold.cache.as_str(), "miss");
+    let artifact = cold.artifact.expect("fused artifact");
+    assert_eq!(artifact.kernel_name, "fused_scale_add");
+    let fusion = artifact.fusion.as_ref().expect("fusion block");
+    assert_eq!(fusion.mode, "register");
+    assert_eq!(fusion.intermediate, "t");
+    assert!(fusion.bytes_saved > 0.0);
+
+    let warm = engine.handle_line(&line("warm"), 1);
+    assert!(warm.ok(), "{:?}", warm.error);
+    assert!(warm.cache.is_hit(), "the pair fingerprint must hit on repeat");
+    assert_eq!(
+        warm.artifact.expect("cached artifact").to_json().compact(),
+        artifact.to_json().compact(),
+        "the cached fused artifact replays byte-identically"
+    );
+
+    let reg = engine.metrics().to_json();
+    let fused = reg
+        .get("globals")
+        .and_then(|g| g.get("service_fusion_fused"))
+        .and_then(gpgpu::core::Json::as_f64);
+    assert_eq!(fused, Some(1.0), "only the cold request planned and fused");
+}

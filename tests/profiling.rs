@@ -334,6 +334,7 @@ fn committed_bench_snapshots_replay_through_the_parser() {
         ("BENCH_serve.json", "serve-load"),
         ("BENCH_model.json", "model"),
         ("BENCH_tuning.json", "tuning"),
+        ("BENCH_fusion.json", "fusion"),
     ] {
         let text = std::fs::read_to_string(root.join(name))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -511,4 +512,63 @@ fn timing_model_snapshot_covers_both_models_with_stable_winners() {
             "parallel explorer only {speedup:.2}x on a {threads}-thread host"
         );
     }
+}
+
+/// The fusion snapshot (`BENCH_fusion.json`, from the `fusion` bench)
+/// records the kernel-fusion acceptance: under both cost models, every
+/// fused pipeline moves strictly fewer global bytes than its sequential
+/// two-kernel form, the planner's saving is positive, and the service
+/// stats carry the fusion counters for the pairs batched through the
+/// `fuse` path.
+#[test]
+fn fusion_snapshot_shows_reduced_global_traffic() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("BENCH_fusion.json")).unwrap();
+    let doc = parse_json(&text).unwrap();
+
+    let pairs = match doc.get("pairs") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows.clone(),
+        other => panic!("BENCH_fusion.json pairs: {other:?}"),
+    };
+    let mut models = std::collections::BTreeSet::new();
+    for row in &pairs {
+        let name = row.get("pair").and_then(Json::as_str).unwrap_or("?");
+        let num = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{name}: missing `{key}`"))
+        };
+        let unfused = num("unfused_global_bytes");
+        let fused = num("fused_global_bytes");
+        assert!(
+            fused < unfused,
+            "{name}: fusion must reduce global traffic ({fused} !< {unfused})"
+        );
+        let mode = row.get("mode").and_then(Json::as_str).unwrap_or("?");
+        assert!(mode == "register" || mode == "inline", "{name}: unknown mode `{mode}`");
+        // Inline fusion trades intermediate reads for recomputation, so
+        // the planner's naive-form estimate can be byte-neutral; register
+        // fusion eliminates the round-trip outright and must show it.
+        if mode == "register" {
+            assert!(num("planner_bytes_saved") > 0.0, "{name}: planner saw no saving");
+        }
+        models.insert(
+            row.get("cost_model")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{name}: missing `cost_model`"))
+                .to_string(),
+        );
+    }
+    assert_eq!(models.len(), 2, "both cost models must be measured: {models:?}");
+
+    let fusion = doc
+        .get("stats")
+        .and_then(|s| s.get("stats"))
+        .and_then(|s| s.get("fusion"))
+        .expect("stats.stats.fusion in BENCH_fusion.json");
+    assert!(
+        fusion.get("fused").and_then(Json::as_f64).unwrap_or(0.0) >= 2.0,
+        "the service pass must have fused both pairs: {}",
+        fusion.pretty()
+    );
 }

@@ -348,3 +348,45 @@ fn requests_emit_service_trace_events() {
     // Draining leaves the stream empty for the next batch.
     assert!(engine.take_events().is_empty());
 }
+
+/// Mid-batch tuning-store refresh at the engine level: a second engine
+/// sharing the first's `--tuning-dir` loses the writer election, but its
+/// pre-compile `refresh()` picks up the writer's recorded winner, so the
+/// shard warm-starts instead of re-exploring — visible in its
+/// `service_tuning_refreshes` and `service_tuning_warm_hits` metrics.
+#[test]
+fn reader_shards_refresh_the_shared_tuning_store_mid_batch() {
+    let dir = TempDir::new("tuning-refresh");
+    let config = || ServiceConfig {
+        tuning_dir: Some(dir.0.clone()),
+        ..ServiceConfig::default()
+    };
+    let writer = Engine::new(config()).expect("writer engine builds");
+    let cold = writer.handle(mv_request("writer"), Instant::now());
+    assert!(cold.ok(), "{:?}", cold.error);
+
+    let reader = Engine::new(config()).expect("reader engine builds");
+    let warm = reader.handle(mv_request("reader"), Instant::now());
+    assert!(warm.ok(), "{:?}", warm.error);
+
+    let reg = reader.metrics().to_json();
+    let global = |name: &str| {
+        reg.get("globals")
+            .and_then(|g| g.get(name))
+            .and_then(gpgpu::core::Json::as_f64)
+            .unwrap_or_else(|| panic!("missing global {name} in {}", reg.pretty()))
+    };
+    assert!(
+        global("service_tuning_refreshes") >= 1.0,
+        "the reader shard must have refreshed before compiling"
+    );
+    assert!(
+        global("service_tuning_warm_hits") >= 1.0,
+        "the refreshed lookup must have served the writer's winner warm"
+    );
+    assert_eq!(
+        global("service_tuning_misses"),
+        0.0,
+        "nothing should cold-explore on the reader after the refresh"
+    );
+}

@@ -624,3 +624,96 @@ fn concurrent_batch_processes_share_cache_and_tuning_dirs_safely() {
     assert_eq!(store.degraded(), None, "no corruption from concurrent writers");
     assert!(store.shape_count() >= 1, "the winner's records persisted");
 }
+
+/// A reader that lost the writer election can catch up mid-batch: after
+/// `refresh()` it serves the writer's recorded winners as warm starts
+/// (never a re-exploration audit — readers have no authority to demote),
+/// and an unchanged store refreshes as a no-op.
+#[test]
+fn readers_refresh_to_the_writers_latest_records() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("refresh");
+    let writer = TuningStore::open(dir.path());
+    assert!(writer.is_writer());
+    writer.record(
+        &shape("mm", &[256, 256]),
+        &score(8, 16, 1, 0.1),
+        &[score(8, 16, 1, 0.1), score(16, 8, 1, 0.2)],
+        true,
+    );
+
+    let reader = TuningStore::open(dir.path());
+    assert!(!reader.is_writer());
+    assert!(
+        matches!(reader.lookup(&shape("mm", &[256, 256])), Lookup::Disabled(_)),
+        "before the first refresh a contended loser is lock-free disabled"
+    );
+
+    assert!(reader.refresh(), "the writer's files are news to the reader");
+    match reader.lookup(&shape("mm", &[256, 256])) {
+        Lookup::Warm(warm) => {
+            assert!(!warm.neighbor);
+            assert_eq!(warm.seeds[0], (8, 16, 1), "the writer's winner seeds first");
+        }
+        other => panic!("expected a warm start after refresh, got {other:?}"),
+    }
+    assert!(!reader.refresh(), "unchanged files must be a no-op");
+
+    // The writer keeps recording mid-batch; the next refresh sees it.
+    writer.record(&shape("mv", &[512]), &score(4, 4, 1, 0.2), &[], true);
+    assert!(reader.refresh(), "the journal grew since the last refresh");
+    assert!(matches!(reader.lookup(&shape("mv", &[512])), Lookup::Warm(_)));
+    assert_eq!(reader.counters().refreshes, 2);
+    assert!(!writer.refresh(), "the writer is the source of truth; no-op");
+
+    // A refreshed reader never audits: its lookups stay warm, they do not
+    // rotate into `Reexplore` the way a writer's would.
+    for _ in 0..8 {
+        assert!(
+            matches!(reader.lookup(&shape("mv", &[512])), Lookup::Warm(_)),
+            "readers must not claim re-exploration authority"
+        );
+    }
+}
+
+/// The compile-pipeline view of the same story: the second shard's
+/// refreshed reader store narrows the design-space search to the seeded
+/// candidates instead of re-running the writer's full exploration.
+#[test]
+fn refreshed_reader_compiles_explore_at_most_the_seeded_candidates() {
+    let _lock = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = TempDir::new("refresh-compile");
+    let kernel = gpgpu::ast::parse_kernel(MV).expect("MV parses");
+    let opts = |store| {
+        CompileOptions::new(MachineDesc::gtx280())
+            .bind("n", 512)
+            .bind("w", 512)
+            .with_tuning(store)
+    };
+
+    let writer = Arc::new(TuningStore::open(dir.path()));
+    assert!(writer.is_writer());
+    let cold = compile(&kernel, &opts(Arc::clone(&writer))).expect("cold compile");
+    let cold_report = cold.tuning.expect("store attached");
+    assert_eq!(cold_report.outcome, "miss");
+    assert!(!cold_report.warm_started);
+
+    let reader = Arc::new(TuningStore::open(dir.path()));
+    assert!(!reader.is_writer());
+    assert!(reader.refresh(), "reader catches up on the writer's record");
+    let warm = compile(&kernel, &opts(Arc::clone(&reader))).expect("warm compile");
+    let warm_report = warm.tuning.expect("store attached");
+    assert_eq!(warm_report.outcome, "warm");
+    assert!(warm_report.warm_started, "the refreshed plan must narrow the search");
+    assert!(
+        warm_report.explored < warm_report.full_space,
+        "{} candidates explored out of a full space of {}",
+        warm_report.explored,
+        warm_report.full_space
+    );
+    // Same winner either way: warm starts narrow, they do not distort.
+    assert_eq!(
+        warm.launches[0].launch, cold.launches[0].launch,
+        "the seeded search lands on the writer's winner"
+    );
+}
